@@ -1,0 +1,103 @@
+// Command psbench runs the paper-reproduction experiments and prints the
+// rows/series of the corresponding figures (DESIGN.md §4 maps ids to
+// figures).
+//
+// Usage:
+//
+//	psbench -list
+//	psbench -exp fig7
+//	psbench -exp all -quick
+//	psbench -exp fig6a -ops 100000 -mu 20000 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ps2stream/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig6a..fig16, abl*) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "use the quick (CI) scale")
+		ops     = flag.Int("ops", 0, "override stream operations per run")
+		mu      = flag.Int("mu", 0, "override scaled µ (standing query count)")
+		workers = flag.Int("workers", 0, "override worker count")
+		seed    = flag.Int64("seed", 0, "override generator seed")
+		outDir  = flag.String("out", "", "also write each experiment's tables to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "psbench: -exp required (or -list); e.g. psbench -exp fig7")
+		os.Exit(2)
+	}
+	sc := bench.DefaultScale()
+	if *quick {
+		sc = bench.QuickScale()
+	}
+	if *ops > 0 {
+		sc.Ops = *ops
+	}
+	if *mu > 0 {
+		sc.Mu1 = *mu
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	ids := []string{*exp}
+	if strings.EqualFold(*exp, "all") {
+		ids = bench.ExperimentIDs()
+	}
+	exps := bench.Experiments()
+	for _, id := range ids {
+		runner, ok := exps[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "psbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables := runner(sc)
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		if *outDir != "" {
+			if err := writeTables(*outDir, id, tables); err != nil {
+				fmt.Fprintln(os.Stderr, "psbench:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeTables persists one experiment's tables as <dir>/<id>.txt.
+func writeTables(dir, id string, tables []bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".txt"))
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(f)
+	}
+	return f.Close()
+}

@@ -1,0 +1,75 @@
+// Command psgen generates synthetic spatio-textual workloads (the
+// TWEETS-US / TWEETS-UK equivalents of §VI-A) as JSON Lines, one operation
+// per line, suitable for psrun or external tooling.
+//
+// Usage:
+//
+//	psgen -dataset us -kind q1 -mu 10000 -ops 120000 > workload.jsonl
+//	psgen -dataset uk -kind q3 -prewarm-only -mu 5000 > queries.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ps2stream/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "us", "dataset: us | uk")
+		kind    = flag.String("kind", "q1", "query family: q1 | q2 | q3")
+		mu      = flag.Int("mu", 10000, "standing query count µ")
+		ops     = flag.Int("ops", 120000, "stream operations after prewarm")
+		seed    = flag.Int64("seed", 2017, "generator seed")
+		prewarm = flag.Bool("prewarm-only", false, "emit only the µ prewarm insertions")
+	)
+	flag.Parse()
+
+	var spec workload.DatasetSpec
+	switch strings.ToLower(*dataset) {
+	case "us":
+		spec = workload.TweetsUS()
+	case "uk":
+		spec = workload.TweetsUK()
+	default:
+		fmt.Fprintf(os.Stderr, "psgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	var qk workload.QueryKind
+	switch strings.ToLower(*kind) {
+	case "q1":
+		qk = workload.Q1
+	case "q2":
+		qk = workload.Q2
+	case "q3":
+		qk = workload.Q3
+	default:
+		fmt.Fprintf(os.Stderr, "psgen: unknown query kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	st := workload.NewStream(spec, qk, workload.StreamConfig{Mu: *mu, Seed: *seed})
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	for _, op := range st.Prewarm(*mu) {
+		if err := enc.Encode(workload.EncodeOp(op)); err != nil {
+			fmt.Fprintln(os.Stderr, "psgen:", err)
+			os.Exit(1)
+		}
+	}
+	if *prewarm {
+		return
+	}
+	for i := 0; i < *ops; i++ {
+		if err := enc.Encode(workload.EncodeOp(st.Next())); err != nil {
+			fmt.Fprintln(os.Stderr, "psgen:", err)
+			os.Exit(1)
+		}
+	}
+}

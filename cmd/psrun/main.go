@@ -1,0 +1,246 @@
+// Command psrun replays a JSONL workload (see psgen) through a PS2Stream
+// topology and reports throughput, latency, match counts, memory, and any
+// migrations, i.e. a single-shot deployment of the system.
+//
+// Usage:
+//
+//	psgen -dataset us -kind q1 -mu 10000 -ops 120000 | psrun -strategy hybrid
+//	psrun -in workload.jsonl -strategy kdtree -workers 8 -adjust
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ps2stream/internal/core"
+	"ps2stream/internal/geo"
+	"ps2stream/internal/hybrid"
+	"ps2stream/internal/load"
+	"ps2stream/internal/model"
+	"ps2stream/internal/partition"
+	"ps2stream/internal/qindex"
+	"ps2stream/internal/snapshot"
+	"ps2stream/internal/textutil"
+	"ps2stream/internal/workload"
+)
+
+func builderFor(name string) (partition.Builder, error) {
+	if name == "hybrid" || name == "" {
+		return hybrid.Builder{}, nil
+	}
+	if b, ok := partition.Builders()[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}
+
+func indexFor(name string) (core.IndexFactory, error) {
+	switch name {
+	case "gi2", "":
+		return nil, nil // core default
+	case "rtree":
+		return func(_ geo.Rect, _ int, _ *textutil.Stats) qindex.Index {
+			return qindex.NewRTree(0)
+		}, nil
+	case "iqtree":
+		return func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewIQTree(bounds, stats, 0, 0)
+		}, nil
+	case "aptree":
+		return func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewAPTree(bounds, stats, 0, 0, 0)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown worker index %q", name)
+	}
+}
+
+func main() {
+	var (
+		in          = flag.String("in", "-", "input JSONL file ('-' = stdin)")
+		strategy    = flag.String("strategy", "hybrid", "distribution strategy: hybrid|frequency|hypergraph|metric|grid|kdtree|rtree")
+		index       = flag.String("index", "gi2", "worker index: gi2|rtree|iqtree|aptree")
+		workers     = flag.Int("workers", 8, "worker tasks")
+		dispatchers = flag.Int("dispatchers", 4, "dispatcher tasks")
+		sampleN     = flag.Int("sample", 20000, "ops consumed as the partitioning sample")
+		adjust      = flag.Bool("adjust", false, "enable dynamic load adjustment (hybrid only)")
+		quiet       = flag.Bool("quiet", false, "suppress per-match output counting")
+		checkpoint  = flag.String("checkpoint", "", "write a snapshot of the live subscriptions here after the replay")
+		restore     = flag.String("restore", "", "prime the system from this snapshot before the replay")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+
+	// First pass: buffer the sample prefix to fit the strategy.
+	var ops []model.Op
+	var sampleObjs []*model.Object
+	var sampleQrys []*model.Query
+	bounds := geo.Rect{}
+	first := true
+	for len(ops) < *sampleN {
+		var j workload.JSONOp
+		if err := dec.Decode(&j); err == io.EOF {
+			break
+		} else if err != nil {
+			fatal(err)
+		}
+		op, err := workload.DecodeOp(j)
+		if err != nil {
+			fatal(err)
+		}
+		ops = append(ops, op)
+		switch op.Kind {
+		case model.OpObject:
+			sampleObjs = append(sampleObjs, op.Obj)
+			p := geo.Rect{Min: op.Obj.Loc, Max: op.Obj.Loc}
+			if first {
+				bounds, first = p, false
+			} else {
+				bounds = bounds.Union(p)
+			}
+		case model.OpInsert:
+			sampleQrys = append(sampleQrys, op.Query)
+			if first {
+				bounds, first = op.Query.Region, false
+			} else {
+				bounds = bounds.Union(op.Query.Region)
+			}
+		}
+	}
+	if first {
+		fatal(fmt.Errorf("empty workload"))
+	}
+	b, err := builderFor(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	sample := partition.NewSample(sampleObjs, sampleQrys, bounds.Expand(0.5), load.DefaultCosts)
+	ixf, err := indexFor(*index)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		Dispatchers:  *dispatchers,
+		Workers:      *workers,
+		Builder:      b,
+		IndexFactory: ixf,
+	}
+	if *adjust {
+		cfg.Adjust = core.AdjustConfig{Enabled: true}
+	}
+	if !*quiet {
+		cfg.OnMatch = func(model.Match) {}
+	}
+	sys, err := core.New(cfg, sample)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		fatal(err)
+	}
+
+	restored := 0
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		_, qs, err := snapshot.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		for _, q := range qs {
+			sys.Submit(model.Op{Kind: model.OpInsert, Query: q})
+		}
+		restored = len(qs)
+	}
+
+	start := time.Now()
+	n := 0
+	submit := func(op model.Op) {
+		sys.Submit(op)
+		n++
+	}
+	for _, op := range ops {
+		submit(op)
+	}
+	for {
+		var j workload.JSONOp
+		if err := dec.Decode(&j); err == io.EOF {
+			break
+		} else if err != nil {
+			fatal(err)
+		}
+		op, err := workload.DecodeOp(j)
+		if err != nil {
+			fatal(err)
+		}
+		submit(op)
+	}
+	if err := sys.Close(); err != nil {
+		fatal(err)
+	}
+	el := time.Since(start)
+
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		live := sys.LiveQueries()
+		if err := snapshot.Write(f, sys.Bounds(), live); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint:      %d live subscriptions -> %s\n", len(live), *checkpoint)
+	}
+
+	snap := sys.Snapshot()
+	fmt.Printf("strategy:        %s\n", sys.Assignment().Name())
+	fmt.Printf("worker index:    %s\n", *index)
+	if restored > 0 {
+		fmt.Printf("restored:        %d subscriptions\n", restored)
+	}
+	fmt.Printf("tuples:          %d in %v\n", n, el.Round(time.Millisecond))
+	fmt.Printf("throughput:      %.0f tuples/s\n", float64(n)/el.Seconds())
+	fmt.Printf("matches:         %d (dups removed: %d)\n", snap.Matches, snap.Duplicates)
+	fmt.Printf("discarded:       %d objects with no live keyword\n", snap.Discarded)
+	fmt.Printf("latency:         mean=%v p50=%v p99=%v\n", snap.Latency.Mean, snap.Latency.P50, snap.Latency.P99)
+	fmt.Printf("dispatcher mem:  %d bytes\n", snap.DispatcherBytes)
+	var wsum int64
+	for _, wb := range snap.WorkerBytes {
+		wsum += wb
+	}
+	fmt.Printf("worker mem:      %d bytes total across %d workers\n", wsum, len(snap.WorkerBytes))
+	if len(snap.Migrations) > 0 {
+		var bytes int64
+		for _, m := range snap.Migrations {
+			bytes += m.Bytes
+		}
+		fmt.Printf("migrations:      %d (total %d bytes moved)\n", len(snap.Migrations), bytes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psrun:", err)
+	os.Exit(1)
+}

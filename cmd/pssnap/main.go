@@ -1,0 +1,116 @@
+// Command pssnap inspects a PS2Stream checkpoint (see ps2stream.System
+// Checkpoint, psrun -checkpoint): it validates the stream and summarises
+// the subscription population — counts, expression shapes, keyword and
+// region statistics — so an operator can sanity-check a snapshot before
+// restoring it.
+//
+// Usage:
+//
+//	pssnap -in deploy.snap
+//	psrun -in w.jsonl -checkpoint /dev/stdout | pssnap -verify
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ps2stream/internal/model"
+	"ps2stream/internal/snapshot"
+	"ps2stream/internal/textutil"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "-", "snapshot file ('-' = stdin)")
+		verify = flag.Bool("verify", false, "validate only; exit status reports the result")
+		top    = flag.Int("top", 10, "how many of the most frequent keywords to list")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	h, qs, err := snapshot.Read(bufio.NewReaderSize(r, 1<<20))
+	if err != nil {
+		fatal(err)
+	}
+	if *verify {
+		fmt.Printf("ok: %d subscriptions, format v%d\n", len(qs), h.Version)
+		return
+	}
+
+	fmt.Printf("format:        v%d\n", h.Version)
+	fmt.Printf("bounds:        %v\n", h.Bounds)
+	fmt.Printf("subscriptions: %d\n", len(qs))
+	if len(qs) == 0 {
+		return
+	}
+
+	var andQ, orQ, mixedQ, sizeBytes int
+	keywords := 0
+	stats := textutil.NewStats()
+	subscribers := map[uint64]struct{}{}
+	var areas []float64
+	union := qs[0].Region
+	for _, q := range qs {
+		sizeBytes += q.SizeBytes()
+		subscribers[q.Subscriber] = struct{}{}
+		switch classify(q) {
+		case "and":
+			andQ++
+		case "or":
+			orQ++
+		default:
+			mixedQ++
+		}
+		for _, t := range q.Expr.Terms() {
+			keywords++
+			stats.Add(t)
+		}
+		areas = append(areas, q.Region.Area())
+		union = union.Union(q.Region)
+	}
+	sort.Float64s(areas)
+	fmt.Printf("subscribers:   %d distinct\n", len(subscribers))
+	fmt.Printf("state size:    %d bytes serialised query state\n", sizeBytes)
+	fmt.Printf("expressions:   %d AND, %d OR, %d mixed; %.2f keywords/query (%d distinct)\n",
+		andQ, orQ, mixedQ, float64(keywords)/float64(len(qs)), stats.DistinctTerms())
+	fmt.Printf("regions:       area p50=%.4f p95=%.4f deg², union %v\n",
+		areas[len(areas)/2], areas[len(areas)*95/100], union)
+	if !h.Bounds.ContainsRect(union) {
+		fmt.Printf("warning:       some regions extend beyond the snapshot bounds\n")
+	}
+	fmt.Printf("top keywords:\n")
+	for _, t := range stats.TopTerms(*top) {
+		fmt.Printf("  %6d  %s\n", stats.Count(t), t)
+	}
+}
+
+// classify reports whether the expression is a pure conjunction, a pure
+// disjunction of single terms, or a mixed DNF.
+func classify(q *model.Query) string {
+	if len(q.Expr.Conj) == 1 {
+		return "and"
+	}
+	for _, c := range q.Expr.Conj {
+		if len(c) != 1 {
+			return "mixed"
+		}
+	}
+	return "or"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pssnap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+func TestClassify(t *testing.T) {
+	r := geo.NewRect(0, 0, 1, 1)
+	cases := []struct {
+		name string
+		q    *model.Query
+		want string
+	}{
+		{"single term", &model.Query{Expr: model.And("a"), Region: r}, "and"},
+		{"conjunction", &model.Query{Expr: model.And("a", "b", "c"), Region: r}, "and"},
+		{"disjunction", &model.Query{Expr: model.Or("a", "b"), Region: r}, "or"},
+		{"mixed DNF", &model.Query{Expr: model.Expr{Conj: [][]string{{"a", "b"}, {"c"}}}, Region: r}, "mixed"},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.q); got != tc.want {
+			t.Errorf("%s: classify = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Load shift: demonstrates the dynamic load adjustment of §V. The system
+// is built for a workload spread across the whole country; the live stream
+// then concentrates on a single metro area, overloading the workers that
+// own it. The controller detects the balance violation (L_max/L_min > σ),
+// runs Phase I/II, and migrates gridt cells to the least-loaded worker —
+// all while matching continues.
+//
+//	go run ./examples/loadshift
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"time"
+
+	"ps2stream"
+	"ps2stream/internal/workload"
+)
+
+func main() {
+	sys, err := ps2stream.Open(ps2stream.Options{
+		Region:            ps2stream.NewRegion(-125, 24, -66, 49),
+		Workers:           4,
+		DynamicAdjustment: true,
+		AdjustInterval:    50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Subscriptions all over the hotspot so its cells carry real load.
+	rng := rand.New(rand.NewSource(1))
+	hotLat, hotLon := 40.7, -74.0 // New York
+	for i := 0; i < 400; i++ {
+		q := fmt.Sprintf("topic%02d", rng.Intn(40))
+		lat := hotLat + rng.NormFloat64()*0.5
+		lon := hotLon + rng.NormFloat64()*0.5
+		if err := sys.Subscribe(ps2stream.Subscription{
+			ID: uint64(i + 1), Subscriber: uint64(i),
+			Query:  q,
+			Region: ps2stream.RegionAround(lat, lon, 60, 60),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	gen := workload.NewGenerator(workload.TweetsUS(), 2)
+	nextID := uint64(0)
+	publishHot := func(n int) {
+		for i := 0; i < n; i++ {
+			o := gen.Object()
+			nextID++
+			// Concentrate traffic on the hotspot and speak its topics.
+			text := fmt.Sprintf("topic%02d %s", rng.Intn(40), strings.Join(o.Terms, " "))
+			sys.Publish(ps2stream.Message{
+				ID:   nextID,
+				Text: text,
+				Lat:  hotLat + rng.NormFloat64()*0.3,
+				Lon:  hotLon + rng.NormFloat64()*0.3,
+			})
+		}
+	}
+
+	fmt.Println("phase 1: concentrated traffic on New York (one worker's territory)...")
+	for round := 0; round < 10; round++ {
+		publishHot(4000)
+		time.Sleep(60 * time.Millisecond) // give the controller windows to observe
+	}
+	sys.Flush()
+
+	st := sys.Stats()
+	fmt.Printf("\nafter the burst:\n")
+	fmt.Printf("  processed:   %d tuples\n", st.Processed)
+	fmt.Printf("  matches:     %d\n", st.Matches)
+	fmt.Printf("  migrations:  %d cell migrations executed by the controller\n", st.Migrations)
+	fmt.Printf("  queries/worker: %v (duplicated copies included)\n", st.WorkerQueries)
+	if st.Migrations == 0 {
+		fmt.Println("  (no migrations: the initial partitioning already balanced the hotspot)")
+	} else {
+		fmt.Println("  the gridt cells of the hotspot were split/reassigned to idle workers")
+	}
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

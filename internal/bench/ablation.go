@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ps2stream/internal/core"
+	"ps2stream/internal/geo"
+	"ps2stream/internal/hybrid"
+	"ps2stream/internal/qindex"
+	"ps2stream/internal/textutil"
+	"ps2stream/internal/workload"
+)
+
+// workerIndexFactories enumerates the §IV-D index options (nil = GI2).
+func workerIndexFactories() []struct {
+	name string
+	f    core.IndexFactory
+} {
+	return []struct {
+		name string
+		f    core.IndexFactory
+	}{
+		{"gi2", nil},
+		{"rtree", func(_ geo.Rect, _ int, _ *textutil.Stats) qindex.Index {
+			return qindex.NewRTree(0)
+		}},
+		{"iqtree", func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewIQTree(bounds, stats, 0, 0)
+		}},
+		{"aptree", func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewAPTree(bounds, stats, 0, 0, 0)
+		}},
+	}
+}
+
+// AblWorkerIndex is the §IV-D design-choice ablation through the full
+// topology: each worker-index structure carries the same hybrid-partitioned
+// Q1 and Q2 workloads; the table reports end-to-end throughput and the
+// average worker footprint. The paper picks GI2 "due to its efficiency in
+// construction and maintaining" — this experiment is the measurement
+// behind that sentence.
+func AblWorkerIndex(sc Scale) []Table {
+	sc = sc.orDefault()
+	spec := workload.TweetsUS()
+	var out []Table
+	for _, fam := range []struct {
+		kind workload.QueryKind
+		mu   int
+		sub  string
+	}{
+		{workload.Q1, sc.Mu1, "Q1, mu~5M(scaled)"},
+		{workload.Q2, sc.Mu2(), "Q2, mu~10M(scaled)"},
+	} {
+		t := Table{
+			Title:  "Ablation (worker index): hybrid strategy, TWEETS-US, " + fam.sub,
+			Header: []string{"index", "throughput(tuples/s)", "avg worker bytes"},
+		}
+		for _, wi := range workerIndexFactories() {
+			tp, wb, err := measureIndexThroughput(spec, fam.kind, wi.f, sc, fam.mu)
+			if err != nil {
+				t.Rows = append(t.Rows, []string{wi.name, "ERR: " + err.Error(), ""})
+				continue
+			}
+			t.Rows = append(t.Rows, []string{wi.name, f0(tp), fmt.Sprintf("%d", wb)})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// AblLatencyVsRate measures each strategy's saturation curve: first its
+// capacity (full-speed throughput), then the mean tuple latency while
+// pacing the input at fractions of that capacity — the curve behind
+// Figure 8's "moderate input speed" setting. Latency stays flat while the
+// bottleneck worker keeps up, then grows sharply once the input rate
+// crosses capacity and queues build.
+func AblLatencyVsRate(sc Scale) []Table {
+	sc = sc.orDefault()
+	spec := workload.TweetsUS()
+	fractions := []float64{0.25, 0.5, 0.75, 0.95, 1.2}
+	t := Table{
+		Title:  "Ablation (latency vs input rate): TWEETS-US Q3, fractions of each strategy's capacity",
+		Header: append([]string{"strategy", "capacity(tuples/s)"}, fractionHeaders(fractions)...),
+	}
+	for _, b := range headToHead {
+		cap, err := drainedCapacity(spec, workload.Q3, b, sc)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{b, "ERR: " + err.Error()})
+			continue
+		}
+		row := []string{b, f0(cap)}
+		for _, fr := range fractions {
+			lat, err := pacedLatency(spec, workload.Q3, b, sc, cap*fr, 400*time.Millisecond)
+			if err != nil {
+				row = append(row, "ERR")
+				continue
+			}
+			row = append(row, ms(lat))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}
+
+// drainedCapacity measures end-to-end capacity: ops/second from the first
+// submission until every tuple has fully drained through the workers.
+// measureThroughput (used for the Figure 6/7 comparisons) times until the
+// dispatchers have routed everything, which can leave worker queues full —
+// fine for comparing strategies measured identically, but an overestimate
+// as the reference point for a saturation sweep.
+func drainedCapacity(spec workload.DatasetSpec, kind workload.QueryKind,
+	builderName string, sc Scale) (float64, error) {
+	sys, st, err := buildSystem(spec, kind, builderName, sc, sc.Workers, sc.Mu2(), core.AdjustConfig{})
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		return 0, err
+	}
+	warm := st.Prewarm(sc.Mu2())
+	sys.SubmitAll(warm)
+	waitProcessed(sys, int64(len(warm)))
+	t0 := time.Now()
+	for i := 0; i < sc.Ops; i++ {
+		sys.Submit(st.Next())
+	}
+	if err := sys.Close(); err != nil {
+		return 0, err
+	}
+	return float64(sc.Ops) / time.Since(t0).Seconds(), nil
+}
+
+// pacedLatency drives the stream at the given rate for the given duration
+// and reports the mean tuple latency. Pacing is in 1 ms batches — a
+// per-tuple ticker cannot express rates beyond ~10k tuples/s, and the
+// saturation sweep needs rates around full capacity.
+func pacedLatency(spec workload.DatasetSpec, kind workload.QueryKind,
+	builderName string, sc Scale, rate float64, dur time.Duration) (time.Duration, error) {
+	sys, st, err := buildSystem(spec, kind, builderName, sc, sc.Workers, sc.Mu2(), core.AdjustConfig{})
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		return 0, err
+	}
+	warm := st.Prewarm(sc.Mu2())
+	sys.SubmitAll(warm)
+	waitProcessed(sys, int64(len(warm)))
+	batch := int(rate / 1000)
+	if batch < 1 {
+		batch = 1
+	}
+	ticker := time.NewTicker(time.Millisecond)
+	// Pace through a warm-up period first, then discard its latencies:
+	// the first tuples after the µ-query prewarm pay cold caches and
+	// one-off allocations, which would otherwise dominate the mean at low
+	// rates (few measured tuples) and invert the curve.
+	warmDeadline := time.Now().Add(dur / 2)
+	for time.Now().Before(warmDeadline) {
+		<-ticker.C
+		for i := 0; i < batch; i++ {
+			sys.Submit(st.Next())
+		}
+	}
+	sys.ResetLatencyStats()
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		for i := 0; i < batch; i++ {
+			sys.Submit(st.Next())
+		}
+	}
+	ticker.Stop()
+	if err := sys.Close(); err != nil {
+		return 0, err
+	}
+	return sys.Snapshot().Latency.Mean, nil
+}
+
+func fractionHeaders(fs []float64) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = fmt.Sprintf("%.0f%%", f*100)
+	}
+	return out
+}
+
+// measureIndexThroughput is measureThroughput with a worker-index factory:
+// prewarm µ queries, drive sc.Ops operations at full speed, report
+// tuples/second and the average worker footprint.
+func measureIndexThroughput(spec workload.DatasetSpec, kind workload.QueryKind,
+	f core.IndexFactory, sc Scale, mu int) (float64, int64, error) {
+	sample := workload.Sample(spec, kind, sc.SampleObjects, sc.SampleQueries, sc.Seed)
+	sys, err := core.New(core.Config{
+		Dispatchers:  sc.Dispatchers,
+		Workers:      sc.Workers,
+		Builder:      hybrid.Builder{},
+		IndexFactory: f,
+		PerTupleWork: sc.PerTupleWork,
+	}, sample)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		return 0, 0, err
+	}
+	st := workload.NewStream(spec, kind, workload.StreamConfig{Mu: mu, Seed: sc.Seed})
+	warm := st.Prewarm(mu)
+	sys.SubmitAll(warm)
+	waitProcessed(sys, int64(len(warm)))
+	t0 := time.Now()
+	for i := 0; i < sc.Ops; i++ {
+		sys.Submit(st.Next())
+	}
+	waitProcessed(sys, int64(len(warm)+sc.Ops))
+	el := time.Since(t0)
+	if err := sys.Close(); err != nil {
+		return 0, 0, err
+	}
+	snap := sys.Snapshot()
+	var sum int64
+	for _, b := range snap.WorkerBytes {
+		sum += b
+	}
+	return float64(sc.Ops) / el.Seconds(), sum / int64(len(snap.WorkerBytes)), nil
+}

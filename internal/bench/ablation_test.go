@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ps2stream/internal/workload"
+)
+
+// microScale keeps ablation smoke tests fast.
+func microScale() Scale {
+	return Scale{
+		SampleObjects: 1500,
+		SampleQueries: 300,
+		Mu1:           400,
+		Ops:           3000,
+		PacedRate:     5000,
+		Workers:       2,
+		Dispatchers:   1,
+		PerTupleWork:  time.Microsecond,
+		Seed:          7,
+	}
+}
+
+func TestAblWorkerIndexQuick(t *testing.T) {
+	tables := AblWorkerIndex(microScale())
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2 (Q1, Q2)", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) != 4 {
+			t.Fatalf("%s: %d rows, want 4 indexes", tab.Title, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			if strings.HasPrefix(row[1], "ERR") {
+				t.Errorf("%s: %s failed: %s", tab.Title, row[0], row[1])
+				continue
+			}
+			tp, err := strconv.ParseFloat(row[1], 64)
+			if err != nil || tp <= 0 {
+				t.Errorf("%s: %s throughput %q", tab.Title, row[0], row[1])
+			}
+			wb, err := strconv.ParseInt(row[2], 10, 64)
+			if err != nil || wb <= 0 {
+				t.Errorf("%s: %s worker bytes %q", tab.Title, row[0], row[2])
+			}
+		}
+	}
+}
+
+func TestDrainedCapacityAndPacedLatency(t *testing.T) {
+	sc := microScale()
+	spec := workload.TweetsUS()
+	cap, err := drainedCapacity(spec, workload.Q3, "hybrid", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap <= 0 {
+		t.Fatalf("capacity = %v", cap)
+	}
+	lat, err := pacedLatency(spec, workload.Q3, "hybrid", sc, cap/4, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 || lat > 5*time.Second {
+		t.Errorf("paced latency = %v", lat)
+	}
+}

@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ps2stream/internal/core"
+	"ps2stream/internal/geo"
+	"ps2stream/internal/gi2"
+	"ps2stream/internal/metrics"
+	"ps2stream/internal/migrate"
+	"ps2stream/internal/model"
+	"ps2stream/internal/workload"
+)
+
+// workerCells builds a realistic migration-candidate inventory: a GI2
+// index loaded with mu standing queries and a window of matched objects,
+// exactly what a worker hands the cell-selection algorithms.
+func workerCells(sc Scale, mu int) []migrate.Cell {
+	spec := workload.TweetsUS()
+	st := workload.NewStream(spec, workload.Q1, workload.StreamConfig{Mu: mu, Seed: sc.Seed})
+	sample := workload.Sample(spec, workload.Q1, sc.SampleObjects, sc.SampleQueries, sc.Seed)
+	ix := gi2.New(spec.Bounds, 64, sample.Stats)
+	for _, op := range st.Prewarm(mu) {
+		ix.Insert(op.Query)
+	}
+	og := workload.NewGenerator(spec, sc.Seed^77)
+	for i := 0; i < mu; i++ {
+		ix.Match(og.Object(), func(*model.Query) {})
+	}
+	var cells []migrate.Cell
+	for _, cs := range ix.CellStats() {
+		if cs.Entries == 0 || cs.Load <= 0 {
+			continue
+		}
+		cells = append(cells, migrate.Cell{ID: cs.CellID, Load: cs.Load, Size: cs.SizeBytes})
+	}
+	return cells
+}
+
+func tauFor(cells []migrate.Cell) float64 {
+	var total float64
+	for _, c := range cells {
+		total += c.Load
+	}
+	return total * 0.25
+}
+
+// Fig12SelectionTime reproduces Figure 12(a): running time of selecting
+// cells for migration, DP vs GR vs SI vs RA (µ ≈ 1M scaled).
+func Fig12SelectionTime(sc Scale) []Table {
+	sc = sc.orDefault()
+	cells := workerCells(sc, sc.Mu1/5)
+	tau := tauFor(cells)
+	t := Table{
+		Title:  fmt.Sprintf("Figure 12(a): cell-selection time (%d cells)", len(cells)),
+		Header: []string{"algorithm", "time", "migrated size(B)"},
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	for _, alg := range migrate.Algorithms() {
+		const reps = 5
+		var total time.Duration
+		var sel migrate.Selection
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			sel, _ = migrate.Select(alg, cells, tau, rng)
+			total += time.Since(t0)
+		}
+		t.Rows = append(t.Rows, []string{string(alg), ms(total / reps), fmt.Sprintf("%d", sel.Size)})
+	}
+	return []Table{t}
+}
+
+// Fig13SelectionScaling reproduces Figure 13(a,b): selection time for
+// GR/SI/RA at µ ≈ 5M and 10M (scaled). DP is excluded: the paper reports
+// workers run out of memory at these sizes (its table is O(n·P)).
+func Fig13SelectionScaling(sc Scale) []Table {
+	sc = sc.orDefault()
+	var out []Table
+	for _, cfg := range []struct {
+		mu  int
+		sub string
+	}{
+		{sc.Mu1, "(a) mu~5M(scaled)"},
+		{sc.Mu2(), "(b) mu~10M(scaled)"},
+	} {
+		cells := workerCells(sc, cfg.mu)
+		tau := tauFor(cells)
+		t := Table{
+			Title:  fmt.Sprintf("Figure 13%s: selection time (%d cells; DP omitted, OOM in paper)", cfg.sub, len(cells)),
+			Header: []string{"algorithm", "time"},
+		}
+		rng := rand.New(rand.NewSource(sc.Seed))
+		for _, alg := range []migrate.Algorithm{migrate.GR, migrate.SI, migrate.RA} {
+			const reps = 5
+			var total time.Duration
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				migrate.Select(alg, cells, tau, rng)
+				total += time.Since(t0)
+			}
+			t.Rows = append(t.Rows, []string{string(alg), ms(total / reps)})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// migrationRun drives a skewed, paced stream through an adjustment-enabled
+// system and reports migration statistics and the latency distribution.
+type migrationResult struct {
+	migrations int
+	avgBytes   float64
+	avgTime    time.Duration
+	latency    metrics.Snapshot
+}
+
+func migrationRun(alg migrate.Algorithm, sc Scale, mu int) (migrationResult, error) {
+	spec := workload.TweetsUS()
+	sys, st, err := buildSystem(spec, workload.Q1, "hybrid", sc, sc.Workers, mu, core.AdjustConfig{
+		Enabled:   true,
+		Sigma:     1.2,
+		Interval:  50 * time.Millisecond,
+		Algorithm: alg,
+		// A slow ingest path (scaled with the workload): the receiving
+		// worker is blocked for bytes/rate while it deserialises and
+		// indexes the migrated queries, which is what delays tuples in
+		// Figures 12(c)/15. Scaled so migrations stall the receiver on
+		// the order of the paper's 100ms–1s bucket boundaries.
+		WireBytesPerSec: 64 << 10,
+		MinWindowOps:    128,
+		Seed:            sc.Seed,
+	})
+	if err != nil {
+		return migrationResult{}, err
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		return migrationResult{}, err
+	}
+	warm := st.Prewarm(mu)
+	sys.SubmitAll(warm)
+	waitProcessed(sys, int64(len(warm)))
+	sys.ResetLatencyStats() // measure steady state + migration effects only
+
+	// Hotspot-rotating object stream: the sample is uniform, so routing
+	// concentrates load and violates the balance constraint repeatedly.
+	corners := []geo.Point{
+		{X: spec.Bounds.Min.X + spec.Bounds.Width()*0.2, Y: spec.Bounds.Min.Y + spec.Bounds.Height()*0.2},
+		{X: spec.Bounds.Min.X + spec.Bounds.Width()*0.8, Y: spec.Bounds.Min.Y + spec.Bounds.Height()*0.3},
+		{X: spec.Bounds.Min.X + spec.Bounds.Width()*0.3, Y: spec.Bounds.Min.Y + spec.Bounds.Height()*0.8},
+	}
+	n := sc.Ops / 2
+	interval := time.Duration(float64(time.Second) / sc.PacedRate)
+	ticker := time.NewTicker(interval)
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0xF16))
+	for i := 0; i < n; i++ {
+		<-ticker.C
+		op := st.Next()
+		if op.Kind == model.OpObject {
+			c := corners[(i*len(corners))/n]
+			op.Obj.Loc = geo.Point{
+				X: c.X + rng.NormFloat64()*0.3,
+				Y: c.Y + rng.NormFloat64()*0.3,
+			}
+		}
+		sys.Submit(op)
+	}
+	ticker.Stop()
+	if err := sys.Close(); err != nil {
+		return migrationResult{}, err
+	}
+	snap := sys.Snapshot()
+	res := migrationResult{latency: snap.Latency}
+	var bytes int64
+	var dur time.Duration
+	for _, m := range snap.Migrations {
+		res.migrations++
+		bytes += m.Bytes
+		dur += m.Duration
+	}
+	if res.migrations > 0 {
+		res.avgBytes = float64(bytes) / float64(res.migrations)
+		res.avgTime = dur / time.Duration(res.migrations)
+	}
+	return res, nil
+}
+
+// migrationCostTable renders the cost/time comparison for one µ.
+func migrationCostTable(title string, algs []migrate.Algorithm, sc Scale, mu int) Table {
+	t := Table{
+		Title:  title,
+		Header: []string{"algorithm", "migrations", "avg cost(KB)", "avg time"},
+	}
+	for _, alg := range algs {
+		r, err := migrationRun(alg, sc, mu)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{string(alg), "ERR: " + err.Error(), "", ""})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			string(alg),
+			fmt.Sprintf("%d", r.migrations),
+			fmt.Sprintf("%.1f", r.avgBytes/1024),
+			ms(r.avgTime),
+		})
+	}
+	return t
+}
+
+// latencyBucketTable renders the paper's <100ms / [100ms,1s] / >1s split.
+func latencyBucketTable(title string, algs []migrate.Algorithm, sc Scale, mu int) Table {
+	t := Table{
+		Title:  title,
+		Header: []string{"algorithm", "<100ms", "[100ms,1s]", ">1s"},
+	}
+	for _, alg := range algs {
+		r, err := migrationRun(alg, sc, mu)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{string(alg), "ERR: " + err.Error(), "", ""})
+			continue
+		}
+		b100 := r.latency.Below100
+		b1s := r.latency.Below1s
+		t.Rows = append(t.Rows, []string{
+			string(alg),
+			fmt.Sprintf("%.1f%%", b100*100),
+			fmt.Sprintf("%.1f%%", (b1s-b100)*100),
+			fmt.Sprintf("%.1f%%", (1-b1s)*100),
+		})
+	}
+	return t
+}
+
+// Fig12MigrationCost reproduces Figure 12(b) (µ ≈ 1M scaled, all four
+// algorithms).
+func Fig12MigrationCost(sc Scale) []Table {
+	sc = sc.orDefault()
+	return []Table{migrationCostTable(
+		"Figure 12(b): migration cost and time, mu~1M(scaled)",
+		migrate.Algorithms(), sc, sc.Mu1/5)}
+}
+
+// Fig12LatencyBuckets reproduces Figure 12(c).
+func Fig12LatencyBuckets(sc Scale) []Table {
+	sc = sc.orDefault()
+	return []Table{latencyBucketTable(
+		"Figure 12(c): tuple latency during migrations, mu~1M(scaled)",
+		migrate.Algorithms(), sc, sc.Mu1/5)}
+}
+
+// Fig14MigrationScaling reproduces Figure 14(a,b): GR/SI/RA migration
+// cost and time at µ ≈ 5M and 10M (scaled).
+func Fig14MigrationScaling(sc Scale) []Table {
+	sc = sc.orDefault()
+	algs := []migrate.Algorithm{migrate.GR, migrate.SI, migrate.RA}
+	return []Table{
+		migrationCostTable("Figure 14(a): migration cost/time, mu~5M(scaled)", algs, sc, sc.Mu1),
+		migrationCostTable("Figure 14(b): migration cost/time, mu~10M(scaled)", algs, sc, sc.Mu2()),
+	}
+}
+
+// Fig15LatencyScaling reproduces Figure 15(a,b).
+func Fig15LatencyScaling(sc Scale) []Table {
+	sc = sc.orDefault()
+	algs := []migrate.Algorithm{migrate.GR, migrate.SI, migrate.RA}
+	return []Table{
+		latencyBucketTable("Figure 15(a): latency buckets, mu~5M(scaled)", algs, sc, sc.Mu1),
+		latencyBucketTable("Figure 15(b): latency buckets, mu~10M(scaled)", algs, sc, sc.Mu2()),
+	}
+}
+
+// Fig16AdjustEffect reproduces Figure 16: system throughput with and
+// without dynamic load adjustment under the drifting Q3 workload (every
+// interval, 10% of the regions switch between Q1 and Q2 behaviour).
+func Fig16AdjustEffect(sc Scale) []Table {
+	sc = sc.orDefault()
+	t := Table{
+		Title:  "Figure 16: effect of dynamic load adjustments (STS-US-Q3 drift)",
+		Header: []string{"mode", "throughput(tuples/s)"},
+	}
+	for _, mode := range []struct {
+		name   string
+		adjust bool
+	}{
+		{"NoAdjust", false},
+		{"Adjust", true},
+	} {
+		tp, err := fig16Run(sc, mode.adjust)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{mode.name, "ERR: " + err.Error()})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{mode.name, f0(tp)})
+	}
+	return []Table{t}
+}
+
+func fig16Run(sc Scale, adjust bool) (float64, error) {
+	spec := workload.TweetsUS()
+	mu := sc.Mu1
+	var acfg core.AdjustConfig
+	if adjust {
+		acfg = core.AdjustConfig{
+			Enabled:      true,
+			Sigma:        1.25,
+			Interval:     50 * time.Millisecond,
+			Algorithm:    migrate.GR,
+			MinWindowOps: 128,
+			Seed:         sc.Seed,
+		}
+	}
+	sys, st, err := buildSystem(spec, workload.Q3, "hybrid", sc, sc.Workers, mu, acfg)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		return 0, err
+	}
+	warm := st.Prewarm(mu)
+	sys.SubmitAll(warm)
+	waitProcessed(sys, int64(len(warm)))
+
+	// Drift: flip 10% of the regions every mu/5 inserted queries, and
+	// concentrate objects in the currently-Q1 half of the space so the
+	// load actually shifts.
+	flipEvery := mu / 5
+	if flipEvery < 1 {
+		flipEvery = 1
+	}
+	inserts := 0
+	t0 := time.Now()
+	for i := 0; i < sc.Ops; i++ {
+		op := st.Next()
+		if op.Kind == model.OpInsert {
+			inserts++
+			if inserts%flipEvery == 0 {
+				st.QueryGen().FlipRegions(0.1)
+			}
+		}
+		sys.Submit(op)
+	}
+	waitProcessed(sys, int64(len(warm)+sc.Ops))
+	el := time.Since(t0)
+	if err := sys.Close(); err != nil {
+		return 0, err
+	}
+	return float64(sc.Ops) / el.Seconds(), nil
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"math/rand"
+	"time"
+
+	"ps2stream/internal/load"
+	"ps2stream/internal/migrate"
+	"ps2stream/internal/model"
+)
+
+// adjustLoop is the local load adjustment controller (§V-A): every
+// Interval it evaluates the Definition 1 window; when the balance
+// constraint is violated it migrates load from the most to the least
+// loaded worker — Phase I (split/merge that reduces total workload) then
+// Phase II (Minimum Cost Migration).
+func (s *System) adjustLoop(ctx context.Context) {
+	ticker := time.NewTicker(s.cfg.Adjust.Interval)
+	defer ticker.Stop()
+	rng := rand.New(rand.NewSource(s.cfg.Adjust.Seed ^ 0xADAD))
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		s.processPendingExtracts()
+		s.checkGlobalProgress()
+		s.globalMu.Lock()
+		dualActive := s.dual != nil
+		s.globalMu.Unlock()
+		if dualActive {
+			// Local adjustment pauses while two strategies co-exist —
+			// the paper's "temporary compromise on the system
+			// performance".
+			continue
+		}
+		var windowOps int64
+		for i := range s.winObjects {
+			windowOps += s.winObjects[i].Load() + s.winInserts[i].Load() + s.winDeletes[i].Load()
+		}
+		if windowOps < s.cfg.Adjust.MinWindowOps {
+			continue
+		}
+		loads := s.windowLoads()
+		if load.BalanceFactor(loads) > s.cfg.Adjust.Sigma {
+			lo, hi := load.ArgMinMax(loads)
+			s.runAdjustment(hi, lo, loads, rng)
+		}
+		s.resetWindow()
+		for _, w := range s.workers {
+			w.mu.Lock()
+			w.gi.ResetWindow()
+			w.mu.Unlock()
+		}
+	}
+}
+
+// runAdjustment executes one adjustment from worker wo to worker wl.
+func (s *System) runAdjustment(wo, wl int, loads []float64, rng *rand.Rand) {
+	var movedLoad float64
+
+	// Phase I: split/merge opportunities on the heaviest cells.
+	woShares, wlShares := s.collectShares(wo), s.collectSharesMap(wl)
+	actions := migrate.PlanPhaseI(woShares, wlShares, s.cellObjTotal, migrate.PhaseIConfig{
+		P:     s.cfg.Adjust.PhaseIP,
+		Costs: s.cfg.Costs,
+	})
+	for _, a := range actions {
+		start := time.Now()
+		var moved int
+		var nbytes int64
+		switch a.Kind {
+		case migrate.ActionSplitText:
+			moved, nbytes = s.migrateSplit(wo, wl, a.Cell, a.Keys)
+		case migrate.ActionMergeShares:
+			moved, nbytes = s.migrateShare(wo, wl, a.Cell)
+		}
+		movedLoad += a.LoadMoved
+		s.recordMigration(MigrationStat{
+			Algorithm:    s.cfg.Adjust.Algorithm,
+			Duration:     time.Since(start),
+			Bytes:        nbytes,
+			Cells:        1,
+			QueriesMoved: moved,
+			From:         wo,
+			To:           wl,
+			PhaseI:       true,
+		})
+	}
+
+	// Phase II: Minimum Cost Migration if the constraint still fails.
+	tau := migrate.Tau(loads) - movedLoad
+	if tau <= 0 {
+		return
+	}
+	cells := s.migrationCandidates(wo)
+	if len(cells) == 0 {
+		return
+	}
+	selStart := time.Now()
+	sel, _ := migrate.Select(s.cfg.Adjust.Algorithm, cells, tau, rng)
+	selTime := time.Since(selStart)
+	if len(sel.Cells) == 0 {
+		return
+	}
+	start := time.Now()
+	var totalMoved int
+	var totalBytes int64
+	for _, c := range sel.Cells {
+		moved, nbytes := s.migrateShare(wo, wl, c.ID)
+		totalMoved += moved
+		totalBytes += nbytes
+	}
+	s.recordMigration(MigrationStat{
+		Algorithm:     s.cfg.Adjust.Algorithm,
+		SelectionTime: selTime,
+		Duration:      time.Since(start),
+		Bytes:         totalBytes,
+		Cells:         len(sel.Cells),
+		QueriesMoved:  totalMoved,
+		From:          wo,
+		To:            wl,
+	})
+}
+
+func (s *System) recordMigration(m MigrationStat) {
+	s.migMu.Lock()
+	s.migrations = append(s.migrations, m)
+	s.migMu.Unlock()
+}
+
+func (s *System) cellObjTotal(cell int) int64 {
+	if s.cellObjects == nil || cell < 0 || cell >= len(s.cellObjects) {
+		return -1
+	}
+	return s.cellObjects[cell].Load()
+}
+
+// collectShares snapshots the Phase I view of a worker's cells.
+func (s *System) collectShares(w int) []migrate.CellShare {
+	ws := s.workers[w]
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	stats := ws.gi.CellStats()
+	shares := make([]migrate.CellShare, 0, len(stats))
+	for _, cs := range stats {
+		if cs.Entries == 0 || s.cellPending(cs.CellID) {
+			continue
+		}
+		share := migrate.CellShare{
+			Cell:      cs.CellID,
+			Queries:   cs.Entries,
+			ObjSeen:   cs.ObjSeen,
+			SizeBytes: cs.SizeBytes,
+			Text:      s.gridT.Load().IsTextCell(cs.CellID),
+		}
+		for _, ts := range ws.gi.CellTermStats(cs.CellID) {
+			share.Keys = append(share.Keys, migrate.KeyStat{
+				Key: ts.Term, Queries: ts.Queries, ObjHits: ts.ObjHits,
+			})
+		}
+		shares = append(shares, share)
+	}
+	return shares
+}
+
+func (s *System) collectSharesMap(w int) map[int]migrate.CellShare {
+	out := make(map[int]migrate.CellShare)
+	for _, cs := range s.collectShares(w) {
+		out[cs.Cell] = cs
+	}
+	return out
+}
+
+// migrationCandidates lists wo's cells as Minimum Cost Migration input
+// (Definition 4): load L_g = n_o·n_q, size S_g = serialised query bytes.
+func (s *System) migrationCandidates(wo int) []migrate.Cell {
+	ws := s.workers[wo]
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var cells []migrate.Cell
+	for _, cs := range ws.gi.CellStats() {
+		if cs.Entries == 0 || cs.Load <= 0 || s.cellPending(cs.CellID) {
+			continue
+		}
+		cells = append(cells, migrate.Cell{ID: cs.CellID, Load: cs.Load, Size: cs.SizeBytes})
+	}
+	return cells
+}
+
+// pendingExtract is a deferred migration cleanup: the cell's routing has
+// flipped to the target worker, but the source worker keeps its copies
+// until every tuple enqueued to it before the flip has been processed
+// (barrier on doneOps). This guarantees in-flight objects still find the
+// queries; overlap duplicates are removed by the mergers.
+type pendingExtract struct {
+	cell    int
+	wo, wl  int
+	keys    []string // nil: whole cell
+	copied  map[uint64]struct{}
+	barrier int64
+}
+
+// migrateShare moves worker wo's entire share of a cell to wl using the
+// copy → transfer → flip-routing → deferred-extract sequence, so no
+// matching object is ever routed to a worker without the queries.
+func (s *System) migrateShare(wo, wl, cell int) (queriesMoved int, nbytes int64) {
+	// 1. Copy.
+	s.workers[wo].mu.Lock()
+	qs := s.workers[wo].gi.QueriesInCell(cell)
+	s.workers[wo].mu.Unlock()
+	// 2. Transfer (serialise + simulated wire + deserialise). The
+	// receive-and-ingest happens under the destination worker's lock:
+	// on the paper's cluster the receiving worker is busy ingesting the
+	// migrated queries instead of processing tuples, which is exactly
+	// what delays tuples in Figures 12(c)/15.
+	_, nbytes = s.ingest(wl, cell, qs)
+	// 3. Flip routing.
+	if s.gridT.Load().IsTextCell(cell) {
+		s.gridT.Load().ReassignTextShare(cell, wo, wl)
+	} else {
+		s.gridT.Load().ReassignSpaceCell(cell, wl)
+	}
+	// 4. Schedule extraction once wo drains its pre-flip queue.
+	s.scheduleExtract(pendingExtract{cell: cell, wo: wo, wl: wl, copied: idSet(qs),
+		barrier: s.enqueued[wo].Load()})
+	return len(qs), nbytes
+}
+
+// migrateSplit converts a space cell to a text cell, moving only the given
+// registration keys (Phase I split).
+func (s *System) migrateSplit(wo, wl, cell int, keys []string) (queriesMoved int, nbytes int64) {
+	s.workers[wo].mu.Lock()
+	qs := s.workers[wo].gi.QueriesInCellKeys(cell, keys)
+	s.workers[wo].mu.Unlock()
+	_, nbytes = s.ingest(wl, cell, qs)
+	s.gridT.Load().SplitSpaceCellByText(cell, keys, wl)
+	s.scheduleExtract(pendingExtract{cell: cell, wo: wo, wl: wl, keys: keys,
+		copied: idSet(qs), barrier: s.enqueued[wo].Load()})
+	return len(qs), nbytes
+}
+
+func idSet(qs []*model.Query) map[uint64]struct{} {
+	out := make(map[uint64]struct{}, len(qs))
+	for _, q := range qs {
+		out[q.ID] = struct{}{}
+	}
+	return out
+}
+
+func (s *System) scheduleExtract(pe pendingExtract) {
+	s.migMu.Lock()
+	s.pendingEx = append(s.pendingEx, pe)
+	s.pendingCells[pe.cell] = true
+	s.migMu.Unlock()
+}
+
+// processPendingExtracts completes deferred extractions whose source
+// worker has drained past the flip barrier.
+func (s *System) processPendingExtracts() {
+	s.migMu.Lock()
+	var due []pendingExtract
+	var rest []pendingExtract
+	for _, pe := range s.pendingEx {
+		if s.doneOps[pe.wo].Load() >= pe.barrier {
+			due = append(due, pe)
+		} else {
+			rest = append(rest, pe)
+		}
+	}
+	s.pendingEx = rest
+	s.migMu.Unlock()
+	for _, pe := range due {
+		s.workers[pe.wo].mu.Lock()
+		var extracted []*model.Query
+		if pe.keys == nil {
+			extracted = s.workers[pe.wo].gi.ExtractCell(pe.cell)
+		} else {
+			extracted = s.workers[pe.wo].gi.ExtractCellKeys(pe.cell, pe.keys)
+		}
+		s.workers[pe.wo].mu.Unlock()
+		// Forward anything that reached wo between copy and flip.
+		var leftover []*model.Query
+		for _, q := range extracted {
+			if _, ok := pe.copied[q.ID]; !ok {
+				leftover = append(leftover, q)
+			}
+		}
+		if len(leftover) > 0 {
+			s.workers[pe.wl].mu.Lock()
+			for _, q := range leftover {
+				s.workers[pe.wl].gi.InsertAt(pe.cell, q)
+			}
+			s.workers[pe.wl].mu.Unlock()
+		}
+		s.migMu.Lock()
+		delete(s.pendingCells, pe.cell)
+		s.migMu.Unlock()
+	}
+}
+
+// cellPending reports whether the cell awaits a deferred extraction (and
+// must not be re-migrated yet).
+func (s *System) cellPending(cell int) bool {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return s.pendingCells[cell]
+}
+
+// ingest transfers queries to the destination worker: gob-serialise (the
+// measured migration cost S_g), then — under the destination's lock, as a
+// real worker would be occupied receiving and indexing — apply the
+// simulated wire/deserialisation delay and insert the copies.
+func (s *System) ingest(wl, cell int, qs []*model.Query) ([]*model.Query, int64) {
+	if len(qs) == 0 {
+		return nil, 0
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(qs); err != nil {
+		// Queries are plain exported structs; failure here is a
+		// programming error.
+		panic("core: gob encode: " + err.Error())
+	}
+	n := int64(buf.Len())
+	var copied []*model.Query
+	ws := s.workers[wl]
+	ws.mu.Lock()
+	if rate := s.cfg.Adjust.WireBytesPerSec; rate > 0 {
+		time.Sleep(time.Duration(float64(n) / rate * float64(time.Second)))
+	}
+	if err := gob.NewDecoder(&buf).Decode(&copied); err != nil {
+		ws.mu.Unlock()
+		panic("core: gob decode: " + err.Error())
+	}
+	for _, q := range copied {
+		ws.gi.InsertAt(cell, q)
+	}
+	ws.mu.Unlock()
+	return copied, n
+}

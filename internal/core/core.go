@@ -1,0 +1,476 @@
+// Package core wires PS2Stream together: dispatcher, worker and merger
+// bolts on the stream engine (§III-B, Figure 1), the workload-distribution
+// assignment on the dispatchers, GI2 indexes on the workers, duplicate
+// elimination on the mergers, and the dynamic load adjustment controller
+// of §V.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/gi2"
+	"ps2stream/internal/hybrid"
+	"ps2stream/internal/index/grid"
+	"ps2stream/internal/load"
+	"ps2stream/internal/metrics"
+	"ps2stream/internal/migrate"
+	"ps2stream/internal/model"
+	"ps2stream/internal/partition"
+	"ps2stream/internal/qindex"
+	"ps2stream/internal/stream"
+	"ps2stream/internal/textutil"
+)
+
+// IndexFactory builds one worker's query index. granularity is the GI2
+// grid resolution; other index kinds may ignore it.
+type IndexFactory func(bounds geo.Rect, granularity int, stats *textutil.Stats) qindex.Index
+
+// Config describes a PS2Stream deployment. The zero value is completed by
+// New with the paper's defaults (4 dispatchers, 8 workers, 2 mergers,
+// 2^6 × 2^6 grid granularity, hybrid partitioning).
+type Config struct {
+	// Dispatchers is the number of dispatcher tasks.
+	Dispatchers int
+	// Workers is the number of worker tasks (m in Definition 2).
+	Workers int
+	// Mergers is the number of merger tasks.
+	Mergers int
+	// Granularity is the per-axis grid resolution of GI2 and gridt.
+	Granularity int
+	// QueueCap bounds each task's input queue (backpressure).
+	QueueCap int
+	// Builder constructs the workload distribution strategy; nil uses
+	// hybrid partitioning.
+	Builder partition.Builder
+	// IndexFactory builds each worker's query index; nil uses GI2
+	// (§IV-D). Dynamic load adjustment and Phase I split/merge migrate
+	// gridt cells and therefore require GI2.
+	IndexFactory IndexFactory
+	// Costs are the Definition 1 constants.
+	Costs load.Costs
+	// Adjust configures dynamic load adjustment (§V); zero = disabled.
+	Adjust AdjustConfig
+	// OnMatch, when set, receives every deduplicated match from the
+	// mergers. It is called concurrently from merger tasks.
+	OnMatch func(model.Match)
+	// DedupWindow bounds each merger's duplicate-elimination memory in
+	// (query, object) pairs.
+	DedupWindow int
+	// PerTupleWork simulates the per-received-tuple cost a real cluster
+	// pays (deserialisation + network receive) at each worker. Zero for
+	// in-process use; the experiment harness sets a few microseconds so
+	// that tuple duplication carries the same economics as on the
+	// paper's Storm deployment (see DESIGN.md substitutions).
+	PerTupleWork time.Duration
+}
+
+// AdjustConfig tunes the local load adjustment controller.
+type AdjustConfig struct {
+	// Enabled switches the controller on. Requires the hybrid strategy
+	// (the gridt index is the unit of migration).
+	Enabled bool
+	// Sigma is the balance constraint σ; a window with
+	// L_max/L_min > Sigma triggers an adjustment.
+	Sigma float64
+	// Interval is the load-check period.
+	Interval time.Duration
+	// Algorithm selects Phase II cell selection (default GR).
+	Algorithm migrate.Algorithm
+	// PhaseIP is the p most-loaded-cells parameter of Phase I.
+	PhaseIP int
+	// WireBytesPerSec simulates network transfer during migration;
+	// 0 disables the simulated delay.
+	WireBytesPerSec float64
+	// MinWindowOps suppresses adjustment decisions on windows with too
+	// few routed operations to be statistically meaningful.
+	MinWindowOps int64
+	// Seed drives the RA baseline's randomness.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Mergers <= 0 {
+		c.Mergers = 2
+	}
+	if c.Granularity <= 0 {
+		c.Granularity = grid.DefaultGranularity
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.Builder == nil {
+		c.Builder = hybrid.Builder{}
+	}
+	if c.IndexFactory == nil {
+		c.IndexFactory = func(bounds geo.Rect, granularity int, stats *textutil.Stats) qindex.Index {
+			return gi2.New(bounds, granularity, stats)
+		}
+	}
+	if c.Costs == (load.Costs{}) {
+		c.Costs = load.DefaultCosts
+	}
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = 1 << 15
+	}
+	if c.Adjust.Enabled {
+		if c.Adjust.Sigma <= 1 {
+			c.Adjust.Sigma = 1.25
+		}
+		if c.Adjust.Interval <= 0 {
+			c.Adjust.Interval = 200 * time.Millisecond
+		}
+		if c.Adjust.Algorithm == "" {
+			c.Adjust.Algorithm = migrate.GR
+		}
+		if c.Adjust.PhaseIP <= 0 {
+			c.Adjust.PhaseIP = 8
+		}
+		if c.Adjust.MinWindowOps <= 0 {
+			c.Adjust.MinWindowOps = 256
+		}
+	}
+}
+
+// MigrationStat records one executed migration (Figures 12–15).
+type MigrationStat struct {
+	Algorithm     migrate.Algorithm
+	SelectionTime time.Duration
+	Duration      time.Duration
+	Bytes         int64
+	Cells         int
+	QueriesMoved  int
+	From, To      int
+	PhaseI        bool
+}
+
+// Snapshot is a point-in-time view of system metrics.
+type Snapshot struct {
+	Processed     int64
+	Discarded     int64
+	Matches       int64
+	Duplicates    int64
+	ThroughputTPS float64
+	Latency       metrics.Snapshot
+	MatchLatency  metrics.Snapshot
+	WorkerLoads   []float64
+	// DispatcherBytes estimates routing-structure memory (Figure 9).
+	DispatcherBytes int64
+	// WorkerBytes estimates per-worker GI2 memory (Figure 10).
+	WorkerBytes []int64
+	Migrations  []MigrationStat
+}
+
+// System is a running PS2Stream instance.
+type System struct {
+	cfg    Config
+	bounds geo.Rect
+	assign atomic.Value // partition.Assignment (swapped by global adjustment)
+	gridT  atomic.Pointer[hybrid.GridT]
+
+	workers []*workerState
+	input   chan opEnvelope
+	topo    *stream.Topology
+
+	runErr  chan error
+	started atomic.Bool
+	closed  atomic.Bool
+	cancel  context.CancelFunc
+
+	// Metrics.
+	processed  metrics.Counter
+	discarded  metrics.Counter
+	matches    metrics.Counter
+	duplicates metrics.Counter
+	latency    atomic.Pointer[metrics.Histogram]
+	matchLat   atomic.Pointer[metrics.Histogram]
+	tput       *metrics.Throughput
+
+	// Load accounting (dispatcher side, Definition 1 window).
+	winObjects []atomic.Int64
+	winInserts []atomic.Int64
+	winDeletes []atomic.Int64
+	// cellObjects counts object arrivals per grid cell (for Phase I
+	// merge planning).
+	cellObjects []atomic.Int64
+	// enqueued/doneOps count tuples handed to / completed by each worker
+	// (never reset); their difference is the worker's in-flight depth,
+	// used as the drain barrier for deferred migration extraction.
+	enqueued []atomic.Int64
+	doneOps  []atomic.Int64
+
+	migMu      sync.Mutex
+	migrations []MigrationStat
+	// pending deferred extractions (cells whose routing already flipped
+	// but whose source copies await queue drain).
+	pendingEx    []pendingExtract
+	pendingCells map[int]bool
+
+	// Global adjustment state.
+	globalMu sync.Mutex
+	dual     *dualAssignment
+}
+
+type opEnvelope struct {
+	op model.Op
+	t0 time.Time
+}
+
+type matchEnvelope struct {
+	m  model.Match
+	t0 time.Time
+}
+
+type workerState struct {
+	mu sync.Mutex
+	// ix is the worker's query index; the matching hot path and
+	// checkpointing use only this interface.
+	ix qindex.Index
+	// gi is ix when the index is GI2, else nil. The migration machinery
+	// (§V) moves gridt cells and needs GI2's cell-level operations.
+	gi *gi2.Index
+}
+
+// ErrAdjustNeedsHybrid is returned when dynamic adjustment is requested
+// with a non-hybrid distribution strategy.
+var ErrAdjustNeedsHybrid = errors.New("core: dynamic load adjustment requires the hybrid (gridt) strategy")
+
+// ErrAdjustNeedsGI2 is returned when dynamic adjustment is requested with
+// a non-GI2 worker index (queries migrate in units of gridt cells, which
+// only GI2 exposes).
+var ErrAdjustNeedsGI2 = errors.New("core: dynamic load adjustment requires the GI2 worker index")
+
+// New builds a system: the Builder analyses the sample and the worker
+// indexes are created over the sample's bounds with the sample's term
+// statistics (shared, read-only, by dispatchers and workers).
+func New(cfg Config, sample *partition.Sample) (*System, error) {
+	cfg.fillDefaults()
+	if sample == nil {
+		return nil, errors.New("core: nil workload sample")
+	}
+	a, err := cfg.Builder.Build(sample, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: building %s assignment: %w", cfg.Builder.Name(), err)
+	}
+	s := &System{
+		cfg:    cfg,
+		bounds: sample.Bounds,
+		tput:   metrics.NewThroughput(),
+		input:  make(chan opEnvelope, cfg.QueueCap),
+		runErr: make(chan error, 1),
+	}
+	s.latency.Store(metrics.NewHistogram(nil))
+	s.matchLat.Store(metrics.NewHistogram(nil))
+	s.assign.Store(assignBox{a})
+	if gt, ok := a.(*hybrid.GridT); ok {
+		s.gridT.Store(gt)
+	}
+	if cfg.Adjust.Enabled && s.gridT.Load() == nil {
+		return nil, ErrAdjustNeedsHybrid
+	}
+	s.workers = make([]*workerState, cfg.Workers)
+	for i := range s.workers {
+		ix := cfg.IndexFactory(sample.Bounds, cfg.Granularity, sample.Stats)
+		if ix == nil {
+			return nil, errors.New("core: IndexFactory returned nil")
+		}
+		ws := &workerState{ix: ix}
+		ws.gi, _ = ix.(*gi2.Index)
+		s.workers[i] = ws
+	}
+	if cfg.Adjust.Enabled && s.workers[0].gi == nil {
+		return nil, ErrAdjustNeedsGI2
+	}
+	s.winObjects = make([]atomic.Int64, cfg.Workers)
+	s.winInserts = make([]atomic.Int64, cfg.Workers)
+	s.winDeletes = make([]atomic.Int64, cfg.Workers)
+	s.enqueued = make([]atomic.Int64, cfg.Workers)
+	s.doneOps = make([]atomic.Int64, cfg.Workers)
+	s.pendingCells = make(map[int]bool)
+	if gt := s.gridT.Load(); gt != nil {
+		s.cellObjects = make([]atomic.Int64, gt.Grid().NumCells())
+	}
+	return s, nil
+}
+
+// assignBox gives atomic.Value a single concrete type to hold, since the
+// stored Assignment implementations vary.
+type assignBox struct{ a partition.Assignment }
+
+// Assignment returns the current distribution strategy.
+func (s *System) Assignment() partition.Assignment {
+	return s.assign.Load().(assignBox).a
+}
+
+// Start launches the topology. The system accepts operations via Submit
+// until Close is called; Wait (or Close) reports the run outcome.
+func (s *System) Start(ctx context.Context) error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("core: already started")
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	s.topo = s.buildTopology(runCtx)
+	adjustCtx, adjustCancel := context.WithCancel(runCtx)
+	if s.cfg.Adjust.Enabled {
+		go s.adjustLoop(adjustCtx)
+	}
+	go func() {
+		err := s.topo.Run(runCtx)
+		adjustCancel()
+		s.runErr <- err
+	}()
+	return nil
+}
+
+// Submit enqueues one operation, blocking under backpressure. It must not
+// be called after Close.
+func (s *System) Submit(op model.Op) {
+	s.input <- opEnvelope{op: op, t0: time.Now()}
+}
+
+// SubmitAll enqueues a batch.
+func (s *System) SubmitAll(ops []model.Op) {
+	for _, op := range ops {
+		s.Submit(op)
+	}
+}
+
+// Close stops input, waits for all in-flight tuples to drain, and returns
+// the topology's run error.
+func (s *System) Close() error {
+	if !s.started.Load() {
+		return errors.New("core: not started")
+	}
+	if !s.closed.CompareAndSwap(false, true) {
+		return errors.New("core: already closed")
+	}
+	close(s.input)
+	err := <-s.runErr
+	s.cancel()
+	return err
+}
+
+// Abort cancels the run without draining.
+func (s *System) Abort() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.input)
+		<-s.runErr
+	}
+}
+
+// Snapshot captures current metrics.
+func (s *System) Snapshot() Snapshot {
+	snap := Snapshot{
+		Processed:       s.processed.Value(),
+		Discarded:       s.discarded.Value(),
+		Matches:         s.matches.Value(),
+		Duplicates:      s.duplicates.Value(),
+		ThroughputTPS:   s.tput.Rate(),
+		Latency:         s.latency.Load().Snapshot(),
+		MatchLatency:    s.matchLat.Load().Snapshot(),
+		DispatcherBytes: s.Assignment().Footprint(),
+	}
+	snap.WorkerLoads = s.windowLoads()
+	snap.WorkerBytes = make([]int64, len(s.workers))
+	for i, w := range s.workers {
+		w.mu.Lock()
+		snap.WorkerBytes[i] = w.ix.Footprint()
+		w.mu.Unlock()
+	}
+	s.migMu.Lock()
+	snap.Migrations = append([]MigrationStat(nil), s.migrations...)
+	s.migMu.Unlock()
+	return snap
+}
+
+// windowLoads evaluates Definition 1 over the current dispatcher window.
+func (s *System) windowLoads() []float64 {
+	loads := make([]float64, s.cfg.Workers)
+	for i := range loads {
+		loads[i] = s.cfg.Costs.Worker(
+			float64(s.winObjects[i].Load()),
+			float64(s.winInserts[i].Load()),
+			float64(s.winDeletes[i].Load()),
+		)
+	}
+	return loads
+}
+
+func (s *System) resetWindow() {
+	for i := range s.winObjects {
+		s.winObjects[i].Store(0)
+		s.winInserts[i].Store(0)
+		s.winDeletes[i].Store(0)
+	}
+}
+
+// Bounds returns the monitored region the system was built over.
+func (s *System) Bounds() geo.Rect { return s.bounds }
+
+// LiveQueries returns a point-in-time copy of the live query population,
+// deduplicated across workers and sorted by id. Workers are locked one at
+// a time, so with a live stream the set is a near-cut, not an exact one;
+// quiesce input first for an exact snapshot.
+func (s *System) LiveQueries() []*model.Query {
+	byID := make(map[uint64]*model.Query)
+	for _, w := range s.workers {
+		w.mu.Lock()
+		w.ix.Each(func(q *model.Query) { byID[q.ID] = q })
+		w.mu.Unlock()
+	}
+	out := make([]*model.Query, 0, len(byID))
+	for _, q := range byID {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WorkerQueryCounts reports live distinct queries per worker (tests,
+// examples).
+func (s *System) WorkerQueryCounts() []int {
+	out := make([]int, len(s.workers))
+	for i, w := range s.workers {
+		w.mu.Lock()
+		out[i] = w.ix.QueryCount()
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// ResetLatencyStats discards latency observations collected so far (e.g.
+// the prewarm burst) so subsequent measurements reflect steady state.
+func (s *System) ResetLatencyStats() {
+	s.latency.Store(metrics.NewHistogram(nil))
+	s.matchLat.Store(metrics.NewHistogram(nil))
+}
+
+// Processed returns the number of input tuples routed so far (cheap; no
+// worker locks, unlike Snapshot).
+func (s *System) Processed() int64 { return s.processed.Value() }
+
+// MatchCount returns delivered (deduplicated) matches so far.
+func (s *System) MatchCount() int64 { return s.matches.Value() }
+
+// Migrations returns executed migrations so far.
+func (s *System) Migrations() []MigrationStat {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return append([]MigrationStat(nil), s.migrations...)
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ps2stream/internal/hybrid"
+	"ps2stream/internal/model"
+	"ps2stream/internal/partition"
+)
+
+// dualAssignment routes with two strategies during a global repartition
+// (§V-B): queries registered before the switch are tracked in oldIDs and
+// keep routing (and deleting) through the old strategy; new queries use
+// the new strategy; objects take the union so no match is lost.
+type dualAssignment struct {
+	old partition.Assignment
+	new partition.Assignment
+
+	mu      sync.Mutex
+	oldIDs  map[uint64]struct{}
+	initial int
+}
+
+var _ partition.Assignment = (*dualAssignment)(nil)
+
+// RouteObject implements partition.Assignment (union of both routes).
+func (d *dualAssignment) RouteObject(o *model.Object) []int {
+	a := d.old.RouteObject(o)
+	b := d.new.RouteObject(o)
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[int]struct{}, len(a)+len(b))
+	out := make([]int, 0, len(a)+len(b))
+	for _, w := range a {
+		if _, dup := seen[w]; !dup {
+			seen[w] = struct{}{}
+			out = append(out, w)
+		}
+	}
+	for _, w := range b {
+		if _, dup := seen[w]; !dup {
+			seen[w] = struct{}{}
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// RouteQuery implements partition.Assignment: insertions go to the new
+// strategy; deletions go wherever the insertion went.
+func (d *dualAssignment) RouteQuery(q *model.Query, insert bool) []int {
+	if insert {
+		return d.new.RouteQuery(q, true)
+	}
+	d.mu.Lock()
+	_, isOld := d.oldIDs[q.ID]
+	if isOld {
+		delete(d.oldIDs, q.ID)
+	}
+	d.mu.Unlock()
+	if isOld {
+		return d.old.RouteQuery(q, false)
+	}
+	return d.new.RouteQuery(q, false)
+}
+
+// NumWorkers implements partition.Assignment.
+func (d *dualAssignment) NumWorkers() int { return d.new.NumWorkers() }
+
+// Name implements partition.Assignment.
+func (d *dualAssignment) Name() string {
+	return fmt.Sprintf("dual(%s->%s)", d.old.Name(), d.new.Name())
+}
+
+// Footprint implements partition.Assignment: both structures are resident
+// during the transition — the paper's "temporary compromise on the system
+// performance by maintaining two workload distribution strategies".
+func (d *dualAssignment) Footprint() int64 {
+	d.mu.Lock()
+	n := int64(len(d.oldIDs))
+	d.mu.Unlock()
+	return d.old.Footprint() + d.new.Footprint() + n*16
+}
+
+// remaining returns the live old-strategy query count and the initial
+// count at switch time.
+func (d *dualAssignment) remaining() (int, int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.oldIDs), d.initial
+}
+
+// GlobalRepartition begins a global load adjustment: a fresh assignment is
+// built from the sample and installed alongside the current one. The old
+// strategy keeps serving pre-existing queries until their population
+// decays below finishFraction of its initial size, at which point the
+// controller migrates the remainder and retires the old strategy
+// (checkGlobalProgress). If the adjustment controller is disabled, call
+// FinishGlobalRepartition explicitly.
+func (s *System) GlobalRepartition(sample *partition.Sample, builder partition.Builder) error {
+	if sample == nil {
+		return errors.New("core: nil repartition sample")
+	}
+	if builder == nil {
+		builder = s.cfg.Builder
+	}
+	newAssign, err := builder.Build(sample, s.cfg.Workers)
+	if err != nil {
+		return fmt.Errorf("core: global repartition build: %w", err)
+	}
+	s.globalMu.Lock()
+	defer s.globalMu.Unlock()
+	if s.dual != nil {
+		return errors.New("core: global repartition already in progress")
+	}
+	// Snapshot the live query population: these stay on the old routes.
+	oldIDs := make(map[uint64]struct{})
+	for _, w := range s.workers {
+		w.mu.Lock()
+		w.ix.Each(func(q *model.Query) { oldIDs[q.ID] = struct{}{} })
+		w.mu.Unlock()
+	}
+	d := &dualAssignment{
+		old:     s.Assignment(),
+		new:     newAssign,
+		oldIDs:  oldIDs,
+		initial: len(oldIDs),
+	}
+	s.dual = d
+	s.assign.Store(assignBox{d})
+	return nil
+}
+
+// globalFinishFraction is the old-query decay threshold below which the
+// transition completes ("When the amount of old STS queries becomes small,
+// we conduct the migration and stop the old workload distribution
+// strategy").
+const globalFinishFraction = 0.1
+
+// checkGlobalProgress finishes an in-flight global repartition once the
+// old population has decayed. Called from the adjustment loop.
+func (s *System) checkGlobalProgress() {
+	s.globalMu.Lock()
+	d := s.dual
+	s.globalMu.Unlock()
+	if d == nil {
+		return
+	}
+	rem, initial := d.remaining()
+	if initial == 0 || float64(rem) <= globalFinishFraction*float64(initial) {
+		s.FinishGlobalRepartition()
+	}
+}
+
+// FinishGlobalRepartition migrates the remaining old-strategy queries to
+// their new-strategy workers and retires the old assignment. It returns
+// the number of queries relocated.
+func (s *System) FinishGlobalRepartition() int {
+	s.globalMu.Lock()
+	d := s.dual
+	if d == nil {
+		s.globalMu.Unlock()
+		return 0
+	}
+	s.dual = nil
+	s.globalMu.Unlock()
+
+	d.mu.Lock()
+	ids := make([]uint64, 0, len(d.oldIDs))
+	for id := range d.oldIDs {
+		ids = append(ids, id)
+	}
+	d.oldIDs = map[uint64]struct{}{}
+	d.mu.Unlock()
+
+	moved := 0
+	for _, id := range ids {
+		// Find a live definition on any worker.
+		var def *model.Query
+		for _, w := range s.workers {
+			w.mu.Lock()
+			def = w.ix.Get(id)
+			w.mu.Unlock()
+			if def != nil {
+				break
+			}
+		}
+		if def == nil {
+			continue // deleted concurrently
+		}
+		want := make(map[int]struct{})
+		for _, w := range d.new.RouteQuery(def, true) {
+			want[w] = struct{}{}
+		}
+		for wi, w := range s.workers {
+			_, wanted := want[wi]
+			w.mu.Lock()
+			holds := w.ix.Get(id) != nil
+			switch {
+			case wanted && !holds:
+				w.ix.Insert(def)
+			case !wanted && holds:
+				w.ix.Delete(id)
+			}
+			w.mu.Unlock()
+		}
+		moved++
+	}
+	// Install the new strategy as the only route; local adjustment
+	// resumes against the new gridt when the new strategy is hybrid.
+	s.assign.Store(assignBox{d.new})
+	if gt, ok := d.new.(*hybrid.GridT); ok {
+		s.gridT.Store(gt)
+	}
+	return moved
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/hybrid"
+	"ps2stream/internal/qindex"
+	"ps2stream/internal/textutil"
+	"ps2stream/internal/workload"
+)
+
+// indexFactories enumerates every worker-index option (nil = GI2 default).
+func indexFactories() map[string]IndexFactory {
+	return map[string]IndexFactory{
+		"gi2": nil,
+		"rtree": func(_ geo.Rect, _ int, _ *textutil.Stats) qindex.Index {
+			return qindex.NewRTree(0)
+		},
+		"iqtree": func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewIQTree(bounds, stats, 0, 8)
+		},
+		"aptree": func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewAPTree(bounds, stats, 16, 0, 0)
+		},
+	}
+}
+
+// Every worker index must deliver exactly the oracle match set through
+// the full topology — the same contract TestEndToEndExactAllStrategies
+// enforces across distribution strategies.
+func TestEndToEndExactAllWorkerIndexes(t *testing.T) {
+	sample, ops := smallWorkload(t, workload.Q1, 43, 4000)
+	want := oracleMatches(ops)
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle produced no matches")
+	}
+	for name, f := range indexFactories() {
+		t.Run(name, func(t *testing.T) {
+			ms := newMatchSet()
+			sys, err := New(Config{
+				Dispatchers:  1,
+				Workers:      4,
+				Mergers:      2,
+				Builder:      hybrid.Builder{},
+				IndexFactory: f,
+				OnMatch:      ms.add,
+			}, sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Start(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			sys.SubmitAll(ops)
+			if err := sys.Close(); err != nil {
+				t.Fatal(err)
+			}
+			ms.mu.Lock()
+			defer ms.mu.Unlock()
+			missing, extra := 0, 0
+			for k := range want {
+				if !ms.seen[k] {
+					missing++
+				}
+			}
+			for k := range ms.seen {
+				if !want[k] {
+					extra++
+				}
+			}
+			if missing > 0 || extra > 0 {
+				t.Errorf("%s: %d missing, %d extra of %d oracle matches",
+					name, missing, extra, len(want))
+			}
+		})
+	}
+}
+
+// Dynamic adjustment migrates gridt cells, which only GI2 exposes.
+func TestAdjustRequiresGI2(t *testing.T) {
+	sample, _ := smallWorkload(t, workload.Q1, 44, 0)
+	_, err := New(Config{
+		Builder: hybrid.Builder{},
+		IndexFactory: func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewIQTree(bounds, stats, 0, 0)
+		},
+		Adjust: AdjustConfig{Enabled: true},
+	}, sample)
+	if err != ErrAdjustNeedsGI2 {
+		t.Fatalf("err = %v, want ErrAdjustNeedsGI2", err)
+	}
+}
+
+// A nil factory result is a configuration error, not a panic.
+func TestNilIndexFactoryResult(t *testing.T) {
+	sample, _ := smallWorkload(t, workload.Q1, 44, 0)
+	_, err := New(Config{
+		Builder:      hybrid.Builder{},
+		IndexFactory: func(geo.Rect, int, *textutil.Stats) qindex.Index { return nil },
+	}, sample)
+	if err == nil {
+		t.Fatal("nil factory result accepted")
+	}
+}
+
+// Global repartition must work with any worker index (it relocates whole
+// queries through the Index interface, not gridt cells).
+func TestGlobalRepartitionNonGI2(t *testing.T) {
+	sample, ops := smallWorkload(t, workload.Q1, 45, 1500)
+	ms := newMatchSet()
+	sys, err := New(Config{
+		Dispatchers: 1,
+		Workers:     4,
+		Mergers:     2,
+		Builder:     hybrid.Builder{},
+		IndexFactory: func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewAPTree(bounds, stats, 0, 0, 0)
+		},
+		OnMatch: ms.add,
+	}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	half := len(ops) / 2
+	sys.SubmitAll(ops[:half])
+	for sys.Processed() < int64(half) {
+	}
+	if err := sys.GlobalRepartition(sample, nil); err != nil {
+		t.Fatal(err)
+	}
+	sys.SubmitAll(ops[half:])
+	for sys.Processed() < int64(len(ops)) {
+	}
+	if moved := sys.FinishGlobalRepartition(); moved < 0 {
+		t.Fatalf("FinishGlobalRepartition = %d", moved)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := oracleMatches(ops)
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	missing := 0
+	for k := range want {
+		if !ms.seen[k] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d of %d oracle matches missing across repartition", missing, len(want))
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"ps2stream/internal/model"
+	"ps2stream/internal/stream"
+)
+
+// Stream names of the PS2Stream topology (Figure 1).
+const (
+	streamInput   = "ops"     // spout -> dispatchers
+	streamToWork  = "towork"  // dispatchers -> workers (direct)
+	streamMatches = "matches" // workers -> mergers (fields)
+)
+
+// buildTopology assembles spout → dispatcher → worker → merger.
+func (s *System) buildTopology(ctx context.Context) *stream.Topology {
+	t := stream.NewTopology(s.cfg.QueueCap)
+
+	// Input spout: drains the Submit channel.
+	t.AddSpout("input", func(task int) stream.Spout {
+		return stream.SpoutFunc(func(c stream.Collector) bool {
+			select {
+			case env, ok := <-s.input:
+				if !ok {
+					return false
+				}
+				c.Emit(streamInput, stream.Tuple{Value: env})
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}, 1, streamInput)
+
+	// Dispatchers: route by the current assignment. The input stream is
+	// fields-grouped on the subscription id so an insert and a later
+	// delete of the same query always pass through the same dispatcher in
+	// order — under shuffle grouping a delete can overtake its insert on
+	// another dispatcher task, leaking the query (and its H2 counts)
+	// forever. Objects carry no ordering constraint and spread by id.
+	t.AddBolt("dispatcher", func(task int) stream.Bolt {
+		return stream.BoltFunc(func(tu stream.Tuple, c stream.Collector) {
+			s.dispatch(tu.Value.(opEnvelope), c)
+		})
+	}, s.cfg.Dispatchers, streamToWork).Fields(streamInput, func(tu stream.Tuple) uint64 {
+		env := tu.Value.(opEnvelope)
+		if env.op.Kind == model.OpObject {
+			return env.op.Obj.ID * 0x9E3779B97F4A7C15
+		}
+		return env.op.Query.ID * 0x9E3779B97F4A7C15
+	})
+
+	// Workers: maintain GI2, match objects.
+	t.AddBolt("worker", func(task int) stream.Bolt {
+		return stream.BoltFunc(func(tu stream.Tuple, c stream.Collector) {
+			s.work(task, tu.Value.(opEnvelope), c)
+		})
+	}, s.cfg.Workers, streamMatches).Direct(streamToWork)
+
+	// Mergers: deduplicate and deliver.
+	t.AddBolt("merger", func(task int) stream.Bolt {
+		return newMerger(s)
+	}, s.cfg.Mergers).Fields(streamMatches, func(tu stream.Tuple) uint64 {
+		me := tu.Value.(matchEnvelope)
+		return me.m.QueryID*0x9E3779B97F4A7C15 ^ me.m.ObjectID
+	})
+	return t
+}
+
+// dispatch routes one operation (dispatcher bolt body).
+func (s *System) dispatch(env opEnvelope, c stream.Collector) {
+	a := s.Assignment()
+	s.processed.Inc()
+	s.tput.Inc()
+	var targets []int
+	switch env.op.Kind {
+	case model.OpObject:
+		targets = a.RouteObject(env.op.Obj)
+		if gt := s.gridT.Load(); gt != nil && s.cellObjects != nil {
+			if id := gt.Grid().CellOf(env.op.Obj.Loc); id < len(s.cellObjects) {
+				s.cellObjects[id].Add(1)
+			}
+		}
+		if len(targets) == 0 {
+			// "The object can be discarded if it contains no terms in
+			// H2" — still count its latency as handled.
+			s.discarded.Inc()
+			s.latency.Load().Observe(time.Since(env.t0))
+			return
+		}
+		for _, w := range targets {
+			s.winObjects[w].Add(1)
+		}
+	case model.OpInsert:
+		targets = a.RouteQuery(env.op.Query, true)
+		for _, w := range targets {
+			s.winInserts[w].Add(1)
+		}
+	case model.OpDelete:
+		targets = s.routeDelete(env.op.Query)
+		for _, w := range targets {
+			s.winDeletes[w].Add(1)
+		}
+	}
+	for _, w := range targets {
+		s.enqueued[w].Add(1)
+		c.EmitDirect(streamToWork, w, stream.Tuple{Value: env})
+	}
+}
+
+// routeDelete routes a deletion through the dual assignment when a global
+// repartition is in flight, otherwise through the current assignment.
+func (s *System) routeDelete(q *model.Query) []int {
+	return s.Assignment().RouteQuery(q, false)
+}
+
+// work processes one operation on worker `task` (worker bolt body).
+func (s *System) work(task int, env opEnvelope, c stream.Collector) {
+	if s.cfg.PerTupleWork > 0 {
+		spin(s.cfg.PerTupleWork)
+	}
+	ws := s.workers[task]
+	ws.mu.Lock()
+	switch env.op.Kind {
+	case model.OpInsert:
+		ws.ix.Insert(env.op.Query)
+	case model.OpDelete:
+		ws.ix.Delete(env.op.Query.ID)
+	case model.OpObject:
+		ws.ix.Match(env.op.Obj, func(q *model.Query) {
+			me := matchEnvelope{
+				m: model.Match{
+					QueryID:    q.ID,
+					Subscriber: q.Subscriber,
+					ObjectID:   env.op.Obj.ID,
+					Worker:     task,
+				},
+				t0: env.t0,
+			}
+			c.Emit(streamMatches, stream.Tuple{Value: me})
+		})
+	}
+	ws.mu.Unlock()
+	s.doneOps[task].Add(1)
+	s.latency.Load().Observe(time.Since(env.t0))
+}
+
+// spin busy-waits for roughly d; sleeping is too coarse at microsecond
+// scale and would yield the worker's core.
+func spin(d time.Duration) {
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}
+
+// merger deduplicates matches with a bounded FIFO window and delivers
+// them. One instance per merger task; no locking needed for its own state.
+type merger struct {
+	s     *System
+	seen  map[[2]uint64]struct{}
+	order [][2]uint64
+	next  int
+}
+
+func newMerger(s *System) *merger {
+	return &merger{
+		s:     s,
+		seen:  make(map[[2]uint64]struct{}, s.cfg.DedupWindow),
+		order: make([][2]uint64, 0, s.cfg.DedupWindow),
+	}
+}
+
+// Process implements stream.Bolt.
+func (m *merger) Process(tu stream.Tuple, _ stream.Collector) {
+	me := tu.Value.(matchEnvelope)
+	key := [2]uint64{me.m.QueryID, me.m.ObjectID}
+	if _, dup := m.seen[key]; dup {
+		m.s.duplicates.Inc()
+		return
+	}
+	if len(m.order) < cap(m.order) {
+		m.order = append(m.order, key)
+	} else {
+		delete(m.seen, m.order[m.next])
+		m.order[m.next] = key
+		m.next = (m.next + 1) % len(m.order)
+	}
+	m.seen[key] = struct{}{}
+	m.s.matches.Inc()
+	m.s.matchLat.Load().Observe(time.Since(me.t0))
+	if m.s.cfg.OnMatch != nil {
+		m.s.cfg.OnMatch(me.m)
+	}
+}

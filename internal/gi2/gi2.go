@@ -1,0 +1,508 @@
+// Package gi2 implements GI2 (Grid-Inverted-Index) [29], the in-memory
+// index maintained by every PS2Stream worker to organise STS queries
+// (§IV-D). The space is divided into grid cells; each cell holds an
+// inverted index over query keywords. A query is appended to the inverted
+// list of its least-frequent keyword (per conjunction for OR queries), and
+// deletions are lazy: deleted ids go to a tombstone set and entries are
+// physically removed when matching traverses their list.
+//
+// An Index is owned by a single worker goroutine and is not safe for
+// concurrent use.
+package gi2
+
+import (
+	"sort"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/index/grid"
+	"ps2stream/internal/model"
+	"ps2stream/internal/textutil"
+)
+
+// Index is the per-worker GI2 structure.
+type Index struct {
+	g     *grid.Grid
+	stats *textutil.Stats
+	cells []cell
+	// tombstones holds ids of queries deleted but not yet purged from
+	// inverted lists (the paper's lazy-deletion hash table).
+	tombstones map[uint64]struct{}
+	// queries maps live query ids to their definition; refs counts how
+	// many (cell, term) entries reference each id so the definition can
+	// be dropped once fully purged.
+	queries map[uint64]*model.Query
+	refs    map[uint64]int
+	entries int
+	scratch []uint64 // reusable match-dedup buffer
+}
+
+type cell struct {
+	inverted map[string][]*model.Query
+	entries  int
+	objSeen  int64 // objects matched against this cell in the current window
+	// termHits counts, per registration key, how many objects hit its
+	// inverted list this window — the per-key statistics Phase I of the
+	// local load adjustment plans splits with.
+	termHits map[string]int64
+}
+
+// New returns an empty index over bounds with granularity×granularity
+// cells, using stats to select least-frequent keywords. A nil stats uses
+// empty statistics (all terms equally infrequent, ties broken
+// lexicographically).
+func New(bounds geo.Rect, granularity int, stats *textutil.Stats) *Index {
+	if stats == nil {
+		stats = textutil.NewStats()
+	}
+	g := grid.New(bounds, granularity, granularity)
+	return &Index{
+		g:          g,
+		stats:      stats,
+		cells:      make([]cell, g.NumCells()),
+		tombstones: make(map[uint64]struct{}),
+		queries:    make(map[uint64]*model.Query),
+		refs:       make(map[uint64]int),
+	}
+}
+
+// Grid exposes the underlying grid (shared geometry with the dispatcher).
+func (ix *Index) Grid() *grid.Grid { return ix.g }
+
+// RegistrationKeys returns the distinct least-frequent keywords, one per
+// conjunction of q, under which the query is indexed. It delegates to
+// textutil.Stats.RegistrationKeys so dispatchers and workers share one
+// rule.
+func RegistrationKeys(q *model.Query, stats *textutil.Stats) []string {
+	return stats.RegistrationKeys(q.Expr.Conj)
+}
+
+// Insert registers q in every cell its region overlaps. Reinserting an id
+// that is tombstoned clears the tombstone first (the paper's streams never
+// reuse ids; this keeps the structure safe if callers do).
+func (ix *Index) Insert(q *model.Query) {
+	delete(ix.tombstones, q.ID)
+	keys := RegistrationKeys(q, ix.stats)
+	if len(keys) == 0 {
+		return
+	}
+	ix.g.VisitOverlapping(q.Region, func(id int) {
+		ix.insertAt(id, q, keys)
+	})
+}
+
+// InsertAt registers q in a single cell only. It is used when migrating a
+// cell between workers: the receiving worker becomes responsible for
+// exactly that cell's share of the query. Duplicate (cell, key, id)
+// entries are skipped.
+func (ix *Index) InsertAt(cellID int, q *model.Query) {
+	delete(ix.tombstones, q.ID)
+	keys := RegistrationKeys(q, ix.stats)
+	if len(keys) == 0 {
+		return
+	}
+	ix.insertAt(cellID, q, keys)
+}
+
+func (ix *Index) insertAt(cellID int, q *model.Query, keys []string) {
+	c := &ix.cells[cellID]
+	if c.inverted == nil {
+		c.inverted = make(map[string][]*model.Query)
+	}
+	for _, k := range keys {
+		list := c.inverted[k]
+		dup := false
+		for _, e := range list {
+			if e.ID == q.ID {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		c.inverted[k] = append(list, q)
+		c.entries++
+		ix.entries++
+		ix.refs[q.ID]++
+		ix.queries[q.ID] = q
+	}
+}
+
+// Delete lazily removes the query: the id is tombstoned and physically
+// purged when matching next traverses a list containing it (§IV-D).
+func (ix *Index) Delete(id uint64) {
+	if _, live := ix.refs[id]; !live {
+		return
+	}
+	ix.tombstones[id] = struct{}{}
+}
+
+// Match finds all live queries matching o and invokes fn once per query.
+// Tombstoned entries encountered on the traversed lists are removed, which
+// implements lazy deletion.
+func (ix *Index) Match(o *model.Object, fn func(q *model.Query)) {
+	cid := ix.g.CellOf(o.Loc)
+	c := &ix.cells[cid]
+	c.objSeen++
+	if c.inverted == nil {
+		return
+	}
+	ix.scratch = ix.scratch[:0]
+	for _, term := range o.Terms {
+		list, ok := c.inverted[term]
+		if !ok {
+			continue
+		}
+		if c.termHits == nil {
+			c.termHits = make(map[string]int64)
+		}
+		c.termHits[term]++
+		w := 0
+		for _, q := range list {
+			if _, dead := ix.tombstones[q.ID]; dead {
+				ix.dropRef(q.ID)
+				c.entries--
+				ix.entries--
+				continue
+			}
+			list[w] = q
+			w++
+			if q.Region.Contains(o.Loc) && q.Expr.MatchesSlice(o.Terms) && !ix.seen(q.ID) {
+				ix.scratch = append(ix.scratch, q.ID)
+				fn(q)
+			}
+		}
+		if w == 0 {
+			delete(c.inverted, term)
+		} else {
+			c.inverted[term] = list[:w]
+		}
+	}
+}
+
+func (ix *Index) seen(id uint64) bool {
+	for _, s := range ix.scratch {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *Index) dropRef(id uint64) {
+	ix.refs[id]--
+	if ix.refs[id] <= 0 {
+		delete(ix.refs, id)
+		delete(ix.queries, id)
+		delete(ix.tombstones, id)
+	}
+}
+
+// MatchIDs returns the matching query ids (convenience for tests).
+func (ix *Index) MatchIDs(o *model.Object) []uint64 {
+	var out []uint64
+	ix.Match(o, func(q *model.Query) { out = append(out, q.ID) })
+	return out
+}
+
+// Purge eagerly removes all tombstoned entries from every list. It is the
+// eager-deletion ablation referenced in DESIGN.md and is also used before
+// migration so extracted cells contain only live queries.
+func (ix *Index) Purge() {
+	if len(ix.tombstones) == 0 {
+		return
+	}
+	for i := range ix.cells {
+		ix.purgeCell(i)
+	}
+}
+
+func (ix *Index) purgeCell(cellID int) {
+	c := &ix.cells[cellID]
+	for term, list := range c.inverted {
+		w := 0
+		for _, q := range list {
+			if _, dead := ix.tombstones[q.ID]; dead {
+				ix.dropRef(q.ID)
+				c.entries--
+				ix.entries--
+				continue
+			}
+			list[w] = q
+			w++
+		}
+		if w == 0 {
+			delete(c.inverted, term)
+		} else {
+			c.inverted[term] = list[:w]
+		}
+	}
+}
+
+// QueryCount returns the number of live distinct queries referenced by the
+// index (tombstoned-but-unpurged queries count until purged).
+func (ix *Index) QueryCount() int { return len(ix.queries) }
+
+// LiveQueryCount returns distinct queries excluding tombstoned ones.
+func (ix *Index) LiveQueryCount() int {
+	n := len(ix.queries)
+	for id := range ix.tombstones {
+		if _, ok := ix.refs[id]; ok {
+			n--
+		}
+	}
+	return n
+}
+
+// EntryCount returns the number of (cell, term, query) entries.
+func (ix *Index) EntryCount() int { return ix.entries }
+
+// CellStat summarises one cell for load accounting and migration
+// (Definition 3: L_g = n_o · n_q).
+type CellStat struct {
+	CellID  int
+	Entries int
+	// ObjSeen is n_o: objects matched against the cell this window.
+	ObjSeen int64
+	// Load is L_g = n_o · n_q.
+	Load float64
+	// SizeBytes is S_g: the total serialised size of the cell's queries.
+	SizeBytes int64
+}
+
+// CellStats returns statistics for every non-empty cell.
+func (ix *Index) CellStats() []CellStat {
+	var out []CellStat
+	for i := range ix.cells {
+		c := &ix.cells[i]
+		if c.entries == 0 && c.objSeen == 0 {
+			continue
+		}
+		out = append(out, ix.cellStat(i))
+	}
+	return out
+}
+
+func (ix *Index) cellStat(i int) CellStat {
+	c := &ix.cells[i]
+	var size int64
+	for _, list := range c.inverted {
+		for _, q := range list {
+			if _, dead := ix.tombstones[q.ID]; !dead {
+				size += int64(q.SizeBytes())
+			}
+		}
+	}
+	return CellStat{
+		CellID:    i,
+		Entries:   c.entries,
+		ObjSeen:   c.objSeen,
+		Load:      float64(c.objSeen) * float64(c.entries),
+		SizeBytes: size,
+	}
+}
+
+// ResetWindow zeroes the per-cell object and term-hit counters, starting a
+// new load measurement window.
+func (ix *Index) ResetWindow() {
+	for i := range ix.cells {
+		ix.cells[i].objSeen = 0
+		ix.cells[i].termHits = nil
+	}
+}
+
+// TermStat describes one registration key within a cell: live queries
+// registered under it and object hits on its inverted list this window.
+type TermStat struct {
+	Term    string
+	Queries int
+	ObjHits int64
+}
+
+// CellTermStats returns per-key statistics for a cell, sorted by term.
+func (ix *Index) CellTermStats(cellID int) []TermStat {
+	c := &ix.cells[cellID]
+	out := make([]TermStat, 0, len(c.inverted))
+	for term, list := range c.inverted {
+		live := 0
+		for _, q := range list {
+			if _, dead := ix.tombstones[q.ID]; !dead {
+				live++
+			}
+		}
+		if live == 0 {
+			continue
+		}
+		out = append(out, TermStat{Term: term, Queries: live, ObjHits: c.termHits[term]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
+	return out
+}
+
+// ExtractCellKeys removes and returns the distinct live queries registered
+// in the cell under the given registration keys, leaving other keys'
+// entries in place. It is the extraction half of a Phase I text split.
+func (ix *Index) ExtractCellKeys(cellID int, keys []string) []*model.Query {
+	c := &ix.cells[cellID]
+	if c.inverted == nil {
+		return nil
+	}
+	var out []*model.Query
+	seen := make(map[uint64]struct{})
+	for _, k := range keys {
+		list, ok := c.inverted[k]
+		if !ok {
+			continue
+		}
+		for _, q := range list {
+			_, dead := ix.tombstones[q.ID]
+			ix.dropRef(q.ID)
+			ix.entries--
+			c.entries--
+			if dead {
+				continue
+			}
+			if _, dup := seen[q.ID]; dup {
+				continue
+			}
+			seen[q.ID] = struct{}{}
+			out = append(out, q)
+		}
+		delete(c.inverted, k)
+		delete(c.termHits, k)
+	}
+	return out
+}
+
+// ExtractCell removes and returns the distinct live queries registered in
+// the cell. Used as the unit of migration ("The queries are migrated in
+// the unit of one cell in the gridt index", §V-A).
+func (ix *Index) ExtractCell(cellID int) []*model.Query {
+	c := &ix.cells[cellID]
+	if c.inverted == nil {
+		return nil
+	}
+	var out []*model.Query
+	seen := make(map[uint64]struct{})
+	for _, list := range c.inverted {
+		for _, q := range list {
+			_, dead := ix.tombstones[q.ID]
+			ix.dropRef(q.ID)
+			ix.entries--
+			if dead {
+				continue
+			}
+			if _, dup := seen[q.ID]; dup {
+				continue
+			}
+			seen[q.ID] = struct{}{}
+			out = append(out, q)
+		}
+	}
+	c.inverted = nil
+	c.entries = 0
+	return out
+}
+
+// QueriesInCell returns the distinct live queries in the cell without
+// removing them.
+func (ix *Index) QueriesInCell(cellID int) []*model.Query {
+	c := &ix.cells[cellID]
+	var out []*model.Query
+	seen := make(map[uint64]struct{})
+	for _, list := range c.inverted {
+		for _, q := range list {
+			if _, dead := ix.tombstones[q.ID]; dead {
+				continue
+			}
+			if _, dup := seen[q.ID]; dup {
+				continue
+			}
+			seen[q.ID] = struct{}{}
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// QueriesInCellKeys returns the distinct live queries registered in the
+// cell under the given registration keys, without removing them (the
+// copy-before-flip half of a migration).
+func (ix *Index) QueriesInCellKeys(cellID int, keys []string) []*model.Query {
+	c := &ix.cells[cellID]
+	if c.inverted == nil {
+		return nil
+	}
+	var out []*model.Query
+	seen := make(map[uint64]struct{})
+	for _, k := range keys {
+		for _, q := range c.inverted[k] {
+			if _, dead := ix.tombstones[q.ID]; dead {
+				continue
+			}
+			if _, dup := seen[q.ID]; dup {
+				continue
+			}
+			seen[q.ID] = struct{}{}
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// HasLive reports whether the query id is stored and not tombstoned.
+func (ix *Index) HasLive(id uint64) bool {
+	if _, dead := ix.tombstones[id]; dead {
+		return false
+	}
+	_, ok := ix.refs[id]
+	return ok
+}
+
+// Get returns the stored definition of a live query, or nil.
+func (ix *Index) Get(id uint64) *model.Query {
+	if !ix.HasLive(id) {
+		return nil
+	}
+	return ix.queries[id]
+}
+
+// Each invokes fn once per live (non-tombstoned) query, in unspecified
+// order. It satisfies the qindex.Index contract (checkpointing).
+func (ix *Index) Each(fn func(q *model.Query)) {
+	for id, q := range ix.queries {
+		if _, dead := ix.tombstones[id]; dead {
+			continue
+		}
+		fn(q)
+	}
+}
+
+// LiveQueryIDs returns the ids of all live (non-tombstoned) queries.
+func (ix *Index) LiveQueryIDs() []uint64 {
+	out := make([]uint64, 0, len(ix.queries))
+	for id := range ix.queries {
+		if _, dead := ix.tombstones[id]; !dead {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Footprint estimates the resident memory of the index in bytes: shared
+// query definitions plus per-entry and per-list overhead. This drives the
+// worker-memory comparison (Figure 10).
+func (ix *Index) Footprint() int64 {
+	var b int64
+	for _, q := range ix.queries {
+		b += int64(q.SizeBytes())
+	}
+	b += int64(ix.entries) * 8 // one pointer per entry
+	for i := range ix.cells {
+		c := &ix.cells[i]
+		b += int64(len(c.inverted)) * 56 // map bucket + slice header per list
+	}
+	b += int64(len(ix.tombstones)) * 16
+	b += int64(len(ix.refs)) * 24
+	return b
+}

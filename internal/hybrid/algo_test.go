@@ -1,0 +1,199 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/load"
+	"ps2stream/internal/model"
+	"ps2stream/internal/partition"
+)
+
+func sampleUnit(t *testing.T, seed int64, nObj, nQry int) (*unit, *partition.Sample) {
+	t.Helper()
+	s := mixedSample(t, seed, nObj, nQry)
+	u := &unit{
+		bounds:  s.Bounds,
+		kind:    kindNs,
+		objects: s.Objects,
+		queries: s.Queries,
+	}
+	u.computeLoad(load.DefaultCosts)
+	return u, s
+}
+
+func TestSplitUnitSpatiallyPartitionsObjects(t *testing.T) {
+	u, _ := sampleUnit(t, 50, 1000, 200)
+	for dim := 0; dim < 2; dim++ {
+		a, b, ok := splitUnitSpatially(u, dim, DefaultConfig())
+		if !ok {
+			t.Fatalf("dim %d: split failed", dim)
+		}
+		if len(a.objects)+len(b.objects) != len(u.objects) {
+			t.Errorf("dim %d: objects %d+%d != %d", dim, len(a.objects), len(b.objects), len(u.objects))
+		}
+		// Bounds tile the parent.
+		if math.Abs(a.bounds.Area()+b.bounds.Area()-u.bounds.Area()) > 1e-9 {
+			t.Errorf("dim %d: child areas do not tile parent", dim)
+		}
+		// Each object sits inside its side's bounds.
+		for _, o := range a.objects {
+			if !a.bounds.Contains(o.Loc) {
+				t.Fatalf("dim %d: left object %v outside %v", dim, o.Loc, a.bounds)
+			}
+		}
+		// Every parent query overlapping a child's bounds is in that
+		// child (duplication is expected, loss is not).
+		for _, q := range u.queries {
+			if q.Region.Intersects(a.bounds) && !containsQuery(a.queries, q.ID) {
+				t.Fatalf("dim %d: query %d lost from left child", dim, q.ID)
+			}
+			if q.Region.Intersects(b.bounds) && !containsQuery(b.queries, q.ID) {
+				t.Fatalf("dim %d: query %d lost from right child", dim, q.ID)
+			}
+		}
+	}
+}
+
+func containsQuery(qs []*model.Query, id uint64) bool {
+	for _, q := range qs {
+		if q.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSplitUnitSpatiallyDegenerate(t *testing.T) {
+	u := &unit{bounds: geo.NewRect(0, 0, 10, 10), kind: kindNs}
+	for i := 0; i < 10; i++ {
+		u.objects = append(u.objects, &model.Object{ID: uint64(i), Loc: geo.Point{X: 5, Y: 5}})
+	}
+	if _, _, ok := splitUnitSpatially(u, 0, DefaultConfig()); ok {
+		t.Error("split succeeded on co-located objects")
+	}
+	empty := &unit{bounds: geo.NewRect(0, 0, 1, 1)}
+	if _, _, ok := splitUnitSpatially(empty, 0, DefaultConfig()); ok {
+		t.Error("split succeeded on empty unit")
+	}
+}
+
+func TestSplitUnitByTextCoversQueries(t *testing.T) {
+	u, s := sampleUnit(t, 51, 2000, 400)
+	parts := splitUnitByText(u, 4, s.Stats, DefaultConfig())
+	if parts == nil {
+		t.Fatal("text split failed")
+	}
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	// Key sets are disjoint.
+	seen := map[string]int{}
+	for i, p := range parts {
+		for k := range p.keys {
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("key %q in parts %d and %d", k, prev, i)
+			}
+			seen[k] = i
+		}
+	}
+	// Every query with at least one registration key appears in the part
+	// owning that key.
+	for _, q := range u.queries {
+		for _, k := range s.Stats.RegistrationKeys(q.Expr.Conj) {
+			p, ok := seen[k]
+			if !ok {
+				continue // key had no queries in the sample grouping
+			}
+			if !containsQuery(parts[p].queries, q.ID) {
+				t.Fatalf("query %d (key %q) missing from part %d", q.ID, k, p)
+			}
+		}
+	}
+	// Objects carrying a key land in the owning part.
+	for _, o := range u.objects[:200] {
+		for _, term := range o.Terms {
+			p, ok := seen[term]
+			if !ok {
+				continue
+			}
+			found := false
+			for _, po := range parts[p].objects {
+				if po.ID == o.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("object %d with key %q missing from part %d", o.ID, term, p)
+			}
+		}
+	}
+}
+
+func TestSplitUnitByTextTooFewKeys(t *testing.T) {
+	s := mixedSample(t, 52, 100, 1)
+	u := &unit{bounds: s.Bounds, kind: kindNt, objects: s.Objects, queries: s.Queries[:1]}
+	if parts := splitUnitByText(u, 4, s.Stats, DefaultConfig()); parts != nil {
+		t.Errorf("split into 4 with one query's keys should fail, got %d parts", len(parts))
+	}
+}
+
+// The DP must beat (or match) the naive equal-split on total load for
+// every instance, since equal split is in its search space.
+func TestComputeNumberPartitionsBeatsEqualSplit(t *testing.T) {
+	s := mixedSample(t, 53, 3000, 500)
+	cfg := DefaultConfig()
+	cfg.Theta = 64
+	mid := s.Bounds.Min.X + s.Bounds.Width()/2
+	left := &unit{bounds: geo.NewRect(s.Bounds.Min.X, s.Bounds.Min.Y, mid, s.Bounds.Max.Y), kind: kindNt}
+	right := &unit{bounds: geo.NewRect(mid, s.Bounds.Min.Y, s.Bounds.Max.X, s.Bounds.Max.Y), kind: kindNs}
+	for _, n := range []*unit{left, right} {
+		for _, o := range s.Objects {
+			if n.bounds.Contains(o.Loc) {
+				n.objects = append(n.objects, o)
+			}
+		}
+		for _, q := range s.Queries {
+			if q.Region.Intersects(n.bounds) {
+				n.queries = append(n.queries, q)
+			}
+		}
+		n.computeLoad(cfg.Costs)
+	}
+	nodes := []*unit{left, right}
+	m := 8
+	counts := computeNumberPartitions(nodes, m, s.Stats, cfg)
+	dpTotal := 0.0
+	for i, n := range nodes {
+		dpTotal += totalLoad(partitionNode(n, counts[i], s.Stats, cfg))
+	}
+	eqTotal := 0.0
+	for _, n := range nodes {
+		eqTotal += totalLoad(partitionNode(n, m/2, s.Stats, cfg))
+	}
+	t.Logf("DP counts=%v total=%.0f, equal-split total=%.0f", counts, dpTotal, eqTotal)
+	if dpTotal > eqTotal*1.001 {
+		t.Errorf("DP total %.0f worse than equal split %.0f", dpTotal, eqTotal)
+	}
+}
+
+func TestPartitionNodeSingle(t *testing.T) {
+	u, s := sampleUnit(t, 54, 200, 50)
+	parts := partitionNode(u, 1, s.Stats, DefaultConfig())
+	if len(parts) != 1 || parts[0] != u {
+		t.Error("p=1 must return the node unchanged")
+	}
+}
+
+func TestSimtRange(t *testing.T) {
+	u, _ := sampleUnit(t, 55, 500, 100)
+	sim := simt(u.objects, u.queries)
+	if sim < 0 || sim > 1.0001 {
+		t.Errorf("simt = %v out of range", sim)
+	}
+	if got := simt(nil, u.queries); got != 0 {
+		t.Errorf("simt with no objects = %v", got)
+	}
+}

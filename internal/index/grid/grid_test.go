@@ -1,0 +1,172 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ps2stream/internal/geo"
+)
+
+func testGrid() *Grid {
+	return New(geo.NewRect(0, 0, 10, 10), 4, 4)
+}
+
+func TestCellOf(t *testing.T) {
+	g := testGrid()
+	tests := []struct {
+		name string
+		p    geo.Point
+		want int
+	}{
+		{"origin", geo.Point{X: 0, Y: 0}, 0},
+		{"first cell interior", geo.Point{X: 1, Y: 1}, 0},
+		{"second column", geo.Point{X: 3, Y: 1}, 1},
+		{"second row", geo.Point{X: 1, Y: 3}, 4},
+		{"center", geo.Point{X: 5, Y: 5}, 10},
+		{"max corner clamps to last cell", geo.Point{X: 10, Y: 10}, 15},
+		{"outside right clamps", geo.Point{X: 99, Y: 0}, 3},
+		{"outside below clamps", geo.Point{X: 5, Y: -5}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := g.CellOf(tt.p); got != tt.want {
+				t.Errorf("CellOf(%v) = %d, want %d", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCellRectRoundTrip(t *testing.T) {
+	g := testGrid()
+	for id := 0; id < g.NumCells(); id++ {
+		r := g.CellRect(id)
+		c := r.Center()
+		if got := g.CellOf(c); got != id {
+			t.Errorf("CellOf(center of cell %d) = %d", id, got)
+		}
+		x, y := g.CellXY(id)
+		if g.CellID(x, y) != id {
+			t.Errorf("CellID(CellXY(%d)) = %d", id, g.CellID(x, y))
+		}
+	}
+}
+
+func TestCellRectsTileBounds(t *testing.T) {
+	g := New(geo.NewRect(-3, 2, 7, 9), 8, 5)
+	var area float64
+	for id := 0; id < g.NumCells(); id++ {
+		area += g.CellRect(id).Area()
+	}
+	if math.Abs(area-g.Bounds().Area()) > 1e-9 {
+		t.Errorf("cells area = %v, bounds area = %v", area, g.Bounds().Area())
+	}
+	// Last cell must reach the exact max corner.
+	last := g.CellRect(g.NumCells() - 1)
+	if last.Max != g.Bounds().Max {
+		t.Errorf("last cell max = %v, want %v", last.Max, g.Bounds().Max)
+	}
+}
+
+func TestCellsOverlapping(t *testing.T) {
+	g := testGrid()
+	tests := []struct {
+		name string
+		r    geo.Rect
+		want []int
+	}{
+		{"single cell", geo.NewRect(0.1, 0.1, 2, 2), []int{0}},
+		{"two cols", geo.NewRect(2, 0.5, 3, 2), []int{0, 1}},
+		{"2x2 block", geo.NewRect(2, 2, 3, 3), []int{0, 1, 4, 5}},
+		{"full", geo.NewRect(0, 0, 10, 10), []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}},
+		{"outside clamps", geo.NewRect(-5, -5, -1, -1), []int{0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := g.CellsOverlapping(tt.r)
+			if len(got) != len(tt.want) {
+				t.Fatalf("CellsOverlapping(%v) = %v, want %v", tt.r, got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("CellsOverlapping(%v) = %v, want %v", tt.r, got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestVisitOverlappingMatchesSlice(t *testing.T) {
+	g := New(geo.NewRect(0, 0, 100, 50), 16, 8)
+	r := geo.NewRect(10, 5, 60, 40)
+	want := g.CellsOverlapping(r)
+	var got []int
+	g.VisitOverlapping(r, func(id int) { got = append(got, id) })
+	if len(got) != len(want) {
+		t.Fatalf("Visit returned %d cells, slice %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Visit[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDegenerateGrid(t *testing.T) {
+	g := New(geo.NewRect(5, 5, 5, 5), 4, 4) // zero-size bounds
+	if got := g.CellOf(geo.Point{X: 5, Y: 5}); got != 0 {
+		t.Errorf("degenerate CellOf = %d, want 0", got)
+	}
+	g2 := New(geo.NewRect(0, 0, 1, 1), 0, -3)
+	if g2.NX() != 1 || g2.NY() != 1 {
+		t.Errorf("clamped grid = %dx%d, want 1x1", g2.NX(), g2.NY())
+	}
+}
+
+// Property: a point inside the bounds always maps to a cell whose rect
+// contains it.
+func TestCellContainmentProperty(t *testing.T) {
+	g := New(geo.NewRect(-180, -90, 180, 90), 64, 64)
+	f := func(xr, yr float64) bool {
+		x := math.Mod(math.Abs(xr), 360) - 180
+		y := math.Mod(math.Abs(yr), 180) - 90
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		p := geo.Point{X: x, Y: y}
+		r := g.CellRect(g.CellOf(p))
+		return r.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CellsOverlapping covers the cell of every point inside the
+// query rectangle.
+func TestOverlapCoverageProperty(t *testing.T) {
+	g := New(geo.NewRect(0, 0, 100, 100), 10, 10)
+	f := func(x1, y1, x2, y2, px, py float64) bool {
+		n := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(math.Abs(v), 100)
+		}
+		r := geo.NewRect(n(x1), n(y1), n(x2), n(y2))
+		p := geo.Point{X: n(px), Y: n(py)}
+		if !r.Contains(p) {
+			return true
+		}
+		cell := g.CellOf(p)
+		for _, id := range g.CellsOverlapping(r) {
+			if id == cell {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

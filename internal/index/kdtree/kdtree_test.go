@@ -1,0 +1,199 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ps2stream/internal/geo"
+)
+
+func uniformItems(n int, seed int64, bounds geo.Rect) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			P: geo.Point{
+				X: bounds.Min.X + rng.Float64()*bounds.Width(),
+				Y: bounds.Min.Y + rng.Float64()*bounds.Height(),
+			},
+			W: 1,
+		}
+	}
+	return items
+}
+
+func TestBuildLeafCount(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 100, 100)
+	items := uniformItems(1000, 1, bounds)
+	for _, m := range []int{1, 2, 8, 16, 33} {
+		tr := Build(bounds, items, m)
+		if got := len(tr.Leaves()); got != m {
+			t.Errorf("Build(maxLeaves=%d) produced %d leaves", m, got)
+		}
+	}
+}
+
+func TestLeavesPartitionSpace(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 100, 100)
+	items := uniformItems(500, 2, bounds)
+	tr := Build(bounds, items, 16)
+	var area float64
+	for _, l := range tr.Leaves() {
+		area += l.Bounds.Area()
+	}
+	if math.Abs(area-bounds.Area()) > 1e-6 {
+		t.Errorf("leaf areas sum to %v, bounds area %v", area, bounds.Area())
+	}
+	// Leaves must be pairwise interior-disjoint.
+	ls := tr.Leaves()
+	for i := 0; i < len(ls); i++ {
+		for j := i + 1; j < len(ls); j++ {
+			if in, ok := ls[i].Bounds.Intersect(ls[j].Bounds); ok && in.Area() > 1e-9 {
+				t.Errorf("leaves %d and %d overlap with area %v", i, j, in.Area())
+			}
+		}
+	}
+}
+
+func TestLocateConsistentWithBounds(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 100, 100)
+	items := uniformItems(1000, 3, bounds)
+	tr := Build(bounds, items, 24)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		p := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		leaf := tr.Locate(p)
+		if !leaf.Bounds.Contains(p) {
+			t.Fatalf("Locate(%v) returned leaf %v not containing the point", p, leaf.Bounds)
+		}
+	}
+}
+
+func TestWeightBalance(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 100, 100)
+	items := uniformItems(4000, 5, bounds)
+	tr := Build(bounds, items, 8)
+	var minW, maxW float64 = math.Inf(1), 0
+	for _, l := range tr.Leaves() {
+		if l.Weight < minW {
+			minW = l.Weight
+		}
+		if l.Weight > maxW {
+			maxW = l.Weight
+		}
+	}
+	// Median splits on uniform data should be roughly balanced.
+	if maxW > 3*minW {
+		t.Errorf("leaf weights unbalanced: min=%v max=%v", minW, maxW)
+	}
+}
+
+func TestSkewedWeights(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 100, 100)
+	// Heavy cluster bottom-left, light elsewhere.
+	var items []Item
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 900; i++ {
+		items = append(items, Item{P: geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}, W: 1})
+	}
+	for i := 0; i < 100; i++ {
+		items = append(items, Item{P: geo.Point{X: 10 + rng.Float64()*90, Y: 10 + rng.Float64()*90}, W: 1})
+	}
+	tr := Build(bounds, items, 10)
+	// Most leaves should land in the heavy cluster.
+	inCluster := 0
+	for _, l := range tr.Leaves() {
+		c := l.Bounds.Center()
+		if c.X < 15 && c.Y < 15 {
+			inCluster++
+		}
+	}
+	if inCluster < 5 {
+		t.Errorf("only %d/10 leaves in the heavy cluster", inCluster)
+	}
+}
+
+func TestDegenerateAllSamePoint(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 10, 10)
+	items := make([]Item, 50)
+	for i := range items {
+		items[i] = Item{P: geo.Point{X: 5, Y: 5}, W: 1}
+	}
+	tr := Build(bounds, items, 8)
+	if len(tr.Leaves()) != 1 {
+		t.Errorf("unsplittable data produced %d leaves, want 1", len(tr.Leaves()))
+	}
+}
+
+func TestEmptyItems(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 10, 10)
+	tr := Build(bounds, nil, 4)
+	if len(tr.Leaves()) != 1 {
+		t.Errorf("empty Build produced %d leaves", len(tr.Leaves()))
+	}
+	if l := tr.Locate(geo.Point{X: 3, Y: 3}); l == nil {
+		t.Error("Locate on empty tree returned nil")
+	}
+}
+
+func TestLeavesOverlapping(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 100, 100)
+	items := uniformItems(1000, 7, bounds)
+	tr := Build(bounds, items, 16)
+	r := geo.NewRect(20, 20, 40, 40)
+	got := tr.LeavesOverlapping(r)
+	if len(got) == 0 {
+		t.Fatal("no leaves overlap a central rect")
+	}
+	for _, l := range got {
+		if !l.Bounds.Intersects(r) {
+			t.Errorf("returned leaf %v does not intersect %v", l.Bounds, r)
+		}
+	}
+	// Complement check: every leaf intersecting r must be returned.
+	set := map[*Node]bool{}
+	for _, l := range got {
+		set[l] = true
+	}
+	for _, l := range tr.Leaves() {
+		if l.Bounds.Intersects(r) && !set[l] {
+			t.Errorf("leaf %v intersects but was not returned", l.Bounds)
+		}
+	}
+}
+
+// Property: Locate always returns a leaf containing the (in-bounds) point,
+// on randomly generated weighted data.
+func TestLocateProperty(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 1, 1)
+	f := func(seed int64, px, py float64) bool {
+		n := func(v float64) float64 {
+			v = math.Abs(v)
+			return v - math.Floor(v)
+		}
+		items := uniformItems(64, seed, bounds)
+		tr := Build(bounds, items, 8)
+		p := geo.Point{X: n(px), Y: n(py)}
+		return tr.Locate(p).Bounds.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeafIDsAssigned(t *testing.T) {
+	bounds := geo.NewRect(0, 0, 100, 100)
+	tr := Build(bounds, uniformItems(100, 8, bounds), 6)
+	seen := map[int]bool{}
+	for i, l := range tr.Leaves() {
+		if l.LeafID != i {
+			t.Errorf("leaf %d has LeafID %d", i, l.LeafID)
+		}
+		if seen[l.LeafID] {
+			t.Errorf("duplicate LeafID %d", l.LeafID)
+		}
+		seen[l.LeafID] = true
+	}
+}

@@ -1,0 +1,394 @@
+// Package rtree implements an R-tree with Sort-Tile-Recursive (STR) bulk
+// loading and classic quadratic-split insertion. It backs the R-tree
+// space-partitioning baseline of §VI-B ("Algorithm R-tree partitioning [18]
+// constructs a R-tree to do the partitioning, and then partitions the set
+// of leaf nodes").
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"ps2stream/internal/geo"
+)
+
+// DefaultMaxEntries is the default node fan-out.
+const DefaultMaxEntries = 32
+
+// Entry is a rectangle with an opaque payload. Points are represented as
+// degenerate rectangles.
+type Entry struct {
+	Rect geo.Rect
+	Data interface{}
+}
+
+type node struct {
+	rect     geo.Rect
+	leaf     bool
+	entries  []Entry // leaf payload
+	children []*node // internal children
+}
+
+// Tree is an R-tree. The zero value is not usable; construct with New or
+// BulkLoad.
+type Tree struct {
+	root       *node
+	maxEntries int
+	minEntries int
+	size       int
+}
+
+// New returns an empty tree with the given fan-out (clamped to >= 4).
+func New(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		maxEntries: maxEntries,
+		minEntries: maxEntries * 2 / 5,
+	}
+}
+
+// BulkLoad builds a tree over the entries using the STR packing algorithm:
+// sort by X, slice into vertical strips of sqrt(n/M) tiles, sort each strip
+// by Y, and pack runs of M entries into leaves; repeat upward.
+func BulkLoad(entries []Entry, maxEntries int) *Tree {
+	t := New(maxEntries)
+	if len(entries) == 0 {
+		return t
+	}
+	es := append([]Entry(nil), entries...)
+	leaves := strPack(es, t.maxEntries)
+	t.size = len(es)
+	// Build upper levels by packing node MBRs with the same algorithm.
+	level := leaves
+	for len(level) > 1 {
+		parentEntries := make([]Entry, len(level))
+		for i, n := range level {
+			parentEntries[i] = Entry{Rect: n.rect, Data: n}
+		}
+		packed := strPack(parentEntries, t.maxEntries)
+		next := make([]*node, len(packed))
+		for i, p := range packed {
+			in := &node{rect: p.rect}
+			for _, e := range p.entries {
+				in.children = append(in.children, e.Data.(*node))
+			}
+			next[i] = in
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+// strPack packs entries into leaf nodes of up to max entries each.
+func strPack(es []Entry, max int) []*node {
+	n := len(es)
+	leafCount := (n + max - 1) / max
+	stripCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perStrip := stripCount * max
+	sort.Slice(es, func(i, j int) bool {
+		return es[i].Rect.Center().X < es[j].Rect.Center().X
+	})
+	var leaves []*node
+	for s := 0; s < n; s += perStrip {
+		e := s + perStrip
+		if e > n {
+			e = n
+		}
+		strip := es[s:e]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].Rect.Center().Y < strip[j].Rect.Center().Y
+		})
+		for i := 0; i < len(strip); i += max {
+			j := i + max
+			if j > len(strip) {
+				j = len(strip)
+			}
+			leaf := &node{leaf: true, entries: append([]Entry(nil), strip[i:j]...)}
+			leaf.rect = mbr(leaf.entries)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func mbr(es []Entry) geo.Rect {
+	r := es[0].Rect
+	for _, e := range es[1:] {
+		r = r.Union(e.Rect)
+	}
+	return r
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the MBR of all entries (zero Rect when empty).
+func (t *Tree) Bounds() geo.Rect { return t.root.rect }
+
+// Height returns the number of levels (1 for a single leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Insert adds an entry using least-enlargement descent and quadratic
+// splitting on overflow.
+func (t *Tree) Insert(e Entry) {
+	t.size++
+	split := t.insert(t.root, e)
+	if split != nil {
+		// Root split: grow the tree.
+		newRoot := &node{
+			children: []*node{t.root, split},
+		}
+		newRoot.rect = t.root.rect.Union(split.rect)
+		t.root = newRoot
+	}
+}
+
+func (t *Tree) insert(n *node, e Entry) *node {
+	n.rect = extend(n, e.Rect)
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	best := chooseSubtree(n.children, e.Rect)
+	if split := t.insert(best, e); split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.maxEntries {
+			return t.splitInternal(n)
+		}
+	}
+	return nil
+}
+
+func extend(n *node, r geo.Rect) geo.Rect {
+	if n.leaf && len(n.entries) == 0 && len(n.children) == 0 {
+		return r
+	}
+	return n.rect.Union(r)
+}
+
+func chooseSubtree(children []*node, r geo.Rect) *node {
+	best := children[0]
+	bestEnl := enlargement(best.rect, r)
+	for _, c := range children[1:] {
+		enl := enlargement(c.rect, r)
+		if enl < bestEnl || (enl == bestEnl && c.rect.Area() < best.rect.Area()) {
+			best, bestEnl = c, enl
+		}
+	}
+	return best
+}
+
+func enlargement(r, add geo.Rect) float64 {
+	return r.Union(add).Area() - r.Area()
+}
+
+// splitLeaf performs a quadratic split of an overflowing leaf, mutating n
+// into one group and returning the other.
+func (t *Tree) splitLeaf(n *node) *node {
+	rects := make([]geo.Rect, len(n.entries))
+	for i, e := range n.entries {
+		rects[i] = e.Rect
+	}
+	g1, g2 := quadraticSplit(rects, t.minEntries)
+	e1 := make([]Entry, 0, len(g1))
+	e2 := make([]Entry, 0, len(g2))
+	for _, i := range g1 {
+		e1 = append(e1, n.entries[i])
+	}
+	for _, i := range g2 {
+		e2 = append(e2, n.entries[i])
+	}
+	other := &node{leaf: true, entries: e2}
+	other.rect = mbr(e2)
+	n.entries = e1
+	n.rect = mbr(e1)
+	return other
+}
+
+func (t *Tree) splitInternal(n *node) *node {
+	rects := make([]geo.Rect, len(n.children))
+	for i, c := range n.children {
+		rects[i] = c.rect
+	}
+	g1, g2 := quadraticSplit(rects, t.minEntries)
+	c1 := make([]*node, 0, len(g1))
+	c2 := make([]*node, 0, len(g2))
+	for _, i := range g1 {
+		c1 = append(c1, n.children[i])
+	}
+	for _, i := range g2 {
+		c2 = append(c2, n.children[i])
+	}
+	other := &node{children: c2}
+	other.rect = c2[0].rect
+	for _, c := range c2[1:] {
+		other.rect = other.rect.Union(c.rect)
+	}
+	n.children = c1
+	n.rect = c1[0].rect
+	for _, c := range c1[1:] {
+		n.rect = n.rect.Union(c.rect)
+	}
+	return other
+}
+
+// quadraticSplit partitions indices 0..len(rects)-1 into two groups using
+// Guttman's quadratic method, respecting the minimum fill.
+func quadraticSplit(rects []geo.Rect, minFill int) (g1, g2 []int) {
+	// Pick seeds: the pair wasting the most area.
+	seed1, seed2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			d := rects[i].Union(rects[j]).Area() - rects[i].Area() - rects[j].Area()
+			if d > worst {
+				worst, seed1, seed2 = d, i, j
+			}
+		}
+	}
+	g1 = []int{seed1}
+	g2 = []int{seed2}
+	r1, r2 := rects[seed1], rects[seed2]
+	remaining := make([]int, 0, len(rects)-2)
+	for i := range rects {
+		if i != seed1 && i != seed2 {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		// Forced assignment to honour min fill.
+		if len(g1)+len(remaining) == minFill {
+			g1 = append(g1, remaining...)
+			for _, i := range remaining {
+				r1 = r1.Union(rects[i])
+			}
+			break
+		}
+		if len(g2)+len(remaining) == minFill {
+			g2 = append(g2, remaining...)
+			for _, i := range remaining {
+				r2 = r2.Union(rects[i])
+			}
+			break
+		}
+		// Pick the entry with the greatest preference difference.
+		bestIdx, bestDiff, bestPos := -1, math.Inf(-1), 0
+		for pos, i := range remaining {
+			d1 := enlargement(r1, rects[i])
+			d2 := enlargement(r2, rects[i])
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				bestDiff, bestIdx, bestPos = diff, i, pos
+			}
+		}
+		i := bestIdx
+		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
+		d1 := enlargement(r1, rects[i])
+		d2 := enlargement(r2, rects[i])
+		toG1 := d1 < d2
+		if d1 == d2 {
+			toG1 = r1.Area() < r2.Area() || (r1.Area() == r2.Area() && len(g1) <= len(g2))
+		}
+		if toG1 {
+			g1 = append(g1, i)
+			r1 = r1.Union(rects[i])
+		} else {
+			g2 = append(g2, i)
+			r2 = r2.Union(rects[i])
+		}
+	}
+	return g1, g2
+}
+
+// Search visits every entry whose rectangle intersects r until fn returns
+// false.
+func (t *Tree) Search(r geo.Rect, fn func(Entry) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if !n.rect.Intersects(r) {
+			return true
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if e.Rect.Intersects(r) {
+					if !fn(e) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if t.size > 0 {
+		walk(t.root)
+	}
+}
+
+// SearchAll returns all entries intersecting r.
+func (t *Tree) SearchAll(r geo.Rect) []Entry {
+	var out []Entry
+	t.Search(r, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// LeafRects returns the MBR of every leaf node, the unit of the R-tree
+// partitioning baseline.
+func (t *Tree) LeafRects() []geo.Rect {
+	var out []geo.Rect
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if len(n.entries) > 0 {
+				out = append(out, n.rect)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// LeafEntries returns the entries grouped per leaf, aligned with
+// LeafRects.
+func (t *Tree) LeafEntries() [][]Entry {
+	var out [][]Entry
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if len(n.entries) > 0 {
+				out = append(out, n.entries)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}

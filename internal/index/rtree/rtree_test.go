@@ -1,0 +1,201 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"ps2stream/internal/geo"
+)
+
+func randEntries(n int, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	es := make([]Entry, n)
+	for i := range es {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 100
+		w := rng.Float64() * 2
+		h := rng.Float64() * 2
+		es[i] = Entry{Rect: geo.NewRect(x, y, x+w, y+h), Data: i}
+	}
+	return es
+}
+
+// naiveSearch is the oracle.
+func naiveSearch(es []Entry, r geo.Rect) map[int]bool {
+	out := map[int]bool{}
+	for _, e := range es {
+		if e.Rect.Intersects(r) {
+			out[e.Data.(int)] = true
+		}
+	}
+	return out
+}
+
+func checkSearchAgainstOracle(t *testing.T, tr *Tree, es []Entry, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 50; i++ {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 100
+		q := geo.NewRect(x, y, x+rng.Float64()*20, y+rng.Float64()*20)
+		want := naiveSearch(es, q)
+		got := map[int]bool{}
+		tr.Search(q, func(e Entry) bool {
+			got[e.Data.(int)] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %d entries, want %d", q, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("query %v: missing entry %d", q, k)
+			}
+		}
+	}
+}
+
+func TestBulkLoadSearch(t *testing.T) {
+	es := randEntries(500, 1)
+	tr := BulkLoad(es, 16)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	checkSearchAgainstOracle(t, tr, es, 2)
+}
+
+func TestInsertSearch(t *testing.T) {
+	es := randEntries(300, 3)
+	tr := New(8)
+	for _, e := range es {
+		tr.Insert(e)
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", tr.Len())
+	}
+	checkSearchAgainstOracle(t, tr, es, 4)
+}
+
+func TestMixedBulkThenInsert(t *testing.T) {
+	es := randEntries(200, 5)
+	tr := BulkLoad(es[:100], 8)
+	for _, e := range es[100:] {
+		tr.Insert(e)
+	}
+	checkSearchAgainstOracle(t, tr, es, 6)
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(8)
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	got := tr.SearchAll(geo.NewRect(0, 0, 100, 100))
+	if len(got) != 0 {
+		t.Errorf("empty tree returned %d entries", len(got))
+	}
+	tr2 := BulkLoad(nil, 8)
+	if len(tr2.SearchAll(geo.NewRect(0, 0, 1, 1))) != 0 {
+		t.Error("BulkLoad(nil) tree should be empty")
+	}
+}
+
+func TestSingleEntry(t *testing.T) {
+	tr := BulkLoad([]Entry{{Rect: geo.NewRect(1, 1, 2, 2), Data: 0}}, 8)
+	if tr.Height() != 1 {
+		t.Errorf("Height = %d, want 1", tr.Height())
+	}
+	if n := len(tr.SearchAll(geo.NewRect(0, 0, 3, 3))); n != 1 {
+		t.Errorf("found %d, want 1", n)
+	}
+	if n := len(tr.SearchAll(geo.NewRect(5, 5, 6, 6))); n != 0 {
+		t.Errorf("found %d, want 0", n)
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	es := randEntries(1000, 7)
+	tr := BulkLoad(es, 8)
+	if tr.Height() < 3 {
+		t.Errorf("Height = %d for 1000 entries at fanout 8, want >= 3", tr.Height())
+	}
+}
+
+func TestLeafRectsCoverEntries(t *testing.T) {
+	es := randEntries(400, 8)
+	tr := BulkLoad(es, 16)
+	leaves := tr.LeafRects()
+	if len(leaves) < 400/16 {
+		t.Fatalf("only %d leaves", len(leaves))
+	}
+	for _, e := range es {
+		covered := false
+		for _, lr := range leaves {
+			if lr.ContainsRect(e.Rect) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("entry %v not covered by any leaf MBR", e.Rect)
+		}
+	}
+}
+
+func TestLeafEntriesAlignment(t *testing.T) {
+	es := randEntries(100, 9)
+	tr := BulkLoad(es, 8)
+	rects := tr.LeafRects()
+	groups := tr.LeafEntries()
+	if len(rects) != len(groups) {
+		t.Fatalf("LeafRects %d vs LeafEntries %d", len(rects), len(groups))
+	}
+	total := 0
+	for i, g := range groups {
+		total += len(g)
+		for _, e := range g {
+			if !rects[i].ContainsRect(e.Rect) {
+				t.Fatalf("leaf %d MBR %v does not contain entry %v", i, rects[i], e.Rect)
+			}
+		}
+	}
+	if total != 100 {
+		t.Errorf("leaf entries total %d, want 100", total)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	es := randEntries(200, 10)
+	tr := BulkLoad(es, 8)
+	count := 0
+	tr.Search(geo.NewRect(0, 0, 100, 100), func(Entry) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d entries, want 5", count)
+	}
+}
+
+func TestQuadraticSplitMinFill(t *testing.T) {
+	// Force many splits with small fanout and verify the tree remains
+	// consistent (all entries findable).
+	es := randEntries(500, 11)
+	tr := New(4)
+	for _, e := range es {
+		tr.Insert(e)
+	}
+	checkSearchAgainstOracle(t, tr, es, 12)
+}
+
+func TestDuplicateRects(t *testing.T) {
+	var es []Entry
+	for i := 0; i < 64; i++ {
+		es = append(es, Entry{Rect: geo.NewRect(5, 5, 6, 6), Data: i})
+	}
+	tr := BulkLoad(es, 8)
+	got := tr.SearchAll(geo.NewRect(5.5, 5.5, 5.6, 5.6))
+	if len(got) != 64 {
+		t.Errorf("duplicate rects: found %d, want 64", len(got))
+	}
+}

@@ -1,0 +1,127 @@
+// Package load implements the workload model of the paper: the load of a
+// worker (Definition 1), the load of a cell (Definition 3), the balance
+// constraint L_max/L_min ≤ σ, and the cost constants c1..c4 shared by the
+// partitioning and adjustment algorithms.
+package load
+
+// Costs holds the per-operation cost constants of Definition 1:
+//
+//	L_i = c1·|O_i|·|Q^i_i| + c2·|O_i| + c3·|Q^i_i| + c4·|Q^d_i|
+//
+// where c1 is the average cost of checking one object against one STS
+// query, c2 the cost of handling one object, c3 of one insertion, and c4
+// of one deletion.
+type Costs struct {
+	C1 float64
+	C2 float64
+	C3 float64
+	C4 float64
+}
+
+// DefaultCosts approximates the relative magnitudes measured on the GI2
+// matching micro-benchmarks: the pairwise check is ~4 orders of magnitude
+// cheaper than tuple handling, insertions cost a little more than object
+// handling (multi-cell registration), deletions are cheap (tombstone
+// write).
+var DefaultCosts = Costs{C1: 0.0001, C2: 1.0, C3: 1.5, C4: 0.3}
+
+// Worker evaluates Definition 1 for a worker receiving objects objects,
+// inserts query insertions, and deletes query deletions.
+func (c Costs) Worker(objects, inserts, deletes float64) float64 {
+	return c.C1*objects*inserts + c.C2*objects + c.C3*inserts + c.C4*deletes
+}
+
+// Node estimates the load a partition unit would impose if assigned to one
+// worker, given the sampled object and query counts that reach it. The
+// insertion and deletion streams have equal rates in the paper's workload,
+// so queries counts both as |Q^i| and |Q^d|.
+func (c Costs) Node(objects, queries float64) float64 {
+	return c.C1*objects*queries + c.C2*objects + c.C3*queries + c.C4*queries
+}
+
+// Cell evaluates Definition 3: L_g = n_o · n_q.
+func Cell(objSeen, queries float64) float64 { return objSeen * queries }
+
+// BalanceFactor returns L_max/L_min over the worker loads. Zero or
+// negative loads are floored at a small epsilon so an idle worker yields a
+// large (but finite) factor. An empty or single-element slice returns 1.
+func BalanceFactor(loads []float64) float64 {
+	if len(loads) < 2 {
+		return 1
+	}
+	const eps = 1e-9
+	minL, maxL := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if maxL <= 0 {
+		return 1
+	}
+	if minL < eps {
+		minL = eps
+	}
+	return maxL / minL
+}
+
+// Total sums the loads.
+func Total(loads []float64) float64 {
+	var s float64
+	for _, l := range loads {
+		s += l
+	}
+	return s
+}
+
+// ArgMinMax returns the indices of the least and most loaded workers.
+func ArgMinMax(loads []float64) (argmin, argmax int) {
+	for i, l := range loads {
+		if l < loads[argmin] {
+			argmin = i
+		}
+		if l > loads[argmax] {
+			argmax = i
+		}
+	}
+	return argmin, argmax
+}
+
+// Window accumulates per-worker operation counts over a measurement
+// window and evaluates Definition 1. It is the bookkeeping behind the
+// dispatcher's balance-violation detection (§V-A).
+type Window struct {
+	Objects []int64
+	Inserts []int64
+	Deletes []int64
+	Costs   Costs
+}
+
+// NewWindow returns a window for m workers using the given costs.
+func NewWindow(m int, costs Costs) *Window {
+	return &Window{
+		Objects: make([]int64, m),
+		Inserts: make([]int64, m),
+		Deletes: make([]int64, m),
+		Costs:   costs,
+	}
+}
+
+// Loads evaluates Definition 1 for every worker.
+func (w *Window) Loads() []float64 {
+	out := make([]float64, len(w.Objects))
+	for i := range out {
+		out[i] = w.Costs.Worker(float64(w.Objects[i]), float64(w.Inserts[i]), float64(w.Deletes[i]))
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (w *Window) Reset() {
+	for i := range w.Objects {
+		w.Objects[i], w.Inserts[i], w.Deletes[i] = 0, 0, 0
+	}
+}

@@ -1,0 +1,88 @@
+package load
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkerFormula(t *testing.T) {
+	c := Costs{C1: 0.5, C2: 1, C3: 2, C4: 3}
+	got := c.Worker(10, 4, 6)
+	want := 0.5*10*4 + 1*10 + 2*4 + 3*6
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Worker = %v, want %v", got, want)
+	}
+}
+
+func TestNodeCountsInsertAndDelete(t *testing.T) {
+	c := Costs{C1: 0, C2: 0, C3: 2, C4: 1}
+	// queries count as both insertions and deletions.
+	if got := c.Node(0, 10); got != 30 {
+		t.Errorf("Node = %v, want 30", got)
+	}
+}
+
+func TestCell(t *testing.T) {
+	if got := Cell(7, 3); got != 21 {
+		t.Errorf("Cell = %v, want 21", got)
+	}
+	if got := Cell(0, 100); got != 0 {
+		t.Errorf("Cell = %v, want 0", got)
+	}
+}
+
+func TestBalanceFactor(t *testing.T) {
+	tests := []struct {
+		name  string
+		loads []float64
+		want  float64
+	}{
+		{"balanced", []float64{10, 10, 10}, 1},
+		{"double", []float64{10, 20}, 2},
+		{"empty", nil, 1},
+		{"single", []float64{5}, 1},
+		{"all zero", []float64{0, 0}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := BalanceFactor(tt.loads); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("BalanceFactor = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	// Idle worker yields a huge but finite factor.
+	f := BalanceFactor([]float64{0, 100})
+	if math.IsInf(f, 0) || f < 1e6 {
+		t.Errorf("idle-worker factor = %v", f)
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	loads := []float64{5, 1, 9, 3}
+	lo, hi := ArgMinMax(loads)
+	if lo != 1 || hi != 2 {
+		t.Errorf("ArgMinMax = %d,%d want 1,2", lo, hi)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	if got := Total([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := NewWindow(2, Costs{C1: 0, C2: 1, C3: 1, C4: 1})
+	w.Objects[0] = 10
+	w.Inserts[0] = 5
+	w.Deletes[1] = 3
+	loads := w.Loads()
+	if loads[0] != 15 || loads[1] != 3 {
+		t.Errorf("Loads = %v", loads)
+	}
+	w.Reset()
+	loads = w.Loads()
+	if loads[0] != 0 || loads[1] != 0 {
+		t.Errorf("after Reset Loads = %v", loads)
+	}
+}

@@ -1,0 +1,262 @@
+// Package migrate implements the dynamic load adjustment machinery of §V:
+// the Minimum Cost Migration problem (Definition 4, NP-hard by Theorem 2)
+// with the paper's dynamic-programming algorithm and greedy algorithm GR,
+// the comparison baselines SI (size-descending) and RA (random), and the
+// Phase I split/merge planning that precedes cell selection.
+package migrate
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ps2stream/internal/load"
+)
+
+// Cell is a migration candidate: one gridt cell (or one worker's share of
+// it) with its Definition 3 load L_g and serialised size S_g.
+type Cell struct {
+	ID   int
+	Load float64
+	Size int64
+}
+
+// Selection is the result of a cell-selection algorithm.
+type Selection struct {
+	Cells []Cell
+	Load  float64
+	Size  int64
+}
+
+func summarize(cells []Cell) Selection {
+	s := Selection{Cells: cells}
+	for _, c := range cells {
+		s.Load += c.Load
+		s.Size += c.Size
+	}
+	return s
+}
+
+// totalLoad sums the loads of all cells.
+func totalLoad(cells []Cell) float64 {
+	var t float64
+	for _, c := range cells {
+		t += c.Load
+	}
+	return t
+}
+
+// SelectDP solves Minimum Cost Migration exactly (up to size
+// quantisation): find the cell set minimising total size subject to total
+// load ≥ tau. It implements the paper's knapsack-style DP
+//
+//	A(i,j) = max{A(i-1,j), A(i-1,j-S_gi) + L_gi}
+//
+// over sizes quantised to sizeUnit bytes (pass 0 for the 1 KiB default).
+// Its O(n·P) time and memory is exactly the weakness Figures 12–13
+// demonstrate; callers should bound the input. ok is false when even
+// migrating everything cannot reach tau.
+func SelectDP(cells []Cell, tau float64, sizeUnit int64) (Selection, bool) {
+	if tau <= 0 {
+		return Selection{}, true
+	}
+	if totalLoad(cells) < tau {
+		return summarize(append([]Cell(nil), cells...)), false
+	}
+	if sizeUnit <= 0 {
+		sizeUnit = 1024
+	}
+	n := len(cells)
+	sizes := make([]int, n)
+	// P: upper bound of the minimum migration cost = total quantised size.
+	P := 0
+	for i, c := range cells {
+		s := int((c.Size + sizeUnit - 1) / sizeUnit)
+		if s < 1 {
+			s = 1
+		}
+		sizes[i] = s
+		P += s
+	}
+	// A[i][j]: 2D table for reconstruction, per the paper.
+	A := make([][]float64, n+1)
+	for i := range A {
+		A[i] = make([]float64, P+1)
+	}
+	for i := 1; i <= n; i++ {
+		li, si := cells[i-1].Load, sizes[i-1]
+		for j := 0; j <= P; j++ {
+			A[i][j] = A[i-1][j]
+			if j >= si {
+				if v := A[i-1][j-si] + li; v > A[i][j] {
+					A[i][j] = v
+				}
+			}
+		}
+	}
+	// Smallest j whose best load reaches tau.
+	jStar := -1
+	for j := 0; j <= P; j++ {
+		if A[n][j] >= tau {
+			jStar = j
+			break
+		}
+	}
+	if jStar < 0 {
+		return summarize(append([]Cell(nil), cells...)), false
+	}
+	var picked []Cell
+	j := jStar
+	for i := n; i >= 1; i-- {
+		if A[i][j] != A[i-1][j] {
+			picked = append(picked, cells[i-1])
+			j -= sizes[i-1]
+		}
+	}
+	return summarize(picked), true
+}
+
+// SelectGR implements Algorithm GR: cells are scanned in ascending
+// relative cost S_g/L_g; cells that keep the running load below tau are
+// accepted into the growing prefix ("GS"), others become candidates
+// ("GL"). Every candidate closes a feasible solution (prefix + that cell);
+// the minimum-cost one seen wins.
+func SelectGR(cells []Cell, tau float64) (Selection, bool) {
+	if tau <= 0 {
+		return Selection{}, true
+	}
+	order := append([]Cell(nil), cells...)
+	sort.Slice(order, func(i, j int) bool {
+		ri := relativeCost(order[i])
+		rj := relativeCost(order[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return order[i].ID < order[j].ID
+	})
+	var prefix []Cell
+	var prefixLoad float64
+	var prefixSize int64
+	bestSize := int64(math.MaxInt64)
+	bestPrefixLen := -1
+	var bestClosing Cell
+	for _, c := range order {
+		if prefixLoad+c.Load < tau {
+			prefix = append(prefix, c)
+			prefixLoad += c.Load
+			prefixSize += c.Size
+			continue
+		}
+		// c is a GL cell: prefix + c is a feasible candidate solution.
+		if cost := prefixSize + c.Size; cost < bestSize {
+			bestSize = cost
+			bestPrefixLen = len(prefix)
+			bestClosing = c
+		}
+	}
+	if bestPrefixLen < 0 {
+		// No single closing cell ever pushed the prefix over tau.
+		if prefixLoad >= tau {
+			return summarize(prefix), true
+		}
+		return summarize(order), false
+	}
+	out := append(append([]Cell(nil), prefix[:bestPrefixLen]...), bestClosing)
+	return summarize(out), true
+}
+
+func relativeCost(c Cell) float64 {
+	if c.Load <= 0 {
+		return math.Inf(1)
+	}
+	return float64(c.Size) / c.Load
+}
+
+// SelectSI is the SI baseline: add cells in descending size order until
+// the load requirement is met.
+func SelectSI(cells []Cell, tau float64) (Selection, bool) {
+	if tau <= 0 {
+		return Selection{}, true
+	}
+	order := append([]Cell(nil), cells...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Size != order[j].Size {
+			return order[i].Size > order[j].Size
+		}
+		return order[i].ID < order[j].ID
+	})
+	var out []Cell
+	var got float64
+	for _, c := range order {
+		if got >= tau {
+			break
+		}
+		out = append(out, c)
+		got += c.Load
+	}
+	return summarize(out), got >= tau
+}
+
+// SelectRA is the RA baseline: cells are chosen uniformly at random until
+// the load requirement is met. rng may be nil for a fixed default seed.
+func SelectRA(cells []Cell, tau float64, rng *rand.Rand) (Selection, bool) {
+	if tau <= 0 {
+		return Selection{}, true
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	order := append([]Cell(nil), cells...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	var out []Cell
+	var got float64
+	for _, c := range order {
+		if got >= tau {
+			break
+		}
+		out = append(out, c)
+		got += c.Load
+	}
+	return summarize(out), got >= tau
+}
+
+// Algorithm names the selection strategies for experiment harnesses.
+type Algorithm string
+
+// The four cell-selection algorithms of §VI-D.
+const (
+	DP Algorithm = "DP"
+	GR Algorithm = "GR"
+	SI Algorithm = "SI"
+	RA Algorithm = "RA"
+)
+
+// Algorithms lists them in the paper's presentation order.
+func Algorithms() []Algorithm { return []Algorithm{DP, GR, SI, RA} }
+
+// Select dispatches by algorithm name.
+func Select(alg Algorithm, cells []Cell, tau float64, rng *rand.Rand) (Selection, bool) {
+	switch alg {
+	case DP:
+		return SelectDP(cells, tau, 0)
+	case GR:
+		return SelectGR(cells, tau)
+	case SI:
+		return SelectSI(cells, tau)
+	case RA:
+		return SelectRA(cells, tau, rng)
+	default:
+		return SelectGR(cells, tau)
+	}
+}
+
+// Tau computes the load amount τ to migrate from the most loaded worker so
+// both ends of the transfer approach the mean: half the load gap between
+// w_o and w_l.
+func Tau(loads []float64) float64 {
+	if len(loads) < 2 {
+		return 0
+	}
+	lo, hi := load.ArgMinMax(loads)
+	return (loads[hi] - loads[lo]) / 2
+}

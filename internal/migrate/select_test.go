@@ -1,0 +1,272 @@
+package migrate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cellsFixture() []Cell {
+	return []Cell{
+		{ID: 0, Load: 10, Size: 100},
+		{ID: 1, Load: 20, Size: 150},
+		{ID: 2, Load: 5, Size: 500},
+		{ID: 3, Load: 40, Size: 300},
+		{ID: 4, Load: 15, Size: 50},
+		{ID: 5, Load: 8, Size: 900},
+	}
+}
+
+func TestSelectDPOptimalSmall(t *testing.T) {
+	cells := cellsFixture()
+	tau := 50.0
+	got, ok := SelectDP(cells, tau, 1) // 1-byte units: exact
+	if !ok {
+		t.Fatal("DP infeasible")
+	}
+	if got.Load < tau {
+		t.Fatalf("DP load %v < tau %v", got.Load, tau)
+	}
+	// Exhaustive oracle.
+	best := int64(math.MaxInt64)
+	for mask := 0; mask < 1<<len(cells); mask++ {
+		var l float64
+		var s int64
+		for i, c := range cells {
+			if mask&(1<<i) != 0 {
+				l += c.Load
+				s += c.Size
+			}
+		}
+		if l >= tau && s < best {
+			best = s
+		}
+	}
+	if got.Size != best {
+		t.Errorf("DP size %d, optimal %d", got.Size, best)
+	}
+}
+
+// Property: DP with 1-byte quantisation matches the exhaustive optimum on
+// random small instances.
+func TestSelectDPOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		cells := make([]Cell, n)
+		var total float64
+		for i := range cells {
+			cells[i] = Cell{
+				ID:   i,
+				Load: float64(1 + rng.Intn(20)),
+				Size: int64(1 + rng.Intn(30)),
+			}
+			total += cells[i].Load
+		}
+		tau := total * (0.2 + 0.6*rng.Float64())
+		got, ok := SelectDP(cells, tau, 1)
+		if !ok {
+			return false
+		}
+		if got.Load < tau {
+			return false
+		}
+		best := int64(math.MaxInt64)
+		for mask := 0; mask < 1<<n; mask++ {
+			var l float64
+			var s int64
+			for i, c := range cells {
+				if mask&(1<<i) != 0 {
+					l += c.Load
+					s += c.Size
+				}
+			}
+			if l >= tau && s < best {
+				best = s
+			}
+		}
+		return got.Size == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectGRFeasible(t *testing.T) {
+	cells := cellsFixture()
+	for _, tau := range []float64{1, 10, 50, 90} {
+		sel, ok := SelectGR(cells, tau)
+		if !ok {
+			t.Fatalf("GR infeasible at tau=%v", tau)
+		}
+		if sel.Load < tau {
+			t.Errorf("GR load %v < tau %v", sel.Load, tau)
+		}
+	}
+}
+
+func TestSelectGRPrefersLowRelativeCost(t *testing.T) {
+	cells := []Cell{
+		{ID: 0, Load: 10, Size: 1000}, // relative cost 100
+		{ID: 1, Load: 10, Size: 10},   // relative cost 1
+		{ID: 2, Load: 10, Size: 20},   // relative cost 2
+	}
+	sel, ok := SelectGR(cells, 15)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	// Best: cells 1+2 (size 30), never cell 0.
+	for _, c := range sel.Cells {
+		if c.ID == 0 {
+			t.Errorf("GR picked the expensive cell: %+v", sel.Cells)
+		}
+	}
+	if sel.Size != 30 {
+		t.Errorf("GR size = %d, want 30", sel.Size)
+	}
+}
+
+func TestSelectGRSingleClosingCell(t *testing.T) {
+	// A single large cell is cheaper than many small ones.
+	cells := []Cell{
+		{ID: 0, Load: 100, Size: 50},
+		{ID: 1, Load: 1, Size: 10},
+		{ID: 2, Load: 1, Size: 10},
+	}
+	sel, ok := SelectGR(cells, 90)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if len(sel.Cells) != 1 || sel.Cells[0].ID != 0 {
+		t.Errorf("GR = %+v, want just cell 0", sel.Cells)
+	}
+}
+
+func TestSelectInfeasible(t *testing.T) {
+	cells := []Cell{{ID: 0, Load: 5, Size: 10}}
+	for _, alg := range Algorithms() {
+		sel, ok := Select(alg, cells, 100, rand.New(rand.NewSource(1)))
+		if ok {
+			t.Errorf("%s: reported feasible for impossible tau", alg)
+		}
+		if len(sel.Cells) == 0 {
+			t.Errorf("%s: infeasible selection should still return best effort", alg)
+		}
+	}
+}
+
+func TestSelectZeroTau(t *testing.T) {
+	for _, alg := range Algorithms() {
+		sel, ok := Select(alg, cellsFixture(), 0, nil)
+		if !ok || len(sel.Cells) != 0 {
+			t.Errorf("%s: tau=0 should select nothing", alg)
+		}
+	}
+}
+
+func TestSelectSIOrder(t *testing.T) {
+	sel, ok := SelectSI(cellsFixture(), 10)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	// First pick is the largest cell (ID 5, size 900).
+	if sel.Cells[0].ID != 5 {
+		t.Errorf("SI first pick = %d, want 5", sel.Cells[0].ID)
+	}
+}
+
+func TestSelectRADeterministicWithSeed(t *testing.T) {
+	a, _ := SelectRA(cellsFixture(), 30, rand.New(rand.NewSource(7)))
+	b, _ := SelectRA(cellsFixture(), 30, rand.New(rand.NewSource(7)))
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatal("RA not deterministic under fixed seed")
+	}
+	for i := range a.Cells {
+		if a.Cells[i].ID != b.Cells[i].ID {
+			t.Fatal("RA not deterministic under fixed seed")
+		}
+	}
+}
+
+// Property: all algorithms return feasible selections whenever total load
+// suffices, and GR's cost never beats DP's optimum.
+func TestSelectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		cells := make([]Cell, n)
+		var total float64
+		for i := range cells {
+			cells[i] = Cell{ID: i, Load: float64(1 + rng.Intn(30)), Size: int64(1 + rng.Intn(50))}
+			total += cells[i].Load
+		}
+		tau := total * 0.4
+		dp, ok1 := SelectDP(cells, tau, 1)
+		gr, ok2 := SelectGR(cells, tau)
+		si, ok3 := SelectSI(cells, tau)
+		ra, ok4 := SelectRA(cells, tau, rng)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return false
+		}
+		if dp.Load < tau || gr.Load < tau || si.Load < tau || ra.Load < tau {
+			return false
+		}
+		// DP is optimal: nothing beats it.
+		return gr.Size >= dp.Size && si.Size >= dp.Size && ra.Size >= dp.Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// GR should usually produce smaller migration cost than SI and RA — the
+// Figure 14 finding. Checked in aggregate over many instances.
+func TestGRBeatsBaselinesOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var grTotal, siTotal, raTotal float64
+	for trial := 0; trial < 200; trial++ {
+		n := 50
+		cells := make([]Cell, n)
+		var total float64
+		for i := range cells {
+			load := float64(1 + rng.Intn(100))
+			// Size loosely correlated with load plus noise.
+			size := int64(load*float64(10+rng.Intn(20))) + int64(rng.Intn(500))
+			cells[i] = Cell{ID: i, Load: load, Size: size}
+			total += load
+		}
+		tau := total * 0.3
+		gr, _ := SelectGR(cells, tau)
+		si, _ := SelectSI(cells, tau)
+		ra, _ := SelectRA(cells, tau, rng)
+		grTotal += float64(gr.Size)
+		siTotal += float64(si.Size)
+		raTotal += float64(ra.Size)
+	}
+	if grTotal >= siTotal {
+		t.Errorf("GR total cost %v should beat SI %v", grTotal, siTotal)
+	}
+	if grTotal >= raTotal {
+		t.Errorf("GR total cost %v should beat RA %v", grTotal, raTotal)
+	}
+}
+
+func TestTau(t *testing.T) {
+	if got := Tau([]float64{10, 50}); got != 20 {
+		t.Errorf("Tau = %v, want 20", got)
+	}
+	if got := Tau([]float64{30}); got != 0 {
+		t.Errorf("Tau single = %v, want 0", got)
+	}
+	if got := Tau(nil); got != 0 {
+		t.Errorf("Tau nil = %v, want 0", got)
+	}
+}
+
+func TestSelectUnknownAlgorithmFallsBack(t *testing.T) {
+	sel, ok := Select(Algorithm("bogus"), cellsFixture(), 10, nil)
+	if !ok || sel.Load < 10 {
+		t.Error("unknown algorithm should fall back to GR")
+	}
+}

@@ -1,0 +1,619 @@
+// The AP-tree of Wang et al. [9] indexes continuous spatial-keyword
+// queries in a tree whose internal nodes adaptively choose between
+// keyword partitioning and space partitioning based on a cost model —
+// the same space-vs-text adaptivity PS2Stream's hybrid partitioner
+// applies across workers, applied here inside one worker.
+//
+// Queries are decomposed into their DNF conjunctions; each conjunction is
+// registered with its terms ordered rarest-first (the pivot sequence). A
+// keyword node at keyword-depth d buckets registrations by their d-th
+// pivot into contiguous ranges of the global term ordering; registrations
+// whose conjunction has no d-th keyword stay in the node's exhausted
+// list. A space node splits its rectangle into quadrants and replicates a
+// registration into every quadrant its region intersects. Matching an
+// object therefore probes, per keyword node, only the buckets holding one
+// of the object's own terms (plus the exhausted list) and, per space
+// node, the single quadrant containing the object's location. Leaves
+// verify candidates fully; deletions are lazy (§IV-D's tombstone rule).
+
+package qindex
+
+import (
+	"sort"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+	"ps2stream/internal/textutil"
+)
+
+// Default AP-tree tuning.
+const (
+	// DefaultAPLeafCapacity is the registration count at which a leaf
+	// considers splitting.
+	DefaultAPLeafCapacity = 32
+	// DefaultAPFanout is the bucket count of a keyword node.
+	DefaultAPFanout = 8
+	// DefaultAPMaxDepth bounds the total tree depth (keyword + space).
+	DefaultAPMaxDepth = 12
+	// apObjectTerms is the assumed mean distinct terms per object used by
+	// the keyword-split cost estimate.
+	apObjectTerms = 6
+)
+
+// APTree is an adaptive worker-side query index (see Index). It is owned
+// by a single worker goroutine and is not safe for concurrent use.
+type APTree struct {
+	root  *apNode
+	stats *textutil.Stats
+
+	leafCap  int
+	fanout   int
+	maxDepth int
+
+	queries    map[uint64]*model.Query
+	refs       map[uint64]int // leaf registrations per query id
+	tombstones map[uint64]struct{}
+	entries    int
+	scratch    []uint64
+}
+
+var _ Index = (*APTree)(nil)
+
+// apReg is one registered conjunction of a query.
+type apReg struct {
+	q *model.Query
+	// pivots holds the conjunction's terms ordered rarest-first under the
+	// index's statistics; keyword nodes route on pivots[depth].
+	pivots []string
+}
+
+// apKey orders terms by object frequency (ascending), ties broken
+// lexicographically, matching textutil.Stats.LeastFrequent so the rarest
+// pivot comes first.
+type apKey struct {
+	count int
+	term  string
+}
+
+func (k apKey) less(o apKey) bool {
+	if k.count != o.count {
+		return k.count < o.count
+	}
+	return k.term < o.term
+}
+
+type apKind uint8
+
+const (
+	apLeaf apKind = iota
+	apKeyword
+	apSpace
+)
+
+type apNode struct {
+	kind   apKind
+	bounds geo.Rect
+	// kdepth counts keyword-node ancestors (the pivot index this node
+	// routes on when kind == apKeyword).
+	kdepth int
+	depth  int
+
+	// Leaf state.
+	regs []apReg
+	// noSplit marks leaves where splitting was evaluated and rejected.
+	noSplit bool
+
+	// Keyword-node state: kids[i] covers pivot keys in
+	// [cuts[i-1], cuts[i]) with cuts[-1] = -inf, cuts[len-1] = +inf;
+	// exhausted holds registrations with ≤ kdepth pivots.
+	cuts      []apKey
+	kids      []*apNode
+	exhausted []apReg
+}
+
+// NewAPTree returns an empty AP-tree over bounds. stats supplies the term
+// ordering and the cost model's frequency estimates (nil uses empty
+// statistics). leafCap, fanout and maxDepth ≤ 0 use the defaults.
+func NewAPTree(bounds geo.Rect, stats *textutil.Stats, leafCap, fanout, maxDepth int) *APTree {
+	if stats == nil {
+		stats = textutil.NewStats()
+	}
+	if leafCap <= 0 {
+		leafCap = DefaultAPLeafCapacity
+	}
+	if fanout < 2 {
+		fanout = DefaultAPFanout
+	}
+	if maxDepth <= 0 {
+		maxDepth = DefaultAPMaxDepth
+	}
+	return &APTree{
+		root:       &apNode{kind: apLeaf, bounds: bounds},
+		stats:      stats,
+		leafCap:    leafCap,
+		fanout:     fanout,
+		maxDepth:   maxDepth,
+		queries:    make(map[uint64]*model.Query),
+		refs:       make(map[uint64]int),
+		tombstones: make(map[uint64]struct{}),
+	}
+}
+
+func (ix *APTree) key(term string) apKey {
+	return apKey{count: ix.stats.Count(term), term: term}
+}
+
+// pivotsOf orders one conjunction rarest-first.
+func (ix *APTree) pivotsOf(conj []string) []string {
+	p := append([]string(nil), conj...)
+	sort.Slice(p, func(i, j int) bool { return ix.key(p[i]).less(ix.key(p[j])) })
+	return p
+}
+
+// Insert registers q. Reinserting a tombstoned id clears the tombstone.
+func (ix *APTree) Insert(q *model.Query) {
+	delete(ix.tombstones, q.ID)
+	if _, dup := ix.queries[q.ID]; dup {
+		return
+	}
+	if len(q.Expr.Conj) == 0 {
+		return
+	}
+	ix.queries[q.ID] = q
+	for _, conj := range q.Expr.Conj {
+		if len(conj) == 0 {
+			continue
+		}
+		reg := apReg{q: q, pivots: ix.pivotsOf(conj)}
+		ix.insertReg(ix.root, reg)
+	}
+}
+
+// insertReg places one registration, descending through internal nodes
+// and splitting leaves that overflow.
+func (ix *APTree) insertReg(n *apNode, reg apReg) {
+	for {
+		switch n.kind {
+		case apLeaf:
+			n.regs = append(n.regs, reg)
+			ix.refs[reg.q.ID]++
+			ix.entries++
+			if len(n.regs) > ix.leafCap && !n.noSplit && n.depth < ix.maxDepth {
+				ix.split(n)
+			}
+			return
+		case apKeyword:
+			if len(reg.pivots) <= n.kdepth {
+				n.exhausted = append(n.exhausted, reg)
+				ix.refs[reg.q.ID]++
+				ix.entries++
+				return
+			}
+			n = n.kids[n.bucket(reg.pivots[n.kdepth], ix)]
+		case apSpace:
+			// Replicate into every quadrant the region intersects.
+			placed := false
+			for _, kid := range n.kids {
+				if kid.bounds.Intersects(reg.q.Region) {
+					ix.insertReg(kid, reg)
+					placed = true
+				}
+			}
+			if !placed {
+				// Region outside this subtree's bounds entirely (possible
+				// for queries poking outside the monitored space): keep it
+				// in the nearest quadrant so it is never lost.
+				ix.insertReg(n.kids[0], reg)
+			}
+			return
+		}
+	}
+}
+
+// bucket maps a term to the keyword-node child covering its key.
+func (n *apNode) bucket(term string, ix *APTree) int {
+	k := ix.key(term)
+	// First child whose cut is > k; cuts are ascending.
+	lo, hi := 0, len(n.cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.cuts[mid].less(k) || n.cuts[mid] == k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// split converts an overflowing leaf into a keyword or space node,
+// whichever the cost model estimates cheaper per matched object. If
+// neither beats keeping the leaf, the leaf is marked unsplittable.
+func (ix *APTree) split(n *apNode) {
+	n.compactLeaf(ix)
+	if len(n.regs) <= ix.leafCap {
+		return
+	}
+	costLeaf := float64(len(n.regs))
+	kwCost, cuts := ix.keywordSplitCost(n)
+	spCost, quadCounts := ix.spaceSplitCost(n)
+	const improvement = 0.90 // require a ≥10% expected candidate reduction
+	switch {
+	case kwCost <= spCost && kwCost < costLeaf*improvement:
+		ix.splitKeyword(n, cuts)
+	case spCost < kwCost && spCost < costLeaf*improvement:
+		_ = quadCounts
+		ix.splitSpace(n)
+	default:
+		n.noSplit = true
+	}
+}
+
+// compactLeaf drops tombstoned registrations before measuring costs.
+func (n *apNode) compactLeaf(ix *APTree) {
+	w := 0
+	for _, r := range n.regs {
+		if _, dead := ix.tombstones[r.q.ID]; dead {
+			ix.dropRef(r.q.ID)
+			ix.entries--
+			continue
+		}
+		n.regs[w] = r
+		w++
+	}
+	n.regs = n.regs[:w]
+}
+
+// keywordSplitCost estimates the expected number of candidate
+// registrations an object scans if n becomes a keyword node, and returns
+// the bucket cuts it would use. Buckets are balanced by registration
+// count over the sorted pivot keys; an object probes a bucket with
+// probability ≈ min(1, apObjectTerms × freq-mass of the bucket's pivot
+// terms) and always scans the exhausted list.
+func (ix *APTree) keywordSplitCost(n *apNode) (float64, []apKey) {
+	d := n.kdepth
+	var routable []apReg
+	exhausted := 0
+	for _, r := range n.regs {
+		if len(r.pivots) > d {
+			routable = append(routable, r)
+		} else {
+			exhausted++
+		}
+	}
+	if len(routable) < ix.fanout {
+		return float64(len(n.regs)) + 1, nil // hopeless: everything exhausted
+	}
+	sort.Slice(routable, func(i, j int) bool {
+		return ix.key(routable[i].pivots[d]).less(ix.key(routable[j].pivots[d]))
+	})
+	b := ix.fanout
+	per := (len(routable) + b - 1) / b
+	cost := float64(exhausted)
+	var cuts []apKey
+	for start := 0; start < len(routable); start += per {
+		end := start + per
+		if end > len(routable) {
+			end = len(routable)
+		}
+		// Bucket visit probability from the frequency mass of its
+		// distinct pivot terms in the object stream.
+		var mass float64
+		seen := map[string]struct{}{}
+		for _, r := range routable[start:end] {
+			t := r.pivots[d]
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			mass += ix.stats.Freq(t)
+		}
+		p := apObjectTerms * mass
+		if p > 1 {
+			p = 1
+		}
+		cost += p * float64(end-start)
+		if end < len(routable) {
+			// Cut strictly between the last key of this bucket and the
+			// first of the next; routing uses key < cut.
+			cuts = append(cuts, ix.key(routable[end].pivots[d]))
+		}
+	}
+	return cost, cuts
+}
+
+// spaceSplitCost estimates the expected candidates if n splits into
+// quadrants: an object lands in one quadrant (¼ visit probability each
+// under uniform traffic) and scans the registrations replicated there.
+func (ix *APTree) spaceSplitCost(n *apNode) (float64, [4]int) {
+	var counts [4]int
+	c := n.bounds.Center()
+	quads := [4]geo.Rect{
+		{Min: n.bounds.Min, Max: c},
+		{Min: geo.Point{X: c.X, Y: n.bounds.Min.Y}, Max: geo.Point{X: n.bounds.Max.X, Y: c.Y}},
+		{Min: geo.Point{X: n.bounds.Min.X, Y: c.Y}, Max: geo.Point{X: c.X, Y: n.bounds.Max.Y}},
+		{Min: c, Max: n.bounds.Max},
+	}
+	for _, r := range n.regs {
+		for i, quad := range quads {
+			if quad.Intersects(r.q.Region) {
+				counts[i]++
+			}
+		}
+	}
+	var cost float64
+	for _, ct := range counts {
+		cost += 0.25 * float64(ct)
+	}
+	return cost, counts
+}
+
+// splitKeyword turns n into a keyword node with the given cuts.
+func (ix *APTree) splitKeyword(n *apNode, cuts []apKey) {
+	regs := n.regs
+	n.kind = apKeyword
+	n.regs = nil
+	n.cuts = cuts
+	n.kids = make([]*apNode, len(cuts)+1)
+	for i := range n.kids {
+		n.kids[i] = &apNode{
+			kind:   apLeaf,
+			bounds: n.bounds,
+			kdepth: n.kdepth + 1,
+			depth:  n.depth + 1,
+		}
+	}
+	for _, r := range regs {
+		// Entries move rather than being re-created: undo the leaf
+		// bookkeeping the re-insertion will redo.
+		ix.refs[r.q.ID]--
+		ix.entries--
+		ix.insertReg(n, r)
+	}
+}
+
+// splitSpace turns n into a space node with four quadrant children.
+func (ix *APTree) splitSpace(n *apNode) {
+	regs := n.regs
+	n.kind = apSpace
+	n.regs = nil
+	c := n.bounds.Center()
+	quads := [4]geo.Rect{
+		{Min: n.bounds.Min, Max: c},
+		{Min: geo.Point{X: c.X, Y: n.bounds.Min.Y}, Max: geo.Point{X: n.bounds.Max.X, Y: c.Y}},
+		{Min: geo.Point{X: n.bounds.Min.X, Y: c.Y}, Max: geo.Point{X: c.X, Y: n.bounds.Max.Y}},
+		{Min: c, Max: n.bounds.Max},
+	}
+	n.kids = make([]*apNode, 4)
+	for i := range n.kids {
+		n.kids[i] = &apNode{
+			kind:   apLeaf,
+			bounds: quads[i],
+			kdepth: n.kdepth,
+			depth:  n.depth + 1,
+		}
+	}
+	for _, r := range regs {
+		ix.refs[r.q.ID]--
+		ix.entries--
+		ix.insertReg(n, r)
+	}
+}
+
+// Delete drops a query by id, lazily.
+func (ix *APTree) Delete(id uint64) {
+	if _, ok := ix.queries[id]; !ok {
+		return
+	}
+	ix.tombstones[id] = struct{}{}
+}
+
+func (ix *APTree) dropRef(id uint64) {
+	ix.refs[id]--
+	if ix.refs[id] <= 0 {
+		delete(ix.refs, id)
+		delete(ix.queries, id)
+		delete(ix.tombstones, id)
+	}
+}
+
+// Match invokes fn exactly once per live query matching o. Keyword nodes
+// are probed only on the buckets covering o's own terms; space nodes on
+// the quadrant containing o.Loc. Tombstoned registrations encountered on
+// scanned leaves are removed.
+func (ix *APTree) Match(o *model.Object, fn func(q *model.Query)) {
+	if !ix.root.bounds.Contains(o.Loc) {
+		return
+	}
+	ix.scratch = ix.scratch[:0]
+	ix.matchNode(ix.root, o, fn)
+}
+
+func (ix *APTree) matchNode(n *apNode, o *model.Object, fn func(q *model.Query)) {
+	switch n.kind {
+	case apLeaf:
+		n.scanRegs(&n.regs, ix, o, fn)
+	case apKeyword:
+		n.scanRegs(&n.exhausted, ix, o, fn)
+		if len(o.Terms) >= len(n.kids) {
+			// Probing every bucket anyway: skip the dedup bookkeeping.
+			for _, kid := range n.kids {
+				ix.matchNode(kid, o, fn)
+			}
+			return
+		}
+		var visited [DefaultAPFanout * 2]bool
+		for _, t := range o.Terms {
+			b := n.bucket(t, ix)
+			if b < len(visited) && visited[b] {
+				continue
+			}
+			if b < len(visited) {
+				visited[b] = true
+			}
+			ix.matchNode(n.kids[b], o, fn)
+		}
+	case apSpace:
+		for _, kid := range n.kids {
+			if kid.bounds.Contains(o.Loc) {
+				ix.matchNode(kid, o, fn)
+				return
+			}
+		}
+	}
+}
+
+// scanRegs verifies each registration in *list against o, compacting
+// tombstoned entries in place.
+func (n *apNode) scanRegs(list *[]apReg, ix *APTree, o *model.Object, fn func(q *model.Query)) {
+	regs := *list
+	w := 0
+	for _, r := range regs {
+		if _, dead := ix.tombstones[r.q.ID]; dead {
+			ix.dropRef(r.q.ID)
+			ix.entries--
+			continue
+		}
+		regs[w] = r
+		w++
+		if r.q.Region.Contains(o.Loc) && r.q.Expr.MatchesSlice(o.Terms) && !ix.seen(r.q.ID) {
+			ix.scratch = append(ix.scratch, r.q.ID)
+			fn(r.q)
+		}
+	}
+	*list = regs[:w]
+}
+
+func (ix *APTree) seen(id uint64) bool {
+	for _, s := range ix.scratch {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchIDs returns the matching query ids (convenience for tests).
+func (ix *APTree) MatchIDs(o *model.Object) []uint64 {
+	var out []uint64
+	ix.Match(o, func(q *model.Query) { out = append(out, q.ID) })
+	return out
+}
+
+// Purge eagerly removes all tombstoned registrations.
+func (ix *APTree) Purge() {
+	if len(ix.tombstones) == 0 {
+		return
+	}
+	ix.purgeNode(ix.root)
+}
+
+func (ix *APTree) purgeNode(n *apNode) {
+	compact := func(list *[]apReg) {
+		regs := *list
+		w := 0
+		for _, r := range regs {
+			if _, dead := ix.tombstones[r.q.ID]; dead {
+				ix.dropRef(r.q.ID)
+				ix.entries--
+				continue
+			}
+			regs[w] = r
+			w++
+		}
+		*list = regs[:w]
+	}
+	compact(&n.regs)
+	compact(&n.exhausted)
+	for _, kid := range n.kids {
+		ix.purgeNode(kid)
+	}
+}
+
+// QueryCount returns distinct queries referenced by the index (tombstoned
+// but unpurged ids count until purged), matching GI2's accounting.
+func (ix *APTree) QueryCount() int { return len(ix.queries) }
+
+// LiveQueryCount returns distinct queries excluding tombstoned ones.
+func (ix *APTree) LiveQueryCount() int {
+	n := len(ix.queries)
+	for id := range ix.tombstones {
+		if _, ok := ix.refs[id]; ok {
+			n--
+		}
+	}
+	return n
+}
+
+// EntryCount returns the number of stored registrations (replicas
+// included).
+func (ix *APTree) EntryCount() int { return ix.entries }
+
+// NodeCount returns the number of allocated tree nodes; NodeKinds counts
+// them by kind (tests, benches, the ablation report).
+func (ix *APTree) NodeCount() int {
+	l, k, s := ix.NodeKinds()
+	return l + k + s
+}
+
+// NodeKinds returns the number of leaf, keyword and space nodes.
+func (ix *APTree) NodeKinds() (leaves, keyword, space int) {
+	var walk func(n *apNode)
+	walk = func(n *apNode) {
+		switch n.kind {
+		case apLeaf:
+			leaves++
+		case apKeyword:
+			keyword++
+		case apSpace:
+			space++
+		}
+		for _, kid := range n.kids {
+			walk(kid)
+		}
+	}
+	walk(ix.root)
+	return
+}
+
+// Get returns the stored definition of a live query, or nil.
+func (ix *APTree) Get(id uint64) *model.Query {
+	if _, dead := ix.tombstones[id]; dead {
+		return nil
+	}
+	return ix.queries[id]
+}
+
+// Each invokes fn once per live query, in unspecified order.
+func (ix *APTree) Each(fn func(q *model.Query)) {
+	for id, q := range ix.queries {
+		if _, dead := ix.tombstones[id]; dead {
+			continue
+		}
+		fn(q)
+	}
+}
+
+// Footprint estimates resident bytes with the same per-entry accounting
+// as the other worker indexes.
+func (ix *APTree) Footprint() int64 {
+	var b int64
+	for _, q := range ix.queries {
+		b += int64(q.SizeBytes()) + 48
+	}
+	b += int64(ix.entries) * 32 // apReg (pointer + pivot slice header)
+	var nodes func(n *apNode) int64
+	nodes = func(n *apNode) int64 {
+		nb := int64(120) // node struct
+		for _, c := range n.cuts {
+			nb += int64(24 + len(c.term))
+		}
+		for _, kid := range n.kids {
+			nb += nodes(kid)
+		}
+		return nb
+	}
+	b += nodes(ix.root)
+	b += int64(len(ix.tombstones)) * 16
+	return b
+}

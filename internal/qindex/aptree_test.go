@@ -1,0 +1,289 @@
+package qindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+	"ps2stream/internal/textutil"
+)
+
+func TestAPTreeBasicMatch(t *testing.T) {
+	ix := NewAPTree(bounds, nil, 0, 0, 0)
+	q1 := &model.Query{ID: 1, Expr: model.And("coffee"), Region: geo.NewRect(0, 0, 50, 50)}
+	q2 := &model.Query{ID: 2, Expr: model.And("coffee", "cheap"), Region: geo.NewRect(25, 25, 75, 75)}
+	q3 := &model.Query{ID: 3, Expr: model.Or("tea", "coffee"), Region: geo.NewRect(60, 60, 100, 100)}
+	for _, q := range []*model.Query{q1, q2, q3} {
+		ix.Insert(q)
+	}
+	cases := []struct {
+		name string
+		o    *model.Object
+		want []uint64
+	}{
+		{"inside q1 only", &model.Object{ID: 1, Terms: []string{"coffee"}, Loc: geo.Point{X: 10, Y: 10}}, []uint64{1}},
+		{"overlap q1 q2", &model.Object{ID: 2, Terms: []string{"coffee", "cheap"}, Loc: geo.Point{X: 30, Y: 30}}, []uint64{1, 2}},
+		{"and needs both", &model.Object{ID: 3, Terms: []string{"cheap"}, Loc: geo.Point{X: 30, Y: 30}}, nil},
+		{"or matches either", &model.Object{ID: 4, Terms: []string{"tea"}, Loc: geo.Point{X: 70, Y: 70}}, []uint64{3}},
+		{"outside regions", &model.Object{ID: 5, Terms: []string{"coffee"}, Loc: geo.Point{X: 90, Y: 10}}, nil},
+	}
+	for _, tc := range cases {
+		got := matchIDs(ix, tc.o)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+// The AP-tree must agree with the naive oracle on random workloads with
+// interleaved deletions, under aggressive splitting.
+func TestAPTreeMatchesOracle(t *testing.T) {
+	qs, os := randWorkload(11, 300, 400)
+	stats := textutil.NewStats()
+	for _, o := range os {
+		stats.Add(o.Terms...)
+	}
+	ix := NewAPTree(bounds, stats, 8, 4, 10)
+	for _, q := range qs {
+		ix.Insert(q)
+	}
+	for i := 0; i < len(qs); i += 4 {
+		ix.Delete(qs[i].ID)
+	}
+	live := map[uint64]bool{}
+	for i, q := range qs {
+		live[q.ID] = i%4 != 0
+	}
+	for _, o := range os {
+		var oracle []uint64
+		for _, q := range qs {
+			if live[q.ID] && q.Matches(o) {
+				oracle = append(oracle, q.ID)
+			}
+		}
+		sort.Slice(oracle, func(i, j int) bool { return oracle[i] < oracle[j] })
+		got := matchIDs(ix, o)
+		if len(got) != len(oracle) {
+			t.Fatalf("object %d matched %v, oracle %v", o.ID, got, oracle)
+		}
+		for i := range got {
+			if got[i] != oracle[i] {
+				t.Fatalf("object %d matched %v, oracle %v", o.ID, got, oracle)
+			}
+		}
+	}
+	if ix.NodeCount() <= 1 {
+		t.Error("workload of 300 queries with capacity 8 did not split the root")
+	}
+}
+
+// Property: the AP-tree and GI2 report identical match sets under random
+// insert/delete/match interleavings.
+func TestAPTreeQuickAgainstGI2(t *testing.T) {
+	f := func(seed int64) bool {
+		qs, os := randWorkload(seed, 80, 60)
+		stats := textutil.NewStats()
+		for _, o := range os {
+			stats.Add(o.Terms...)
+		}
+		ap := NewAPTree(bounds, stats, 4, 3, 8)
+		gi := newGI2(stats)
+		rng := rand.New(rand.NewSource(seed ^ 0xa97ee))
+		inserted := make([]*model.Query, 0, len(qs))
+		for _, q := range qs {
+			ap.Insert(q)
+			gi.Insert(q)
+			inserted = append(inserted, q)
+			if rng.Intn(3) == 0 {
+				victim := inserted[rng.Intn(len(inserted))]
+				ap.Delete(victim.ID)
+				gi.Delete(victim.ID)
+			}
+			o := os[rng.Intn(len(os))]
+			a, b := matchIDs(ap, o), matchIDs(gi, o)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAPTreeAdaptsNodeKinds(t *testing.T) {
+	stats := textutil.NewStats()
+	// A vocabulary where half the terms are frequent in objects.
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, v := range vocab {
+		stats.AddWeighted(v, 1<<uint(len(vocab)-i))
+	}
+	ix := NewAPTree(bounds, stats, 8, 4, 10)
+	rng := rand.New(rand.NewSource(42))
+	// Spatially clustered queries with identical keywords: space
+	// partitioning is the only useful split for them.
+	for i := 0; i < 120; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		ix.Insert(&model.Query{
+			ID:     uint64(i + 1),
+			Expr:   model.And("a"), // same single frequent keyword
+			Region: geo.NewRect(x, y, x+0.5, y+0.5),
+		})
+	}
+	_, kw, sp := ix.NodeKinds()
+	if sp == 0 {
+		t.Errorf("identical-keyword clustered workload produced no space nodes (kw=%d sp=%d)", kw, sp)
+	}
+	// Now a keyword-diverse workload with giant regions: keyword
+	// partitioning is the only useful split.
+	ix2 := NewAPTree(bounds, stats, 8, 4, 10)
+	for i := 0; i < 120; i++ {
+		ix2.Insert(&model.Query{
+			ID:     uint64(i + 1),
+			Expr:   model.And(vocab[i%len(vocab)], vocab[(i+3)%len(vocab)]),
+			Region: geo.NewRect(0, 0, 100, 100), // straddles every centre
+		})
+	}
+	_, kw2, sp2 := ix2.NodeKinds()
+	if kw2 == 0 {
+		t.Errorf("keyword-diverse full-space workload produced no keyword nodes (kw=%d sp=%d)", kw2, sp2)
+	}
+}
+
+func TestAPTreeDeleteAndPurge(t *testing.T) {
+	qs, _ := randWorkload(13, 100, 0)
+	ix := NewAPTree(bounds, nil, 8, 4, 8)
+	for _, q := range qs {
+		ix.Insert(q)
+	}
+	if got := ix.QueryCount(); got != 100 {
+		t.Fatalf("QueryCount = %d, want 100", got)
+	}
+	for i := 0; i < 50; i++ {
+		ix.Delete(qs[i].ID)
+	}
+	if got := ix.LiveQueryCount(); got != 50 {
+		t.Errorf("LiveQueryCount = %d, want 50", got)
+	}
+	ix.Purge()
+	if got := ix.QueryCount(); got != 50 {
+		t.Errorf("QueryCount after purge = %d, want 50", got)
+	}
+	// Entries: every remaining registration references a live query.
+	liveEntries := 0
+	var walk func(n *apNode)
+	walk = func(n *apNode) {
+		liveEntries += len(n.regs) + len(n.exhausted)
+		for _, kid := range n.kids {
+			walk(kid)
+		}
+	}
+	walk(ix.root)
+	if liveEntries != ix.EntryCount() {
+		t.Errorf("EntryCount = %d, walked %d", ix.EntryCount(), liveEntries)
+	}
+}
+
+func TestAPTreeOrQueryMatchedOnce(t *testing.T) {
+	ix := NewAPTree(bounds, nil, 4, 3, 8)
+	q := &model.Query{ID: 1, Expr: model.Or("a", "b"), Region: geo.NewRect(0, 0, 100, 100)}
+	ix.Insert(q)
+	o := &model.Object{ID: 1, Terms: []string{"a", "b"}, Loc: geo.Point{X: 50, Y: 50}}
+	n := 0
+	ix.Match(o, func(*model.Query) { n++ })
+	if n != 1 {
+		t.Errorf("OR query reported %d times, want 1", n)
+	}
+}
+
+func TestAPTreeReplicatedQueryMatchedOnce(t *testing.T) {
+	// Force a space split, then match an object inside a query that was
+	// replicated into several quadrants.
+	ix := NewAPTree(bounds, nil, 4, 3, 8)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		x, y := rng.Float64()*90, rng.Float64()*90
+		ix.Insert(&model.Query{
+			ID:     uint64(i + 1),
+			Expr:   model.And("t"),
+			Region: geo.NewRect(x, y, x+1, y+1),
+		})
+	}
+	big := &model.Query{ID: 1000, Expr: model.And("t"), Region: geo.NewRect(10, 10, 90, 90)}
+	ix.Insert(big)
+	o := &model.Object{ID: 1, Terms: []string{"t"}, Loc: geo.Point{X: 50, Y: 50}}
+	seen := 0
+	ix.Match(o, func(q *model.Query) {
+		if q.ID == 1000 {
+			seen++
+		}
+	})
+	if seen != 1 {
+		t.Errorf("replicated query reported %d times, want 1", seen)
+	}
+}
+
+func TestAPTreeEachAndFootprint(t *testing.T) {
+	qs, _ := randWorkload(17, 60, 0)
+	ix := NewAPTree(bounds, nil, 8, 4, 8)
+	empty := ix.Footprint()
+	for _, q := range qs {
+		ix.Insert(q)
+	}
+	for i := 0; i < 20; i++ {
+		ix.Delete(qs[i].ID)
+	}
+	got := map[uint64]bool{}
+	ix.Each(func(q *model.Query) { got[q.ID] = true })
+	if len(got) != 40 {
+		t.Fatalf("Each visited %d queries, want 40", len(got))
+	}
+	if ix.Footprint() <= empty {
+		t.Error("Footprint did not grow")
+	}
+}
+
+func TestAPTreeReinsertWhileTombstoned(t *testing.T) {
+	ix := NewAPTree(bounds, nil, 4, 3, 8)
+	q := &model.Query{ID: 1, Expr: model.And("x"), Region: geo.NewRect(0, 0, 10, 10)}
+	ix.Insert(q)
+	ix.Delete(1)
+	ix.Insert(q)
+	o := &model.Object{ID: 1, Terms: []string{"x"}, Loc: geo.Point{X: 5, Y: 5}}
+	if got := matchIDs(ix, o); len(got) != 1 {
+		t.Fatalf("resurrected query not matched: %v", got)
+	}
+}
+
+func TestAPTreeUnsplittableLeafStaysCorrect(t *testing.T) {
+	// Identical queries (same keyword, same centre-straddling region)
+	// give both split strategies nothing to work with: the leaf must mark
+	// itself unsplittable and keep matching correctly.
+	ix := NewAPTree(bounds, nil, 4, 3, 8)
+	for i := 0; i < 30; i++ {
+		ix.Insert(&model.Query{
+			ID:     uint64(i + 1),
+			Expr:   model.And("t"),
+			Region: geo.NewRect(40, 40, 60, 60),
+		})
+	}
+	o := &model.Object{ID: 1, Terms: []string{"t"}, Loc: geo.Point{X: 50, Y: 50}}
+	if got := matchIDs(ix, o); len(got) != 30 {
+		t.Errorf("matched %d, want 30", len(got))
+	}
+}

@@ -1,0 +1,97 @@
+package qindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ps2stream/internal/gi2"
+	"ps2stream/internal/model"
+	"ps2stream/internal/textutil"
+)
+
+// Shared index invariants, checked across every implementation under a
+// random insert/delete/match/purge churn:
+//
+//  1. QueryCount never goes negative and equals the live population after
+//     a Purge (plus any not-yet-tombstoned duplicates).
+//  2. Each visits exactly the live ids, once each.
+//  3. Get returns non-nil exactly for live ids.
+//  4. Footprint stays positive once anything was inserted.
+func TestIndexInvariantsUnderChurn(t *testing.T) {
+	builders := map[string]func(stats *textutil.Stats) Index{
+		"gi2":    func(s *textutil.Stats) Index { return gi2.New(bounds, 16, s) },
+		"rtree":  func(*textutil.Stats) Index { return NewRTree(8) },
+		"iqtree": func(s *textutil.Stats) Index { return NewIQTree(bounds, s, 5, 4) },
+		"aptree": func(s *textutil.Stats) Index { return NewAPTree(bounds, s, 4, 3, 8) },
+	}
+	type purger interface{ Purge() }
+	for name, mk := range builders {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				qs, os := randWorkload(seed, 120, 40)
+				stats := textutil.NewStats()
+				for _, o := range os {
+					stats.Add(o.Terms...)
+				}
+				ix := mk(stats)
+				rng := rand.New(rand.NewSource(seed ^ 0x1417))
+				live := map[uint64]*model.Query{}
+				for _, q := range qs {
+					ix.Insert(q)
+					live[q.ID] = q
+					switch rng.Intn(4) {
+					case 0: // delete a random live query
+						for id := range live {
+							ix.Delete(id)
+							delete(live, id)
+							break
+						}
+					case 1: // match traffic drives lazy purging
+						ix.Match(os[rng.Intn(len(os))], func(*model.Query) {})
+					case 2:
+						if p, ok := ix.(purger); ok && rng.Intn(4) == 0 {
+							p.Purge()
+						}
+					}
+					if ix.QueryCount() < len(live) {
+						t.Logf("QueryCount %d < live %d", ix.QueryCount(), len(live))
+						return false
+					}
+					for id := range live {
+						if ix.Get(id) == nil {
+							t.Logf("Get(%d) = nil for live id", id)
+							return false
+						}
+					}
+				}
+				// Drain tombstones, then Each must visit exactly the live set.
+				if p, ok := ix.(purger); ok {
+					p.Purge()
+				}
+				seen := map[uint64]bool{}
+				dup := false
+				ix.Each(func(q *model.Query) {
+					if seen[q.ID] {
+						dup = true
+					}
+					seen[q.ID] = true
+				})
+				if dup || len(seen) != len(live) {
+					t.Logf("Each visited %d (dup=%v), live %d", len(seen), dup, len(live))
+					return false
+				}
+				for id := range live {
+					if !seen[id] {
+						t.Logf("Each missed live id %d", id)
+						return false
+					}
+				}
+				return ix.Footprint() > 0
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,438 @@
+// The IQ-tree of Chen, Cong and Cao [10] combines a quadtree over the
+// monitored space with per-node inverted lists: a query is stored at the
+// deepest node whose region fully contains the query's region, under the
+// inverted list of its least-frequent keyword (one list entry per
+// conjunction, the same registration rule GI2 and gridt use). Matching an
+// object walks the single root-to-leaf path containing the object's
+// location — every query whose region covers the point is registered on
+// that path — and probes each visited node's lists with the object's
+// terms. Deletion is lazy, as in §IV-D.
+//
+// Compared to GI2, the IQ-tree never duplicates a query across cells
+// (lower memory, cheap insertion) but pays a longer probe path per object
+// and cannot shrink hot cells below its split threshold.
+
+package qindex
+
+import (
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+	"ps2stream/internal/textutil"
+)
+
+// Default IQ-tree tuning. MaxDepth 8 bounds the probe path (≤9 nodes);
+// SplitThreshold matches the point where a node's lists get long enough
+// that pushing contained queries down pays for the extra path node.
+const (
+	DefaultIQMaxDepth       = 8
+	DefaultIQSplitThreshold = 64
+)
+
+// IQTree is a worker-side query index (see Index). It is owned by a single
+// worker goroutine and is not safe for concurrent use.
+type IQTree struct {
+	root  *iqNode
+	stats *textutil.Stats
+
+	maxDepth  int
+	threshold int
+
+	// queries maps stored ids to definitions; refs counts inverted-list
+	// entries per id so definitions drop once fully purged; tombstones is
+	// the lazy-deletion set.
+	queries    map[uint64]*model.Query
+	refs       map[uint64]int
+	tombstones map[uint64]struct{}
+	entries    int
+	scratch    []uint64 // reusable match-dedup buffer
+}
+
+var _ Index = (*IQTree)(nil)
+
+type iqNode struct {
+	bounds   geo.Rect
+	depth    int
+	children *[4]*iqNode // nil for leaves
+	inverted map[string][]*model.Query
+	// resident counts distinct queries stored at this node (split test).
+	resident int
+}
+
+// NewIQTree returns an empty IQ-tree over bounds. stats selects
+// least-frequent registration keywords (nil uses empty statistics).
+// maxDepth and splitThreshold ≤ 0 use the defaults.
+func NewIQTree(bounds geo.Rect, stats *textutil.Stats, maxDepth, splitThreshold int) *IQTree {
+	if stats == nil {
+		stats = textutil.NewStats()
+	}
+	if maxDepth <= 0 {
+		maxDepth = DefaultIQMaxDepth
+	}
+	if splitThreshold <= 0 {
+		splitThreshold = DefaultIQSplitThreshold
+	}
+	return &IQTree{
+		root:       &iqNode{bounds: bounds},
+		stats:      stats,
+		maxDepth:   maxDepth,
+		threshold:  splitThreshold,
+		queries:    make(map[uint64]*model.Query),
+		refs:       make(map[uint64]int),
+		tombstones: make(map[uint64]struct{}),
+	}
+}
+
+// quadrant returns the child index for a point: 0=SW 1=SE 2=NW 3=NE,
+// with the centre lines belonging to the upper/right children so the four
+// regions partition the node exactly.
+func (n *iqNode) quadrant(p geo.Point) int {
+	c := n.bounds.Center()
+	q := 0
+	if p.X >= c.X {
+		q |= 1
+	}
+	if p.Y >= c.Y {
+		q |= 2
+	}
+	return q
+}
+
+// childBounds returns the region of child q.
+func (n *iqNode) childBounds(q int) geo.Rect {
+	c := n.bounds.Center()
+	r := n.bounds
+	if q&1 == 0 {
+		r.Max.X = c.X
+	} else {
+		r.Min.X = c.X
+	}
+	if q&2 == 0 {
+		r.Max.Y = c.Y
+	} else {
+		r.Min.Y = c.Y
+	}
+	return r
+}
+
+// childFor returns the unique child whose region fully contains r, or -1
+// when r straddles a centre line. Containment is decided on the min corner
+// quadrant: since the four children tile the node, r fits in a child iff
+// both corners land in the same quadrant.
+func (n *iqNode) childFor(r geo.Rect) int {
+	qmin := n.quadrant(r.Min)
+	if n.quadrant(r.Max) != qmin {
+		return -1
+	}
+	return qmin
+}
+
+// Insert registers q. Reinserting a tombstoned id clears the tombstone
+// (ids are never reused by the paper's streams; this keeps the structure
+// safe if callers do).
+func (ix *IQTree) Insert(q *model.Query) {
+	delete(ix.tombstones, q.ID)
+	if _, dup := ix.queries[q.ID]; dup {
+		return
+	}
+	keys := ix.stats.RegistrationKeys(q.Expr.Conj)
+	if len(keys) == 0 {
+		return
+	}
+	ix.queries[q.ID] = q
+	n := ix.descend(q.Region)
+	ix.store(n, q, keys)
+	ix.maybeSplit(n)
+}
+
+// descend finds the deepest existing node whose region fully contains r.
+func (ix *IQTree) descend(r geo.Rect) *iqNode {
+	n := ix.root
+	for n.children != nil {
+		c := n.childFor(r)
+		if c < 0 {
+			return n
+		}
+		n = n.children[c]
+	}
+	return n
+}
+
+func (ix *IQTree) store(n *iqNode, q *model.Query, keys []string) {
+	if n.inverted == nil {
+		n.inverted = make(map[string][]*model.Query)
+	}
+	for _, k := range keys {
+		n.inverted[k] = append(n.inverted[k], q)
+		ix.refs[q.ID]++
+		ix.entries++
+	}
+	n.resident++
+}
+
+// maybeSplit turns an over-full leaf into an internal node and pushes the
+// queries contained by a single quadrant down into it (recursively, so a
+// burst of co-located queries settles at its natural depth).
+func (ix *IQTree) maybeSplit(n *iqNode) {
+	for n.resident > ix.threshold && n.depth < ix.maxDepth && n.children == nil {
+		var kids [4]*iqNode
+		for i := range kids {
+			kids[i] = &iqNode{bounds: n.childBounds(i), depth: n.depth + 1}
+		}
+		n.children = &kids
+		moved := ix.pushDown(n)
+		if moved == 0 {
+			// Every resident straddles a centre line; the node stays
+			// over-full and further splitting cannot help.
+			return
+		}
+		for _, k := range kids {
+			ix.maybeSplit(k)
+		}
+		return
+	}
+}
+
+// pushDown moves every query stored at n that fits inside one child down
+// one level, dropping tombstoned entries on the way. It returns the number
+// of distinct queries moved.
+func (ix *IQTree) pushDown(n *iqNode) int {
+	movedIDs := make(map[uint64]bool)
+	for term, list := range n.inverted {
+		w := 0
+		for _, q := range list {
+			if _, dead := ix.tombstones[q.ID]; dead {
+				if ix.dropRef(q.ID) {
+					n.resident--
+				}
+				ix.entries--
+				continue
+			}
+			c := n.childFor(q.Region)
+			if c < 0 {
+				list[w] = q
+				w++
+				continue
+			}
+			child := n.children[c]
+			if child.inverted == nil {
+				child.inverted = make(map[string][]*model.Query)
+			}
+			child.inverted[term] = append(child.inverted[term], q)
+			if !movedIDs[q.ID] {
+				movedIDs[q.ID] = true
+				n.resident--
+				child.resident++
+			}
+			continue
+		}
+		if w == 0 {
+			delete(n.inverted, term)
+		} else {
+			n.inverted[term] = list[:w]
+		}
+	}
+	return len(movedIDs)
+}
+
+// Delete drops a query by id, lazily: the id is tombstoned and physically
+// removed when matching traverses its lists (or by the next pushDown).
+func (ix *IQTree) Delete(id uint64) {
+	if _, ok := ix.queries[id]; !ok {
+		return
+	}
+	ix.tombstones[id] = struct{}{}
+}
+
+// dropRef releases one inverted-list reference to id and reports whether
+// that was the last one (the query definition is dropped then). All of a
+// query's entries live at a single node, so the caller decrements that
+// node's resident count exactly when dropRef returns true.
+func (ix *IQTree) dropRef(id uint64) bool {
+	ix.refs[id]--
+	if ix.refs[id] <= 0 {
+		delete(ix.refs, id)
+		delete(ix.queries, id)
+		delete(ix.tombstones, id)
+		return true
+	}
+	return false
+}
+
+// Match invokes fn exactly once per live query matching o, walking the
+// root-to-leaf path containing o.Loc and probing each node's inverted
+// lists with o's terms. Tombstoned entries on traversed lists are removed.
+func (ix *IQTree) Match(o *model.Object, fn func(q *model.Query)) {
+	ix.scratch = ix.scratch[:0]
+	n := ix.root
+	for n != nil {
+		if !n.bounds.Contains(o.Loc) {
+			return
+		}
+		ix.matchNode(n, o, fn)
+		if n.children == nil {
+			return
+		}
+		n = n.children[n.quadrant(o.Loc)]
+	}
+}
+
+func (ix *IQTree) matchNode(n *iqNode, o *model.Object, fn func(q *model.Query)) {
+	if n.inverted == nil {
+		return
+	}
+	for _, term := range o.Terms {
+		list, ok := n.inverted[term]
+		if !ok {
+			continue
+		}
+		w := 0
+		for _, q := range list {
+			if _, dead := ix.tombstones[q.ID]; dead {
+				if ix.dropRef(q.ID) {
+					n.resident--
+				}
+				ix.entries--
+				continue
+			}
+			list[w] = q
+			w++
+			if q.Region.Contains(o.Loc) && q.Expr.MatchesSlice(o.Terms) && !ix.seen(q.ID) {
+				ix.scratch = append(ix.scratch, q.ID)
+				fn(q)
+			}
+		}
+		if w == 0 {
+			delete(n.inverted, term)
+		} else {
+			n.inverted[term] = list[:w]
+		}
+	}
+}
+
+func (ix *IQTree) seen(id uint64) bool {
+	for _, s := range ix.scratch {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchIDs returns the matching query ids (convenience for tests).
+func (ix *IQTree) MatchIDs(o *model.Object) []uint64 {
+	var out []uint64
+	ix.Match(o, func(q *model.Query) { out = append(out, q.ID) })
+	return out
+}
+
+// Purge eagerly removes all tombstoned entries from every node.
+func (ix *IQTree) Purge() {
+	if len(ix.tombstones) == 0 {
+		return
+	}
+	ix.purgeNode(ix.root)
+}
+
+func (ix *IQTree) purgeNode(n *iqNode) {
+	for term, list := range n.inverted {
+		w := 0
+		for _, q := range list {
+			if _, dead := ix.tombstones[q.ID]; dead {
+				if ix.dropRef(q.ID) {
+					n.resident--
+				}
+				ix.entries--
+				continue
+			}
+			list[w] = q
+			w++
+		}
+		if w == 0 {
+			delete(n.inverted, term)
+		} else {
+			n.inverted[term] = list[:w]
+		}
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			ix.purgeNode(c)
+		}
+	}
+}
+
+// QueryCount returns distinct queries referenced by the index (tombstoned
+// but unpurged ids count until purged), matching GI2's accounting.
+func (ix *IQTree) QueryCount() int { return len(ix.queries) }
+
+// LiveQueryCount returns distinct queries excluding tombstoned ones.
+func (ix *IQTree) LiveQueryCount() int {
+	n := len(ix.queries)
+	for id := range ix.tombstones {
+		if _, ok := ix.refs[id]; ok {
+			n--
+		}
+	}
+	return n
+}
+
+// EntryCount returns the number of (node, term, query) entries.
+func (ix *IQTree) EntryCount() int { return ix.entries }
+
+// NodeCount returns the number of allocated tree nodes (tests, benches).
+func (ix *IQTree) NodeCount() int {
+	var count func(n *iqNode) int
+	count = func(n *iqNode) int {
+		c := 1
+		if n.children != nil {
+			for _, k := range n.children {
+				c += count(k)
+			}
+		}
+		return c
+	}
+	return count(ix.root)
+}
+
+// Get returns the stored definition of a live query, or nil.
+func (ix *IQTree) Get(id uint64) *model.Query {
+	if _, dead := ix.tombstones[id]; dead {
+		return nil
+	}
+	return ix.queries[id]
+}
+
+// Each invokes fn once per live query, in unspecified order.
+func (ix *IQTree) Each(fn func(q *model.Query)) {
+	for id, q := range ix.queries {
+		if _, dead := ix.tombstones[id]; dead {
+			continue
+		}
+		fn(q)
+	}
+}
+
+// Footprint estimates resident bytes using the same per-entry accounting
+// as GI2 (Figure 10 comparisons stay apples-to-apples).
+func (ix *IQTree) Footprint() int64 {
+	var b int64
+	for _, q := range ix.queries {
+		b += int64(q.SizeBytes()) + 48 // map slots in queries/refs
+	}
+	b += int64(ix.entries) * 8 // list entries
+	var nodes func(n *iqNode) int64
+	nodes = func(n *iqNode) int64 {
+		nb := int64(96) // node struct
+		for term := range n.inverted {
+			nb += int64(16+len(term)) + 24 // key + slice header
+		}
+		if n.children != nil {
+			for _, k := range n.children {
+				nb += nodes(k)
+			}
+		}
+		return nb
+	}
+	b += nodes(ix.root)
+	b += int64(len(ix.tombstones)) * 16
+	return b
+}

@@ -1,0 +1,319 @@
+package qindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/gi2"
+	"ps2stream/internal/model"
+	"ps2stream/internal/textutil"
+)
+
+func TestIQTreeBasicMatch(t *testing.T) {
+	ix := NewIQTree(bounds, nil, 0, 0)
+	q1 := &model.Query{ID: 1, Expr: model.And("coffee"), Region: geo.NewRect(0, 0, 50, 50)}
+	q2 := &model.Query{ID: 2, Expr: model.And("coffee", "cheap"), Region: geo.NewRect(25, 25, 75, 75)}
+	q3 := &model.Query{ID: 3, Expr: model.Or("tea", "coffee"), Region: geo.NewRect(60, 60, 100, 100)}
+	for _, q := range []*model.Query{q1, q2, q3} {
+		ix.Insert(q)
+	}
+	cases := []struct {
+		name string
+		o    *model.Object
+		want []uint64
+	}{
+		{"inside q1 only", &model.Object{ID: 1, Terms: []string{"coffee"}, Loc: geo.Point{X: 10, Y: 10}}, []uint64{1}},
+		{"overlap q1 q2", &model.Object{ID: 2, Terms: []string{"coffee", "cheap"}, Loc: geo.Point{X: 30, Y: 30}}, []uint64{1, 2}},
+		{"q2 needs both terms", &model.Object{ID: 3, Terms: []string{"cheap"}, Loc: geo.Point{X: 30, Y: 30}}, nil},
+		{"or matches either", &model.Object{ID: 4, Terms: []string{"tea"}, Loc: geo.Point{X: 70, Y: 70}}, []uint64{3}},
+		{"outside all regions", &model.Object{ID: 5, Terms: []string{"coffee"}, Loc: geo.Point{X: 90, Y: 10}}, nil},
+	}
+	for _, tc := range cases {
+		got := matchIDs(ix, tc.o)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+// The IQ-tree must agree with the naive oracle on random workloads with
+// interleaved deletions — the same contract TestImplementationsAgree
+// checks for GI2 and the R-tree.
+func TestIQTreeMatchesOracle(t *testing.T) {
+	qs, os := randWorkload(7, 300, 400)
+	stats := textutil.NewStats()
+	for _, o := range os {
+		stats.Add(o.Terms...)
+	}
+	// Small threshold forces real tree depth.
+	ix := NewIQTree(bounds, stats, 6, 8)
+	for _, q := range qs {
+		ix.Insert(q)
+	}
+	for i := 0; i < len(qs); i += 4 {
+		ix.Delete(qs[i].ID)
+	}
+	live := map[uint64]bool{}
+	for i, q := range qs {
+		live[q.ID] = i%4 != 0
+	}
+	for _, o := range os {
+		var oracle []uint64
+		for _, q := range qs {
+			if live[q.ID] && q.Matches(o) {
+				oracle = append(oracle, q.ID)
+			}
+		}
+		sort.Slice(oracle, func(i, j int) bool { return oracle[i] < oracle[j] })
+		got := matchIDs(ix, o)
+		if len(got) != len(oracle) {
+			t.Fatalf("object %d matched %v, oracle %v", o.ID, got, oracle)
+		}
+		for i := range got {
+			if got[i] != oracle[i] {
+				t.Fatalf("object %d matched %v, oracle %v", o.ID, got, oracle)
+			}
+		}
+	}
+	if ix.NodeCount() <= 1 {
+		t.Error("workload of 300 queries with threshold 8 did not split the root")
+	}
+}
+
+// Property: for arbitrary insert/delete/match interleavings the IQ-tree
+// and GI2 report identical match sets.
+func TestIQTreeQuickAgainstGI2(t *testing.T) {
+	f := func(seed int64) bool {
+		qs, os := randWorkload(seed, 80, 60)
+		stats := textutil.NewStats()
+		for _, o := range os {
+			stats.Add(o.Terms...)
+		}
+		iq := NewIQTree(bounds, stats, 5, 4)
+		gi := newGI2(stats)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		inserted := make([]*model.Query, 0, len(qs))
+		for _, q := range qs {
+			iq.Insert(q)
+			gi.Insert(q)
+			inserted = append(inserted, q)
+			// Randomly delete one previously inserted query.
+			if rng.Intn(3) == 0 {
+				victim := inserted[rng.Intn(len(inserted))]
+				iq.Delete(victim.ID)
+				gi.Delete(victim.ID)
+			}
+			// Match a random object against both.
+			o := os[rng.Intn(len(os))]
+			a, b := matchIDs(iq, o), matchIDs(gi, o)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIQTreeDeleteAndPurge(t *testing.T) {
+	qs, _ := randWorkload(3, 100, 0)
+	ix := NewIQTree(bounds, nil, 6, 8)
+	for _, q := range qs {
+		ix.Insert(q)
+	}
+	if got := ix.QueryCount(); got != 100 {
+		t.Fatalf("QueryCount = %d, want 100", got)
+	}
+	for i := 0; i < 50; i++ {
+		ix.Delete(qs[i].ID)
+	}
+	if got := ix.LiveQueryCount(); got != 50 {
+		t.Errorf("LiveQueryCount = %d, want 50", got)
+	}
+	ix.Purge()
+	if got := ix.QueryCount(); got != 50 {
+		t.Errorf("QueryCount after purge = %d, want 50", got)
+	}
+	if got := ix.LiveQueryCount(); got != 50 {
+		t.Errorf("LiveQueryCount after purge = %d, want 50", got)
+	}
+	// resident invariant: the sum of node residents equals live queries.
+	var sum func(n *iqNode) int
+	sum = func(n *iqNode) int {
+		s := n.resident
+		if n.children != nil {
+			for _, c := range n.children {
+				s += sum(c)
+			}
+		}
+		return s
+	}
+	if got := sum(ix.root); got != 50 {
+		t.Errorf("sum of node residents = %d, want 50", got)
+	}
+}
+
+func TestIQTreeLazyDeletionDuringMatch(t *testing.T) {
+	ix := NewIQTree(bounds, nil, 4, 2)
+	q := &model.Query{ID: 1, Expr: model.And("x"), Region: geo.NewRect(0, 0, 10, 10)}
+	ix.Insert(q)
+	ix.Delete(1)
+	o := &model.Object{ID: 1, Terms: []string{"x"}, Loc: geo.Point{X: 5, Y: 5}}
+	if got := matchIDs(ix, o); len(got) != 0 {
+		t.Fatalf("tombstoned query matched: %v", got)
+	}
+	// The traversal physically removed the entry.
+	if got := ix.EntryCount(); got != 0 {
+		t.Errorf("EntryCount after lazy purge = %d, want 0", got)
+	}
+	if got := ix.QueryCount(); got != 0 {
+		t.Errorf("QueryCount after lazy purge = %d, want 0", got)
+	}
+}
+
+func TestIQTreeReinsertWhileTombstoned(t *testing.T) {
+	ix := NewIQTree(bounds, nil, 4, 2)
+	q := &model.Query{ID: 1, Expr: model.And("x"), Region: geo.NewRect(0, 0, 10, 10)}
+	ix.Insert(q)
+	ix.Delete(1)
+	ix.Insert(q) // resurrects before any traversal purges it
+	o := &model.Object{ID: 1, Terms: []string{"x"}, Loc: geo.Point{X: 5, Y: 5}}
+	if got := matchIDs(ix, o); len(got) != 1 {
+		t.Fatalf("resurrected query not matched: %v", got)
+	}
+}
+
+func TestIQTreeSplitPushesContainedQueriesDown(t *testing.T) {
+	ix := NewIQTree(bounds, nil, 4, 4)
+	// 8 small queries all inside the SW quadrant → the root splits and
+	// they all migrate into (grand)children.
+	for i := 0; i < 8; i++ {
+		x := float64(i) * 2
+		ix.Insert(&model.Query{
+			ID:     uint64(i + 1),
+			Expr:   model.And("t"),
+			Region: geo.NewRect(x, 1, x+1, 2),
+		})
+	}
+	if ix.NodeCount() == 1 {
+		t.Fatal("root never split")
+	}
+	if ix.root.resident != 0 {
+		t.Errorf("root still holds %d contained queries", ix.root.resident)
+	}
+	// All still match.
+	for i := 0; i < 8; i++ {
+		o := &model.Object{ID: uint64(i), Terms: []string{"t"}, Loc: geo.Point{X: float64(i)*2 + 0.5, Y: 1.5}}
+		if got := matchIDs(ix, o); len(got) != 1 {
+			t.Errorf("query %d lost after split: %v", i+1, got)
+		}
+	}
+}
+
+func TestIQTreeStraddlersStayAtRoot(t *testing.T) {
+	ix := NewIQTree(bounds, nil, 4, 2)
+	// Queries crossing the centre (50,50) cannot be pushed down.
+	for i := 0; i < 6; i++ {
+		ix.Insert(&model.Query{
+			ID:     uint64(i + 1),
+			Expr:   model.And("t"),
+			Region: geo.NewRect(40, 40, 60, 60),
+		})
+	}
+	if ix.root.resident != 6 {
+		t.Errorf("root resident = %d, want 6 straddlers", ix.root.resident)
+	}
+	o := &model.Object{ID: 1, Terms: []string{"t"}, Loc: geo.Point{X: 50, Y: 50}}
+	if got := matchIDs(ix, o); len(got) != 6 {
+		t.Errorf("matched %d straddlers, want 6", len(got))
+	}
+}
+
+func TestIQTreeOrQueryMatchedOnce(t *testing.T) {
+	// An OR query registered under two keys must be reported once even
+	// when the object carries both keywords.
+	ix := NewIQTree(bounds, nil, 4, 8)
+	q := &model.Query{ID: 1, Expr: model.Or("a", "b"), Region: geo.NewRect(0, 0, 100, 100)}
+	ix.Insert(q)
+	o := &model.Object{ID: 1, Terms: []string{"a", "b"}, Loc: geo.Point{X: 50, Y: 50}}
+	n := 0
+	ix.Match(o, func(*model.Query) { n++ })
+	if n != 1 {
+		t.Errorf("OR query reported %d times, want 1", n)
+	}
+}
+
+func TestIQTreeEach(t *testing.T) {
+	qs, _ := randWorkload(5, 40, 0)
+	ix := NewIQTree(bounds, nil, 6, 8)
+	for _, q := range qs {
+		ix.Insert(q)
+	}
+	for i := 0; i < 10; i++ {
+		ix.Delete(qs[i].ID)
+	}
+	got := map[uint64]bool{}
+	ix.Each(func(q *model.Query) { got[q.ID] = true })
+	if len(got) != 30 {
+		t.Fatalf("Each visited %d queries, want 30", len(got))
+	}
+	for i := 0; i < 10; i++ {
+		if got[qs[i].ID] {
+			t.Errorf("Each visited tombstoned query %d", qs[i].ID)
+		}
+	}
+}
+
+func TestIQTreeFootprintGrows(t *testing.T) {
+	ix := NewIQTree(bounds, nil, 0, 0)
+	empty := ix.Footprint()
+	qs, _ := randWorkload(9, 200, 0)
+	for _, q := range qs {
+		ix.Insert(q)
+	}
+	full := ix.Footprint()
+	if full <= empty {
+		t.Errorf("Footprint did not grow: %d -> %d", empty, full)
+	}
+}
+
+func TestIQTreeQueryOutsideBounds(t *testing.T) {
+	// A query poking outside the monitored space still matches objects at
+	// the overlap, and objects outside the space match nothing.
+	ix := NewIQTree(bounds, nil, 4, 1)
+	ix.Insert(&model.Query{ID: 1, Expr: model.And("t"), Region: geo.NewRect(-50, -50, 5, 5)})
+	// Force splitting with a few more queries.
+	for i := 2; i <= 5; i++ {
+		x := float64(i * 10)
+		ix.Insert(&model.Query{ID: uint64(i), Expr: model.And("t"), Region: geo.NewRect(x, x, x+1, x+1)})
+	}
+	in := &model.Object{ID: 1, Terms: []string{"t"}, Loc: geo.Point{X: 2, Y: 2}}
+	if got := matchIDs(ix, in); len(got) != 1 || got[0] != 1 {
+		t.Errorf("overlap object matched %v, want [1]", got)
+	}
+	out := &model.Object{ID: 2, Terms: []string{"t"}, Loc: geo.Point{X: -10, Y: -10}}
+	if got := matchIDs(ix, out); len(got) != 0 {
+		t.Errorf("out-of-bounds object matched %v, want none", got)
+	}
+}
+
+// newGI2 builds a GI2 index over the shared test bounds.
+func newGI2(stats *textutil.Stats) Index {
+	return gi2.New(bounds, 16, stats)
+}

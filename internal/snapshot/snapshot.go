@@ -1,0 +1,102 @@
+// Package snapshot serialises the live STS-query population of a running
+// PS2Stream system so a restarted (or replacement) deployment can be
+// re-primed without replaying the subscription stream. The paper's system
+// keeps all state in worker memory; checkpointing is the operational
+// feature a production deployment layers on top.
+//
+// The format is a gob stream: a fixed header (magic, version, bounds,
+// count) followed by the deduplicated query slice. Queries are written in
+// ascending id order so identical populations produce identical bytes.
+package snapshot
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+// magic identifies a PS2Stream snapshot stream.
+const magic = "PS2SNAP"
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// Header precedes the query payload.
+type Header struct {
+	Magic   string
+	Version int
+	// Bounds is the monitored region of the checkpointing system;
+	// restorers may verify compatibility.
+	Bounds geo.Rect
+	// Count is the number of queries that follow.
+	Count int
+}
+
+// ErrBadSnapshot is wrapped by Read errors caused by malformed input.
+var ErrBadSnapshot = errors.New("snapshot: malformed snapshot")
+
+// Write serialises the queries to w. The input slice is not modified;
+// duplicates (same id) are dropped, keeping the first occurrence.
+func Write(w io.Writer, bounds geo.Rect, qs []*model.Query) error {
+	dedup := make([]*model.Query, 0, len(qs))
+	seen := make(map[uint64]struct{}, len(qs))
+	for _, q := range qs {
+		if q == nil {
+			continue
+		}
+		if _, dup := seen[q.ID]; dup {
+			continue
+		}
+		seen[q.ID] = struct{}{}
+		dedup = append(dedup, q)
+	}
+	sort.Slice(dedup, func(i, j int) bool { return dedup[i].ID < dedup[j].ID })
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(Header{Magic: magic, Version: Version, Bounds: bounds, Count: len(dedup)}); err != nil {
+		return fmt.Errorf("snapshot: writing header: %w", err)
+	}
+	// Queries are encoded individually so a reader can stream them and a
+	// truncated file fails at a query boundary rather than mid-slice.
+	for _, q := range dedup {
+		if err := enc.Encode(q); err != nil {
+			return fmt.Errorf("snapshot: writing query %d: %w", q.ID, err)
+		}
+	}
+	return nil
+}
+
+// Read parses a snapshot produced by Write and returns its header and
+// queries.
+func Read(r io.Reader) (Header, []*model.Query, error) {
+	dec := gob.NewDecoder(r)
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return Header{}, nil, fmt.Errorf("%w: reading header: %v", ErrBadSnapshot, err)
+	}
+	if h.Magic != magic {
+		return Header{}, nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, h.Magic)
+	}
+	if h.Version != Version {
+		return Header{}, nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, h.Version)
+	}
+	if h.Count < 0 {
+		return Header{}, nil, fmt.Errorf("%w: negative count %d", ErrBadSnapshot, h.Count)
+	}
+	qs := make([]*model.Query, 0, h.Count)
+	for i := 0; i < h.Count; i++ {
+		var q model.Query
+		if err := dec.Decode(&q); err != nil {
+			return Header{}, nil, fmt.Errorf("%w: reading query %d/%d: %v", ErrBadSnapshot, i+1, h.Count, err)
+		}
+		if q.Expr.Empty() {
+			return Header{}, nil, fmt.Errorf("%w: query %d has an empty expression", ErrBadSnapshot, q.ID)
+		}
+		qs = append(qs, &q)
+	}
+	return h, qs, nil
+}

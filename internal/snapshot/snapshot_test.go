@@ -1,0 +1,180 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+var bounds = geo.NewRect(0, 0, 100, 100)
+
+func randQueries(seed int64, n int) []*model.Query {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "eps"}
+	qs := make([]*model.Query, 0, n)
+	for i := 0; i < n; i++ {
+		var e model.Expr
+		a, b := vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))]
+		if rng.Intn(2) == 0 {
+			e = model.And(a, b)
+		} else {
+			e = model.Or(a, b)
+		}
+		x, y := rng.Float64()*90, rng.Float64()*90
+		qs = append(qs, &model.Query{
+			ID:         uint64(i + 1),
+			Expr:       e,
+			Region:     geo.NewRect(x, y, x+5, y+5),
+			Subscriber: uint64(rng.Intn(50)),
+		})
+	}
+	return qs
+}
+
+func TestRoundTrip(t *testing.T) {
+	qs := randQueries(1, 200)
+	var buf bytes.Buffer
+	if err := Write(&buf, bounds, qs); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count != 200 || h.Bounds != bounds {
+		t.Errorf("header = %+v", h)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("round-tripped %d queries, want %d", len(got), len(qs))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(*got[i], *qs[i]) {
+			t.Fatalf("query %d mismatch:\n got %+v\nwant %+v", i, got[i], qs[i])
+		}
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	qs := randQueries(2, 100)
+	shuffled := append([]*model.Query(nil), qs...)
+	rand.New(rand.NewSource(9)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	var a, b bytes.Buffer
+	if err := Write(&a, bounds, qs); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, bounds, shuffled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same population in different order produced different snapshots")
+	}
+}
+
+func TestDeduplicatesByID(t *testing.T) {
+	q := randQueries(3, 1)[0]
+	var buf bytes.Buffer
+	if err := Write(&buf, bounds, []*model.Query{q, q, nil, q}); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count != 1 || len(got) != 1 {
+		t.Errorf("count = %d, queries = %d, want 1/1", h.Count, len(got))
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, bounds, nil); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count != 0 || len(got) != 0 {
+		t.Errorf("empty snapshot decoded to %d queries", len(got))
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	_, _, err := Read(bytes.NewReader([]byte("not a snapshot at all")))
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("garbage err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestRejectsTruncated(t *testing.T) {
+	qs := randQueries(4, 50)
+	var buf bytes.Buffer
+	if err := Write(&buf, bounds, qs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 2, len(full) - 3} {
+		_, _, err := Read(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("truncated at %d: err = %v, want ErrBadSnapshot", cut, err)
+		}
+	}
+}
+
+func TestRejectsWrongMagicAndVersion(t *testing.T) {
+	var buf bytes.Buffer
+	enc := newEncoder(&buf)
+	enc(Header{Magic: "NOTPS2", Version: Version, Count: 0})
+	if _, _, err := Read(&buf); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("wrong magic err = %v", err)
+	}
+	buf.Reset()
+	enc = newEncoder(&buf)
+	enc(Header{Magic: magic, Version: Version + 99, Count: 0})
+	if _, _, err := Read(&buf); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("wrong version err = %v", err)
+	}
+}
+
+// newEncoder hides the gob plumbing for header-tampering tests.
+func newEncoder(buf *bytes.Buffer) func(h Header) {
+	return func(h Header) {
+		if err := gob.NewEncoder(buf).Encode(h); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Property: Write∘Read is the identity on arbitrary valid query
+// populations (modulo duplicate ids).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		qs := randQueries(seed, int(n))
+		var buf bytes.Buffer
+		if err := Write(&buf, bounds, qs); err != nil {
+			return false
+		}
+		_, got, err := Read(&buf)
+		if err != nil || len(got) != len(qs) {
+			return false
+		}
+		for i := range got {
+			if !reflect.DeepEqual(*got[i], *qs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

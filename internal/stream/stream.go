@@ -1,0 +1,418 @@
+// Package stream is a miniature Storm-like dataflow engine: the substrate
+// PS2Stream runs on (the paper deploys on Apache Storm; here spouts and
+// bolts are goroutines connected by bounded channels, which is the
+// repro-equivalent on a single box).
+//
+// A Topology declares spouts (sources), bolts (processors), named streams,
+// and groupings (shuffle, fields/hash, broadcast, direct). Run executes
+// the dataflow until every spout is exhausted and all in-flight tuples are
+// drained, or the context is cancelled. Bounded channels provide
+// backpressure exactly where a Storm topology would queue.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ps2stream/internal/metrics"
+)
+
+// Tuple is the unit of data flowing through a topology.
+type Tuple struct {
+	// Value is the payload.
+	Value interface{}
+}
+
+// Collector lets spouts and bolts emit tuples downstream.
+type Collector interface {
+	// Emit sends the tuple on the named stream using each subscriber's
+	// grouping.
+	Emit(stream string, t Tuple)
+	// EmitDirect sends the tuple to one specific task of every
+	// direct-grouped subscriber of the stream.
+	EmitDirect(stream string, task int, t Tuple)
+}
+
+// Spout produces tuples. Next is called repeatedly from a single
+// goroutine; returning false ends the spout.
+type Spout interface {
+	Next(c Collector) bool
+}
+
+// Bolt processes tuples. Process is called from a single goroutine per
+// task, so a Bolt instance needs no internal locking for its own state.
+type Bolt interface {
+	Process(t Tuple, c Collector)
+}
+
+// SpoutFunc adapts a function to the Spout interface.
+type SpoutFunc func(c Collector) bool
+
+// Next implements Spout.
+func (f SpoutFunc) Next(c Collector) bool { return f(c) }
+
+// BoltFunc adapts a function to the Bolt interface.
+type BoltFunc func(t Tuple, c Collector)
+
+// Process implements Bolt.
+func (f BoltFunc) Process(t Tuple, c Collector) { f(t, c) }
+
+// SpoutFactory builds one Spout instance per task.
+type SpoutFactory func(task int) Spout
+
+// BoltFactory builds one Bolt instance per task.
+type BoltFactory func(task int) Bolt
+
+// groupingKind enumerates subscription modes.
+type groupingKind uint8
+
+const (
+	groupShuffle groupingKind = iota
+	groupFields
+	groupAll
+	groupDirect
+)
+
+type subscription struct {
+	bolt     *boltDecl
+	kind     groupingKind
+	keyFn    func(Tuple) uint64
+	shuffleC atomic.Uint64
+}
+
+type spoutDecl struct {
+	name    string
+	factory SpoutFactory
+	par     int
+	outputs []string
+}
+
+type boltDecl struct {
+	name    string
+	factory BoltFactory
+	par     int
+	outputs []string
+	inputs  []chan Tuple
+	// producers counts upstream task instances still running; the
+	// bolt's inputs close when it reaches zero.
+	producers atomic.Int64
+	subs      []*subscription // subscriptions owned by this bolt
+
+	processed metrics.Counter
+	emitted   metrics.Counter
+}
+
+// BoltSpec configures a bolt's subscriptions fluently.
+type BoltSpec struct {
+	t    *Topology
+	decl *boltDecl
+}
+
+// Topology is a declared dataflow. Build with NewTopology, add components,
+// then Run.
+type Topology struct {
+	spouts       []*spoutDecl
+	bolts        []*boltDecl
+	byName       map[string]bool
+	subsByStream map[string][]*subscription
+	// emittersByStream counts task instances that may emit on a stream.
+	emittersByStream map[string]int
+	queueCap         int
+	errs             []error
+
+	panicMu sync.Mutex
+	panics  []string
+}
+
+// NewTopology returns an empty topology with the given per-task queue
+// capacity (<=0 uses 1024).
+func NewTopology(queueCap int) *Topology {
+	if queueCap <= 0 {
+		queueCap = 1024
+	}
+	return &Topology{
+		byName:           make(map[string]bool),
+		subsByStream:     make(map[string][]*subscription),
+		emittersByStream: make(map[string]int),
+		queueCap:         queueCap,
+	}
+}
+
+// AddSpout declares a spout emitting on the given output streams.
+func (t *Topology) AddSpout(name string, f SpoutFactory, parallelism int, outputs ...string) {
+	if t.byName[name] {
+		t.errs = append(t.errs, fmt.Errorf("stream: duplicate component %q", name))
+		return
+	}
+	if parallelism < 1 {
+		t.errs = append(t.errs, fmt.Errorf("stream: spout %q parallelism %d", name, parallelism))
+		return
+	}
+	t.byName[name] = true
+	t.spouts = append(t.spouts, &spoutDecl{name: name, factory: f, par: parallelism, outputs: outputs})
+	for _, s := range outputs {
+		t.emittersByStream[s] += parallelism
+	}
+}
+
+// AddBolt declares a bolt; wire its inputs with the returned BoltSpec.
+func (t *Topology) AddBolt(name string, f BoltFactory, parallelism int, outputs ...string) *BoltSpec {
+	d := &boltDecl{name: name, factory: f, par: parallelism, outputs: outputs}
+	if t.byName[name] {
+		t.errs = append(t.errs, fmt.Errorf("stream: duplicate component %q", name))
+		return &BoltSpec{t: t, decl: d}
+	}
+	if parallelism < 1 {
+		t.errs = append(t.errs, fmt.Errorf("stream: bolt %q parallelism %d", name, parallelism))
+		return &BoltSpec{t: t, decl: d}
+	}
+	t.byName[name] = true
+	t.bolts = append(t.bolts, d)
+	for _, s := range outputs {
+		t.emittersByStream[s] += parallelism
+	}
+	return &BoltSpec{t: t, decl: d}
+}
+
+func (b *BoltSpec) subscribe(streamName string, kind groupingKind, keyFn func(Tuple) uint64) *BoltSpec {
+	sub := &subscription{bolt: b.decl, kind: kind, keyFn: keyFn}
+	b.decl.subs = append(b.decl.subs, sub)
+	b.t.subsByStream[streamName] = append(b.t.subsByStream[streamName], sub)
+	return b
+}
+
+// Shuffle subscribes round-robin.
+func (b *BoltSpec) Shuffle(streamName string) *BoltSpec {
+	return b.subscribe(streamName, groupShuffle, nil)
+}
+
+// Fields subscribes with hash partitioning on the given key.
+func (b *BoltSpec) Fields(streamName string, keyFn func(Tuple) uint64) *BoltSpec {
+	return b.subscribe(streamName, groupFields, keyFn)
+}
+
+// All subscribes every task to every tuple (broadcast).
+func (b *BoltSpec) All(streamName string) *BoltSpec {
+	return b.subscribe(streamName, groupAll, nil)
+}
+
+// Direct subscribes for explicit task addressing via EmitDirect.
+func (b *BoltSpec) Direct(streamName string) *BoltSpec {
+	return b.subscribe(streamName, groupDirect, nil)
+}
+
+// collector implements Collector for one producing task.
+type collector struct {
+	t    *Topology
+	decl *boltDecl // nil for spouts
+	// allowed streams for this producer.
+	outputs map[string]bool
+	ctx     context.Context
+}
+
+func (c *collector) count() {
+	if c.decl != nil {
+		c.decl.emitted.Inc()
+	}
+}
+
+// Emit implements Collector.
+func (c *collector) Emit(streamName string, tp Tuple) {
+	if !c.outputs[streamName] {
+		panic(fmt.Sprintf("stream: emit on undeclared stream %q", streamName))
+	}
+	c.count()
+	for _, sub := range c.t.subsByStream[streamName] {
+		switch sub.kind {
+		case groupShuffle:
+			i := int(sub.shuffleC.Add(1)) % sub.bolt.par
+			c.send(sub.bolt.inputs[i], tp)
+		case groupFields:
+			i := int(sub.keyFn(tp) % uint64(sub.bolt.par))
+			c.send(sub.bolt.inputs[i], tp)
+		case groupAll:
+			for _, ch := range sub.bolt.inputs {
+				c.send(ch, tp)
+			}
+		case groupDirect:
+			// Direct subscribers ignore plain Emit.
+		}
+	}
+}
+
+// EmitDirect implements Collector.
+func (c *collector) EmitDirect(streamName string, task int, tp Tuple) {
+	if !c.outputs[streamName] {
+		panic(fmt.Sprintf("stream: emit on undeclared stream %q", streamName))
+	}
+	c.count()
+	for _, sub := range c.t.subsByStream[streamName] {
+		if sub.kind != groupDirect {
+			continue
+		}
+		if task < 0 || task >= sub.bolt.par {
+			panic(fmt.Sprintf("stream: direct task %d out of range for %q", task, sub.bolt.name))
+		}
+		c.send(sub.bolt.inputs[task], tp)
+	}
+}
+
+// send delivers with backpressure, abandoning the tuple on cancellation.
+func (c *collector) send(ch chan Tuple, tp Tuple) {
+	select {
+	case ch <- tp:
+	case <-c.ctx.Done():
+	}
+}
+
+// Stats reports per-component processed/emitted counts.
+type Stats struct {
+	Processed int64
+	Emitted   int64
+}
+
+// ErrInvalidTopology wraps declaration errors found at Run time.
+var ErrInvalidTopology = errors.New("stream: invalid topology")
+
+// Run validates the topology, starts every task goroutine, and blocks
+// until all spouts finish and all tuples drain (or ctx is cancelled).
+// Tasks that panic are recovered; their messages are aggregated into the
+// returned error.
+func (t *Topology) Run(ctx context.Context) error {
+	if len(t.errs) > 0 {
+		return fmt.Errorf("%w: %v", ErrInvalidTopology, errors.Join(t.errs...))
+	}
+	for streamName := range t.subsByStream {
+		if t.emittersByStream[streamName] == 0 {
+			return fmt.Errorf("%w: stream %q has subscribers but no emitters", ErrInvalidTopology, streamName)
+		}
+	}
+	// Allocate input channels and producer counts.
+	for _, b := range t.bolts {
+		b.inputs = make([]chan Tuple, b.par)
+		for i := range b.inputs {
+			b.inputs[i] = make(chan Tuple, t.queueCap)
+		}
+		// Producers: every task instance of every component declaring at
+		// least one output stream this bolt subscribes to. Counted per
+		// task (not per stream) to mirror producerDone, which fires once
+		// per finishing task.
+		streams := map[string]bool{}
+		for streamName, subs := range t.subsByStream {
+			for _, sub := range subs {
+				if sub.bolt == b {
+					streams[streamName] = true
+				}
+			}
+		}
+		var prod int64
+		for _, sp := range t.spouts {
+			if anyStream(sp.outputs, streams) {
+				prod += int64(sp.par)
+			}
+		}
+		for _, ob := range t.bolts {
+			if anyStream(ob.outputs, streams) {
+				prod += int64(ob.par)
+			}
+		}
+		b.producers.Store(prod)
+	}
+
+	var wg sync.WaitGroup
+	// Spout tasks.
+	for _, sp := range t.spouts {
+		for i := 0; i < sp.par; i++ {
+			wg.Add(1)
+			go func(sp *spoutDecl, task int) {
+				defer wg.Done()
+				defer t.producerDone(sp.outputs)
+				defer t.recoverPanic(sp.name, task)
+				col := &collector{t: t, outputs: toSet(sp.outputs), ctx: ctx}
+				s := sp.factory(task)
+				for ctx.Err() == nil && s.Next(col) {
+				}
+			}(sp, i)
+		}
+	}
+	// Bolt tasks.
+	for _, b := range t.bolts {
+		for i := 0; i < b.par; i++ {
+			wg.Add(1)
+			go func(b *boltDecl, task int) {
+				defer wg.Done()
+				defer t.producerDone(b.outputs)
+				defer t.recoverPanic(b.name, task)
+				col := &collector{t: t, decl: b, outputs: toSet(b.outputs), ctx: ctx}
+				bolt := b.factory(task)
+				for tp := range b.inputs[task] {
+					b.processed.Inc()
+					bolt.Process(tp, col)
+				}
+			}(b, i)
+		}
+	}
+	wg.Wait()
+	t.panicMu.Lock()
+	defer t.panicMu.Unlock()
+	if len(t.panics) > 0 {
+		return fmt.Errorf("stream: %d task(s) panicked: %v", len(t.panics), t.panics)
+	}
+	return ctx.Err()
+}
+
+func anyStream(outputs []string, set map[string]bool) bool {
+	for _, s := range outputs {
+		if set[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// producerDone decrements the producer count of every bolt subscribed to
+// any of the finished task's output streams, closing inputs at zero.
+func (t *Topology) producerDone(outputs []string) {
+	notified := map[*boltDecl]bool{}
+	for _, s := range outputs {
+		for _, sub := range t.subsByStream[s] {
+			if notified[sub.bolt] {
+				continue
+			}
+			notified[sub.bolt] = true
+			if sub.bolt.producers.Add(-1) == 0 {
+				for _, ch := range sub.bolt.inputs {
+					close(ch)
+				}
+			}
+		}
+	}
+}
+
+func (t *Topology) recoverPanic(name string, task int) {
+	if r := recover(); r != nil {
+		t.panicMu.Lock()
+		t.panics = append(t.panics, fmt.Sprintf("%s[%d]: %v", name, task, r))
+		t.panicMu.Unlock()
+	}
+}
+
+// ComponentStats returns processed/emitted counters per bolt.
+func (t *Topology) ComponentStats() map[string]Stats {
+	out := make(map[string]Stats, len(t.bolts))
+	for _, b := range t.bolts {
+		out[b.name] = Stats{Processed: b.processed.Value(), Emitted: b.emitted.Value()}
+	}
+	return out
+}
+
+func toSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}

@@ -1,0 +1,359 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rangeSpout emits ints [0, n).
+func rangeSpout(n int, streamName string) SpoutFactory {
+	return func(task int) Spout {
+		i := 0
+		return SpoutFunc(func(c Collector) bool {
+			if i >= n {
+				return false
+			}
+			c.Emit(streamName, Tuple{Value: i})
+			i++
+			return true
+		})
+	}
+}
+
+// sink collects tuples thread-safely.
+type sink struct {
+	mu   sync.Mutex
+	vals []interface{}
+}
+
+func (s *sink) add(v interface{}) {
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.mu.Unlock()
+}
+
+func (s *sink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+func TestLinearPipeline(t *testing.T) {
+	tp := NewTopology(16)
+	tp.AddSpout("src", rangeSpout(100, "nums"), 1, "nums")
+	var doubled atomic.Int64
+	tp.AddBolt("double", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			c.Emit("doubled", Tuple{Value: tu.Value.(int) * 2})
+		})
+	}, 2, "doubled").Shuffle("nums")
+	out := &sink{}
+	tp.AddBolt("sink", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			doubled.Add(int64(tu.Value.(int)))
+			out.add(tu.Value)
+		})
+	}, 1).Shuffle("doubled")
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if out.len() != 100 {
+		t.Fatalf("sink received %d tuples, want 100", out.len())
+	}
+	if got := doubled.Load(); got != 2*99*100/2 {
+		t.Errorf("sum = %d, want %d", got, 2*99*100/2)
+	}
+	stats := tp.ComponentStats()
+	if stats["double"].Processed != 100 {
+		t.Errorf("double processed %d", stats["double"].Processed)
+	}
+	if stats["double"].Emitted != 100 {
+		t.Errorf("double emitted %d", stats["double"].Emitted)
+	}
+}
+
+func TestFieldsGroupingPartitionsByKey(t *testing.T) {
+	tp := NewTopology(16)
+	tp.AddSpout("src", rangeSpout(1000, "nums"), 1, "nums")
+	seen := make([]map[int]bool, 4)
+	var mu sync.Mutex
+	tp.AddBolt("sink", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			mu.Lock()
+			if seen[task] == nil {
+				seen[task] = map[int]bool{}
+			}
+			seen[task][tu.Value.(int)%7] = true
+			mu.Unlock()
+		})
+	}, 4).Fields("nums", func(tu Tuple) uint64 {
+		return uint64(tu.Value.(int) % 7)
+	})
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Each key class must appear at exactly one task.
+	owner := map[int]int{}
+	for task, keys := range seen {
+		for k := range keys {
+			if prev, dup := owner[k]; dup && prev != task {
+				t.Fatalf("key %d seen at tasks %d and %d", k, prev, task)
+			}
+			owner[k] = task
+		}
+	}
+	if len(owner) != 7 {
+		t.Errorf("saw %d key classes, want 7", len(owner))
+	}
+}
+
+func TestAllGroupingBroadcasts(t *testing.T) {
+	tp := NewTopology(16)
+	tp.AddSpout("src", rangeSpout(50, "nums"), 1, "nums")
+	var count atomic.Int64
+	tp.AddBolt("sink", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) { count.Add(1) })
+	}, 3).All("nums")
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := count.Load(); got != 150 {
+		t.Errorf("broadcast delivered %d, want 150", got)
+	}
+}
+
+func TestDirectGrouping(t *testing.T) {
+	tp := NewTopology(16)
+	tp.AddSpout("src", func(task int) Spout {
+		i := 0
+		return SpoutFunc(func(c Collector) bool {
+			if i >= 90 {
+				return false
+			}
+			c.EmitDirect("nums", i%3, Tuple{Value: i})
+			i++
+			return true
+		})
+	}, 1, "nums")
+	counts := make([]atomic.Int64, 3)
+	tp.AddBolt("sink", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			if tu.Value.(int)%3 != task {
+				t.Errorf("tuple %v delivered to wrong task %d", tu.Value, task)
+			}
+			counts[task].Add(1)
+		})
+	}, 3).Direct("nums")
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 30 {
+			t.Errorf("task %d received %d, want 30", i, got)
+		}
+	}
+}
+
+func TestMultiStageFanIn(t *testing.T) {
+	// Two spouts feed one bolt; termination must wait for both.
+	tp := NewTopology(8)
+	tp.AddSpout("a", rangeSpout(40, "s"), 2, "s")
+	tp.AddSpout("b", rangeSpout(30, "s"), 1, "s")
+	var n atomic.Int64
+	tp.AddBolt("sink", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) { n.Add(1) })
+	}, 2).Shuffle("s")
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 2*40+30 {
+		t.Errorf("received %d, want 110", got)
+	}
+}
+
+func TestMultipleOutputStreamsOneSubscriber(t *testing.T) {
+	// One producer emits on two streams consumed by the same bolt:
+	// termination accounting must not double-count the producer.
+	tp := NewTopology(8)
+	tp.AddSpout("src", func(task int) Spout {
+		i := 0
+		return SpoutFunc(func(c Collector) bool {
+			if i >= 10 {
+				return false
+			}
+			c.Emit("s1", Tuple{Value: i})
+			c.Emit("s2", Tuple{Value: i})
+			i++
+			return true
+		})
+	}, 1, "s1", "s2")
+	var n atomic.Int64
+	tp.AddBolt("sink", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) { n.Add(1) })
+	}, 1).Shuffle("s1").Shuffle("s2")
+	done := make(chan error, 1)
+	go func() { done <- tp.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("topology did not terminate (producer accounting bug)")
+	}
+	if got := n.Load(); got != 20 {
+		t.Errorf("received %d, want 20", got)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	tp := NewTopology(4)
+	// Infinite spout.
+	tp.AddSpout("src", func(task int) Spout {
+		return SpoutFunc(func(c Collector) bool {
+			c.Emit("s", Tuple{Value: 1})
+			return true
+		})
+	}, 1, "s")
+	tp.AddBolt("slow", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			time.Sleep(time.Millisecond)
+		})
+	}, 1).Shuffle("s")
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	err := tp.Run(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Run = %v, want deadline exceeded", err)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	tp := NewTopology(4)
+	tp.AddSpout("src", rangeSpout(10, "s"), 1, "s")
+	tp.AddBolt("boom", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			if tu.Value.(int) == 5 {
+				panic("kaboom")
+			}
+		})
+	}, 1).Shuffle("s")
+	err := tp.Run(context.Background())
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestInvalidTopologies(t *testing.T) {
+	t.Run("duplicate name", func(t *testing.T) {
+		tp := NewTopology(4)
+		tp.AddSpout("x", rangeSpout(1, "s"), 1, "s")
+		tp.AddBolt("x", func(int) Bolt { return BoltFunc(func(Tuple, Collector) {}) }, 1).Shuffle("s")
+		if err := tp.Run(context.Background()); !errors.Is(err, ErrInvalidTopology) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("orphan subscription", func(t *testing.T) {
+		tp := NewTopology(4)
+		tp.AddBolt("b", func(int) Bolt { return BoltFunc(func(Tuple, Collector) {}) }, 1).Shuffle("ghost")
+		if err := tp.Run(context.Background()); !errors.Is(err, ErrInvalidTopology) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("zero parallelism", func(t *testing.T) {
+		tp := NewTopology(4)
+		tp.AddSpout("s", rangeSpout(1, "s"), 0, "s")
+		if err := tp.Run(context.Background()); !errors.Is(err, ErrInvalidTopology) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestBackpressureDoesNotDrop(t *testing.T) {
+	// Tiny queues, fast producer, slow consumer: everything still
+	// arrives.
+	tp := NewTopology(1)
+	tp.AddSpout("src", rangeSpout(500, "s"), 1, "s")
+	var n atomic.Int64
+	tp.AddBolt("slow", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			if n.Add(1)%100 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}, 1).Shuffle("s")
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 500 {
+		t.Errorf("received %d, want 500", got)
+	}
+}
+
+func TestEmitOnUndeclaredStreamPanics(t *testing.T) {
+	tp := NewTopology(4)
+	tp.AddSpout("src", func(task int) Spout {
+		return SpoutFunc(func(c Collector) bool {
+			c.Emit("undeclared", Tuple{Value: 1})
+			return false
+		})
+	}, 1, "declared")
+	tp.AddBolt("sink", func(int) Bolt { return BoltFunc(func(Tuple, Collector) {}) }, 1).Shuffle("declared")
+	if err := tp.Run(context.Background()); err == nil {
+		t.Error("expected error from undeclared-stream emit")
+	}
+}
+
+// Per-key FIFO: tuples sharing a fields-grouping key must arrive at their
+// task in emission order — the property PS2Stream's dispatcher input
+// relies on so a subscription's delete never overtakes its insert.
+func TestFieldsGroupingPreservesPerKeyOrder(t *testing.T) {
+	type seqTuple struct{ key, seq int }
+	const keys, perKey = 8, 200
+	tp := NewTopology(16)
+	tp.AddSpout("src", func(task int) Spout {
+		i := 0
+		return SpoutFunc(func(c Collector) bool {
+			if i >= keys*perKey {
+				return false
+			}
+			c.Emit("seq", Tuple{Value: seqTuple{key: i % keys, seq: i / keys}})
+			i++
+			return true
+		})
+	}, 1, "seq")
+	var mu sync.Mutex
+	lastSeq := map[int]int{}
+	violations := 0
+	tp.AddBolt("check", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			st := tu.Value.(seqTuple)
+			mu.Lock()
+			if prev, ok := lastSeq[st.key]; ok && st.seq != prev+1 {
+				violations++
+			}
+			lastSeq[st.key] = st.seq
+			mu.Unlock()
+		})
+	}, 4).Fields("seq", func(tu Tuple) uint64 {
+		return uint64(tu.Value.(seqTuple).key)
+	})
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if violations > 0 {
+		t.Errorf("%d per-key ordering violations", violations)
+	}
+	if len(lastSeq) != keys {
+		t.Errorf("saw %d keys, want %d", len(lastSeq), keys)
+	}
+	for k, s := range lastSeq {
+		if s != perKey-1 {
+			t.Errorf("key %d ended at seq %d, want %d", k, s, perKey-1)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package textutil
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestRegistrationKeys(t *testing.T) {
+	s := NewStats()
+	s.AddWeighted("common", 1000)
+	s.AddWeighted("mid", 100)
+	s.AddWeighted("rare", 1)
+	tests := []struct {
+		name string
+		conj [][]string
+		want []string
+	}{
+		{"and picks least frequent", [][]string{{"common", "rare", "mid"}}, []string{"rare"}},
+		{"or registers per conjunction", [][]string{{"common"}, {"mid"}}, []string{"common", "mid"}},
+		{"dnf mixed", [][]string{{"common", "mid"}, {"rare"}}, []string{"mid", "rare"}},
+		{"duplicate keys deduped", [][]string{{"rare", "common"}, {"rare", "mid"}}, []string{"rare"}},
+		{"unseen term wins", [][]string{{"common", "neverseen"}}, []string{"neverseen"}},
+		{"empty conjunction skipped", [][]string{{}, {"mid"}}, []string{"mid"}},
+		{"no conjunctions", nil, []string{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := s.RegistrationKeys(tt.conj)
+			sort.Strings(got)
+			want := append([]string{}, tt.want...)
+			sort.Strings(want)
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("RegistrationKeys(%v) = %v, want %v", tt.conj, got, want)
+			}
+		})
+	}
+}
+
+// The registration rule must be stable across callers: dispatcher and
+// worker compute keys independently and must agree.
+func TestRegistrationKeysDeterministic(t *testing.T) {
+	s := NewStats()
+	s.AddWeighted("a", 5)
+	s.AddWeighted("b", 5) // tie: lexicographic winner
+	conj := [][]string{{"b", "a"}}
+	first := s.RegistrationKeys(conj)
+	for i := 0; i < 10; i++ {
+		if got := s.RegistrationKeys(conj); !reflect.DeepEqual(got, first) {
+			t.Fatalf("nondeterministic keys: %v vs %v", got, first)
+		}
+	}
+	if first[0] != "a" {
+		t.Errorf("tie broken to %q, want lexicographic \"a\"", first[0])
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+// JSONOp is the JSON Lines representation of one stream operation, shared
+// by cmd/psgen (writer) and cmd/psrun (reader) so workloads can be stored
+// and replayed.
+type JSONOp struct {
+	// Op is "object", "insert" or "delete".
+	Op string `json:"op"`
+	// ID is the object or query id.
+	ID uint64 `json:"id"`
+	// Terms and Loc describe objects. Loc is [lon, lat].
+	Terms []string  `json:"terms,omitempty"`
+	Loc   []float64 `json:"loc,omitempty"`
+	// Expr and Region describe queries. Region is
+	// [minLon, minLat, maxLon, maxLat].
+	Expr       string    `json:"expr,omitempty"`
+	Region     []float64 `json:"region,omitempty"`
+	Subscriber uint64    `json:"sub,omitempty"`
+}
+
+// EncodeOp converts a stream operation to its wire form.
+func EncodeOp(op model.Op) JSONOp {
+	switch op.Kind {
+	case model.OpObject:
+		return JSONOp{
+			Op: "object", ID: op.Obj.ID, Terms: op.Obj.Terms,
+			Loc: []float64{op.Obj.Loc.X, op.Obj.Loc.Y},
+		}
+	case model.OpInsert, model.OpDelete:
+		kind := "insert"
+		if op.Kind == model.OpDelete {
+			kind = "delete"
+		}
+		q := op.Query
+		return JSONOp{
+			Op: kind, ID: q.ID, Expr: q.Expr.String(),
+			Region:     []float64{q.Region.Min.X, q.Region.Min.Y, q.Region.Max.X, q.Region.Max.Y},
+			Subscriber: q.Subscriber,
+		}
+	default:
+		return JSONOp{}
+	}
+}
+
+// DecodeOp converts a wire operation back to its internal form.
+func DecodeOp(j JSONOp) (model.Op, error) {
+	switch j.Op {
+	case "object":
+		if len(j.Loc) != 2 {
+			return model.Op{}, fmt.Errorf("workload: object %d: loc must be [lon, lat]", j.ID)
+		}
+		return model.Op{Kind: model.OpObject, Obj: &model.Object{
+			ID: j.ID, Terms: j.Terms, Loc: geo.Point{X: j.Loc[0], Y: j.Loc[1]},
+		}}, nil
+	case "insert", "delete":
+		expr, err := model.ParseExpr(j.Expr)
+		if err != nil {
+			return model.Op{}, fmt.Errorf("workload: query %d: %w", j.ID, err)
+		}
+		if len(j.Region) != 4 {
+			return model.Op{}, fmt.Errorf("workload: query %d: region must be [minLon, minLat, maxLon, maxLat]", j.ID)
+		}
+		kind := model.OpInsert
+		if j.Op == "delete" {
+			kind = model.OpDelete
+		}
+		return model.Op{Kind: kind, Query: &model.Query{
+			ID: j.ID, Expr: expr,
+			Region:     geo.NewRect(j.Region[0], j.Region[1], j.Region[2], j.Region[3]),
+			Subscriber: j.Subscriber,
+		}}, nil
+	default:
+		return model.Op{}, fmt.Errorf("workload: unknown op %q", j.Op)
+	}
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestJSONOpRoundTrip(t *testing.T) {
+	st := NewStream(TweetsUS(), Q1, StreamConfig{Mu: 50, Seed: 61})
+	ops := st.Prewarm(50)
+	ops = append(ops, st.Take(500)...)
+	for _, op := range ops {
+		wire := EncodeOp(op)
+		// Through actual JSON, as the tools do.
+		raw, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back JSONOp
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeOp(back)
+		if err != nil {
+			t.Fatalf("DecodeOp(%+v): %v", back, err)
+		}
+		if got.Kind != op.Kind {
+			t.Fatalf("kind %v != %v", got.Kind, op.Kind)
+		}
+		switch op.Kind {
+		case 0: // object
+			if got.Obj.ID != op.Obj.ID || got.Obj.Loc != op.Obj.Loc ||
+				!reflect.DeepEqual(got.Obj.Terms, op.Obj.Terms) {
+				t.Fatalf("object mismatch: %+v vs %+v", got.Obj, op.Obj)
+			}
+		default:
+			if got.Query.ID != op.Query.ID || got.Query.Region != op.Query.Region ||
+				got.Query.Expr.String() != op.Query.Expr.String() ||
+				got.Query.Subscriber != op.Query.Subscriber {
+				t.Fatalf("query mismatch: %+v vs %+v", got.Query, op.Query)
+			}
+		}
+	}
+}
+
+func TestDecodeOpErrors(t *testing.T) {
+	cases := []JSONOp{
+		{Op: "object", ID: 1, Loc: []float64{1}},                    // bad loc
+		{Op: "insert", ID: 1, Expr: "", Region: make([]float64, 4)}, // empty expr
+		{Op: "insert", ID: 1, Expr: "a", Region: []float64{1, 2}},   // bad region
+		{Op: "teleport", ID: 1},                                     // unknown op
+	}
+	for _, c := range cases {
+		if _, err := DecodeOp(c); err == nil {
+			t.Errorf("DecodeOp(%+v) did not error", c)
+		}
+	}
+}

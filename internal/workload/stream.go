@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"ps2stream/internal/model"
+)
+
+// StreamConfig shapes the arrival process of §VI-A: "The ratio of
+// processing a spatio-textual tweet to inserting or deleting an STS query
+// is approximately 5. The arrival speeds of requests for inserting an STS
+// query and deleting an STS query are equivalent. ... We use a parameter µ
+// to control the number of STS queries ... using a Gaussian distribution
+// N(µ, σ²) to determine the number of newly arrived STS queries between
+// inserting an STS query and deleting it. ... σ = 0.2µ."
+type StreamConfig struct {
+	// Mu is µ, the target standing query count.
+	Mu int
+	// ObjectRatio is the tweets-per-query-op ratio (default 5).
+	ObjectRatio int
+	// Seed drives the op mix and lifetime draws.
+	Seed int64
+}
+
+// Stream produces the interleaved operation stream consumed by PS2Stream.
+type Stream struct {
+	cfg     StreamConfig
+	objects *Generator
+	queries *QueryGenerator
+	rng     *rand.Rand
+
+	// pending schedules deletions by insertion count.
+	pending  deleteHeap
+	inserted uint64 // total insertions so far
+	seq      uint64
+	cycle    int
+}
+
+type scheduledDelete struct {
+	due   uint64
+	query *model.Query
+}
+
+type deleteHeap []scheduledDelete
+
+func (h deleteHeap) Len() int            { return len(h) }
+func (h deleteHeap) Less(i, j int) bool  { return h[i].due < h[j].due }
+func (h deleteHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *deleteHeap) Push(x interface{}) { *h = append(*h, x.(scheduledDelete)) }
+func (h *deleteHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewStream builds the op stream for a dataset and query family.
+func NewStream(spec DatasetSpec, kind QueryKind, cfg StreamConfig) *Stream {
+	if cfg.ObjectRatio <= 0 {
+		cfg.ObjectRatio = 5
+	}
+	if cfg.Mu <= 0 {
+		cfg.Mu = 10000
+	}
+	return &Stream{
+		cfg:     cfg,
+		objects: NewGenerator(spec, cfg.Seed^0x0bea),
+		queries: NewQueryGenerator(spec, kind, cfg.Seed^0x0bee),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+	}
+}
+
+// QueryGen exposes the query generator (for drift experiments).
+func (s *Stream) QueryGen() *QueryGenerator { return s.queries }
+
+// Prewarm returns n insertion ops so the system starts at its standing
+// query population before measurement. The insertions are also counted
+// against lifetimes, so deletions begin on schedule.
+func (s *Stream) Prewarm(n int) []model.Op {
+	ops := make([]model.Op, n)
+	for i := range ops {
+		ops[i] = s.insertOp()
+	}
+	return ops
+}
+
+func (s *Stream) insertOp() model.Op {
+	q := s.queries.Query()
+	s.inserted++
+	life := float64(s.cfg.Mu) + s.rng.NormFloat64()*0.2*float64(s.cfg.Mu)
+	if life < 1 {
+		life = 1
+	}
+	heap.Push(&s.pending, scheduledDelete{due: s.inserted + uint64(life), query: q})
+	s.seq++
+	return model.Op{Kind: model.OpInsert, Query: q, Seq: s.seq}
+}
+
+func (s *Stream) deleteOp() (model.Op, bool) {
+	if len(s.pending) == 0 {
+		return model.Op{}, false
+	}
+	sd := heap.Pop(&s.pending).(scheduledDelete)
+	s.seq++
+	return model.Op{Kind: model.OpDelete, Query: sd.query, Seq: s.seq}, true
+}
+
+func (s *Stream) objectOp() model.Op {
+	s.seq++
+	return model.Op{Kind: model.OpObject, Obj: s.objects.Object(), Seq: s.seq}
+}
+
+// Next produces the next operation. The cycle interleaves ObjectRatio
+// objects, one insertion, ObjectRatio objects, one deletion — yielding the
+// paper's 5:1 tweet:query-op ratio with equal insert/delete rates.
+func (s *Stream) Next() model.Op {
+	r := s.cfg.ObjectRatio
+	pos := s.cycle
+	s.cycle = (s.cycle + 1) % (2*r + 2)
+	switch {
+	case pos == r:
+		return s.insertOp()
+	case pos == 2*r+1:
+		if op, ok := s.deleteOp(); ok {
+			return op
+		}
+		return s.insertOp()
+	default:
+		return s.objectOp()
+	}
+}
+
+// Take returns the next n ops.
+func (s *Stream) Take(n int) []model.Op {
+	ops := make([]model.Op, n)
+	for i := range ops {
+		ops[i] = s.Next()
+	}
+	return ops
+}
+
+// PendingQueries returns the number of live (not yet deleted) queries the
+// stream believes exist.
+func (s *Stream) PendingQueries() int { return len(s.pending) }

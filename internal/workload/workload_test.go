@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ps2stream/internal/model"
+	"ps2stream/internal/textutil"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(TweetsUS(), 7)
+	g2 := NewGenerator(TweetsUS(), 7)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Object(), g2.Object()
+		if a.ID != b.ID || a.Loc != b.Loc || len(a.Terms) != len(b.Terms) {
+			t.Fatalf("objects diverge at %d: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Terms {
+			if a.Terms[j] != b.Terms[j] {
+				t.Fatalf("terms diverge: %v vs %v", a.Terms, b.Terms)
+			}
+		}
+	}
+}
+
+func TestObjectsInsideBounds(t *testing.T) {
+	for _, spec := range []DatasetSpec{TweetsUS(), TweetsUK()} {
+		g := NewGenerator(spec, 1)
+		for i := 0; i < 2000; i++ {
+			o := g.Object()
+			if !spec.Bounds.Contains(o.Loc) {
+				t.Fatalf("%s: object at %v outside %v", spec.Name, o.Loc, spec.Bounds)
+			}
+			if len(o.Terms) < spec.TermsMin {
+				t.Fatalf("%s: object has %d terms, min %d", spec.Name, len(o.Terms), spec.TermsMin)
+			}
+			seen := map[string]bool{}
+			for _, term := range o.Terms {
+				if seen[term] {
+					t.Fatalf("duplicate term %q in object", term)
+				}
+				seen[term] = true
+			}
+		}
+	}
+}
+
+func TestTermDistributionIsSkewed(t *testing.T) {
+	g := NewGenerator(TweetsUS(), 2)
+	stats := textutil.NewStats()
+	for i := 0; i < 5000; i++ {
+		stats.Add(g.Object().Terms...)
+	}
+	top := stats.TopTerms(1)
+	if stats.Count(top[0]) < 20*stats.Total()/stats.DistinctTerms() {
+		t.Errorf("top term count %d not skewed vs mean %d",
+			stats.Count(top[0]), stats.Total()/stats.DistinctTerms())
+	}
+}
+
+func TestSpatialClustering(t *testing.T) {
+	spec := TweetsUS()
+	g := NewGenerator(spec, 3)
+	// Count objects within 2σ of any hotspot center.
+	in := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		o := g.Object()
+		for _, c := range g.centers {
+			dx, dy := o.Loc.X-c.X, o.Loc.Y-c.Y
+			if math.Hypot(dx, dy) < 2*spec.HotspotSigmaDeg {
+				in++
+				break
+			}
+		}
+	}
+	if float64(in)/n < spec.HotspotFraction*0.6 {
+		t.Errorf("only %d/%d objects near hotspots, expected clustering", in, n)
+	}
+}
+
+func TestQ1Queries(t *testing.T) {
+	spec := TweetsUS()
+	qg := NewQueryGenerator(spec, Q1, 4)
+	maxSideDeg := 51.0 / 111 * 1.7 // 50km with longitude slack
+	for i := 0; i < 1000; i++ {
+		q := qg.Query()
+		if q.Expr.Empty() {
+			t.Fatal("empty expression")
+		}
+		if nt := len(q.Expr.Terms()); nt < 1 || nt > 3 {
+			t.Fatalf("Q1 query has %d keywords", nt)
+		}
+		if q.Region.Height() > maxSideDeg {
+			t.Fatalf("Q1 region height %v deg too large", q.Region.Height())
+		}
+		if !spec.Bounds.ContainsRect(q.Region) {
+			t.Fatalf("region %v escapes bounds", q.Region)
+		}
+	}
+}
+
+func TestQ2HasRareKeyword(t *testing.T) {
+	spec := TweetsUS()
+	qg := NewQueryGenerator(spec, Q2, 5)
+	topCut := spec.VocabSize / 100
+	for i := 0; i < 1000; i++ {
+		q := qg.Query()
+		hasRare := false
+		for _, term := range q.Expr.Terms() {
+			var rank int
+			if _, err := fmtSscanf(term, &rank); err != nil {
+				t.Fatalf("unparseable term %q", term)
+			}
+			if rank >= topCut {
+				hasRare = true
+			}
+		}
+		if !hasRare {
+			t.Fatalf("Q2 query %v lacks a rare keyword", q.Expr)
+		}
+	}
+}
+
+// fmtSscanf extracts the numeric rank suffix of a vocab term (the digits
+// after the 2-letter dataset prefix).
+func fmtSscanf(term string, rank *int) (int, error) {
+	n := 0
+	for i := 2; i < len(term); i++ {
+		if term[i] < '0' || term[i] > '9' {
+			return 0, fmt.Errorf("bad rank in %q", term)
+		}
+		n = n*10 + int(term[i]-'0')
+	}
+	*rank = n
+	return 1, nil
+}
+
+func TestQ3MixesFamilies(t *testing.T) {
+	spec := TweetsUS()
+	qg := NewQueryGenerator(spec, Q3, 6)
+	q1ish, q2ish := 0, 0
+	maxQ1Side := 51.0 / 111 * 1.3
+	for i := 0; i < 2000; i++ {
+		q := qg.Query()
+		if q.Region.Height() > maxQ1Side {
+			q2ish++
+		} else {
+			q1ish++
+		}
+	}
+	if q1ish == 0 || q2ish == 0 {
+		t.Errorf("Q3 mix degenerate: %d small, %d large regions", q1ish, q2ish)
+	}
+}
+
+func TestFlipRegionsChangesMix(t *testing.T) {
+	spec := TweetsUS()
+	qg := NewQueryGenerator(spec, Q3, 7)
+	before := append([]QueryKind(nil), qg.regionKind...)
+	qg.FlipRegions(0.1)
+	changed := 0
+	for i := range before {
+		if before[i] != qg.regionKind[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("FlipRegions changed nothing")
+	}
+	if changed > 15 {
+		t.Errorf("FlipRegions(0.1) changed %d/100 regions", changed)
+	}
+	// No-op for Q1.
+	qg1 := NewQueryGenerator(spec, Q1, 8)
+	qg1.FlipRegions(0.5) // must not panic
+}
+
+func TestStreamRatioAndLifetimes(t *testing.T) {
+	s := NewStream(TweetsUS(), Q1, StreamConfig{Mu: 200, Seed: 9})
+	warm := s.Prewarm(200)
+	for _, op := range warm {
+		if op.Kind != model.OpInsert {
+			t.Fatal("Prewarm must be all insertions")
+		}
+	}
+	var objs, ins, dels int
+	for i := 0; i < 12000; i++ {
+		switch s.Next().Kind {
+		case model.OpObject:
+			objs++
+		case model.OpInsert:
+			ins++
+		case model.OpDelete:
+			dels++
+		}
+	}
+	ratio := float64(objs) / float64(ins+dels)
+	if ratio < 4 || ratio > 6 {
+		t.Errorf("object:queryop ratio = %v, want ~5", ratio)
+	}
+	if ins == 0 || dels == 0 {
+		t.Fatalf("ins=%d dels=%d", ins, dels)
+	}
+	diff := math.Abs(float64(ins-dels)) / float64(ins)
+	if diff > 0.2 {
+		t.Errorf("insert/delete imbalance: %d vs %d", ins, dels)
+	}
+}
+
+func TestStreamStandingPopulationStable(t *testing.T) {
+	mu := 300
+	s := NewStream(TweetsUS(), Q1, StreamConfig{Mu: mu, Seed: 10})
+	s.Prewarm(mu)
+	// Run long enough for lifetimes to engage.
+	for i := 0; i < 40000; i++ {
+		s.Next()
+	}
+	pop := s.PendingQueries()
+	if pop < mu/2 || pop > mu*3 {
+		t.Errorf("standing population %d drifted from µ=%d", pop, mu)
+	}
+}
+
+func TestStreamDeleteMatchesInsertedQuery(t *testing.T) {
+	s := NewStream(TweetsUS(), Q1, StreamConfig{Mu: 5, Seed: 11})
+	inserted := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		op := s.Next()
+		switch op.Kind {
+		case model.OpInsert:
+			inserted[op.Query.ID] = true
+		case model.OpDelete:
+			if !inserted[op.Query.ID] {
+				t.Fatalf("deleted query %d never inserted", op.Query.ID)
+			}
+			delete(inserted, op.Query.ID)
+		}
+	}
+}
+
+func TestSampleShapes(t *testing.T) {
+	s := Sample(TweetsUK(), Q1, 500, 100, 12)
+	if len(s.Objects) != 500 || len(s.Queries) != 100 {
+		t.Fatalf("sample sizes %d/%d", len(s.Objects), len(s.Queries))
+	}
+	if s.Stats.Total() == 0 {
+		t.Error("sample stats empty")
+	}
+	if s.Bounds != TweetsUK().Bounds {
+		t.Error("sample bounds mismatch")
+	}
+}
+
+func TestDatasetsHaveMatches(t *testing.T) {
+	// The synthetic workload must actually produce matching pairs, or
+	// every downstream experiment is vacuous. Q2 is excluded: its
+	// keywords are deliberately rare (outside the top 1% of a 100k+
+	// vocabulary), so matches at this sample size are not expected —
+	// that sparsity is what drives the Figure 6(b) result.
+	for _, spec := range []DatasetSpec{TweetsUS(), TweetsUK()} {
+		for _, kind := range []QueryKind{Q1, Q3} {
+			s := Sample(spec, kind, 2000, 400, 13)
+			matches := 0
+			for _, o := range s.Objects {
+				for _, q := range s.Queries {
+					if q.Matches(o) {
+						matches++
+					}
+				}
+			}
+			if matches == 0 {
+				t.Errorf("%s/%v: no matching pairs in 2000x400 sample", spec.Name, kind)
+			}
+		}
+	}
+}
+
+func TestVocabPrefixesDiffer(t *testing.T) {
+	us := NewGenerator(TweetsUS(), 1)
+	uk := NewGenerator(TweetsUK(), 1)
+	if us.Vocab()[0] == uk.Vocab()[0] {
+		t.Error("US and UK vocabularies collide")
+	}
+}
+
+func TestQueryKindString(t *testing.T) {
+	if Q1.String() != "Q1" || Q2.String() != "Q2" || Q3.String() != "Q3" {
+		t.Error("QueryKind.String mismatch")
+	}
+}

@@ -1,0 +1,442 @@
+// Package ps2stream is a distributed publish/subscribe system for
+// spatio-textual data streams, reproducing PS2Stream (Chen et al., ICDE
+// 2017). Subscribers register continuous queries combining a boolean
+// keyword expression with a rectangular region; publishers emit objects
+// carrying text and a location; the system routes each object to every
+// matching subscription in real time.
+//
+// Internally the workload is spread over dispatcher, worker, and merger
+// tasks (goroutines standing in for the paper's Storm cluster). The
+// distribution strategy is pluggable: the paper's hybrid kdt-tree/gridt
+// partitioning (default), three text-partitioning baselines and three
+// space-partitioning baselines. Dynamic load adjustment rebalances workers
+// at runtime by migrating gridt cells.
+//
+// Minimal usage:
+//
+//	sys, _ := ps2stream.Open(ps2stream.Options{
+//		Region: ps2stream.NewRegion(-125, 24, -66, 49),
+//	})
+//	defer sys.Close()
+//	sys.Subscribe(ps2stream.Subscription{
+//		ID:     1,
+//		Query:  "coffee AND brooklyn",
+//		Region: ps2stream.RegionAround(40.7, -73.95, 10, 10),
+//	})
+//	sys.Publish(ps2stream.Message{ID: 9, Text: "best coffee in brooklyn", Lat: 40.71, Lon: -73.95})
+package ps2stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"ps2stream/internal/core"
+	"ps2stream/internal/geo"
+	"ps2stream/internal/hybrid"
+	"ps2stream/internal/load"
+	"ps2stream/internal/migrate"
+	"ps2stream/internal/model"
+	"ps2stream/internal/partition"
+	"ps2stream/internal/qindex"
+	"ps2stream/internal/snapshot"
+	"ps2stream/internal/textutil"
+)
+
+// Region is a rectangular area in degrees.
+type Region struct {
+	MinLat, MinLon float64
+	MaxLat, MaxLon float64
+}
+
+// NewRegion builds a region from longitude/latitude extents (any corner
+// order).
+func NewRegion(minLon, minLat, maxLon, maxLat float64) Region {
+	r := geo.NewRect(minLon, minLat, maxLon, maxLat)
+	return Region{MinLat: r.Min.Y, MinLon: r.Min.X, MaxLat: r.Max.Y, MaxLon: r.Max.X}
+}
+
+// RegionAround builds a region centred at (lat, lon) with the given side
+// lengths in kilometres — the shape of the paper's STS query regions.
+func RegionAround(lat, lon, widthKm, heightKm float64) Region {
+	r := geo.RectAround(geo.Point{X: lon, Y: lat}, widthKm, heightKm)
+	return Region{MinLat: r.Min.Y, MinLon: r.Min.X, MaxLat: r.Max.Y, MaxLon: r.Max.X}
+}
+
+func (r Region) rect() geo.Rect {
+	return geo.NewRect(r.MinLon, r.MinLat, r.MaxLon, r.MaxLat)
+}
+
+// Message is a published spatio-textual object (e.g. a geo-tagged post).
+type Message struct {
+	// ID identifies the message in delivered matches.
+	ID uint64
+	// Text is free text; it is tokenised on non-alphanumeric runes.
+	Text string
+	// Lat/Lon is the message origin.
+	Lat, Lon float64
+}
+
+// Subscription is a continuous spatio-textual query.
+type Subscription struct {
+	// ID identifies the subscription; Unsubscribe refers to it. IDs must
+	// be unique among live subscriptions.
+	ID uint64
+	// Query is a boolean keyword expression: "a", "a AND b", "a OR b".
+	Query string
+	// Region is the area of interest.
+	Region Region
+	// Subscriber tags deliveries (e.g. a user id).
+	Subscriber uint64
+}
+
+// Match is a delivery: the message identified by MessageID satisfied the
+// subscription identified by SubscriptionID.
+type Match struct {
+	SubscriptionID uint64
+	Subscriber     uint64
+	MessageID      uint64
+}
+
+// Strategy names a workload distribution algorithm.
+type Strategy string
+
+// The seven distribution strategies of the paper's evaluation.
+const (
+	StrategyHybrid     Strategy = "hybrid"
+	StrategyFrequency  Strategy = "frequency"
+	StrategyHypergraph Strategy = "hypergraph"
+	StrategyMetric     Strategy = "metric"
+	StrategyGrid       Strategy = "grid"
+	StrategyKDTree     Strategy = "kdtree"
+	StrategyRTree      Strategy = "rtree"
+)
+
+// builder resolves a Strategy.
+func (s Strategy) builder() (partition.Builder, error) {
+	switch s {
+	case "", StrategyHybrid:
+		return hybrid.Builder{}, nil
+	case StrategyFrequency, StrategyHypergraph, StrategyMetric,
+		StrategyGrid, StrategyKDTree, StrategyRTree:
+		return partition.Builders()[string(s)], nil
+	default:
+		return nil, fmt.Errorf("ps2stream: unknown strategy %q", s)
+	}
+}
+
+// WorkerIndex names the query-index structure each worker maintains.
+// §IV-D adopts GI2 and notes the system "can be extended to adopt other
+// index structures"; the alternatives realise that extension point.
+type WorkerIndex string
+
+// The available worker index structures.
+const (
+	// WorkerIndexGI2 is the paper's Grid-Inverted-Index [29] (default).
+	// It is the only index supporting DynamicAdjustment, whose migrations
+	// move gridt cells.
+	WorkerIndexGI2 WorkerIndex = "gi2"
+	// WorkerIndexRTree stores query regions in an R-tree: better spatial
+	// pruning, no keyword pruning, costlier maintenance.
+	WorkerIndexRTree WorkerIndex = "rtree"
+	// WorkerIndexIQTree is the IQ-tree [10]: a quadtree with per-node
+	// inverted lists; queries are never duplicated across cells.
+	WorkerIndexIQTree WorkerIndex = "iqtree"
+	// WorkerIndexAPTree is an AP-tree-style index [9]: nodes adaptively
+	// choose keyword or space partitioning by a cost model.
+	WorkerIndexAPTree WorkerIndex = "aptree"
+)
+
+// factory resolves the index constructor; the zero value selects GI2.
+func (w WorkerIndex) factory() (core.IndexFactory, error) {
+	switch w {
+	case "", WorkerIndexGI2:
+		return nil, nil // core's default
+	case WorkerIndexRTree:
+		return func(_ geo.Rect, _ int, _ *textutil.Stats) qindex.Index {
+			return qindex.NewRTree(0)
+		}, nil
+	case WorkerIndexIQTree:
+		return func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewIQTree(bounds, stats, 0, 0)
+		}, nil
+	case WorkerIndexAPTree:
+		return func(bounds geo.Rect, _ int, stats *textutil.Stats) qindex.Index {
+			return qindex.NewAPTree(bounds, stats, 0, 0, 0)
+		}, nil
+	default:
+		return nil, fmt.Errorf("ps2stream: unknown worker index %q", w)
+	}
+}
+
+// Options configures Open.
+type Options struct {
+	// Region is the monitored space. Required.
+	Region Region
+	// Workers, Dispatchers, Mergers size the topology (defaults 8/4/2).
+	Workers     int
+	Dispatchers int
+	Mergers     int
+	// Strategy selects the distribution algorithm (default hybrid).
+	Strategy Strategy
+	// WorkerIndex selects the per-worker query index (default GI2).
+	WorkerIndex WorkerIndex
+	// SeedMessages and SeedSubscriptions, when provided, are analysed by
+	// the partitioner to fit the strategy to the expected workload. An
+	// empty seed still works: routing falls back to deterministic
+	// hashing until statistics exist.
+	SeedMessages      []Message
+	SeedSubscriptions []Subscription
+	// OnMatch receives every match. Called concurrently; must be fast
+	// or hand off to a channel.
+	OnMatch func(Match)
+	// DynamicAdjustment enables the §V load adjustment controller
+	// (hybrid strategy only).
+	DynamicAdjustment bool
+	// AdjustInterval is the balance check period (default 200ms).
+	AdjustInterval time.Duration
+}
+
+// System is a running publish/subscribe instance.
+type System struct {
+	inner     *core.System
+	submitted atomic.Int64
+	closed    bool
+}
+
+// Open builds and starts a system.
+func Open(opts Options) (*System, error) {
+	b, err := opts.Strategy.builder()
+	if err != nil {
+		return nil, err
+	}
+	ixf, err := opts.WorkerIndex.factory()
+	if err != nil {
+		return nil, err
+	}
+	bounds := opts.Region.rect()
+	if !bounds.Valid() || bounds.Area() == 0 {
+		return nil, errors.New("ps2stream: Options.Region must be a non-empty area")
+	}
+	objs := make([]*model.Object, 0, len(opts.SeedMessages))
+	for i := range opts.SeedMessages {
+		objs = append(objs, opts.SeedMessages[i].toObject())
+	}
+	qrys := make([]*model.Query, 0, len(opts.SeedSubscriptions))
+	for i := range opts.SeedSubscriptions {
+		q, err := opts.SeedSubscriptions[i].toQuery()
+		if err != nil {
+			return nil, fmt.Errorf("ps2stream: seed subscription %d: %w", opts.SeedSubscriptions[i].ID, err)
+		}
+		qrys = append(qrys, q)
+	}
+	sample := partition.NewSample(objs, qrys, bounds, core.Config{}.Costs)
+	var onMatch func(model.Match)
+	if opts.OnMatch != nil {
+		user := opts.OnMatch
+		onMatch = func(m model.Match) {
+			user(Match{SubscriptionID: m.QueryID, Subscriber: m.Subscriber, MessageID: m.ObjectID})
+		}
+	}
+	cfg := core.Config{
+		Dispatchers:  opts.Dispatchers,
+		Workers:      opts.Workers,
+		Mergers:      opts.Mergers,
+		Builder:      b,
+		IndexFactory: ixf,
+		OnMatch:      onMatch,
+	}
+	if opts.DynamicAdjustment {
+		cfg.Adjust = core.AdjustConfig{
+			Enabled:   true,
+			Interval:  opts.AdjustInterval,
+			Algorithm: migrate.GR,
+		}
+	}
+	inner, err := core.New(cfg, sample)
+	if err != nil {
+		return nil, err
+	}
+	if err := inner.Start(context.Background()); err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
+func (m *Message) toObject() *model.Object {
+	return &model.Object{
+		ID:    m.ID,
+		Terms: textutil.Tokenize(m.Text),
+		Loc:   geo.Point{X: m.Lon, Y: m.Lat},
+	}
+}
+
+func (s *Subscription) toQuery() (*model.Query, error) {
+	expr, err := model.ParseExpr(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	return &model.Query{
+		ID:         s.ID,
+		Expr:       expr,
+		Region:     s.Region.rect(),
+		Subscriber: s.Subscriber,
+	}, nil
+}
+
+// Publish submits a message for matching. It blocks under backpressure.
+func (s *System) Publish(m Message) {
+	s.submitted.Add(1)
+	s.inner.Submit(model.Op{Kind: model.OpObject, Obj: m.toObject()})
+}
+
+// Subscribe registers a continuous query.
+func (s *System) Subscribe(sub Subscription) error {
+	q, err := sub.toQuery()
+	if err != nil {
+		return err
+	}
+	s.submitted.Add(1)
+	s.inner.Submit(model.Op{Kind: model.OpInsert, Query: q})
+	return nil
+}
+
+// Unsubscribe drops a subscription. The full subscription is required
+// (§III-B: deletion requests carry the complete query so dispatchers can
+// route them).
+func (s *System) Unsubscribe(sub Subscription) error {
+	q, err := sub.toQuery()
+	if err != nil {
+		return err
+	}
+	s.submitted.Add(1)
+	s.inner.Submit(model.Op{Kind: model.OpDelete, Query: q})
+	return nil
+}
+
+// Repartition begins a global load adjustment (§V-B): a fresh instance of
+// the configured distribution strategy is fitted to the given sample of
+// recent traffic and installed alongside the current one. Existing
+// subscriptions keep routing through the old strategy until their
+// population decays, then migrate over automatically (with dynamic
+// adjustment enabled) or on the next Repartition call. Objects route
+// through both strategies during the transition, so no match is lost.
+//
+// Call it when the traffic distribution has drifted from the sample the
+// system was opened with — the paper suggests checking about once per day.
+func (s *System) Repartition(recentMessages []Message, recentSubscriptions []Subscription) error {
+	objs := make([]*model.Object, 0, len(recentMessages))
+	for i := range recentMessages {
+		objs = append(objs, recentMessages[i].toObject())
+	}
+	qrys := make([]*model.Query, 0, len(recentSubscriptions))
+	for i := range recentSubscriptions {
+		q, err := recentSubscriptions[i].toQuery()
+		if err != nil {
+			return fmt.Errorf("ps2stream: repartition sample subscription %d: %w",
+				recentSubscriptions[i].ID, err)
+		}
+		qrys = append(qrys, q)
+	}
+	sample := partition.NewSample(objs, qrys, s.inner.Bounds(), core.Config{}.Costs)
+	return s.inner.GlobalRepartition(sample, nil)
+}
+
+// FinishRepartition completes an in-flight global repartition immediately,
+// relocating the remaining old-strategy subscriptions. It returns the
+// number relocated (0 when no repartition is in flight). Systems with
+// DynamicAdjustment finish automatically once the old population decays;
+// others can call this explicitly.
+func (s *System) FinishRepartition() int {
+	return s.inner.FinishGlobalRepartition()
+}
+
+// Checkpoint writes the live subscription population to w in the snapshot
+// format, deduplicated and in ascending subscription-id order. The set is
+// a point-in-time view; call Flush first (and pause Subscribe/Unsubscribe
+// traffic) for an exact cut. The published message stream is stateless
+// and is not captured.
+func (s *System) Checkpoint(w io.Writer) error {
+	return snapshot.Write(w, s.inner.Bounds(), s.inner.LiveQueries())
+}
+
+// Restore re-registers every subscription from a snapshot produced by
+// Checkpoint, routing them through the dispatchers like fresh Subscribe
+// calls. It returns the number of subscriptions restored. Restoring onto
+// a system that already holds some of the ids is safe (workers ignore
+// duplicate registrations).
+func (s *System) Restore(r io.Reader) (int, error) {
+	_, qs, err := snapshot.Read(r)
+	if err != nil {
+		return 0, err
+	}
+	for _, q := range qs {
+		s.submitted.Add(1)
+		s.inner.Submit(model.Op{Kind: model.OpInsert, Query: q})
+	}
+	return len(qs), nil
+}
+
+// Flush blocks until every operation submitted so far has been routed by
+// the dispatchers and gives workers a moment to drain.
+func (s *System) Flush() {
+	target := s.submitted.Load()
+	for s.inner.Processed() < target {
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+}
+
+// Stats summarises system metrics.
+type Stats struct {
+	Processed       int64
+	Matches         int64
+	Discarded       int64
+	MeanLatency     time.Duration
+	P99Latency      time.Duration
+	ThroughputTPS   float64
+	WorkerQueries   []int
+	DispatcherBytes int64
+	Migrations      int
+	// WorkerLoads is each worker's Definition-1 load over the current
+	// adjustment window; BalanceFactor is max/min over the positive loads
+	// (the paper's σ constraint — 1.0 is perfectly balanced, 0 when idle).
+	WorkerLoads   []float64
+	BalanceFactor float64
+}
+
+// Stats captures current metrics.
+func (s *System) Stats() Stats {
+	snap := s.inner.Snapshot()
+	return Stats{
+		Processed:       snap.Processed,
+		Matches:         snap.Matches,
+		Discarded:       snap.Discarded,
+		MeanLatency:     snap.Latency.Mean,
+		P99Latency:      snap.Latency.P99,
+		ThroughputTPS:   snap.ThroughputTPS,
+		WorkerQueries:   s.inner.WorkerQueryCounts(),
+		DispatcherBytes: snap.DispatcherBytes,
+		Migrations:      len(snap.Migrations),
+		WorkerLoads:     snap.WorkerLoads,
+		BalanceFactor:   load.BalanceFactor(snap.WorkerLoads),
+	}
+}
+
+// SubscriptionCount returns the number of live subscriptions currently
+// held (deduplicated across workers).
+func (s *System) SubscriptionCount() int {
+	return len(s.inner.LiveQueries())
+}
+
+// Close drains in-flight work and stops the system.
+func (s *System) Close() error {
+	if s.closed {
+		return errors.New("ps2stream: already closed")
+	}
+	s.closed = true
+	return s.inner.Close()
+}
