@@ -12,7 +12,9 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ps2stream/internal/bench"
 	"ps2stream/internal/geo"
@@ -386,6 +388,51 @@ func BenchmarkEndToEnd(b *testing.B) {
 	}
 	b.StopTimer()
 	sys.Flush()
+}
+
+// BenchmarkTopKPublish measures publish throughput against a standing
+// population of sliding-window top-k subscriptions at k ∈ {1, 10, 50}
+// (the SubscribeTopK hot path: match → offer → heap → global reconcile).
+// cmd/psbench -exp topk records the paper-style table; BENCH_topk.json
+// holds the committed baseline.
+func BenchmarkTopKPublish(b *testing.B) {
+	for _, k := range []int{1, 10, 50} {
+		b.Run("k="+strconv.Itoa(k), func(b *testing.B) {
+			og := workload.NewGenerator(workload.TweetsUS(), 3)
+			qg := workload.NewQueryGenerator(workload.TweetsUS(), workload.Q1, 7)
+			var updates atomic.Int64
+			sys, err := Open(Options{
+				Region:  NewRegion(-125, 24, -66, 49),
+				Workers: 4, Dispatchers: 2,
+				OnTopK: func(TopKUpdate) { updates.Add(1) },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			for i := 0; i < 200; i++ {
+				q := qg.Query()
+				err := sys.SubscribeTopK(Subscription{
+					ID:         q.ID,
+					Query:      q.Expr.String(),
+					Region:     Region{MinLat: q.Region.Min.Y, MinLon: q.Region.Min.X, MaxLat: q.Region.Max.Y, MaxLon: q.Region.Max.X},
+					Subscriber: q.Subscriber,
+				}, k, 30*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sys.Flush()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o := og.Object()
+				sys.Publish(Message{ID: o.ID, Text: strings.Join(o.Terms, " "), Lat: o.Loc.Y, Lon: o.Loc.X})
+			}
+			b.StopTimer()
+			sys.Flush()
+			b.ReportMetric(float64(updates.Load()), "topk_updates")
+		})
+	}
 }
 
 // Guard: geo must stay allocation-free on the hot path.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 		workers = flag.Int("workers", 0, "override worker count")
 		seed    = flag.Int64("seed", 0, "override generator seed")
 		outDir  = flag.String("out", "", "also write each experiment's tables to <dir>/<id>.txt")
+		jsonOut = flag.String("json", "", "also write all experiments' tables to one JSON file")
 	)
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 		ids = bench.ExperimentIDs()
 	}
 	exps := bench.Experiments()
+	var report []jsonExperiment
 	for _, id := range ids {
 		runner, ok := exps[id]
 		if !ok {
@@ -74,6 +77,7 @@ func main() {
 		}
 		start := time.Now()
 		tables := runner(sc)
+		elapsed := time.Since(start)
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
@@ -83,8 +87,46 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *jsonOut != "" {
+			report = append(report, newJSONExperiment(id, tables, elapsed))
+		}
+		fmt.Printf("-- %s completed in %v --\n\n", id, elapsed.Round(time.Millisecond))
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, sc, report); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonExperiment is one experiment's result in the machine-readable
+// report (baseline files like BENCH_topk.json).
+type jsonExperiment struct {
+	Experiment string        `json:"experiment"`
+	ElapsedMS  int64         `json:"elapsed_ms"`
+	Tables     []bench.Table `json:"tables"`
+}
+
+func newJSONExperiment(id string, tables []bench.Table, elapsed time.Duration) jsonExperiment {
+	return jsonExperiment{Experiment: id, ElapsedMS: elapsed.Milliseconds(), Tables: tables}
+}
+
+func writeJSON(path string, sc bench.Scale, report []jsonExperiment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Scale       bench.Scale      `json:"scale"`
+		Experiments []jsonExperiment `json:"experiments"`
+	}{Scale: sc, Experiments: report}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTables persists one experiment's tables as <dir>/<id>.txt.

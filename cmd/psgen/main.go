@@ -6,6 +6,7 @@
 //
 //	psgen -dataset us -kind q1 -mu 10000 -ops 120000 > workload.jsonl
 //	psgen -dataset uk -kind q3 -prewarm-only -mu 5000 > queries.jsonl
+//	psgen -dataset us -kind q1 -topk 0.3 -topk-k 10 -topk-window 1m > ranked.jsonl
 package main
 
 import (
@@ -15,18 +16,22 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ps2stream/internal/workload"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "us", "dataset: us | uk")
-		kind    = flag.String("kind", "q1", "query family: q1 | q2 | q3")
-		mu      = flag.Int("mu", 10000, "standing query count µ")
-		ops     = flag.Int("ops", 120000, "stream operations after prewarm")
-		seed    = flag.Int64("seed", 2017, "generator seed")
-		prewarm = flag.Bool("prewarm-only", false, "emit only the µ prewarm insertions")
+		dataset    = flag.String("dataset", "us", "dataset: us | uk")
+		kind       = flag.String("kind", "q1", "query family: q1 | q2 | q3")
+		mu         = flag.Int("mu", 10000, "standing query count µ")
+		ops        = flag.Int("ops", 120000, "stream operations after prewarm")
+		seed       = flag.Int64("seed", 2017, "generator seed")
+		prewarm    = flag.Bool("prewarm-only", false, "emit only the µ prewarm insertions")
+		topk       = flag.Float64("topk", 0, "fraction of subscriptions that are sliding-window top-k (0..1)")
+		topkK      = flag.Int("topk-k", 10, "k of generated top-k subscriptions")
+		topkWindow = flag.Duration("topk-window", time.Minute, "window of generated top-k subscriptions")
 	)
 	flag.Parse()
 
@@ -53,7 +58,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	st := workload.NewStream(spec, qk, workload.StreamConfig{Mu: *mu, Seed: *seed})
+	st := workload.NewStream(spec, qk, workload.StreamConfig{
+		Mu: *mu, Seed: *seed,
+		TopKFraction: *topk, TopKK: *topkK, TopKWindow: *topkWindow,
+	})
 	w := bufio.NewWriterSize(os.Stdout, 1<<20)
 	defer w.Flush()
 	enc := json.NewEncoder(w)

@@ -1,0 +1,86 @@
+// Top-k: ranked nearby-post monitoring over a sliding window.
+//
+// A subscriber asks to be kept posted on the k most relevant recent posts
+// near them — not every match, just the current best, continuously
+// repaired as better posts arrive and old ones age out of the window.
+//
+//	go run ./examples/topk
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"ps2stream"
+)
+
+func main() {
+	// Track each subscription's current top-k from the update stream.
+	var mu sync.Mutex
+	current := make(map[uint64]map[uint64]float64) // sub → msg → score
+	var events []string
+	sys, err := ps2stream.Open(ps2stream.Options{
+		Region:  ps2stream.NewRegion(-125, 24, -66, 49),
+		Workers: 4,
+		OnTopK: func(u ps2stream.TopKUpdate) {
+			mu.Lock()
+			if current[u.SubscriptionID] == nil {
+				current[u.SubscriptionID] = make(map[uint64]float64)
+			}
+			if u.Event == ps2stream.TopKEntered {
+				current[u.SubscriptionID][u.MessageID] = u.Score
+			} else {
+				delete(current[u.SubscriptionID], u.MessageID)
+			}
+			events = append(events, fmt.Sprintf("sub %d: message %d %s (score %.2f)",
+				u.SubscriptionID, u.MessageID, u.Event, u.Score))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "Keep me posted on the 3 most relevant food posts near Brooklyn
+	// over the last 30 minutes."
+	if err := sys.SubscribeTopK(ps2stream.Subscription{
+		ID:         1,
+		Subscriber: 1001,
+		Query:      "pizza OR tacos OR ramen",
+		Region:     ps2stream.RegionAround(40.70, -73.95, 20, 20),
+	}, 3, 30*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	sys.Flush()
+
+	// A stream of geo-tagged posts: the fourth is the closest and most
+	// on-topic, so it displaces the weakest of the first three.
+	posts := []ps2stream.Message{
+		{ID: 1, Text: "pizza pop-up in williamsburg", Lat: 40.71, Lon: -73.96},
+		{ID: 2, Text: "ramen night", Lat: 40.65, Lon: -73.99},
+		{ID: 3, Text: "tacos truck parked by the bridge", Lat: 40.70, Lon: -73.99},
+		{ID: 4, Text: "pizza tacos ramen festival today", Lat: 40.70, Lon: -73.95},
+		{ID: 5, Text: "pizza in san francisco", Lat: 37.77, Lon: -122.42}, // too far
+	}
+	for _, p := range posts {
+		sys.Publish(p)
+	}
+	sys.Flush()
+
+	mu.Lock()
+	for _, e := range events {
+		fmt.Println(e)
+	}
+	mu.Unlock()
+
+	// The live set is also queryable directly.
+	top := sys.TopKSet(1)
+	sort.Slice(top, func(i, j int) bool { return top[i] < top[j] })
+	fmt.Printf("\ncurrent top-3 for subscription 1: %v\n", top)
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ps2stream
+
+go 1.24

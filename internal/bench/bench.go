@@ -91,11 +91,12 @@ func (s Scale) orDefault() Scale {
 // Mu2 is the stand-in for the paper's doubled query count.
 func (s Scale) Mu2() int { return 2 * s.Mu1 }
 
-// Table is a printable experiment result.
+// Table is a printable experiment result; the json tags shape psbench's
+// machine-readable baseline files (e.g. BENCH_topk.json).
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // Fprint renders the table with aligned columns.
@@ -159,6 +160,7 @@ func Experiments() map[string]Runner {
 		"fig16":   Fig16AdjustEffect,
 		"ablidx":  AblWorkerIndex,
 		"ablrate": AblLatencyVsRate,
+		"topk":    TopKThroughput,
 	}
 }
 

@@ -15,7 +15,7 @@ func TestExperimentRegistry(t *testing.T) {
 	want := []string{
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12a", "fig12b", "fig12c", "fig13", "fig14", "fig15", "fig16",
-		"ablidx", "ablrate",
+		"ablidx", "ablrate", "topk",
 	}
 	if len(exps) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
@@ -30,11 +30,11 @@ func TestExperimentRegistry(t *testing.T) {
 		t.Fatalf("ExperimentIDs returned %d ids", len(ids))
 	}
 	// The sixteen paper figures come first, in figure order; ablations
-	// follow alphabetically.
+	// and extension experiments follow alphabetically.
 	for i, id := range []string{
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12a", "fig12b", "fig12c", "fig13", "fig14", "fig15", "fig16",
-		"ablidx", "ablrate",
+		"ablidx", "ablrate", "topk",
 	} {
 		if ids[i] != id {
 			t.Errorf("ids[%d] = %q, want %q", i, ids[i], id)

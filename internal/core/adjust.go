@@ -10,6 +10,7 @@ import (
 	"ps2stream/internal/load"
 	"ps2stream/internal/migrate"
 	"ps2stream/internal/model"
+	"ps2stream/internal/window"
 )
 
 // adjustLoop is the local load adjustment controller (§V-A): every
@@ -198,27 +199,35 @@ func (s *System) migrationCandidates(wo int) []migrate.Cell {
 // (barrier on doneOps). This guarantees in-flight objects still find the
 // queries; overlap duplicates are removed by the mergers.
 type pendingExtract struct {
-	cell    int
-	wo, wl  int
-	keys    []string // nil: whole cell
-	copied  map[uint64]struct{}
-	barrier int64
+	cell   int
+	wo, wl int
+	keys   []string // nil: whole cell
+	copied map[uint64]struct{}
+	// copiedMsgs are the window entries copied with the cell; ring
+	// entries that arrived at the source between copy and flip are
+	// forwarded at extraction time, like leftover queries.
+	copiedMsgs map[uint64]struct{}
+	barrier    int64
 }
 
 // migrateShare moves worker wo's entire share of a cell to wl using the
 // copy → transfer → flip-routing → deferred-extract sequence, so no
-// matching object is ever routed to a worker without the queries.
+// matching object is ever routed to a worker without the queries. The
+// cell's window state (ring entries and top-k-held objects located in the
+// cell) travels with the queries, so sliding-window top-k subscriptions
+// survive the hand-off without losing window history.
 func (s *System) migrateShare(wo, wl, cell int) (queriesMoved int, nbytes int64) {
 	// 1. Copy.
 	s.workers[wo].mu.Lock()
 	qs := s.workers[wo].gi.QueriesInCell(cell)
+	win := s.workers[wo].win.SnapshotCell(cell, s.now())
 	s.workers[wo].mu.Unlock()
 	// 2. Transfer (serialise + simulated wire + deserialise). The
 	// receive-and-ingest happens under the destination worker's lock:
 	// on the paper's cluster the receiving worker is busy ingesting the
 	// migrated queries instead of processing tuples, which is exactly
 	// what delays tuples in Figures 12(c)/15.
-	_, nbytes = s.ingest(wl, cell, qs)
+	_, nbytes = s.ingest(wl, cell, qs, win)
 	// 3. Flip routing.
 	if s.gridT.Load().IsTextCell(cell) {
 		s.gridT.Load().ReassignTextShare(cell, wo, wl)
@@ -227,21 +236,32 @@ func (s *System) migrateShare(wo, wl, cell int) (queriesMoved int, nbytes int64)
 	}
 	// 4. Schedule extraction once wo drains its pre-flip queue.
 	s.scheduleExtract(pendingExtract{cell: cell, wo: wo, wl: wl, copied: idSet(qs),
-		barrier: s.enqueued[wo].Load()})
+		copiedMsgs: msgIDSet(win), barrier: s.enqueued[wo].Load()})
 	return len(qs), nbytes
 }
 
 // migrateSplit converts a space cell to a text cell, moving only the given
-// registration keys (Phase I split).
+// registration keys (Phase I split). The cell's window ring is copied (not
+// moved) so the receiving share can repair its top-k subscriptions from
+// the same history; the source keeps the cell for its remaining keys.
 func (s *System) migrateSplit(wo, wl, cell int, keys []string) (queriesMoved int, nbytes int64) {
 	s.workers[wo].mu.Lock()
 	qs := s.workers[wo].gi.QueriesInCellKeys(cell, keys)
+	win := s.workers[wo].win.SnapshotCell(cell, s.now())
 	s.workers[wo].mu.Unlock()
-	_, nbytes = s.ingest(wl, cell, qs)
+	_, nbytes = s.ingest(wl, cell, qs, win)
 	s.gridT.Load().SplitSpaceCellByText(cell, keys, wl)
 	s.scheduleExtract(pendingExtract{cell: cell, wo: wo, wl: wl, keys: keys,
-		copied: idSet(qs), barrier: s.enqueued[wo].Load()})
+		copied: idSet(qs), copiedMsgs: msgIDSet(win), barrier: s.enqueued[wo].Load()})
 	return len(qs), nbytes
+}
+
+func msgIDSet(es []window.Entry) map[uint64]struct{} {
+	out := make(map[uint64]struct{}, len(es))
+	for _, e := range es {
+		out[e.MsgID] = struct{}{}
+	}
+	return out
 }
 
 func idSet(qs []*model.Query) map[uint64]struct{} {
@@ -275,12 +295,48 @@ func (s *System) processPendingExtracts() {
 	s.pendingEx = rest
 	s.migMu.Unlock()
 	for _, pe := range due {
+		now := s.now()
 		s.workers[pe.wo].mu.Lock()
 		var extracted []*model.Query
 		if pe.keys == nil {
 			extracted = s.workers[pe.wo].gi.ExtractCell(pe.cell)
 		} else {
 			extracted = s.workers[pe.wo].gi.ExtractCellKeys(pe.cell, pe.keys)
+		}
+		// Window hand-off: the new owner's adopted copy is responsible
+		// for the cell now. For a whole-cell move the source releases its
+		// window share (repairing still-live top-ks from its remaining
+		// cells); for a key split it keeps the cell ring for its
+		// remaining keys. Either way, subscriptions no longer live here
+		// drop their heaps. The deltas stay in one batch with the
+		// destination's adoptions below, so a hand-off that preserves
+		// membership nets out to zero user-visible updates.
+		var ds []window.Delta
+		// Subscriptions whose only live presence was the migrated share
+		// are removed first, so DropCell below doesn't waste a ring scan
+		// refilling heaps that are about to disappear.
+		for _, q := range extracted {
+			if q.IsTopK() && !s.workers[pe.wo].gi.HasLive(q.ID) {
+				ds = append(ds, s.workers[pe.wo].win.RemoveSub(q.ID)...)
+			}
+		}
+		var ringLeft []window.Entry
+		var ring []window.Entry
+		if pe.keys == nil {
+			var dropDs []window.Delta
+			ring, dropDs = s.workers[pe.wo].win.DropCell(pe.cell, now)
+			ds = append(ds, dropDs...)
+		} else {
+			// Key split: wo keeps the cell for its remaining keys, but
+			// entries that arrived between the snapshot and the routing
+			// flip are still forwarded (as copies) so wl's ring holds the
+			// cell's full history too.
+			ring = s.workers[pe.wo].win.SnapshotCell(pe.cell, now)
+		}
+		for _, e := range ring {
+			if _, ok := pe.copiedMsgs[e.MsgID]; !ok {
+				ringLeft = append(ringLeft, e)
+			}
 		}
 		s.workers[pe.wo].mu.Unlock()
 		// Forward anything that reached wo between copy and flip.
@@ -290,11 +346,18 @@ func (s *System) processPendingExtracts() {
 				leftover = append(leftover, q)
 			}
 		}
-		if len(leftover) > 0 {
+		if len(leftover) > 0 || len(ringLeft) > 0 || len(ds) > 0 {
 			s.workers[pe.wl].mu.Lock()
 			for _, q := range leftover {
 				s.workers[pe.wl].gi.InsertAt(pe.cell, q)
+				if q.IsTopK() {
+					ds = append(ds, s.workers[pe.wl].win.AddSub(q, now)...)
+				}
 			}
+			if len(ringLeft) > 0 {
+				ds = append(ds, s.workers[pe.wl].win.AdoptCell(pe.cell, ringLeft, now)...)
+			}
+			s.board.Apply(ds)
 			s.workers[pe.wl].mu.Unlock()
 		}
 		s.migMu.Lock()
@@ -311,34 +374,55 @@ func (s *System) cellPending(cell int) bool {
 	return s.pendingCells[cell]
 }
 
-// ingest transfers queries to the destination worker: gob-serialise (the
-// measured migration cost S_g), then — under the destination's lock, as a
-// real worker would be occupied receiving and indexing — apply the
-// simulated wire/deserialisation delay and insert the copies.
-func (s *System) ingest(wl, cell int, qs []*model.Query) ([]*model.Query, int64) {
-	if len(qs) == 0 {
+// ingest transfers queries and the cell's window entries to the
+// destination worker: gob-serialise (the measured migration cost S_g),
+// then — under the destination's lock, as a real worker would be occupied
+// receiving and indexing — apply the simulated wire/deserialisation delay
+// and insert the copies. Migrated top-k subscriptions are registered in
+// the destination's window store and the migrated window entries adopted,
+// so the cell's top-k state is live at the destination before routing
+// flips.
+func (s *System) ingest(wl, cell int, qs []*model.Query, win []window.Entry) ([]*model.Query, int64) {
+	if len(qs) == 0 && len(win) == 0 {
 		return nil, 0
 	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(qs); err != nil {
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(qs); err != nil {
 		// Queries are plain exported structs; failure here is a
 		// programming error.
 		panic("core: gob encode: " + err.Error())
 	}
+	if err := enc.Encode(win); err != nil {
+		panic("core: gob encode window: " + err.Error())
+	}
 	n := int64(buf.Len())
 	var copied []*model.Query
+	var entries []window.Entry
 	ws := s.workers[wl]
 	ws.mu.Lock()
 	if rate := s.cfg.Adjust.WireBytesPerSec; rate > 0 {
 		time.Sleep(time.Duration(float64(n) / rate * float64(time.Second)))
 	}
-	if err := gob.NewDecoder(&buf).Decode(&copied); err != nil {
+	dec := gob.NewDecoder(&buf)
+	if err := dec.Decode(&copied); err != nil {
 		ws.mu.Unlock()
 		panic("core: gob decode: " + err.Error())
 	}
+	if err := dec.Decode(&entries); err != nil {
+		ws.mu.Unlock()
+		panic("core: gob decode window: " + err.Error())
+	}
+	now := s.now()
+	var ds []window.Delta
 	for _, q := range copied {
 		ws.gi.InsertAt(cell, q)
+		if q.IsTopK() {
+			ds = append(ds, ws.win.AddSub(q, now)...)
+		}
 	}
+	ds = append(ds, ws.win.AdoptCell(cell, entries, now)...)
+	s.board.Apply(ds)
 	ws.mu.Unlock()
 	return copied, n
 }

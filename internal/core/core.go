@@ -26,6 +26,7 @@ import (
 	"ps2stream/internal/qindex"
 	"ps2stream/internal/stream"
 	"ps2stream/internal/textutil"
+	"ps2stream/internal/window"
 )
 
 // IndexFactory builds one worker's query index. granularity is the GI2
@@ -60,6 +61,22 @@ type Config struct {
 	// OnMatch, when set, receives every deduplicated match from the
 	// mergers. It is called concurrently from merger tasks.
 	OnMatch func(model.Match)
+	// OnTopK, when set, receives every global top-k membership change of
+	// the sliding-window top-k subscriptions. It is called from worker
+	// tasks while internal locks are held: it must be fast and must not
+	// call back into the System.
+	OnTopK func(TopKUpdate)
+	// Clock supplies timestamps for window/top-k processing; nil uses
+	// time.Now. Tests install a fake clock for deterministic expiry.
+	Clock func() time.Time
+	// Scorer ranks window entries for top-k subscriptions; nil uses
+	// window.DefaultScorer.
+	Scorer window.Scorer
+	// WindowTick is the period of the eager window-expiry sweep
+	// (default 50ms).
+	WindowTick time.Duration
+	// WindowRingCap bounds each grid cell's window ring in entries.
+	WindowRingCap int
 	// DedupWindow bounds each merger's duplicate-elimination memory in
 	// (query, object) pairs.
 	DedupWindow int
@@ -124,6 +141,18 @@ func (c *Config) fillDefaults() {
 	}
 	if c.DedupWindow <= 0 {
 		c.DedupWindow = 1 << 15
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.Scorer == nil {
+		c.Scorer = window.DefaultScorer
+	}
+	if c.WindowTick <= 0 {
+		c.WindowTick = 50 * time.Millisecond
+	}
+	if c.WindowRingCap <= 0 {
+		c.WindowRingCap = window.DefaultRingCap
 	}
 	if c.Adjust.Enabled {
 		if c.Adjust.Sigma <= 1 {
@@ -221,7 +250,14 @@ type System struct {
 	// Global adjustment state.
 	globalMu sync.Mutex
 	dual     *dualAssignment
+
+	// board reconciles worker-local top-k memberships into each
+	// subscription's global top-k (see topk.go).
+	board *topkBoard
 }
+
+// now reads the configured clock.
+func (s *System) now() time.Time { return s.cfg.Clock() }
 
 type opEnvelope struct {
 	op model.Op
@@ -241,6 +277,9 @@ type workerState struct {
 	// gi is ix when the index is GI2, else nil. The migration machinery
 	// (§V) moves gridt cells and needs GI2's cell-level operations.
 	gi *gi2.Index
+	// win holds the worker's sliding-window top-k state (cell rings and
+	// per-subscription heaps), guarded by mu like ix.
+	win *window.Store
 }
 
 // ErrAdjustNeedsHybrid is returned when dynamic adjustment is requested
@@ -280,6 +319,7 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 	if cfg.Adjust.Enabled && s.gridT.Load() == nil {
 		return nil, ErrAdjustNeedsHybrid
 	}
+	s.board = newTopKBoard(cfg.OnTopK)
 	s.workers = make([]*workerState, cfg.Workers)
 	for i := range s.workers {
 		ix := cfg.IndexFactory(sample.Bounds, cfg.Granularity, sample.Stats)
@@ -288,6 +328,13 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 		}
 		ws := &workerState{ix: ix}
 		ws.gi, _ = ix.(*gi2.Index)
+		// The window store shares the GI2 grid geometry when available so
+		// window state migrates in the same cell units as the queries.
+		wg := grid.New(sample.Bounds, cfg.Granularity, cfg.Granularity)
+		if ws.gi != nil {
+			wg = ws.gi.Grid()
+		}
+		ws.win = window.NewStore(wg, cfg.Scorer, cfg.WindowRingCap)
 		s.workers[i] = ws
 	}
 	if cfg.Adjust.Enabled && s.workers[0].gi == nil {
@@ -327,6 +374,7 @@ func (s *System) Start(ctx context.Context) error {
 	if s.cfg.Adjust.Enabled {
 		go s.adjustLoop(adjustCtx)
 	}
+	go s.windowLoop(adjustCtx)
 	go func() {
 		err := s.topo.Run(runCtx)
 		adjustCancel()
@@ -336,9 +384,12 @@ func (s *System) Start(ctx context.Context) error {
 }
 
 // Submit enqueues one operation, blocking under backpressure. It must not
-// be called after Close.
+// be called after Close. The envelope timestamp comes from the configured
+// clock: it drives latency accounting and is the publish instant that
+// window expiry is measured from (one stamp per object, so every worker
+// replica agrees on its window lifetime).
 func (s *System) Submit(op model.Op) {
-	s.input <- opEnvelope{op: op, t0: time.Now()}
+	s.input <- opEnvelope{op: op, t0: s.now()}
 }
 
 // SubmitAll enqueues a batch.
@@ -390,7 +441,7 @@ func (s *System) Snapshot() Snapshot {
 	snap.WorkerBytes = make([]int64, len(s.workers))
 	for i, w := range s.workers {
 		w.mu.Lock()
-		snap.WorkerBytes[i] = w.ix.Footprint()
+		snap.WorkerBytes[i] = w.ix.Footprint() + w.win.Footprint()
 		w.mu.Unlock()
 	}
 	s.migMu.Lock()

@@ -8,6 +8,7 @@ import (
 	"ps2stream/internal/hybrid"
 	"ps2stream/internal/model"
 	"ps2stream/internal/partition"
+	"ps2stream/internal/window"
 )
 
 // dualAssignment routes with two strategies during a global repartition
@@ -198,6 +199,27 @@ func (s *System) FinishGlobalRepartition() int {
 		for _, w := range d.new.RouteQuery(def, true) {
 			want[w] = struct{}{}
 		}
+		// Window deltas across all holders are applied as one batch so a
+		// relocation whose top-k membership survives nets out to zero
+		// user-visible updates. The held window entries travel with the
+		// subscription: the departing holders' heap contents seed the new
+		// holders, whose own rings cannot refill history they never saw.
+		var ds []window.Delta
+		var carried []window.Entry
+		now := s.now()
+		if def.IsTopK() {
+			seen := make(map[uint64]struct{})
+			for _, w := range s.workers {
+				w.mu.Lock()
+				for _, e := range w.win.SubEntries(id) {
+					if _, dup := seen[e.MsgID]; !dup {
+						seen[e.MsgID] = struct{}{}
+						carried = append(carried, e)
+					}
+				}
+				w.mu.Unlock()
+			}
+		}
 		for wi, w := range s.workers {
 			_, wanted := want[wi]
 			w.mu.Lock()
@@ -205,11 +227,17 @@ func (s *System) FinishGlobalRepartition() int {
 			switch {
 			case wanted && !holds:
 				w.ix.Insert(def)
+				if def.IsTopK() {
+					ds = append(ds, w.win.AddSub(def, now)...)
+					ds = append(ds, w.win.AdoptEntries(id, carried, now)...)
+				}
 			case !wanted && holds:
 				w.ix.Delete(id)
+				ds = append(ds, w.win.RemoveSub(id)...)
 			}
 			w.mu.Unlock()
 		}
+		s.board.Apply(ds)
 		moved++
 	}
 	// Install the new strategy as the only route; local adjustment

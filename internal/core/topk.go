@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"ps2stream/internal/window"
+)
+
+// TopKUpdate is one global top-k membership change for a sliding-window
+// top-k subscription, delivered through Config.OnTopK.
+type TopKUpdate struct {
+	QueryID    uint64
+	Subscriber uint64
+	MsgID      uint64
+	// Score is the undecayed relevance the message had for the
+	// subscription (text × proximity, in (0, 1]).
+	Score float64
+	// Entered is true when the message entered the subscription's global
+	// top-k, false when it left (displaced by a better message, expired
+	// out of the window, or unsubscribed).
+	Entered bool
+}
+
+// topkBoard is the global reconciler for top-k subscriptions. Each worker
+// maintains a local top-k over its partition of the object stream; the
+// board merges the worker-local memberships (reference-counted, because a
+// subscription replicated across workers or mid-migration contributes one
+// membership per holder) into the subscription's global top-k and emits an
+// update only when global membership changes. The union of the local
+// top-ks always contains the global top-k, since a globally top-k message
+// is necessarily top-k within its own partition.
+type topkBoard struct {
+	mu      sync.Mutex
+	deliver func(TopKUpdate)
+	qs      map[uint64]*boardQuery
+}
+
+type boardQuery struct {
+	k          int
+	subscriber uint64
+	// cand is the union of worker-local top-k memberships.
+	cand map[uint64]*boardCand
+	// top is the delivered global top-k: message id → relevance (kept so
+	// a Left update can report the score after the candidate is gone).
+	top map[uint64]float64
+}
+
+type boardCand struct {
+	rank, rel float64
+	refs      int
+}
+
+func newTopKBoard(deliver func(TopKUpdate)) *topkBoard {
+	return &topkBoard{deliver: deliver, qs: make(map[uint64]*boardQuery)}
+}
+
+// Apply merges one batch of worker-local deltas and delivers the resulting
+// global membership changes. A batch is applied atomically: deltas that
+// cancel out (an entry handed from one worker to another during migration
+// appears as a Left plus an Entered) produce no user-visible update.
+func (b *topkBoard) Apply(ds []window.Delta) {
+	if len(ds) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	touched := make(map[uint64]*boardQuery)
+	for _, d := range ds {
+		bq := b.qs[d.QueryID]
+		if bq == nil {
+			bq = &boardQuery{
+				cand: make(map[uint64]*boardCand),
+				top:  make(map[uint64]float64),
+			}
+			b.qs[d.QueryID] = bq
+		}
+		bq.k = d.K
+		bq.subscriber = d.Subscriber
+		// Reference counts may go transiently negative: deltas from
+		// different goroutines can reach the board out of order (a
+		// windowLoop expiry can overtake a batched refill Entered), so a
+		// Left for an unseen message records a debt that its Entered
+		// later settles. Candidates only count while refs > 0.
+		c := bq.cand[d.MsgID]
+		if c == nil {
+			c = &boardCand{rank: d.Rank, rel: d.Rel}
+			bq.cand[d.MsgID] = c
+		}
+		if d.Entered {
+			c.refs++
+		} else {
+			c.refs--
+		}
+		if c.refs == 0 {
+			delete(bq.cand, d.MsgID)
+		}
+		touched[d.QueryID] = bq
+	}
+	for qid, bq := range touched {
+		b.rebalance(qid, bq)
+		if len(bq.cand) == 0 && len(bq.top) == 0 {
+			delete(b.qs, qid)
+		}
+	}
+}
+
+// rebalance recomputes the query's global top-k from its candidate union
+// and delivers the diff: departures first, then arrivals, each in
+// ascending message-id order for determinism.
+func (b *topkBoard) rebalance(qid uint64, bq *boardQuery) {
+	type scored struct {
+		id        uint64
+		rank, rel float64
+	}
+	cands := make([]scored, 0, len(bq.cand))
+	for id, c := range bq.cand {
+		if c.refs <= 0 {
+			continue // unsettled out-of-order debt, not a live candidate
+		}
+		cands = append(cands, scored{id: id, rank: c.rank, rel: c.rel})
+	}
+	// With a single holding worker the candidate union never exceeds k,
+	// so the common case needs no ordering at all — everything is in.
+	if len(cands) > bq.k {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].rank != cands[j].rank {
+				return cands[i].rank > cands[j].rank
+			}
+			return cands[i].id > cands[j].id
+		})
+		cands = cands[:bq.k]
+	}
+	want := make(map[uint64]float64, len(cands))
+	for _, c := range cands {
+		want[c.id] = c.rel
+	}
+	var left, entered []scored
+	for id, rel := range bq.top {
+		if _, keep := want[id]; !keep {
+			left = append(left, scored{id: id, rel: rel})
+		}
+	}
+	for _, c := range cands {
+		if _, had := bq.top[c.id]; !had {
+			entered = append(entered, c)
+		}
+	}
+	sort.Slice(left, func(i, j int) bool { return left[i].id < left[j].id })
+	sort.Slice(entered, func(i, j int) bool { return entered[i].id < entered[j].id })
+	bq.top = want
+	if b.deliver == nil {
+		return
+	}
+	for _, s := range left {
+		b.deliver(TopKUpdate{QueryID: qid, Subscriber: bq.subscriber, MsgID: s.id, Score: s.rel})
+	}
+	for _, s := range entered {
+		b.deliver(TopKUpdate{QueryID: qid, Subscriber: bq.subscriber, MsgID: s.id, Score: s.rel, Entered: true})
+	}
+}
+
+// set returns the query's current global top-k ids, ascending.
+func (b *topkBoard) set(qid uint64) []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bq := b.qs[qid]
+	if bq == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(bq.top))
+	for id := range bq.top {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TopKSet returns the subscription's current global top-k message ids in
+// ascending order (tests, examples; empty when the subscription holds
+// nothing).
+func (s *System) TopKSet(queryID uint64) []uint64 { return s.board.set(queryID) }
+
+// windowLoop drives eager window expiry: every WindowTick it sweeps every
+// worker's window store, expiring entries out of the rings and top-k heaps
+// and repairing the heaps from the surviving window. Subscriptions
+// therefore shed entries even when no new objects arrive.
+func (s *System) windowLoop(ctx context.Context) {
+	ticker := time.NewTicker(s.cfg.WindowTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.AdvanceWindows()
+		}
+	}
+}
+
+// AdvanceWindows runs one synchronous expiry sweep at the current clock
+// reading. The periodic windowLoop calls it; tests with a fake clock call
+// it directly after advancing time.
+func (s *System) AdvanceWindows() {
+	now := s.now()
+	for _, ws := range s.workers {
+		ws.mu.Lock()
+		// Advance runs even with no live subscriptions: the retention
+		// horizon is then zero, so rings left behind by the last
+		// unsubscribe are swept instead of pinned forever. With empty
+		// state this is O(1) per worker.
+		s.board.Apply(ws.win.Advance(now))
+		ws.mu.Unlock()
+	}
+}

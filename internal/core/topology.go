@@ -6,6 +6,7 @@ import (
 
 	"ps2stream/internal/model"
 	"ps2stream/internal/stream"
+	"ps2stream/internal/window"
 )
 
 // Stream names of the PS2Stream topology (Figure 1).
@@ -86,9 +87,11 @@ func (s *System) dispatch(env opEnvelope, c stream.Collector) {
 		}
 		if len(targets) == 0 {
 			// "The object can be discarded if it contains no terms in
-			// H2" — still count its latency as handled.
+			// H2" — still count its latency as handled. Latency is
+			// measured on the configured clock, the same domain the
+			// envelope was stamped in.
 			s.discarded.Inc()
-			s.latency.Load().Observe(time.Since(env.t0))
+			s.latency.Load().Observe(s.now().Sub(env.t0))
 			return
 		}
 		for _, w := range targets {
@@ -118,19 +121,40 @@ func (s *System) routeDelete(q *model.Query) []int {
 }
 
 // work processes one operation on worker `task` (worker bolt body).
+// Boolean subscriptions emit matches to the mergers; top-k subscriptions
+// route matches into the worker's window store instead, and the resulting
+// local-membership deltas are reconciled on the global top-k board (still
+// under the worker lock, so deltas reach the board in the order the state
+// changed).
 func (s *System) work(task int, env opEnvelope, c stream.Collector) {
 	if s.cfg.PerTupleWork > 0 {
 		spin(s.cfg.PerTupleWork)
 	}
 	ws := s.workers[task]
 	ws.mu.Lock()
+	var deltas []window.Delta
 	switch env.op.Kind {
 	case model.OpInsert:
 		ws.ix.Insert(env.op.Query)
+		if env.op.Query.IsTopK() {
+			deltas = ws.win.AddSub(env.op.Query, s.now())
+		}
 	case model.OpDelete:
 		ws.ix.Delete(env.op.Query.ID)
+		deltas = ws.win.RemoveSub(env.op.Query.ID)
 	case model.OpObject:
+		e := window.Entry{
+			MsgID: env.op.Obj.ID,
+			Terms: env.op.Obj.Terms,
+			Loc:   env.op.Obj.Loc,
+			At:    env.t0,
+		}
+		now := s.now() // one clock read per object, shared by all offers
 		ws.ix.Match(env.op.Obj, func(q *model.Query) {
+			if q.IsTopK() {
+				deltas = append(deltas, ws.win.Offer(q, e, now)...)
+				return
+			}
 			me := matchEnvelope{
 				m: model.Match{
 					QueryID:    q.ID,
@@ -142,10 +166,14 @@ func (s *System) work(task int, env opEnvelope, c stream.Collector) {
 			}
 			c.Emit(streamMatches, stream.Tuple{Value: me})
 		})
+		if ws.win.SubCount() > 0 {
+			ws.win.Observe(e)
+		}
 	}
+	s.board.Apply(deltas)
 	ws.mu.Unlock()
 	s.doneOps[task].Add(1)
-	s.latency.Load().Observe(time.Since(env.t0))
+	s.latency.Load().Observe(s.now().Sub(env.t0))
 }
 
 // spin busy-waits for roughly d; sleeping is too coarse at microsecond
@@ -190,7 +218,7 @@ func (m *merger) Process(tu stream.Tuple, _ stream.Collector) {
 	}
 	m.seen[key] = struct{}{}
 	m.s.matches.Inc()
-	m.s.matchLat.Load().Observe(time.Since(me.t0))
+	m.s.matchLat.Load().Observe(m.s.now().Sub(me.t0))
 	if m.s.cfg.OnMatch != nil {
 		m.s.cfg.OnMatch(me.m)
 	}

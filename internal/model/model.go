@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"ps2stream/internal/geo"
 )
@@ -196,7 +197,18 @@ type Query struct {
 	// Subscriber identifies the registering user; the merger uses it to
 	// deliver results.
 	Subscriber uint64
+	// TopK, when positive together with Window, marks a sliding-window
+	// top-k subscription (Wang et al., arXiv:1611.03204): instead of
+	// forwarding every match, the system maintains the TopK
+	// highest-scored objects published within the trailing Window and
+	// delivers membership changes. Zero values give the paper's plain
+	// boolean subscription.
+	TopK   int
+	Window time.Duration
 }
+
+// IsTopK reports whether the query is a sliding-window top-k subscription.
+func (q *Query) IsTopK() bool { return q.TopK > 0 && q.Window > 0 }
 
 // Matches reports whether object o is a result of query q: o.loc inside
 // q.R and o.text satisfying q.K (§III-A).
@@ -208,6 +220,9 @@ func (q *Query) Matches(o *Object) bool {
 // S_g of Definition 4 is the sum of this over a cell's queries.
 func (q *Query) SizeBytes() int {
 	n := 8 + 8 + 4*8 // ID + Subscriber + Region
+	if q.TopK > 0 {
+		n += 16 // TopK + Window
+	}
 	for _, c := range q.Expr.Conj {
 		n += 8 // conjunction header
 		for _, t := range c {

@@ -1,0 +1,157 @@
+package window
+
+import "time"
+
+// Ranked pairs a window entry with its score for one subscription.
+type Ranked struct {
+	E Entry
+	S Score
+}
+
+// TopK maintains the k best-ranked window entries of one subscription as
+// a bounded min-heap (the worst of the kept entries at the root), with an
+// id→slot map for O(log k) removal by message id. Scores are
+// time-independent rank keys (see Score.Rank), so entries never need
+// re-heaping as time advances; only expiry removes them.
+type TopK struct {
+	k   int
+	h   []Ranked
+	pos map[uint64]int
+}
+
+// NewTopK returns an empty maintainer with capacity k (>= 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, pos: make(map[uint64]int, k)}
+}
+
+// K returns the capacity.
+func (t *TopK) K() int { return t.k }
+
+// Len returns the number of held entries.
+func (t *TopK) Len() int { return len(t.h) }
+
+// Contains reports whether the message id currently holds a slot.
+func (t *TopK) Contains(id uint64) bool {
+	_, ok := t.pos[id]
+	return ok
+}
+
+// Entries returns a copy of the held entries in unspecified order.
+func (t *TopK) Entries() []Ranked {
+	return append([]Ranked(nil), t.h...)
+}
+
+// Offer proposes a new entry. When the heap is full and r ranks below the
+// current minimum, the offer is rejected. On acceptance the displaced
+// minimum, if any, is returned. Offering an id already held is a no-op
+// (duplicate publications rank identically, so replacing changes nothing).
+func (t *TopK) Offer(r Ranked) (entered bool, evicted *Ranked) {
+	if _, dup := t.pos[r.E.MsgID]; dup {
+		return false, nil
+	}
+	if len(t.h) < t.k {
+		t.push(r)
+		return true, nil
+	}
+	min := t.h[0]
+	if !r.S.Better(min.S, r.E.MsgID, min.E.MsgID) {
+		return false, nil
+	}
+	t.removeAt(0)
+	t.push(r)
+	return true, &min
+}
+
+// Remove drops the entry with the message id, reporting whether it was
+// held.
+func (t *TopK) Remove(id uint64) (Ranked, bool) {
+	i, ok := t.pos[id]
+	if !ok {
+		return Ranked{}, false
+	}
+	r := t.h[i]
+	t.removeAt(i)
+	return r, true
+}
+
+// ExpireBefore removes and returns every held entry not live at cutoff.
+func (t *TopK) ExpireBefore(cutoff time.Time) []Ranked {
+	var out []Ranked
+	for i := 0; i < len(t.h); {
+		if t.h[i].E.Live(cutoff) {
+			i++
+			continue
+		}
+		out = append(out, t.h[i])
+		t.removeAt(i)
+		// removeAt moved a different element into slot i; re-examine it.
+	}
+	return out
+}
+
+// --- heap internals (min-heap: h[0] is the worst kept entry) ------------
+
+func (t *TopK) less(i, j int) bool {
+	// "Less" in the min-heap sense: i is worse than j.
+	return t.h[j].S.Better(t.h[i].S, t.h[j].E.MsgID, t.h[i].E.MsgID)
+}
+
+func (t *TopK) swap(i, j int) {
+	t.h[i], t.h[j] = t.h[j], t.h[i]
+	t.pos[t.h[i].E.MsgID] = i
+	t.pos[t.h[j].E.MsgID] = j
+}
+
+func (t *TopK) push(r Ranked) {
+	t.h = append(t.h, r)
+	i := len(t.h) - 1
+	t.pos[r.E.MsgID] = i
+	t.up(i)
+}
+
+func (t *TopK) removeAt(i int) {
+	last := len(t.h) - 1
+	delete(t.pos, t.h[i].E.MsgID)
+	if i != last {
+		t.h[i] = t.h[last]
+		t.pos[t.h[i].E.MsgID] = i
+	}
+	t.h = t.h[:last]
+	if i < last {
+		t.down(i)
+		t.up(i)
+	}
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.less(i, parent) {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && t.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && t.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.swap(i, smallest)
+		i = smallest
+	}
+}

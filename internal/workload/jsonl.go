@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"time"
 
 	"ps2stream/internal/geo"
 	"ps2stream/internal/model"
@@ -23,6 +24,10 @@ type JSONOp struct {
 	Expr       string    `json:"expr,omitempty"`
 	Region     []float64 `json:"region,omitempty"`
 	Subscriber uint64    `json:"sub,omitempty"`
+	// K and WindowMS mark sliding-window top-k subscriptions (both zero
+	// for boolean queries).
+	K        int   `json:"k,omitempty"`
+	WindowMS int64 `json:"window_ms,omitempty"`
 }
 
 // EncodeOp converts a stream operation to its wire form.
@@ -39,10 +44,15 @@ func EncodeOp(op model.Op) JSONOp {
 			kind = "delete"
 		}
 		q := op.Query
+		// Wire resolution is 1ms; round up so no fraction is lost and a
+		// sub-millisecond window never demotes to boolean on replay.
+		wms := int64((q.Window + time.Millisecond - 1) / time.Millisecond)
 		return JSONOp{
 			Op: kind, ID: q.ID, Expr: q.Expr.String(),
 			Region:     []float64{q.Region.Min.X, q.Region.Min.Y, q.Region.Max.X, q.Region.Max.Y},
 			Subscriber: q.Subscriber,
+			K:          q.TopK,
+			WindowMS:   wms,
 		}
 	default:
 		return JSONOp{}
@@ -75,6 +85,8 @@ func DecodeOp(j JSONOp) (model.Op, error) {
 			ID: j.ID, Expr: expr,
 			Region:     geo.NewRect(j.Region[0], j.Region[1], j.Region[2], j.Region[3]),
 			Subscriber: j.Subscriber,
+			TopK:       j.K,
+			Window:     time.Duration(j.WindowMS) * time.Millisecond,
 		}}, nil
 	default:
 		return model.Op{}, fmt.Errorf("workload: unknown op %q", j.Op)

@@ -3,6 +3,7 @@ package workload
 import (
 	"container/heap"
 	"math/rand"
+	"time"
 
 	"ps2stream/internal/model"
 )
@@ -21,6 +22,14 @@ type StreamConfig struct {
 	ObjectRatio int
 	// Seed drives the op mix and lifetime draws.
 	Seed int64
+	// TopKFraction is the probability that an inserted query is a
+	// sliding-window top-k subscription instead of a boolean one
+	// (0 = the paper's pure boolean workload).
+	TopKFraction float64
+	// TopKK is the k of generated top-k subscriptions (default 10).
+	TopKK int
+	// TopKWindow is their sliding window (default 1 minute).
+	TopKWindow time.Duration
 }
 
 // Stream produces the interleaved operation stream consumed by PS2Stream.
@@ -64,6 +73,12 @@ func NewStream(spec DatasetSpec, kind QueryKind, cfg StreamConfig) *Stream {
 	if cfg.Mu <= 0 {
 		cfg.Mu = 10000
 	}
+	if cfg.TopKK <= 0 {
+		cfg.TopKK = 10
+	}
+	if cfg.TopKWindow <= 0 {
+		cfg.TopKWindow = time.Minute
+	}
 	return &Stream{
 		cfg:     cfg,
 		objects: NewGenerator(spec, cfg.Seed^0x0bea),
@@ -88,6 +103,10 @@ func (s *Stream) Prewarm(n int) []model.Op {
 
 func (s *Stream) insertOp() model.Op {
 	q := s.queries.Query()
+	if s.cfg.TopKFraction > 0 && s.rng.Float64() < s.cfg.TopKFraction {
+		q.TopK = s.cfg.TopKK
+		q.Window = s.cfg.TopKWindow
+	}
 	s.inserted++
 	life := float64(s.cfg.Mu) + s.rng.NormFloat64()*0.2*float64(s.cfg.Mu)
 	if life < 1 {

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"ps2stream/internal/model"
+)
+
+// The configured fraction of generated subscriptions must be top-k, with
+// the configured k and window, and round-trip through the JSONL wire form.
+func TestStreamTopKMix(t *testing.T) {
+	st := NewStream(TweetsUS(), Q1, StreamConfig{
+		Mu: 500, Seed: 9,
+		TopKFraction: 0.3,
+		TopKK:        7,
+		TopKWindow:   45 * time.Second,
+	})
+	inserts, topk := 0, 0
+	for _, op := range st.Prewarm(500) {
+		if op.Kind != model.OpInsert {
+			t.Fatalf("prewarm emitted %v", op.Kind)
+		}
+		inserts++
+		if op.Query.IsTopK() {
+			topk++
+			if op.Query.TopK != 7 || op.Query.Window != 45*time.Second {
+				t.Fatalf("top-k query has k=%d window=%v", op.Query.TopK, op.Query.Window)
+			}
+			// Wire round-trip preserves the top-k marker.
+			back, err := DecodeOp(EncodeOp(op))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Query.TopK != 7 || back.Query.Window != 45*time.Second {
+				t.Fatalf("round-trip lost top-k fields: %+v", back.Query)
+			}
+		}
+	}
+	if frac := float64(topk) / float64(inserts); frac < 0.2 || frac > 0.4 {
+		t.Fatalf("top-k fraction %.2f, want ≈0.3", frac)
+	}
+	// Zero fraction stays purely boolean.
+	st2 := NewStream(TweetsUS(), Q1, StreamConfig{Mu: 100, Seed: 9})
+	for _, op := range st2.Prewarm(100) {
+		if op.Query.IsTopK() {
+			t.Fatal("boolean workload produced a top-k subscription")
+		}
+	}
+}

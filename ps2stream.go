@@ -24,6 +24,33 @@
 //		Region: ps2stream.RegionAround(40.7, -73.95, 10, 10),
 //	})
 //	sys.Publish(ps2stream.Message{ID: 9, Text: "best coffee in brooklyn", Lat: 40.71, Lon: -73.95})
+//
+// # Sliding-window top-k subscriptions
+//
+// Besides boolean delivery ("every match"), the system supports ranked,
+// windowed delivery in the style of "Top-k Spatial-keyword
+// Publish/Subscribe Over Sliding Window" (Wang et al., arXiv:1611.03204):
+// SubscribeTopK registers a subscription that continuously tracks the k
+// most relevant messages published within a trailing time window, where
+// relevance combines text overlap, spatial proximity to the region
+// centre, and recency decay. Deliveries arrive through Options.OnTopK as
+// TopKUpdate events — a message entered the subscription's top-k, or left
+// it (displaced by a better one or expired out of the window, in which
+// case the top-k is repaired from the retained window automatically):
+//
+//	sys, _ := ps2stream.Open(ps2stream.Options{
+//		Region: ps2stream.NewRegion(-125, 24, -66, 49),
+//		OnTopK: func(u ps2stream.TopKUpdate) { fmt.Println(u.Event, u.MessageID) },
+//	})
+//	sys.SubscribeTopK(ps2stream.Subscription{
+//		ID:     2,
+//		Query:  "pizza",
+//		Region: ps2stream.RegionAround(40.7, -73.95, 10, 10),
+//	}, 10, 5*time.Minute)
+//
+// Top-k subscriptions ride the same hybrid partitioning and dynamic load
+// adjustment as boolean ones; their window state migrates together with
+// the gridt cells it belongs to.
 package ps2stream
 
 import (
@@ -99,6 +126,46 @@ type Match struct {
 	SubscriptionID uint64
 	Subscriber     uint64
 	MessageID      uint64
+}
+
+// TopKEvent is the kind of a TopKUpdate.
+type TopKEvent uint8
+
+// The top-k membership transitions.
+const (
+	// TopKEntered: the message entered the subscription's top-k.
+	TopKEntered TopKEvent = iota
+	// TopKLeft: the message left the top-k — displaced by a better
+	// message, expired out of the window, or the subscription ended.
+	TopKLeft
+)
+
+// String implements fmt.Stringer.
+func (e TopKEvent) String() string {
+	switch e {
+	case TopKEntered:
+		return "entered"
+	case TopKLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("TopKEvent(%d)", uint8(e))
+	}
+}
+
+// TopKUpdate is a delivery for a sliding-window top-k subscription: the
+// message identified by MessageID entered or left the subscription's
+// current top-k set. At any quiescent instant the set of messages that
+// entered and have not left is exactly the subscription's top-k over the
+// trailing window.
+type TopKUpdate struct {
+	SubscriptionID uint64
+	Subscriber     uint64
+	MessageID      uint64
+	// Score is the message's relevance for the subscription (text overlap
+	// × spatial proximity, in (0, 1]), before recency decay.
+	Score float64
+	// Event says whether the message entered or left the top-k.
+	Event TopKEvent
 }
 
 // Strategy names a workload distribution algorithm.
@@ -193,6 +260,15 @@ type Options struct {
 	// OnMatch receives every match. Called concurrently; must be fast
 	// or hand off to a channel.
 	OnMatch func(Match)
+	// OnTopK receives every top-k membership change of SubscribeTopK
+	// subscriptions. Called concurrently from worker tasks while internal
+	// locks are held: it must be fast, must not block, and must not call
+	// back into the System — hand off to a channel for anything heavier.
+	OnTopK func(TopKUpdate)
+	// Now supplies timestamps for sliding-window processing (publish
+	// instants and expiry). Nil uses time.Now; deterministic replays and
+	// tests install a fake clock and drive expiry with AdvanceTopK.
+	Now func() time.Time
 	// DynamicAdjustment enables the §V load adjustment controller
 	// (hybrid strategy only).
 	DynamicAdjustment bool
@@ -241,6 +317,23 @@ func Open(opts Options) (*System, error) {
 			user(Match{SubscriptionID: m.QueryID, Subscriber: m.Subscriber, MessageID: m.ObjectID})
 		}
 	}
+	var onTopK func(core.TopKUpdate)
+	if opts.OnTopK != nil {
+		user := opts.OnTopK
+		onTopK = func(u core.TopKUpdate) {
+			ev := TopKLeft
+			if u.Entered {
+				ev = TopKEntered
+			}
+			user(TopKUpdate{
+				SubscriptionID: u.QueryID,
+				Subscriber:     u.Subscriber,
+				MessageID:      u.MsgID,
+				Score:          u.Score,
+				Event:          ev,
+			})
+		}
+	}
 	cfg := core.Config{
 		Dispatchers:  opts.Dispatchers,
 		Workers:      opts.Workers,
@@ -248,6 +341,8 @@ func Open(opts Options) (*System, error) {
 		Builder:      b,
 		IndexFactory: ixf,
 		OnMatch:      onMatch,
+		OnTopK:       onTopK,
+		Clock:        opts.Now,
 	}
 	if opts.DynamicAdjustment {
 		cfg.Adjust = core.AdjustConfig{
@@ -302,6 +397,46 @@ func (s *System) Subscribe(sub Subscription) error {
 	s.submitted.Add(1)
 	s.inner.Submit(model.Op{Kind: model.OpInsert, Query: q})
 	return nil
+}
+
+// SubscribeTopK registers a sliding-window top-k subscription: the system
+// continuously maintains the k most relevant messages published within
+// the trailing window that match the subscription's boolean expression
+// and region, and reports membership changes through Options.OnTopK.
+// Relevance is text overlap × proximity to the region centre × recency
+// decay. Unsubscribe ends the subscription like a boolean one.
+func (s *System) SubscribeTopK(sub Subscription, k int, window time.Duration) error {
+	if k < 1 {
+		return fmt.Errorf("ps2stream: SubscribeTopK k must be >= 1, got %d", k)
+	}
+	if window <= 0 {
+		return fmt.Errorf("ps2stream: SubscribeTopK window must be positive, got %v", window)
+	}
+	q, err := sub.toQuery()
+	if err != nil {
+		return err
+	}
+	q.TopK = k
+	q.Window = window
+	s.submitted.Add(1)
+	s.inner.Submit(model.Op{Kind: model.OpInsert, Query: q})
+	return nil
+}
+
+// TopKSet returns the subscription's current top-k message ids in
+// ascending id order (empty when the subscription holds nothing). It is a
+// point-in-time view; Flush first for a quiescent read.
+func (s *System) TopKSet(subscriptionID uint64) []uint64 {
+	return s.inner.TopKSet(subscriptionID)
+}
+
+// AdvanceTopK forces one synchronous window-expiry sweep: entries older
+// than their subscription's window fall out of every top-k and the heaps
+// are repaired from the retained window. The system runs this sweep
+// periodically on its own; explicit calls are for deterministic tests and
+// replays driving a fake Options.Now clock.
+func (s *System) AdvanceTopK() {
+	s.inner.AdvanceWindows()
 }
 
 // Unsubscribe drops a subscription. The full subscription is required
