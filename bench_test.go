@@ -452,3 +452,52 @@ func BenchmarkLoadWorker(b *testing.B) {
 		c.Worker(float64(i), float64(i/5), float64(i/5))
 	}
 }
+
+// BenchmarkPublishBatched measures the publish hot path at several
+// transfer batch sizes through the public API: batch=1 is the unbatched
+// baseline (one channel send, one lock acquisition per message), batch=64
+// is the Options.BatchSize default. Messages are pre-generated so the
+// timed region covers only Publish → dispatch → match → merge.
+// cmd/psbench -exp batch records the paper-style table; BENCH_batch.json
+// holds the committed baseline.
+func BenchmarkPublishBatched(b *testing.B) {
+	for _, bs := range []int{1, 8, 64, 256} {
+		b.Run("batch="+strconv.Itoa(bs), func(b *testing.B) {
+			og := workload.NewGenerator(workload.TweetsUS(), 3)
+			qg := workload.NewQueryGenerator(workload.TweetsUS(), workload.Q1, 7)
+			sys, err := Open(Options{
+				Region:  NewRegion(-125, 24, -66, 49),
+				Workers: 4, Dispatchers: 2,
+				BatchSize: bs,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			for i := 0; i < 500; i++ {
+				q := qg.Query()
+				err := sys.Subscribe(Subscription{
+					ID:         q.ID,
+					Query:      q.Expr.String(),
+					Region:     Region{MinLat: q.Region.Min.Y, MinLon: q.Region.Min.X, MaxLat: q.Region.Max.Y, MaxLon: q.Region.Max.X},
+					Subscriber: q.Subscriber,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sys.Flush()
+			msgs := make([]Message, b.N)
+			for i := range msgs {
+				o := og.Object()
+				msgs[i] = Message{ID: o.ID, Text: strings.Join(o.Terms, " "), Lat: o.Loc.Y, Lon: o.Loc.X}
+			}
+			b.ResetTimer()
+			for i := range msgs {
+				sys.Publish(msgs[i])
+			}
+			sys.Flush()
+			b.StopTimer()
+		})
+	}
+}

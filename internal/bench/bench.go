@@ -161,6 +161,7 @@ func Experiments() map[string]Runner {
 		"ablidx":  AblWorkerIndex,
 		"ablrate": AblLatencyVsRate,
 		"topk":    TopKThroughput,
+		"batch":   BatchThroughput,
 	}
 }
 

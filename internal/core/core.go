@@ -2,7 +2,9 @@
 // bolts on the stream engine (§III-B, Figure 1), the workload-distribution
 // assignment on the dispatchers, GI2 indexes on the workers, duplicate
 // elimination on the mergers, and the dynamic load adjustment controller
-// of §V.
+// of §V. The whole publish path is batch-oriented: operations move between
+// tasks as slices of up to Config.BatchSize tuples, amortising channel
+// sends, lock acquisitions and clock reads over whole batches.
 package core
 
 import (
@@ -33,6 +35,10 @@ import (
 // grid resolution; other index kinds may ignore it.
 type IndexFactory func(bounds geo.Rect, granularity int, stats *textutil.Stats) qindex.Index
 
+// DefaultBatchSize is the tuples-per-channel-send default of the batched
+// publish path (Config.BatchSize).
+const DefaultBatchSize = 64
+
 // Config describes a PS2Stream deployment. The zero value is completed by
 // New with the paper's defaults (4 dispatchers, 8 workers, 2 mergers,
 // 2^6 × 2^6 grid granularity, hybrid partitioning).
@@ -45,8 +51,15 @@ type Config struct {
 	Mergers int
 	// Granularity is the per-axis grid resolution of GI2 and gridt.
 	Granularity int
-	// QueueCap bounds each task's input queue (backpressure).
+	// QueueCap bounds each task's input queue in tuples (backpressure),
+	// rounded down to whole transfer batches (minimum one batch).
 	QueueCap int
+	// BatchSize is the number of tuples transferred per channel send on
+	// every hop of the topology (spout→dispatcher→worker→merger). Batches
+	// fill adaptively: a task flushes partial batches as soon as its input
+	// goes idle, so batching costs no latency on a quiet stream. 1 means
+	// unbatched (tuple-at-a-time); 0 uses DefaultBatchSize.
+	BatchSize int
 	// Builder constructs the workload distribution strategy; nil uses
 	// hybrid partitioning.
 	Builder partition.Builder
@@ -127,6 +140,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 4096
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
 	}
 	if c.Builder == nil {
 		c.Builder = hybrid.Builder{}
@@ -280,6 +296,9 @@ type workerState struct {
 	// win holds the worker's sliding-window top-k state (cell rings and
 	// per-subscription heaps), guarded by mu like ix.
 	win *window.Store
+	// deltaScratch accumulates window deltas across one input batch
+	// (guarded by mu); reused so the hot path allocates nothing per batch.
+	deltaScratch []window.Delta
 }
 
 // ErrAdjustNeedsHybrid is returned when dynamic adjustment is requested
@@ -515,6 +534,39 @@ func (s *System) ResetLatencyStats() {
 // Processed returns the number of input tuples routed so far (cheap; no
 // worker locks, unlike Snapshot).
 func (s *System) Processed() int64 { return s.processed.Value() }
+
+// Quiesce blocks until the first `submitted` operations have been routed
+// by the dispatchers AND every worker has drained its input (done ops
+// caught up with enqueued ops, stable across two polls — the enqueue
+// counters move mid-dispatch, after Processed already has). Benchmarks
+// and tests use it as an exact "all standing state is applied" barrier
+// between a prewarm phase and a measured/asserted phase; it never
+// returns early, so only call it after submitting at least `submitted`
+// operations.
+func (s *System) Quiesce(submitted int64) {
+	stable := 0
+	for stable < 2 {
+		if s.Processed() < submitted {
+			stable = 0
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		ok := true
+		for i := range s.enqueued {
+			if s.doneOps[i].Load() != s.enqueued[i].Load() {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			stable = 0
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		stable++
+		time.Sleep(2 * time.Millisecond)
+	}
+}
 
 // MatchCount returns delivered (deduplicated) matches so far.
 func (s *System) MatchCount() int64 { return s.matches.Value() }

@@ -16,11 +16,27 @@ const (
 	streamMatches = "matches" // workers -> mergers (fields)
 )
 
-// buildTopology assembles spout → dispatcher → worker → merger.
+// buildTopology assembles spout → dispatcher → worker → merger. Every hop
+// moves batches of up to Config.BatchSize tuples: the spout drains
+// whatever Submit has queued into one collector pass, dispatchers fan out
+// one batch per target worker, workers take their index/window locks once
+// per batch, and mergers deduplicate batch-wise.
 func (s *System) buildTopology(ctx context.Context) *stream.Topology {
-	t := stream.NewTopology(s.cfg.QueueCap)
+	// The stream engine's queue capacity is denominated in batches; divide
+	// so Config.QueueCap keeps bounding in-flight *tuples* per task queue
+	// regardless of BatchSize.
+	qc := s.cfg.QueueCap / s.cfg.BatchSize
+	if qc < 1 {
+		qc = 1
+	}
+	t := stream.NewTopology(qc)
+	t.SetBatchSize(s.cfg.BatchSize)
 
-	// Input spout: drains the Submit channel.
+	// Input spout: drains the Submit channel. After a blocking read it
+	// greedily takes whatever else is already queued (up to one batch) and
+	// flushes, so batches fill under load without holding tuples back
+	// while the spout waits for input — Flush() latency semantics are
+	// unchanged from the unbatched engine.
 	t.AddSpout("input", func(task int) stream.Spout {
 		return stream.SpoutFunc(func(c stream.Collector) bool {
 			select {
@@ -29,7 +45,22 @@ func (s *System) buildTopology(ctx context.Context) *stream.Topology {
 					return false
 				}
 				c.Emit(streamInput, stream.Tuple{Value: env})
-				return true
+				alive := true
+			drain:
+				for n := 1; n < s.cfg.BatchSize; n++ {
+					select {
+					case env, ok := <-s.input:
+						if !ok {
+							alive = false
+							break drain
+						}
+						c.Emit(streamInput, stream.Tuple{Value: env})
+					default:
+						break drain
+					}
+				}
+				c.Flush()
+				return alive
 			case <-ctx.Done():
 				return false
 			}
@@ -43,9 +74,7 @@ func (s *System) buildTopology(ctx context.Context) *stream.Topology {
 	// another dispatcher task, leaking the query (and its H2 counts)
 	// forever. Objects carry no ordering constraint and spread by id.
 	t.AddBolt("dispatcher", func(task int) stream.Bolt {
-		return stream.BoltFunc(func(tu stream.Tuple, c stream.Collector) {
-			s.dispatch(tu.Value.(opEnvelope), c)
-		})
+		return dispatcherBolt{s: s}
 	}, s.cfg.Dispatchers, streamToWork).Fields(streamInput, func(tu stream.Tuple) uint64 {
 		env := tu.Value.(opEnvelope)
 		if env.op.Kind == model.OpObject {
@@ -56,9 +85,7 @@ func (s *System) buildTopology(ctx context.Context) *stream.Topology {
 
 	// Workers: maintain GI2, match objects.
 	t.AddBolt("worker", func(task int) stream.Bolt {
-		return stream.BoltFunc(func(tu stream.Tuple, c stream.Collector) {
-			s.work(task, tu.Value.(opEnvelope), c)
-		})
+		return workerBolt{s: s, task: task}
 	}, s.cfg.Workers, streamMatches).Direct(streamToWork)
 
 	// Mergers: deduplicate and deliver.
@@ -71,46 +98,69 @@ func (s *System) buildTopology(ctx context.Context) *stream.Topology {
 	return t
 }
 
-// dispatch routes one operation (dispatcher bolt body).
-func (s *System) dispatch(env opEnvelope, c stream.Collector) {
-	a := s.Assignment()
-	s.processed.Inc()
-	s.tput.Inc()
-	var targets []int
-	switch env.op.Kind {
-	case model.OpObject:
-		targets = a.RouteObject(env.op.Obj)
-		if gt := s.gridT.Load(); gt != nil && s.cellObjects != nil {
-			if id := gt.Grid().CellOf(env.op.Obj.Loc); id < len(s.cellObjects) {
-				s.cellObjects[id].Add(1)
+// dispatcherBolt routes operations batch-wise: the assignment is loaded
+// once per received batch and the collector accumulates one outgoing
+// batch per target worker.
+type dispatcherBolt struct{ s *System }
+
+// ProcessBatch implements stream.BatchBolt.
+func (d dispatcherBolt) ProcessBatch(ts []stream.Tuple, c stream.Collector) {
+	d.s.dispatchBatch(ts, c)
+}
+
+// Process implements stream.Bolt (single-tuple fallback; the engine
+// prefers ProcessBatch).
+func (d dispatcherBolt) Process(tu stream.Tuple, c stream.Collector) {
+	d.s.dispatchBatch([]stream.Tuple{tu}, c)
+}
+
+// dispatchBatch routes one batch of operations (dispatcher bolt body).
+// The routing structures are re-read per operation — they are single
+// atomic loads, and holding one snapshot across a whole batch would
+// stretch the migration-flip race window from one tuple to BatchSize
+// tuples of stale routing.
+func (s *System) dispatchBatch(ts []stream.Tuple, c stream.Collector) {
+	s.processed.Add(int64(len(ts)))
+	s.tput.Add(int64(len(ts)))
+	for i := range ts {
+		env := ts[i].Value.(opEnvelope)
+		a := s.Assignment()
+		var targets []int
+		switch env.op.Kind {
+		case model.OpObject:
+			targets = a.RouteObject(env.op.Obj)
+			if gt := s.gridT.Load(); gt != nil && s.cellObjects != nil {
+				if id := gt.Grid().CellOf(env.op.Obj.Loc); id < len(s.cellObjects) {
+					s.cellObjects[id].Add(1)
+				}
+			}
+			if len(targets) == 0 {
+				// "The object can be discarded if it contains no terms in
+				// H2" — still count its latency as handled. Latency is
+				// measured on the configured clock, the same domain the
+				// envelope was stamped in.
+				s.discarded.Inc()
+				s.latency.Load().Observe(s.now().Sub(env.t0))
+				continue
+			}
+			for _, w := range targets {
+				s.winObjects[w].Add(1)
+			}
+		case model.OpInsert:
+			targets = a.RouteQuery(env.op.Query, true)
+			for _, w := range targets {
+				s.winInserts[w].Add(1)
+			}
+		case model.OpDelete:
+			targets = s.routeDelete(env.op.Query)
+			for _, w := range targets {
+				s.winDeletes[w].Add(1)
 			}
 		}
-		if len(targets) == 0 {
-			// "The object can be discarded if it contains no terms in
-			// H2" — still count its latency as handled. Latency is
-			// measured on the configured clock, the same domain the
-			// envelope was stamped in.
-			s.discarded.Inc()
-			s.latency.Load().Observe(s.now().Sub(env.t0))
-			return
-		}
 		for _, w := range targets {
-			s.winObjects[w].Add(1)
+			s.enqueued[w].Add(1)
+			c.EmitDirect(streamToWork, w, ts[i])
 		}
-	case model.OpInsert:
-		targets = a.RouteQuery(env.op.Query, true)
-		for _, w := range targets {
-			s.winInserts[w].Add(1)
-		}
-	case model.OpDelete:
-		targets = s.routeDelete(env.op.Query)
-		for _, w := range targets {
-			s.winDeletes[w].Add(1)
-		}
-	}
-	for _, w := range targets {
-		s.enqueued[w].Add(1)
-		c.EmitDirect(streamToWork, w, stream.Tuple{Value: env})
 	}
 }
 
@@ -120,60 +170,90 @@ func (s *System) routeDelete(q *model.Query) []int {
 	return s.Assignment().RouteQuery(q, false)
 }
 
-// work processes one operation on worker `task` (worker bolt body).
-// Boolean subscriptions emit matches to the mergers; top-k subscriptions
-// route matches into the worker's window store instead, and the resulting
-// local-membership deltas are reconciled on the global top-k board (still
-// under the worker lock, so deltas reach the board in the order the state
-// changed).
-func (s *System) work(task int, env opEnvelope, c stream.Collector) {
+// workerBolt processes operations on one worker, a whole batch per
+// index-lock acquisition.
+type workerBolt struct {
+	s    *System
+	task int
+}
+
+// ProcessBatch implements stream.BatchBolt.
+func (w workerBolt) ProcessBatch(ts []stream.Tuple, c stream.Collector) {
+	w.s.workBatch(w.task, ts, c)
+}
+
+// Process implements stream.Bolt (single-tuple fallback; the engine
+// prefers ProcessBatch).
+func (w workerBolt) Process(tu stream.Tuple, c stream.Collector) {
+	w.s.workBatch(w.task, []stream.Tuple{tu}, c)
+}
+
+// workBatch processes one batch of operations on worker `task` (worker
+// bolt body). The worker lock is taken once for the whole batch, the
+// clock is read once, and top-k window deltas accumulate in a per-worker
+// scratch buffer that is handed to the global board in one Apply — the
+// per-message costs the batch amortises. Boolean subscriptions emit
+// matches to the mergers (the collector batches those in turn); top-k
+// subscriptions route matches into the worker's window store, and the
+// resulting local-membership deltas are reconciled on the global top-k
+// board (still under the worker lock, so deltas reach the board in the
+// order the state changed).
+func (s *System) workBatch(task int, ts []stream.Tuple, c stream.Collector) {
 	if s.cfg.PerTupleWork > 0 {
-		spin(s.cfg.PerTupleWork)
+		spin(time.Duration(len(ts)) * s.cfg.PerTupleWork)
 	}
 	ws := s.workers[task]
 	ws.mu.Lock()
-	var deltas []window.Delta
-	switch env.op.Kind {
-	case model.OpInsert:
-		ws.ix.Insert(env.op.Query)
-		if env.op.Query.IsTopK() {
-			deltas = ws.win.AddSub(env.op.Query, s.now())
-		}
-	case model.OpDelete:
-		ws.ix.Delete(env.op.Query.ID)
-		deltas = ws.win.RemoveSub(env.op.Query.ID)
-	case model.OpObject:
-		e := window.Entry{
-			MsgID: env.op.Obj.ID,
-			Terms: env.op.Obj.Terms,
-			Loc:   env.op.Obj.Loc,
-			At:    env.t0,
-		}
-		now := s.now() // one clock read per object, shared by all offers
-		ws.ix.Match(env.op.Obj, func(q *model.Query) {
-			if q.IsTopK() {
-				deltas = append(deltas, ws.win.Offer(q, e, now)...)
-				return
+	deltas := ws.deltaScratch[:0]
+	now := s.now() // one clock read per batch, shared by all offers in it
+	for i := range ts {
+		env := ts[i].Value.(opEnvelope)
+		switch env.op.Kind {
+		case model.OpInsert:
+			ws.ix.Insert(env.op.Query)
+			if env.op.Query.IsTopK() {
+				deltas = append(deltas, ws.win.AddSub(env.op.Query, now)...)
 			}
-			me := matchEnvelope{
-				m: model.Match{
-					QueryID:    q.ID,
-					Subscriber: q.Subscriber,
-					ObjectID:   env.op.Obj.ID,
-					Worker:     task,
-				},
-				t0: env.t0,
+		case model.OpDelete:
+			ws.ix.Delete(env.op.Query.ID)
+			deltas = append(deltas, ws.win.RemoveSub(env.op.Query.ID)...)
+		case model.OpObject:
+			e := window.Entry{
+				MsgID: env.op.Obj.ID,
+				Terms: env.op.Obj.Terms,
+				Loc:   env.op.Obj.Loc,
+				At:    env.t0,
 			}
-			c.Emit(streamMatches, stream.Tuple{Value: me})
-		})
-		if ws.win.SubCount() > 0 {
-			ws.win.Observe(e)
+			ws.ix.Match(env.op.Obj, func(q *model.Query) {
+				if q.IsTopK() {
+					deltas = ws.win.OfferInto(deltas, q, e, now)
+					return
+				}
+				me := matchEnvelope{
+					m: model.Match{
+						QueryID:    q.ID,
+						Subscriber: q.Subscriber,
+						ObjectID:   env.op.Obj.ID,
+						Worker:     task,
+					},
+					t0: env.t0,
+				}
+				c.Emit(streamMatches, stream.Tuple{Value: me})
+			})
+			if ws.win.SubCount() > 0 {
+				ws.win.Observe(e)
+			}
 		}
 	}
 	s.board.Apply(deltas)
+	ws.deltaScratch = deltas[:0]
 	ws.mu.Unlock()
-	s.doneOps[task].Add(1)
-	s.latency.Load().Observe(s.now().Sub(env.t0))
+	s.doneOps[task].Add(int64(len(ts)))
+	end := s.now()
+	h := s.latency.Load()
+	for i := range ts {
+		h.Observe(end.Sub(ts[i].Value.(opEnvelope).t0))
+	}
 }
 
 // spin busy-waits for roughly d; sleeping is too coarse at microsecond
@@ -185,7 +265,8 @@ func spin(d time.Duration) {
 }
 
 // merger deduplicates matches with a bounded FIFO window and delivers
-// them. One instance per merger task; no locking needed for its own state.
+// them, a batch at a time. One instance per merger task; no locking needed
+// for its own state.
 type merger struct {
 	s     *System
 	seen  map[[2]uint64]struct{}
@@ -201,9 +282,22 @@ func newMerger(s *System) *merger {
 	}
 }
 
-// Process implements stream.Bolt.
+// ProcessBatch implements stream.BatchBolt: the whole batch is deduped
+// under one clock read.
+func (m *merger) ProcessBatch(ts []stream.Tuple, _ stream.Collector) {
+	now := m.s.now()
+	for i := range ts {
+		m.processOne(ts[i].Value.(matchEnvelope), now)
+	}
+}
+
+// Process implements stream.Bolt (single-tuple fallback; the engine
+// prefers ProcessBatch).
 func (m *merger) Process(tu stream.Tuple, _ stream.Collector) {
-	me := tu.Value.(matchEnvelope)
+	m.processOne(tu.Value.(matchEnvelope), m.s.now())
+}
+
+func (m *merger) processOne(me matchEnvelope, now time.Time) {
 	key := [2]uint64{me.m.QueryID, me.m.ObjectID}
 	if _, dup := m.seen[key]; dup {
 		m.s.duplicates.Inc()
@@ -218,7 +312,7 @@ func (m *merger) Process(tu stream.Tuple, _ stream.Collector) {
 	}
 	m.seen[key] = struct{}{}
 	m.s.matches.Inc()
-	m.s.matchLat.Load().Observe(m.s.now().Sub(me.t0))
+	m.s.matchLat.Load().Observe(now.Sub(me.t0))
 	if m.s.cfg.OnMatch != nil {
 		m.s.cfg.OnMatch(me.m)
 	}

@@ -8,6 +8,15 @@
 // the dataflow until every spout is exhausted and all in-flight tuples are
 // drained, or the context is cancelled. Bounded channels provide
 // backpressure exactly where a Storm topology would queue.
+//
+// The dataflow is batch-oriented: channels carry []Tuple slices, not
+// single tuples. A producer's Collector buffers emitted tuples per
+// (stream, downstream task) — groupings are evaluated once per tuple at
+// emit time — and transfers a whole batch when it reaches the topology's
+// batch size, when the producing task goes idle, or on an explicit
+// Collector.Flush. Batching amortises the per-message channel-send and
+// scheduling cost, which dominates the publish hot path at high rates;
+// SetBatchSize(1) restores tuple-at-a-time transfer.
 package stream
 
 import (
@@ -26,7 +35,10 @@ type Tuple struct {
 	Value interface{}
 }
 
-// Collector lets spouts and bolts emit tuples downstream.
+// Collector lets spouts and bolts emit tuples downstream. Emitted tuples
+// are buffered into per-downstream-task batches; a batch is transferred
+// when it reaches the topology's batch size, when the engine flushes an
+// idle task, or on Flush.
 type Collector interface {
 	// Emit sends the tuple on the named stream using each subscriber's
 	// grouping.
@@ -34,10 +46,18 @@ type Collector interface {
 	// EmitDirect sends the tuple to one specific task of every
 	// direct-grouped subscriber of the stream.
 	EmitDirect(stream string, task int, t Tuple)
+	// Flush transfers every buffered partial batch downstream. It is a
+	// no-op when nothing is buffered and returns promptly (abandoning the
+	// buffered tuples) when the run context is cancelled, so it is safe to
+	// call from components during shutdown.
+	Flush()
 }
 
 // Spout produces tuples. Next is called repeatedly from a single
-// goroutine; returning false ends the spout.
+// goroutine; returning false ends the spout. The engine flushes the
+// spout's collector when the spout ends; a spout that may block waiting
+// for input should Flush before blocking so buffered tuples are not held
+// back.
 type Spout interface {
 	Next(c Collector) bool
 }
@@ -46,6 +66,16 @@ type Spout interface {
 // task, so a Bolt instance needs no internal locking for its own state.
 type Bolt interface {
 	Process(t Tuple, c Collector)
+}
+
+// BatchBolt is an optional extension of Bolt: a bolt implementing it
+// receives each transferred batch whole instead of tuple-at-a-time, so it
+// can amortise per-batch work (acquire a lock once, read a clock once,
+// reuse scratch buffers). The batch slice is owned by the engine and
+// recycled after ProcessBatch returns; implementations must not retain it.
+type BatchBolt interface {
+	Bolt
+	ProcessBatch(ts []Tuple, c Collector)
 }
 
 // SpoutFunc adapts a function to the Spout interface.
@@ -95,7 +125,7 @@ type boltDecl struct {
 	factory BoltFactory
 	par     int
 	outputs []string
-	inputs  []chan Tuple
+	inputs  []chan []Tuple
 	// producers counts upstream task instances still running; the
 	// bolt's inputs close when it reaches zero.
 	producers atomic.Int64
@@ -121,14 +151,26 @@ type Topology struct {
 	// emittersByStream counts task instances that may emit on a stream.
 	emittersByStream map[string]int
 	queueCap         int
+	batchSize        int
 	errs             []error
+
+	// batchPool recycles transferred batch slices (capacity batchSize).
+	batchPool sync.Pool
 
 	panicMu sync.Mutex
 	panics  []string
 }
 
+// forcedFlushFactor bounds how many input tuples a busy bolt may process
+// before its partial output batches are pushed anyway. Without it, a
+// rarely-targeted downstream task could see its tuples parked in a partial
+// batch for as long as the producer stays saturated — which would stall
+// drain barriers (e.g. migration extraction) under sustained load.
+const forcedFlushFactor = 4
+
 // NewTopology returns an empty topology with the given per-task queue
-// capacity (<=0 uses 1024).
+// capacity, counted in batches (<=0 uses 1024), and a batch size of 1
+// (tuple-at-a-time); raise the batch size with SetBatchSize.
 func NewTopology(queueCap int) *Topology {
 	if queueCap <= 0 {
 		queueCap = 1024
@@ -138,7 +180,32 @@ func NewTopology(queueCap int) *Topology {
 		subsByStream:     make(map[string][]*subscription),
 		emittersByStream: make(map[string]int),
 		queueCap:         queueCap,
+		batchSize:        1,
 	}
+}
+
+// SetBatchSize sets the number of tuples transferred per channel send
+// (<=1 means unbatched). Call before Run.
+func (t *Topology) SetBatchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.batchSize = n
+}
+
+// BatchSize returns the configured batch size.
+func (t *Topology) BatchSize() int { return t.batchSize }
+
+func (t *Topology) getBatch() []Tuple {
+	if p, ok := t.batchPool.Get().(*[]Tuple); ok {
+		return (*p)[:0]
+	}
+	return make([]Tuple, 0, t.batchSize)
+}
+
+func (t *Topology) putBatch(b []Tuple) {
+	b = b[:0]
+	t.batchPool.Put(&b)
 }
 
 // AddSpout declares a spout emitting on the given output streams.
@@ -204,19 +271,49 @@ func (b *BoltSpec) Direct(streamName string) *BoltSpec {
 	return b.subscribe(streamName, groupDirect, nil)
 }
 
-// collector implements Collector for one producing task.
+// collector implements Collector for one producing task. It buffers
+// emitted tuples per (subscription, downstream task); each buffer is sent
+// as one batch when it reaches batchSize or on flush. Buffers fill and
+// flush in emission order, so per-downstream-task FIFO is preserved.
 type collector struct {
 	t    *Topology
 	decl *boltDecl // nil for spouts
 	// allowed streams for this producer.
 	outputs map[string]bool
 	ctx     context.Context
+	// bufs holds this producer's partial batches, indexed by downstream
+	// task within each subscription.
+	bufs map[*subscription][][]Tuple
 }
 
 func (c *collector) count() {
 	if c.decl != nil {
 		c.decl.emitted.Inc()
 	}
+}
+
+// push appends tp to the (sub, task) buffer, transferring the batch when
+// full. With batch size 1 it degenerates to one send per tuple.
+func (c *collector) push(sub *subscription, task int, tp Tuple) {
+	if c.bufs == nil {
+		c.bufs = make(map[*subscription][][]Tuple)
+	}
+	tasks := c.bufs[sub]
+	if tasks == nil {
+		tasks = make([][]Tuple, sub.bolt.par)
+		c.bufs[sub] = tasks
+	}
+	buf := tasks[task]
+	if buf == nil {
+		buf = c.t.getBatch()
+	}
+	buf = append(buf, tp)
+	if len(buf) >= c.t.batchSize {
+		tasks[task] = nil
+		c.send(sub.bolt.inputs[task], buf)
+		return
+	}
+	tasks[task] = buf
 }
 
 // Emit implements Collector.
@@ -229,13 +326,13 @@ func (c *collector) Emit(streamName string, tp Tuple) {
 		switch sub.kind {
 		case groupShuffle:
 			i := int(sub.shuffleC.Add(1)) % sub.bolt.par
-			c.send(sub.bolt.inputs[i], tp)
+			c.push(sub, i, tp)
 		case groupFields:
 			i := int(sub.keyFn(tp) % uint64(sub.bolt.par))
-			c.send(sub.bolt.inputs[i], tp)
+			c.push(sub, i, tp)
 		case groupAll:
-			for _, ch := range sub.bolt.inputs {
-				c.send(ch, tp)
+			for i := range sub.bolt.inputs {
+				c.push(sub, i, tp)
 			}
 		case groupDirect:
 			// Direct subscribers ignore plain Emit.
@@ -256,15 +353,30 @@ func (c *collector) EmitDirect(streamName string, task int, tp Tuple) {
 		if task < 0 || task >= sub.bolt.par {
 			panic(fmt.Sprintf("stream: direct task %d out of range for %q", task, sub.bolt.name))
 		}
-		c.send(sub.bolt.inputs[task], tp)
+		c.push(sub, task, tp)
 	}
 }
 
-// send delivers with backpressure, abandoning the tuple on cancellation.
-func (c *collector) send(ch chan Tuple, tp Tuple) {
+// Flush implements Collector.
+func (c *collector) Flush() {
+	for sub, tasks := range c.bufs {
+		for task, buf := range tasks {
+			if len(buf) == 0 {
+				continue
+			}
+			tasks[task] = nil
+			c.send(sub.bolt.inputs[task], buf)
+		}
+	}
+}
+
+// send delivers one batch with backpressure, abandoning it on
+// cancellation.
+func (c *collector) send(ch chan []Tuple, batch []Tuple) {
 	select {
-	case ch <- tp:
+	case ch <- batch:
 	case <-c.ctx.Done():
+		c.t.putBatch(batch)
 	}
 }
 
@@ -292,9 +404,9 @@ func (t *Topology) Run(ctx context.Context) error {
 	}
 	// Allocate input channels and producer counts.
 	for _, b := range t.bolts {
-		b.inputs = make([]chan Tuple, b.par)
+		b.inputs = make([]chan []Tuple, b.par)
 		for i := range b.inputs {
-			b.inputs[i] = make(chan Tuple, t.queueCap)
+			b.inputs[i] = make(chan []Tuple, t.queueCap)
 		}
 		// Producers: every task instance of every component declaring at
 		// least one output stream this bolt subscribes to. Counted per
@@ -335,6 +447,7 @@ func (t *Topology) Run(ctx context.Context) error {
 				s := sp.factory(task)
 				for ctx.Err() == nil && s.Next(col) {
 				}
+				col.Flush()
 			}(sp, i)
 		}
 	}
@@ -348,10 +461,28 @@ func (t *Topology) Run(ctx context.Context) error {
 				defer t.recoverPanic(b.name, task)
 				col := &collector{t: t, decl: b, outputs: toSet(b.outputs), ctx: ctx}
 				bolt := b.factory(task)
-				for tp := range b.inputs[task] {
-					b.processed.Inc()
-					bolt.Process(tp, col)
+				batcher, _ := bolt.(BatchBolt)
+				// sinceFlush forces a flush after forcedFlushFactor×
+				// batchSize inputs so partial output batches cannot be
+				// parked indefinitely while the input stays saturated.
+				sinceFlush := 0
+				for batch := range b.inputs[task] {
+					b.processed.Add(int64(len(batch)))
+					sinceFlush += len(batch)
+					if batcher != nil {
+						batcher.ProcessBatch(batch, col)
+					} else {
+						for j := range batch {
+							bolt.Process(batch[j], col)
+						}
+					}
+					t.putBatch(batch)
+					if len(b.inputs[task]) == 0 || sinceFlush >= forcedFlushFactor*t.batchSize {
+						col.Flush()
+						sinceFlush = 0
+					}
 				}
+				col.Flush()
 			}(b, i)
 		}
 	}

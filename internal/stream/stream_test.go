@@ -357,3 +357,187 @@ func TestFieldsGroupingPreservesPerKeyOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchedEmissionPreservesPerTaskFIFO re-runs the per-key ordering
+// check with batching on: tuples sharing a fields-grouping key must still
+// arrive at their task in emission order when they travel inside []Tuple
+// batches, including the final partial batch flushed at spout exit.
+func TestBatchedEmissionPreservesPerTaskFIFO(t *testing.T) {
+	type seqTuple struct{ key, seq int }
+	const keys, perKey = 8, 200 // keys*perKey not divisible by the batch size: partials must flush
+	tp := NewTopology(16)
+	tp.SetBatchSize(7)
+	tp.AddSpout("src", func(task int) Spout {
+		i := 0
+		return SpoutFunc(func(c Collector) bool {
+			if i >= keys*perKey {
+				return false
+			}
+			c.Emit("seq", Tuple{Value: seqTuple{key: i % keys, seq: i / keys}})
+			i++
+			return true
+		})
+	}, 1, "seq")
+	var mu sync.Mutex
+	lastSeq := map[int]int{}
+	violations := 0
+	tp.AddBolt("check", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			st := tu.Value.(seqTuple)
+			mu.Lock()
+			if prev, ok := lastSeq[st.key]; ok && st.seq != prev+1 {
+				violations++
+			}
+			lastSeq[st.key] = st.seq
+			mu.Unlock()
+		})
+	}, 4).Fields("seq", func(tu Tuple) uint64 {
+		return uint64(tu.Value.(seqTuple).key)
+	})
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if violations > 0 {
+		t.Errorf("%d per-key ordering violations under batching", violations)
+	}
+	if len(lastSeq) != keys {
+		t.Errorf("saw %d keys, want %d", len(lastSeq), keys)
+	}
+	for k, s := range lastSeq {
+		if s != perKey-1 {
+			t.Errorf("key %d ended at seq %d, want %d (partial batch dropped?)", k, s, perKey-1)
+		}
+	}
+}
+
+// TestBatchBoltReceivesWholeBatches verifies the BatchBolt fast path: a
+// bolt implementing ProcessBatch sees multi-tuple batches bounded by the
+// configured size, and every tuple still arrives exactly once.
+func TestBatchBoltReceivesWholeBatches(t *testing.T) {
+	const n, batchSize = 100, 8
+	tp := NewTopology(16)
+	tp.SetBatchSize(batchSize)
+	tp.AddSpout("src", rangeSpout(n, "nums"), 1, "nums")
+	bb := &batchRecorder{}
+	tp.AddBolt("sink", func(task int) Bolt { return bb }, 1).Shuffle("nums")
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if bb.tuples.Load() != n {
+		t.Errorf("received %d tuples, want %d", bb.tuples.Load(), n)
+	}
+	if bb.maxBatch.Load() > batchSize {
+		t.Errorf("saw a batch of %d tuples, cap is %d", bb.maxBatch.Load(), batchSize)
+	}
+	if bb.maxBatch.Load() < 2 {
+		t.Errorf("never saw a multi-tuple batch; batching is not engaged")
+	}
+	if bb.single.Load() != 0 {
+		t.Errorf("engine called Process %d times on a BatchBolt", bb.single.Load())
+	}
+}
+
+type batchRecorder struct {
+	tuples   atomic.Int64
+	maxBatch atomic.Int64
+	single   atomic.Int64
+}
+
+func (r *batchRecorder) Process(tu Tuple, c Collector) { r.single.Add(1) }
+
+func (r *batchRecorder) ProcessBatch(ts []Tuple, c Collector) {
+	r.tuples.Add(int64(len(ts)))
+	for {
+		m := r.maxBatch.Load()
+		if int64(len(ts)) <= m || r.maxBatch.CompareAndSwap(m, int64(len(ts))) {
+			return
+		}
+	}
+}
+
+// TestFlushDrainsPartialBatchesUnderCancellation: a Flush whose sends can
+// never complete (downstream queue full, consumer wedged) must abandon the
+// buffered tuples once the run context is cancelled instead of
+// deadlocking the producing task — and Run must return.
+func TestFlushDrainsPartialBatchesUnderCancellation(t *testing.T) {
+	tp := NewTopology(1) // one-batch queue: the second flush must block
+	tp.SetBatchSize(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	emitted := make(chan struct{})
+	tp.AddSpout("src", func(task int) Spout {
+		step := 0
+		return SpoutFunc(func(c Collector) bool {
+			step++
+			switch step {
+			case 1:
+				// Fills the single queue slot.
+				c.Emit("s", Tuple{Value: 1})
+				c.Flush()
+				return true
+			case 2:
+				// Parked in a partial batch; the engine's exit flush must
+				// abandon it under the cancelled context.
+				c.Emit("s", Tuple{Value: 2})
+				close(emitted)
+				<-release
+				return false
+			}
+			return false
+		})
+	}, 1, "s")
+	tp.AddBolt("wedge", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) {
+			<-release // holds the first batch, never draining the queue
+		})
+	}, 1).Shuffle("s")
+	done := make(chan error, 1)
+	go func() { done <- tp.Run(ctx) }()
+	<-emitted
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run deadlocked: exit flush did not abandon its partial batch on cancellation")
+	}
+}
+
+// TestExplicitFlushDeliversPartialBatches: tuples buffered below the batch
+// size must reach the consumer after Collector.Flush without waiting for
+// the batch to fill.
+func TestExplicitFlushDeliversPartialBatches(t *testing.T) {
+	tp := NewTopology(16)
+	tp.SetBatchSize(1024) // far more than emitted: only Flush can deliver
+	got := make(chan int, 8)
+	tp.AddSpout("src", func(task int) Spout {
+		step := 0
+		return SpoutFunc(func(c Collector) bool {
+			step++
+			if step > 1 {
+				// Wait until the flushed tuples arrive, then finish.
+				for len(got) < 3 {
+					time.Sleep(time.Millisecond)
+				}
+				return false
+			}
+			for i := 0; i < 3; i++ {
+				c.Emit("s", Tuple{Value: i})
+			}
+			c.Flush()
+			return true
+		})
+	}, 1, "s")
+	tp.AddBolt("sink", func(task int) Bolt {
+		return BoltFunc(func(tu Tuple, c Collector) { got <- tu.Value.(int) })
+	}, 1).Shuffle("s")
+	if err := tp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("received %d tuples, want 3", len(got))
+	}
+}

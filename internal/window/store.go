@@ -147,33 +147,41 @@ func (st *Store) Observe(e Entry) {
 // subscription's top-k. The subscription is registered on first use (a
 // migrated query can reach a worker outside the normal insert path).
 func (st *Store) Offer(q *model.Query, e Entry, now time.Time) []Delta {
-	ss, ok := st.subs[q.ID]
-	if !ok {
-		ds := st.AddSub(q, now)
-		ss = st.subs[q.ID]
-		if ss == nil || !e.Live(now.Add(-q.Window)) {
-			return ds
-		}
-		// The refill above already saw every buffered entry; e is new.
-		return append(ds, st.offer(ss, e)...)
-	}
-	if !e.Live(now.Add(-ss.q.Window)) {
-		return nil
-	}
-	return st.offer(ss, e)
+	return st.OfferInto(nil, q, e, now)
 }
 
-func (st *Store) offer(ss *subState, e Entry) []Delta {
+// OfferInto is Offer with caller-owned delta accumulation: resulting
+// deltas are appended to dst and the extended slice is returned, so a
+// worker processing a whole batch of publications reuses one scratch
+// buffer across offers instead of allocating a slice per matched entry.
+func (st *Store) OfferInto(dst []Delta, q *model.Query, e Entry, now time.Time) []Delta {
+	ss, ok := st.subs[q.ID]
+	if !ok {
+		dst = append(dst, st.AddSub(q, now)...)
+		ss = st.subs[q.ID]
+		if ss == nil || !e.Live(now.Add(-q.Window)) {
+			return dst
+		}
+		// The refill above already saw every buffered entry; e is new.
+		return st.offerInto(dst, ss, e)
+	}
+	if !e.Live(now.Add(-ss.q.Window)) {
+		return dst
+	}
+	return st.offerInto(dst, ss, e)
+}
+
+func (st *Store) offerInto(dst []Delta, ss *subState, e Entry) []Delta {
 	r := Ranked{E: e, S: ss.score(e)}
 	entered, evicted := ss.tk.Offer(r)
 	if !entered {
-		return nil
+		return dst
 	}
-	ds := []Delta{st.delta(ss, r, true)}
+	dst = append(dst, st.delta(ss, r, true))
 	if evicted != nil {
-		ds = append(ds, st.delta(ss, *evicted, false))
+		dst = append(dst, st.delta(ss, *evicted, false))
 	}
-	return ds
+	return dst
 }
 
 // Advance runs the eager expiry sweep at time now: rings are compacted,
@@ -340,7 +348,7 @@ func (st *Store) AdoptCell(cell int, entries []Entry, now time.Time) []Delta {
 			if !ss.q.Region.Contains(e.Loc) || !ss.q.Expr.MatchesSlice(e.Terms) {
 				continue
 			}
-			ds = append(ds, st.offer(ss, e)...)
+			ds = st.offerInto(ds, ss, e)
 		}
 	}
 	if r.Len() == 0 {
@@ -432,7 +440,7 @@ func (st *Store) AdoptEntries(id uint64, entries []Entry, now time.Time) []Delta
 		if !r.Contains(e.MsgID) { // few entries (≤ k); linear scan is fine
 			r.Add(e, e.At.Add(-st.maxW))
 		}
-		ds = append(ds, st.offer(ss, e)...)
+		ds = st.offerInto(ds, ss, e)
 	}
 	return ds
 }

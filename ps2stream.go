@@ -6,11 +6,14 @@
 // matching subscription in real time.
 //
 // Internally the workload is spread over dispatcher, worker, and merger
-// tasks (goroutines standing in for the paper's Storm cluster). The
-// distribution strategy is pluggable: the paper's hybrid kdt-tree/gridt
-// partitioning (default), three text-partitioning baselines and three
-// space-partitioning baselines. Dynamic load adjustment rebalances workers
-// at runtime by migrating gridt cells.
+// tasks (goroutines standing in for the paper's Storm cluster), and
+// messages move between tasks in batches of up to Options.BatchSize so the
+// publish hot path amortises per-message transfer costs (see
+// docs/ARCHITECTURE.md). The distribution strategy is pluggable: the
+// paper's hybrid kdt-tree/gridt partitioning (default), three
+// text-partitioning baselines and three space-partitioning baselines.
+// Dynamic load adjustment rebalances workers at runtime by migrating gridt
+// cells.
 //
 // Minimal usage:
 //
@@ -247,6 +250,13 @@ type Options struct {
 	Workers     int
 	Dispatchers int
 	Mergers     int
+	// BatchSize is the number of operations transferred per internal
+	// channel send on every hop of the publish path (default 64). Batches
+	// fill adaptively and partial batches flush as soon as a stage goes
+	// idle, so a large batch size costs no latency on a quiet stream.
+	// 1 disables batching (tuple-at-a-time transfer, the pre-batching
+	// engine behaviour); use it when comparing against the batched path.
+	BatchSize int
 	// Strategy selects the distribution algorithm (default hybrid).
 	Strategy Strategy
 	// WorkerIndex selects the per-worker query index (default GI2).
@@ -338,6 +348,7 @@ func Open(opts Options) (*System, error) {
 		Dispatchers:  opts.Dispatchers,
 		Workers:      opts.Workers,
 		Mergers:      opts.Mergers,
+		BatchSize:    opts.BatchSize,
 		Builder:      b,
 		IndexFactory: ixf,
 		OnMatch:      onMatch,
@@ -516,7 +527,11 @@ func (s *System) Restore(r io.Reader) (int, error) {
 }
 
 // Flush blocks until every operation submitted so far has been routed by
-// the dispatchers and gives workers a moment to drain.
+// the dispatchers and gives workers a moment to drain. Partial transfer
+// batches are included: every stage of the batched pipeline pushes its
+// buffered tuples as soon as its input goes idle, so a Flush after the
+// last Publish observes every submitted operation regardless of
+// Options.BatchSize.
 func (s *System) Flush() {
 	target := s.submitted.Load()
 	for s.inner.Processed() < target {
