@@ -8,6 +8,14 @@
 //	psbench -exp fig7
 //	psbench -exp all -quick
 //	psbench -exp fig6a -ops 100000 -mu 20000 -workers 8
+//
+// Compare mode gates a fresh -json report against a committed baseline
+// (the CI perf smoke): every throughput and speedup value must reach at
+// least (1 - tolerance) × the baseline, or psbench exits non-zero listing
+// the regressions:
+//
+//	psbench -exp batch -quick -json new.json
+//	psbench -compare BENCH_batch.json -against new.json -tolerance 0.35
 package main
 
 import (
@@ -33,8 +41,20 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override generator seed")
 		outDir  = flag.String("out", "", "also write each experiment's tables to <dir>/<id>.txt")
 		jsonOut = flag.String("json", "", "also write all experiments' tables to one JSON file")
+
+		compare   = flag.String("compare", "", "baseline report (BENCH_*.json) to gate -against")
+		against   = flag.String("against", "", "candidate report compared to -compare")
+		tolerance = flag.Float64("tolerance", 0.35, "allowed fractional regression in compare mode")
 	)
 	flag.Parse()
+
+	if *compare != "" || *against != "" {
+		if *compare == "" || *against == "" {
+			fmt.Fprintln(os.Stderr, "psbench: compare mode needs both -compare <baseline> and -against <candidate>")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compare, *against, *tolerance))
+	}
 
 	if *list {
 		for _, id := range bench.ExperimentIDs() {
@@ -68,7 +88,7 @@ func main() {
 		ids = bench.ExperimentIDs()
 	}
 	exps := bench.Experiments()
-	var report []jsonExperiment
+	var report []bench.ReportExperiment
 	for _, id := range ids {
 		runner, ok := exps[id]
 		if !ok {
@@ -100,29 +120,58 @@ func main() {
 	}
 }
 
-// jsonExperiment is one experiment's result in the machine-readable
-// report (baseline files like BENCH_topk.json).
-type jsonExperiment struct {
-	Experiment string        `json:"experiment"`
-	ElapsedMS  int64         `json:"elapsed_ms"`
-	Tables     []bench.Table `json:"tables"`
+// runCompare loads two -json reports and applies the tolerance gate,
+// returning the process exit code.
+func runCompare(basePath, curPath string, tol float64) int {
+	baseData, err := os.ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		return 1
+	}
+	curData, err := os.ReadFile(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		return 1
+	}
+	base, err := bench.ParseReport(baseData)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psbench: %s: %v\n", basePath, err)
+		return 1
+	}
+	cur, err := bench.ParseReport(curData)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psbench: %s: %v\n", curPath, err)
+		return 1
+	}
+	regs, n, err := bench.CompareReports(base, cur, tol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		return 1
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "psbench: %d of %d gated metrics regressed beyond %.0f%% of %s:\n",
+			len(regs), n, tol*100, basePath)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "  "+r.String())
+		}
+		return 1
+	}
+	fmt.Printf("psbench: %d gated metrics within %.0f%% of %s\n", n, tol*100, basePath)
+	return 0
 }
 
-func newJSONExperiment(id string, tables []bench.Table, elapsed time.Duration) jsonExperiment {
-	return jsonExperiment{Experiment: id, ElapsedMS: elapsed.Milliseconds(), Tables: tables}
+func newJSONExperiment(id string, tables []bench.Table, elapsed time.Duration) bench.ReportExperiment {
+	return bench.ReportExperiment{Experiment: id, ElapsedMS: elapsed.Milliseconds(), Tables: tables}
 }
 
-func writeJSON(path string, sc bench.Scale, report []jsonExperiment) error {
+func writeJSON(path string, sc bench.Scale, report []bench.ReportExperiment) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(struct {
-		Scale       bench.Scale      `json:"scale"`
-		Experiments []jsonExperiment `json:"experiments"`
-	}{Scale: sc, Experiments: report}); err != nil {
+	if err := enc.Encode(bench.Report{Scale: sc, Experiments: report}); err != nil {
 		f.Close()
 		return err
 	}

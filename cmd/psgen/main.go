@@ -7,6 +7,12 @@
 //	psgen -dataset us -kind q1 -mu 10000 -ops 120000 > workload.jsonl
 //	psgen -dataset uk -kind q3 -prewarm-only -mu 5000 > queries.jsonl
 //	psgen -dataset us -kind q1 -topk 0.3 -topk-k 10 -topk-window 1m > ranked.jsonl
+//
+// The skewed-hotspot workload of the adaptive-adjustment experiments
+// concentrates object traffic on one hotspot cluster and optionally shifts
+// it mid-stream (queries stay unbiased):
+//
+//	psgen -dataset us -hotspot 0 -hotspot-bias 0.85 -hotspot-shift-every 40000 > shifting.jsonl
 package main
 
 import (
@@ -32,6 +38,9 @@ func main() {
 		topk       = flag.Float64("topk", 0, "fraction of subscriptions that are sliding-window top-k (0..1)")
 		topkK      = flag.Int("topk-k", 10, "k of generated top-k subscriptions")
 		topkWindow = flag.Duration("topk-window", time.Minute, "window of generated top-k subscriptions")
+		hotspot    = flag.Int("hotspot", -1, "focus object traffic on this hotspot cluster index (-1 off)")
+		hotBias    = flag.Float64("hotspot-bias", 0.85, "fraction of objects concentrated on the focused hotspot")
+		hotShift   = flag.Int("hotspot-shift-every", 0, "shift the focus to the next hotspot every N stream ops (0 never)")
 	)
 	flag.Parse()
 
@@ -58,10 +67,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	st := workload.NewStream(spec, qk, workload.StreamConfig{
+	scfg := workload.StreamConfig{
 		Mu: *mu, Seed: *seed,
 		TopKFraction: *topk, TopKK: *topkK, TopKWindow: *topkWindow,
-	})
+	}
+	if *hotspot >= 0 {
+		scfg.FocusBias = *hotBias
+		scfg.FocusHotspot = *hotspot
+	}
+	st := workload.NewStream(spec, qk, scfg)
 	w := bufio.NewWriterSize(os.Stdout, 1<<20)
 	defer w.Flush()
 	enc := json.NewEncoder(w)
@@ -74,7 +88,12 @@ func main() {
 	if *prewarm {
 		return
 	}
+	focused := *hotspot
 	for i := 0; i < *ops; i++ {
+		if *hotspot >= 0 && *hotShift > 0 && i > 0 && i%*hotShift == 0 {
+			focused++
+			st.FocusHotspot(focused)
+		}
 		if err := enc.Encode(workload.EncodeOp(st.Next())); err != nil {
 			fmt.Fprintln(os.Stderr, "psgen:", err)
 			os.Exit(1)

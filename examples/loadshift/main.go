@@ -21,10 +21,14 @@ import (
 
 func main() {
 	sys, err := ps2stream.Open(ps2stream.Options{
-		Region:            ps2stream.NewRegion(-125, 24, -66, 49),
-		Workers:           4,
-		DynamicAdjustment: true,
-		AdjustInterval:    50 * time.Millisecond,
+		Region:  ps2stream.NewRegion(-125, 24, -66, 49),
+		Workers: 4,
+		Adjust: ps2stream.AdjustOptions{
+			Auto:     true,
+			Interval: 50 * time.Millisecond,
+			Theta:    1.25,
+			Cooldown: 150 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -75,11 +79,17 @@ func main() {
 	fmt.Printf("  processed:   %d tuples\n", st.Processed)
 	fmt.Printf("  matches:     %d\n", st.Matches)
 	fmt.Printf("  migrations:  %d cell migrations executed by the controller\n", st.Migrations)
+	fmt.Printf("  controller:  %d checks, %d triggers (+%d manual), imbalance %.2f, epoch %d\n",
+		st.Adjust.Checks, st.Adjust.Triggers, st.Adjust.ManualTriggers, st.Adjust.Imbalance, st.Adjust.Epoch)
 	fmt.Printf("  queries/worker: %v (duplicated copies included)\n", st.WorkerQueries)
 	if st.Migrations == 0 {
 		fmt.Println("  (no migrations: the initial partitioning already balanced the hotspot)")
 	} else {
 		fmt.Println("  the gridt cells of the hotspot were split/reassigned to idle workers")
+	}
+	// One synchronous pass for anything the background cadence missed.
+	if n := sys.AdjustNow(); n > 0 {
+		fmt.Printf("  AdjustNow: %d further migrations on demand\n", n)
 	}
 	if err := sys.Close(); err != nil {
 		log.Fatal(err)

@@ -1,3 +1,3 @@
 module ps2stream
 
-go 1.24
+go 1.23

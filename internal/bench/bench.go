@@ -162,6 +162,7 @@ func Experiments() map[string]Runner {
 		"ablrate": AblLatencyVsRate,
 		"topk":    TopKThroughput,
 		"batch":   BatchThroughput,
+		"adjust":  AdjustRecovery,
 	}
 }
 

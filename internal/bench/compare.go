@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Report is the machine-readable form of a psbench run — the schema of
+// the committed BENCH_*.json baselines (docs/WIRE.md). cmd/psbench writes
+// it with -json and CompareReports gates new runs against it in CI.
+type Report struct {
+	Scale       Scale              `json:"scale"`
+	Experiments []ReportExperiment `json:"experiments"`
+}
+
+// ReportExperiment is one experiment's tables in a Report.
+type ReportExperiment struct {
+	Experiment string  `json:"experiment"`
+	ElapsedMS  int64   `json:"elapsed_ms"`
+	Tables     []Table `json:"tables"`
+}
+
+// ParseReport decodes a psbench -json report.
+func ParseReport(data []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	return r, nil
+}
+
+// Regression is one tolerance-gate violation found by CompareReports.
+type Regression struct {
+	Experiment string
+	Table      string
+	Row        string
+	Column     string
+	Baseline   float64
+	Current    float64
+}
+
+// String renders the violation for CI logs.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %q row %q column %q: %.0f -> %.0f (%.1f%% of baseline)",
+		r.Experiment, r.Table, r.Row, r.Column, r.Baseline, r.Current,
+		100*r.Current/r.Baseline)
+}
+
+// gatedColumn reports whether a column holds a perf metric the gate
+// guards: absolute throughput ("tuples/s" headers, machine-dependent) and
+// relative factors ("speedup", "vs static" — machine-independent, the
+// robust signal on heterogeneous CI runners).
+func gatedColumn(header string) bool {
+	h := strings.ToLower(header)
+	return strings.Contains(h, "tuples/s") || strings.Contains(h, "speedup") ||
+		strings.Contains(h, "vs static")
+}
+
+// parseMetric parses a gated cell: a plain float ("847687") or a ratio
+// with an x suffix ("1.67x").
+func parseMetric(cell string) (float64, bool) {
+	cell = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(cell), "x"))
+	v, err := strconv.ParseFloat(cell, 64)
+	return v, err == nil
+}
+
+// CompareReports gates current against baseline: every gated metric of
+// every experiment present in the baseline must reach at least
+// (1 - tol) × its baseline value. It returns the regressions and the
+// number of metric values compared; a baseline experiment, table, row, or
+// gated value missing from current is an error (schema drift must fail
+// loudly, not pass silently), as is a comparison that checks nothing.
+func CompareReports(baseline, current Report, tol float64) ([]Regression, int, error) {
+	if tol < 0 || tol >= 1 {
+		return nil, 0, fmt.Errorf("bench: tolerance %v outside [0, 1)", tol)
+	}
+	curExp := make(map[string]ReportExperiment, len(current.Experiments))
+	for _, e := range current.Experiments {
+		curExp[e.Experiment] = e
+	}
+	var regs []Regression
+	compared := 0
+	for _, be := range baseline.Experiments {
+		ce, ok := curExp[be.Experiment]
+		if !ok {
+			return nil, compared, fmt.Errorf("bench: experiment %q missing from the candidate report", be.Experiment)
+		}
+		if len(ce.Tables) != len(be.Tables) {
+			return nil, compared, fmt.Errorf("bench: %s: candidate has %d tables, baseline %d",
+				be.Experiment, len(ce.Tables), len(be.Tables))
+		}
+		for ti, bt := range be.Tables {
+			ct := ce.Tables[ti]
+			curRows := make(map[string][]string, len(ct.Rows))
+			for _, r := range ct.Rows {
+				if len(r) > 0 {
+					curRows[r[0]] = r
+				}
+			}
+			for _, br := range bt.Rows {
+				if len(br) == 0 {
+					continue
+				}
+				cr, ok := curRows[br[0]]
+				if !ok {
+					return nil, compared, fmt.Errorf("bench: %s: row %q missing from the candidate report",
+						be.Experiment, br[0])
+				}
+				for ci, header := range bt.Header {
+					if !gatedColumn(header) || ci >= len(br) {
+						continue
+					}
+					bv, ok := parseMetric(br[ci])
+					if !ok {
+						continue // baseline cell not numeric (e.g. its own ERR) — nothing to gate
+					}
+					if ci >= len(cr) {
+						return nil, compared, fmt.Errorf("bench: %s: row %q lost column %q",
+							be.Experiment, br[0], header)
+					}
+					cv, ok := parseMetric(cr[ci])
+					if !ok {
+						return nil, compared, fmt.Errorf("bench: %s: row %q column %q: unparseable candidate value %q",
+							be.Experiment, br[0], header, cr[ci])
+					}
+					compared++
+					if cv < bv*(1-tol) {
+						regs = append(regs, Regression{
+							Experiment: be.Experiment,
+							Table:      bt.Title,
+							Row:        br[0],
+							Column:     header,
+							Baseline:   bv,
+							Current:    cv,
+						})
+					}
+				}
+			}
+		}
+	}
+	if compared == 0 {
+		return nil, 0, fmt.Errorf("bench: no gated metrics found to compare — the gate would pass vacuously")
+	}
+	return regs, compared, nil
+}

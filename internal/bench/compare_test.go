@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(rows ...[]string) Report {
+	return Report{Experiments: []ReportExperiment{{
+		Experiment: "batch",
+		Tables: []Table{{
+			Title:  "t",
+			Header: []string{"batch", "throughput(tuples/s)", "speedup", "matches"},
+			Rows:   rows,
+		}},
+	}}}
+}
+
+func TestCompareReportsPassesWithinTolerance(t *testing.T) {
+	base := report([]string{"1", "100000", "1.00x", "50"}, []string{"64", "170000", "1.70x", "51"})
+	cur := report([]string{"1", "80000", "1.00x", "49"}, []string{"64", "140000", "1.75x", "52"})
+	regs, n, err := CompareReports(base, cur, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// 2 rows × (throughput + speedup); the matches column is not gated.
+	if n != 4 {
+		t.Fatalf("compared %d metrics, want 4", n)
+	}
+}
+
+func TestCompareReportsFlagsRegression(t *testing.T) {
+	base := report([]string{"64", "170000", "1.70x", "51"})
+	cur := report([]string{"64", "100000", "1.01x", "51"})
+	regs, _, err := CompareReports(base, cur, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("want throughput and speedup regressions, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "batch") {
+		t.Errorf("String() lacks experiment id: %q", regs[0])
+	}
+}
+
+func TestCompareReportsSchemaDriftFailsLoudly(t *testing.T) {
+	base := report([]string{"64", "170000", "1.70x", "51"})
+	for _, cur := range []Report{
+		{Experiments: nil}, // experiment missing
+		{Experiments: []ReportExperiment{{Experiment: "batch"}}}, // table missing
+		report([]string{"256", "170000", "1.70x", "51"}),         // row missing
+		report([]string{"64", "not-a-number", "1.70x", "51"}),    // unparseable candidate
+		{Experiments: []ReportExperiment{{Experiment: "batch", Tables: []Table{{Title: "t", Header: []string{"batch", "matches"}, Rows: [][]string{{"64", "51"}}}}}}}, // column gone
+	} {
+		if _, _, err := CompareReports(base, cur, 0.35); err == nil {
+			t.Errorf("candidate %+v: want error, got pass", cur)
+		}
+	}
+}
+
+func TestCompareReportsVacuousGateErrors(t *testing.T) {
+	empty := Report{}
+	if _, _, err := CompareReports(empty, empty, 0.35); err == nil {
+		t.Error("empty baseline compared nothing yet passed")
+	}
+	ungated := Report{Experiments: []ReportExperiment{{
+		Experiment: "x",
+		Tables:     []Table{{Header: []string{"a"}, Rows: [][]string{{"r"}}}},
+	}}}
+	if _, _, err := CompareReports(ungated, ungated, 0.35); err == nil {
+		t.Error("report with no gated columns passed vacuously")
+	}
+	if _, _, err := CompareReports(empty, empty, 1.5); err == nil {
+		t.Error("tolerance out of range accepted")
+	}
+}
+
+func TestParseReportRoundTrip(t *testing.T) {
+	r, err := ParseReport([]byte(`{"scale":{"Mu1":5},"experiments":[{"experiment":"adjust","tables":[]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scale.Mu1 != 5 || len(r.Experiments) != 1 || r.Experiments[0].Experiment != "adjust" {
+		t.Fatalf("round trip mangled: %+v", r)
+	}
+	if _, err := ParseReport([]byte("{")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+}

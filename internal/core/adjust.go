@@ -13,51 +13,163 @@ import (
 	"ps2stream/internal/window"
 )
 
-// adjustLoop is the local load adjustment controller (§V-A): every
-// Interval it evaluates the Definition 1 window; when the balance
-// constraint is violated it migrates load from the most to the least
-// loaded worker — Phase I (split/merge that reduces total workload) then
-// Phase II (Minimum Cost Migration).
+// adjustLoop is the adaptive load adjustment controller (§V-A, made
+// continuous): every Interval it samples per-worker load from the live
+// publish traffic (the worker bolts' op counters, smoothed with an EWMA),
+// runs the imbalance detector (θ threshold + hysteresis + cooldown), and
+// when the detector fires migrates load from the most to the least loaded
+// worker — Phase I (split/merge that reduces total workload) then Phase
+// II (Minimum Cost Migration) — while the stream keeps flowing.
 func (s *System) adjustLoop(ctx context.Context) {
 	ticker := time.NewTicker(s.cfg.Adjust.Interval)
 	defer ticker.Stop()
-	rng := rand.New(rand.NewSource(s.cfg.Adjust.Seed ^ 0xADAD))
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
 		}
-		s.processPendingExtracts()
-		s.checkGlobalProgress()
-		s.globalMu.Lock()
-		dualActive := s.dual != nil
-		s.globalMu.Unlock()
-		if dualActive {
-			// Local adjustment pauses while two strategies co-exist —
-			// the paper's "temporary compromise on the system
-			// performance".
-			continue
+		s.adjustTick()
+	}
+}
+
+// adjustTick runs one controller evaluation: maintenance (deferred
+// extracts, global-repartition progress), load sampling, detection, and —
+// on a trigger — one adjustment. Serialised with AdjustNow by adjustMu.
+func (s *System) adjustTick() {
+	s.adjustMu.Lock()
+	defer s.adjustMu.Unlock()
+	s.processPendingExtracts()
+	s.checkGlobalProgress()
+	s.globalMu.Lock()
+	dualActive := s.dual != nil
+	s.globalMu.Unlock()
+	if dualActive {
+		// Local adjustment pauses while two strategies co-exist —
+		// the paper's "temporary compromise on the system
+		// performance".
+		return
+	}
+	loads, windowOps := s.peekWorkerLoads()
+	if windowOps < s.cfg.Adjust.MinWindowOps {
+		// Too few operations to be statistically meaningful yet. The
+		// window is left accumulating (nothing consumed, nothing reset)
+		// so a low-rate stream still reaches the threshold across
+		// several intervals instead of being invisible forever.
+		return
+	}
+	s.commitWorkSample()
+	s.adjChecks.Inc()
+	smoothed := make([]float64, len(loads))
+	for i, l := range loads {
+		smoothed[i] = s.loadEWMA[i].Observe(l)
+	}
+	switch s.detector.Observe(load.BalanceFactor(smoothed), time.Now()) {
+	case load.Sustaining:
+		s.adjSustains.Inc()
+	case load.Cooling:
+		s.adjCooldowns.Inc()
+	case load.Trigger:
+		s.adjTriggers.Inc()
+		lo, hi := load.ArgMinMax(smoothed)
+		s.runAdjustment(hi, lo, smoothed, s.adjustRng)
+		s.lastAdjustNs.Store(time.Now().UnixNano())
+	}
+	s.resetLoadWindows()
+}
+
+// peekWorkerLoads differences the worker bolts' cumulative op counters
+// against the previous committed sample and evaluates Definition 1 per
+// worker, without consuming the window — commitWorkSample does that once
+// the caller decides to use the observation. It returns the per-window
+// loads and the total ops observed. Caller holds adjustMu.
+func (s *System) peekWorkerLoads() ([]float64, int64) {
+	loads := make([]float64, len(s.workers))
+	var total int64
+	for i := range s.workers {
+		d := workCounts{
+			objects: s.workObjects[i].Load() - s.prevWork[i].objects,
+			inserts: s.workInserts[i].Load() - s.prevWork[i].inserts,
+			deletes: s.workDeletes[i].Load() - s.prevWork[i].deletes,
 		}
-		var windowOps int64
-		for i := range s.winObjects {
-			windowOps += s.winObjects[i].Load() + s.winInserts[i].Load() + s.winDeletes[i].Load()
-		}
-		if windowOps < s.cfg.Adjust.MinWindowOps {
-			continue
-		}
-		loads := s.windowLoads()
-		if load.BalanceFactor(loads) > s.cfg.Adjust.Sigma {
-			lo, hi := load.ArgMinMax(loads)
-			s.runAdjustment(hi, lo, loads, rng)
-		}
-		s.resetWindow()
-		for _, w := range s.workers {
-			w.mu.Lock()
-			w.gi.ResetWindow()
-			w.mu.Unlock()
+		total += d.objects + d.inserts + d.deletes
+		loads[i] = s.cfg.Costs.Worker(float64(d.objects), float64(d.inserts), float64(d.deletes))
+	}
+	return loads, total
+}
+
+// commitWorkSample marks the current counter values as sampled, starting
+// the next measurement window. Caller holds adjustMu.
+func (s *System) commitWorkSample() {
+	for i := range s.workers {
+		s.prevWork[i] = workCounts{
+			objects: s.workObjects[i].Load(),
+			inserts: s.workInserts[i].Load(),
+			deletes: s.workDeletes[i].Load(),
 		}
 	}
+}
+
+// resetLoadWindows starts a fresh Definition-1 window: the dispatcher-side
+// per-worker counters (Snapshot.WorkerLoads) and the per-cell object
+// windows inside each GI2 index (Phase I/II candidate loads).
+func (s *System) resetLoadWindows() {
+	s.resetWindow()
+	for _, w := range s.workers {
+		w.mu.Lock()
+		w.gi.ResetWindow()
+		w.mu.Unlock()
+	}
+}
+
+// AdjustNow forces one synchronous adjustment evaluation, bypassing the
+// background detector's MinWindowOps gate, hysteresis, and cooldown: if
+// the current (smoothed) balance factor violates σ, one adjustment runs
+// before AdjustNow returns, and the background controller's cooldown
+// restarts. It returns the number of migrations executed (0 when the
+// system is balanced or the strategy does not support migration).
+func (s *System) AdjustNow() int {
+	if !s.canAdjust() {
+		return 0
+	}
+	s.adjustMu.Lock()
+	defer s.adjustMu.Unlock()
+	s.processPendingExtracts()
+	s.globalMu.Lock()
+	dualActive := s.dual != nil
+	s.globalMu.Unlock()
+	if dualActive {
+		return 0
+	}
+	loads, windowOps := s.peekWorkerLoads()
+	if windowOps > 0 {
+		s.commitWorkSample()
+	}
+	smoothed := make([]float64, len(loads))
+	for i, l := range loads {
+		if windowOps > 0 {
+			smoothed[i] = s.loadEWMA[i].Observe(l)
+		} else {
+			smoothed[i] = s.loadEWMA[i].Value()
+		}
+	}
+	before := s.migrationCount()
+	if load.BalanceFactor(smoothed) > s.cfg.Adjust.Sigma {
+		s.adjManual.Inc()
+		lo, hi := load.ArgMinMax(smoothed)
+		s.runAdjustment(hi, lo, smoothed, s.adjustRng)
+		now := time.Now()
+		s.detector.Force(now)
+		s.lastAdjustNs.Store(now.UnixNano())
+	}
+	s.resetLoadWindows()
+	return s.migrationCount() - before
+}
+
+func (s *System) migrationCount() int {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return len(s.migrations)
 }
 
 // runAdjustment executes one adjustment from worker wo to worker wl.
@@ -94,12 +206,18 @@ func (s *System) runAdjustment(wo, wl int, loads []float64, rng *rand.Rand) {
 	}
 
 	// Phase II: Minimum Cost Migration if the constraint still fails.
-	tau := migrate.Tau(loads) - movedLoad
-	if tau <= 0 {
-		return
-	}
+	// Tau — how much load to move — is computed in Definition 3 units
+	// (cell window loads n_o·n_q), the same currency the candidate cells
+	// and Phase I's LoadMoved are priced in. The detector's Definition 1
+	// loads decide *whether* to adjust; they are not commensurable with
+	// cell loads and using their gap as tau moves arbitrarily little or
+	// much.
 	cells := s.migrationCandidates(wo)
 	if len(cells) == 0 {
+		return
+	}
+	tau := (s.cellLoadSum(wo)-s.cellLoadSum(wl))/2 - movedLoad
+	if tau <= 0 {
 		return
 	}
 	selStart := time.Now()
@@ -177,6 +295,21 @@ func (s *System) collectSharesMap(w int) map[int]migrate.CellShare {
 	return out
 }
 
+// cellLoadSum totals a worker's per-window Definition 3 cell loads
+// (n_o·n_q), the unit Phase I/II migration quantities are priced in.
+func (s *System) cellLoadSum(w int) float64 {
+	ws := s.workers[w]
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var sum float64
+	for _, cs := range ws.gi.CellStats() {
+		if cs.Load > 0 {
+			sum += cs.Load
+		}
+	}
+	return sum
+}
+
 // migrationCandidates lists wo's cells as Minimum Cost Migration input
 // (Definition 4): load L_g = n_o·n_q, size S_g = serialised query bytes.
 func (s *System) migrationCandidates(wo int) []migrate.Cell {
@@ -228,12 +361,18 @@ func (s *System) migrateShare(wo, wl, cell int) (queriesMoved int, nbytes int64)
 	// migrated queries instead of processing tuples, which is exactly
 	// what delays tuples in Figures 12(c)/15.
 	_, nbytes = s.ingest(wl, cell, qs, win)
-	// 3. Flip routing.
+	// 3. Flip routing, then advance the dispatcher fence: Advance blocks
+	// until every dispatcher batch routed under the pre-flip table has
+	// finished enqueuing, so the barrier read below covers all old-epoch
+	// traffic — without the fence a laggard batch could enqueue a
+	// matching object to wo after the barrier snapshot and lose its
+	// matches to an early extraction.
 	if s.gridT.Load().IsTextCell(cell) {
 		s.gridT.Load().ReassignTextShare(cell, wo, wl)
 	} else {
 		s.gridT.Load().ReassignSpaceCell(cell, wl)
 	}
+	s.routeFence.Advance()
 	// 4. Schedule extraction once wo drains its pre-flip queue.
 	s.scheduleExtract(pendingExtract{cell: cell, wo: wo, wl: wl, copied: idSet(qs),
 		copiedMsgs: msgIDSet(win), barrier: s.enqueued[wo].Load()})
@@ -251,6 +390,7 @@ func (s *System) migrateSplit(wo, wl, cell int, keys []string) (queriesMoved int
 	s.workers[wo].mu.Unlock()
 	_, nbytes = s.ingest(wl, cell, qs, win)
 	s.gridT.Load().SplitSpaceCellByText(cell, keys, wl)
+	s.routeFence.Advance() // see migrateShare: barrier must postdate all old-epoch batches
 	s.scheduleExtract(pendingExtract{cell: cell, wo: wo, wl: wl, keys: keys,
 		copied: idSet(qs), copiedMsgs: msgIDSet(win), barrier: s.enqueued[wo].Load()})
 	return len(qs), nbytes
@@ -339,20 +479,37 @@ func (s *System) processPendingExtracts() {
 			}
 		}
 		s.workers[pe.wo].mu.Unlock()
-		// Forward anything that reached wo between copy and flip.
+		// Forward anything that reached wo between copy and flip: queries
+		// inserted at wo (present in the extraction but not in the copy)
+		// move to wl, and queries *deleted* at wo (copied, but gone from
+		// the extraction) are deleted from wl's adopted copy too — a
+		// delete routed under the pre-flip table reaches only wo, and
+		// without this reconciliation the migrated copy would keep
+		// matching forever.
 		var leftover []*model.Query
 		for _, q := range extracted {
 			if _, ok := pe.copied[q.ID]; !ok {
 				leftover = append(leftover, q)
 			}
 		}
-		if len(leftover) > 0 || len(ringLeft) > 0 || len(ds) > 0 {
+		extractedIDs := idSet(extracted)
+		var deleted []uint64
+		for id := range pe.copied {
+			if _, ok := extractedIDs[id]; !ok {
+				deleted = append(deleted, id)
+			}
+		}
+		if len(leftover) > 0 || len(ringLeft) > 0 || len(ds) > 0 || len(deleted) > 0 {
 			s.workers[pe.wl].mu.Lock()
 			for _, q := range leftover {
 				s.workers[pe.wl].gi.InsertAt(pe.cell, q)
 				if q.IsTopK() {
 					ds = append(ds, s.workers[pe.wl].win.AddSub(q, now)...)
 				}
+			}
+			for _, id := range deleted {
+				s.workers[pe.wl].gi.Delete(id)
+				ds = append(ds, s.workers[pe.wl].win.RemoveSub(id)...)
 			}
 			if len(ringLeft) > 0 {
 				ds = append(ds, s.workers[pe.wl].win.AdoptCell(pe.cell, ringLeft, now)...)
@@ -364,6 +521,14 @@ func (s *System) processPendingExtracts() {
 		delete(s.pendingCells, pe.cell)
 		s.migMu.Unlock()
 	}
+}
+
+// hasPendingExtracts reports whether any deferred extraction awaits its
+// drain barrier or completion.
+func (s *System) hasPendingExtracts() bool {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	return len(s.pendingEx) > 0
 }
 
 // cellPending reports whether the cell awaits a deferred extraction (and

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -101,16 +102,36 @@ type Config struct {
 	PerTupleWork time.Duration
 }
 
-// AdjustConfig tunes the local load adjustment controller.
+// AdjustConfig tunes the adaptive load adjustment controller: a
+// background loop that samples per-worker load from the live publish
+// traffic (windowed EWMA over the worker bolts' op counters), detects
+// imbalance (θ threshold + hysteresis + cooldown), and migrates gridt
+// cells from the most to the least loaded worker while the stream keeps
+// flowing.
 type AdjustConfig struct {
-	// Enabled switches the controller on. Requires the hybrid strategy
-	// (the gridt index is the unit of migration).
+	// Enabled switches the background controller on. Requires the hybrid
+	// strategy (the gridt index is the unit of migration). Manual
+	// System.AdjustNow calls work whenever the strategy is hybrid,
+	// regardless of Enabled.
 	Enabled bool
-	// Sigma is the balance constraint σ; a window with
-	// L_max/L_min > Sigma triggers an adjustment.
+	// Sigma is the balance constraint σ (the detector's θ threshold): a
+	// window with L_max/L_min > Sigma counts as an imbalance violation.
 	Sigma float64
 	// Interval is the load-check period.
 	Interval time.Duration
+	// Cooldown is the minimum time between adjustments; after a
+	// migration the controller stays quiet for this long so the moved
+	// load shows up in the smoothed measurements before the next
+	// decision (default 4×Interval).
+	Cooldown time.Duration
+	// SustainChecks is the detector's hysteresis: an imbalance must
+	// persist for this many consecutive intervals before an adjustment
+	// runs, so one noisy window cannot trigger a migration (default 2).
+	SustainChecks int
+	// EWMAAlpha smooths the per-interval worker loads
+	// (avg ← α·sample + (1−α)·avg, default 0.5). Lower values trade
+	// reaction speed for stability.
+	EWMAAlpha float64
 	// Algorithm selects Phase II cell selection (default GR).
 	Algorithm migrate.Algorithm
 	// PhaseIP is the p most-loaded-cells parameter of Phase I.
@@ -170,22 +191,31 @@ func (c *Config) fillDefaults() {
 	if c.WindowRingCap <= 0 {
 		c.WindowRingCap = window.DefaultRingCap
 	}
-	if c.Adjust.Enabled {
-		if c.Adjust.Sigma <= 1 {
-			c.Adjust.Sigma = 1.25
-		}
-		if c.Adjust.Interval <= 0 {
-			c.Adjust.Interval = 200 * time.Millisecond
-		}
-		if c.Adjust.Algorithm == "" {
-			c.Adjust.Algorithm = migrate.GR
-		}
-		if c.Adjust.PhaseIP <= 0 {
-			c.Adjust.PhaseIP = 8
-		}
-		if c.Adjust.MinWindowOps <= 0 {
-			c.Adjust.MinWindowOps = 256
-		}
+	// Adjustment defaults are always filled: AdjustNow works in manual
+	// mode (Enabled false) whenever the strategy supports migration.
+	if c.Adjust.Sigma <= 1 {
+		c.Adjust.Sigma = 1.25
+	}
+	if c.Adjust.Interval <= 0 {
+		c.Adjust.Interval = 200 * time.Millisecond
+	}
+	if c.Adjust.Cooldown <= 0 {
+		c.Adjust.Cooldown = 4 * c.Adjust.Interval
+	}
+	if c.Adjust.SustainChecks <= 0 {
+		c.Adjust.SustainChecks = 2
+	}
+	if c.Adjust.EWMAAlpha <= 0 || c.Adjust.EWMAAlpha > 1 {
+		c.Adjust.EWMAAlpha = 0.5
+	}
+	if c.Adjust.Algorithm == "" {
+		c.Adjust.Algorithm = migrate.GR
+	}
+	if c.Adjust.PhaseIP <= 0 {
+		c.Adjust.PhaseIP = 8
+	}
+	if c.Adjust.MinWindowOps <= 0 {
+		c.Adjust.MinWindowOps = 256
 	}
 }
 
@@ -199,6 +229,41 @@ type MigrationStat struct {
 	QueriesMoved  int
 	From, To      int
 	PhaseI        bool
+}
+
+// AdjustStats summarises the adaptive adjustment controller's activity
+// and its current smoothed view of the cluster.
+type AdjustStats struct {
+	// Enabled reports whether the background controller loop is running.
+	Enabled bool
+	// Epoch counts routing-table flips executed so far — one per
+	// migrated cell share (each flip advances the dispatcher fencing
+	// epoch), so it can exceed Migrations: a Phase II MigrationStat
+	// covers every cell of one selection.
+	Epoch uint64
+	// Checks counts detector evaluations; Triggers counts the ones that
+	// ran an adjustment. SustainSkips and CooldownSkips count violations
+	// suppressed by hysteresis and cooldown; ManualTriggers counts
+	// AdjustNow-initiated adjustments.
+	Checks         int64
+	Triggers       int64
+	ManualTriggers int64
+	SustainSkips   int64
+	CooldownSkips  int64
+	// LastAdjust is the wall-clock instant of the latest adjustment
+	// (zero when none ran yet).
+	LastAdjust time.Time
+	// EWMALoads is the controller's smoothed Definition-1 load per
+	// worker, fed from the worker bolts' per-interval op counts;
+	// Imbalance is max/min over them (the detector's input).
+	EWMALoads []float64
+	Imbalance float64
+	// Migrations/CellsMoved/QueriesMoved/BytesMoved aggregate the
+	// executed migrations.
+	Migrations   int
+	CellsMoved   int
+	QueriesMoved int
+	BytesMoved   int64
 }
 
 // Snapshot is a point-in-time view of system metrics.
@@ -216,6 +281,8 @@ type Snapshot struct {
 	// WorkerBytes estimates per-worker GI2 memory (Figure 10).
 	WorkerBytes []int64
 	Migrations  []MigrationStat
+	// Adjust reports the adaptive adjustment controller's state.
+	Adjust AdjustStats
 }
 
 // System is a running PS2Stream instance.
@@ -255,6 +322,36 @@ type System struct {
 	// used as the drain barrier for deferred migration extraction.
 	enqueued []atomic.Int64
 	doneOps  []atomic.Int64
+
+	// Worker-fed load accounting (adaptive controller): cumulative
+	// per-worker op counts incremented by the worker bolts once per
+	// batch; the controller samples and differences them each interval.
+	workObjects []atomic.Int64
+	workInserts []atomic.Int64
+	workDeletes []atomic.Int64
+
+	// Adaptive controller state. adjustMu serialises the background loop
+	// and AdjustNow; prevWork/detector/adjustRng are owned under it.
+	// loadEWMA values are atomically readable for Snapshot.
+	adjustMu  sync.Mutex
+	prevWork  []workCounts
+	loadEWMA  []*metrics.EWMA
+	detector  *load.Detector
+	adjustRng *rand.Rand
+
+	// routeFence fences dispatcher routing against migration flips: each
+	// dispatcher batch routes inside a read-side section, and a migrator
+	// advances the fence after flipping the routing table, so drain
+	// barriers read after the advance cover every old-epoch batch.
+	routeFence *stream.Fence
+
+	// Controller activity counters (AdjustStats).
+	adjChecks    metrics.Counter
+	adjTriggers  metrics.Counter
+	adjManual    metrics.Counter
+	adjSustains  metrics.Counter
+	adjCooldowns metrics.Counter
+	lastAdjustNs atomic.Int64
 
 	migMu      sync.Mutex
 	migrations []MigrationStat
@@ -364,11 +461,39 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 	s.winDeletes = make([]atomic.Int64, cfg.Workers)
 	s.enqueued = make([]atomic.Int64, cfg.Workers)
 	s.doneOps = make([]atomic.Int64, cfg.Workers)
+	s.workObjects = make([]atomic.Int64, cfg.Workers)
+	s.workInserts = make([]atomic.Int64, cfg.Workers)
+	s.workDeletes = make([]atomic.Int64, cfg.Workers)
+	s.routeFence = stream.NewFence()
 	s.pendingCells = make(map[int]bool)
 	if gt := s.gridT.Load(); gt != nil {
 		s.cellObjects = make([]atomic.Int64, gt.Grid().NumCells())
 	}
+	if s.canAdjust() {
+		s.prevWork = make([]workCounts, cfg.Workers)
+		s.loadEWMA = make([]*metrics.EWMA, cfg.Workers)
+		for i := range s.loadEWMA {
+			s.loadEWMA[i] = metrics.NewEWMA(cfg.Adjust.EWMAAlpha)
+		}
+		s.detector = load.NewDetector(load.DetectorConfig{
+			Theta:         cfg.Adjust.Sigma,
+			SustainChecks: cfg.Adjust.SustainChecks,
+			Cooldown:      cfg.Adjust.Cooldown,
+		})
+		s.adjustRng = rand.New(rand.NewSource(cfg.Adjust.Seed ^ 0xADAD))
+	}
 	return s, nil
+}
+
+// workCounts is one controller sample of a worker's cumulative op counts.
+type workCounts struct {
+	objects, inserts, deletes int64
+}
+
+// canAdjust reports whether the migration machinery is available (hybrid
+// routing + GI2 worker indexes — the units cells migrate in).
+func (s *System) canAdjust() bool {
+	return s.gridT.Load() != nil && len(s.workers) > 0 && s.workers[0].gi != nil
 }
 
 // assignBox gives atomic.Value a single concrete type to hold, since the
@@ -466,7 +591,39 @@ func (s *System) Snapshot() Snapshot {
 	s.migMu.Lock()
 	snap.Migrations = append([]MigrationStat(nil), s.migrations...)
 	s.migMu.Unlock()
+	snap.Adjust = s.adjustStats(snap.Migrations)
 	return snap
+}
+
+// adjustStats assembles the controller's AdjustStats from its counters and
+// the given migration log.
+func (s *System) adjustStats(migs []MigrationStat) AdjustStats {
+	st := AdjustStats{
+		Enabled:        s.cfg.Adjust.Enabled,
+		Epoch:          s.routeFence.Epoch(),
+		Checks:         s.adjChecks.Value(),
+		Triggers:       s.adjTriggers.Value(),
+		ManualTriggers: s.adjManual.Value(),
+		SustainSkips:   s.adjSustains.Value(),
+		CooldownSkips:  s.adjCooldowns.Value(),
+		Migrations:     len(migs),
+	}
+	if ns := s.lastAdjustNs.Load(); ns != 0 {
+		st.LastAdjust = time.Unix(0, ns)
+	}
+	for _, m := range migs {
+		st.CellsMoved += m.Cells
+		st.QueriesMoved += m.QueriesMoved
+		st.BytesMoved += m.Bytes
+	}
+	if s.loadEWMA != nil {
+		st.EWMALoads = make([]float64, len(s.loadEWMA))
+		for i, e := range s.loadEWMA {
+			st.EWMALoads[i] = e.Value()
+		}
+		st.Imbalance = load.BalanceFactor(st.EWMALoads)
+	}
+	return st
 }
 
 // windowLoads evaluates Definition 1 over the current dispatcher window.
@@ -509,6 +666,17 @@ func (s *System) LiveQueries() []*model.Query {
 		out = append(out, q)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WorkerOpCounts returns each worker's cumulative received-operation
+// count (objects + insertions + deletions), the adaptive controller's
+// traffic accounting. Cheap: three atomic loads per worker, no locks.
+func (s *System) WorkerOpCounts() []int64 {
+	out := make([]int64, len(s.workers))
+	for i := range out {
+		out[i] = s.workObjects[i].Load() + s.workInserts[i].Load() + s.workDeletes[i].Load()
+	}
 	return out
 }
 

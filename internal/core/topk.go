@@ -196,6 +196,13 @@ func (s *System) windowLoop(ctx context.Context) {
 			return
 		case <-ticker.C:
 			s.AdvanceWindows()
+			// In manual adjustment mode (AdjustNow without the
+			// background loop) deferred migration extractions would
+			// otherwise wait for the next AdjustNow call; finish the
+			// drained ones here. No-op when nothing is pending.
+			if !s.cfg.Adjust.Enabled && s.hasPendingExtracts() {
+				s.processPendingExtracts()
+			}
 		}
 	}
 }

@@ -100,18 +100,24 @@ func (s *System) buildTopology(ctx context.Context) *stream.Topology {
 
 // dispatcherBolt routes operations batch-wise: the assignment is loaded
 // once per received batch and the collector accumulates one outgoing
-// batch per target worker.
+// batch per target worker. Every batch routes inside a routeFence
+// read-side section so migrations can fence out in-flight batches before
+// snapshotting drain barriers (see migrateShare).
 type dispatcherBolt struct{ s *System }
 
 // ProcessBatch implements stream.BatchBolt.
 func (d dispatcherBolt) ProcessBatch(ts []stream.Tuple, c stream.Collector) {
+	d.s.routeFence.Enter()
 	d.s.dispatchBatch(ts, c)
+	d.s.routeFence.Exit()
 }
 
 // Process implements stream.Bolt (single-tuple fallback; the engine
 // prefers ProcessBatch).
 func (d dispatcherBolt) Process(tu stream.Tuple, c stream.Collector) {
+	d.s.routeFence.Enter()
 	d.s.dispatchBatch([]stream.Tuple{tu}, c)
+	d.s.routeFence.Exit()
 }
 
 // dispatchBatch routes one batch of operations (dispatcher bolt body).
@@ -201,6 +207,28 @@ func (w workerBolt) Process(tu stream.Tuple, c stream.Collector) {
 func (s *System) workBatch(task int, ts []stream.Tuple, c stream.Collector) {
 	if s.cfg.PerTupleWork > 0 {
 		spin(time.Duration(len(ts)) * s.cfg.PerTupleWork)
+	}
+	// Tally the batch's op mix for the adaptive controller's worker-fed
+	// load windows: one atomic add per kind per batch, not per tuple.
+	var nObj, nIns, nDel int64
+	for i := range ts {
+		switch ts[i].Value.(opEnvelope).op.Kind {
+		case model.OpObject:
+			nObj++
+		case model.OpInsert:
+			nIns++
+		case model.OpDelete:
+			nDel++
+		}
+	}
+	if nObj > 0 {
+		s.workObjects[task].Add(nObj)
+	}
+	if nIns > 0 {
+		s.workInserts[task].Add(nIns)
+	}
+	if nDel > 0 {
+		s.workDeletes[task].Add(nDel)
 	}
 	ws := s.workers[task]
 	ws.mu.Lock()

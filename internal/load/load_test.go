@@ -3,6 +3,7 @@ package load
 import (
 	"math"
 	"testing"
+	"time"
 )
 
 func TestWorkerFormula(t *testing.T) {
@@ -84,5 +85,70 @@ func TestWindow(t *testing.T) {
 	loads = w.Loads()
 	if loads[0] != 0 || loads[1] != 0 {
 		t.Errorf("after Reset Loads = %v", loads)
+	}
+}
+
+func TestDetectorThresholdAndHysteresis(t *testing.T) {
+	d := NewDetector(DetectorConfig{Theta: 1.5, SustainChecks: 2, Cooldown: time.Minute})
+	now := time.Unix(1000, 0)
+	if got := d.Observe(1.2, now); got != Balanced {
+		t.Fatalf("below theta: %v, want balanced", got)
+	}
+	// First violation only arms the streak; the second fires.
+	if got := d.Observe(2.0, now); got != Sustaining {
+		t.Fatalf("first violation: %v, want sustaining", got)
+	}
+	if got := d.Observe(2.0, now.Add(time.Second)); got != Trigger {
+		t.Fatalf("sustained violation: %v, want trigger", got)
+	}
+	// A dip below theta resets the streak.
+	if got := d.Observe(1.0, now.Add(2*time.Second)); got != Balanced {
+		t.Fatalf("dip: %v, want balanced", got)
+	}
+	if got := d.Observe(2.0, now.Add(3*time.Second)); got != Sustaining {
+		t.Fatalf("violation after dip must re-sustain: %v", got)
+	}
+}
+
+func TestDetectorCooldown(t *testing.T) {
+	d := NewDetector(DetectorConfig{Theta: 1.5, SustainChecks: 1, Cooldown: 10 * time.Second})
+	now := time.Unix(2000, 0)
+	if got := d.Observe(3, now); got != Trigger {
+		t.Fatalf("first violation with SustainChecks 1: %v, want trigger", got)
+	}
+	if got := d.Observe(3, now.Add(time.Second)); got != Cooling {
+		t.Fatalf("within cooldown: %v, want cooling", got)
+	}
+	if got := d.Observe(3, now.Add(11*time.Second)); got != Trigger {
+		t.Fatalf("after cooldown: %v, want trigger", got)
+	}
+}
+
+func TestDetectorForce(t *testing.T) {
+	d := NewDetector(DetectorConfig{Theta: 1.5, SustainChecks: 1, Cooldown: 10 * time.Second})
+	now := time.Unix(3000, 0)
+	d.Force(now)
+	if got := d.Observe(3, now.Add(time.Second)); got != Cooling {
+		t.Fatalf("after Force, background detector should cool down: %v", got)
+	}
+	if got := d.Observe(3, now.Add(11*time.Second)); got != Trigger {
+		t.Fatalf("cooldown from Force elapsed: %v, want trigger", got)
+	}
+}
+
+func TestDetectorDefaults(t *testing.T) {
+	d := NewDetector(DetectorConfig{})
+	now := time.Unix(4000, 0)
+	if got := d.Observe(1.2, now); got != Balanced {
+		t.Fatalf("1.2 under default theta 1.25: %v", got)
+	}
+	if got := d.Observe(1.3, now); got != Sustaining {
+		t.Fatalf("default SustainChecks is 2: %v", got)
+	}
+	if got := d.Observe(1.3, now); got != Trigger {
+		t.Fatalf("second violation: %v, want trigger", got)
+	}
+	if s := Trigger.String(); s != "trigger" {
+		t.Fatalf("String = %q", s)
 	}
 }

@@ -44,6 +44,46 @@ func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// EWMA is an exponentially weighted moving average gauge: each Observe
+// folds a new sample into the running average with weight alpha
+// (avg ← alpha·sample + (1−alpha)·avg; the first sample seeds the
+// average). Value is lock-free and safe to read concurrently with
+// Observe, which itself is expected to be called from a single sampler
+// goroutine (the adaptive-adjustment controller observes once per
+// interval per worker).
+type EWMA struct {
+	alpha float64
+	bits  atomic.Uint64 // math.Float64bits of the current average
+	n     atomic.Int64
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1]:
+// higher alpha weights recent samples more. Out-of-range alphas are
+// clamped.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample in and returns the updated average.
+func (e *EWMA) Observe(v float64) float64 {
+	if e.n.Add(1) == 1 {
+		e.bits.Store(math.Float64bits(v))
+		return v
+	}
+	avg := e.alpha*v + (1-e.alpha)*math.Float64frombits(e.bits.Load())
+	e.bits.Store(math.Float64bits(avg))
+	return avg
+}
+
+// Value returns the current average (0 before any sample).
+func (e *EWMA) Value() float64 { return math.Float64frombits(e.bits.Load()) }
+
+// Count returns the number of samples observed.
+func (e *EWMA) Count() int64 { return e.n.Load() }
+
 // Throughput measures processed tuples per second over the interval since
 // construction or the last Reset.
 type Throughput struct {

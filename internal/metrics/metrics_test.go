@@ -241,3 +241,31 @@ func TestFractionBelowBucketAndReservoirPaths(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatalf("fresh EWMA: value %v count %d", e.Value(), e.Count())
+	}
+	if got := e.Observe(10); got != 10 {
+		t.Fatalf("first sample seeds the average: got %v", got)
+	}
+	if got := e.Observe(20); got != 15 {
+		t.Fatalf("0.5-EWMA of 10 then 20 = %v, want 15", got)
+	}
+	if got := e.Observe(15); got != 15 {
+		t.Fatalf("steady sample keeps the average: got %v", got)
+	}
+	if e.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", e.Count())
+	}
+	// Invalid alphas clamp rather than explode.
+	for _, a := range []float64{0, -1, 1.5} {
+		c := NewEWMA(a)
+		c.Observe(4)
+		c.Observe(8)
+		if v := c.Value(); v <= 4 || v >= 8 {
+			t.Fatalf("clamped alpha %v: average %v not between samples", a, v)
+		}
+	}
+}

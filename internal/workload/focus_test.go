@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+// fracNear returns the fraction of locations within radiusDeg of p.
+func fracNear(objs []*model.Object, p geo.Point, radiusDeg float64) float64 {
+	var n int
+	for _, o := range objs {
+		if math.Hypot(o.Loc.X-p.X, o.Loc.Y-p.Y) <= radiusDeg {
+			n++
+		}
+	}
+	return float64(n) / float64(len(objs))
+}
+
+func draw(g *Generator, n int) []*model.Object {
+	objs := make([]*model.Object, n)
+	for i := range objs {
+		objs[i] = g.Object()
+	}
+	return objs
+}
+
+func TestGeneratorFocusConcentratesLocations(t *testing.T) {
+	spec := TweetsUS()
+	g := NewGenerator(spec, 9)
+	hot := g.HotspotCenter(3)
+	base := fracNear(draw(g, 2000), hot, 2)
+
+	g = NewGenerator(spec, 9)
+	g.FocusHotspot(3, 0.9)
+	focused := fracNear(draw(g, 2000), hot, 2)
+	if focused < 0.8 {
+		t.Fatalf("focus bias 0.9: only %.2f of locations within 2deg of the hotspot", focused)
+	}
+	if focused < base+0.3 {
+		t.Fatalf("focus barely moved the distribution: background %.2f, focused %.2f", base, focused)
+	}
+
+	// Clearing the focus restores the background mixture.
+	g.Focus(geo.Point{}, 0, 0)
+	cleared := fracNear(draw(g, 2000), hot, 2)
+	if cleared > base+0.2 {
+		t.Fatalf("cleared focus still concentrated: %.2f (background %.2f)", cleared, base)
+	}
+}
+
+func TestGeneratorFocusHotspotWraps(t *testing.T) {
+	g := NewGenerator(TweetsUS(), 1)
+	n := g.NumHotspots()
+	if n == 0 {
+		t.Fatal("no hotspots")
+	}
+	g.FocusHotspot(n+2, 0.5) // wraps to 2
+	g.FocusHotspot(-1, 0.5)  // wraps to n-1
+	g.FocusHotspot(0, 1.5)   // bias clamps to 1
+	if got, _ := g.Location(); !g.spec.Bounds.Contains(got) {
+		t.Fatalf("focused location %v outside bounds", got)
+	}
+}
+
+func TestStreamFocusShift(t *testing.T) {
+	spec := TweetsUS()
+	st := NewStream(spec, Q1, StreamConfig{
+		Mu: 100, Seed: 5, FocusBias: 0.9, FocusHotspot: 0,
+	})
+	hot0 := st.ObjectGen().HotspotCenter(0)
+	hot1 := st.ObjectGen().HotspotCenter(1)
+
+	var phaseA, phaseB []*model.Object
+	for len(phaseA) < 1000 {
+		if op := st.Next(); op.Kind == model.OpObject {
+			phaseA = append(phaseA, op.Obj)
+		}
+	}
+	st.FocusHotspot(1)
+	for len(phaseB) < 1000 {
+		if op := st.Next(); op.Kind == model.OpObject {
+			phaseB = append(phaseB, op.Obj)
+		}
+	}
+	if f := fracNear(phaseA, hot0, 2); f < 0.8 {
+		t.Fatalf("phase A not focused on hotspot 0: %.2f", f)
+	}
+	if f := fracNear(phaseB, hot1, 2); f < 0.8 {
+		t.Fatalf("phase B not focused on hotspot 1 after the shift: %.2f", f)
+	}
+}
+
+func TestSampleFocused(t *testing.T) {
+	spec := TweetsUS()
+	s := SampleFocused(spec, Q1, 800, 100, 7, 2, 0, 0.9)
+	if len(s.Objects) != 800 || len(s.Queries) != 100 {
+		t.Fatalf("sample sizes %d/%d", len(s.Objects), len(s.Queries))
+	}
+	hot := NewGenerator(spec, 0).HotspotCenter(2)
+	if f := fracNear(s.Objects, hot, 2); f < 0.8 {
+		t.Fatalf("focused sample objects not concentrated: %.2f", f)
+	}
+}

@@ -30,6 +30,21 @@ type StreamConfig struct {
 	TopKK int
 	// TopKWindow is their sliding window (default 1 minute).
 	TopKWindow time.Duration
+	// FocusBias, when positive, concentrates that fraction of published
+	// object locations on one hotspot cluster (FocusHotspot) — the
+	// skewed-hotspot workload of the adaptive-adjustment experiments.
+	// Queries stay unbiased. Shift the focus mid-stream with
+	// Stream.FocusHotspot.
+	FocusBias float64
+	// FocusHotspot is the initially focused hotspot cluster index
+	// (used only when FocusBias > 0).
+	FocusHotspot int
+	// FocusSigmaDeg is the focused traffic's Gaussian spread in degrees;
+	// <= 0 uses the dataset's hotspot sigma. The adjust experiments use
+	// a metro-scale spread (a few degrees) so the hot load spans many
+	// grid cells — cells are the migration unit, and load concentrated
+	// in a single cell cannot be spread over workers at all.
+	FocusSigmaDeg float64
 }
 
 // Stream produces the interleaved operation stream consumed by PS2Stream.
@@ -79,16 +94,34 @@ func NewStream(spec DatasetSpec, kind QueryKind, cfg StreamConfig) *Stream {
 	if cfg.TopKWindow <= 0 {
 		cfg.TopKWindow = time.Minute
 	}
-	return &Stream{
+	st := &Stream{
 		cfg:     cfg,
 		objects: NewGenerator(spec, cfg.Seed^0x0bea),
 		queries: NewQueryGenerator(spec, kind, cfg.Seed^0x0bee),
 		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 	}
+	if cfg.FocusBias > 0 {
+		st.FocusHotspot(cfg.FocusHotspot)
+	}
+	return st
 }
 
 // QueryGen exposes the query generator (for drift experiments).
 func (s *Stream) QueryGen() *QueryGenerator { return s.queries }
+
+// ObjectGen exposes the object generator (hotspot geography, focus).
+func (s *Stream) ObjectGen() *Generator { return s.objects }
+
+// FocusHotspot re-aims the object focus at hotspot cluster i with the
+// configured FocusBias — the mid-stream hotspot shift of the
+// adaptive-adjustment experiments. No-op when FocusBias is 0.
+func (s *Stream) FocusHotspot(i int) {
+	if s.cfg.FocusBias > 0 {
+		n := s.objects.NumHotspots()
+		c := s.objects.HotspotCenter(((i % n) + n) % n)
+		s.objects.Focus(c, s.cfg.FocusSigmaDeg, s.cfg.FocusBias)
+	}
+}
 
 // Prewarm returns n insertion ops so the system starts at its standing
 // query population before measurement. The insertions are also counted

@@ -99,6 +99,14 @@ type Generator struct {
 	shifts  []int
 	rng     *rand.Rand
 	nextID  uint64
+
+	// focus concentrates traffic on one point (the skewed-hotspot
+	// workload of the adaptive-adjustment experiments): with probability
+	// focusBias a location is drawn from a Gaussian around focus instead
+	// of the spec's background mixture.
+	focus      geo.Point
+	focusSigma float64
+	focusBias  float64
 }
 
 // NewGenerator returns a deterministic object generator. seed offsets the
@@ -169,10 +177,50 @@ func (g *Generator) Spec() DatasetSpec { return g.spec }
 // Vocab exposes the term table (rank order).
 func (g *Generator) Vocab() []string { return g.vocab }
 
-// Location draws a location: hotspot-clustered with probability
-// HotspotFraction, uniform otherwise. The returned hotspot index is -1 for
-// background locations.
+// NumHotspots returns how many hotspot clusters the dataset has.
+func (g *Generator) NumHotspots() int { return len(g.centers) }
+
+// HotspotCenter returns the centre of hotspot i (deterministic per spec
+// seed, shared by every generator over the same spec).
+func (g *Generator) HotspotCenter(i int) geo.Point { return g.centers[i] }
+
+// Focus concentrates a fraction of future locations on one point: with
+// probability bias in (0, 1] the location is drawn from a Gaussian with
+// the given sigma (degrees; <= 0 uses the spec's hotspot sigma) around p,
+// otherwise from the spec's normal background mixture. bias <= 0 clears
+// the focus. Focus models a flash-crowd / hotspot-shift workload — the
+// traffic skew the adaptive adjustment controller exists to absorb.
+func (g *Generator) Focus(p geo.Point, sigmaDeg, bias float64) {
+	if bias <= 0 {
+		g.focusBias = 0
+		return
+	}
+	if bias > 1 {
+		bias = 1
+	}
+	if sigmaDeg <= 0 {
+		sigmaDeg = g.spec.HotspotSigmaDeg
+	}
+	g.focus, g.focusSigma, g.focusBias = p, sigmaDeg, bias
+}
+
+// FocusHotspot is Focus aimed at hotspot cluster i (mod NumHotspots).
+func (g *Generator) FocusHotspot(i int, bias float64) {
+	g.Focus(g.centers[((i%len(g.centers))+len(g.centers))%len(g.centers)], 0, bias)
+}
+
+// Location draws a location: focus-concentrated with probability
+// focusBias when a Focus is set, hotspot-clustered with probability
+// HotspotFraction, uniform otherwise. The returned hotspot index is -1
+// for background and focused locations.
 func (g *Generator) Location() (geo.Point, int) {
+	if g.focusBias > 0 && g.rng.Float64() < g.focusBias {
+		p := geo.Point{
+			X: g.focus.X + g.rng.NormFloat64()*g.focusSigma,
+			Y: g.focus.Y + g.rng.NormFloat64()*g.focusSigma,
+		}
+		return g.clamp(p), -1
+	}
 	if g.rng.Float64() < g.spec.HotspotFraction {
 		h := g.rng.Intn(len(g.centers))
 		c := g.centers[h]
@@ -396,6 +444,31 @@ func (qg *QueryGenerator) Query() *model.Query {
 func Sample(spec DatasetSpec, kind QueryKind, nObj, nQry int, seed int64) *partition.Sample {
 	og := NewGenerator(spec, seed^0xABCD)
 	qg := NewQueryGenerator(spec, kind, seed^0xDCBA)
+	objs := make([]*model.Object, nObj)
+	for i := range objs {
+		objs[i] = og.Object()
+	}
+	qrys := make([]*model.Query, nQry)
+	for i := range qrys {
+		qrys[i] = qg.Query()
+	}
+	return partition.NewSample(objs, qrys, spec.Bounds, load.DefaultCosts)
+}
+
+// SampleFocused draws a sample concentrated on hotspot cluster `hotspot`
+// with the given bias and Gaussian sigma in degrees (<= 0 uses the
+// dataset's hotspot sigma). Both objects and query centres focus — the
+// sample is "yesterday's traffic", where subscribers cluster around the
+// same event the publishers do. The adaptive adjustment experiments open
+// the system on such a sample and then shift the live object traffic to a
+// different hotspot.
+func SampleFocused(spec DatasetSpec, kind QueryKind, nObj, nQry int, seed int64,
+	hotspot int, sigmaDeg, bias float64) *partition.Sample {
+	og := NewGenerator(spec, seed^0xABCD)
+	center := og.centers[((hotspot%len(og.centers))+len(og.centers))%len(og.centers)]
+	og.Focus(center, sigmaDeg, bias)
+	qg := NewQueryGenerator(spec, kind, seed^0xDCBA)
+	qg.gen.Focus(center, sigmaDeg, bias)
 	objs := make([]*model.Object, nObj)
 	for i := range objs {
 		objs[i] = og.Object()

@@ -12,8 +12,9 @@
 // docs/ARCHITECTURE.md). The distribution strategy is pluggable: the
 // paper's hybrid kdt-tree/gridt partitioning (default), three
 // text-partitioning baselines and three space-partitioning baselines.
-// Dynamic load adjustment rebalances workers at runtime by migrating gridt
-// cells.
+// An adaptive load adjustment controller (Options.Adjust, AdjustNow)
+// rebalances workers under live traffic by migrating gridt cells when the
+// per-worker load imbalance exceeds a threshold.
 //
 // Minimal usage:
 //
@@ -279,11 +280,76 @@ type Options struct {
 	// instants and expiry). Nil uses time.Now; deterministic replays and
 	// tests install a fake clock and drive expiry with AdvanceTopK.
 	Now func() time.Time
+	// Adjust configures the adaptive load adjustment controller (§V):
+	// per-worker load is sampled from the live publish traffic, and when
+	// the imbalance exceeds Theta the system migrates hot grid cells to
+	// the least-loaded worker while the stream keeps flowing.
+	Adjust AdjustOptions
 	// DynamicAdjustment enables the §V load adjustment controller
 	// (hybrid strategy only).
+	//
+	// Deprecated: set Adjust.Auto instead. DynamicAdjustment true is
+	// equivalent to Adjust.Auto true.
 	DynamicAdjustment bool
 	// AdjustInterval is the balance check period (default 200ms).
+	//
+	// Deprecated: set Adjust.Interval instead.
 	AdjustInterval time.Duration
+}
+
+// AdjustOptions configures the adaptive load adjustment controller
+// (hybrid strategy with the GI2 worker index only — migrations move gridt
+// cells).
+type AdjustOptions struct {
+	// Auto runs the controller continuously in the background: every
+	// Interval it samples per-worker load from the worker tasks' live
+	// traffic (smoothed with an EWMA), and when the load imbalance has
+	// exceeded Theta for two consecutive intervals (hysteresis) and the
+	// Cooldown since the previous adjustment has elapsed, it migrates
+	// hot cells from the most to the least loaded worker. With Auto
+	// false the system only adjusts on explicit AdjustNow calls.
+	Auto bool
+	// Interval is the load sampling/decision period (default 200ms).
+	Interval time.Duration
+	// Theta is the imbalance trigger threshold on L_max/L_min, the
+	// paper's balance constraint σ (default 1.25; must be > 1).
+	Theta float64
+	// Cooldown is the minimum time between adjustments, letting a
+	// migration's effect show up in the smoothed loads before the next
+	// decision (default 4×Interval).
+	Cooldown time.Duration
+}
+
+// AdjustStats reports the adaptive adjustment controller's activity (see
+// Stats.Adjust).
+type AdjustStats struct {
+	// Auto reports whether the background controller is running.
+	Auto bool
+	// Epoch counts routing-table changes executed so far — one per
+	// migrated cell share, so it can exceed Migrations (a Phase II
+	// migration record covers every cell of one selection).
+	Epoch uint64
+	// Checks counts load evaluations; Triggers counts the ones that ran
+	// an adjustment; ManualTriggers counts AdjustNow-initiated
+	// adjustments; SustainSkips and CooldownSkips count imbalance
+	// violations suppressed by hysteresis and cooldown.
+	Checks         int64
+	Triggers       int64
+	ManualTriggers int64
+	SustainSkips   int64
+	CooldownSkips  int64
+	// LastAdjust is when the latest adjustment ran (zero when none has).
+	LastAdjust time.Time
+	// EWMALoads is the controller's smoothed per-worker load estimate;
+	// Imbalance is max/min over it — the value compared against Theta.
+	EWMALoads []float64
+	Imbalance float64
+	// Migrations counts executed cell migrations; CellsMoved,
+	// QueriesMoved and BytesMoved aggregate what they carried.
+	Migrations   int
+	CellsMoved   int
+	QueriesMoved int
+	BytesMoved   int64
 }
 
 // System is a running publish/subscribe instance.
@@ -355,12 +421,16 @@ func Open(opts Options) (*System, error) {
 		OnTopK:       onTopK,
 		Clock:        opts.Now,
 	}
-	if opts.DynamicAdjustment {
-		cfg.Adjust = core.AdjustConfig{
-			Enabled:   true,
-			Interval:  opts.AdjustInterval,
-			Algorithm: migrate.GR,
-		}
+	interval := opts.Adjust.Interval
+	if interval <= 0 {
+		interval = opts.AdjustInterval // deprecated spelling
+	}
+	cfg.Adjust = core.AdjustConfig{
+		Enabled:   opts.Adjust.Auto || opts.DynamicAdjustment,
+		Interval:  interval,
+		Sigma:     opts.Adjust.Theta,
+		Cooldown:  opts.Adjust.Cooldown,
+		Algorithm: migrate.GR,
 	}
 	inner, err := core.New(cfg, sample)
 	if err != nil {
@@ -491,6 +561,22 @@ func (s *System) Repartition(recentMessages []Message, recentSubscriptions []Sub
 	return s.inner.GlobalRepartition(sample, nil)
 }
 
+// AdjustNow forces one synchronous load adjustment evaluation: if the
+// current per-worker load imbalance violates Adjust.Theta, hot cells
+// migrate to the least-loaded worker before AdjustNow returns, bypassing
+// the background controller's hysteresis and cooldown (whose cooldown
+// then restarts). It returns the number of migrations executed — 0 when
+// the system is already balanced, and always 0 for strategies other than
+// hybrid with the GI2 worker index, which cannot migrate.
+//
+// Use it when the caller knows the workload just shifted (a planned
+// failover, a flash event) and waiting out the controller's detection
+// latency is undesirable — or to drive adjustment entirely manually with
+// Adjust.Auto off.
+func (s *System) AdjustNow() int {
+	return s.inner.AdjustNow()
+}
+
 // FinishRepartition completes an in-flight global repartition immediately,
 // relocating the remaining old-strategy subscriptions. It returns the
 // number relocated (0 when no repartition is in flight). Systems with
@@ -556,6 +642,9 @@ type Stats struct {
 	// (the paper's σ constraint — 1.0 is perfectly balanced, 0 when idle).
 	WorkerLoads   []float64
 	BalanceFactor float64
+	// Adjust reports the adaptive adjustment controller's activity and
+	// its smoothed view of the worker loads.
+	Adjust AdjustStats
 }
 
 // Stats captures current metrics.
@@ -573,6 +662,22 @@ func (s *System) Stats() Stats {
 		Migrations:      len(snap.Migrations),
 		WorkerLoads:     snap.WorkerLoads,
 		BalanceFactor:   load.BalanceFactor(snap.WorkerLoads),
+		Adjust: AdjustStats{
+			Auto:           snap.Adjust.Enabled,
+			Epoch:          snap.Adjust.Epoch,
+			Checks:         snap.Adjust.Checks,
+			Triggers:       snap.Adjust.Triggers,
+			ManualTriggers: snap.Adjust.ManualTriggers,
+			SustainSkips:   snap.Adjust.SustainSkips,
+			CooldownSkips:  snap.Adjust.CooldownSkips,
+			LastAdjust:     snap.Adjust.LastAdjust,
+			EWMALoads:      snap.Adjust.EWMALoads,
+			Imbalance:      snap.Adjust.Imbalance,
+			Migrations:     snap.Adjust.Migrations,
+			CellsMoved:     snap.Adjust.CellsMoved,
+			QueriesMoved:   snap.Adjust.QueriesMoved,
+			BytesMoved:     snap.Adjust.BytesMoved,
+		},
 	}
 }
 

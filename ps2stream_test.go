@@ -3,8 +3,10 @@ package ps2stream
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 var usRegion = NewRegion(-125, 24, -66, 49)
@@ -255,6 +257,73 @@ func TestDynamicAdjustmentOption(t *testing.T) {
 		Region: usRegion, Strategy: StrategyGrid, DynamicAdjustment: true,
 	}); err == nil {
 		t.Error("adjustment with grid strategy should fail")
+	}
+}
+
+func TestAdjustOptionsAndAdjustNow(t *testing.T) {
+	// Manual mode: controller off, AdjustNow on demand. Subscriptions
+	// spread over two areas, traffic concentrated on one of them.
+	sys, err := Open(Options{
+		Region: usRegion, Workers: 4, Dispatchers: 1,
+		Adjust: AdjustOptions{Theta: 1.05, Cooldown: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		lat, lon := 33+rng.Float64()*14, -120+rng.Float64()*50
+		if err := sys.Subscribe(Subscription{
+			ID:     uint64(i + 1),
+			Query:  fmt.Sprintf("hot%02d", i%30),
+			Region: RegionAround(lat, lon, 120, 120),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Flush()
+	for i := 0; i < 3000; i++ {
+		sys.Publish(Message{
+			ID:   uint64(1000 + i),
+			Text: fmt.Sprintf("hot%02d hot%02d", i%30, (i+7)%30),
+			Lat:  40.7 + rng.NormFloat64()*0.3,
+			Lon:  -74 + rng.NormFloat64()*0.3,
+		})
+	}
+	sys.Flush()
+	moved := sys.AdjustNow()
+	if moved == 0 {
+		t.Fatal("AdjustNow did not migrate under a one-metro burst")
+	}
+	st := sys.Stats()
+	if st.Adjust.Auto {
+		t.Error("Stats.Adjust.Auto true without Adjust.Auto")
+	}
+	if st.Adjust.ManualTriggers == 0 || st.Adjust.Migrations != moved {
+		t.Errorf("controller stats inconsistent with AdjustNow: %+v vs %d", st.Adjust, moved)
+	}
+	if st.Adjust.Epoch == 0 || len(st.Adjust.EWMALoads) != 4 {
+		t.Errorf("controller stats not populated: %+v", st.Adjust)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Auto mode surfaces in Stats; non-hybrid strategies still reject it.
+	sys2, err := Open(Options{Region: usRegion, Adjust: AdjustOptions{Auto: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys2.Stats().Adjust.Auto {
+		t.Error("Stats.Adjust.Auto false with Adjust.Auto set")
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{
+		Region: usRegion, Strategy: StrategyGrid, Adjust: AdjustOptions{Auto: true},
+	}); err == nil {
+		t.Error("Adjust.Auto with grid strategy should fail")
 	}
 }
 
