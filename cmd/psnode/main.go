@@ -1,0 +1,269 @@
+// Command psnode runs one PS2Stream topology role as its own OS
+// process, turning the in-process reproduction into a real networked
+// deployment (the paper's §VI runs the same roles as Storm tasks across
+// a cluster). Roles speak the internal/wire protocol: length-prefixed
+// gob frames over TCP (docs/WIRE.md).
+//
+// A local 1-dispatcher / 2-worker / 1-merger cluster:
+//
+//	psnode -role worker -listen 127.0.0.1:7101 -once &
+//	psnode -role worker -listen 127.0.0.1:7102 -once &
+//	psnode -role merger -listen 127.0.0.1:7103 -once -out cluster.matches &
+//	psnode -role dispatcher -workers 127.0.0.1:7101,127.0.0.1:7102 \
+//	       -mergers 127.0.0.1:7103 -mu 500 -ops 4000 -seed 2017
+//
+// The dispatcher node embeds the coordinator (spout + dispatcher tasks),
+// generates the seeded workload, and drives it through the remote
+// workers; their matches flow to the merger node, which deduplicates,
+// counts, and (with -out) dumps the delivered match set sorted — the
+// same format the oracle mode writes, so the two runs diff byte for
+// byte:
+//
+//	psnode -role dispatcher -oracle -mu 500 -ops 4000 -seed 2017 -out oracle.matches
+//	diff cluster.matches oracle.matches
+//
+// Start order does not matter: the dispatcher dials peers with
+// exponential backoff.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ps2stream/internal/core"
+	"ps2stream/internal/model"
+	"ps2stream/internal/node"
+	"ps2stream/internal/wire"
+	"ps2stream/internal/workload"
+)
+
+func main() {
+	var (
+		role   = flag.String("role", "", "worker | merger | dispatcher")
+		listen = flag.String("listen", "127.0.0.1:0", "listen address (worker, merger)")
+		once   = flag.Bool("once", false, "exit after the coordinator session ends (worker, merger)")
+		out    = flag.String("out", "", "write the delivered/oracle match set to this file, sorted (merger, dispatcher -oracle)")
+
+		workers     = flag.String("workers", "", "comma-separated worker addresses (dispatcher)")
+		mergers     = flag.String("mergers", "", "comma-separated merger addresses (dispatcher)")
+		dispatchers = flag.Int("dispatchers", 2, "dispatcher task count (dispatcher)")
+		mu          = flag.Int("mu", 500, "standing subscriptions to prewarm (dispatcher)")
+		ops         = flag.Int("ops", 4000, "stream operations to publish (dispatcher)")
+		seed        = flag.Int64("seed", 2017, "workload seed (dispatcher)")
+		batch       = flag.Int("batch", 0, "transfer batch size, 0 = default (dispatcher)")
+		oracle      = flag.Bool("oracle", false, "run the workload fully in-process instead of joining peers (dispatcher)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "psnode: ", log.Ltime|log.Lmicroseconds)
+
+	switch *role {
+	case "worker":
+		ctx := context.Background()
+		err := node.ListenAndServeWorker(ctx, *listen, node.WorkerOptions{
+			Log:  logger.Printf,
+			Once: *once,
+		})
+		if err != nil && ctx.Err() == nil {
+			logger.Fatal(err)
+		}
+	case "merger":
+		runMerger(logger, *listen, *once, *out)
+	case "dispatcher":
+		runDispatcher(logger, dispatcherConfig{
+			workerAddrs: splitAddrs(*workers),
+			mergerAddrs: splitAddrs(*mergers),
+			dispatchers: *dispatchers,
+			mu:          *mu,
+			ops:         *ops,
+			seed:        *seed,
+			batch:       *batch,
+			oracle:      *oracle,
+			out:         *out,
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "psnode: -role must be worker, merger or dispatcher")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// matchDump accumulates delivered matches and writes them sorted and
+// deduplicated — a canonical form two runs can diff byte for byte.
+type matchDump struct {
+	mu   sync.Mutex
+	seen map[model.Match]struct{}
+}
+
+func newMatchDump() *matchDump {
+	return &matchDump{seen: make(map[model.Match]struct{})}
+}
+
+func (d *matchDump) add(m model.Match) {
+	m.Worker = 0 // placement detail, not part of the match identity
+	d.mu.Lock()
+	d.seen[m] = struct{}{}
+	d.mu.Unlock()
+}
+
+func (d *matchDump) write(path string) error {
+	d.mu.Lock()
+	ms := make([]model.Match, 0, len(d.seen))
+	for m := range d.seen {
+		ms = append(ms, m)
+	}
+	d.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].QueryID != ms[j].QueryID {
+			return ms[i].QueryID < ms[j].QueryID
+		}
+		return ms[i].ObjectID < ms[j].ObjectID
+	})
+	var sb strings.Builder
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%d %d %d\n", m.QueryID, m.ObjectID, m.Subscriber)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func runMerger(logger *log.Logger, listen string, once bool, out string) {
+	var dump *matchDump
+	opts := node.MergerOptions{Log: logger.Printf, Once: once}
+	if out != "" {
+		dump = newMatchDump()
+		opts.OnMatch = dump.add
+	}
+	m, err := node.ListenAndServeMerger(context.Background(), listen, opts)
+	if m != nil {
+		delivered, dups := m.Counts()
+		logger.Printf("merger: delivered %d matches (%d duplicates suppressed)", delivered, dups)
+		if dump != nil {
+			if werr := dump.write(out); werr != nil {
+				logger.Fatal(werr)
+			}
+			logger.Printf("merger: match set written to %s", out)
+		}
+	}
+	if err != nil && err != context.Canceled {
+		logger.Fatal(err)
+	}
+}
+
+type dispatcherConfig struct {
+	workerAddrs []string
+	mergerAddrs []string
+	dispatchers int
+	mu, ops     int
+	seed        int64
+	batch       int
+	oracle      bool
+	out         string
+}
+
+// runDispatcher embeds the coordinator: it builds the partitioning
+// sample, connects the remote peers (unless -oracle), prewarms µ
+// standing subscriptions, streams the seeded workload, drains end to
+// end, and reports counts.
+func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
+	spec := workload.TweetsUS()
+	sample := workload.Sample(spec, workload.Q1, 3000, 600, dc.seed)
+	var dump *matchDump
+	cfg := core.Config{
+		Dispatchers: dc.dispatchers,
+		BatchSize:   dc.batch,
+	}
+	if dc.oracle {
+		if len(dc.workerAddrs) > 0 || len(dc.mergerAddrs) > 0 {
+			logger.Fatal("-oracle runs fully in-process; drop -workers/-mergers")
+		}
+		cfg.Workers = 2
+	} else {
+		if len(dc.workerAddrs) == 0 {
+			logger.Fatal("dispatcher needs -workers (or -oracle)")
+		}
+		// Every worker task lives on a peer: the dispatcher node routes,
+		// it does not match.
+		cfg.Workers = len(dc.workerAddrs)
+		if err := cfg.ConnectRemoteWorkers(dc.workerAddrs, sample, wire.Backoff{}); err != nil {
+			logger.Fatal(err)
+		}
+		// Likewise all merger tasks remote when merger peers are given;
+		// without any, the dispatcher node mergers locally.
+		cfg.Mergers = len(dc.mergerAddrs)
+		if err := cfg.ConnectRemoteMergers(dc.mergerAddrs, sample, wire.Backoff{}); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("dispatcher: %d remote workers, %d remote mergers", len(dc.workerAddrs), len(dc.mergerAddrs))
+	}
+	if dc.out != "" {
+		if !dc.oracle && len(dc.mergerAddrs) > 0 {
+			logger.Fatal("-out on the dispatcher needs local mergers; with remote mergers pass -out to the merger node")
+		}
+		dump = newMatchDump()
+		cfg.OnMatch = dump.add
+	}
+
+	sys, err := core.New(cfg, sample)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		logger.Fatal(err)
+	}
+	st := workload.NewStream(spec, workload.Q1, workload.StreamConfig{Mu: dc.mu, Seed: dc.seed})
+	warm := st.Prewarm(dc.mu)
+	sys.SubmitAll(warm)
+	if err := sys.Drain(int64(len(warm))); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("dispatcher: %d standing subscriptions prewarmed", dc.mu)
+
+	t0 := time.Now()
+	stream := st.Take(dc.ops)
+	sys.SubmitAll(stream)
+	if err := sys.Drain(int64(len(warm) + len(stream))); err != nil {
+		logger.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	delivered := sys.MatchCount()
+	var remoteNote string
+	if rd, rdup, err := sys.RemoteDelivered(); err != nil {
+		logger.Fatal(err)
+	} else if rd+rdup > 0 {
+		delivered += rd
+		remoteNote = fmt.Sprintf(" (%d on remote mergers)", rd)
+	}
+	logger.Printf("dispatcher: %d ops in %v (%.0f tuples/s), %d matches delivered%s",
+		dc.ops, elapsed.Round(time.Millisecond), float64(dc.ops)/elapsed.Seconds(), delivered, remoteNote)
+
+	if err := sys.Close(); err != nil {
+		logger.Fatal(err)
+	}
+	if dump != nil {
+		if err := dump.write(dc.out); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("dispatcher: match set written to %s", dc.out)
+	}
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ps2stream"
+)
+
+// buildPsnode compiles the real psnode binary once per test run.
+var buildOnce sync.Once
+var psnodeBin string
+var buildErr error
+
+func psnode(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "psnode-test")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		psnodeBin = filepath.Join(dir, "psnode")
+		out, err := exec.Command("go", "build", "-o", psnodeBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("building psnode: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return psnodeBin
+}
+
+// freePort reserves a loopback port long enough to hand it to a child
+// process.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startNode launches one psnode role as a real OS process.
+func startNode(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(psnode(t), args...)
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("psnode %v logs:\n%s", args, logs.String())
+		}
+	})
+	return cmd
+}
+
+// waitNode waits for a -once node to exit on its own.
+func waitNode(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("psnode exited with %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("psnode did not exit within 60s")
+	}
+}
+
+// dumpMatches renders a match set in the -out file format (sorted,
+// deduplicated) so in-memory and on-disk sets compare byte for byte.
+func dumpMatches(ms []ps2stream.Match) string {
+	type key struct{ q, o, s uint64 }
+	seen := make(map[key]struct{}, len(ms))
+	for _, m := range ms {
+		seen[key{m.SubscriptionID, m.MessageID, m.Subscriber}] = struct{}{}
+	}
+	keys := make([]key, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].q != keys[j].q {
+			return keys[i].q < keys[j].q
+		}
+		return keys[i].o < keys[j].o
+	})
+	var sb bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%d %d %d\n", k.q, k.o, k.s)
+	}
+	return sb.String()
+}
+
+// runSeededWorkload drives a deterministic pub/sub workload through a
+// System and returns the delivered match set in canonical form.
+func runSeededWorkload(t *testing.T, remote []string) string {
+	t.Helper()
+	var mu sync.Mutex
+	var ms []ps2stream.Match
+	sys, err := ps2stream.Open(ps2stream.Options{
+		Region:        ps2stream.NewRegion(-125, 24, -66, 49),
+		Workers:       2,
+		Dispatchers:   1,
+		RemoteWorkers: remote,
+		OnMatch: func(m ps2stream.Match) {
+			mu.Lock()
+			ms = append(ms, m)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := sys.Subscribe(ps2stream.Subscription{
+			ID:         uint64(i + 1),
+			Query:      fmt.Sprintf("term%d OR term%d", i%9, (i+4)%9),
+			Region:     ps2stream.RegionAround(28+float64(i%17), -118+float64(i*7%46), 400, 400),
+			Subscriber: uint64(i % 5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 800; i++ {
+		sys.Publish(ps2stream.Message{
+			ID:   uint64(10000 + i),
+			Text: fmt.Sprintf("term%d term%d filler", i%9, (i+2)%9),
+			Lat:  28 + float64(i%17),
+			Lon:  -118 + float64(i*5%46),
+		})
+	}
+	sys.Flush()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return dumpMatches(ms)
+}
+
+// TestTwoProcessLoopbackMatchesOracle is the acceptance check for the
+// wire deployment: a psnode worker OS process plus this embedding
+// process must produce the byte-identical match set of the equivalent
+// in-process run on the same seeded workload.
+func TestTwoProcessLoopbackMatchesOracle(t *testing.T) {
+	addr := freePort(t)
+	startNode(t, "-role", "worker", "-listen", addr)
+	got := runSeededWorkload(t, []string{addr})
+	want := runSeededWorkload(t, nil)
+	if want == "" {
+		t.Fatal("vacuous: oracle run delivered no matches")
+	}
+	if got != want {
+		t.Errorf("two-process match set differs from the in-process oracle:\nremote: %d bytes\noracle: %d bytes",
+			len(got), len(want))
+	}
+}
+
+// TestPsnodeCluster launches a full 1-dispatcher / 2-worker / 1-merger
+// cluster — four OS processes — publishes a seeded workload, and gates
+// on match-set equality against the psnode oracle mode. CI runs this as
+// the loopback-cluster job.
+func TestPsnodeCluster(t *testing.T) {
+	w1, w2, mg := freePort(t), freePort(t), freePort(t)
+	clusterOut := filepath.Join(t.TempDir(), "cluster.matches")
+	oracleOut := filepath.Join(t.TempDir(), "oracle.matches")
+
+	workers := []*exec.Cmd{
+		startNode(t, "-role", "worker", "-listen", w1, "-once"),
+		startNode(t, "-role", "worker", "-listen", w2, "-once"),
+	}
+	merger := startNode(t, "-role", "merger", "-listen", mg, "-once", "-out", clusterOut)
+	dispatcher := startNode(t, "-role", "dispatcher",
+		"-workers", w1+","+w2, "-mergers", mg,
+		"-mu", "500", "-ops", "4000", "-seed", "2017")
+	waitNode(t, dispatcher)
+	for _, w := range workers {
+		waitNode(t, w)
+	}
+	waitNode(t, merger)
+
+	oracle := startNode(t, "-role", "dispatcher", "-oracle",
+		"-mu", "500", "-ops", "4000", "-seed", "2017", "-out", oracleOut)
+	waitNode(t, oracle)
+
+	got, err := os.ReadFile(clusterOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(oracleOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle run delivered no matches")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster match set (%d bytes) differs from oracle (%d bytes)", len(got), len(want))
+	}
+}

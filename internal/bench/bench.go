@@ -163,6 +163,7 @@ func Experiments() map[string]Runner {
 		"topk":    TopKThroughput,
 		"batch":   BatchThroughput,
 		"adjust":  AdjustRecovery,
+		"wire":    WireThroughput,
 	}
 }
 

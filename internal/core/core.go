@@ -40,6 +40,11 @@ type IndexFactory func(bounds geo.Rect, granularity int, stats *textutil.Stats) 
 // publish path (Config.BatchSize).
 const DefaultBatchSize = 64
 
+// defaultWorkers is the worker-task default of Config.fillDefaults,
+// shared with ConnectRemoteWorkers (which must size against the default
+// before New applies it).
+const defaultWorkers = 8
+
 // Config describes a PS2Stream deployment. The zero value is completed by
 // New with the paper's defaults (4 dispatchers, 8 workers, 2 mergers,
 // 2^6 × 2^6 grid granularity, hybrid partitioning).
@@ -100,6 +105,18 @@ type Config struct {
 	// that tuple duplication carries the same economics as on the
 	// paper's Storm deployment (see DESIGN.md substitutions).
 	PerTupleWork time.Duration
+	// RemoteWorkers places worker tasks out-of-process: task index →
+	// transport to the psnode running it (ConnectRemoteWorkers dials
+	// and fills this). Tasks not listed run in-process as usual.
+	// Remote placement is static: dynamic load adjustment, global
+	// repartition and sliding-window top-k subscriptions require
+	// in-process workers (docs/WIRE.md).
+	RemoteWorkers map[int]stream.Transport
+	// RemoteMergers places merger tasks out-of-process. Matches routed
+	// to a remote merger are deduplicated and delivered on its node;
+	// the local OnMatch hook and Snapshot counters do not see them
+	// (RemoteDelivered fetches the remote counts).
+	RemoteMergers map[int]stream.Transport
 }
 
 // AdjustConfig tunes the adaptive load adjustment controller: a
@@ -151,7 +168,7 @@ func (c *Config) fillDefaults() {
 		c.Dispatchers = 4
 	}
 	if c.Workers <= 0 {
-		c.Workers = 8
+		c.Workers = defaultWorkers
 	}
 	if c.Mergers <= 0 {
 		c.Mergers = 2
@@ -306,9 +323,13 @@ type System struct {
 	discarded  metrics.Counter
 	matches    metrics.Counter
 	duplicates metrics.Counter
-	latency    atomic.Pointer[metrics.Histogram]
-	matchLat   atomic.Pointer[metrics.Histogram]
-	tput       *metrics.Throughput
+	// matchesEmitted counts match envelopes emitted by the local worker
+	// bolts; together with the remote workers' drain-acked counts it is
+	// the Drain barrier's target for merger-side delivery.
+	matchesEmitted metrics.Counter
+	latency        atomic.Pointer[metrics.Histogram]
+	matchLat       atomic.Pointer[metrics.Histogram]
+	tput           *metrics.Throughput
 
 	// Load accounting (dispatcher side, Definition 1 window).
 	winObjects []atomic.Int64
@@ -435,6 +456,19 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 	if cfg.Adjust.Enabled && s.gridT.Load() == nil {
 		return nil, ErrAdjustNeedsHybrid
 	}
+	for task := range cfg.RemoteWorkers {
+		if task < 0 || task >= cfg.Workers {
+			return nil, fmt.Errorf("%w: worker %d of %d", ErrRemoteTask, task, cfg.Workers)
+		}
+	}
+	for task := range cfg.RemoteMergers {
+		if task < 0 || task >= cfg.Mergers {
+			return nil, fmt.Errorf("%w: merger %d of %d", ErrRemoteTask, task, cfg.Mergers)
+		}
+	}
+	if cfg.Adjust.Enabled && len(cfg.RemoteWorkers) > 0 {
+		return nil, ErrRemoteNeedsStatic
+	}
 	s.board = newTopKBoard(cfg.OnTopK)
 	s.workers = make([]*workerState, cfg.Workers)
 	for i := range s.workers {
@@ -491,9 +525,11 @@ type workCounts struct {
 }
 
 // canAdjust reports whether the migration machinery is available (hybrid
-// routing + GI2 worker indexes — the units cells migrate in).
+// routing + GI2 worker indexes — the units cells migrate in — and every
+// worker in-process: migrations move cells between local indexes).
 func (s *System) canAdjust() bool {
-	return s.gridT.Load() != nil && len(s.workers) > 0 && s.workers[0].gi != nil
+	return s.gridT.Load() != nil && len(s.workers) > 0 && s.workers[0].gi != nil &&
+		len(s.cfg.RemoteWorkers) == 0
 }
 
 // assignBox gives atomic.Value a single concrete type to hold, since the
@@ -514,6 +550,16 @@ func (s *System) Start(ctx context.Context) error {
 	runCtx, cancel := context.WithCancel(ctx)
 	s.cancel = cancel
 	s.topo = s.buildTopology(runCtx)
+	if len(s.cfg.RemoteWorkers) > 0 || len(s.cfg.RemoteMergers) > 0 {
+		// Remote transports block in socket reads the run context cannot
+		// reach; force-close them on cancellation (a normal Close cancels
+		// only after the topology has drained and the hops have already
+		// ended via Goodbye/EOF, where this is a no-op).
+		go func() {
+			<-runCtx.Done()
+			s.closeRemoteTransports()
+		}()
+	}
 	adjustCtx, adjustCancel := context.WithCancel(runCtx)
 	if s.cfg.Adjust.Enabled {
 		go s.adjustLoop(adjustCtx)

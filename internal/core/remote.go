@@ -1,0 +1,426 @@
+// Remote task placement: the coordinator side of a multi-process
+// deployment. A worker or merger task can run out-of-process (a psnode,
+// internal/node); the hop to it is a stream.Transport backed by
+// internal/wire, and the bolts below forward the task's traffic across
+// it. In-process channels stay the default fast path — only the tasks
+// listed in Config.RemoteWorkers/RemoteMergers leave the process.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ps2stream/internal/index/grid"
+	"ps2stream/internal/model"
+	"ps2stream/internal/partition"
+	"ps2stream/internal/stream"
+	"ps2stream/internal/wire"
+)
+
+// remoteWorkerDrainer is the optional Transport extension the Drain
+// barrier uses: the returned emitted count is the remote worker's
+// cumulative matches, valid for every op batch sent before the call.
+type remoteWorkerDrainer interface {
+	DrainWorker() (done, emitted int64, err error)
+}
+
+// remoteMergerCounter is the optional Transport extension the Drain
+// barrier uses for remote mergers: cumulative delivered/duplicate
+// counts covering every match batch sent before the call.
+type remoteMergerCounter interface {
+	Counts() (delivered, duplicates int64, err error)
+}
+
+// ErrRemoteNeedsStatic is returned when dynamic load adjustment is
+// combined with remote workers: migrations move gridt cells between
+// local worker indexes, which a remote worker does not have.
+var ErrRemoteNeedsStatic = errors.New("core: dynamic load adjustment requires in-process workers")
+
+// ErrRemoteTask is returned for RemoteWorkers/RemoteMergers keys
+// outside the topology's task range.
+var ErrRemoteTask = errors.New("core: remote task index out of range")
+
+// wireWorkerTransport adapts a wire.WorkerClient to stream.Transport:
+// Send carries opEnvelope tuples out as one OpBatch frame per transfer
+// batch; Recv yields the worker's matches as matchEnvelope tuples.
+type wireWorkerTransport struct {
+	c *wire.WorkerClient
+}
+
+func (t *wireWorkerTransport) Send(batch []stream.Tuple) error {
+	ops := make([]wire.OpEnv, len(batch))
+	for i := range batch {
+		env := batch[i].Value.(opEnvelope)
+		ops[i] = wire.OpEnv{Op: env.op, T0: env.t0}
+	}
+	return t.c.SendOps(wire.OpBatch{Ops: ops})
+}
+
+func (t *wireWorkerTransport) Recv() ([]stream.Tuple, error) {
+	mb, err := t.c.RecvMatches()
+	if err != nil {
+		return nil, err
+	}
+	ts := make([]stream.Tuple, len(mb.Matches))
+	for i := range mb.Matches {
+		ts[i] = stream.Tuple{Value: matchEnvelope{m: mb.Matches[i].M, t0: mb.Matches[i].T0}}
+	}
+	return ts, nil
+}
+
+func (t *wireWorkerTransport) CloseSend() error { return t.c.CloseSend() }
+func (t *wireWorkerTransport) Close() error     { return t.c.Close() }
+
+func (t *wireWorkerTransport) DrainWorker() (done, emitted int64, err error) {
+	ack, err := t.c.Drain()
+	if err != nil {
+		return 0, 0, err
+	}
+	return ack.Done, ack.Emitted, nil
+}
+
+// wireMergerTransport adapts a wire.MergerClient to stream.Transport
+// (forward direction only: mergers send nothing back but counters).
+type wireMergerTransport struct {
+	c *wire.MergerClient
+}
+
+func (t *wireMergerTransport) Send(batch []stream.Tuple) error {
+	ms := make([]wire.MatchEnv, len(batch))
+	for i := range batch {
+		env := batch[i].Value.(matchEnvelope)
+		ms[i] = wire.MatchEnv{M: env.m, T0: env.t0}
+	}
+	return t.c.SendMatches(wire.MatchBatch{Matches: ms})
+}
+
+func (t *wireMergerTransport) Recv() ([]stream.Tuple, error) { return nil, io.EOF }
+func (t *wireMergerTransport) CloseSend() error              { return t.c.CloseSend() }
+func (t *wireMergerTransport) Close() error                  { return t.c.Close() }
+
+func (t *wireMergerTransport) Counts() (delivered, duplicates int64, err error) {
+	return t.c.Counts()
+}
+
+// RemoteHello assembles the coordinator handshake for task `task`: the
+// grid geometry and sampled term statistics every process must share
+// for gridt/GI2 cell ids — and the registration-keyword choice — to
+// agree across the wire.
+func (c *Config) RemoteHello(task int, sample *partition.Sample) wire.Hello {
+	granularity := c.Granularity
+	if granularity <= 0 {
+		granularity = grid.DefaultGranularity
+	}
+	batch := c.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = defaultWorkers
+	}
+	var terms map[string]int
+	if sample != nil && sample.Stats != nil {
+		terms = sample.Stats.Vector()
+	}
+	return wire.Hello{
+		Role:        wire.RoleCoordinator,
+		Task:        task,
+		Workers:     workers,
+		Bounds:      sample.Bounds,
+		Granularity: granularity,
+		BatchSize:   batch,
+		Terms:       terms,
+	}
+}
+
+// ConnectRemoteWorkers dials one worker node per address (with
+// reconnect-with-backoff, so peers may still be starting) and installs
+// the transports as worker tasks 0..len(addrs)-1. Defaults are applied
+// first (an unset Workers still means the usual 8), then Workers is
+// raised if the addresses outnumber it; tasks beyond the remote ones
+// run in-process. On error, every transport dialed so far is closed.
+func (c *Config) ConnectRemoteWorkers(addrs []string, sample *partition.Sample, b wire.Backoff) error {
+	if len(addrs) == 0 {
+		return nil
+	}
+	// Pin the worker default before sizing against it, so listing one
+	// remote address does not silently shrink an unset Workers from the
+	// default 8 down to 1. Only Workers is touched: the other defaults
+	// stay New's business (an unset Mergers, in particular, must remain
+	// unset so ConnectRemoteMergers can mean "all mergers remote").
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers
+	}
+	if c.Workers < len(addrs) {
+		c.Workers = len(addrs)
+	}
+	if c.RemoteWorkers == nil {
+		c.RemoteWorkers = make(map[int]stream.Transport, len(addrs))
+	}
+	for i, addr := range addrs {
+		cl, err := wire.DialWorker(addr, c.RemoteHello(i, sample), b)
+		if err != nil {
+			for _, tr := range c.RemoteWorkers {
+				tr.Close()
+			}
+			return fmt.Errorf("core: connecting worker %d at %s: %w", i, addr, err)
+		}
+		c.RemoteWorkers[i] = &wireWorkerTransport{c: cl}
+	}
+	return nil
+}
+
+// ConnectRemoteMergers dials one merger node per address and installs
+// the transports as merger tasks 0..len(addrs)-1. An unset Mergers
+// becomes len(addrs) — every merger task remote, so the whole match
+// stream is delivered on the merger nodes; set Mergers explicitly for
+// mixed placement (the surplus tasks' hash shares then deliver locally
+// through OnMatch, while remote shares do not).
+func (c *Config) ConnectRemoteMergers(addrs []string, sample *partition.Sample, b wire.Backoff) error {
+	if len(addrs) == 0 {
+		return nil
+	}
+	if c.Mergers < len(addrs) {
+		c.Mergers = len(addrs)
+	}
+	if c.RemoteMergers == nil {
+		c.RemoteMergers = make(map[int]stream.Transport, len(addrs))
+	}
+	for i, addr := range addrs {
+		cl, err := wire.DialMerger(addr, c.RemoteHello(i, sample), b)
+		if err != nil {
+			for _, tr := range c.RemoteMergers {
+				tr.Close()
+			}
+			return fmt.Errorf("core: connecting merger %d at %s: %w", i, addr, err)
+		}
+		c.RemoteMergers[i] = &wireMergerTransport{c: cl}
+	}
+	return nil
+}
+
+// remoteWorkerTasks returns the remote worker task ids in ascending
+// order (stable spout-task mapping and drain iteration).
+func (s *System) remoteWorkerTasks() []int {
+	tasks := make([]int, 0, len(s.cfg.RemoteWorkers))
+	for t := range s.cfg.RemoteWorkers {
+		tasks = append(tasks, t)
+	}
+	sort.Ints(tasks)
+	return tasks
+}
+
+// HasRemoteWorkers reports whether any worker task runs out-of-process.
+func (s *System) HasRemoteWorkers() bool { return len(s.cfg.RemoteWorkers) > 0 }
+
+// closeRemoteTransports force-closes every remote hop (idempotent);
+// used to unblock transport reads when the run is cancelled.
+func (s *System) closeRemoteTransports() {
+	for _, tr := range s.cfg.RemoteWorkers {
+		tr.Close()
+	}
+	for _, tr := range s.cfg.RemoteMergers {
+		tr.Close()
+	}
+}
+
+// remoteWorkerBolt stands in for an out-of-process worker task: it
+// forwards each received op batch across the transport (one frame per
+// batch) and accounts the hand-off. The worker's matches re-enter the
+// topology through remoteMatchSpout.
+type remoteWorkerBolt struct {
+	s    *System
+	task int
+	tr   stream.Transport
+}
+
+// ProcessBatch implements stream.BatchBolt.
+func (r *remoteWorkerBolt) ProcessBatch(ts []stream.Tuple, _ stream.Collector) {
+	// The controller's worker-fed load tallies follow hand-off (the
+	// remote peer's own processing is not observable per-interval).
+	var nObj, nIns, nDel int64
+	for i := range ts {
+		switch ts[i].Value.(opEnvelope).op.Kind {
+		case model.OpObject:
+			nObj++
+		case model.OpInsert:
+			nIns++
+		case model.OpDelete:
+			nDel++
+		}
+	}
+	if nObj > 0 {
+		r.s.workObjects[r.task].Add(nObj)
+	}
+	if nIns > 0 {
+		r.s.workInserts[r.task].Add(nIns)
+	}
+	if nDel > 0 {
+		r.s.workDeletes[r.task].Add(nDel)
+	}
+	if err := r.tr.Send(ts); err != nil {
+		panic(fmt.Sprintf("remote worker %d: %v", r.task, err))
+	}
+	r.s.doneOps[r.task].Add(int64(len(ts)))
+	// Tuple latency for a remote task is measured at wire hand-off; the
+	// end-to-end figure remains the mergers' match latency.
+	end := r.s.now()
+	h := r.s.latency.Load()
+	for i := range ts {
+		h.Observe(end.Sub(ts[i].Value.(opEnvelope).t0))
+	}
+}
+
+// Process implements stream.Bolt (single-tuple fallback).
+func (r *remoteWorkerBolt) Process(tu stream.Tuple, c stream.Collector) {
+	r.ProcessBatch([]stream.Tuple{tu}, c)
+}
+
+// Close implements the engine's io.Closer hook: when the dispatchers
+// finish, half-close the hop so the worker node flushes its remaining
+// matches and ends the return stream.
+func (r *remoteWorkerBolt) Close() error {
+	if cs, ok := r.tr.(stream.SendCloser); ok {
+		return cs.CloseSend()
+	}
+	return r.tr.Close()
+}
+
+// remoteMatchSpout re-injects a remote worker's match stream into the
+// topology, where it joins the local workers' matches on the way to the
+// mergers.
+type remoteMatchSpout struct {
+	task int
+	tr   stream.Transport
+	ctx  context.Context // the run context, for telling failure from teardown
+}
+
+// Next implements stream.Spout.
+func (r *remoteMatchSpout) Next(c stream.Collector) bool {
+	ts, err := r.tr.Recv()
+	if err != nil {
+		if err != io.EOF && r.ctx.Err() == nil {
+			// The return stream broke mid-run: matches may be lost, so
+			// the run must fail loudly (the engine aggregates the panic
+			// into Run's error, which Close reports) rather than end as
+			// if the worker said Goodbye.
+			panic(fmt.Sprintf("remote worker %d match stream: %v", r.task, err))
+		}
+		return false // io.EOF after the worker's Goodbye, or teardown
+	}
+	for i := range ts {
+		c.Emit(streamMatches, ts[i])
+	}
+	// Flush per received frame: the wire already batches, and holding
+	// matches back here would add latency the batch bound cannot cap
+	// (this spout may then block in Recv indefinitely).
+	c.Flush()
+	return true
+}
+
+// remoteMergerBolt stands in for an out-of-process merger task: it
+// forwards its hash share of the match stream across the transport.
+// Deduplication, delivery and the delivered counters happen on the
+// remote node (see Drain and RemoteDelivered).
+type remoteMergerBolt struct {
+	task int
+	tr   stream.Transport
+}
+
+// ProcessBatch implements stream.BatchBolt.
+func (r *remoteMergerBolt) ProcessBatch(ts []stream.Tuple, _ stream.Collector) {
+	if err := r.tr.Send(ts); err != nil {
+		panic(fmt.Sprintf("remote merger %d: %v", r.task, err))
+	}
+}
+
+// Process implements stream.Bolt (single-tuple fallback).
+func (r *remoteMergerBolt) Process(tu stream.Tuple, c stream.Collector) {
+	r.ProcessBatch([]stream.Tuple{tu}, c)
+}
+
+// Close implements the engine's io.Closer hook.
+func (r *remoteMergerBolt) Close() error {
+	if cs, ok := r.tr.(stream.SendCloser); ok {
+		return cs.CloseSend()
+	}
+	return r.tr.Close()
+}
+
+// RemoteDelivered sums the delivered/duplicate counters of every remote
+// merger (one control round trip each). Zeroes with no remote mergers.
+func (s *System) RemoteDelivered() (delivered, duplicates int64, err error) {
+	for task, tr := range s.cfg.RemoteMergers {
+		rc, ok := tr.(remoteMergerCounter)
+		if !ok {
+			continue
+		}
+		d, dup, cerr := rc.Counts()
+		if cerr != nil {
+			return delivered, duplicates, fmt.Errorf("core: remote merger %d counts: %w", task, cerr)
+		}
+		delivered += d
+		duplicates += dup
+	}
+	return delivered, duplicates, nil
+}
+
+// drainRemoteWorkers runs the wire drain barrier on every remote worker
+// and returns their summed cumulative emitted-match count.
+func (s *System) drainRemoteWorkers() (int64, error) {
+	var emitted int64
+	for _, task := range s.remoteWorkerTasks() {
+		d, ok := s.cfg.RemoteWorkers[task].(remoteWorkerDrainer)
+		if !ok {
+			continue
+		}
+		_, e, err := d.DrainWorker()
+		if err != nil {
+			return emitted, fmt.Errorf("core: draining remote worker %d: %w", task, err)
+		}
+		emitted += e
+	}
+	return emitted, nil
+}
+
+// Drain blocks until the first `submitted` operations are fully applied
+// end to end: routed by the dispatchers, drained through every worker —
+// local queues empty, remote workers wire-acknowledged — and every
+// match they produced delivered by the mergers (local and remote). It
+// is the exact barrier behind the public Flush, replacing the former
+// fixed-duration sleep; on a quiesced system the error is nil unless a
+// remote hop failed.
+func (s *System) Drain(submitted int64) error {
+	s.Quiesce(submitted)
+	remoteEmitted, err := s.drainRemoteWorkers()
+	if err != nil {
+		return err
+	}
+	// After the barriers above, the emitted count for those operations
+	// is final; wait for the mergers to account every one of them. The
+	// in-flight tail is bounded (already-emitted batches en route), so
+	// this converges without a grace sleep.
+	expected := s.matchesEmitted.Value() + remoteEmitted
+	for {
+		delivered := s.matches.Value() + s.duplicates.Value()
+		if len(s.cfg.RemoteMergers) > 0 {
+			d, dup, err := s.RemoteDelivered()
+			if err != nil {
+				return err
+			}
+			delivered += d + dup
+		}
+		if delivered >= expected {
+			return nil
+		}
+		if s.closed.Load() {
+			return errors.New("core: system closed while draining")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"ps2stream/internal/dedup"
 	"ps2stream/internal/model"
 	"ps2stream/internal/stream"
 	"ps2stream/internal/window"
@@ -83,13 +84,32 @@ func (s *System) buildTopology(ctx context.Context) *stream.Topology {
 		return env.op.Query.ID * 0x9E3779B97F4A7C15
 	})
 
-	// Workers: maintain GI2, match objects.
+	// Workers: maintain GI2, match objects. A task listed in
+	// Config.RemoteWorkers runs out-of-process: its bolt forwards op
+	// batches across the transport and its matches re-enter through the
+	// companion spout below.
 	t.AddBolt("worker", func(task int) stream.Bolt {
+		if tr := s.cfg.RemoteWorkers[task]; tr != nil {
+			return &remoteWorkerBolt{s: s, task: task, tr: tr}
+		}
 		return workerBolt{s: s, task: task}
 	}, s.cfg.Workers, streamMatches).Direct(streamToWork)
 
-	// Mergers: deduplicate and deliver.
+	// Remote workers' return streams: one spout task per remote worker,
+	// feeding the wire's match batches into the merger stream.
+	if remote := s.remoteWorkerTasks(); len(remote) > 0 {
+		t.AddSpout("wmatches", func(task int) stream.Spout {
+			return &remoteMatchSpout{task: remote[task], tr: s.cfg.RemoteWorkers[remote[task]], ctx: ctx}
+		}, len(remote), streamMatches)
+	}
+
+	// Mergers: deduplicate and deliver. A task listed in
+	// Config.RemoteMergers forwards its hash share across the wire
+	// instead; the remote node dedups and delivers.
 	t.AddBolt("merger", func(task int) stream.Bolt {
+		if tr := s.cfg.RemoteMergers[task]; tr != nil {
+			return &remoteMergerBolt{task: task, tr: tr}
+		}
 		return newMerger(s)
 	}, s.cfg.Mergers).Fields(streamMatches, func(tu stream.Tuple) uint64 {
 		me := tu.Value.(matchEnvelope)
@@ -231,6 +251,7 @@ func (s *System) workBatch(task int, ts []stream.Tuple, c stream.Collector) {
 		s.workDeletes[task].Add(nDel)
 	}
 	ws := s.workers[task]
+	var emitted int64 // match envelopes emitted for this batch
 	ws.mu.Lock()
 	deltas := ws.deltaScratch[:0]
 	now := s.now() // one clock read per batch, shared by all offers in it
@@ -266,6 +287,7 @@ func (s *System) workBatch(task int, ts []stream.Tuple, c stream.Collector) {
 					},
 					t0: env.t0,
 				}
+				emitted++
 				c.Emit(streamMatches, stream.Tuple{Value: me})
 			})
 			if ws.win.SubCount() > 0 {
@@ -276,6 +298,11 @@ func (s *System) workBatch(task int, ts []stream.Tuple, c stream.Collector) {
 	s.board.Apply(deltas)
 	ws.deltaScratch = deltas[:0]
 	ws.mu.Unlock()
+	if emitted > 0 {
+		// Counted before doneOps so the Drain barrier's emitted total is
+		// final once the worker queues read as drained.
+		s.matchesEmitted.Add(emitted)
+	}
 	s.doneOps[task].Add(int64(len(ts)))
 	end := s.now()
 	h := s.latency.Load()
@@ -296,18 +323,12 @@ func spin(d time.Duration) {
 // them, a batch at a time. One instance per merger task; no locking needed
 // for its own state.
 type merger struct {
-	s     *System
-	seen  map[[2]uint64]struct{}
-	order [][2]uint64
-	next  int
+	s   *System
+	win *dedup.Window
 }
 
 func newMerger(s *System) *merger {
-	return &merger{
-		s:     s,
-		seen:  make(map[[2]uint64]struct{}, s.cfg.DedupWindow),
-		order: make([][2]uint64, 0, s.cfg.DedupWindow),
-	}
+	return &merger{s: s, win: dedup.NewWindow(s.cfg.DedupWindow)}
 }
 
 // ProcessBatch implements stream.BatchBolt: the whole batch is deduped
@@ -320,28 +341,24 @@ func (m *merger) ProcessBatch(ts []stream.Tuple, _ stream.Collector) {
 }
 
 // Process implements stream.Bolt (single-tuple fallback; the engine
-// prefers ProcessBatch).
-func (m *merger) Process(tu stream.Tuple, _ stream.Collector) {
-	m.processOne(tu.Value.(matchEnvelope), m.s.now())
+// prefers ProcessBatch). It shares ProcessBatch's code path so the
+// clock is read at the same point regardless of which path the engine
+// picks — a fallback that re-read the clock per tuple would skew the
+// latency histogram against batched runs.
+func (m *merger) Process(tu stream.Tuple, c stream.Collector) {
+	m.ProcessBatch([]stream.Tuple{tu}, c)
 }
 
 func (m *merger) processOne(me matchEnvelope, now time.Time) {
-	key := [2]uint64{me.m.QueryID, me.m.ObjectID}
-	if _, dup := m.seen[key]; dup {
+	if !m.win.Observe([2]uint64{me.m.QueryID, me.m.ObjectID}) {
 		m.s.duplicates.Inc()
 		return
 	}
-	if len(m.order) < cap(m.order) {
-		m.order = append(m.order, key)
-	} else {
-		delete(m.seen, m.order[m.next])
-		m.order[m.next] = key
-		m.next = (m.next + 1) % len(m.order)
-	}
-	m.seen[key] = struct{}{}
-	m.s.matches.Inc()
 	m.s.matchLat.Load().Observe(now.Sub(me.t0))
 	if m.s.cfg.OnMatch != nil {
+		// Deliver before counting: the Drain barrier reads the counter,
+		// so a Flush returning guarantees the callback has completed.
 		m.s.cfg.OnMatch(me.m)
 	}
+	m.s.matches.Inc()
 }

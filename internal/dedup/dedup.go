@@ -1,0 +1,45 @@
+// Package dedup provides the bounded duplicate-elimination window the
+// merger role uses (§III-B: a query held by several workers produces
+// the same match more than once). One implementation serves both the
+// in-process merger bolts (internal/core) and the networked merger
+// nodes (internal/node), so the eviction semantics cannot drift apart.
+package dedup
+
+// Window remembers the most recent `cap` keys in FIFO order: a key is
+// new the first time it is observed and a duplicate while it remains
+// within the window. Not safe for concurrent use; each merger task owns
+// its own window.
+type Window struct {
+	seen  map[[2]uint64]struct{}
+	order [][2]uint64
+	next  int
+}
+
+// NewWindow returns a window bounded to capacity keys (minimum 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{
+		seen:  make(map[[2]uint64]struct{}, capacity),
+		order: make([][2]uint64, 0, capacity),
+	}
+}
+
+// Observe records the key and reports whether it is new (true) or a
+// duplicate already inside the window (false). Once the window is
+// full, each new key evicts the oldest remembered one.
+func (w *Window) Observe(key [2]uint64) bool {
+	if _, dup := w.seen[key]; dup {
+		return false
+	}
+	if len(w.order) < cap(w.order) {
+		w.order = append(w.order, key)
+	} else {
+		delete(w.seen, w.order[w.next])
+		w.order[w.next] = key
+		w.next = (w.next + 1) % len(w.order)
+	}
+	w.seen[key] = struct{}{}
+	return true
+}

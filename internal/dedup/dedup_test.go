@@ -1,0 +1,44 @@
+package dedup
+
+import "testing"
+
+func TestWindowDedups(t *testing.T) {
+	w := NewWindow(8)
+	if !w.Observe([2]uint64{1, 2}) {
+		t.Error("first sighting reported as duplicate")
+	}
+	if w.Observe([2]uint64{1, 2}) {
+		t.Error("repeat within window reported as new")
+	}
+	if !w.Observe([2]uint64{1, 3}) {
+		t.Error("distinct key reported as duplicate")
+	}
+}
+
+func TestWindowEvictsFIFO(t *testing.T) {
+	w := NewWindow(2)
+	w.Observe([2]uint64{1, 0})
+	w.Observe([2]uint64{2, 0})
+	// Key 3 evicts key 1 (the oldest).
+	w.Observe([2]uint64{3, 0})
+	if !w.Observe([2]uint64{1, 0}) {
+		t.Error("evicted key still reported as duplicate")
+	}
+	// Observing 1 again evicted 2.
+	if !w.Observe([2]uint64{2, 0}) {
+		t.Error("key 2 should have been evicted by now")
+	}
+	if w.Observe([2]uint64{1, 0}) {
+		t.Error("key 1 is inside the window and must read as duplicate")
+	}
+}
+
+func TestWindowMinimumCapacity(t *testing.T) {
+	w := NewWindow(0)
+	if !w.Observe([2]uint64{1, 1}) || w.Observe([2]uint64{1, 1}) {
+		t.Error("capacity-1 window misbehaved on the same key")
+	}
+	if !w.Observe([2]uint64{2, 2}) || !w.Observe([2]uint64{1, 1}) {
+		t.Error("capacity-1 window should remember only the latest key")
+	}
+}

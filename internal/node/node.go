@@ -1,0 +1,296 @@
+// Package node implements the peer side of a multi-process PS2Stream
+// deployment: the serve loops behind cmd/psnode. A worker node owns one
+// worker task's query index and matches the operation stream a remote
+// coordinator sends it; a merger node deduplicates and delivers the
+// match stream. Both speak the internal/wire protocol; the coordinator
+// side lives in internal/core (remote task placement) and the
+// stand-alone binary in cmd/psnode.
+//
+// The paper's deployment (§VI) runs these roles as Storm tasks on a
+// cluster; node is the repro's process-level equivalent. State lives in
+// the node across connections, so a coordinator reconnecting after a
+// network blip finds its standing queries intact.
+package node
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ps2stream/internal/gi2"
+	"ps2stream/internal/model"
+	"ps2stream/internal/textutil"
+	"ps2stream/internal/wire"
+)
+
+// Logf is the logging hook signature; nil loggers are silent.
+type Logf func(format string, args ...any)
+
+func (f Logf) printf(format string, args ...any) {
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// WorkerOptions configures ServeWorker.
+type WorkerOptions struct {
+	// Log receives serve-loop events; nil is silent.
+	Log Logf
+	// Once exits after the first coordinator session ends cleanly
+	// (Goodbye), instead of awaiting a reconnect. Deployment scripts and
+	// CI use it for run-to-completion clusters.
+	Once bool
+}
+
+// Worker is one worker task running out-of-process: a GI2 query index
+// plus the wire serve loop feeding it. Create with NewWorker, drive
+// with Serve.
+type Worker struct {
+	opts WorkerOptions
+
+	mu   sync.Mutex
+	ix   *gi2.Index
+	task int
+	// geometry of the index, pinned by the first handshake.
+	hello *wire.Hello
+
+	done    atomic.Int64 // ops processed
+	emitted atomic.Int64 // matches emitted
+	epoch   atomic.Uint64
+}
+
+// NewWorker returns an idle worker node.
+func NewWorker(opts WorkerOptions) *Worker {
+	return &Worker{opts: opts}
+}
+
+// Counts reports the worker's cumulative processed-op and emitted-match
+// counters (tests, diagnostics).
+func (w *Worker) Counts() (done, emitted int64) {
+	return w.done.Load(), w.emitted.Load()
+}
+
+// Epoch reports the last routing epoch announced by the coordinator
+// via a fence frame (0 until one arrives). Diagnostics only: a worker
+// node does not route, so the epoch tags logs and stats, nothing more.
+func (w *Worker) Epoch() uint64 { return w.epoch.Load() }
+
+// QueryCount reports live queries held, excluding lazily-tombstoned
+// deletions (tests, diagnostics).
+func (w *Worker) QueryCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ix == nil {
+		return 0
+	}
+	return w.ix.LiveQueryCount()
+}
+
+// Serve accepts coordinator connections on ln until ctx is cancelled
+// (or, with Once, until a session ends cleanly). Sessions are served one
+// at a time: a worker task has exactly one coordinator, and serialising
+// reconnects keeps the index single-writer without locking the hot path.
+func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		clean, err := w.serveConn(wire.NewConn(nc))
+		if err != nil {
+			w.opts.Log.printf("worker: session from %s: %v", nc.RemoteAddr(), err)
+		}
+		if w.opts.Once && clean {
+			return nil
+		}
+	}
+}
+
+// geometryEqual reports whether a reconnecting coordinator presents the
+// same grid geometry the index was built over.
+func geometryEqual(a, b *wire.Hello) bool {
+	return a.Bounds == b.Bounds && a.Granularity == b.Granularity && a.Task == b.Task
+}
+
+// serveConn runs one coordinator session; clean reports a Goodbye-
+// terminated session.
+func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
+	defer conn.Close()
+	hello, err := acceptHello(conn, wire.RoleWorker)
+	if err != nil {
+		return false, err
+	}
+	w.mu.Lock()
+	if w.ix == nil {
+		stats := textutil.NewStats()
+		for term, n := range hello.Terms {
+			stats.AddWeighted(term, n)
+		}
+		w.ix = gi2.New(hello.Bounds, hello.Granularity, stats)
+		w.task = hello.Task
+		w.hello = &hello
+		w.opts.Log.printf("worker: task %d over %v at granularity %d (%d sampled terms)",
+			hello.Task, hello.Bounds, hello.Granularity, len(hello.Terms))
+	} else if !geometryEqual(w.hello, &hello) {
+		w.mu.Unlock()
+		return false, fmt.Errorf("node: reconnect with different geometry (task %d %v/%d, had task %d %v/%d)",
+			hello.Task, hello.Bounds, hello.Granularity, w.task, w.hello.Bounds, w.hello.Granularity)
+	}
+	w.mu.Unlock()
+
+	// Match scratch reused across batches; capacity follows the largest
+	// batch seen.
+	var matches []wire.MatchEnv
+	for {
+		typ, payload, err := conn.Recv()
+		if err != nil {
+			return false, err
+		}
+		switch typ {
+		case wire.TypeOpBatch:
+			var ob wire.OpBatch
+			if err := wire.DecodePayload(payload, &ob); err != nil {
+				return false, err
+			}
+			matches = w.processBatch(ob, matches[:0])
+			if len(matches) > 0 {
+				if err := conn.Send(wire.TypeMatchBatch, wire.MatchBatch{Matches: matches}); err != nil {
+					return false, err
+				}
+			}
+		case wire.TypeDrain:
+			var d wire.Drain
+			if err := wire.DecodePayload(payload, &d); err != nil {
+				return false, err
+			}
+			// Frames are FIFO and this loop is single-threaded, so every
+			// batch received before the Drain has been fully processed
+			// and its matches written before this ack.
+			ack := wire.DrainAck{Seq: d.Seq, Done: w.done.Load(), Emitted: w.emitted.Load()}
+			if err := conn.Send(wire.TypeDrainAck, ack); err != nil {
+				return false, err
+			}
+		case wire.TypeStatsReq:
+			var sr wire.StatsReq
+			if err := wire.DecodePayload(payload, &sr); err != nil {
+				return false, err
+			}
+			reply := wire.StatsReply{Seq: sr.Seq, Delivered: w.emitted.Load(), Queries: int64(w.QueryCount())}
+			if err := conn.Send(wire.TypeStatsReply, reply); err != nil {
+				return false, err
+			}
+		case wire.TypeFence:
+			var f wire.Fence
+			if err := wire.DecodePayload(payload, &f); err != nil {
+				return false, err
+			}
+			w.epoch.Store(f.Epoch)
+		case wire.TypeGoodbye:
+			// Acknowledge so the coordinator's read loop ends cleanly,
+			// then end the session.
+			_ = conn.Send(wire.TypeGoodbye, wire.Goodbye{})
+			return true, nil
+		default:
+			w.opts.Log.printf("worker: skipping unknown frame type %d", typ)
+		}
+	}
+}
+
+// processBatch applies one operation batch to the index and appends the
+// resulting match envelopes to out. The index lock is taken once per
+// batch, mirroring the in-process worker bolt.
+func (w *Worker) processBatch(ob wire.OpBatch, out []wire.MatchEnv) []wire.MatchEnv {
+	w.mu.Lock()
+	for i := range ob.Ops {
+		env := &ob.Ops[i]
+		switch env.Op.Kind {
+		case model.OpInsert:
+			q := env.Op.Query
+			if q == nil {
+				continue
+			}
+			if q.IsTopK() {
+				// Sliding-window top-k state is reconciled on the
+				// coordinator's global board, which a remote worker
+				// cannot reach; the coordinator refuses to place top-k
+				// subscriptions on remote workers, so receiving one is a
+				// protocol misuse — refuse loudly rather than silently
+				// degrade to boolean delivery.
+				w.opts.Log.printf("worker: refusing top-k query %d (unsupported over the wire)", q.ID)
+				continue
+			}
+			w.ix.Insert(q)
+		case model.OpDelete:
+			if env.Op.Query != nil {
+				w.ix.Delete(env.Op.Query.ID)
+			}
+		case model.OpObject:
+			obj := env.Op.Obj
+			if obj == nil {
+				continue
+			}
+			w.ix.Match(obj, func(q *model.Query) {
+				out = append(out, wire.MatchEnv{
+					M: model.Match{
+						QueryID:    q.ID,
+						Subscriber: q.Subscriber,
+						ObjectID:   obj.ID,
+						Worker:     w.task,
+					},
+					T0: env.T0,
+				})
+			})
+		}
+	}
+	w.mu.Unlock()
+	w.done.Add(int64(len(ob.Ops)))
+	w.emitted.Add(int64(len(out)))
+	return out
+}
+
+// acceptHello performs the server half of the handshake, answering with
+// the given role.
+func acceptHello(conn *wire.Conn, role string) (wire.Hello, error) {
+	typ, payload, err := conn.RecvTimeout(wire.DefaultHandshakeTimeout)
+	if err != nil {
+		return wire.Hello{}, fmt.Errorf("node: awaiting hello: %w", err)
+	}
+	if typ != wire.TypeHello {
+		return wire.Hello{}, fmt.Errorf("node: first frame has type %d, want hello", typ)
+	}
+	var hello wire.Hello
+	if err := wire.DecodePayload(payload, &hello); err != nil {
+		return wire.Hello{}, err
+	}
+	if err := wire.CheckHandshake(hello.Magic, hello.Version); err != nil {
+		return wire.Hello{}, err
+	}
+	if hello.Role != wire.RoleCoordinator {
+		return wire.Hello{}, fmt.Errorf("node: peer role %q, want %q", hello.Role, wire.RoleCoordinator)
+	}
+	wel := wire.Welcome{Magic: wire.Magic, Version: wire.Version, Role: role, Task: hello.Task}
+	if err := conn.Send(wire.TypeWelcome, wel); err != nil {
+		return wire.Hello{}, err
+	}
+	return hello, nil
+}
+
+// ListenAndServeWorker is the one-call form used by cmd/psnode: listen
+// on addr and serve a worker until ctx ends.
+func ListenAndServeWorker(ctx context.Context, addr string, opts WorkerOptions) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	opts.Log.printf("worker: listening on %s", ln.Addr())
+	return NewWorker(opts).Serve(ctx, ln)
+}

@@ -1,0 +1,301 @@
+package node
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+	"ps2stream/internal/wire"
+)
+
+func testHello(task int) wire.Hello {
+	return wire.Hello{
+		Role:        wire.RoleCoordinator,
+		Task:        task,
+		Workers:     2,
+		Bounds:      geo.NewRect(-125, 24, -66, 49),
+		Granularity: 16,
+		BatchSize:   8,
+		Terms:       map[string]int{"coffee": 5, "pizza": 2, "rare": 1},
+	}
+}
+
+func startWorker(t *testing.T, opts WorkerOptions) (*Worker, string, context.CancelFunc) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := NewWorker(opts)
+	go w.Serve(ctx, ln)
+	t.Cleanup(cancel)
+	return w, ln.Addr().String(), cancel
+}
+
+func query(id uint64, expr string, r geo.Rect) *model.Query {
+	e, err := model.ParseExpr(expr)
+	if err != nil {
+		panic(err)
+	}
+	return &model.Query{ID: id, Expr: e, Region: r, Subscriber: id * 10}
+}
+
+func TestWorkerSessionMatchesAndDrain(t *testing.T) {
+	w, addr, _ := startWorker(t, WorkerOptions{})
+	cl, err := wire.DialWorker(addr, testHello(1), wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := geo.NewRect(-80, 30, -70, 40)
+	t0 := time.Unix(1700000000, 0)
+	err = cl.SendOps(wire.OpBatch{Ops: []wire.OpEnv{
+		{Op: model.Op{Kind: model.OpInsert, Query: query(1, "coffee", area)}, T0: t0},
+		{Op: model.Op{Kind: model.OpInsert, Query: query(2, "tea", area)}, T0: t0},
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{
+			ID: 100, Terms: []string{"coffee", "shop"}, Loc: geo.Point{X: -75, Y: 35}}}, T0: t0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := cl.RecvMatches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mb.Matches) != 1 {
+		t.Fatalf("got %d matches, want 1", len(mb.Matches))
+	}
+	m := mb.Matches[0]
+	if m.M.QueryID != 1 || m.M.ObjectID != 100 || m.M.Subscriber != 10 || m.M.Worker != 1 {
+		t.Errorf("match = %+v", m.M)
+	}
+	if !m.T0.Equal(t0) {
+		t.Errorf("T0 = %v, want %v", m.T0, t0)
+	}
+	// Drain barrier: the ack covers the batch sent above.
+	ack, err := cl.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Done != 3 || ack.Emitted != 1 {
+		t.Errorf("ack = %+v, want Done 3 Emitted 1", ack)
+	}
+	// Delete and re-publish: no match.
+	err = cl.SendOps(wire.OpBatch{Ops: []wire.OpEnv{
+		{Op: model.Op{Kind: model.OpDelete, Query: query(1, "coffee", area)}},
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{
+			ID: 101, Terms: []string{"coffee"}, Loc: geo.Point{X: -75, Y: 35}}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack, err = cl.Drain(); err != nil || ack.Emitted != 1 {
+		t.Fatalf("after delete: ack %+v, err %v", ack, err)
+	}
+	if got := w.QueryCount(); got != 1 {
+		t.Errorf("QueryCount = %d, want 1", got)
+	}
+	if err := cl.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RecvMatches(); err != io.EOF {
+		t.Errorf("after goodbye: %v, want io.EOF", err)
+	}
+	cl.Close()
+}
+
+func TestWorkerStatePersistsAcrossReconnect(t *testing.T) {
+	_, addr, _ := startWorker(t, WorkerOptions{})
+	area := geo.NewRect(-80, 30, -70, 40)
+
+	cl, err := wire.DialWorker(addr, testHello(0), wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SendOps(wire.OpBatch{Ops: []wire.OpEnv{
+		{Op: model.Op{Kind: model.OpInsert, Query: query(7, "pizza", area)}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	cl.CloseSend()
+	cl.Close()
+
+	// Second session: the standing query must still match.
+	cl2, err := wire.DialWorker(addr, testHello(0), wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if err := cl2.SendOps(wire.OpBatch{Ops: []wire.OpEnv{
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{
+			ID: 200, Terms: []string{"pizza"}, Loc: geo.Point{X: -75, Y: 35}}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := cl2.RecvMatches()
+	if err != nil || len(mb.Matches) != 1 || mb.Matches[0].M.QueryID != 7 {
+		t.Fatalf("reconnected session: matches %v, err %v", mb, err)
+	}
+	// End the session before the next dial: the worker serves its single
+	// coordinator serially.
+	cl2.CloseSend()
+	for err == nil {
+		_, err = cl2.RecvMatches()
+	}
+
+	// A reconnect with different geometry must be refused.
+	bad := testHello(0)
+	bad.Granularity = 32
+	cl3, err := wire.DialWorker(addr, bad, wire.Backoff{Attempts: 3})
+	if err == nil {
+		// The handshake succeeds (geometry is checked after); the session
+		// must then terminate without serving.
+		if _, err := cl3.RecvMatches(); err == nil {
+			t.Error("geometry-mismatched session served matches")
+		}
+		cl3.Close()
+	}
+}
+
+func TestWorkerRefusesTopK(t *testing.T) {
+	w, addr, _ := startWorker(t, WorkerOptions{})
+	cl, err := wire.DialWorker(addr, testHello(0), wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	q := query(9, "coffee", geo.NewRect(-80, 30, -70, 40))
+	q.TopK, q.Window = 3, time.Minute
+	if err := cl.SendOps(wire.OpBatch{Ops: []wire.OpEnv{
+		{Op: model.Op{Kind: model.OpInsert, Query: q}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.QueryCount(); got != 0 {
+		t.Errorf("top-k query registered remotely: QueryCount = %d", got)
+	}
+}
+
+// TestWorkerRecordsFenceEpoch: the informational fence frame must be
+// accepted mid-stream and recorded, not torn down as an unknown frame.
+func TestWorkerRecordsFenceEpoch(t *testing.T) {
+	w, addr, _ := startWorker(t, WorkerOptions{})
+	cl, err := wire.DialWorker(addr, testHello(0), wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendFence(7); err != nil {
+		t.Fatal(err)
+	}
+	// Drain is FIFO-ordered behind the fence, so after it the epoch is
+	// visible — and the session survived the control frame.
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Epoch(); got != 7 {
+		t.Errorf("Epoch = %d, want 7", got)
+	}
+}
+
+func TestMergerDedupAndCounts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var got []model.Match
+	m := NewMerger(MergerOptions{OnMatch: func(mm model.Match) {
+		mu.Lock()
+		got = append(got, mm)
+		mu.Unlock()
+	}})
+	go m.Serve(ctx, ln)
+
+	cl, err := wire.DialMerger(ln.Addr().String(), wire.Hello{Task: 0}, wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mk := func(q, o uint64) wire.MatchEnv {
+		return wire.MatchEnv{M: model.Match{QueryID: q, ObjectID: o, Subscriber: q}}
+	}
+	if err := cl.SendMatches(wire.MatchBatch{Matches: []wire.MatchEnv{
+		mk(1, 10), mk(1, 10), mk(2, 10), mk(1, 11),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	delivered, dups, err := cl.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 3 || dups != 1 {
+		t.Errorf("counts = %d delivered, %d dups; want 3, 1", delivered, dups)
+	}
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 3 {
+		t.Errorf("OnMatch fired %d times, want 3", n)
+	}
+	cl.CloseSend()
+}
+
+// TestMergerSessionCountsAreIndependent: two sessions to one node must
+// report their own shares, so a coordinator summing per-transport counts
+// never double-counts.
+func TestMergerSessionCountsAreIndependent(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := NewMerger(MergerOptions{})
+	go m.Serve(ctx, ln)
+
+	cl1, err := wire.DialMerger(ln.Addr().String(), wire.Hello{Task: 0}, wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl1.Close()
+	cl2, err := wire.DialMerger(ln.Addr().String(), wire.Hello{Task: 1}, wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	cl1.SendMatches(wire.MatchBatch{Matches: []wire.MatchEnv{
+		{M: model.Match{QueryID: 1, ObjectID: 1}}, {M: model.Match{QueryID: 1, ObjectID: 2}},
+	}})
+	cl2.SendMatches(wire.MatchBatch{Matches: []wire.MatchEnv{
+		{M: model.Match{QueryID: 2, ObjectID: 1}},
+	}})
+	d1, _, err := cl1.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := cl2.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != 2 || d2 != 1 {
+		t.Errorf("session counts = %d, %d; want 2, 1", d1, d2)
+	}
+	total, _ := m.Counts()
+	if total != 3 {
+		t.Errorf("node total = %d, want 3", total)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ps2stream/internal/geo"
 	"ps2stream/internal/model"
@@ -57,6 +58,36 @@ func TestRoundTrip(t *testing.T) {
 	for i := range got {
 		if !reflect.DeepEqual(*got[i], *qs[i]) {
 			t.Fatalf("query %d mismatch:\n got %+v\nwant %+v", i, got[i], qs[i])
+		}
+	}
+}
+
+// TestRoundTripPreservesTopKWindow: sliding-window top-k subscriptions
+// carry two extra fields; a snapshot that dropped them would silently
+// restore them as plain boolean subscriptions.
+func TestRoundTripPreservesTopKWindow(t *testing.T) {
+	qs := randQueries(3, 20)
+	for i, q := range qs {
+		if i%2 == 0 {
+			q.TopK = i + 1
+			q.Window = time.Duration(i+1) * time.Minute
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, bounds, qs); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].TopK != qs[i].TopK || got[i].Window != qs[i].Window {
+			t.Errorf("query %d: TopK/Window = %d/%v, want %d/%v",
+				got[i].ID, got[i].TopK, got[i].Window, qs[i].TopK, qs[i].Window)
+		}
+		if got[i].IsTopK() != qs[i].IsTopK() {
+			t.Errorf("query %d: IsTopK changed across the round trip", got[i].ID)
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -77,6 +78,13 @@ type BatchBolt interface {
 	Bolt
 	ProcessBatch(ts []Tuple, c Collector)
 }
+
+// A spout or bolt additionally implementing io.Closer has Close called
+// exactly once when its task ends — after the final collector flush,
+// before its producer slot is released downstream. Components holding
+// external resources (e.g. the send side of a remote Transport) use it
+// to end their output stream cleanly; the engine ignores the returned
+// error.
 
 // SpoutFunc adapts a function to the Spout interface.
 type SpoutFunc func(c Collector) bool
@@ -445,6 +453,7 @@ func (t *Topology) Run(ctx context.Context) error {
 				defer t.recoverPanic(sp.name, task)
 				col := &collector{t: t, outputs: toSet(sp.outputs), ctx: ctx}
 				s := sp.factory(task)
+				defer closeComponent(s)
 				for ctx.Err() == nil && s.Next(col) {
 				}
 				col.Flush()
@@ -461,6 +470,7 @@ func (t *Topology) Run(ctx context.Context) error {
 				defer t.recoverPanic(b.name, task)
 				col := &collector{t: t, decl: b, outputs: toSet(b.outputs), ctx: ctx}
 				bolt := b.factory(task)
+				defer closeComponent(bolt)
 				batcher, _ := bolt.(BatchBolt)
 				// sinceFlush forces a flush after forcedFlushFactor×
 				// batchSize inputs so partial output batches cannot be
@@ -520,6 +530,14 @@ func (t *Topology) producerDone(outputs []string) {
 				}
 			}
 		}
+	}
+}
+
+// closeComponent invokes the optional io.Closer hook of a finished
+// spout or bolt instance (see the Closer note above BatchBolt).
+func closeComponent(v any) {
+	if c, ok := v.(io.Closer); ok {
+		_ = c.Close()
 	}
 }
 

@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// Transport moves tuple batches across one hop of a topology. It is the
+// abstraction that lets a hop leave the process: in-process hops ride
+// Go channels (ChanTransport here, and the engine's own inlined channel
+// path), while multi-process deployments substitute a TCP-backed
+// implementation (internal/wire via the adapters in internal/core).
+//
+// A Transport is one *directed* hop with an optional return stream:
+// Send carries the forward direction (e.g. operation batches to a
+// worker), Recv the return direction (e.g. the worker's match batches).
+// Implementations must allow one sender goroutine, one receiver
+// goroutine, and Close from any goroutine. Send must not retain the
+// batch slice — the engine recycles it.
+type Transport interface {
+	// Send transfers one batch, blocking under backpressure.
+	Send(batch []Tuple) error
+	// Recv blocks for the next batch of the return stream, returning
+	// io.EOF after the peer ends it cleanly.
+	Recv() ([]Tuple, error)
+	// Close tears the hop down, unblocking pending Send/Recv calls.
+	Close() error
+}
+
+// SendCloser is an optional Transport extension: CloseSend ends the
+// forward direction only, letting the peer finish the return stream
+// (which then terminates with io.EOF from Recv). Transports without it
+// are torn down with Close.
+type SendCloser interface {
+	CloseSend() error
+}
+
+// ErrTransportClosed is returned by ChanTransport operations after the
+// corresponding direction was closed.
+var ErrTransportClosed = errors.New("stream: transport closed")
+
+// ChanTransport is the in-process Transport: both directions are
+// bounded Go channels. It is the reference implementation and fast
+// path; tests use a pair to stand in for a remote peer without sockets.
+type ChanTransport struct {
+	send chan<- []Tuple
+	recv <-chan []Tuple
+
+	mu       sync.Mutex
+	sendDone bool
+	closed   chan struct{}
+	once     sync.Once
+}
+
+// NewChanPair returns the two ends of an in-process hop with the given
+// per-direction buffering (in batches). Batches sent on one end arrive
+// at the other end's Recv.
+func NewChanPair(cap int) (a, b *ChanTransport) {
+	ab := make(chan []Tuple, cap)
+	ba := make(chan []Tuple, cap)
+	a = &ChanTransport{send: ab, recv: ba, closed: make(chan struct{})}
+	b = &ChanTransport{send: ba, recv: ab, closed: make(chan struct{})}
+	return a, b
+}
+
+// Send implements Transport. The batch is copied so the caller may
+// recycle its slice.
+func (t *ChanTransport) Send(batch []Tuple) error {
+	t.mu.Lock()
+	if t.sendDone {
+		t.mu.Unlock()
+		return ErrTransportClosed
+	}
+	t.mu.Unlock()
+	cp := append([]Tuple(nil), batch...)
+	select {
+	case t.send <- cp:
+		return nil
+	case <-t.closed:
+		return ErrTransportClosed
+	}
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv() ([]Tuple, error) {
+	select {
+	case b, ok := <-t.recv:
+		if !ok {
+			return nil, io.EOF
+		}
+		return b, nil
+	case <-t.closed:
+		return nil, ErrTransportClosed
+	}
+}
+
+// CloseSend implements SendCloser: the peer's Recv sees io.EOF after
+// every in-flight batch. It must be called from the sending goroutine
+// (or after sends have provably stopped), like Send itself.
+func (t *ChanTransport) CloseSend() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.sendDone {
+		t.sendDone = true
+		close(t.send)
+	}
+	return nil
+}
+
+// Close implements Transport: it unblocks this end's pending Send and
+// Recv calls. It does not half-close the forward direction (that is
+// CloseSend's job, from the sending goroutine); the peer keeps draining
+// whatever was already sent.
+func (t *ChanTransport) Close() error {
+	t.once.Do(func() { close(t.closed) })
+	return nil
+}

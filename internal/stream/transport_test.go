@@ -1,0 +1,143 @@
+package stream
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChanPairRoundTrip(t *testing.T) {
+	a, b := NewChanPair(4)
+	batch := []Tuple{{Value: 1}, {Value: 2}}
+	if err := a.Send(batch); err != nil {
+		t.Fatal(err)
+	}
+	// The transport must copy: mutating the caller's slice after Send
+	// cannot affect the delivered batch (the engine recycles batches).
+	batch[0] = Tuple{Value: 99}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Value != 1 || got[1].Value != 2 {
+		t.Fatalf("got %v", got)
+	}
+	// Return direction.
+	if err := b.Send([]Tuple{{Value: "reply"}}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := a.Recv()
+	if err != nil || len(back) != 1 || back[0].Value != "reply" {
+		t.Fatalf("reply = %v, %v", back, err)
+	}
+}
+
+func TestChanPairCloseSendGivesEOF(t *testing.T) {
+	a, b := NewChanPair(4)
+	a.Send([]Tuple{{Value: 1}})
+	if err := a.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatalf("in-flight batch lost: %v", err)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("after CloseSend: %v, want io.EOF", err)
+	}
+	if err := a.Send([]Tuple{{Value: 2}}); err != ErrTransportClosed {
+		t.Fatalf("Send after CloseSend: %v, want ErrTransportClosed", err)
+	}
+}
+
+func TestChanTransportCloseUnblocks(t *testing.T) {
+	a, _ := NewChanPair(0)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if err != ErrTransportClosed {
+			t.Fatalf("Recv after Close: %v, want ErrTransportClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+	// Close is idempotent.
+	a.Close()
+}
+
+// closingSpout/closingBolt verify the engine's io.Closer hook: Close
+// fires exactly once per task instance, after the component stops.
+type closingSpout struct {
+	n       int
+	closed  *sync.WaitGroup
+	counter *int32
+	mu      *sync.Mutex
+}
+
+func (s *closingSpout) Next(c Collector) bool {
+	if s.n <= 0 {
+		return false
+	}
+	s.n--
+	c.Emit("data", Tuple{Value: s.n})
+	return true
+}
+
+func (s *closingSpout) Close() error {
+	s.mu.Lock()
+	*s.counter++
+	s.mu.Unlock()
+	s.closed.Done()
+	return nil
+}
+
+type closingBolt struct {
+	mu      *sync.Mutex
+	counter *int32
+	closed  *sync.WaitGroup
+}
+
+func (b *closingBolt) Process(tu Tuple, c Collector) {}
+
+func (b *closingBolt) Close() error {
+	b.mu.Lock()
+	*b.counter++
+	b.mu.Unlock()
+	b.closed.Done()
+	return nil
+}
+
+func TestComponentCloseHook(t *testing.T) {
+	var mu sync.Mutex
+	var spoutCloses, boltCloses int32
+	var wg sync.WaitGroup
+	wg.Add(1 + 3) // one spout task, three bolt tasks
+
+	topo := NewTopology(8)
+	topo.AddSpout("src", func(task int) Spout {
+		return &closingSpout{n: 10, closed: &wg, counter: &spoutCloses, mu: &mu}
+	}, 1, "data")
+	topo.AddBolt("sink", func(task int) Bolt {
+		return &closingBolt{mu: &mu, counter: &boltCloses, closed: &wg}
+	}, 3).Shuffle("data")
+
+	if err := topo.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if spoutCloses != 1 {
+		t.Errorf("spout Close ran %d times, want 1", spoutCloses)
+	}
+	if boltCloses != 3 {
+		t.Errorf("bolt Close ran %d times, want 3 (one per task)", boltCloses)
+	}
+}

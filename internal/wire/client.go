@@ -1,0 +1,327 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by client operations after the connection ended.
+var ErrClosed = errors.New("wire: connection closed")
+
+// WorkerClient is the coordinator's half of a dispatcher→worker hop: it
+// streams operation batches to a remote worker node and receives the
+// worker's match batches and control acknowledgements on the same
+// connection. Safe for one sender goroutine (SendOps), one receiver
+// goroutine (RecvMatches) and concurrent control callers (Drain).
+type WorkerClient struct {
+	conn *Conn
+	// matches buffers decoded match batches between the read loop and
+	// RecvMatches; bounded so a slow consumer backpressures the wire.
+	matches chan MatchBatch
+	acks    chan DrainAck
+
+	drainMu sync.Mutex
+	seq     atomic.Uint64
+
+	readDone chan struct{}
+	readErr  error // valid after readDone closes
+	// closed unblocks the read loop's channel send when the consumer is
+	// gone (Close called mid-stream, e.g. a cancelled run).
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	goodbyeOnce sync.Once
+	goodbyeErr  error
+}
+
+// DialWorker connects to a worker node with backoff and performs the
+// handshake. The returned client's read loop is already running.
+func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
+	conn, err := handshake(addr, hello, b, RoleWorker)
+	if err != nil {
+		return nil, err
+	}
+	w := &WorkerClient{
+		conn:     conn,
+		matches:  make(chan MatchBatch, 128),
+		acks:     make(chan DrainAck, 1),
+		readDone: make(chan struct{}),
+		closed:   make(chan struct{}),
+	}
+	go w.readLoop()
+	return w, nil
+}
+
+// handshake dials addr and performs the Hello/Welcome round, expecting
+// the peer to identify as wantRole.
+func handshake(addr string, hello Hello, b Backoff, wantRole string) (*Conn, error) {
+	hello.Magic = Magic
+	hello.Version = Version
+	if hello.Role == "" {
+		hello.Role = RoleCoordinator
+	}
+	conn, err := Dial(addr, b)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(TypeHello, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: sending hello to %s: %w", addr, err)
+	}
+	typ, payload, err := conn.RecvTimeout(DefaultHandshakeTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: awaiting welcome from %s: %w", addr, err)
+	}
+	if typ != TypeWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s answered hello with frame type %d", addr, typ)
+	}
+	var wel Welcome
+	if err := DecodePayload(payload, &wel); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := CheckHandshake(wel.Magic, wel.Version); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if wel.Role != wantRole {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s identifies as %q, want %q", addr, wel.Role, wantRole)
+	}
+	return conn, nil
+}
+
+func (w *WorkerClient) readLoop() {
+	defer close(w.readDone)
+	defer close(w.matches)
+	for {
+		typ, payload, err := w.conn.Recv()
+		if err != nil {
+			if err != io.EOF {
+				w.readErr = err
+			}
+			return
+		}
+		switch typ {
+		case TypeMatchBatch:
+			var mb MatchBatch
+			if err := DecodePayload(payload, &mb); err != nil {
+				w.readErr = err
+				return
+			}
+			select {
+			case w.matches <- mb:
+			case <-w.closed:
+				// The consumer is gone (Close mid-stream, e.g. a
+				// cancelled run): stop rather than block forever on the
+				// full channel.
+				return
+			}
+		case TypeDrainAck:
+			var ack DrainAck
+			if err := DecodePayload(payload, &ack); err != nil {
+				w.readErr = err
+				return
+			}
+			select {
+			case w.acks <- ack:
+			default: // unsolicited ack; drop
+			}
+		case TypeGoodbye:
+			return
+		default:
+			// Unknown control frames are skipped: frames are
+			// self-delimiting, so forward compatibility is free.
+		}
+	}
+}
+
+// SendOps transfers one operation batch — one frame, flushed.
+func (w *WorkerClient) SendOps(b OpBatch) error {
+	return w.conn.Send(TypeOpBatch, b)
+}
+
+// RecvMatches blocks for the worker's next match batch. It returns
+// io.EOF after the worker's side of the stream ends cleanly, or the
+// connection's failure otherwise.
+func (w *WorkerClient) RecvMatches() (MatchBatch, error) {
+	mb, ok := <-w.matches
+	if !ok {
+		if w.readErr != nil {
+			return MatchBatch{}, w.readErr
+		}
+		return MatchBatch{}, io.EOF
+	}
+	return mb, nil
+}
+
+// Drain runs the end-to-end drain barrier round: every operation batch
+// sent before the call is processed by the worker before the returned
+// acknowledgement, whose Emitted field is the worker's cumulative
+// emitted-match count.
+func (w *WorkerClient) Drain() (DrainAck, error) {
+	w.drainMu.Lock()
+	defer w.drainMu.Unlock()
+	seq := w.seq.Add(1)
+	if err := w.conn.Send(TypeDrain, Drain{Seq: seq}); err != nil {
+		return DrainAck{}, err
+	}
+	timer := time.NewTimer(DefaultControlTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case ack := <-w.acks:
+			if ack.Seq == seq {
+				return ack, nil
+			}
+			// A stale ack from an abandoned round; keep waiting.
+		case <-w.readDone:
+			if w.readErr != nil {
+				return DrainAck{}, w.readErr
+			}
+			return DrainAck{}, ErrClosed
+		case <-timer.C:
+			return DrainAck{}, fmt.Errorf("wire: drain barrier timed out after %v", DefaultControlTimeout)
+		}
+	}
+}
+
+// SendFence forwards a routing-epoch advance (informational).
+func (w *WorkerClient) SendFence(epoch uint64) error {
+	return w.conn.Send(TypeFence, Fence{Epoch: epoch})
+}
+
+// CloseSend ends the coordinator's half of the stream: the worker
+// finishes writing pending matches and closes, which surfaces as io.EOF
+// from RecvMatches.
+func (w *WorkerClient) CloseSend() error {
+	w.goodbyeOnce.Do(func() {
+		w.goodbyeErr = w.conn.Send(TypeGoodbye, Goodbye{})
+	})
+	return w.goodbyeErr
+}
+
+// Close tears the connection down, unblocking every pending call —
+// including a read loop parked on the match channel of a departed
+// consumer.
+func (w *WorkerClient) Close() error {
+	w.closeOnce.Do(func() { close(w.closed) })
+	return w.conn.Close()
+}
+
+// MergerClient is the coordinator's half of a hop to a remote merger
+// node: it forwards match batches and polls delivery counters.
+type MergerClient struct {
+	conn    *Conn
+	replies chan StatsReply
+
+	statsMu sync.Mutex
+	seq     atomic.Uint64
+
+	readDone chan struct{}
+	readErr  error
+
+	goodbyeOnce sync.Once
+	goodbyeErr  error
+}
+
+// DialMerger connects to a merger node with backoff and performs the
+// handshake.
+func DialMerger(addr string, hello Hello, b Backoff) (*MergerClient, error) {
+	conn, err := handshake(addr, hello, b, RoleMerger)
+	if err != nil {
+		return nil, err
+	}
+	m := &MergerClient{
+		conn:     conn,
+		replies:  make(chan StatsReply, 1),
+		readDone: make(chan struct{}),
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+func (m *MergerClient) readLoop() {
+	defer close(m.readDone)
+	for {
+		typ, payload, err := m.conn.Recv()
+		if err != nil {
+			if err != io.EOF {
+				m.readErr = err
+			}
+			return
+		}
+		switch typ {
+		case TypeStatsReply:
+			var sr StatsReply
+			if err := DecodePayload(payload, &sr); err != nil {
+				m.readErr = err
+				return
+			}
+			select {
+			case m.replies <- sr:
+			default:
+			}
+		case TypeGoodbye:
+			return
+		}
+	}
+}
+
+// SendMatches forwards one match batch — one frame, flushed.
+func (m *MergerClient) SendMatches(b MatchBatch) error {
+	return m.conn.Send(TypeMatchBatch, b)
+}
+
+// Counts polls the merger's cumulative delivered/duplicate counters.
+// Frames are FIFO, so the reply covers every batch sent before the call.
+func (m *MergerClient) Counts() (delivered, duplicates int64, err error) {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	seq := m.seq.Add(1)
+	if err := m.conn.Send(TypeStatsReq, StatsReq{Seq: seq}); err != nil {
+		return 0, 0, err
+	}
+	timer := time.NewTimer(DefaultControlTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case sr := <-m.replies:
+			if sr.Seq == seq {
+				return sr.Delivered, sr.Duplicates, nil
+			}
+		case <-m.readDone:
+			if m.readErr != nil {
+				return 0, 0, m.readErr
+			}
+			return 0, 0, ErrClosed
+		case <-timer.C:
+			return 0, 0, fmt.Errorf("wire: stats round timed out after %v", DefaultControlTimeout)
+		}
+	}
+}
+
+// CloseSend ends the coordinator's half of the stream.
+func (m *MergerClient) CloseSend() error {
+	m.goodbyeOnce.Do(func() {
+		m.goodbyeErr = m.conn.Send(TypeGoodbye, Goodbye{})
+	})
+	return m.goodbyeErr
+}
+
+// Close tears the connection down.
+func (m *MergerClient) Close() error { return m.conn.Close() }
+
+// Done reports a channel closed when the client's read loop ends (the
+// peer closed or failed); Err returns the failure, nil on clean EOF.
+func (m *MergerClient) Done() <-chan struct{} { return m.readDone }
+
+// Err reports the read loop's terminal error (nil until Done, and nil
+// after a clean EOF).
+func (m *MergerClient) Err() error { return m.readErr }

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+// Magic identifies a PS2Stream wire peer in the handshake.
+const Magic = "PS2WIRE"
+
+// Version is the current wire protocol version. Peers with different
+// versions refuse the handshake.
+const Version = 1
+
+// Roles named in the handshake.
+const (
+	RoleCoordinator = "coordinator"
+	RoleWorker      = "worker"
+	RoleMerger      = "merger"
+)
+
+// Hello is the coordinator's opening message to a peer. Beyond
+// identifying the protocol it distributes everything a worker node needs
+// to agree with the coordinator's routing: the monitored bounds and the
+// grid granularity (so gridt/GI2 cell ids computed on either side of the
+// wire coincide) and the sampled term statistics (so both sides pick the
+// same least-frequent registration keyword for a query).
+type Hello struct {
+	Magic   string
+	Version int
+	// Role the *sender* is playing (normally RoleCoordinator).
+	Role string
+	// Task is the topology task index the peer is asked to run.
+	Task int
+	// Workers is the coordinator's total worker-task count.
+	Workers int
+	// Bounds and Granularity define the shared grid geometry.
+	Bounds      geo.Rect
+	Granularity int
+	// BatchSize is the coordinator's transfer batch size, advisory.
+	BatchSize int
+	// Terms carries the partitioning sample's term frequencies
+	// (textutil.Stats.Vector); nil means "no statistics".
+	Terms map[string]int
+}
+
+// Welcome is the peer's handshake reply.
+type Welcome struct {
+	Magic   string
+	Version int
+	// Role the replying peer is playing (RoleWorker or RoleMerger).
+	Role string
+	// Task echoes the task index the peer accepted.
+	Task int
+}
+
+// OpEnv is one stream operation in flight with its submit timestamp
+// (the coordinator's clock; it returns to the coordinator inside match
+// envelopes, so latency is measured in a single clock domain).
+type OpEnv struct {
+	Op model.Op
+	T0 time.Time
+}
+
+// OpBatch is one transfer batch of operations — one frame per batch, so
+// wire framing reuses the engine's batch boundaries.
+type OpBatch struct {
+	Ops []OpEnv
+}
+
+// MatchEnv is one match result in flight with the originating
+// operation's submit timestamp.
+type MatchEnv struct {
+	M  model.Match
+	T0 time.Time
+}
+
+// MatchBatch is one transfer batch of matches.
+type MatchBatch struct {
+	Matches []MatchEnv
+}
+
+// Drain asks the peer to acknowledge once everything received before
+// this frame has been fully processed. Because frames are FIFO on a
+// connection, the ack covers every batch sent before the Drain.
+type Drain struct {
+	Seq uint64
+}
+
+// DrainAck answers a Drain.
+type DrainAck struct {
+	Seq uint64
+	// Done is the peer's cumulative processed-operation count (workers).
+	Done int64
+	// Emitted is the peer's cumulative emitted-match count (workers) or
+	// delivered-match count (mergers).
+	Emitted int64
+	// Duplicates is the peer's cumulative duplicate count (mergers).
+	Duplicates int64
+}
+
+// StatsReq asks a peer for its counters without a drain guarantee.
+type StatsReq struct {
+	Seq uint64
+}
+
+// StatsReply answers a StatsReq.
+type StatsReply struct {
+	Seq uint64
+	// Delivered counts deduplicated matches delivered (mergers) or
+	// emitted (workers); Duplicates counts suppressed duplicates.
+	Delivered  int64
+	Duplicates int64
+	// Queries is the peer's live query count (workers).
+	Queries int64
+}
+
+// Fence announces the coordinator's routing epoch after an adjustment
+// flip. Informational.
+type Fence struct {
+	Epoch uint64
+}
+
+// Goodbye ends the sender's half of the conversation.
+type Goodbye struct{}
+
+// EncodePayload gob-encodes v as a self-contained frame payload.
+func EncodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encoding %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload decodes a frame payload produced by EncodePayload into v
+// (a pointer to the frame type's struct).
+func DecodePayload(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("wire: decoding %T: %w", v, err)
+	}
+	return nil
+}
+
+// CheckHandshake validates a received Hello or Welcome's protocol fields.
+func CheckHandshake(magic string, version int) error {
+	if magic != Magic {
+		return fmt.Errorf("wire: bad magic %q (want %q)", magic, Magic)
+	}
+	if version != Version {
+		return fmt.Errorf("wire: protocol version %d (want %d)", version, Version)
+	}
+	return nil
+}

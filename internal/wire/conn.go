@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Default connection tunables.
+const (
+	// DefaultWriteTimeout bounds one buffered-write flush; a peer that
+	// stops reading for this long fails the connection rather than
+	// wedging the pipeline silently.
+	DefaultWriteTimeout = 30 * time.Second
+	// DefaultHandshakeTimeout bounds the Hello/Welcome round.
+	DefaultHandshakeTimeout = 10 * time.Second
+	// DefaultControlTimeout bounds a control round trip (drain, stats).
+	DefaultControlTimeout = 60 * time.Second
+	// writeBufSize is the bufio size of the send side; one frame header
+	// plus payload coalesce into a single syscall per batch.
+	writeBufSize = 64 << 10
+	readBufSize  = 64 << 10
+)
+
+// Conn is one wire connection: a net.Conn with per-connection write
+// buffering (one flush per frame, so wire writes reuse the engine's
+// transfer-batch boundaries), a write mutex so control frames can
+// interleave with data frames from another goroutine, and deadlines.
+//
+// Reads are the property of a single goroutine (the owner's read loop);
+// writes may come from any goroutine.
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	// WriteTimeout bounds each Send (0 = none). Set before first use.
+	WriteTimeout time.Duration
+	// ReadTimeout bounds each Recv (0 = none, the default: stream gaps
+	// of any length are legitimate between publishes).
+	ReadTimeout time.Duration
+}
+
+// NewConn wraps nc with wire framing and the default write timeout.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc:           nc,
+		br:           bufio.NewReaderSize(nc, readBufSize),
+		bw:           bufio.NewWriterSize(nc, writeBufSize),
+		WriteTimeout: DefaultWriteTimeout,
+	}
+}
+
+// Send encodes v and writes it as one frame, flushing the write buffer —
+// one frame and one flush per transfer batch.
+func (c *Conn) Send(typ byte, v any) error {
+	payload, err := EncodePayload(v)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.WriteTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.WriteTimeout)); err != nil {
+			return err
+		}
+	}
+	if err := WriteFrame(c.bw, typ, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads the next frame. Only the connection's read-loop goroutine
+// may call it.
+func (c *Conn) Recv() (typ byte, payload []byte, err error) {
+	if c.ReadTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.ReadTimeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	return ReadFrame(c.br)
+}
+
+// RecvTimeout reads the next frame under a one-off deadline (handshake
+// and control rounds).
+func (c *Conn) RecvTimeout(d time.Duration) (typ byte, payload []byte, err error) {
+	if err := c.nc.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return 0, nil, err
+	}
+	defer c.nc.SetReadDeadline(time.Time{})
+	return ReadFrame(c.br)
+}
+
+// Close closes the underlying connection. Safe to call multiple times
+// and from any goroutine; it unblocks a pending Recv.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr reports the peer address (diagnostics).
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Backoff parameterises Dial's reconnect-with-backoff loop.
+type Backoff struct {
+	// Attempts is the total number of connection attempts (default 10).
+	Attempts int
+	// Base is the first retry delay, doubling per attempt (default
+	// 50ms); Max caps it (default 2s). A ±25% jitter decorrelates peers
+	// retrying in lockstep.
+	Base time.Duration
+	Max  time.Duration
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 10
+	}
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	return b
+}
+
+// Dial connects to addr with exponential backoff — deployment scripts
+// start psnode peers in arbitrary order, so the coordinator retries
+// until the peer's listener is up (or attempts run out).
+func Dial(addr string, b Backoff) (*Conn, error) {
+	b = b.withDefaults()
+	delay := b.Base
+	var lastErr error
+	for i := 0; i < b.Attempts; i++ {
+		if i > 0 {
+			jitter := time.Duration(rand.Int63n(int64(delay)/2+1)) - delay/4
+			time.Sleep(delay + jitter)
+			if delay *= 2; delay > b.Max {
+				delay = b.Max
+			}
+		}
+		nc, err := net.DialTimeout("tcp", addr, 3*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		return NewConn(nc), nil
+	}
+	return nil, fmt.Errorf("wire: dialing %s: %w (after %d attempts)", addr, lastErr, b.Attempts)
+}

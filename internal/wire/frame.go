@@ -1,0 +1,125 @@
+// Package wire is the network transport of a multi-process PS2Stream
+// deployment: length-prefixed gob framing for the operation batches,
+// match batches and control messages that cross dispatcher→worker and
+// worker→merger hops when topology tasks run as separate OS processes
+// (cmd/psnode). The paper deploys on an Apache Storm cluster whose
+// tuples cross real machine boundaries (§VI); this package is the
+// repro's equivalent of Storm's transport layer, with in-process
+// channels remaining the fast path for single-process runs (see
+// stream.Transport).
+//
+// # Frame format
+//
+// Every message is one frame:
+//
+//	uint32 big-endian  n        (1 + len(payload); bounds the read)
+//	byte               type     (Type* constants)
+//	n-1 bytes          payload  (self-contained gob encoding)
+//
+// Each payload is an independent gob stream, so frames are
+// self-delimiting: a reader can skip, re-synchronise after an error, and
+// a truncated or corrupted frame fails at a frame boundary instead of
+// poisoning the connection's decoder state. The per-frame gob type
+// descriptor overhead is amortised by batching — one frame carries a
+// whole transfer batch of tuples (docs/WIRE.md).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types. The wire protocol is versioned by the handshake (Hello
+// and Welcome carry Magic and Version); types may be added, never
+// renumbered, within a version.
+const (
+	// TypeHello opens a connection: coordinator → peer, carrying the
+	// grid geometry and term statistics the peer needs so gridt cell
+	// ids agree across processes.
+	TypeHello byte = 1
+	// TypeWelcome acknowledges a Hello: peer → coordinator.
+	TypeWelcome byte = 2
+	// TypeOpBatch carries one transfer batch of stream operations
+	// (coordinator → worker).
+	TypeOpBatch byte = 3
+	// TypeMatchBatch carries one batch of matches (worker → coordinator,
+	// or coordinator → merger).
+	TypeMatchBatch byte = 4
+	// TypeDrain asks the peer to acknowledge once every frame received
+	// before it has been fully processed (the end-to-end drain barrier).
+	TypeDrain byte = 5
+	// TypeDrainAck answers a Drain with the peer's cumulative counters.
+	TypeDrainAck byte = 6
+	// TypeStatsReq asks the peer for its delivery counters.
+	TypeStatsReq byte = 7
+	// TypeStatsReply answers a StatsReq.
+	TypeStatsReply byte = 8
+	// TypeFence announces a routing-epoch advance (stream.Fence) so
+	// peers can tag diagnostics with the coordinator's routing
+	// generation. Informational; no acknowledgement.
+	TypeFence byte = 9
+	// TypeGoodbye ends the sender's half of the conversation; the peer
+	// finishes writing pending output and closes.
+	TypeGoodbye byte = 10
+)
+
+// MaxFrameSize bounds a frame's length field: a reader rejects larger
+// frames before allocating, so a corrupt or malicious length cannot
+// trigger a huge allocation. 16 MiB comfortably holds the largest
+// legitimate frame (a transfer batch of maximal queries).
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned by ReadFrame for frames whose declared
+// length exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+
+// ErrBadFrame wraps framing-level corruption (zero-length frame,
+// truncated header or body).
+var ErrBadFrame = errors.New("wire: malformed frame")
+
+// WriteFrame writes one frame to w. It does not flush: callers flush at
+// batch boundaries (Conn.Send does both).
+func WriteFrame(w *bufio.Writer, typ byte, payload []byte) error {
+	n := 1 + len(payload)
+	if n > MaxFrameSize {
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, n)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.WriteByte(typ); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r. io.EOF is returned untouched at a
+// clean frame boundary; a connection dropped mid-frame surfaces as
+// ErrBadFrame wrapping io.ErrUnexpectedEOF.
+func ReadFrame(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: reading header: %v", ErrBadFrame, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrBadFrame)
+	}
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading %d-byte body: %v", ErrBadFrame, n, err)
+	}
+	return body[0], body[1:], nil
+}

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+// seedStream builds a valid multi-frame stream for the fuzz corpus.
+func seedStream(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	frames := []struct {
+		typ byte
+		v   any
+	}{
+		{TypeHello, Hello{Magic: Magic, Version: Version, Role: RoleCoordinator,
+			Task: 1, Workers: 4, Bounds: geo.NewRect(-125, 24, -66, 49), Granularity: 64,
+			BatchSize: 64, Terms: map[string]int{"coffee": 3, "pizza": 1}}},
+		{TypeOpBatch, OpBatch{Ops: []OpEnv{{Op: model.Op{Kind: model.OpObject,
+			Obj: &model.Object{ID: 7, Terms: []string{"coffee"}, Loc: geo.Point{X: -73.9, Y: 40.7}}}}}}},
+		{TypeMatchBatch, MatchBatch{Matches: []MatchEnv{{M: model.Match{QueryID: 1, ObjectID: 7}}}}},
+		{TypeDrain, Drain{Seq: 3}},
+		{TypeGoodbye, Goodbye{}},
+	}
+	for _, f := range frames {
+		payload, err := EncodePayload(f.v)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := WriteFrame(w, f.typ, payload); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+// FuzzWireStream feeds arbitrary bytes through the full receive path —
+// framing then per-type gob decoding — asserting it never panics, never
+// over-allocates past MaxFrameSize, and always terminates. This is the
+// input-validation surface a psnode exposes to the network.
+func FuzzWireStream(f *testing.F) {
+	f.Add(seedStream(f))
+	f.Add([]byte{0, 0, 0, 2, TypeOpBatch, 0xFF})
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 1024; i++ { // bounded: each frame consumes ≥4 bytes
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if len(payload) > MaxFrameSize {
+				t.Fatalf("payload of %d bytes escaped MaxFrameSize", len(payload))
+			}
+			switch typ {
+			case TypeHello:
+				var v Hello
+				_ = DecodePayload(payload, &v)
+			case TypeWelcome:
+				var v Welcome
+				_ = DecodePayload(payload, &v)
+			case TypeOpBatch:
+				var v OpBatch
+				_ = DecodePayload(payload, &v)
+			case TypeMatchBatch:
+				var v MatchBatch
+				_ = DecodePayload(payload, &v)
+			case TypeDrain:
+				var v Drain
+				_ = DecodePayload(payload, &v)
+			case TypeDrainAck:
+				var v DrainAck
+				_ = DecodePayload(payload, &v)
+			case TypeStatsReq:
+				var v StatsReq
+				_ = DecodePayload(payload, &v)
+			case TypeStatsReply:
+				var v StatsReply
+				_ = DecodePayload(payload, &v)
+			case TypeFence:
+				var v Fence
+				_ = DecodePayload(payload, &v)
+			}
+		}
+	})
+}
+
+// FuzzFrameWriteRead asserts WriteFrame/ReadFrame are inverse for any
+// payload within bounds.
+func FuzzFrameWriteRead(f *testing.F) {
+	f.Add(byte(TypeOpBatch), []byte("payload"))
+	f.Add(byte(0), []byte{})
+	f.Fuzz(func(t *testing.T, typ byte, payload []byte) {
+		if len(payload) >= MaxFrameSize {
+			return
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := WriteFrame(w, typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		gotTyp, gotPayload, err := ReadFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if gotTyp != typ || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round trip mismatch: type %d/%d, %d/%d bytes", gotTyp, typ, len(gotPayload), len(payload))
+		}
+	})
+}

@@ -1,0 +1,302 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xAB}, 1<<15)}
+	for i, p := range payloads {
+		if err := WriteFrame(w, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != byte(i+1) {
+			t.Errorf("frame %d: type %d, want %d", i, typ, i+1)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got), len(p))
+		}
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Errorf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteFrame(w, TypeOpBatch, []byte("some payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	whole := buf.Bytes()
+	// Every proper prefix except the empty one must fail with ErrBadFrame
+	// (the empty prefix is a clean EOF at a frame boundary).
+	for cut := 1; cut < len(whole); cut++ {
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(whole[:cut])))
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("prefix of %d/%d bytes: err = %v, want ErrBadFrame", cut, len(whole), err)
+		}
+	}
+	_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(nil)))
+	if err != io.EOF {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"zero length":   {0, 0, 0, 0},
+		"huge length":   {0xFF, 0xFF, 0xFF, 0xFF, 1},
+		"ascii garbage": []byte("GET / HTTP/1.1\r\n\r\n"),
+	}
+	for name, data := range cases {
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err == nil || err == io.EOF {
+			t.Errorf("%s: err = %v, want framing error", name, err)
+		}
+		if !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("%s: err = %v, want ErrBadFrame or ErrFrameTooLarge", name, err)
+		}
+	}
+	// "ascii garbage" decodes to a plausible length and then runs out of
+	// body; "huge length" must refuse before allocating.
+	_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("huge header: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	w := bufio.NewWriter(io.Discard)
+	if err := WriteFrame(w, 1, make([]byte, MaxFrameSize)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestPayloadRoundTrip covers the stable wire encoding of the model
+// types: every field of Op/Query/Expr/Match must survive.
+func TestPayloadRoundTrip(t *testing.T) {
+	q := &model.Query{
+		ID:         42,
+		Expr:       model.Expr{Conj: [][]string{{"coffee", "brooklyn"}, {"espresso"}}},
+		Region:     geo.NewRect(-74.2, 40.5, -73.7, 40.95),
+		Subscriber: 7,
+		TopK:       5,
+		Window:     3 * time.Minute,
+	}
+	ob := OpBatch{Ops: []OpEnv{
+		{Op: model.Op{Kind: model.OpInsert, Query: q}, T0: time.Unix(1700000000, 12345)},
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{
+			ID: 9, Terms: []string{"best", "coffee"}, Loc: geo.Point{X: -73.95, Y: 40.71},
+		}}, T0: time.Unix(1700000001, 0)},
+		{Op: model.Op{Kind: model.OpDelete, Query: q}},
+	}}
+	payload, err := EncodePayload(ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got OpBatch
+	if err := DecodePayload(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(got.Ops))
+	}
+	gq := got.Ops[0].Op.Query
+	if gq.ID != q.ID || gq.Subscriber != q.Subscriber || gq.TopK != q.TopK || gq.Window != q.Window {
+		t.Errorf("query scalars mismatch: %+v", gq)
+	}
+	if gq.Expr.String() != q.Expr.String() {
+		t.Errorf("expr = %q, want %q", gq.Expr.String(), q.Expr.String())
+	}
+	if gq.Region != q.Region {
+		t.Errorf("region = %v, want %v", gq.Region, q.Region)
+	}
+	if !got.Ops[0].T0.Equal(time.Unix(1700000000, 12345)) {
+		t.Errorf("T0 = %v", got.Ops[0].T0)
+	}
+	gobj := got.Ops[1].Op.Obj
+	if gobj.ID != 9 || gobj.Loc != (geo.Point{X: -73.95, Y: 40.71}) || len(gobj.Terms) != 2 {
+		t.Errorf("object mismatch: %+v", gobj)
+	}
+
+	mb := MatchBatch{Matches: []MatchEnv{{
+		M: model.Match{QueryID: 42, Subscriber: 7, ObjectID: 9, Worker: 3}, T0: time.Unix(5, 5),
+	}}}
+	payload, err = EncodePayload(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gm MatchBatch
+	if err := DecodePayload(payload, &gm); err != nil {
+		t.Fatal(err)
+	}
+	if gm.Matches[0].M != mb.Matches[0].M {
+		t.Errorf("match = %+v, want %+v", gm.Matches[0].M, mb.Matches[0].M)
+	}
+}
+
+func TestDecodePayloadGarbage(t *testing.T) {
+	var ob OpBatch
+	if err := DecodePayload([]byte("not gob at all"), &ob); err == nil {
+		t.Error("garbage payload decoded without error")
+	}
+	var h Hello
+	// A valid OpBatch payload decoded as the wrong type must error, not
+	// silently mis-decode.
+	payload, err := EncodePayload(OpBatch{Ops: []OpEnv{{Op: model.Op{Kind: model.OpObject,
+		Obj: &model.Object{ID: 1}}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodePayload(payload, &h); err == nil {
+		t.Error("cross-type decode succeeded")
+	}
+}
+
+func TestCheckHandshake(t *testing.T) {
+	if err := CheckHandshake(Magic, Version); err != nil {
+		t.Errorf("valid handshake rejected: %v", err)
+	}
+	if err := CheckHandshake("NOTPS2", Version); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := CheckHandshake(Magic, Version+1); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestDialBackoffGivesUp(t *testing.T) {
+	start := time.Now()
+	_, err := Dial("127.0.0.1:1", Backoff{Attempts: 2, Base: 10 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Errorf("err = %v, want attempt count", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("backoff took %v", time.Since(start))
+	}
+}
+
+func TestDialBackoffRetriesUntilListenerUp(t *testing.T) {
+	// Grab a port, close the listener, dial with backoff, and bring the
+	// listener back while the dialer retries: deployment scripts start
+	// psnode peers in arbitrary order.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the dial error path covers us
+		}
+		defer ln2.Close()
+		c, err := ln2.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := Dial(addr, Backoff{Attempts: 10, Base: 20 * time.Millisecond})
+	if err != nil {
+		t.Skipf("port %s not reacquired: %v", addr, err)
+	}
+	c.Close()
+}
+
+// TestWorkerClientCloseUnblocksFullMatchBuffer: a read loop parked on
+// the bounded match channel (consumer gone, e.g. a cancelled run) must
+// exit on Close instead of leaking the goroutine and connection.
+func TestWorkerClientCloseUnblocksFullMatchBuffer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := NewConn(nc)
+		if _, _, err := c.RecvTimeout(time.Second); err != nil {
+			return
+		}
+		c.Send(TypeWelcome, Welcome{Magic: Magic, Version: Version, Role: RoleWorker})
+		// Flood more batches than the client buffers (128) without the
+		// client ever consuming one.
+		for i := 0; i < 200; i++ {
+			if c.Send(TypeMatchBatch, MatchBatch{Matches: []MatchEnv{{M: model.Match{ObjectID: uint64(i)}}}}) != nil {
+				return
+			}
+		}
+	}()
+	cl, err := DialWorker(ln.Addr().String(), Hello{}, Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the read loop fill the buffer and park
+	cl.Close()
+	select {
+	case <-cl.readDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("read loop still parked after Close")
+	}
+	// The match channel must be closed so a late consumer unblocks too.
+	for {
+		if _, err := cl.RecvMatches(); err != nil {
+			break
+		}
+	}
+}
+
+func TestHandshakeRejectsWrongRole(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := NewConn(nc)
+		if _, _, err := c.RecvTimeout(time.Second); err != nil {
+			return
+		}
+		c.Send(TypeWelcome, Welcome{Magic: Magic, Version: Version, Role: RoleMerger})
+	}()
+	_, err = DialWorker(ln.Addr().String(), Hello{}, Backoff{Attempts: 1})
+	if err == nil || !strings.Contains(err.Error(), "identifies as") {
+		t.Errorf("err = %v, want role mismatch", err)
+	}
+}

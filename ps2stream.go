@@ -75,6 +75,7 @@ import (
 	"ps2stream/internal/qindex"
 	"ps2stream/internal/snapshot"
 	"ps2stream/internal/textutil"
+	"ps2stream/internal/wire"
 )
 
 // Region is a rectangular area in degrees.
@@ -280,6 +281,18 @@ type Options struct {
 	// instants and expiry). Nil uses time.Now; deterministic replays and
 	// tests install a fake clock and drive expiry with AdvanceTopK.
 	Now func() time.Time
+	// RemoteWorkers places worker tasks on remote psnode processes:
+	// each address ("host:port") is dialled at Open (with backoff, so a
+	// just-started psnode is fine) and serves worker task 0, 1, … in
+	// order; Workers is raised to at least len(RemoteWorkers), and any
+	// surplus tasks run in-process. The handshake distributes the grid
+	// geometry and sampled term statistics so routing agrees across
+	// processes. Remote placement is static: dynamic adjustment,
+	// Repartition and SubscribeTopK require in-process workers (see
+	// docs/WIRE.md). Start a peer with:
+	//
+	//	psnode -role worker -listen :7101
+	RemoteWorkers []string
 	// Adjust configures the adaptive load adjustment controller (§V):
 	// per-worker load is sampled from the live publish traffic, and when
 	// the imbalance exceeds Theta the system migrates hot grid cells to
@@ -432,11 +445,20 @@ func Open(opts Options) (*System, error) {
 		Cooldown:  opts.Adjust.Cooldown,
 		Algorithm: migrate.GR,
 	}
+	if err := cfg.ConnectRemoteWorkers(opts.RemoteWorkers, sample, wire.Backoff{}); err != nil {
+		return nil, fmt.Errorf("ps2stream: %w", err)
+	}
 	inner, err := core.New(cfg, sample)
 	if err != nil {
+		for _, tr := range cfg.RemoteWorkers {
+			tr.Close()
+		}
 		return nil, err
 	}
 	if err := inner.Start(context.Background()); err != nil {
+		for _, tr := range cfg.RemoteWorkers {
+			tr.Close()
+		}
 		return nil, err
 	}
 	return &System{inner: inner}, nil
@@ -492,6 +514,11 @@ func (s *System) SubscribeTopK(sub Subscription, k int, window time.Duration) er
 	}
 	if window <= 0 {
 		return fmt.Errorf("ps2stream: SubscribeTopK window must be positive, got %v", window)
+	}
+	if s.inner.HasRemoteWorkers() {
+		// Top-k window state reconciles on this process's global board,
+		// which a remote worker cannot reach.
+		return errors.New("ps2stream: SubscribeTopK requires in-process workers (Options.RemoteWorkers is set)")
 	}
 	q, err := sub.toQuery()
 	if err != nil {
@@ -590,20 +617,33 @@ func (s *System) FinishRepartition() int {
 // format, deduplicated and in ascending subscription-id order. The set is
 // a point-in-time view; call Flush first (and pause Subscribe/Unsubscribe
 // traffic) for an exact cut. The published message stream is stateless
-// and is not captured.
+// and is not captured. With Options.RemoteWorkers, subscriptions held
+// only by remote workers are not visible here and are omitted.
 func (s *System) Checkpoint(w io.Writer) error {
 	return snapshot.Write(w, s.inner.Bounds(), s.inner.LiveQueries())
 }
 
+// ErrBoundsMismatch is returned by Restore when the snapshot was taken
+// over a different monitored region than this system's Options.Region.
+// Grid cell ids are relative to the region, so restoring across regions
+// would register subscriptions into the wrong cells — they would never
+// match. Open a system with the snapshot's region (the error message
+// carries both rectangles) and restore there.
+var ErrBoundsMismatch = errors.New("ps2stream: snapshot bounds do not match the system's region")
+
 // Restore re-registers every subscription from a snapshot produced by
 // Checkpoint, routing them through the dispatchers like fresh Subscribe
-// calls. It returns the number of subscriptions restored. Restoring onto
-// a system that already holds some of the ids is safe (workers ignore
-// duplicate registrations).
+// calls. It returns the number of subscriptions restored. The snapshot
+// header's bounds must equal this system's region (ErrBoundsMismatch
+// otherwise). Restoring onto a system that already holds some of the
+// ids is safe (workers ignore duplicate registrations).
 func (s *System) Restore(r io.Reader) (int, error) {
-	_, qs, err := snapshot.Read(r)
+	h, qs, err := snapshot.Read(r)
 	if err != nil {
 		return 0, err
+	}
+	if b := s.inner.Bounds(); h.Bounds != b {
+		return 0, fmt.Errorf("%w: snapshot %v, system %v", ErrBoundsMismatch, h.Bounds, b)
 	}
 	for _, q := range qs {
 		s.submitted.Add(1)
@@ -612,18 +652,21 @@ func (s *System) Restore(r io.Reader) (int, error) {
 	return len(qs), nil
 }
 
-// Flush blocks until every operation submitted so far has been routed by
-// the dispatchers and gives workers a moment to drain. Partial transfer
-// batches are included: every stage of the batched pipeline pushes its
-// buffered tuples as soon as its input goes idle, so a Flush after the
-// last Publish observes every submitted operation regardless of
-// Options.BatchSize.
+// Flush blocks until every operation submitted so far is fully applied
+// end to end: routed by the dispatchers, drained through every worker
+// (local queues empty; remote psnode workers acknowledged over the
+// wire), and every match those operations produced delivered by the
+// mergers — including OnMatch callbacks, which have returned by the
+// time Flush does. Stats().Matches read after Flush is therefore exact
+// for the flushed operations, on any machine, at any load. Partial
+// transfer batches are included: every stage of the batched pipeline
+// pushes its buffered tuples as soon as its input goes idle, so a Flush
+// after the last Publish observes every submitted operation regardless
+// of Options.BatchSize.
 func (s *System) Flush() {
-	target := s.submitted.Load()
-	for s.inner.Processed() < target {
-		time.Sleep(2 * time.Millisecond)
-	}
-	time.Sleep(20 * time.Millisecond)
+	// The drain barrier errors only when a remote hop failed mid-drain;
+	// that failure also fails the topology run and surfaces from Close.
+	_ = s.inner.Drain(s.submitted.Load())
 }
 
 // Stats summarises system metrics.
