@@ -35,6 +35,7 @@ func main() {
 		exp     = flag.String("exp", "", "experiment id (fig6a..fig16, abl*) or 'all'")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		quick   = flag.Bool("quick", false, "use the quick (CI) scale")
+		wireExp = flag.Bool("wire", false, "place all worker tasks behind loopback TCP where supported (adjust: migrations cross the wire)")
 		ops     = flag.Int("ops", 0, "override stream operations per run")
 		mu      = flag.Int("mu", 0, "override scaled µ (standing query count)")
 		workers = flag.Int("workers", 0, "override worker count")
@@ -70,6 +71,7 @@ func main() {
 	if *quick {
 		sc = bench.QuickScale()
 	}
+	sc.Wire = *wireExp
 	if *ops > 0 {
 		sc.Ops = *ops
 	}

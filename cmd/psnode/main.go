@@ -24,6 +24,13 @@
 //
 // Start order does not matter: the dispatcher dials peers with
 // exponential backoff.
+//
+// With -adjust the dispatcher runs the adaptive load adjustment
+// controller: hot grid cells migrate between the worker processes over
+// the wire's cell-migration control frames while the stream keeps
+// flowing. Combine with the skewed-hotspot workload flags (-hotspot,
+// -hotspot-bias, -hotspot-shift-every, psgen's spelling) to watch a
+// cluster rebalance after a traffic shift.
 package main
 
 import (
@@ -59,6 +66,11 @@ func main() {
 		seed        = flag.Int64("seed", 2017, "workload seed (dispatcher)")
 		batch       = flag.Int("batch", 0, "transfer batch size, 0 = default (dispatcher)")
 		oracle      = flag.Bool("oracle", false, "run the workload fully in-process instead of joining peers (dispatcher)")
+		adjust      = flag.Bool("adjust", false, "enable the adaptive load adjustment controller; cells migrate across the wire when workers are remote (dispatcher)")
+		objectsOnly = flag.Bool("objects-only", false, "publish only objects in the measured stream; with -adjust the delivered match set is then exactly the static oracle's (a query registered while its cell migrates may miss concurrent objects, exactly as in-process) (dispatcher)")
+		hotspot     = flag.Int("hotspot", -1, "focus object traffic on this hotspot cluster index (-1 off; dispatcher)")
+		hotBias     = flag.Float64("hotspot-bias", 0.85, "fraction of objects concentrated on the focused hotspot (dispatcher)")
+		hotShift    = flag.Int("hotspot-shift-every", 0, "shift the focus to the next hotspot every N stream ops (0 never; dispatcher)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "psnode: ", log.Ltime|log.Lmicroseconds)
@@ -86,6 +98,11 @@ func main() {
 			batch:       *batch,
 			oracle:      *oracle,
 			out:         *out,
+			adjust:      *adjust,
+			objectsOnly: *objectsOnly,
+			hotspot:     *hotspot,
+			hotBias:     *hotBias,
+			hotShift:    *hotShift,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "psnode: -role must be worker, merger or dispatcher")
@@ -178,6 +195,17 @@ type dispatcherConfig struct {
 	batch       int
 	oracle      bool
 	out         string
+	// adjust enables the adaptive controller; with remote workers its
+	// migrations cross the wire.
+	adjust bool
+	// objectsOnly drops query ops from the measured stream (the
+	// migration-exactness contract: standing queries + live objects).
+	objectsOnly bool
+	// hotspot/hotBias/hotShift configure the skewed-hotspot object
+	// workload (psgen's flags of the same names).
+	hotspot  int
+	hotBias  float64
+	hotShift int
 }
 
 // runDispatcher embeds the coordinator: it builds the partitioning
@@ -191,6 +219,20 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 	cfg := core.Config{
 		Dispatchers: dc.dispatchers,
 		BatchSize:   dc.batch,
+	}
+	if dc.adjust {
+		// An aggressive cadence sized for short CI runs: the hotspot
+		// shift must be detected and spread within a few hundred
+		// milliseconds of paced traffic.
+		cfg.Adjust = core.AdjustConfig{
+			Enabled:       true,
+			Sigma:         1.2,
+			Interval:      15 * time.Millisecond,
+			Cooldown:      30 * time.Millisecond,
+			SustainChecks: 1,
+			MinWindowOps:  64,
+			Seed:          dc.seed,
+		}
 	}
 	if dc.oracle {
 		if len(dc.workerAddrs) > 0 || len(dc.mergerAddrs) > 0 {
@@ -230,7 +272,12 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 	if err := sys.Start(context.Background()); err != nil {
 		logger.Fatal(err)
 	}
-	st := workload.NewStream(spec, workload.Q1, workload.StreamConfig{Mu: dc.mu, Seed: dc.seed})
+	scfg := workload.StreamConfig{Mu: dc.mu, Seed: dc.seed}
+	if dc.hotspot >= 0 {
+		scfg.FocusBias = dc.hotBias
+		scfg.FocusHotspot = dc.hotspot
+	}
+	st := workload.NewStream(spec, workload.Q1, scfg)
 	warm := st.Prewarm(dc.mu)
 	sys.SubmitAll(warm)
 	if err := sys.Drain(int64(len(warm))); err != nil {
@@ -239,12 +286,57 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 	logger.Printf("dispatcher: %d standing subscriptions prewarmed", dc.mu)
 
 	t0 := time.Now()
-	stream := st.Take(dc.ops)
-	sys.SubmitAll(stream)
-	if err := sys.Drain(int64(len(warm) + len(stream))); err != nil {
+	// The stream is generated op-by-op so the focus can shift mid-run
+	// (psgen's -hotspot-shift-every semantics).
+	focused := dc.hotspot
+	nextOp := func(i int) model.Op {
+		if dc.hotspot >= 0 && dc.hotShift > 0 && i > 0 && i%dc.hotShift == 0 {
+			focused++
+			st.FocusHotspot(focused)
+		}
+		op := st.Next()
+		for dc.objectsOnly && op.Kind != model.OpObject {
+			op = st.Next()
+		}
+		return op
+	}
+	if dc.adjust {
+		// With the controller on, publishing is paced in small bursts:
+		// the detector needs wall-clock Interval windows of live traffic
+		// to observe the shift and react, which an unpaced burst would
+		// compress into a single window.
+		const burstEvery = 3 * time.Millisecond
+		const perBurst = 48
+		for sent := 0; sent < dc.ops; {
+			for j := 0; j < perBurst && sent < dc.ops; j++ {
+				sys.Submit(nextOp(sent))
+				sent++
+			}
+			if sent < dc.ops {
+				time.Sleep(burstEvery)
+			}
+		}
+	} else {
+		// Static runs pre-generate and submit in one tight burst, exactly
+		// like the pre-adjust dispatcher: interleaving generation with
+		// submission would trickle ops into the spout and widen the
+		// cross-dispatcher insert/object race window, making cluster and
+		// oracle runs diverge on the mixed stream.
+		stream := make([]model.Op, dc.ops)
+		for i := range stream {
+			stream[i] = nextOp(i)
+		}
+		sys.SubmitAll(stream)
+	}
+	if err := sys.Drain(int64(len(warm) + dc.ops)); err != nil {
 		logger.Fatal(err)
 	}
 	elapsed := time.Since(t0)
+	if dc.adjust {
+		adj := sys.Snapshot().Adjust
+		logger.Printf("dispatcher: adjust migrations=%d cells=%d queries=%d bytes=%d (checks=%d triggers=%d)",
+			adj.Migrations, adj.CellsMoved, adj.QueriesMoved, adj.BytesMoved, adj.Checks, adj.Triggers)
+	}
 
 	delivered := sys.MatchCount()
 	var remoteNote string

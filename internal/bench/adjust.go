@@ -3,9 +3,12 @@ package bench
 import (
 	"context"
 	"fmt"
+	"net"
 	"time"
 
 	"ps2stream/internal/core"
+	"ps2stream/internal/node"
+	"ps2stream/internal/wire"
 	"ps2stream/internal/workload"
 )
 
@@ -49,10 +52,14 @@ const adjustModelCost = 50 * time.Microsecond
 func AdjustRecovery(sc Scale) []Table {
 	sc = sc.orDefault()
 	spec := workload.TweetsUS()
+	placement := ""
+	if sc.Wire {
+		placement = "; all worker tasks behind loopback TCP, migrations cross the wire"
+	}
 	t := Table{
 		Title: fmt.Sprintf("Adaptive adjustment: capacity recovery after a hotspot shift "+
-			"(focus %d->%d, bias %.2f, modeled at %v/tuple from the measured bottleneck share)",
-			adjustHotA, adjustHotB, adjustBias, adjustModelCost),
+			"(focus %d->%d, bias %.2f, modeled at %v/tuple from the measured bottleneck share%s)",
+			adjustHotA, adjustHotB, adjustBias, adjustModelCost, placement),
 		Header: []string{"mode", "pre-shift(tuples/s)", "post-shift(tuples/s)", "vs static", "migrations"},
 	}
 	var staticPost float64
@@ -125,7 +132,10 @@ func modelCapacity(before, after []int64, submitted int) float64 {
 // prewarm µ standing queries, measure the bottleneck share on hotspot A,
 // shift the focus to hotspot B, give the controller a paced adaptation
 // window (several detector intervals of wall-clock live traffic), then
-// measure the steady-state bottleneck share on B.
+// measure the steady-state bottleneck share on B. With sc.Wire every
+// worker task runs behind a loopback-TCP node serve loop, so the
+// controller's load samples arrive over the stats round and its
+// migrations cross the wire.
 func adjustRun(spec workload.DatasetSpec, sc Scale, auto bool) (adjustResult, error) {
 	// The partitioner sees yesterday's skew: objects and queries focused
 	// on A (today's live queries stay unbiased — that drift is the point).
@@ -148,12 +158,29 @@ func adjustRun(spec workload.DatasetSpec, sc Scale, auto bool) (adjustResult, er
 			Seed:          sc.Seed,
 		}
 	}
-	sys, err := core.New(core.Config{
+	cfg := core.Config{
 		Dispatchers:  sc.Dispatchers,
 		Workers:      sc.Workers,
 		Adjust:       acfg,
 		PerTupleWork: sc.PerTupleWork,
-	}, sample)
+	}
+	if sc.Wire {
+		nodeCtx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		addrs := make([]string, sc.Workers)
+		for i := range addrs {
+			ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+			if lerr != nil {
+				return adjustResult{}, lerr
+			}
+			go node.NewWorker(node.WorkerOptions{}).Serve(nodeCtx, ln)
+			addrs[i] = ln.Addr().String()
+		}
+		if err := cfg.ConnectRemoteWorkers(addrs, sample, wire.Backoff{}); err != nil {
+			return adjustResult{}, err
+		}
+	}
+	sys, err := core.New(cfg, sample)
 	if err != nil {
 		return adjustResult{}, err
 	}

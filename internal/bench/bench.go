@@ -49,6 +49,11 @@ type Scale struct {
 	PerTupleWork time.Duration
 	// Seed drives all generators.
 	Seed int64
+	// Wire places every worker task behind a loopback-TCP psnode serve
+	// loop (real sockets, wire protocol) for the experiments that
+	// support it — currently `adjust`, whose migrations then cross the
+	// wire via the cell-migration control frames (psbench -wire).
+	Wire bool
 }
 
 // DefaultScale is sized for minutes-per-experiment on a laptop.

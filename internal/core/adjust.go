@@ -11,6 +11,7 @@ import (
 	"ps2stream/internal/migrate"
 	"ps2stream/internal/model"
 	"ps2stream/internal/window"
+	"ps2stream/internal/wire"
 )
 
 // adjustLoop is the adaptive load adjustment controller (§V-A, made
@@ -50,6 +51,13 @@ func (s *System) adjustTick() {
 		// performance".
 		return
 	}
+	if err := s.pollRemoteLoads(); err != nil {
+		// Remote load is unobservable this interval (a blip, or
+		// teardown racing the poll): leave the window accumulating and
+		// retry next tick. A genuinely dead hop fails the run on the
+		// data path.
+		return
+	}
 	loads, windowOps := s.peekWorkerLoads()
 	if windowOps < s.cfg.Adjust.MinWindowOps {
 		// Too few operations to be statistically meaningful yet. The
@@ -78,7 +86,60 @@ func (s *System) adjustTick() {
 	s.resetLoadWindows()
 }
 
-// peekWorkerLoads differences the worker bolts' cumulative op counters
+// remoteMigrator returns worker w's wire cell-migration interface, nil
+// for in-process tasks (and for remote transports without migration
+// support, which canAdjust already excludes).
+func (s *System) remoteMigrator(w int) remoteCellMigrator {
+	if tr, ok := s.cfg.RemoteWorkers[w]; ok {
+		if m, ok := tr.(remoteCellMigrator); ok {
+			return m
+		}
+	}
+	return nil
+}
+
+// pollRemoteLoads refreshes nodeWork with every remote worker's
+// cumulative processed-op counters (one stats control round each), so
+// the detector's per-interval differences measure node-side processing
+// progress — not the coordinator's hand-off rate, which would track
+// routing alone and hide a node that cannot keep up. Caller holds
+// adjustMu; no-op without remote workers.
+func (s *System) pollRemoteLoads() error {
+	if s.nodeWork == nil || len(s.cfg.RemoteWorkers) == 0 {
+		return nil
+	}
+	for _, task := range s.remoteWorkerTasks() {
+		m := s.remoteMigrator(task)
+		if m == nil {
+			continue
+		}
+		sr, err := m.WorkerStats()
+		if err != nil {
+			return err
+		}
+		s.nodeWork[task] = workCounts{objects: sr.Objects, inserts: sr.Inserts, deletes: sr.Deletes}
+	}
+	return nil
+}
+
+// curWork reads worker i's cumulative op counts from the controller's
+// point of view: the node-reported counters for remote tasks (filled by
+// pollRemoteLoads), the worker bolts' tallies for local ones. Caller
+// holds adjustMu.
+func (s *System) curWork(i int) workCounts {
+	if s.nodeWork != nil {
+		if _, remote := s.cfg.RemoteWorkers[i]; remote {
+			return s.nodeWork[i]
+		}
+	}
+	return workCounts{
+		objects: s.workObjects[i].Load(),
+		inserts: s.workInserts[i].Load(),
+		deletes: s.workDeletes[i].Load(),
+	}
+}
+
+// peekWorkerLoads differences the per-worker cumulative op counters
 // against the previous committed sample and evaluates Definition 1 per
 // worker, without consuming the window — commitWorkSample does that once
 // the caller decides to use the observation. It returns the per-window
@@ -87,10 +148,11 @@ func (s *System) peekWorkerLoads() ([]float64, int64) {
 	loads := make([]float64, len(s.workers))
 	var total int64
 	for i := range s.workers {
+		cur := s.curWork(i)
 		d := workCounts{
-			objects: s.workObjects[i].Load() - s.prevWork[i].objects,
-			inserts: s.workInserts[i].Load() - s.prevWork[i].inserts,
-			deletes: s.workDeletes[i].Load() - s.prevWork[i].deletes,
+			objects: cur.objects - s.prevWork[i].objects,
+			inserts: cur.inserts - s.prevWork[i].inserts,
+			deletes: cur.deletes - s.prevWork[i].deletes,
 		}
 		total += d.objects + d.inserts + d.deletes
 		loads[i] = s.cfg.Costs.Worker(float64(d.objects), float64(d.inserts), float64(d.deletes))
@@ -102,20 +164,22 @@ func (s *System) peekWorkerLoads() ([]float64, int64) {
 // the next measurement window. Caller holds adjustMu.
 func (s *System) commitWorkSample() {
 	for i := range s.workers {
-		s.prevWork[i] = workCounts{
-			objects: s.workObjects[i].Load(),
-			inserts: s.workInserts[i].Load(),
-			deletes: s.workDeletes[i].Load(),
-		}
+		s.prevWork[i] = s.curWork(i)
 	}
 }
 
 // resetLoadWindows starts a fresh Definition-1 window: the dispatcher-side
 // per-worker counters (Snapshot.WorkerLoads) and the per-cell object
-// windows inside each GI2 index (Phase I/II candidate loads).
+// windows inside each GI2 index (Phase I/II candidate loads) — including
+// the indexes living on remote nodes, which reset via a fire-and-forget
+// control frame (FIFO guarantees the next CellStats observes it).
 func (s *System) resetLoadWindows() {
 	s.resetWindow()
-	for _, w := range s.workers {
+	for i, w := range s.workers {
+		if m := s.remoteMigrator(i); m != nil {
+			_ = m.ResetWindow() // a failure here surfaces on the data path
+			continue
+		}
 		w.mu.Lock()
 		w.gi.ResetWindow()
 		w.mu.Unlock()
@@ -140,6 +204,9 @@ func (s *System) AdjustNow() int {
 	s.globalMu.Unlock()
 	if dualActive {
 		return 0
+	}
+	if err := s.pollRemoteLoads(); err != nil {
+		return 0 // remote load unobservable; adjusting blind would misplace cells
 	}
 	loads, windowOps := s.peekWorkerLoads()
 	if windowOps > 0 {
@@ -176,8 +243,34 @@ func (s *System) migrationCount() int {
 func (s *System) runAdjustment(wo, wl int, loads []float64, rng *rand.Rand) {
 	var movedLoad float64
 
+	// One planner snapshot per remote endpoint: Phase I shares, Phase II
+	// candidates and the tau pricing for a remote worker all derive from
+	// a single CellStats round, so they cannot disagree with each other
+	// (and the adjustment costs one round per endpoint, not three). If
+	// an endpoint cannot be observed the adjustment aborts — planning
+	// against a zero view would move arbitrarily much. Local endpoints
+	// keep reading their index directly: re-reads are cheap and observe
+	// Phase I's effects exactly as before.
+	remoteStats := make(map[int][]wire.CellStat)
+	for _, w := range []int{wo, wl} {
+		if m := s.remoteMigrator(w); m != nil {
+			stats, err := m.CellStats()
+			if err != nil {
+				return
+			}
+			if stats == nil {
+				// The snapshot is the remote-vs-local discriminator in
+				// the readers below: an empty remote node must present a
+				// non-nil (empty) view, or it would be misread as local
+				// and planned from the coordinator's shadow index.
+				stats = []wire.CellStat{}
+			}
+			remoteStats[w] = stats
+		}
+	}
+
 	// Phase I: split/merge opportunities on the heaviest cells.
-	woShares, wlShares := s.collectShares(wo), s.collectSharesMap(wl)
+	woShares, wlShares := s.collectShares(wo, remoteStats[wo]), s.collectSharesMap(wl, remoteStats[wl])
 	actions := migrate.PlanPhaseI(woShares, wlShares, s.cellObjTotal, migrate.PhaseIConfig{
 		P:     s.cfg.Adjust.PhaseIP,
 		Costs: s.cfg.Costs,
@@ -186,11 +279,17 @@ func (s *System) runAdjustment(wo, wl int, loads []float64, rng *rand.Rand) {
 		start := time.Now()
 		var moved int
 		var nbytes int64
+		var ok bool
 		switch a.Kind {
 		case migrate.ActionSplitText:
-			moved, nbytes = s.migrateSplit(wo, wl, a.Cell, a.Keys)
+			moved, nbytes, ok = s.migrateSplit(wo, wl, a.Cell, a.Keys)
 		case migrate.ActionMergeShares:
-			moved, nbytes = s.migrateShare(wo, wl, a.Cell)
+			moved, nbytes, ok = s.migrateShare(wo, wl, a.Cell)
+		}
+		if !ok {
+			// A wire round failed before the routing flip: nothing moved,
+			// so neither the stats nor the tau budget may count it.
+			continue
 		}
 		movedLoad += a.LoadMoved
 		s.recordMigration(MigrationStat{
@@ -212,11 +311,11 @@ func (s *System) runAdjustment(wo, wl int, loads []float64, rng *rand.Rand) {
 	// loads decide *whether* to adjust; they are not commensurable with
 	// cell loads and using their gap as tau moves arbitrarily little or
 	// much.
-	cells := s.migrationCandidates(wo)
+	cells := s.migrationCandidates(wo, remoteStats[wo])
 	if len(cells) == 0 {
 		return
 	}
-	tau := (s.cellLoadSum(wo)-s.cellLoadSum(wl))/2 - movedLoad
+	tau := (s.cellLoadSum(wo, remoteStats[wo])-s.cellLoadSum(wl, remoteStats[wl]))/2 - movedLoad
 	if tau <= 0 {
 		return
 	}
@@ -227,19 +326,26 @@ func (s *System) runAdjustment(wo, wl int, loads []float64, rng *rand.Rand) {
 		return
 	}
 	start := time.Now()
-	var totalMoved int
+	var totalMoved, totalCells int
 	var totalBytes int64
 	for _, c := range sel.Cells {
-		moved, nbytes := s.migrateShare(wo, wl, c.ID)
+		moved, nbytes, ok := s.migrateShare(wo, wl, c.ID)
+		if !ok {
+			continue
+		}
 		totalMoved += moved
 		totalBytes += nbytes
+		totalCells++
+	}
+	if totalCells == 0 {
+		return
 	}
 	s.recordMigration(MigrationStat{
 		Algorithm:     s.cfg.Adjust.Algorithm,
 		SelectionTime: selTime,
 		Duration:      time.Since(start),
 		Bytes:         totalBytes,
-		Cells:         len(sel.Cells),
+		Cells:         totalCells,
 		QueriesMoved:  totalMoved,
 		From:          wo,
 		To:            wl,
@@ -259,8 +365,34 @@ func (s *System) cellObjTotal(cell int) int64 {
 	return s.cellObjects[cell].Load()
 }
 
-// collectShares snapshots the Phase I view of a worker's cells.
-func (s *System) collectShares(w int) []migrate.CellShare {
+// collectShares snapshots the Phase I view of a worker's cells — from
+// the local index, or from the adjustment's pre-fetched CellStats
+// snapshot for a remote worker (remote non-nil; see runAdjustment).
+// Pending cells are filtered at call time, so a snapshot taken before
+// Phase I still excludes the cells Phase I just migrated.
+func (s *System) collectShares(w int, remote []wire.CellStat) []migrate.CellShare {
+	if remote != nil {
+		shares := make([]migrate.CellShare, 0, len(remote))
+		for _, cs := range remote {
+			if cs.Entries == 0 || s.cellPending(cs.Cell) {
+				continue
+			}
+			share := migrate.CellShare{
+				Cell:      cs.Cell,
+				Queries:   cs.Entries,
+				ObjSeen:   cs.ObjSeen,
+				SizeBytes: cs.SizeBytes,
+				Text:      s.gridT.Load().IsTextCell(cs.Cell),
+			}
+			for _, ts := range cs.Terms {
+				share.Keys = append(share.Keys, migrate.KeyStat{
+					Key: ts.Term, Queries: ts.Queries, ObjHits: ts.ObjHits,
+				})
+			}
+			shares = append(shares, share)
+		}
+		return shares
+	}
 	ws := s.workers[w]
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
@@ -287,9 +419,9 @@ func (s *System) collectShares(w int) []migrate.CellShare {
 	return shares
 }
 
-func (s *System) collectSharesMap(w int) map[int]migrate.CellShare {
+func (s *System) collectSharesMap(w int, remote []wire.CellStat) map[int]migrate.CellShare {
 	out := make(map[int]migrate.CellShare)
-	for _, cs := range s.collectShares(w) {
+	for _, cs := range s.collectShares(w, remote) {
 		out[cs.Cell] = cs
 	}
 	return out
@@ -297,7 +429,17 @@ func (s *System) collectSharesMap(w int) map[int]migrate.CellShare {
 
 // cellLoadSum totals a worker's per-window Definition 3 cell loads
 // (n_o·n_q), the unit Phase I/II migration quantities are priced in.
-func (s *System) cellLoadSum(w int) float64 {
+// Remote workers are read from the adjustment's pre-fetched snapshot.
+func (s *System) cellLoadSum(w int, remote []wire.CellStat) float64 {
+	if remote != nil {
+		var sum float64
+		for _, cs := range remote {
+			if cs.Load > 0 {
+				sum += cs.Load
+			}
+		}
+		return sum
+	}
 	ws := s.workers[w]
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
@@ -312,7 +454,20 @@ func (s *System) cellLoadSum(w int) float64 {
 
 // migrationCandidates lists wo's cells as Minimum Cost Migration input
 // (Definition 4): load L_g = n_o·n_q, size S_g = serialised query bytes.
-func (s *System) migrationCandidates(wo int) []migrate.Cell {
+// Remote workers are read from the adjustment's pre-fetched snapshot,
+// with pending cells (including those Phase I just migrated) filtered
+// at call time.
+func (s *System) migrationCandidates(wo int, remote []wire.CellStat) []migrate.Cell {
+	if remote != nil {
+		var cells []migrate.Cell
+		for _, cs := range remote {
+			if cs.Entries == 0 || cs.Load <= 0 || s.cellPending(cs.Cell) {
+				continue
+			}
+			cells = append(cells, migrate.Cell{ID: cs.Cell, Load: cs.Load, Size: cs.SizeBytes})
+		}
+		return cells
+	}
 	ws := s.workers[wo]
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
@@ -343,24 +498,95 @@ type pendingExtract struct {
 	barrier    int64
 }
 
+// copyCellShare snapshots worker w's share of a cell — the whole cell
+// when keys is nil, only the given registration keys otherwise —
+// without removing anything: queries plus the cell's window ring. Local
+// workers are read under their lock; remote workers serve one
+// ExtractCells(remove=false) control round, FIFO-ordered behind all
+// traffic sent to them.
+func (s *System) copyCellShare(w, cell int, keys []string) (qs []*model.Query, ring []window.Entry, err error) {
+	if m := s.remoteMigrator(w); m != nil {
+		ps, err := m.ExtractCells([]wire.CellSpec{{Cell: cell, Keys: keys}}, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(ps) > 0 {
+			return ps[0].Queries, ps[0].Ring, nil
+		}
+		return nil, nil, nil
+	}
+	ws := s.workers[w]
+	ws.mu.Lock()
+	if keys == nil {
+		qs = ws.gi.QueriesInCell(cell)
+	} else {
+		qs = ws.gi.QueriesInCellKeys(cell, keys)
+	}
+	ring = ws.win.SnapshotCell(cell, s.now())
+	ws.mu.Unlock()
+	return qs, ring, nil
+}
+
+// transferShare moves a copied cell share into worker wl and returns
+// the serialised transfer size. Locally this is ingest (serialise +
+// simulated wire + deserialise under the destination's lock); remotely
+// it is one InstallCells control round, whose ack guarantees every op
+// batch sent afterwards is matched against the installed share.
+func (s *System) transferShare(wl, cell int, qs []*model.Query, ring []window.Entry) (int64, error) {
+	if m := s.remoteMigrator(wl); m != nil {
+		if len(qs) == 0 && len(ring) == 0 {
+			return 0, nil
+		}
+		return m.InstallCells([]wire.CellPayload{{Cell: cell, Queries: qs, Ring: ring}}, nil)
+	}
+	_, nbytes := s.ingest(wl, cell, qs, ring)
+	return nbytes, nil
+}
+
+// announceFence forwards the current routing epoch to every remote
+// worker after a flip. The frame itself is informational, but its FIFO
+// position matters: the deferred ExtractCells request follows it on the
+// source's connection, so the remote extraction is ordered behind the
+// same epoch boundary the in-process drain barrier provides locally.
+func (s *System) announceFence() {
+	if len(s.cfg.RemoteWorkers) == 0 {
+		return
+	}
+	epoch := s.routeFence.Epoch()
+	for _, task := range s.remoteWorkerTasks() {
+		if m := s.remoteMigrator(task); m != nil {
+			_ = m.SendFence(epoch) // informational; failures surface on the data path
+		}
+	}
+}
+
 // migrateShare moves worker wo's entire share of a cell to wl using the
 // copy → transfer → flip-routing → deferred-extract sequence, so no
 // matching object is ever routed to a worker without the queries. The
 // cell's window state (ring entries and top-k-held objects located in the
 // cell) travels with the queries, so sliding-window top-k subscriptions
-// survive the hand-off without losing window history.
-func (s *System) migrateShare(wo, wl, cell int) (queriesMoved int, nbytes int64) {
+// survive the hand-off without losing window history. Either endpoint
+// may live on a remote node: the copy/transfer halves then ride the
+// ExtractCells/InstallCells control frames instead of direct index
+// calls, with unchanged barrier semantics. ok is false when a wire
+// round failed before the routing flip — nothing moved, nothing to
+// record.
+func (s *System) migrateShare(wo, wl, cell int) (queriesMoved int, nbytes int64, ok bool) {
 	// 1. Copy.
-	s.workers[wo].mu.Lock()
-	qs := s.workers[wo].gi.QueriesInCell(cell)
-	win := s.workers[wo].win.SnapshotCell(cell, s.now())
-	s.workers[wo].mu.Unlock()
-	// 2. Transfer (serialise + simulated wire + deserialise). The
-	// receive-and-ingest happens under the destination worker's lock:
-	// on the paper's cluster the receiving worker is busy ingesting the
-	// migrated queries instead of processing tuples, which is exactly
-	// what delays tuples in Figures 12(c)/15.
-	_, nbytes = s.ingest(wl, cell, qs, win)
+	qs, win, err := s.copyCellShare(wo, cell, nil)
+	if err != nil {
+		return 0, 0, false // wire failure before anything changed: abort this migration
+	}
+	// 2. Transfer. On the paper's cluster the receiving worker is busy
+	// ingesting the migrated queries instead of processing tuples, which
+	// is exactly what delays tuples in Figures 12(c)/15; locally ingest
+	// holds the destination's lock for the same reason. A transfer
+	// failure aborts before the routing flip — the destination holds at
+	// worst an unused copy whose duplicate matches the mergers suppress.
+	nbytes, err = s.transferShare(wl, cell, qs, win)
+	if err != nil {
+		return 0, 0, false
+	}
 	// 3. Flip routing, then advance the dispatcher fence: Advance blocks
 	// until every dispatcher batch routed under the pre-flip table has
 	// finished enqueuing, so the barrier read below covers all old-epoch
@@ -373,27 +599,32 @@ func (s *System) migrateShare(wo, wl, cell int) (queriesMoved int, nbytes int64)
 		s.gridT.Load().ReassignSpaceCell(cell, wl)
 	}
 	s.routeFence.Advance()
+	s.announceFence()
 	// 4. Schedule extraction once wo drains its pre-flip queue.
 	s.scheduleExtract(pendingExtract{cell: cell, wo: wo, wl: wl, copied: idSet(qs),
 		copiedMsgs: msgIDSet(win), barrier: s.enqueued[wo].Load()})
-	return len(qs), nbytes
+	return len(qs), nbytes, true
 }
 
 // migrateSplit converts a space cell to a text cell, moving only the given
 // registration keys (Phase I split). The cell's window ring is copied (not
 // moved) so the receiving share can repair its top-k subscriptions from
 // the same history; the source keeps the cell for its remaining keys.
-func (s *System) migrateSplit(wo, wl, cell int, keys []string) (queriesMoved int, nbytes int64) {
-	s.workers[wo].mu.Lock()
-	qs := s.workers[wo].gi.QueriesInCellKeys(cell, keys)
-	win := s.workers[wo].win.SnapshotCell(cell, s.now())
-	s.workers[wo].mu.Unlock()
-	_, nbytes = s.ingest(wl, cell, qs, win)
+func (s *System) migrateSplit(wo, wl, cell int, keys []string) (queriesMoved int, nbytes int64, ok bool) {
+	qs, win, err := s.copyCellShare(wo, cell, keys)
+	if err != nil {
+		return 0, 0, false
+	}
+	nbytes, err = s.transferShare(wl, cell, qs, win)
+	if err != nil {
+		return 0, 0, false
+	}
 	s.gridT.Load().SplitSpaceCellByText(cell, keys, wl)
 	s.routeFence.Advance() // see migrateShare: barrier must postdate all old-epoch batches
+	s.announceFence()
 	s.scheduleExtract(pendingExtract{cell: cell, wo: wo, wl: wl, keys: keys,
 		copied: idSet(qs), copiedMsgs: msgIDSet(win), barrier: s.enqueued[wo].Load()})
-	return len(qs), nbytes
+	return len(qs), nbytes, true
 }
 
 func msgIDSet(es []window.Entry) map[uint64]struct{} {
@@ -435,9 +666,46 @@ func (s *System) processPendingExtracts() {
 	s.pendingEx = rest
 	s.migMu.Unlock()
 	for _, pe := range due {
-		now := s.now()
+		s.finishExtract(pe)
+		s.migMu.Lock()
+		delete(s.pendingCells, pe.cell)
+		s.migMu.Unlock()
+	}
+}
+
+// finishExtract runs one deferred extraction end to end: remove the
+// migrated share from the source (direct index calls locally, one
+// ExtractCells(remove=true) round for a remote source — FIFO-ordered
+// behind every pre-flip op batch and the fence frame, which is the same
+// barrier the doneOps counter provides locally), reconcile what changed
+// between copy and flip, and forward the differences to the new owner.
+func (s *System) finishExtract(pe pendingExtract) {
+	now := s.now()
+	var extracted []*model.Query
+	var ring []window.Entry
+	var ds []window.Delta
+	if m := s.remoteMigrator(pe.wo); m != nil {
+		// Remote workers hold no top-k subscriptions (the coordinator
+		// refuses them), so the share is queries + ring only.
+		ps, err := m.ExtractCells([]wire.CellSpec{{Cell: pe.cell, Keys: pe.keys}}, true)
+		if err != nil {
+			// The extraction round failed. A timed-out round is
+			// ambiguous — the node may or may not have removed the share
+			// — so retrying is NOT safe: a second extraction of an
+			// already-empty cell would misread every copied query as
+			// "deleted between copy and flip" and wipe the migrated
+			// share at the destination. Abandon the extraction instead:
+			// at worst the source keeps a stale duplicate copy whose
+			// matches the mergers suppress, and a control round only
+			// fails on a connection that is about to fail the run on
+			// the data path anyway.
+			return
+		}
+		if len(ps) > 0 {
+			extracted, ring = ps[0].Queries, ps[0].Ring
+		}
+	} else {
 		s.workers[pe.wo].mu.Lock()
-		var extracted []*model.Query
 		if pe.keys == nil {
 			extracted = s.workers[pe.wo].gi.ExtractCell(pe.cell)
 		} else {
@@ -451,7 +719,7 @@ func (s *System) processPendingExtracts() {
 		// drop their heaps. The deltas stay in one batch with the
 		// destination's adoptions below, so a hand-off that preserves
 		// membership nets out to zero user-visible updates.
-		var ds []window.Delta
+		//
 		// Subscriptions whose only live presence was the migrated share
 		// are removed first, so DropCell below doesn't waste a ring scan
 		// refilling heaps that are about to disappear.
@@ -460,8 +728,6 @@ func (s *System) processPendingExtracts() {
 				ds = append(ds, s.workers[pe.wo].win.RemoveSub(q.ID)...)
 			}
 		}
-		var ringLeft []window.Entry
-		var ring []window.Entry
 		if pe.keys == nil {
 			var dropDs []window.Delta
 			ring, dropDs = s.workers[pe.wo].win.DropCell(pe.cell, now)
@@ -473,53 +739,64 @@ func (s *System) processPendingExtracts() {
 			// cell's full history too.
 			ring = s.workers[pe.wo].win.SnapshotCell(pe.cell, now)
 		}
-		for _, e := range ring {
-			if _, ok := pe.copiedMsgs[e.MsgID]; !ok {
-				ringLeft = append(ringLeft, e)
-			}
-		}
 		s.workers[pe.wo].mu.Unlock()
-		// Forward anything that reached wo between copy and flip: queries
-		// inserted at wo (present in the extraction but not in the copy)
-		// move to wl, and queries *deleted* at wo (copied, but gone from
-		// the extraction) are deleted from wl's adopted copy too — a
-		// delete routed under the pre-flip table reaches only wo, and
-		// without this reconciliation the migrated copy would keep
-		// matching forever.
-		var leftover []*model.Query
-		for _, q := range extracted {
-			if _, ok := pe.copied[q.ID]; !ok {
-				leftover = append(leftover, q)
+	}
+	var ringLeft []window.Entry
+	for _, e := range ring {
+		if _, ok := pe.copiedMsgs[e.MsgID]; !ok {
+			ringLeft = append(ringLeft, e)
+		}
+	}
+	// Forward anything that reached wo between copy and flip: queries
+	// inserted at wo (present in the extraction but not in the copy)
+	// move to wl, and queries *deleted* at wo (copied, but gone from
+	// the extraction) are deleted from wl's adopted copy too — a
+	// delete routed under the pre-flip table reaches only wo, and
+	// without this reconciliation the migrated copy would keep
+	// matching forever.
+	var leftover []*model.Query
+	for _, q := range extracted {
+		if _, ok := pe.copied[q.ID]; !ok {
+			leftover = append(leftover, q)
+		}
+	}
+	extractedIDs := idSet(extracted)
+	var deleted []uint64
+	for id := range pe.copied {
+		if _, ok := extractedIDs[id]; !ok {
+			deleted = append(deleted, id)
+		}
+	}
+	if m := s.remoteMigrator(pe.wl); m != nil {
+		if len(leftover) > 0 || len(ringLeft) > 0 || len(deleted) > 0 {
+			var cells []wire.CellPayload
+			if len(leftover) > 0 || len(ringLeft) > 0 {
+				cells = []wire.CellPayload{{Cell: pe.cell, Queries: leftover, Ring: ringLeft}}
+			}
+			// Best-effort: a failure here means the destination's
+			// connection is down, which already fails the run on the
+			// data path — re-extracting could not recover the copies
+			// the source no longer holds.
+			_, _ = m.InstallCells(cells, deleted)
+		}
+		s.board.Apply(ds)
+	} else if len(leftover) > 0 || len(ringLeft) > 0 || len(ds) > 0 || len(deleted) > 0 {
+		s.workers[pe.wl].mu.Lock()
+		for _, q := range leftover {
+			s.workers[pe.wl].gi.InsertAt(pe.cell, q)
+			if q.IsTopK() {
+				ds = append(ds, s.workers[pe.wl].win.AddSub(q, now)...)
 			}
 		}
-		extractedIDs := idSet(extracted)
-		var deleted []uint64
-		for id := range pe.copied {
-			if _, ok := extractedIDs[id]; !ok {
-				deleted = append(deleted, id)
-			}
+		for _, id := range deleted {
+			s.workers[pe.wl].gi.Delete(id)
+			ds = append(ds, s.workers[pe.wl].win.RemoveSub(id)...)
 		}
-		if len(leftover) > 0 || len(ringLeft) > 0 || len(ds) > 0 || len(deleted) > 0 {
-			s.workers[pe.wl].mu.Lock()
-			for _, q := range leftover {
-				s.workers[pe.wl].gi.InsertAt(pe.cell, q)
-				if q.IsTopK() {
-					ds = append(ds, s.workers[pe.wl].win.AddSub(q, now)...)
-				}
-			}
-			for _, id := range deleted {
-				s.workers[pe.wl].gi.Delete(id)
-				ds = append(ds, s.workers[pe.wl].win.RemoveSub(id)...)
-			}
-			if len(ringLeft) > 0 {
-				ds = append(ds, s.workers[pe.wl].win.AdoptCell(pe.cell, ringLeft, now)...)
-			}
-			s.board.Apply(ds)
-			s.workers[pe.wl].mu.Unlock()
+		if len(ringLeft) > 0 {
+			ds = append(ds, s.workers[pe.wl].win.AdoptCell(pe.cell, ringLeft, now)...)
 		}
-		s.migMu.Lock()
-		delete(s.pendingCells, pe.cell)
-		s.migMu.Unlock()
+		s.board.Apply(ds)
+		s.workers[pe.wl].mu.Unlock()
 	}
 }
 

@@ -123,9 +123,18 @@ func runHotspotPublish(t *testing.T, adjust bool) (matches [][2]uint64, migratio
 // -race in CI, this is also the controller's data-race coverage.
 func TestAdjustPublishMatchesStaticOracle(t *testing.T) {
 	want, _ := runHotspotPublish(t, false)
-	got, migrations := runHotspotPublish(t, true)
+	// The adjusted run migrates in the common case but not always: an
+	// AdjustNow landing right after a window reset can see empty
+	// per-cell loads, and the finite burst may end before the next
+	// opportunity. Retry the vacuous outcome a bounded number of times —
+	// every run's match set is checked regardless.
+	var got [][2]uint64
+	var migrations int
+	for attempt := 0; attempt < 3 && migrations == 0; attempt++ {
+		got, migrations = runHotspotPublish(t, true)
+	}
 	if migrations == 0 {
-		t.Fatal("no migrations executed; the equivalence check is vacuous — tighten the controller config")
+		t.Fatal("no migrations executed in any attempt; the equivalence check is vacuous — tighten the controller config")
 	}
 	if len(want) == 0 {
 		t.Fatal("workload produced no matches; the equivalence check is vacuous")

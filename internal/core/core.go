@@ -108,9 +108,12 @@ type Config struct {
 	// RemoteWorkers places worker tasks out-of-process: task index →
 	// transport to the psnode running it (ConnectRemoteWorkers dials
 	// and fills this). Tasks not listed run in-process as usual.
-	// Remote placement is static: dynamic load adjustment, global
-	// repartition and sliding-window top-k subscriptions require
-	// in-process workers (docs/WIRE.md).
+	// Dynamic load adjustment (Adjust, AdjustNow) works across the
+	// wire: gridt cells migrate between processes via the
+	// ExtractCells/InstallCells control frames, and the load detector
+	// consumes node-reported counters (docs/WIRE.md). Global
+	// repartition and sliding-window top-k subscriptions still require
+	// in-process workers.
 	RemoteWorkers map[int]stream.Transport
 	// RemoteMergers places merger tasks out-of-process. Matches routed
 	// to a remote merger are deduplicated and delivered on its node;
@@ -347,15 +350,23 @@ type System struct {
 	// Worker-fed load accounting (adaptive controller): cumulative
 	// per-worker op counts incremented by the worker bolts once per
 	// batch; the controller samples and differences them each interval.
+	// For remote worker tasks these follow wire hand-off (traffic
+	// accounting); the controller uses nodeWork instead.
 	workObjects []atomic.Int64
 	workInserts []atomic.Int64
 	workDeletes []atomic.Int64
 
 	// Adaptive controller state. adjustMu serialises the background loop
-	// and AdjustNow; prevWork/detector/adjustRng are owned under it.
-	// loadEWMA values are atomically readable for Snapshot.
-	adjustMu  sync.Mutex
-	prevWork  []workCounts
+	// and AdjustNow; prevWork/nodeWork/detector/adjustRng are owned
+	// under it. loadEWMA values are atomically readable for Snapshot.
+	adjustMu sync.Mutex
+	prevWork []workCounts
+	// nodeWork holds the latest node-reported cumulative op counts for
+	// remote worker tasks (pollRemoteLoads fills it over the stats
+	// control round each evaluation), so the detector sees what each
+	// node actually processed this interval rather than what the
+	// coordinator handed off to the wire.
+	nodeWork  []workCounts
 	loadEWMA  []*metrics.EWMA
 	detector  *load.Detector
 	adjustRng *rand.Rand
@@ -466,8 +477,42 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 			return nil, fmt.Errorf("%w: merger %d of %d", ErrRemoteTask, task, cfg.Mergers)
 		}
 	}
-	if cfg.Adjust.Enabled && len(cfg.RemoteWorkers) > 0 {
-		return nil, ErrRemoteNeedsStatic
+	if cfg.Adjust.Enabled {
+		// Phase I/II adjustment works across the wire, but only through
+		// transports that speak the cell-migration control frames; a
+		// custom Transport without them would leave the controller
+		// unable to move (or even see) the remote cells.
+		for task, tr := range cfg.RemoteWorkers {
+			if _, ok := tr.(remoteCellMigrator); !ok {
+				return nil, fmt.Errorf("%w: worker %d transport %T cannot migrate cells",
+					ErrRemoteNeedsStatic, task, tr)
+			}
+		}
+	}
+	// The dial-time handshake pinned each node's topology shape and grid
+	// geometry; refuse a Config that has since drifted from it, because
+	// the nodes have already indexed against the handshake's geometry.
+	for task, tr := range cfg.RemoteWorkers {
+		h, ok := tr.(remoteHelloer)
+		if !ok {
+			continue
+		}
+		hello := h.Hello()
+		granularity := cfg.Granularity // fillDefaults already ran
+		switch {
+		case hello.Workers != cfg.Workers:
+			return nil, fmt.Errorf("%w: worker %d dialled with Workers=%d, Config now has %d",
+				ErrRemoteConfigMismatch, task, hello.Workers, cfg.Workers)
+		case hello.Granularity != granularity:
+			return nil, fmt.Errorf("%w: worker %d dialled with Granularity=%d, Config now has %d",
+				ErrRemoteConfigMismatch, task, hello.Granularity, granularity)
+		case hello.BatchSize != cfg.BatchSize:
+			return nil, fmt.Errorf("%w: worker %d dialled with BatchSize=%d, Config now has %d",
+				ErrRemoteConfigMismatch, task, hello.BatchSize, cfg.BatchSize)
+		case hello.Bounds != sample.Bounds:
+			return nil, fmt.Errorf("%w: worker %d dialled with bounds %v, sample now has %v",
+				ErrRemoteConfigMismatch, task, hello.Bounds, sample.Bounds)
+		}
 	}
 	s.board = newTopKBoard(cfg.OnTopK)
 	s.workers = make([]*workerState, cfg.Workers)
@@ -505,6 +550,7 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 	}
 	if s.canAdjust() {
 		s.prevWork = make([]workCounts, cfg.Workers)
+		s.nodeWork = make([]workCounts, cfg.Workers)
 		s.loadEWMA = make([]*metrics.EWMA, cfg.Workers)
 		for i := range s.loadEWMA {
 			s.loadEWMA[i] = metrics.NewEWMA(cfg.Adjust.EWMAAlpha)
@@ -524,12 +570,20 @@ type workCounts struct {
 	objects, inserts, deletes int64
 }
 
-// canAdjust reports whether the migration machinery is available (hybrid
-// routing + GI2 worker indexes — the units cells migrate in — and every
-// worker in-process: migrations move cells between local indexes).
+// canAdjust reports whether the migration machinery is available: hybrid
+// routing + GI2 worker indexes (the units cells migrate in), and every
+// remote worker behind a transport that speaks the cell-migration
+// control frames (local workers migrate through direct index calls).
 func (s *System) canAdjust() bool {
-	return s.gridT.Load() != nil && len(s.workers) > 0 && s.workers[0].gi != nil &&
-		len(s.cfg.RemoteWorkers) == 0
+	if s.gridT.Load() == nil || len(s.workers) == 0 || s.workers[0].gi == nil {
+		return false
+	}
+	for _, tr := range s.cfg.RemoteWorkers {
+		if _, ok := tr.(remoteCellMigrator); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // assignBox gives atomic.Value a single concrete type to hold, since the

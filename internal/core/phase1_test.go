@@ -53,7 +53,7 @@ func TestMigrateSplitMovesOneKeyShare(t *testing.T) {
 	wo := gt.CellWorkers(cell)[0]
 	wl := (wo + 1) % 4
 
-	moved, nbytes := sys.migrateSplit(wo, wl, cell, []string{"splitkeya"})
+	moved, nbytes, _ := sys.migrateSplit(wo, wl, cell, []string{"splitkeya"})
 	if moved != 10 || nbytes <= 0 {
 		t.Fatalf("migrateSplit moved %d queries (%d bytes), want 10", moved, nbytes)
 	}

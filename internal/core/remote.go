@@ -35,14 +35,54 @@ type remoteMergerCounter interface {
 	Counts() (delivered, duplicates int64, err error)
 }
 
-// ErrRemoteNeedsStatic is returned when dynamic load adjustment is
-// combined with remote workers: migrations move gridt cells between
-// local worker indexes, which a remote worker does not have.
-var ErrRemoteNeedsStatic = errors.New("core: dynamic load adjustment requires in-process workers")
+// ErrRemoteNeedsStatic is returned when an operation that must reach
+// inside every worker index is combined with remote workers it cannot
+// reach: global repartition (which relocates the whole standing
+// population), and dynamic load adjustment over a custom RemoteWorkers
+// transport that does not support cell migration. Phase I/II dynamic
+// adjustment itself works across processes when the transports are the
+// wire-backed ones ConnectRemoteWorkers installs — cells then migrate
+// via ExtractCells/InstallCells control frames (docs/WIRE.md).
+var ErrRemoteNeedsStatic = errors.New("core: operation requires in-process workers (or a cell-migration-capable remote transport)")
 
 // ErrRemoteTask is returned for RemoteWorkers/RemoteMergers keys
 // outside the topology's task range.
 var ErrRemoteTask = errors.New("core: remote task index out of range")
+
+// ErrRemoteConfigMismatch is returned by New when a remote worker's
+// dial-time handshake disagrees with the final Config: RemoteHello pins
+// Workers/Granularity/BatchSize (and the sample bounds) at dial time,
+// so mutating the Config between ConnectRemoteWorkers and New would
+// silently disagree with the geometry the nodes indexed against.
+var ErrRemoteConfigMismatch = errors.New("core: remote worker handshake disagrees with Config")
+
+// ErrNilSample is returned when remote peers are dialled without a
+// workload sample: the handshake distributes the sample's bounds and
+// term statistics, without which gridt/GI2 cell ids cannot agree
+// across processes.
+var ErrNilSample = errors.New("core: remote connection requires a non-nil workload sample")
+
+// remoteCellMigrator is the optional Transport extension dynamic load
+// adjustment uses to migrate gridt cells across the wire: planner
+// statistics, node-reported load counters, the copy/extract and install
+// halves of a migration, and the per-interval cell-window reset. The
+// wire-backed transports ConnectRemoteWorkers installs implement it;
+// adjustment with a remote transport that does not is refused
+// (ErrRemoteNeedsStatic).
+type remoteCellMigrator interface {
+	WorkerStats() (wire.StatsReply, error)
+	CellStats() ([]wire.CellStat, error)
+	ExtractCells(cells []wire.CellSpec, remove bool) ([]wire.CellPayload, error)
+	InstallCells(cells []wire.CellPayload, deletes []uint64) (int64, error)
+	SendFence(epoch uint64) error
+	ResetWindow() error
+}
+
+// remoteHelloer exposes the dial-time handshake for New's
+// config-agreement validation.
+type remoteHelloer interface {
+	Hello() wire.Hello
+}
 
 // wireWorkerTransport adapts a wire.WorkerClient to stream.Transport:
 // Send carries opEnvelope tuples out as one OpBatch frame per transfer
@@ -83,6 +123,21 @@ func (t *wireWorkerTransport) DrainWorker() (done, emitted int64, err error) {
 	return ack.Done, ack.Emitted, nil
 }
 
+// remoteCellMigrator implementation: delegate to the wire client's
+// control rounds (FIFO-ordered on the worker's connection, behind all
+// op batches and fence frames sent before them).
+func (t *wireWorkerTransport) WorkerStats() (wire.StatsReply, error) { return t.c.Stats() }
+func (t *wireWorkerTransport) CellStats() ([]wire.CellStat, error)   { return t.c.CellStats() }
+func (t *wireWorkerTransport) ExtractCells(cells []wire.CellSpec, remove bool) ([]wire.CellPayload, error) {
+	return t.c.ExtractCells(cells, remove)
+}
+func (t *wireWorkerTransport) InstallCells(cells []wire.CellPayload, deletes []uint64) (int64, error) {
+	return t.c.InstallCells(cells, deletes)
+}
+func (t *wireWorkerTransport) SendFence(epoch uint64) error { return t.c.SendFence(epoch) }
+func (t *wireWorkerTransport) ResetWindow() error           { return t.c.ResetWindow() }
+func (t *wireWorkerTransport) Hello() wire.Hello            { return t.c.Hello() }
+
 // wireMergerTransport adapts a wire.MergerClient to stream.Transport
 // (forward direction only: mergers send nothing back but counters).
 type wireMergerTransport struct {
@@ -109,7 +164,10 @@ func (t *wireMergerTransport) Counts() (delivered, duplicates int64, err error) 
 // RemoteHello assembles the coordinator handshake for task `task`: the
 // grid geometry and sampled term statistics every process must share
 // for gridt/GI2 cell ids — and the registration-keyword choice — to
-// agree across the wire.
+// agree across the wire. A nil sample yields a Hello with zero bounds
+// and no term statistics (useless to a peer, but never a panic);
+// ConnectRemoteWorkers/ConnectRemoteMergers refuse it with ErrNilSample
+// before dialling.
 func (c *Config) RemoteHello(task int, sample *partition.Sample) wire.Hello {
 	granularity := c.Granularity
 	if granularity <= 0 {
@@ -123,19 +181,20 @@ func (c *Config) RemoteHello(task int, sample *partition.Sample) wire.Hello {
 	if workers <= 0 {
 		workers = defaultWorkers
 	}
-	var terms map[string]int
-	if sample != nil && sample.Stats != nil {
-		terms = sample.Stats.Vector()
-	}
-	return wire.Hello{
+	h := wire.Hello{
 		Role:        wire.RoleCoordinator,
 		Task:        task,
 		Workers:     workers,
-		Bounds:      sample.Bounds,
 		Granularity: granularity,
 		BatchSize:   batch,
-		Terms:       terms,
 	}
+	if sample != nil {
+		h.Bounds = sample.Bounds
+		if sample.Stats != nil {
+			h.Terms = sample.Stats.Vector()
+		}
+	}
+	return h
 }
 
 // ConnectRemoteWorkers dials one worker node per address (with
@@ -143,10 +202,16 @@ func (c *Config) RemoteHello(task int, sample *partition.Sample) wire.Hello {
 // the transports as worker tasks 0..len(addrs)-1. Defaults are applied
 // first (an unset Workers still means the usual 8), then Workers is
 // raised if the addresses outnumber it; tasks beyond the remote ones
-// run in-process. On error, every transport dialed so far is closed.
+// run in-process. On error, only the transports this call dialed are
+// closed and removed: caller-installed entries survive, so a retry (or
+// a New over the partially-connected Config) never sees a closed
+// transport left behind.
 func (c *Config) ConnectRemoteWorkers(addrs []string, sample *partition.Sample, b wire.Backoff) error {
 	if len(addrs) == 0 {
 		return nil
+	}
+	if sample == nil {
+		return fmt.Errorf("core: connecting workers: %w", ErrNilSample)
 	}
 	// Pin the worker default before sizing against it, so listing one
 	// remote address does not silently shrink an unset Workers from the
@@ -162,15 +227,18 @@ func (c *Config) ConnectRemoteWorkers(addrs []string, sample *partition.Sample, 
 	if c.RemoteWorkers == nil {
 		c.RemoteWorkers = make(map[int]stream.Transport, len(addrs))
 	}
+	dialed := make([]int, 0, len(addrs))
 	for i, addr := range addrs {
 		cl, err := wire.DialWorker(addr, c.RemoteHello(i, sample), b)
 		if err != nil {
-			for _, tr := range c.RemoteWorkers {
-				tr.Close()
+			for _, task := range dialed {
+				c.RemoteWorkers[task].Close()
+				delete(c.RemoteWorkers, task)
 			}
 			return fmt.Errorf("core: connecting worker %d at %s: %w", i, addr, err)
 		}
 		c.RemoteWorkers[i] = &wireWorkerTransport{c: cl}
+		dialed = append(dialed, i)
 	}
 	return nil
 }
@@ -185,21 +253,29 @@ func (c *Config) ConnectRemoteMergers(addrs []string, sample *partition.Sample, 
 	if len(addrs) == 0 {
 		return nil
 	}
+	if sample == nil {
+		return fmt.Errorf("core: connecting mergers: %w", ErrNilSample)
+	}
 	if c.Mergers < len(addrs) {
 		c.Mergers = len(addrs)
 	}
 	if c.RemoteMergers == nil {
 		c.RemoteMergers = make(map[int]stream.Transport, len(addrs))
 	}
+	dialed := make([]int, 0, len(addrs))
 	for i, addr := range addrs {
 		cl, err := wire.DialMerger(addr, c.RemoteHello(i, sample), b)
 		if err != nil {
-			for _, tr := range c.RemoteMergers {
-				tr.Close()
+			// Close and remove only this call's dials (see
+			// ConnectRemoteWorkers).
+			for _, task := range dialed {
+				c.RemoteMergers[task].Close()
+				delete(c.RemoteMergers, task)
 			}
 			return fmt.Errorf("core: connecting merger %d at %s: %w", i, addr, err)
 		}
 		c.RemoteMergers[i] = &wireMergerTransport{c: cl}
+		dialed = append(dialed, i)
 	}
 	return nil
 }
@@ -241,8 +317,12 @@ type remoteWorkerBolt struct {
 
 // ProcessBatch implements stream.BatchBolt.
 func (r *remoteWorkerBolt) ProcessBatch(ts []stream.Tuple, _ stream.Collector) {
-	// The controller's worker-fed load tallies follow hand-off (the
-	// remote peer's own processing is not observable per-interval).
+	// These tallies follow hand-off and feed WorkerOpCounts (traffic
+	// accounting, benchmarks). The adjustment controller does NOT use
+	// them for remote tasks: it polls the node's own processed-op
+	// counters over the stats control round (pollRemoteLoads), so the
+	// detector sees node-side processing progress rather than the
+	// coordinator's forwarding rate.
 	var nObj, nIns, nDel int64
 	for i := range ts {
 		switch ts[i].Value.(opEnvelope).op.Kind {

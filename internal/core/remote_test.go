@@ -191,9 +191,11 @@ func TestRemoteValidation(t *testing.T) {
 	}
 }
 
-// TestRemoteAdjustNowIsNoop: manual adjustment must refuse to migrate
-// when any worker is out of process.
-func TestRemoteAdjustNowIsNoop(t *testing.T) {
+// TestRemoteRepartitionStillRefused: Phase I/II adjustment is lifted
+// for wire-backed remote workers (AdjustNow may migrate), but global
+// repartition still requires in-process workers — it relocates the
+// whole standing population, which a remote index does not expose.
+func TestRemoteRepartitionStillRefused(t *testing.T) {
 	sample, ops := smallWorkload(t, workload.Q1, 5, 200)
 	addrs := startWorkerNodes(t, 1)
 	cfg := Config{Dispatchers: 1, Workers: 2, Builder: hybrid.Builder{}}
@@ -211,14 +213,102 @@ func TestRemoteAdjustNowIsNoop(t *testing.T) {
 	if err := sys.Drain(int64(len(ops))); err != nil {
 		t.Fatal(err)
 	}
-	if n := sys.AdjustNow(); n != 0 {
-		t.Errorf("AdjustNow migrated %d times with a remote worker", n)
-	}
 	if err := sys.GlobalRepartition(sample, nil); !errors.Is(err, ErrRemoteNeedsStatic) {
 		t.Errorf("GlobalRepartition: %v, want ErrRemoteNeedsStatic", err)
 	}
 	if err := sys.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRemoteHelloNilSample: assembling a handshake without a sample must
+// not panic (regression: sample.Bounds was dereferenced unconditionally
+// while the terms path guarded nil), and dialling without one is refused
+// with a typed error before any connection is attempted.
+func TestRemoteHelloNilSample(t *testing.T) {
+	cfg := Config{Workers: 2}
+	h := cfg.RemoteHello(0, nil) // must not panic
+	if h.Terms != nil || h.Bounds.Valid() && h.Bounds.Area() != 0 {
+		t.Errorf("nil-sample hello carries state: %+v", h)
+	}
+	if err := cfg.ConnectRemoteWorkers([]string{"127.0.0.1:1"}, nil, wire.Backoff{Attempts: 1}); !errors.Is(err, ErrNilSample) {
+		t.Errorf("ConnectRemoteWorkers(nil sample): %v, want ErrNilSample", err)
+	}
+	if err := cfg.ConnectRemoteMergers([]string{"127.0.0.1:1"}, nil, wire.Backoff{Attempts: 1}); !errors.Is(err, ErrNilSample) {
+		t.Errorf("ConnectRemoteMergers(nil sample): %v, want ErrNilSample", err)
+	}
+}
+
+// closeCounter is a stub transport recording Close calls.
+type closeCounter struct {
+	stream.Transport
+	closes int
+}
+
+func (c *closeCounter) Close() error { c.closes++; return nil }
+
+// TestConnectRemoteWorkersFailureKeepsCallerTransports: a failed dial
+// must close and remove only the transports that call dialled —
+// caller-installed entries survive untouched, so a retry (or New) never
+// finds a closed transport left behind in the Config.
+func TestConnectRemoteWorkersFailureKeepsCallerTransports(t *testing.T) {
+	sample, _ := smallWorkload(t, workload.Q1, 2, 10)
+	good := startWorkerNodes(t, 1)[0]
+	pre := &closeCounter{}
+	cfg := Config{
+		Workers:       8,
+		RemoteWorkers: map[int]stream.Transport{7: pre},
+	}
+	// Address 0 dials fine (real node), address 1 is unreachable: the
+	// call must fail, close its own dial for task 0, and leave task 7
+	// alone.
+	err := cfg.ConnectRemoteWorkers([]string{good, "127.0.0.1:1"}, sample, wire.Backoff{Attempts: 1})
+	if err == nil {
+		t.Fatal("ConnectRemoteWorkers succeeded against an unreachable address")
+	}
+	if pre.closes != 0 {
+		t.Errorf("caller-installed transport closed %d times by a failed connect", pre.closes)
+	}
+	if tr, ok := cfg.RemoteWorkers[7]; !ok || tr != pre {
+		t.Errorf("caller-installed transport evicted: RemoteWorkers[7] = %v", tr)
+	}
+	if _, ok := cfg.RemoteWorkers[0]; ok {
+		t.Error("failed connect left its own dead transport behind at task 0")
+	}
+	if _, ok := cfg.RemoteWorkers[1]; ok {
+		t.Error("failed connect left a transport for the address that never connected")
+	}
+}
+
+// TestRemoteConfigMismatchDetected: the handshake pins the topology
+// shape at dial time; mutating the Config before New must surface as a
+// typed error instead of a silently disagreeing cluster.
+func TestRemoteConfigMismatchDetected(t *testing.T) {
+	sample, _ := smallWorkload(t, workload.Q1, 4, 10)
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"workers", func(c *Config) { c.Workers = c.Workers + 1 }},
+		{"granularity", func(c *Config) { c.Granularity = 16 }},
+		{"batch", func(c *Config) { c.BatchSize = 7 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			addrs := startWorkerNodes(t, 1)
+			cfg := Config{Dispatchers: 1, Workers: 2, Builder: hybrid.Builder{}}
+			if err := cfg.ConnectRemoteWorkers(addrs, sample, wire.Backoff{Attempts: 5}); err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				for _, tr := range cfg.RemoteWorkers {
+					tr.Close()
+				}
+			}()
+			tc.mutate(&cfg)
+			if _, err := New(cfg, sample); !errors.Is(err, ErrRemoteConfigMismatch) {
+				t.Errorf("New after mutating %s: %v, want ErrRemoteConfigMismatch", tc.name, err)
+			}
+		})
 	}
 }
 

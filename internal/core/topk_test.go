@@ -335,7 +335,7 @@ func TestTopKMigrationHandoff(t *testing.T) {
 
 	wo := gt.CellWorkers(cell)[0]
 	wl := (wo + 1) % 4
-	if moved, _ := sys.migrateShare(wo, wl, cell); moved != 1 {
+	if moved, _, _ := sys.migrateShare(wo, wl, cell); moved != 1 {
 		t.Fatalf("migrateShare moved %d queries, want 1", moved)
 	}
 	// Membership is unchanged by the hand-off itself.

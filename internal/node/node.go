@@ -18,10 +18,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ps2stream/internal/gi2"
 	"ps2stream/internal/model"
 	"ps2stream/internal/textutil"
+	"ps2stream/internal/window"
 	"ps2stream/internal/wire"
 )
 
@@ -53,11 +55,21 @@ type Worker struct {
 	mu   sync.Mutex
 	ix   *gi2.Index
 	task int
+	// win holds the worker's cell window rings so migrated window state
+	// survives a hop through this node (no top-k subscriptions run here
+	// — the global top-k board lives in the coordinator — but a cell
+	// share's ring entries install, persist, and extract unchanged).
+	win *window.Store
 	// geometry of the index, pinned by the first handshake.
 	hello *wire.Hello
 
 	done    atomic.Int64 // ops processed
 	emitted atomic.Int64 // matches emitted
+	// Per-kind processed-op counters, reported in StatsReply so the
+	// coordinator's load detector sees node-side processing progress.
+	objects atomic.Int64
+	inserts atomic.Int64
+	deletes atomic.Int64
 	epoch   atomic.Uint64
 }
 
@@ -136,6 +148,7 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 			stats.AddWeighted(term, n)
 		}
 		w.ix = gi2.New(hello.Bounds, hello.Granularity, stats)
+		w.win = window.NewStore(w.ix.Grid(), window.DefaultScorer, window.DefaultRingCap)
 		w.task = hello.Task
 		w.hello = &hello
 		w.opts.Log.printf("worker: task %d over %v at granularity %d (%d sampled terms)",
@@ -184,8 +197,40 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 			if err := wire.DecodePayload(payload, &sr); err != nil {
 				return false, err
 			}
-			reply := wire.StatsReply{Seq: sr.Seq, Delivered: w.emitted.Load(), Queries: int64(w.QueryCount())}
+			reply := wire.StatsReply{
+				Seq: sr.Seq, Delivered: w.emitted.Load(), Queries: int64(w.QueryCount()),
+				Objects: w.objects.Load(), Inserts: w.inserts.Load(), Deletes: w.deletes.Load(),
+			}
 			if err := conn.Send(wire.TypeStatsReply, reply); err != nil {
+				return false, err
+			}
+		case wire.TypeCellStatsReq:
+			var cr wire.CellStatsReq
+			if err := wire.DecodePayload(payload, &cr); err != nil {
+				return false, err
+			}
+			if err := conn.Send(wire.TypeCellStatsReply, w.cellStats(cr.Seq)); err != nil {
+				return false, err
+			}
+		case wire.TypeExtractCells:
+			var ex wire.ExtractCells
+			if err := wire.DecodePayload(payload, &ex); err != nil {
+				return false, err
+			}
+			// This loop is single-threaded and frames are FIFO, so the
+			// share reflects every op batch the coordinator sent before
+			// the request — the same barrier a local migration gets from
+			// the in-process drain counters.
+			if err := conn.Send(wire.TypeCellShare, w.extractCells(ex)); err != nil {
+				return false, err
+			}
+		case wire.TypeInstallCells:
+			var ic wire.InstallCells
+			if err := wire.DecodePayload(payload, &ic); err != nil {
+				return false, err
+			}
+			w.installCells(ic)
+			if err := conn.Send(wire.TypeInstallAck, wire.InstallAck{Seq: ic.Seq}); err != nil {
 				return false, err
 			}
 		case wire.TypeFence:
@@ -194,6 +239,10 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 				return false, err
 			}
 			w.epoch.Store(f.Epoch)
+		case wire.TypeResetWindow:
+			w.mu.Lock()
+			w.ix.ResetWindow()
+			w.mu.Unlock()
 		case wire.TypeGoodbye:
 			// Acknowledge so the coordinator's read loop ends cleanly,
 			// then end the session.
@@ -205,15 +254,104 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 	}
 }
 
+// cellStats assembles the planner view of every non-empty cell: the
+// coordinator's Phase I/II machinery consumes it exactly as it consumes
+// a local worker's gi2.CellStats + CellTermStats.
+func (w *Worker) cellStats(seq uint64) wire.CellStatsReply {
+	reply := wire.CellStatsReply{Seq: seq}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, cs := range w.ix.CellStats() {
+		stat := wire.CellStat{
+			Cell:      cs.CellID,
+			Entries:   cs.Entries,
+			ObjSeen:   cs.ObjSeen,
+			SizeBytes: cs.SizeBytes,
+			Load:      cs.Load,
+		}
+		for _, ts := range w.ix.CellTermStats(cs.CellID) {
+			stat.Terms = append(stat.Terms, wire.CellTermStat{
+				Term: ts.Term, Queries: ts.Queries, ObjHits: ts.ObjHits,
+			})
+		}
+		reply.Cells = append(reply.Cells, stat)
+	}
+	return reply
+}
+
+// extractCells serves one ExtractCells request. With Remove false the
+// shares are copies (queries and ring snapshot, nothing changes here);
+// with Remove true whole-cell shares leave the index and release their
+// ring, while key splits keep the cell ring for the remaining keys —
+// mirroring the in-process migrateShare/migrateSplit extraction.
+func (w *Worker) extractCells(ex wire.ExtractCells) wire.CellShare {
+	share := wire.CellShare{Seq: ex.Seq}
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, spec := range ex.Cells {
+		p := wire.CellPayload{Cell: spec.Cell}
+		switch {
+		case !ex.Remove && spec.Keys == nil:
+			p.Queries = w.ix.QueriesInCell(spec.Cell)
+			p.Ring = w.win.SnapshotCell(spec.Cell, now)
+		case !ex.Remove:
+			p.Queries = w.ix.QueriesInCellKeys(spec.Cell, spec.Keys)
+			p.Ring = w.win.SnapshotCell(spec.Cell, now)
+		case spec.Keys == nil:
+			p.Queries = w.ix.ExtractCell(spec.Cell)
+			p.Ring, _ = w.win.DropCell(spec.Cell, now)
+		default:
+			p.Queries = w.ix.ExtractCellKeys(spec.Cell, spec.Keys)
+			p.Ring = w.win.SnapshotCell(spec.Cell, now)
+		}
+		share.Cells = append(share.Cells, p)
+	}
+	return share
+}
+
+// installCells indexes the received cell shares and applies the
+// reconciliation deletes (queries removed at the migration source
+// between copy and routing flip).
+func (w *Worker) installCells(ic wire.InstallCells) {
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range ic.Cells {
+		p := &ic.Cells[i]
+		for _, q := range p.Queries {
+			if q == nil {
+				continue
+			}
+			if q.IsTopK() {
+				// Top-k subscriptions cannot run here (no global board);
+				// the coordinator refuses them with remote workers, so a
+				// migrated one is protocol misuse. Refuse loudly.
+				w.opts.Log.printf("worker: refusing migrated top-k query %d (unsupported over the wire)", q.ID)
+				continue
+			}
+			w.ix.InsertAt(p.Cell, q)
+		}
+		if len(p.Ring) > 0 {
+			w.win.AdoptCell(p.Cell, p.Ring, now)
+		}
+	}
+	for _, id := range ic.Deletes {
+		w.ix.Delete(id)
+	}
+}
+
 // processBatch applies one operation batch to the index and appends the
 // resulting match envelopes to out. The index lock is taken once per
 // batch, mirroring the in-process worker bolt.
 func (w *Worker) processBatch(ob wire.OpBatch, out []wire.MatchEnv) []wire.MatchEnv {
+	var nObj, nIns, nDel int64
 	w.mu.Lock()
 	for i := range ob.Ops {
 		env := &ob.Ops[i]
 		switch env.Op.Kind {
 		case model.OpInsert:
+			nIns++
 			q := env.Op.Query
 			if q == nil {
 				continue
@@ -230,10 +368,12 @@ func (w *Worker) processBatch(ob wire.OpBatch, out []wire.MatchEnv) []wire.Match
 			}
 			w.ix.Insert(q)
 		case model.OpDelete:
+			nDel++
 			if env.Op.Query != nil {
 				w.ix.Delete(env.Op.Query.ID)
 			}
 		case model.OpObject:
+			nObj++
 			obj := env.Op.Obj
 			if obj == nil {
 				continue
@@ -254,6 +394,15 @@ func (w *Worker) processBatch(ob wire.OpBatch, out []wire.MatchEnv) []wire.Match
 	w.mu.Unlock()
 	w.done.Add(int64(len(ob.Ops)))
 	w.emitted.Add(int64(len(out)))
+	if nObj > 0 {
+		w.objects.Add(nObj)
+	}
+	if nIns > 0 {
+		w.inserts.Add(nIns)
+	}
+	if nDel > 0 {
+		w.deletes.Add(nDel)
+	}
 	return out
 }
 

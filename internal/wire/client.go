@@ -19,13 +19,27 @@ var ErrClosed = errors.New("wire: connection closed")
 // goroutine (RecvMatches) and concurrent control callers (Drain).
 type WorkerClient struct {
 	conn *Conn
+	// hello is the handshake this client opened the connection with —
+	// the geometry the peer pinned its index to (see Hello()).
+	hello Hello
 	// matches buffers decoded match batches between the read loop and
 	// RecvMatches; bounded so a slow consumer backpressures the wire.
 	matches chan MatchBatch
 	acks    chan DrainAck
+	// Control-round reply channels (buffered; stale replies are drained
+	// at round start and skipped by seq matching).
+	stats       chan StatsReply
+	cellStats   chan CellStatsReply
+	shares      chan CellShare
+	installAcks chan InstallAck
 
 	drainMu sync.Mutex
-	seq     atomic.Uint64
+	// ctrlMu serialises the migration/stats control rounds (Stats,
+	// CellStats, ExtractCells, InstallCells); Drain keeps its own mutex
+	// and reply channel so a Flush barrier can interleave with an
+	// adjustment in flight.
+	ctrlMu sync.Mutex
+	seq    atomic.Uint64
 
 	readDone chan struct{}
 	readErr  error // valid after readDone closes
@@ -45,16 +59,36 @@ func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
 	if err != nil {
 		return nil, err
 	}
+	hello.Magic, hello.Version = Magic, Version
+	if hello.Role == "" {
+		hello.Role = RoleCoordinator
+	}
+	// Reply channels get headroom beyond the single round in flight: a
+	// late reply from a timed-out round can land between a new round's
+	// drainStale and its own reply, and with capacity 1 the read loop's
+	// non-blocking send would drop the *genuine* reply behind it.
+	// awaitReply skips stale seqs, so extra buffered replies are benign.
 	w := &WorkerClient{
-		conn:     conn,
-		matches:  make(chan MatchBatch, 128),
-		acks:     make(chan DrainAck, 1),
-		readDone: make(chan struct{}),
-		closed:   make(chan struct{}),
+		conn:        conn,
+		hello:       hello,
+		matches:     make(chan MatchBatch, 128),
+		acks:        make(chan DrainAck, 4),
+		stats:       make(chan StatsReply, 4),
+		cellStats:   make(chan CellStatsReply, 4),
+		shares:      make(chan CellShare, 4),
+		installAcks: make(chan InstallAck, 4),
+		readDone:    make(chan struct{}),
+		closed:      make(chan struct{}),
 	}
 	go w.readLoop()
 	return w, nil
 }
+
+// Hello returns the handshake this client dialled with — the topology
+// shape (Workers), grid geometry and batch size the peer indexed
+// against. The coordinator validates it against the final Config so a
+// mutation between dial and New cannot silently disagree with the node.
+func (w *WorkerClient) Hello() Hello { return w.hello }
 
 // handshake dials addr and performs the Hello/Welcome round, expecting
 // the peer to identify as wantRole.
@@ -133,6 +167,46 @@ func (w *WorkerClient) readLoop() {
 			case w.acks <- ack:
 			default: // unsolicited ack; drop
 			}
+		case TypeStatsReply:
+			var sr StatsReply
+			if err := DecodePayload(payload, &sr); err != nil {
+				w.readErr = err
+				return
+			}
+			select {
+			case w.stats <- sr:
+			default:
+			}
+		case TypeCellStatsReply:
+			var cr CellStatsReply
+			if err := DecodePayload(payload, &cr); err != nil {
+				w.readErr = err
+				return
+			}
+			select {
+			case w.cellStats <- cr:
+			default:
+			}
+		case TypeCellShare:
+			var cs CellShare
+			if err := DecodePayload(payload, &cs); err != nil {
+				w.readErr = err
+				return
+			}
+			select {
+			case w.shares <- cs:
+			default:
+			}
+		case TypeInstallAck:
+			var ia InstallAck
+			if err := DecodePayload(payload, &ia); err != nil {
+				w.readErr = err
+				return
+			}
+			select {
+			case w.installAcks <- ia:
+			default:
+			}
 		case TypeGoodbye:
 			return
 		default:
@@ -168,6 +242,7 @@ func (w *WorkerClient) RecvMatches() (MatchBatch, error) {
 func (w *WorkerClient) Drain() (DrainAck, error) {
 	w.drainMu.Lock()
 	defer w.drainMu.Unlock()
+	drainStale(w.acks)
 	seq := w.seq.Add(1)
 	if err := w.conn.Send(TypeDrain, Drain{Seq: seq}); err != nil {
 		return DrainAck{}, err
@@ -195,6 +270,126 @@ func (w *WorkerClient) Drain() (DrainAck, error) {
 // SendFence forwards a routing-epoch advance (informational).
 func (w *WorkerClient) SendFence(epoch uint64) error {
 	return w.conn.Send(TypeFence, Fence{Epoch: epoch})
+}
+
+// ResetWindow starts a fresh per-cell load window on the worker
+// (fire-and-forget; FIFO ordering covers the next CellStats call).
+func (w *WorkerClient) ResetWindow() error {
+	return w.conn.Send(TypeResetWindow, ResetWindow{})
+}
+
+// drainStale empties a capacity-1 reply channel of any reply left over
+// from an abandoned (timed-out) round. Without this, a late stale reply
+// parked in the channel would make the read loop's non-blocking send
+// drop the *next* round's reply — turning one timeout into a cascade of
+// timeouts on a healthy connection. Callers hold the round mutex.
+func drainStale[T any](ch <-chan T) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
+// awaitReply waits for the seq-matched reply on ch, failing on read-loop
+// termination or the control timeout. Stale replies from abandoned
+// rounds are skipped.
+func awaitReply[T any](w *WorkerClient, ch <-chan T, seqOf func(T) uint64, seq uint64) (T, error) {
+	var zero T
+	timer := time.NewTimer(DefaultControlTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-ch:
+			if seqOf(r) == seq {
+				return r, nil
+			}
+		case <-w.readDone:
+			if w.readErr != nil {
+				return zero, w.readErr
+			}
+			return zero, ErrClosed
+		case <-timer.C:
+			return zero, fmt.Errorf("wire: control round timed out after %v", DefaultControlTimeout)
+		}
+	}
+}
+
+// Stats polls the worker's counters — emitted matches, live queries,
+// and the cumulative per-kind processed-op counts the adjustment
+// controller's load detector differences per interval. FIFO framing
+// means the reply covers every op batch sent before the call.
+func (w *WorkerClient) Stats() (StatsReply, error) {
+	w.ctrlMu.Lock()
+	defer w.ctrlMu.Unlock()
+	drainStale(w.stats)
+	seq := w.seq.Add(1)
+	if err := w.conn.Send(TypeStatsReq, StatsReq{Seq: seq}); err != nil {
+		return StatsReply{}, err
+	}
+	return awaitReply(w, w.stats, func(r StatsReply) uint64 { return r.Seq }, seq)
+}
+
+// CellStats fetches the worker's per-cell planner statistics (Phase
+// I/II migration input).
+func (w *WorkerClient) CellStats() ([]CellStat, error) {
+	w.ctrlMu.Lock()
+	defer w.ctrlMu.Unlock()
+	drainStale(w.cellStats)
+	seq := w.seq.Add(1)
+	if err := w.conn.Send(TypeCellStatsReq, CellStatsReq{Seq: seq}); err != nil {
+		return nil, err
+	}
+	r, err := awaitReply(w, w.cellStats, func(r CellStatsReply) uint64 { return r.Seq }, seq)
+	if err != nil {
+		return nil, err
+	}
+	return r.Cells, nil
+}
+
+// ExtractCells fetches the named cell shares — copied with remove
+// false, extracted from the peer's index with remove true. The reply is
+// FIFO-ordered behind every op batch sent before the call, which is
+// exactly the migration barrier: once the coordinator has forwarded all
+// pre-flip traffic, an extraction round cannot miss any of it.
+func (w *WorkerClient) ExtractCells(cells []CellSpec, remove bool) ([]CellPayload, error) {
+	w.ctrlMu.Lock()
+	defer w.ctrlMu.Unlock()
+	drainStale(w.shares)
+	seq := w.seq.Add(1)
+	if err := w.conn.Send(TypeExtractCells, ExtractCells{Seq: seq, Cells: cells, Remove: remove}); err != nil {
+		return nil, err
+	}
+	r, err := awaitReply(w, w.shares, func(r CellShare) uint64 { return r.Seq }, seq)
+	if err != nil {
+		return nil, err
+	}
+	return r.Cells, nil
+}
+
+// InstallCells hands the worker cell shares to index and query ids to
+// delete, returning the serialised payload size (the migration's
+// measured transfer bytes) once the peer acknowledges. Ops sent after
+// InstallCells returns are matched against the installed share.
+func (w *WorkerClient) InstallCells(cells []CellPayload, deletes []uint64) (int64, error) {
+	w.ctrlMu.Lock()
+	defer w.ctrlMu.Unlock()
+	drainStale(w.installAcks)
+	seq := w.seq.Add(1)
+	req := InstallCells{Seq: seq, Cells: cells, Deletes: deletes}
+	payload, err := EncodePayload(req)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.conn.SendPayload(TypeInstallCells, payload); err != nil {
+		return 0, err
+	}
+	if _, err := awaitReply(w, w.installAcks, func(r InstallAck) uint64 { return r.Seq }, seq); err != nil {
+		return 0, err
+	}
+	return int64(len(payload)), nil
 }
 
 // CloseSend ends the coordinator's half of the stream: the worker
@@ -240,7 +435,7 @@ func DialMerger(addr string, hello Hello, b Backoff) (*MergerClient, error) {
 	}
 	m := &MergerClient{
 		conn:     conn,
-		replies:  make(chan StatsReply, 1),
+		replies:  make(chan StatsReply, 4),
 		readDone: make(chan struct{}),
 	}
 	go m.readLoop()
@@ -284,6 +479,7 @@ func (m *MergerClient) SendMatches(b MatchBatch) error {
 func (m *MergerClient) Counts() (delivered, duplicates int64, err error) {
 	m.statsMu.Lock()
 	defer m.statsMu.Unlock()
+	drainStale(m.replies)
 	seq := m.seq.Add(1)
 	if err := m.conn.Send(TypeStatsReq, StatsReq{Seq: seq}); err != nil {
 		return 0, 0, err

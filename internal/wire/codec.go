@@ -8,6 +8,7 @@ import (
 
 	"ps2stream/internal/geo"
 	"ps2stream/internal/model"
+	"ps2stream/internal/window"
 )
 
 // Magic identifies a PS2Stream wire peer in the handshake.
@@ -118,6 +119,14 @@ type StatsReply struct {
 	Duplicates int64
 	// Queries is the peer's live query count (workers).
 	Queries int64
+	// Objects/Inserts/Deletes are the worker's cumulative processed
+	// operation counts by kind. The coordinator's adjustment controller
+	// differences them per interval, so the imbalance detector sees the
+	// node's actual processing progress instead of the coordinator's
+	// hand-off rate.
+	Objects int64
+	Inserts int64
+	Deletes int64
 }
 
 // Fence announces the coordinator's routing epoch after an adjustment
@@ -125,6 +134,91 @@ type StatsReply struct {
 type Fence struct {
 	Epoch uint64
 }
+
+// CellTermStat is one registration key's statistics within a cell
+// (gi2.TermStat across the wire): the Phase I split planner's input.
+type CellTermStat struct {
+	Term    string
+	Queries int
+	ObjHits int64
+}
+
+// CellStat is one grid cell's planner view on a worker node: n_q
+// (Entries), the Definition-3 window load L_g = n_o·n_q (Load), the
+// per-window object count n_o (ObjSeen), and the serialised size S_g
+// (SizeBytes) that prices a migration.
+type CellStat struct {
+	Cell      int
+	Entries   int
+	ObjSeen   int64
+	SizeBytes int64
+	Load      float64
+	Terms     []CellTermStat
+}
+
+// CellStatsReq asks a worker peer for its per-cell statistics. Frames
+// are FIFO, so the reply reflects every op batch sent before the call.
+type CellStatsReq struct {
+	Seq uint64
+}
+
+// CellStatsReply answers a CellStatsReq with every non-empty cell.
+type CellStatsReply struct {
+	Seq   uint64
+	Cells []CellStat
+}
+
+// CellSpec names one cell share: the whole cell when Keys is nil, or
+// only the given registration keys (a Phase I text split).
+type CellSpec struct {
+	Cell int
+	Keys []string
+}
+
+// ExtractCells asks a worker peer for the named cell shares. With
+// Remove false the shares are copied (the migration's copy step, the
+// source keeps serving them); with Remove true the queries are
+// extracted from the index and — for whole-cell shares — the window
+// ring released (the deferred-extraction step, after the source has
+// drained its pre-flip traffic).
+type ExtractCells struct {
+	Seq    uint64
+	Cells  []CellSpec
+	Remove bool
+}
+
+// CellPayload is one cell share in flight: the share's queries and the
+// cell's window ring entries, so sliding-window state travels with the
+// queries exactly as it does between in-process workers.
+type CellPayload struct {
+	Cell    int
+	Queries []*model.Query
+	Ring    []window.Entry
+}
+
+// CellShare answers an ExtractCells.
+type CellShare struct {
+	Seq   uint64
+	Cells []CellPayload
+}
+
+// InstallCells hands a worker peer cell shares to index and query ids
+// to delete from shares installed earlier (reconciling deletions that
+// reached the migration source between copy and routing flip).
+type InstallCells struct {
+	Seq     uint64
+	Cells   []CellPayload
+	Deletes []uint64
+}
+
+// InstallAck acknowledges an InstallCells: the share is indexed and
+// every op batch sent after the request will be matched against it.
+type InstallAck struct {
+	Seq uint64
+}
+
+// ResetWindow starts a fresh per-cell load window (no acknowledgement).
+type ResetWindow struct{}
 
 // Goodbye ends the sender's half of the conversation.
 type Goodbye struct{}

@@ -63,6 +63,13 @@ func (c *Conn) Send(typ byte, v any) error {
 	if err != nil {
 		return err
 	}
+	return c.SendPayload(typ, payload)
+}
+
+// SendPayload writes one frame with an already-encoded payload (callers
+// that need the serialised size, e.g. migration transfer accounting,
+// encode once and send the same bytes).
+func (c *Conn) SendPayload(typ byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.WriteTimeout > 0 {

@@ -64,6 +64,33 @@ const (
 	// TypeGoodbye ends the sender's half of the conversation; the peer
 	// finishes writing pending output and closes.
 	TypeGoodbye byte = 10
+	// TypeCellStatsReq asks a worker peer for its per-cell planner
+	// statistics (the Phase I/II migration input: entries, window load,
+	// serialised size, per-term registration counts).
+	TypeCellStatsReq byte = 11
+	// TypeCellStatsReply answers a CellStatsReq.
+	TypeCellStatsReply byte = 12
+	// TypeExtractCells asks a worker peer for a serialised cell share —
+	// queries plus window ring state — either copied (snapshot) or
+	// removed from the peer's index (the deferred-extraction step of a
+	// migration). FIFO framing orders it behind every op batch and fence
+	// sent before it, so the share reflects all pre-flip traffic.
+	TypeExtractCells byte = 13
+	// TypeCellShare answers an ExtractCells with the cell payloads.
+	TypeCellShare byte = 14
+	// TypeInstallCells hands a worker peer a cell share to index (the
+	// receiving half of a migration) and query ids to delete (deletions
+	// routed to the source between copy and flip).
+	TypeInstallCells byte = 15
+	// TypeInstallAck acknowledges an InstallCells once the share is
+	// indexed; ops sent after the ack's request are matched against it.
+	TypeInstallAck byte = 16
+	// TypeResetWindow starts a fresh per-cell load window on a worker
+	// peer (gi2 ResetWindow): the adjustment controller sends it after
+	// each evaluation so Definition-3 cell loads stay per-interval on
+	// every node, local or remote. No acknowledgement; FIFO ordering
+	// guarantees the next CellStatsReq observes the reset.
+	TypeResetWindow byte = 17
 )
 
 // MaxFrameSize bounds a frame's length field: a reader rejects larger

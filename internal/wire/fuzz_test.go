@@ -7,6 +7,7 @@ import (
 
 	"ps2stream/internal/geo"
 	"ps2stream/internal/model"
+	"ps2stream/internal/window"
 )
 
 // seedStream builds a valid multi-frame stream for the fuzz corpus.
@@ -24,6 +25,15 @@ func seedStream(tb testing.TB) []byte {
 		{TypeOpBatch, OpBatch{Ops: []OpEnv{{Op: model.Op{Kind: model.OpObject,
 			Obj: &model.Object{ID: 7, Terms: []string{"coffee"}, Loc: geo.Point{X: -73.9, Y: 40.7}}}}}}},
 		{TypeMatchBatch, MatchBatch{Matches: []MatchEnv{{M: model.Match{QueryID: 1, ObjectID: 7}}}}},
+		{TypeCellStatsReq, CellStatsReq{Seq: 1}},
+		{TypeCellStatsReply, CellStatsReply{Seq: 1, Cells: []CellStat{{Cell: 9, Entries: 2, ObjSeen: 5,
+			SizeBytes: 128, Load: 10, Terms: []CellTermStat{{Term: "coffee", Queries: 2, ObjHits: 5}}}}}},
+		{TypeExtractCells, ExtractCells{Seq: 2, Cells: []CellSpec{{Cell: 9, Keys: []string{"coffee"}}}, Remove: true}},
+		{TypeCellShare, CellShare{Seq: 2, Cells: []CellPayload{{Cell: 9,
+			Ring: []window.Entry{{MsgID: 7, Terms: []string{"coffee"}, Loc: geo.Point{X: -73.9, Y: 40.7}}}}}}},
+		{TypeInstallCells, InstallCells{Seq: 3, Cells: []CellPayload{{Cell: 9}}, Deletes: []uint64{4}}},
+		{TypeInstallAck, InstallAck{Seq: 3}},
+		{TypeResetWindow, ResetWindow{}},
 		{TypeDrain, Drain{Seq: 3}},
 		{TypeGoodbye, Goodbye{}},
 	}
@@ -86,6 +96,27 @@ func FuzzWireStream(f *testing.F) {
 				_ = DecodePayload(payload, &v)
 			case TypeFence:
 				var v Fence
+				_ = DecodePayload(payload, &v)
+			case TypeCellStatsReq:
+				var v CellStatsReq
+				_ = DecodePayload(payload, &v)
+			case TypeCellStatsReply:
+				var v CellStatsReply
+				_ = DecodePayload(payload, &v)
+			case TypeExtractCells:
+				var v ExtractCells
+				_ = DecodePayload(payload, &v)
+			case TypeCellShare:
+				var v CellShare
+				_ = DecodePayload(payload, &v)
+			case TypeInstallCells:
+				var v InstallCells
+				_ = DecodePayload(payload, &v)
+			case TypeInstallAck:
+				var v InstallAck
+				_ = DecodePayload(payload, &v)
+			case TypeResetWindow:
+				var v ResetWindow
 				_ = DecodePayload(payload, &v)
 			}
 		}

@@ -287,9 +287,12 @@ type Options struct {
 	// order; Workers is raised to at least len(RemoteWorkers), and any
 	// surplus tasks run in-process. The handshake distributes the grid
 	// geometry and sampled term statistics so routing agrees across
-	// processes. Remote placement is static: dynamic adjustment,
-	// Repartition and SubscribeTopK require in-process workers (see
-	// docs/WIRE.md). Start a peer with:
+	// processes. Dynamic load adjustment (Adjust, AdjustNow) works with
+	// remote workers: grid cells migrate between processes over
+	// dedicated control frames, and the load detector consumes the
+	// nodes' own processing counters (see docs/WIRE.md). Repartition
+	// and SubscribeTopK still require in-process workers. Start a peer
+	// with:
 	//
 	//	psnode -role worker -listen :7101
 	RemoteWorkers []string
