@@ -30,7 +30,19 @@
 // the wire's cell-migration control frames while the stream keeps
 // flowing. Combine with the skewed-hotspot workload flags (-hotspot,
 // -hotspot-bias, -hotspot-shift-every, psgen's spelling) to watch a
-// cluster rebalance after a traffic shift.
+// cluster rebalance after a traffic shift. The controller's decision
+// trace — every detector verdict, trigger, and migration — is emitted as
+// structured slog lines on stderr.
+//
+// Every role accepts -admin to serve an HTTP observability endpoint:
+// Prometheus-text metrics on /metrics, the same series as JSON on
+// /statsz, liveness and build info on /healthz, and net/http/pprof under
+// /debug/pprof/. On the dispatcher a scrape reports the whole cluster
+// (remote workers' counters are folded in); the bound address is logged
+// at startup, so ":0" works for scripts:
+//
+//	psnode -role worker -listen 127.0.0.1:7101 -admin 127.0.0.1:9101 &
+//	curl -s http://127.0.0.1:9101/metrics
 package main
 
 import (
@@ -38,6 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net"
 	"os"
 	"sort"
 	"strings"
@@ -45,48 +59,103 @@ import (
 	"time"
 
 	"ps2stream/internal/core"
+	"ps2stream/internal/metrics"
 	"ps2stream/internal/model"
 	"ps2stream/internal/node"
+	"ps2stream/internal/obs"
 	"ps2stream/internal/wire"
 	"ps2stream/internal/workload"
 )
 
-func main() {
-	var (
-		role   = flag.String("role", "", "worker | merger | dispatcher")
-		listen = flag.String("listen", "127.0.0.1:0", "listen address (worker, merger)")
-		once   = flag.Bool("once", false, "exit after the coordinator session ends (worker, merger)")
-		out    = flag.String("out", "", "write the delivered/oracle match set to this file, sorted (merger, dispatcher -oracle)")
+// flagGroups orders the usage listing by the role each flag belongs to,
+// so `psnode -h` reads as three small flag sets instead of one
+// alphabetical soup. Every defined flag must appear in exactly one group
+// (TestUsageCoversEveryFlag enforces it).
+var flagGroups = []struct {
+	title string
+	names []string
+}{
+	{"All roles", []string{"role", "admin"}},
+	{"Worker and merger nodes", []string{"listen", "once", "out"}},
+	{"Dispatcher (embedded coordinator)", []string{
+		"workers", "mergers", "dispatchers", "mu", "ops", "seed", "batch",
+		"oracle", "adjust", "objects-only",
+		"hotspot", "hotspot-bias", "hotspot-shift-every",
+	}},
+}
 
-		workers     = flag.String("workers", "", "comma-separated worker addresses (dispatcher)")
-		mergers     = flag.String("mergers", "", "comma-separated merger addresses (dispatcher)")
-		dispatchers = flag.Int("dispatchers", 2, "dispatcher task count (dispatcher)")
-		mu          = flag.Int("mu", 500, "standing subscriptions to prewarm (dispatcher)")
-		ops         = flag.Int("ops", 4000, "stream operations to publish (dispatcher)")
-		seed        = flag.Int64("seed", 2017, "workload seed (dispatcher)")
-		batch       = flag.Int("batch", 0, "transfer batch size, 0 = default (dispatcher)")
-		oracle      = flag.Bool("oracle", false, "run the workload fully in-process instead of joining peers (dispatcher)")
-		adjust      = flag.Bool("adjust", false, "enable the adaptive load adjustment controller; cells migrate across the wire when workers are remote (dispatcher)")
-		objectsOnly = flag.Bool("objects-only", false, "publish only objects in the measured stream; with -adjust the delivered match set is then exactly the static oracle's (a query registered while its cell migrates may miss concurrent objects, exactly as in-process) (dispatcher)")
-		hotspot     = flag.Int("hotspot", -1, "focus object traffic on this hotspot cluster index (-1 off; dispatcher)")
-		hotBias     = flag.Float64("hotspot-bias", 0.85, "fraction of objects concentrated on the focused hotspot (dispatcher)")
-		hotShift    = flag.Int("hotspot-shift-every", 0, "shift the focus to the next hotspot every N stream ops (0 never; dispatcher)")
-	)
+func groupedUsage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintln(w, "Usage: psnode -role <worker|merger|dispatcher> [flags]")
+	for _, g := range flagGroups {
+		fmt.Fprintf(w, "\n%s:\n", g.title)
+		for _, name := range g.names {
+			f := flag.Lookup(name)
+			if f == nil {
+				continue
+			}
+			typ, help := flag.UnquoteUsage(f)
+			line := "  -" + f.Name
+			if typ != "" {
+				line += " " + typ
+			}
+			fmt.Fprintf(w, "%s\n    \t%s", line, help)
+			if f.DefValue != "" && f.DefValue != "false" {
+				fmt.Fprintf(w, " (default %s)", f.DefValue)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// The flags are package-level so TestUsageCoversEveryFlag can check the
+// groups above stay exhaustive as flags are added.
+var (
+	role  = flag.String("role", "", "worker | merger | dispatcher")
+	admin = flag.String("admin", "", "serve /metrics, /statsz, /healthz and /debug/pprof/ on this address; \":0\" picks a free port, logged at startup")
+
+	listen = flag.String("listen", "127.0.0.1:0", "listen address")
+	once   = flag.Bool("once", false, "exit after the coordinator session ends")
+	out    = flag.String("out", "", "write the delivered match set to this file, sorted (merger, or dispatcher with -oracle/local mergers)")
+
+	workers     = flag.String("workers", "", "comma-separated worker addresses")
+	mergers     = flag.String("mergers", "", "comma-separated merger addresses")
+	dispatchers = flag.Int("dispatchers", 2, "dispatcher task count")
+	mu          = flag.Int("mu", 500, "standing subscriptions to prewarm")
+	ops         = flag.Int("ops", 4000, "stream operations to publish")
+	seed        = flag.Int64("seed", 2017, "workload seed")
+	batch       = flag.Int("batch", 0, "transfer batch size, 0 = default")
+	oracle      = flag.Bool("oracle", false, "run the workload fully in-process instead of joining peers")
+	adjust      = flag.Bool("adjust", false, "enable the adaptive load adjustment controller; cells migrate across the wire when workers are remote")
+	objectsOnly = flag.Bool("objects-only", false, "publish only objects in the measured stream; with -adjust the delivered match set is then exactly the static oracle's (a query registered while its cell migrates may miss concurrent objects, exactly as in-process)")
+	hotspot     = flag.Int("hotspot", -1, "focus object traffic on this hotspot cluster index (-1 off)")
+	hotBias     = flag.Float64("hotspot-bias", 0.85, "fraction of objects concentrated on the focused hotspot")
+	hotShift    = flag.Int("hotspot-shift-every", 0, "shift the focus to the next hotspot every N stream ops (0 never)")
+)
+
+func main() {
+	flag.Usage = groupedUsage
 	flag.Parse()
 	logger := log.New(os.Stderr, "psnode: ", log.Ltime|log.Lmicroseconds)
 
 	switch *role {
 	case "worker":
 		ctx := context.Background()
-		err := node.ListenAndServeWorker(ctx, *listen, node.WorkerOptions{
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("worker: listening on %s", ln.Addr())
+		w := node.NewWorker(node.WorkerOptions{
 			Log:  logger.Printf,
 			Once: *once,
 		})
-		if err != nil && ctx.Err() == nil {
+		startAdmin(logger, *admin, "worker", w.Registry(), w.Epoch, nil)
+		if err := w.Serve(ctx, ln); err != nil && ctx.Err() == nil {
 			logger.Fatal(err)
 		}
 	case "merger":
-		runMerger(logger, *listen, *once, *out)
+		runMerger(logger, *listen, *once, *out, *admin)
 	case "dispatcher":
 		runDispatcher(logger, dispatcherConfig{
 			workerAddrs: splitAddrs(*workers),
@@ -98,6 +167,7 @@ func main() {
 			batch:       *batch,
 			oracle:      *oracle,
 			out:         *out,
+			admin:       *admin,
 			adjust:      *adjust,
 			objectsOnly: *objectsOnly,
 			hotspot:     *hotspot,
@@ -109,6 +179,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// startAdmin serves the observability endpoints when -admin was given.
+// The server lives for the rest of the process; the bound address is
+// logged so scripts can pass ":0" and scrape whatever was picked.
+func startAdmin(logger *log.Logger, addr, role string, reg *metrics.Registry, epoch func() uint64, beforeScrape func()) *obs.Server {
+	if addr == "" {
+		return nil
+	}
+	srv, err := obs.Serve(addr, obs.Options{
+		Registry:     reg,
+		Role:         role,
+		Epoch:        epoch,
+		BeforeScrape: beforeScrape,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("admin: listening on %s", srv.Addr())
+	return srv
 }
 
 func splitAddrs(s string) []string {
@@ -163,23 +253,28 @@ func (d *matchDump) write(path string) error {
 	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
-func runMerger(logger *log.Logger, listen string, once bool, out string) {
+func runMerger(logger *log.Logger, listen string, once bool, out, admin string) {
 	var dump *matchDump
 	opts := node.MergerOptions{Log: logger.Printf, Once: once}
 	if out != "" {
 		dump = newMatchDump()
 		opts.OnMatch = dump.add
 	}
-	m, err := node.ListenAndServeMerger(context.Background(), listen, opts)
-	if m != nil {
-		delivered, dups := m.Counts()
-		logger.Printf("merger: delivered %d matches (%d duplicates suppressed)", delivered, dups)
-		if dump != nil {
-			if werr := dump.write(out); werr != nil {
-				logger.Fatal(werr)
-			}
-			logger.Printf("merger: match set written to %s", out)
+	ln, lerr := net.Listen("tcp", listen)
+	if lerr != nil {
+		logger.Fatal(lerr)
+	}
+	logger.Printf("merger: listening on %s", ln.Addr())
+	m := node.NewMerger(opts)
+	startAdmin(logger, admin, "merger", m.Registry(), nil, nil)
+	err := m.Serve(context.Background(), ln)
+	delivered, dups := m.Counts()
+	logger.Printf("merger: delivered %d matches (%d duplicates suppressed)", delivered, dups)
+	if dump != nil {
+		if werr := dump.write(out); werr != nil {
+			logger.Fatal(werr)
 		}
+		logger.Printf("merger: match set written to %s", out)
 	}
 	if err != nil && err != context.Canceled {
 		logger.Fatal(err)
@@ -195,6 +290,8 @@ type dispatcherConfig struct {
 	batch       int
 	oracle      bool
 	out         string
+	// admin is the observability endpoint address ("" disables).
+	admin string
 	// adjust enables the adaptive controller; with remote workers its
 	// migrations cross the wire.
 	adjust bool
@@ -219,8 +316,19 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 	cfg := core.Config{
 		Dispatchers: dc.dispatchers,
 		BatchSize:   dc.batch,
+		// The adjustment decision trace (detector verdicts at Debug,
+		// triggers and migrations at Info) goes to stderr alongside the
+		// plain progress log.
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+			Level: slog.LevelInfo,
+		})),
 	}
 	if dc.adjust {
+		// Tracing every 15ms detector verdict is what -adjust runs are
+		// for; quiet runs keep the Info-level trace only.
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+			Level: slog.LevelDebug,
+		}))
 		// An aggressive cadence sized for short CI runs: the hotspot
 		// shift must be detected and spread within a few hundred
 		// milliseconds of paced traffic.
@@ -272,6 +380,10 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 	if err := sys.Start(context.Background()); err != nil {
 		logger.Fatal(err)
 	}
+	// A scrape of the dispatcher reports the whole cluster: remote
+	// workers' counters are refreshed (rate-limited) before each scrape.
+	startAdmin(logger, dc.admin, "dispatcher", sys.Registry(), sys.RouteEpoch,
+		func() { sys.RefreshRemoteStats(500 * time.Millisecond) })
 	scfg := workload.StreamConfig{Mu: dc.mu, Seed: dc.seed}
 	if dc.hotspot >= 0 {
 		scfg.FocusBias = dc.hotBias

@@ -169,6 +169,7 @@ func Experiments() map[string]Runner {
 		"batch":   BatchThroughput,
 		"adjust":  AdjustRecovery,
 		"wire":    WireThroughput,
+		"obs":     ObsOverhead,
 	}
 }
 

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"ps2stream/internal/core"
+	"ps2stream/internal/metrics"
+	"ps2stream/internal/obs"
+	"ps2stream/internal/workload"
+)
+
+// obsPhasePairs is the number of interleaved (admin off, admin on)
+// measurement phase pairs per experiment; obsRepeats repeats the whole
+// interleaved experiment and the best per-experiment ratio is reported,
+// the same best-of idiom the batch experiment uses. Each experiment is
+// internally differential, and external interference can only depress a
+// ratio, never raise it past parity — so best-of filters interference
+// while a real overhead regression, which depresses every repeat,
+// still shows.
+const (
+	obsPhasePairs = 4
+	obsRepeats    = 5
+)
+
+// ObsOverhead measures what the observability layer costs the publish
+// hot path. One warmed system publishes the stream in interleaved
+// phases: admin server idle ("off") alternating with a scraper hitting
+// /metrics and /statsz continuously ("on"). Interleaving makes the
+// comparison differential — machine-speed drift, GC pauses and scheduler
+// phases load onto both configs alike, so the ratio isolates the
+// scrape-under-load cost. The registry instrumentation itself
+// (func-backed series plus one histogram observation per batch) is
+// always on, in both phases and in every other benchmark: its cost is
+// bounded by the batch experiment's gated speedup baseline.
+//
+// The gated signal is the relative column: a same-machine ratio near
+// 1.0 on any hardware. CI holds it within 3% (the observability
+// overhead budget), much tighter than the 35% wall-clock gates.
+//
+// The second table is the per-stage latency breakdown recorded by the
+// run, so committed baselines document where pipeline time goes.
+func ObsOverhead(sc Scale) []Table {
+	sc = sc.orDefault()
+
+	type run struct {
+		off, on, ratio float64
+		stages         map[string]metrics.Snapshot
+	}
+	runs := make([]run, 0, obsRepeats)
+	for i := 0; i < obsRepeats; i++ {
+		offR, onR, st, err := measureObsInterleaved(sc)
+		if err != nil {
+			return errTables(err)
+		}
+		runs = append(runs, run{off: offR, on: onR, ratio: onR / offR, stages: st})
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ratio < runs[j].ratio })
+	best := runs[len(runs)-1]
+	off, on, stages := best.off, best.on, best.stages
+
+	// Overhead cannot be negative: a ratio above 1.0 means measurement
+	// noise favoured the "on" phases. Clamp so a committed baseline never
+	// encodes that noise as a target future runs must beat.
+	ratio := best.ratio
+	if ratio > 1 {
+		ratio = 1
+	}
+
+	overhead := Table{
+		Title:  fmt.Sprintf("Observability overhead (hybrid, µ=%d, %d ops, interleaved phases)", sc.Mu1, sc.Ops),
+		Header: []string{"config", "ops/cpu-sec", "relative (speedup vs off)"},
+		Rows: [][]string{
+			{"admin off", f0(off), "1.00x"},
+			{"admin on + scraper", f0(on), fmt.Sprintf("%.2fx", ratio)},
+		},
+	}
+
+	breakdown := Table{
+		Title:  "Per-stage latency breakdown (per transfer batch)",
+		Header: []string{"stage", "batches", "mean", "p50", "p99"},
+	}
+	for _, stage := range []string{core.StageDispatch, core.StageWorker, core.StageMerge} {
+		s := stages[stage]
+		breakdown.Rows = append(breakdown.Rows, []string{
+			stage, fmt.Sprintf("%d", s.Count), us(s.Mean), us(s.P50), us(s.P99),
+		})
+	}
+	return []Table{overhead, breakdown}
+}
+
+// measureObsInterleaved runs one interleaved experiment: a single system
+// with the admin server bound, publishing 2×obsPhasePairs+1 phases of
+// sc.Ops ops each — a discarded warm-up phase, then alternating
+// off/on phases. It returns the per-config throughputs over the summed
+// phase times and the system's per-stage histograms.
+func measureObsInterleaved(sc Scale) (offRate, onRate float64, stages map[string]metrics.Snapshot, err error) {
+	spec := workload.TweetsUS()
+	sys, st, err := buildSystem(spec, workload.Q1, "hybrid", sc, sc.Workers, sc.Mu1, core.AdjustConfig{})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		return 0, 0, nil, err
+	}
+	srv, err := obs.Serve("127.0.0.1:0", obs.Options{Registry: sys.Registry(), Role: "dispatcher"})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+
+	// The scraper loop runs only while scraping is non-nil-signalled:
+	// "on" phases open the gate, "off" phases close it and wait for the
+	// in-flight scrape to finish so phases do not bleed into each other.
+	scrapeOn := make(chan struct{}, 1)
+	scrapeOff := make(chan struct{})
+	done := make(chan struct{})
+	idle := make(chan struct{}, 1)
+	go func() {
+		client := &http.Client{Timeout: 2 * time.Second}
+		active := false
+		for {
+			if !active {
+				select {
+				case <-done:
+					return
+				case <-scrapeOn:
+					active = true
+				}
+				continue
+			}
+			select {
+			case <-done:
+				return
+			case <-scrapeOff:
+				active = false
+				idle <- struct{}{}
+				continue
+			default:
+			}
+			for _, path := range []string{"/metrics", "/statsz"} {
+				if resp, gerr := client.Get("http://" + srv.Addr() + path); gerr == nil {
+					resp.Body.Close()
+				}
+			}
+			// ~25 scrapes/s: two orders of magnitude hotter than production
+			// Prometheus, without degenerating into a spin loop whose core
+			// theft dominates the scrape cost being measured.
+			time.Sleep(40 * time.Millisecond)
+		}
+	}()
+
+	warm := st.Prewarm(sc.Mu1)
+	sys.SubmitAll(warm)
+	waitProcessed(sys, int64(len(warm)))
+
+	// Phase cost is process CPU seconds, not wall time: on a contended
+	// machine (CI runners) wall-clock throughput wobbles with whatever
+	// else the host runs, while CPU charged per op is stable — and any
+	// observability overhead (scrape handling, extra instrumentation) is
+	// CPU this process burns, so it cannot hide in the noise.
+	total := int64(len(warm))
+	runPhase := func(n int) float64 {
+		c0 := processCPUSeconds()
+		for i := 0; i < n; i++ {
+			sys.Submit(st.Next())
+		}
+		total += int64(n)
+		waitProcessed(sys, total)
+		return processCPUSeconds() - c0
+	}
+
+	runPhase(sc.Ops) // warm-up phase, untimed
+
+	var offCPU, onCPU float64
+	var offOps, onOps int64
+	offPhase := func() {
+		offCPU += runPhase(sc.Ops)
+		offOps += int64(sc.Ops)
+	}
+	onPhase := func() {
+		scrapeOn <- struct{}{}
+		onCPU += runPhase(sc.Ops)
+		onOps += int64(sc.Ops)
+		scrapeOff <- struct{}{}
+		<-idle
+	}
+	// Alternate which config leads each pair so residual warm-up or
+	// population drift does not consistently load onto one config.
+	for p := 0; p < obsPhasePairs; p++ {
+		if p%2 == 0 {
+			offPhase()
+			onPhase()
+		} else {
+			onPhase()
+			offPhase()
+		}
+	}
+	close(done)
+
+	stages = sys.StageSnapshots()
+	if err := srv.Close(); err != nil {
+		return 0, 0, nil, err
+	}
+	if err := sys.Close(); err != nil {
+		return 0, 0, nil, err
+	}
+	return float64(offOps) / offCPU, float64(onOps) / onCPU, stages, nil
+}
+
+// wallBase anchors the wall-clock fallback of processCPUSeconds on
+// platforms without rusage.
+var wallBase = time.Now()
+
+func wallSeconds() float64 { return time.Since(wallBase).Seconds() }
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+}
+
+// errTables keeps the two-table shape on error so CompareReports still
+// sees a structurally valid report.
+func errTables(err error) []Table {
+	return []Table{
+		{Title: "Observability overhead", Header: []string{"config", "ops/cpu-sec", "relative (speedup vs off)"},
+			Rows: [][]string{{"ERR: " + err.Error(), "", ""}}},
+		{Title: "Per-stage latency breakdown", Header: []string{"stage", "batches", "mean", "p50", "p99"}},
+	}
+}

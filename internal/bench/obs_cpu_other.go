@@ -1,0 +1,7 @@
+//go:build !unix
+
+package bench
+
+// processCPUSeconds falls back to wall time where rusage is unavailable;
+// the obs experiment's ratio then degrades to a wall-clock comparison.
+func processCPUSeconds() float64 { return wallSeconds() }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// processCPUSeconds reads the CPU charged to this process so far (user +
+// system, all threads). The obs experiment meters phases in CPU seconds
+// because rusage is stable under the scheduler noise of shared CI
+// runners, where wall-clock throughput is not.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return wallSeconds()
+	}
+	return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6 +
+		float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6
+}

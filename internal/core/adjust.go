@@ -72,7 +72,15 @@ func (s *System) adjustTick() {
 	for i, l := range loads {
 		smoothed[i] = s.loadEWMA[i].Observe(l)
 	}
-	switch s.detector.Observe(load.BalanceFactor(smoothed), time.Now()) {
+	imbalance := load.BalanceFactor(smoothed)
+	dec := s.detector.Observe(imbalance, time.Now())
+	s.log.Debug("adjust check",
+		"decision", dec.String(),
+		"imbalance", imbalance,
+		"theta", s.cfg.Adjust.Sigma,
+		"window_ops", windowOps,
+		"loads", smoothed)
+	switch dec {
 	case load.Sustaining:
 		s.adjSustains.Inc()
 	case load.Cooling:
@@ -80,6 +88,12 @@ func (s *System) adjustTick() {
 	case load.Trigger:
 		s.adjTriggers.Inc()
 		lo, hi := load.ArgMinMax(smoothed)
+		s.log.Info("adjust trigger",
+			"imbalance", imbalance,
+			"theta", s.cfg.Adjust.Sigma,
+			"from", hi,
+			"to", lo,
+			"manual", false)
 		s.runAdjustment(hi, lo, smoothed, s.adjustRng)
 		s.lastAdjustNs.Store(time.Now().UnixNano())
 	}
@@ -115,9 +129,11 @@ func (s *System) pollRemoteLoads() error {
 		}
 		sr, err := m.WorkerStats()
 		if err != nil {
+			s.log.Debug("adjust remote load poll failed", "worker", task, "err", err)
 			return err
 		}
 		s.nodeWork[task] = workCounts{objects: sr.Objects, inserts: sr.Inserts, deletes: sr.Deletes}
+		s.storeRemoteStats(task, sr)
 	}
 	return nil
 }
@@ -221,9 +237,15 @@ func (s *System) AdjustNow() int {
 		}
 	}
 	before := s.migrationCount()
-	if load.BalanceFactor(smoothed) > s.cfg.Adjust.Sigma {
+	if imbalance := load.BalanceFactor(smoothed); imbalance > s.cfg.Adjust.Sigma {
 		s.adjManual.Inc()
 		lo, hi := load.ArgMinMax(smoothed)
+		s.log.Info("adjust trigger",
+			"imbalance", imbalance,
+			"theta", s.cfg.Adjust.Sigma,
+			"from", hi,
+			"to", lo,
+			"manual", true)
 		s.runAdjustment(hi, lo, smoothed, s.adjustRng)
 		now := time.Now()
 		s.detector.Force(now)
@@ -353,6 +375,17 @@ func (s *System) runAdjustment(wo, wl int, loads []float64, rng *rand.Rand) {
 }
 
 func (s *System) recordMigration(m MigrationStat) {
+	s.log.Info("migration",
+		"algorithm", string(m.Algorithm),
+		"phase_i", m.PhaseI,
+		"from", m.From,
+		"to", m.To,
+		"cells", m.Cells,
+		"queries", m.QueriesMoved,
+		"bytes", m.Bytes,
+		"duration", m.Duration,
+		"selection", m.SelectionTime,
+		"epoch", s.routeFence.Epoch())
 	s.migMu.Lock()
 	s.migrations = append(s.migrations, m)
 	s.migMu.Unlock()
@@ -549,10 +582,11 @@ func (s *System) transferShare(wl, cell int, qs []*model.Query, ring []window.En
 // source's connection, so the remote extraction is ordered behind the
 // same epoch boundary the in-process drain barrier provides locally.
 func (s *System) announceFence() {
+	epoch := s.routeFence.Epoch()
+	s.log.Debug("adjust fence advanced", "epoch", epoch)
 	if len(s.cfg.RemoteWorkers) == 0 {
 		return
 	}
-	epoch := s.routeFence.Epoch()
 	for _, task := range s.remoteWorkerTasks() {
 		if m := s.remoteMigrator(task); m != nil {
 			_ = m.SendFence(epoch) // informational; failures surface on the data path
@@ -667,6 +701,7 @@ func (s *System) processPendingExtracts() {
 	s.migMu.Unlock()
 	for _, pe := range due {
 		s.finishExtract(pe)
+		s.log.Debug("adjust extract finished", "cell", pe.cell, "from", pe.wo, "to", pe.wl)
 		s.migMu.Lock()
 		delete(s.pendingCells, pe.cell)
 		s.migMu.Unlock()

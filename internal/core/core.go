@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"ps2stream/internal/stream"
 	"ps2stream/internal/textutil"
 	"ps2stream/internal/window"
+	"ps2stream/internal/wire"
 )
 
 // IndexFactory builds one worker's query index. granularity is the GI2
@@ -120,6 +122,11 @@ type Config struct {
 	// the local OnMatch hook and Snapshot counters do not see them
 	// (RemoteDelivered fetches the remote counts).
 	RemoteMergers map[int]stream.Transport
+	// Logger receives the structured operational trace — most notably
+	// the adjustment controller's decision log: every detector verdict
+	// (Debug), every trigger and migration (Info), and fence-epoch
+	// advances (Debug). nil disables the trace entirely.
+	Logger *slog.Logger
 }
 
 // AdjustConfig tunes the adaptive load adjustment controller: a
@@ -303,6 +310,10 @@ type Snapshot struct {
 	Migrations  []MigrationStat
 	// Adjust reports the adaptive adjustment controller's state.
 	Adjust AdjustStats
+	// Stages summarises per-batch processing time at each topology
+	// stage (StageDispatch/StageWorker/StageMerge), the "where does
+	// time go" breakdown benchmark reports embed.
+	Stages map[string]metrics.Snapshot
 }
 
 // System is a running PS2Stream instance.
@@ -333,6 +344,25 @@ type System struct {
 	latency        atomic.Pointer[metrics.Histogram]
 	matchLat       atomic.Pointer[metrics.Histogram]
 	tput           *metrics.Throughput
+
+	// Observability (see obs.go). registry exposes every counter above
+	// through /metrics and /statsz; the stage histograms record
+	// per-batch processing time at each topology stage; log carries the
+	// structured operational trace (never nil — a discard handler
+	// stands in when Config.Logger is unset).
+	registry   *metrics.Registry
+	stageDisp  *metrics.Histogram
+	stageWork  *metrics.Histogram
+	stageMerge *metrics.Histogram
+	log        *slog.Logger
+
+	// remoteStats mirrors the latest node-reported StatsReply per
+	// remote worker task, fed by every stats control round; the
+	// registry's per-worker series read it so a coordinator scrape
+	// reports cluster-wide counts (obs.go).
+	remoteStatsMu sync.Mutex
+	remoteStats   map[int]wire.StatsReply
+	remoteStatsAt time.Time
 
 	// Load accounting (dispatcher side, Definition 1 window).
 	winObjects []atomic.Int64
@@ -562,6 +592,11 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 		})
 		s.adjustRng = rand.New(rand.NewSource(cfg.Adjust.Seed ^ 0xADAD))
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(discardHandler{})
+	}
+	s.initObservability()
 	return s, nil
 }
 
@@ -604,6 +639,7 @@ func (s *System) Start(ctx context.Context) error {
 	runCtx, cancel := context.WithCancel(ctx)
 	s.cancel = cancel
 	s.topo = s.buildTopology(runCtx)
+	s.registerTopologyMetrics()
 	if len(s.cfg.RemoteWorkers) > 0 || len(s.cfg.RemoteMergers) > 0 {
 		// Remote transports block in socket reads the run context cannot
 		// reach; force-close them on cancellation (a normal Close cancels
@@ -692,6 +728,7 @@ func (s *System) Snapshot() Snapshot {
 	snap.Migrations = append([]MigrationStat(nil), s.migrations...)
 	s.migMu.Unlock()
 	snap.Adjust = s.adjustStats(snap.Migrations)
+	snap.Stages = s.StageSnapshots()
 	return snap
 }
 

@@ -1,0 +1,304 @@
+package core
+
+// Observability: every System owns a metrics.Registry that an admin
+// server (internal/obs) exposes on /metrics and /statsz. Almost every
+// series is func-backed — a closure over a counter the hot path already
+// maintained — so wiring the registry costs the publish path nothing.
+// The only new hot-path instruments are the three per-stage histograms
+// (one Observe per *batch*, amortised over up to BatchSize tuples).
+//
+// Series naming: everything is prefixed ps2_, durations are histograms
+// in seconds with _seconds names, monotone counts end in _total, and
+// per-worker series carry a worker="<task>" label. For remote worker
+// tasks the per-kind op counters come from the node-reported StatsReply
+// mirror (refreshed by the adjustment controller's stats rounds and by
+// RefreshRemoteStats at scrape time), so one scrape of the coordinator
+// reports what every node actually processed — not what the
+// coordinator handed to the wire.
+
+import (
+	"context"
+	"log/slog"
+	"strconv"
+	"time"
+
+	"ps2stream/internal/load"
+	"ps2stream/internal/metrics"
+	"ps2stream/internal/wire"
+)
+
+// Stage names of the per-stage latency histograms
+// (ps2_stage_seconds{stage=...}).
+const (
+	StageDispatch = "dispatch"
+	StageWorker   = "worker"
+	StageMerge    = "merge"
+)
+
+// stageLatencyBounds resolve batch-scale processing times: stages run
+// microseconds per batch, far below the paper's end-to-end latency
+// bounds.
+var stageLatencyBounds = []time.Duration{
+	10 * time.Microsecond,
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// discardHandler is slog's no-op: Enabled is false for every level, so
+// an unset Config.Logger costs one predicate call per trace point.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Registry returns the system's metric registry, ready to hand to an
+// obs.Server (or scrape directly).
+func (s *System) Registry() *metrics.Registry { return s.registry }
+
+// RouteEpoch returns the current routing-fence epoch (advances once per
+// executed cell migration).
+func (s *System) RouteEpoch() uint64 { return s.routeFence.Epoch() }
+
+// opKinds are the per-kind op-counter labels, aligned with
+// wire.StatsReply's Objects/Inserts/Deletes.
+var opKinds = []string{"object", "insert", "delete"}
+
+// initObservability builds the registry over the system's existing
+// counters. Called from New after every counter slice is allocated.
+func (s *System) initObservability() {
+	r := metrics.NewRegistry()
+	s.registry = r
+
+	r.CounterFunc("ps2_ops_processed_total", "input operations routed by the dispatchers",
+		s.processed.Value)
+	r.CounterFunc("ps2_ops_discarded_total", "objects discarded by routing (no H2 terms)",
+		s.discarded.Value)
+	r.CounterFunc("ps2_matches_delivered_total", "deduplicated matches delivered by local mergers",
+		s.matches.Value)
+	r.CounterFunc("ps2_matches_duplicates_total", "duplicate matches suppressed by local mergers",
+		s.duplicates.Value)
+	r.CounterFunc("ps2_matches_emitted_total", "match envelopes emitted by local workers",
+		s.matchesEmitted.Value)
+	r.GaugeFunc("ps2_throughput_tps", "routed tuples per second over the current meter interval",
+		s.tput.Rate)
+	r.GaugeFunc("ps2_batch_size", "configured transfer batch size in tuples",
+		func() float64 { return float64(s.cfg.BatchSize) })
+
+	// End-to-end latency histograms rotate on ResetLatencyStats, so they
+	// are read through the atomic pointer at scrape time.
+	r.HistogramFunc("ps2_tuple_latency_seconds", "publish-to-processed latency",
+		s.latency.Load)
+	r.HistogramFunc("ps2_match_latency_seconds", "publish-to-delivery latency of matches",
+		s.matchLat.Load)
+
+	// Per-stage processing-time histograms (one observation per batch).
+	s.stageDisp = r.Histogram("ps2_stage_seconds", "per-batch stage processing time",
+		stageLatencyBounds, metrics.L("stage", StageDispatch))
+	s.stageWork = r.Histogram("ps2_stage_seconds", "per-batch stage processing time",
+		stageLatencyBounds, metrics.L("stage", StageWorker))
+	s.stageMerge = r.Histogram("ps2_stage_seconds", "per-batch stage processing time",
+		stageLatencyBounds, metrics.L("stage", StageMerge))
+
+	// Per-worker series. For remote tasks the op counts read the
+	// node-reported mirror; everything else reads coordinator-side state.
+	for i := 0; i < s.cfg.Workers; i++ {
+		i := i
+		wl := metrics.L("worker", strconv.Itoa(i))
+		for _, kind := range opKinds {
+			kind := kind
+			r.CounterFunc("ps2_worker_ops_total",
+				"operations processed per worker and kind (node-reported for remote tasks)",
+				func() int64 { return s.workerOpCount(i, kind) }, wl, metrics.L("kind", kind))
+		}
+		r.GaugeFunc("ps2_worker_window_load", "Definition-1 load over the current dispatcher window",
+			func() float64 {
+				return s.cfg.Costs.Worker(
+					float64(s.winObjects[i].Load()),
+					float64(s.winInserts[i].Load()),
+					float64(s.winDeletes[i].Load()),
+				)
+			}, wl)
+		r.GaugeFunc("ps2_worker_inflight_ops", "tuples enqueued to the worker and not yet processed",
+			func() float64 { return float64(s.enqueued[i].Load() - s.doneOps[i].Load()) }, wl)
+		r.GaugeFunc("ps2_worker_queries", "live queries indexed on the worker (node-reported for remote tasks)",
+			func() float64 { return s.workerQueryCount(i) }, wl)
+		if s.loadEWMA != nil {
+			e := s.loadEWMA[i]
+			r.GaugeFunc("ps2_worker_load_ewma", "adjustment controller's smoothed per-worker load",
+				e.Value, wl)
+		}
+	}
+
+	r.GaugeFunc("ps2_balance_factor", "L_max/L_min over the controller's smoothed loads (window loads when the controller is off)",
+		func() float64 {
+			if s.loadEWMA != nil {
+				vals := make([]float64, len(s.loadEWMA))
+				for i, e := range s.loadEWMA {
+					vals[i] = e.Value()
+				}
+				return load.BalanceFactor(vals)
+			}
+			return load.BalanceFactor(s.windowLoads())
+		})
+	r.GaugeFunc("ps2_route_epoch", "routing-fence epoch (advances once per migrated cell share)",
+		func() float64 { return float64(s.routeFence.Epoch()) })
+
+	// Adjustment controller activity.
+	r.CounterFunc("ps2_adjust_checks_total", "detector evaluations", s.adjChecks.Value)
+	r.CounterFunc("ps2_adjust_triggers_total", "detector-initiated adjustments", s.adjTriggers.Value)
+	r.CounterFunc("ps2_adjust_manual_total", "AdjustNow-initiated adjustments", s.adjManual.Value)
+	r.CounterFunc("ps2_adjust_sustain_skips_total", "violations suppressed by hysteresis", s.adjSustains.Value)
+	r.CounterFunc("ps2_adjust_cooldown_skips_total", "violations suppressed by cooldown", s.adjCooldowns.Value)
+
+	// Migration aggregates, derived from the migration log.
+	migSum := func(f func(MigrationStat) int64) func() int64 {
+		return func() int64 {
+			s.migMu.Lock()
+			defer s.migMu.Unlock()
+			var total int64
+			for _, m := range s.migrations {
+				total += f(m)
+			}
+			return total
+		}
+	}
+	r.CounterFunc("ps2_migrations_total", "executed migrations",
+		migSum(func(MigrationStat) int64 { return 1 }))
+	r.CounterFunc("ps2_migrated_cells_total", "grid cells moved by migrations",
+		migSum(func(m MigrationStat) int64 { return int64(m.Cells) }))
+	r.CounterFunc("ps2_migrated_queries_total", "queries moved by migrations",
+		migSum(func(m MigrationStat) int64 { return int64(m.QueriesMoved) }))
+	r.CounterFunc("ps2_migrated_bytes_total", "serialised bytes moved by migrations",
+		migSum(func(m MigrationStat) int64 { return m.Bytes }))
+
+	if len(s.cfg.RemoteWorkers) > 0 || len(s.cfg.RemoteMergers) > 0 {
+		wire.RegisterMetrics(r)
+	}
+}
+
+// registerTopologyMetrics adds the stream-engine gauges that only exist
+// once the topology is built (Start).
+func (s *System) registerTopologyMetrics() {
+	topo := s.topo
+	for name := range topo.ComponentStats() {
+		name := name
+		bl := metrics.L("bolt", name)
+		s.registry.CounterFunc("ps2_bolt_processed_total", "tuples processed per stream-engine bolt",
+			func() int64 { return topo.ComponentStats()[name].Processed }, bl)
+		s.registry.CounterFunc("ps2_bolt_emitted_total", "tuples emitted per stream-engine bolt",
+			func() int64 { return topo.ComponentStats()[name].Emitted }, bl)
+		s.registry.GaugeFunc("ps2_queue_depth_batches", "queued input batches per bolt (instantaneous)",
+			func() float64 { return float64(topo.QueueStats()[name].Depth) }, bl)
+		s.registry.GaugeFunc("ps2_queue_cap_batches", "input queue capacity per bolt in batches",
+			func() float64 { return float64(topo.QueueStats()[name].Cap) }, bl)
+	}
+}
+
+// workerOpCount reads worker i's cumulative op count of one kind: the
+// node-reported mirror for remote tasks, the worker bolts' tallies for
+// local ones.
+func (s *System) workerOpCount(i int, kind string) int64 {
+	if _, remote := s.cfg.RemoteWorkers[i]; remote {
+		s.remoteStatsMu.Lock()
+		sr := s.remoteStats[i]
+		s.remoteStatsMu.Unlock()
+		switch kind {
+		case "object":
+			return sr.Objects
+		case "insert":
+			return sr.Inserts
+		default:
+			return sr.Deletes
+		}
+	}
+	switch kind {
+	case "object":
+		return s.workObjects[i].Load()
+	case "insert":
+		return s.workInserts[i].Load()
+	default:
+		return s.workDeletes[i].Load()
+	}
+}
+
+// workerQueryCount reads worker i's live query count: the node-reported
+// mirror for remote tasks (the shadow index under-counts after
+// migrations), the index itself for local ones.
+func (s *System) workerQueryCount(i int) float64 {
+	if _, remote := s.cfg.RemoteWorkers[i]; remote {
+		s.remoteStatsMu.Lock()
+		sr := s.remoteStats[i]
+		s.remoteStatsMu.Unlock()
+		return float64(sr.Queries)
+	}
+	w := s.workers[i]
+	w.mu.Lock()
+	n := w.ix.QueryCount()
+	w.mu.Unlock()
+	return float64(n)
+}
+
+// storeRemoteStats records a node-reported StatsReply in the scrape
+// mirror. Called by every stats control round (the adjustment
+// controller's polls and RefreshRemoteStats alike).
+func (s *System) storeRemoteStats(task int, sr wire.StatsReply) {
+	s.remoteStatsMu.Lock()
+	if s.remoteStats == nil {
+		s.remoteStats = make(map[int]wire.StatsReply)
+	}
+	s.remoteStats[task] = sr
+	s.remoteStatsAt = time.Now()
+	s.remoteStatsMu.Unlock()
+}
+
+// RefreshRemoteStats refreshes the remote-worker counter mirror if it
+// is older than maxAge, one stats control round per remote worker. The
+// obs server calls it before each scrape so a coordinator scrape shows
+// current node-side counts even when the adjustment controller (whose
+// polls also feed the mirror) is off. Errors leave the previous values
+// in place: a scrape must never fail the run.
+func (s *System) RefreshRemoteStats(maxAge time.Duration) {
+	if len(s.cfg.RemoteWorkers) == 0 {
+		return
+	}
+	s.remoteStatsMu.Lock()
+	fresh := time.Since(s.remoteStatsAt) < maxAge
+	if !fresh {
+		s.remoteStatsAt = time.Now() // claim the refresh before the wire rounds
+	}
+	s.remoteStatsMu.Unlock()
+	if fresh {
+		return
+	}
+	for _, task := range s.remoteWorkerTasks() {
+		m := s.remoteMigrator(task)
+		if m == nil {
+			continue
+		}
+		sr, err := m.WorkerStats()
+		if err != nil {
+			continue
+		}
+		s.storeRemoteStats(task, sr)
+	}
+}
+
+// StageSnapshots summarises the per-stage processing-time histograms
+// (one observation per batch), keyed by stage name. The benchmark
+// harness embeds them in report JSON so baselines record where time
+// goes.
+func (s *System) StageSnapshots() map[string]metrics.Snapshot {
+	return map[string]metrics.Snapshot{
+		StageDispatch: s.stageDisp.Snapshot(),
+		StageWorker:   s.stageWork.Snapshot(),
+		StageMerge:    s.stageMerge.Snapshot(),
+	}
+}

@@ -146,6 +146,10 @@ func (d dispatcherBolt) Process(tu stream.Tuple, c stream.Collector) {
 // stretch the migration-flip race window from one tuple to BatchSize
 // tuples of stale routing.
 func (s *System) dispatchBatch(ts []stream.Tuple, c stream.Collector) {
+	// Stage timing uses the wall clock, not cfg.Clock: it measures real
+	// processing cost per batch, and tests' fake clocks must not skew it.
+	stageStart := time.Now()
+	defer func() { s.stageDisp.Observe(time.Since(stageStart)) }()
 	s.processed.Add(int64(len(ts)))
 	s.tput.Add(int64(len(ts)))
 	for i := range ts {
@@ -225,6 +229,8 @@ func (w workerBolt) Process(tu stream.Tuple, c stream.Collector) {
 // board (still under the worker lock, so deltas reach the board in the
 // order the state changed).
 func (s *System) workBatch(task int, ts []stream.Tuple, c stream.Collector) {
+	stageStart := time.Now() // wall clock; see dispatchBatch
+	defer func() { s.stageWork.Observe(time.Since(stageStart)) }()
 	if s.cfg.PerTupleWork > 0 {
 		spin(time.Duration(len(ts)) * s.cfg.PerTupleWork)
 	}
@@ -334,10 +340,12 @@ func newMerger(s *System) *merger {
 // ProcessBatch implements stream.BatchBolt: the whole batch is deduped
 // under one clock read.
 func (m *merger) ProcessBatch(ts []stream.Tuple, _ stream.Collector) {
+	stageStart := time.Now() // wall clock; see dispatchBatch
 	now := m.s.now()
 	for i := range ts {
 		m.processOne(ts[i].Value.(matchEnvelope), now)
 	}
+	m.s.stageMerge.Observe(time.Since(stageStart))
 }
 
 // Process implements stream.Bolt (single-tuple fallback; the engine

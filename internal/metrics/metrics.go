@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,10 +48,11 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // EWMA is an exponentially weighted moving average gauge: each Observe
 // folds a new sample into the running average with weight alpha
 // (avg ← alpha·sample + (1−alpha)·avg; the first sample seeds the
-// average). Value is lock-free and safe to read concurrently with
-// Observe, which itself is expected to be called from a single sampler
-// goroutine (the adaptive-adjustment controller observes once per
-// interval per worker).
+// average). Observe and Value are both lock-free and safe to call from
+// any number of goroutines: concurrent Observes serialise through a CAS
+// loop, so every sample is folded in exactly once (historically the
+// adjustment controller was the only sampler, but adjustTick and
+// pollRemoteLoads both feed loads now).
 type EWMA struct {
 	alpha float64
 	bits  atomic.Uint64 // math.Float64bits of the current average
@@ -68,21 +70,46 @@ func NewEWMA(alpha float64) *EWMA {
 }
 
 // Observe folds one sample in and returns the updated average.
+//
+// The first sample must seed the average rather than fold against the
+// zero value, so n doubles as the seed latch: 0 = unseeded, -1 = a
+// seeder is mid-publication, >0 = samples folded so far. n is only
+// advanced past a bits update, so any goroutine that reads n > 0 also
+// sees a fully published average to fold against.
 func (e *EWMA) Observe(v float64) float64 {
-	if e.n.Add(1) == 1 {
-		e.bits.Store(math.Float64bits(v))
-		return v
+	for {
+		switch n := e.n.Load(); {
+		case n == 0:
+			if e.n.CompareAndSwap(0, -1) {
+				e.bits.Store(math.Float64bits(v))
+				e.n.Store(1)
+				return v
+			}
+		case n < 0:
+			// A concurrent seeder claimed the slot but has not
+			// published yet; yield until it does.
+			runtime.Gosched()
+		default:
+			old := e.bits.Load()
+			next := e.alpha*v + (1-e.alpha)*math.Float64frombits(old)
+			if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+				e.n.Add(1)
+				return next
+			}
+		}
 	}
-	avg := e.alpha*v + (1-e.alpha)*math.Float64frombits(e.bits.Load())
-	e.bits.Store(math.Float64bits(avg))
-	return avg
 }
 
 // Value returns the current average (0 before any sample).
 func (e *EWMA) Value() float64 { return math.Float64frombits(e.bits.Load()) }
 
 // Count returns the number of samples observed.
-func (e *EWMA) Count() int64 { return e.n.Load() }
+func (e *EWMA) Count() int64 {
+	if n := e.n.Load(); n > 0 {
+		return n
+	}
+	return 0
+}
 
 // Throughput measures processed tuples per second over the interval since
 // construction or the last Reset.

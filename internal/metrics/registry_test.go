@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEWMAConcurrentObservers(t *testing.T) {
+	// Observe is now called from more than one sampler (adjustTick and
+	// pollRemoteLoads both feed loads); run it hot from several
+	// goroutines under -race and check every sample was folded in.
+	const goroutines, perG = 8, 5000
+	e := NewEWMA(0.3)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(base float64) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				e.Observe(base + float64(j%10))
+			}
+		}(float64(i))
+	}
+	wg.Wait()
+	if got := e.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d (lost samples under contention)", got, goroutines*perG)
+	}
+	// All samples are in [0, 16], so the average must be too.
+	if v := e.Value(); v < 0 || v > 16 {
+		t.Fatalf("Value = %v, outside the sample range", v)
+	}
+}
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ps2_ops_total", "ops", L("kind", "object"))
+	c.Add(42)
+	if again := r.Counter("ps2_ops_total", "ops", L("kind", "object")); again != c {
+		t.Fatal("re-registering the same name+labels should return the same counter")
+	}
+	r.Counter("ps2_ops_total", "ops", L("kind", "insert")).Add(7)
+	r.GaugeFunc("ps2_balance_factor", "sigma", func() float64 { return 1.25 })
+	r.CounterFunc("ps2_checks_total", "checks", func() int64 { return 9 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ps2_ops_total counter",
+		`ps2_ops_total{kind="object"} 42`,
+		`ps2_ops_total{kind="insert"} 7`,
+		"# TYPE ps2_balance_factor gauge",
+		"ps2_balance_factor 1.25",
+		"ps2_checks_total 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic ordering: families alphabetical.
+	if strings.Index(out, "ps2_balance_factor") > strings.Index(out, "ps2_ops_total") {
+		t.Error("families not in alphabetical order")
+	}
+}
+
+func TestRegistryHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ps2_stage_seconds", "per-stage latency", nil, L("stage", "worker"))
+	h.Observe(500 * time.Microsecond) // le=0.001
+	h.Observe(2 * time.Millisecond)   // le=0.005
+	h.Observe(10 * time.Second)       // +Inf
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ps2_stage_seconds histogram",
+		`ps2_stage_seconds_bucket{stage="worker",le="0.001"} 1`,
+		`ps2_stage_seconds_bucket{stage="worker",le="0.005"} 2`, // cumulative
+		`ps2_stage_seconds_bucket{stage="worker",le="+Inf"} 3`,
+		`ps2_stage_seconds_count{stage="worker"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(3)
+	r.Histogram("lat_seconds", "", nil).Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Series []JSONSeries `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if len(doc.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(doc.Series))
+	}
+	if doc.Series[0].Name != "a_total" || doc.Series[0].Value == nil || *doc.Series[0].Value != 3 {
+		t.Errorf("counter series wrong: %+v", doc.Series[0])
+	}
+	hs := doc.Series[1]
+	if hs.Type != KindHistogram || hs.Count == nil || *hs.Count != 1 || len(hs.Buckets) == 0 {
+		t.Errorf("histogram series wrong: %+v", hs)
+	}
+	if hs.Buckets[len(hs.Buckets)-1].Le != "+Inf" {
+		t.Errorf("last bucket = %+v, want +Inf", hs.Buckets[len(hs.Buckets)-1])
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "", L("path", `a"b\c`+"\n"))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `path="a\"b\\c\n"`) {
+		t.Errorf("label not escaped: %s", buf.String())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestRegistryHistogramFunc(t *testing.T) {
+	r := NewRegistry()
+	var cur *Histogram
+	r.HistogramFunc("swap_seconds", "", func() *Histogram { return cur })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err) // nil histogram must render as empty, not crash
+	}
+	cur = NewHistogram(nil)
+	cur.Observe(time.Millisecond)
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "swap_seconds_count 1") {
+		t.Errorf("swapped histogram not read at scrape time:\n%s", buf.String())
+	}
+}
+
+func TestRegistryConcurrentRegisterAndScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c_total", "", L("g", string(rune('a'+i)))).Inc()
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	var total int64
+	for _, s := range r.Gather() {
+		total += int64(*s.Value)
+	}
+	if total != 800 {
+		t.Fatalf("total = %d, want 800", total)
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ps2stream/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("ps2_ops_processed_total", "ops").Add(123)
+	scrapes := 0
+	srv, err := Serve("127.0.0.1:0", Options{
+		Registry:     reg,
+		Role:         "worker",
+		Task:         2,
+		Epoch:        func() uint64 { return 7 },
+		BeforeScrape: func() { scrapes++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "ps2_ops_processed_total 123") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/statsz")
+	if code != 200 {
+		t.Fatalf("/statsz = %d", code)
+	}
+	var sz Statsz
+	if err := json.Unmarshal([]byte(body), &sz); err != nil {
+		t.Fatalf("/statsz not JSON: %v\n%s", err, body)
+	}
+	if sz.Role != "worker" || sz.Task != 2 || sz.Epoch != 7 || len(sz.Series) != 1 {
+		t.Errorf("/statsz = %+v", sz)
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz = %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if h.Status != "ok" || h.Role != "worker" || h.Epoch != 7 || h.GoVersion == "" {
+		t.Errorf("/healthz = %+v", h)
+	}
+
+	code, body = get(t, base+"/debug/pprof/cmdline")
+	if code != 200 || body == "" {
+		t.Errorf("pprof cmdline = %d %q", code, body)
+	}
+
+	if scrapes != 2 {
+		t.Errorf("BeforeScrape ran %d times, want 2 (metrics + statsz)", scrapes)
+	}
+}
+
+func TestServerNilRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Options{Role: "merger"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _ := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != 200 {
+		t.Errorf("/metrics with nil registry = %d", code)
+	}
+}

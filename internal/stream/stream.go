@@ -167,6 +167,11 @@ type Topology struct {
 
 	panicMu sync.Mutex
 	panics  []string
+
+	// chanMu orders Run's input-channel allocation against concurrent
+	// QueueStats scrapes. Task goroutines need no lock: the go statement
+	// that starts them happens after allocation.
+	chanMu sync.Mutex
 }
 
 // forcedFlushFactor bounds how many input tuples a busy bolt may process
@@ -412,10 +417,12 @@ func (t *Topology) Run(ctx context.Context) error {
 	}
 	// Allocate input channels and producer counts.
 	for _, b := range t.bolts {
+		t.chanMu.Lock()
 		b.inputs = make([]chan []Tuple, b.par)
 		for i := range b.inputs {
 			b.inputs[i] = make(chan []Tuple, t.queueCap)
 		}
+		t.chanMu.Unlock()
 		// Producers: every task instance of every component declaring at
 		// least one output stream this bolt subscribes to. Counted per
 		// task (not per stream) to mirror producerDone, which fires once
@@ -554,6 +561,37 @@ func (t *Topology) ComponentStats() map[string]Stats {
 	out := make(map[string]Stats, len(t.bolts))
 	for _, b := range t.bolts {
 		out[b.name] = Stats{Processed: b.processed.Value(), Emitted: b.emitted.Value()}
+	}
+	return out
+}
+
+// QueueStats is one bolt's input-queue occupancy at a point in time,
+// measured in transfer batches (the channel unit).
+type QueueStats struct {
+	// Depth sums the queued batches across the bolt's task inputs.
+	Depth int
+	// Cap sums the task input capacities.
+	Cap int
+}
+
+// QueueStats reports per-bolt input-queue occupancy. Channel lengths are
+// racy by nature — the numbers are an instantaneous gauge for
+// observability, not a synchronisation primitive. Safe to call
+// concurrently with Run; before Run allocates the channels it reports
+// zero depth and capacity.
+func (t *Topology) QueueStats() map[string]QueueStats {
+	out := make(map[string]QueueStats, len(t.bolts))
+	t.chanMu.Lock()
+	defer t.chanMu.Unlock()
+	for _, b := range t.bolts {
+		var qs QueueStats
+		for _, ch := range b.inputs {
+			if ch != nil {
+				qs.Depth += len(ch)
+				qs.Cap += cap(ch)
+			}
+		}
+		out[b.name] = qs
 	}
 	return out
 }

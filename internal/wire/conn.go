@@ -57,19 +57,25 @@ func NewConn(nc net.Conn) *Conn {
 }
 
 // Send encodes v and writes it as one frame, flushing the write buffer —
-// one frame and one flush per transfer batch.
+// one frame and one flush per transfer batch. The frame's transport
+// counters cover encode time as well as the write.
 func (c *Conn) Send(typ byte, v any) error {
+	start := time.Now()
 	payload, err := EncodePayload(v)
 	if err != nil {
 		return err
 	}
-	return c.SendPayload(typ, payload)
+	return c.sendPayload(typ, payload, start)
 }
 
 // SendPayload writes one frame with an already-encoded payload (callers
 // that need the serialised size, e.g. migration transfer accounting,
 // encode once and send the same bytes).
 func (c *Conn) SendPayload(typ byte, payload []byte) error {
+	return c.sendPayload(typ, payload, time.Now())
+}
+
+func (c *Conn) sendPayload(typ byte, payload []byte, start time.Time) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.WriteTimeout > 0 {
@@ -80,7 +86,11 @@ func (c *Conn) SendPayload(typ byte, payload []byte) error {
 	if err := WriteFrame(c.bw, typ, payload); err != nil {
 		return err
 	}
-	return c.bw.Flush()
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	txCounters.record(typ, len(payload), time.Since(start))
+	return nil
 }
 
 // Recv reads the next frame. Only the connection's read-loop goroutine
@@ -91,7 +101,12 @@ func (c *Conn) Recv() (typ byte, payload []byte, err error) {
 			return 0, nil, err
 		}
 	}
-	return ReadFrame(c.br)
+	start := time.Now()
+	typ, payload, err = ReadFrame(c.br)
+	if err == nil {
+		rxCounters.record(typ, len(payload), time.Since(start))
+	}
+	return typ, payload, err
 }
 
 // RecvTimeout reads the next frame under a one-off deadline (handshake
@@ -101,7 +116,12 @@ func (c *Conn) RecvTimeout(d time.Duration) (typ byte, payload []byte, err error
 		return 0, nil, err
 	}
 	defer c.nc.SetReadDeadline(time.Time{})
-	return ReadFrame(c.br)
+	start := time.Now()
+	typ, payload, err = ReadFrame(c.br)
+	if err == nil {
+		rxCounters.record(typ, len(payload), time.Since(start))
+	}
+	return typ, payload, err
 }
 
 // Close closes the underlying connection. Safe to call multiple times

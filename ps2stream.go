@@ -62,6 +62,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +72,7 @@ import (
 	"ps2stream/internal/load"
 	"ps2stream/internal/migrate"
 	"ps2stream/internal/model"
+	"ps2stream/internal/obs"
 	"ps2stream/internal/partition"
 	"ps2stream/internal/qindex"
 	"ps2stream/internal/snapshot"
@@ -301,6 +303,23 @@ type Options struct {
 	// the imbalance exceeds Theta the system migrates hot grid cells to
 	// the least-loaded worker while the stream keeps flowing.
 	Adjust AdjustOptions
+	// AdminAddr, when non-empty, starts an HTTP observability server on
+	// the address ("host:port"; ":0" picks a free port — read it back
+	// with System.AdminAddr). It serves Prometheus-text metrics on
+	// /metrics, the same series as JSON on /statsz, liveness plus
+	// role/epoch/build info on /healthz, and net/http/pprof under
+	// /debug/pprof/. With Options.RemoteWorkers set, a scrape first
+	// refreshes the coordinator's mirror of the remote workers'
+	// counters, so one scrape of this process reports cluster-wide
+	// per-worker loads and op counts. See docs/ARCHITECTURE.md
+	// ("Observability").
+	AdminAddr string
+	// Logger receives the system's structured event trace — most
+	// importantly the adjustment controller's decision trace: every
+	// detector check (Debug), every trigger and executed migration
+	// (Info), and every routing-fence advance (Debug). Nil disables the
+	// trace.
+	Logger *slog.Logger
 	// DynamicAdjustment enables the §V load adjustment controller
 	// (hybrid strategy only).
 	//
@@ -371,6 +390,7 @@ type AdjustStats struct {
 // System is a running publish/subscribe instance.
 type System struct {
 	inner     *core.System
+	admin     *obs.Server
 	submitted atomic.Int64
 	closed    bool
 }
@@ -436,6 +456,7 @@ func Open(opts Options) (*System, error) {
 		OnMatch:      onMatch,
 		OnTopK:       onTopK,
 		Clock:        opts.Now,
+		Logger:       opts.Logger,
 	}
 	interval := opts.Adjust.Interval
 	if interval <= 0 {
@@ -464,7 +485,25 @@ func Open(opts Options) (*System, error) {
 		}
 		return nil, err
 	}
-	return &System{inner: inner}, nil
+	sys := &System{inner: inner}
+	if opts.AdminAddr != "" {
+		admin, err := obs.Serve(opts.AdminAddr, obs.Options{
+			Registry: inner.Registry(),
+			Role:     "dispatcher",
+			Epoch:    inner.RouteEpoch,
+			// A scrape of the coordinator reports the whole cluster:
+			// fold the remote workers' counters into the registry's
+			// mirror first (rate-limited so concurrent scrapes do not
+			// stack wire round-trips).
+			BeforeScrape: func() { inner.RefreshRemoteStats(500 * time.Millisecond) },
+		})
+		if err != nil {
+			_ = inner.Close()
+			return nil, fmt.Errorf("ps2stream: admin server: %w", err)
+		}
+		sys.admin = admin
+	}
+	return sys, nil
 }
 
 func (m *Message) toObject() *model.Object {
@@ -733,11 +772,23 @@ func (s *System) SubscriptionCount() int {
 	return len(s.inner.LiveQueries())
 }
 
+// AdminAddr returns the bound address of the observability server, or ""
+// when Options.AdminAddr was not set.
+func (s *System) AdminAddr() string {
+	if s.admin == nil {
+		return ""
+	}
+	return s.admin.Addr()
+}
+
 // Close drains in-flight work and stops the system.
 func (s *System) Close() error {
 	if s.closed {
 		return errors.New("ps2stream: already closed")
 	}
 	s.closed = true
+	if s.admin != nil {
+		_ = s.admin.Close()
+	}
 	return s.inner.Close()
 }
