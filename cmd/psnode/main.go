@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"ps2stream/internal/core"
+	"ps2stream/internal/faultnet"
 	"ps2stream/internal/metrics"
 	"ps2stream/internal/model"
 	"ps2stream/internal/node"
@@ -76,11 +77,12 @@ var flagGroups = []struct {
 	names []string
 }{
 	{"All roles", []string{"role", "admin"}},
-	{"Worker and merger nodes", []string{"listen", "once", "out"}},
+	{"Worker and merger nodes", []string{"listen", "once", "out", "fault"}},
 	{"Dispatcher (embedded coordinator)", []string{
 		"workers", "mergers", "dispatchers", "mu", "ops", "seed", "batch",
 		"oracle", "adjust", "objects-only",
 		"hotspot", "hotspot-bias", "hotspot-shift-every",
+		"spare", "recover", "join", "retire",
 	}},
 }
 
@@ -117,6 +119,7 @@ var (
 	listen = flag.String("listen", "127.0.0.1:0", "listen address")
 	once   = flag.Bool("once", false, "exit after the coordinator session ends")
 	out    = flag.String("out", "", "write the delivered match set to this file, sorted (merger, or dispatcher with -oracle/local mergers)")
+	fault  = flag.String("fault", "", "deterministic fault schedule on accepted connections, e.g. \"seed=7,drop=0.002,delay=0.05,delaymax=10ms,dup=0.01,skip=16\"")
 
 	workers     = flag.String("workers", "", "comma-separated worker addresses")
 	mergers     = flag.String("mergers", "", "comma-separated merger addresses")
@@ -131,6 +134,11 @@ var (
 	hotspot     = flag.Int("hotspot", -1, "focus object traffic on this hotspot cluster index (-1 off)")
 	hotBias     = flag.Float64("hotspot-bias", 0.85, "fraction of objects concentrated on the focused hotspot")
 	hotShift    = flag.Int("hotspot-shift-every", 0, "shift the focus to the next hotspot every N stream ops (0 never)")
+
+	spare       = flag.Int("spare", 0, "reserve this many routing slots for workers joined at runtime")
+	recoverFlag = flag.Bool("recover", false, "survive remote worker crashes: heartbeats, per-worker op log, redial + replay")
+	join        = flag.String("join", "", "join worker addresses mid-stream: \"addr@ops[,addr@ops...]\" dials addr after that many stream ops (needs -spare)")
+	retire      = flag.String("retire", "", "decommission worker tasks mid-stream: \"task@ops[,task@ops...]\"")
 )
 
 func main() {
@@ -146,6 +154,14 @@ func main() {
 			logger.Fatal(err)
 		}
 		logger.Printf("worker: listening on %s", ln.Addr())
+		if *fault != "" {
+			fc, err := parseFaultSpec(*fault)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			logger.Printf("worker: fault schedule %+v", fc)
+			ln = faultnet.WrapListener(ln, fc)
+		}
 		w := node.NewWorker(node.WorkerOptions{
 			Log:  logger.Printf,
 			Once: *once,
@@ -157,6 +173,10 @@ func main() {
 	case "merger":
 		runMerger(logger, *listen, *once, *out, *admin)
 	case "dispatcher":
+		events, err := parseMemberEvents(*join, *retire)
+		if err != nil {
+			logger.Fatal(err)
+		}
 		runDispatcher(logger, dispatcherConfig{
 			workerAddrs: splitAddrs(*workers),
 			mergerAddrs: splitAddrs(*mergers),
@@ -173,6 +193,9 @@ func main() {
 			hotspot:     *hotspot,
 			hotBias:     *hotBias,
 			hotShift:    *hotShift,
+			spare:       *spare,
+			recover:     *recoverFlag,
+			events:      events,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "psnode: -role must be worker, merger or dispatcher")
@@ -199,6 +222,79 @@ func startAdmin(logger *log.Logger, addr, role string, reg *metrics.Registry, ep
 	}
 	logger.Printf("admin: listening on %s", srv.Addr())
 	return srv
+}
+
+// parseFaultSpec parses the -fault mini-language: comma-separated k=v
+// pairs mapping onto faultnet.Config.
+func parseFaultSpec(s string) (faultnet.Config, error) {
+	var cfg faultnet.Config
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("-fault: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			_, err = fmt.Sscanf(v, "%d", &cfg.Seed)
+		case "drop":
+			_, err = fmt.Sscanf(v, "%g", &cfg.Drop)
+		case "delay":
+			_, err = fmt.Sscanf(v, "%g", &cfg.Delay)
+		case "delaymax":
+			cfg.DelayMax, err = time.ParseDuration(v)
+		case "dup":
+			_, err = fmt.Sscanf(v, "%g", &cfg.Dup)
+		case "skip":
+			_, err = fmt.Sscanf(v, "%d", &cfg.SkipFrames)
+		default:
+			return cfg, fmt.Errorf("-fault: unknown key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("-fault: %q: %v", kv, err)
+		}
+	}
+	return cfg, nil
+}
+
+// memberEvent is one scheduled membership change: join a worker at addr
+// (task < 0) or retire the given task, once `at` stream ops have been
+// submitted.
+type memberEvent struct {
+	at   int
+	addr string
+	task int
+}
+
+// parseMemberEvents parses "-join addr@ops" / "-retire task@ops" lists
+// (comma-separated) into a schedule sorted by trigger point.
+func parseMemberEvents(joins, retires string) ([]memberEvent, error) {
+	var evs []memberEvent
+	for _, spec := range splitAddrs(joins) {
+		addr, at, ok := strings.Cut(spec, "@")
+		var n int
+		if _, err := fmt.Sscanf(at, "%d", &n); !ok || err != nil || addr == "" {
+			return nil, fmt.Errorf("-join: %q is not addr@ops", spec)
+		}
+		evs = append(evs, memberEvent{at: n, addr: addr, task: -1})
+	}
+	for _, spec := range splitAddrs(retires) {
+		taskStr, at, ok := strings.Cut(spec, "@")
+		var n, task int
+		if _, err := fmt.Sscanf(at, "%d", &n); !ok || err != nil {
+			return nil, fmt.Errorf("-retire: %q is not task@ops", spec)
+		}
+		if _, err := fmt.Sscanf(taskStr, "%d", &task); err != nil {
+			return nil, fmt.Errorf("-retire: %q is not task@ops", spec)
+		}
+		evs = append(evs, memberEvent{at: n, task: task})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	return evs, nil
 }
 
 func splitAddrs(s string) []string {
@@ -303,6 +399,12 @@ type dispatcherConfig struct {
 	hotspot  int
 	hotBias  float64
 	hotShift int
+	// spare reserves routing slots for runtime joins; recover enables
+	// crash detection + redial/replay; events are the scheduled -join and
+	// -retire membership changes, sorted by trigger point.
+	spare   int
+	recover bool
+	events  []memberEvent
 }
 
 // runDispatcher embeds the coordinator: it builds the partitioning
@@ -346,6 +448,9 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 		if len(dc.workerAddrs) > 0 || len(dc.mergerAddrs) > 0 {
 			logger.Fatal("-oracle runs fully in-process; drop -workers/-mergers")
 		}
+		if dc.spare > 0 || dc.recover || len(dc.events) > 0 {
+			logger.Fatal("-spare/-recover/-join/-retire need remote workers; drop them with -oracle")
+		}
 		cfg.Workers = 2
 	} else {
 		if len(dc.workerAddrs) == 0 {
@@ -354,6 +459,21 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 		// Every worker task lives on a peer: the dispatcher node routes,
 		// it does not match.
 		cfg.Workers = len(dc.workerAddrs)
+		// Membership options go on the config before the dial: the
+		// handshake hello carries the total slot count and the heartbeat
+		// request.
+		cfg.SpareWorkers = dc.spare
+		if dc.recover {
+			// Cadences sized for short CI runs: fast enough that a crash,
+			// redial, and replay complete within a few seconds of stream
+			// time, without sub-100ms timers that flake loaded runners.
+			cfg.Recovery = core.RecoveryConfig{
+				Enabled:            true,
+				CheckpointInterval: 250 * time.Millisecond,
+				HeartbeatInterval:  100 * time.Millisecond,
+				RedialTimeout:      30 * time.Second,
+			}
+		}
 		if err := cfg.ConnectRemoteWorkers(dc.workerAddrs, sample, wire.Backoff{}); err != nil {
 			logger.Fatal(err)
 		}
@@ -412,22 +532,49 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 		}
 		return op
 	}
-	if dc.adjust {
+	// Scheduled membership changes fire between bursts once the stream
+	// has advanced past their trigger point. A failure is fatal: the
+	// harness asked for a membership change and silently skipping it
+	// would let a vacuous run pass.
+	events := dc.events
+	fireEvents := func(sent int) {
+		for len(events) > 0 && sent >= events[0].at {
+			ev := events[0]
+			events = events[1:]
+			if ev.task < 0 {
+				task, err := sys.AddWorker(ev.addr)
+				if err != nil {
+					logger.Fatalf("join %s after %d ops: %v", ev.addr, sent, err)
+				}
+				logger.Printf("dispatcher: worker %s joined as task %d after %d ops", ev.addr, task, sent)
+			} else {
+				if err := sys.DecommissionWorker(ev.task); err != nil {
+					logger.Fatalf("retire task %d after %d ops: %v", ev.task, sent, err)
+				}
+				logger.Printf("dispatcher: worker task %d decommissioned after %d ops", ev.task, sent)
+			}
+		}
+	}
+	if dc.adjust || len(dc.events) > 0 {
 		// With the controller on, publishing is paced in small bursts:
 		// the detector needs wall-clock Interval windows of live traffic
 		// to observe the shift and react, which an unpaced burst would
-		// compress into a single window.
+		// compress into a single window. Membership events ride the same
+		// loop (unpaced without -adjust) so they interleave with live
+		// traffic instead of before/after it.
 		const burstEvery = 3 * time.Millisecond
 		const perBurst = 48
 		for sent := 0; sent < dc.ops; {
+			fireEvents(sent)
 			for j := 0; j < perBurst && sent < dc.ops; j++ {
 				sys.Submit(nextOp(sent))
 				sent++
 			}
-			if sent < dc.ops {
+			if dc.adjust && sent < dc.ops {
 				time.Sleep(burstEvery)
 			}
 		}
+		fireEvents(dc.ops)
 	} else {
 		// Static runs pre-generate and submit in one tight burst, exactly
 		// like the pre-adjust dispatcher: interleaving generation with

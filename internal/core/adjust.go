@@ -72,7 +72,13 @@ func (s *System) adjustTick() {
 	for i, l := range loads {
 		smoothed[i] = s.loadEWMA[i].Observe(l)
 	}
-	imbalance := load.BalanceFactor(smoothed)
+	// The detector sees only slots that currently serve traffic: idle
+	// spare slots (and drained, decommissioned ones) always read zero
+	// load, and counting them would keep the balance factor pinned above
+	// θ forever on an otherwise perfectly balanced cluster.
+	active := s.activeWorkerSlots()
+	masked := maskActive(smoothed, active)
+	imbalance := load.BalanceFactor(masked)
 	dec := s.detector.Observe(imbalance, time.Now())
 	s.log.Debug("adjust check",
 		"decision", dec.String(),
@@ -87,7 +93,8 @@ func (s *System) adjustTick() {
 		s.adjCooldowns.Inc()
 	case load.Trigger:
 		s.adjTriggers.Inc()
-		lo, hi := load.ArgMinMax(smoothed)
+		lo, hi := load.ArgMinMax(masked)
+		lo, hi = active[lo], active[hi]
 		s.log.Info("adjust trigger",
 			"imbalance", imbalance,
 			"theta", s.cfg.Adjust.Sigma,
@@ -102,8 +109,19 @@ func (s *System) adjustTick() {
 
 // remoteMigrator returns worker w's wire cell-migration interface, nil
 // for in-process tasks (and for remote transports without migration
-// support, which canAdjust already excludes).
+// support, which canAdjust already excludes). For an elastic hop the
+// CURRENT session's transport is returned even when the hop is down or
+// replaying: a nil would make migration callers misread the slot as
+// in-process and touch the coordinator's shadow index, whereas a
+// control round on a dead connection fails fast and every caller
+// aborts cleanly on error.
 func (s *System) remoteMigrator(w int) remoteCellMigrator {
+	if h := s.hop(w); h != nil {
+		if m, ok := h.transport().(remoteCellMigrator); ok {
+			return m
+		}
+		return nil
+	}
 	if tr, ok := s.cfg.RemoteWorkers[w]; ok {
 		if m, ok := tr.(remoteCellMigrator); ok {
 			return m
@@ -119,7 +137,7 @@ func (s *System) remoteMigrator(w int) remoteCellMigrator {
 // routing alone and hide a node that cannot keep up. Caller holds
 // adjustMu; no-op without remote workers.
 func (s *System) pollRemoteLoads() error {
-	if s.nodeWork == nil || len(s.cfg.RemoteWorkers) == 0 {
+	if s.nodeWork == nil || !s.HasRemoteWorkers() {
 		return nil
 	}
 	for _, task := range s.remoteWorkerTasks() {
@@ -143,10 +161,8 @@ func (s *System) pollRemoteLoads() error {
 // pollRemoteLoads), the worker bolts' tallies for local ones. Caller
 // holds adjustMu.
 func (s *System) curWork(i int) workCounts {
-	if s.nodeWork != nil {
-		if _, remote := s.cfg.RemoteWorkers[i]; remote {
-			return s.nodeWork[i]
-		}
+	if s.nodeWork != nil && s.isRemote(i) {
+		return s.nodeWork[i]
 	}
 	return workCounts{
 		objects: s.workObjects[i].Load(),
@@ -237,9 +253,12 @@ func (s *System) AdjustNow() int {
 		}
 	}
 	before := s.migrationCount()
-	if imbalance := load.BalanceFactor(smoothed); imbalance > s.cfg.Adjust.Sigma {
+	active := s.activeWorkerSlots()
+	masked := maskActive(smoothed, active)
+	if imbalance := load.BalanceFactor(masked); imbalance > s.cfg.Adjust.Sigma {
 		s.adjManual.Inc()
-		lo, hi := load.ArgMinMax(smoothed)
+		lo, hi := load.ArgMinMax(masked)
+		lo, hi = active[lo], active[hi]
 		s.log.Info("adjust trigger",
 			"imbalance", imbalance,
 			"theta", s.cfg.Adjust.Sigma,
@@ -570,7 +589,15 @@ func (s *System) transferShare(wl, cell int, qs []*model.Query, ring []window.En
 		if len(qs) == 0 && len(ring) == 0 {
 			return 0, nil
 		}
-		return m.InstallCells([]wire.CellPayload{{Cell: cell, Queries: qs, Ring: ring}}, nil)
+		n, err := m.InstallCells([]wire.CellPayload{{Cell: cell, Queries: qs, Ring: ring}}, nil)
+		if err == nil {
+			// The destination now answers for these queries; its op log
+			// must reconstruct them if the node crashes before the next
+			// checkpoint. A failed install aborts the migration before the
+			// routing flip, so nothing is logged in that case.
+			s.logAdoptions(wl, qs, nil)
+		}
+		return n, err
 	}
 	_, nbytes := s.ingest(wl, cell, qs, ring)
 	return nbytes, nil
@@ -584,7 +611,7 @@ func (s *System) transferShare(wl, cell int, qs []*model.Query, ring []window.En
 func (s *System) announceFence() {
 	epoch := s.routeFence.Epoch()
 	s.log.Debug("adjust fence advanced", "epoch", epoch)
-	if len(s.cfg.RemoteWorkers) == 0 {
+	if !s.HasRemoteWorkers() {
 		return
 	}
 	for _, task := range s.remoteWorkerTasks() {
@@ -739,6 +766,34 @@ func (s *System) finishExtract(pe pendingExtract) {
 		if len(ps) > 0 {
 			extracted, ring = ps[0].Queries, ps[0].Ring
 		}
+		// The share has left the source node; replaying it there after a
+		// crash would resurrect queries the destination already owns. A
+		// query spanning several of the source's cells is only dropped
+		// from the replay base once its *last* cell leaves: the logged
+		// delete is whole-query (the node's index deletes across cells),
+		// so dropping on a partial departure would erase the cells the
+		// source still owns from a post-crash replay. Routing is already
+		// flipped, so the table answers whether the source still holds
+		// the query through some other cell — via the read-only probe:
+		// RouteQuery(q, false) is delete-routing and would corrupt H2's
+		// registration counts.
+		departed := extracted[:0:0]
+		gt := s.gridT.Load()
+		for _, q := range extracted {
+			still := false
+			if gt != nil {
+				for _, t := range gt.PeekQuery(q) {
+					if t == pe.wo {
+						still = true
+						break
+					}
+				}
+			}
+			if !still {
+				departed = append(departed, q)
+			}
+		}
+		s.logExtraction(pe.wo, departed)
 	} else {
 		s.workers[pe.wo].mu.Lock()
 		if pe.keys == nil {
@@ -813,6 +868,11 @@ func (s *System) finishExtract(pe pendingExtract) {
 			// data path — re-extracting could not recover the copies
 			// the source no longer holds.
 			_, _ = m.InstallCells(cells, deleted)
+			// Logged regardless of the install outcome: routing already
+			// flipped, so the destination slot owns these differences and
+			// replay must reconstruct them even if this particular
+			// delivery is lost to a crash the recovery path then heals.
+			s.logAdoptions(pe.wl, leftover, deleted)
 		}
 		s.board.Apply(ds)
 	} else if len(leftover) > 0 || len(ringLeft) > 0 || len(ds) > 0 || len(deleted) > 0 {

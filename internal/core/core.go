@@ -122,6 +122,16 @@ type Config struct {
 	// the local OnMatch hook and Snapshot counters do not see them
 	// (RemoteDelivered fetches the remote counts).
 	RemoteMergers map[int]stream.Transport
+	// SpareWorkers pre-allocates this many extra worker slots beyond
+	// Workers for runtime joins (System.AddWorker): routing bitmasks
+	// and per-slot accounting are fixed-width, so elastic capacity is
+	// reserved at build time. Requires the hybrid strategy, and
+	// Workers+SpareWorkers must stay within the routing mask width (64).
+	SpareWorkers int
+	// Recovery configures crash recovery of remote worker slots
+	// (op-log replay onto a redialled session); zero = disabled, and a
+	// broken worker connection fails the run loudly as before.
+	Recovery RecoveryConfig
 	// Logger receives the structured operational trace — most notably
 	// the adjustment controller's decision log: every detector verdict
 	// (Debug), every trigger and migration (Info), and fence-epoch
@@ -241,9 +251,13 @@ func (c *Config) fillDefaults() {
 	if c.Adjust.PhaseIP <= 0 {
 		c.Adjust.PhaseIP = 8
 	}
+	if c.SpareWorkers < 0 {
+		c.SpareWorkers = 0
+	}
 	if c.Adjust.MinWindowOps <= 0 {
 		c.Adjust.MinWindowOps = 256
 	}
+	c.Recovery.fillDefaults()
 }
 
 // MigrationStat records one executed migration (Figures 12–15).
@@ -330,7 +344,24 @@ type System struct {
 	runErr  chan error
 	started atomic.Bool
 	closed  atomic.Bool
+	// runDone flips when the topology's Run returns — including a death
+	// by captured task panic — so barriers waiting on processing
+	// progress can fail fast instead of waiting on a stopped engine.
+	runDone atomic.Bool
 	cancel  context.CancelFunc
+	// runCtx is the run's context once Start installs it (recovery
+	// waits under it).
+	runCtx context.Context
+
+	// hops is the elastic-membership slot table: one workerHop per
+	// out-of-process worker slot (including unclaimed spares), nil
+	// entries for in-process slots, and a nil slice for deployments
+	// with neither remote workers nor spares (every legacy code path
+	// then behaves exactly as before). See membership.go.
+	hops []*workerHop
+	// remoteHello is the handshake template runtime joins dial with
+	// (bounds, term statistics, geometry — everything but Task/Epoch).
+	remoteHello wire.Hello
 
 	// Metrics.
 	processed  metrics.Counter
@@ -497,6 +528,17 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 	if cfg.Adjust.Enabled && s.gridT.Load() == nil {
 		return nil, ErrAdjustNeedsHybrid
 	}
+	if cfg.SpareWorkers > 0 {
+		if s.gridT.Load() == nil {
+			// A joined spare only ever receives load through cell
+			// migration, which is gridt's machinery.
+			return nil, fmt.Errorf("core: SpareWorkers: %w", ErrAdjustNeedsHybrid)
+		}
+		if cfg.Workers+cfg.SpareWorkers > 64 {
+			return nil, fmt.Errorf("core: Workers+SpareWorkers = %d exceeds the routing mask width (64)",
+				cfg.Workers+cfg.SpareWorkers)
+		}
+	}
 	for task := range cfg.RemoteWorkers {
 		if task < 0 || task >= cfg.Workers {
 			return nil, fmt.Errorf("%w: worker %d of %d", ErrRemoteTask, task, cfg.Workers)
@@ -530,9 +572,9 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 		hello := h.Hello()
 		granularity := cfg.Granularity // fillDefaults already ran
 		switch {
-		case hello.Workers != cfg.Workers:
+		case hello.Workers != cfg.Workers+cfg.SpareWorkers:
 			return nil, fmt.Errorf("%w: worker %d dialled with Workers=%d, Config now has %d",
-				ErrRemoteConfigMismatch, task, hello.Workers, cfg.Workers)
+				ErrRemoteConfigMismatch, task, hello.Workers, cfg.Workers+cfg.SpareWorkers)
 		case hello.Granularity != granularity:
 			return nil, fmt.Errorf("%w: worker %d dialled with Granularity=%d, Config now has %d",
 				ErrRemoteConfigMismatch, task, hello.Granularity, granularity)
@@ -545,7 +587,12 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 		}
 	}
 	s.board = newTopKBoard(cfg.OnTopK)
-	s.workers = make([]*workerState, cfg.Workers)
+	// Every per-slot structure is sized for Workers plus the spare
+	// slots, so a runtime join never reallocates shared state; the
+	// initial assignment still distributes over the first Workers slots
+	// only (spares receive load via cell migration).
+	totalSlots := cfg.Workers + cfg.SpareWorkers
+	s.workers = make([]*workerState, totalSlots)
 	for i := range s.workers {
 		ix := cfg.IndexFactory(sample.Bounds, cfg.Granularity, sample.Stats)
 		if ix == nil {
@@ -565,23 +612,25 @@ func New(cfg Config, sample *partition.Sample) (*System, error) {
 	if cfg.Adjust.Enabled && s.workers[0].gi == nil {
 		return nil, ErrAdjustNeedsGI2
 	}
-	s.winObjects = make([]atomic.Int64, cfg.Workers)
-	s.winInserts = make([]atomic.Int64, cfg.Workers)
-	s.winDeletes = make([]atomic.Int64, cfg.Workers)
-	s.enqueued = make([]atomic.Int64, cfg.Workers)
-	s.doneOps = make([]atomic.Int64, cfg.Workers)
-	s.workObjects = make([]atomic.Int64, cfg.Workers)
-	s.workInserts = make([]atomic.Int64, cfg.Workers)
-	s.workDeletes = make([]atomic.Int64, cfg.Workers)
+	s.winObjects = make([]atomic.Int64, totalSlots)
+	s.winInserts = make([]atomic.Int64, totalSlots)
+	s.winDeletes = make([]atomic.Int64, totalSlots)
+	s.enqueued = make([]atomic.Int64, totalSlots)
+	s.doneOps = make([]atomic.Int64, totalSlots)
+	s.workObjects = make([]atomic.Int64, totalSlots)
+	s.workInserts = make([]atomic.Int64, totalSlots)
+	s.workDeletes = make([]atomic.Int64, totalSlots)
+	s.initHops()
+	s.remoteHello = cfg.RemoteHello(0, sample)
 	s.routeFence = stream.NewFence()
 	s.pendingCells = make(map[int]bool)
 	if gt := s.gridT.Load(); gt != nil {
 		s.cellObjects = make([]atomic.Int64, gt.Grid().NumCells())
 	}
 	if s.canAdjust() {
-		s.prevWork = make([]workCounts, cfg.Workers)
-		s.nodeWork = make([]workCounts, cfg.Workers)
-		s.loadEWMA = make([]*metrics.EWMA, cfg.Workers)
+		s.prevWork = make([]workCounts, totalSlots)
+		s.nodeWork = make([]workCounts, totalSlots)
+		s.loadEWMA = make([]*metrics.EWMA, totalSlots)
 		for i := range s.loadEWMA {
 			s.loadEWMA[i] = metrics.NewEWMA(cfg.Adjust.EWMAAlpha)
 		}
@@ -613,6 +662,21 @@ func (s *System) canAdjust() bool {
 	if s.gridT.Load() == nil || len(s.workers) == 0 || s.workers[0].gi == nil {
 		return false
 	}
+	if s.hops != nil {
+		for _, h := range s.hops {
+			if h == nil {
+				continue
+			}
+			tr := h.transport()
+			if tr == nil {
+				continue // unclaimed spare slot
+			}
+			if _, ok := tr.(remoteCellMigrator); !ok {
+				return false
+			}
+		}
+		return true
+	}
 	for _, tr := range s.cfg.RemoteWorkers {
 		if _, ok := tr.(remoteCellMigrator); !ok {
 			return false
@@ -638,9 +702,10 @@ func (s *System) Start(ctx context.Context) error {
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	s.cancel = cancel
+	s.runCtx = runCtx
 	s.topo = s.buildTopology(runCtx)
 	s.registerTopologyMetrics()
-	if len(s.cfg.RemoteWorkers) > 0 || len(s.cfg.RemoteMergers) > 0 {
+	if s.hops != nil || len(s.cfg.RemoteMergers) > 0 {
 		// Remote transports block in socket reads the run context cannot
 		// reach; force-close them on cancellation (a normal Close cancels
 		// only after the topology has drained and the hops have already
@@ -654,10 +719,14 @@ func (s *System) Start(ctx context.Context) error {
 	if s.cfg.Adjust.Enabled {
 		go s.adjustLoop(adjustCtx)
 	}
+	if s.cfg.Recovery.Enabled && s.hops != nil {
+		go s.checkpointLoop(adjustCtx)
+	}
 	go s.windowLoop(adjustCtx)
 	go func() {
 		err := s.topo.Run(runCtx)
 		adjustCancel()
+		s.runDone.Store(true)
 		s.runErr <- err
 	}()
 	return nil
@@ -758,14 +827,16 @@ func (s *System) adjustStats(migs []MigrationStat) AdjustStats {
 		for i, e := range s.loadEWMA {
 			st.EWMALoads[i] = e.Value()
 		}
-		st.Imbalance = load.BalanceFactor(st.EWMALoads)
+		// Inactive slots (unclaimed spares, decommissioned workers) sit
+		// at zero load; dividing by them would read as infinite skew.
+		st.Imbalance = load.BalanceFactor(maskActive(st.EWMALoads, s.activeWorkerSlots()))
 	}
 	return st
 }
 
 // windowLoads evaluates Definition 1 over the current dispatcher window.
 func (s *System) windowLoads() []float64 {
-	loads := make([]float64, s.cfg.Workers)
+	loads := make([]float64, len(s.winObjects))
 	for i := range loads {
 		loads[i] = s.cfg.Costs.Worker(
 			float64(s.winObjects[i].Load()),

@@ -108,7 +108,7 @@ func (s *System) GlobalRepartition(sample *partition.Sample, builder partition.B
 	if sample == nil {
 		return errors.New("core: nil repartition sample")
 	}
-	if len(s.cfg.RemoteWorkers) > 0 {
+	if s.HasRemoteWorkers() {
 		// Relocation extracts queries from local indexes; a remote
 		// worker's population is not reachable from here.
 		return ErrRemoteNeedsStatic

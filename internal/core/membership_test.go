@@ -1,0 +1,600 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ps2stream/internal/faultnet"
+	"ps2stream/internal/geo"
+	"ps2stream/internal/hybrid"
+	"ps2stream/internal/model"
+	"ps2stream/internal/node"
+	"ps2stream/internal/wire"
+	"ps2stream/internal/workload"
+)
+
+// elasticNode is one in-process worker node the test can observe, kill
+// like a crashed process, and restart on the same port.
+type elasticNode struct {
+	addr   string
+	worker *node.Worker
+	cancel context.CancelFunc
+	ln     net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// trackingListener records accepted connections so kill() can sever the
+// live session the way a dead process would.
+type trackingListener struct {
+	net.Listener
+	n *elasticNode
+}
+
+func (l *trackingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.n.mu.Lock()
+	l.n.conns = append(l.n.conns, c)
+	l.n.mu.Unlock()
+	return c, nil
+}
+
+// startElasticNode launches a fresh worker node. addr "" picks a free
+// port; a concrete addr rebinds it (restart-after-crash), retrying
+// briefly while the dying listener lets go of the port.
+func startElasticNode(t *testing.T, addr string) *elasticNode {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	en := &elasticNode{addr: ln.Addr().String(), worker: node.NewWorker(node.WorkerOptions{}), ln: ln}
+	ctx, cancel := context.WithCancel(context.Background())
+	en.cancel = cancel
+	t.Cleanup(en.kill)
+	go en.worker.Serve(ctx, &trackingListener{Listener: ln, n: en})
+	return en
+}
+
+// kill simulates a process death: the listener and every accepted
+// connection drop at once, mid-frame if one is in flight.
+func (en *elasticNode) kill() {
+	en.cancel()
+	en.ln.Close()
+	en.mu.Lock()
+	for _, c := range en.conns {
+		c.Close()
+	}
+	en.mu.Unlock()
+}
+
+// assertExact compares the delivered match set against the oracle.
+func assertExact(t *testing.T, ms *matchSet, want map[[2]uint64]bool) {
+	t.Helper()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	missing, extra := 0, 0
+	for k := range want {
+		if !ms.seen[k] {
+			missing++
+		}
+	}
+	for k := range ms.seen {
+		if !want[k] {
+			extra++
+		}
+	}
+	if missing > 0 || extra > 0 {
+		t.Errorf("%d missing, %d extra of %d oracle matches", missing, extra, len(want))
+	}
+}
+
+// TestAddWorkerRebalancesOntoJoinedNode: a node started after the
+// stream is live joins via AddWorker, receives a share of the standing
+// cells, and the delivered match set stays exactly the oracle's.
+func TestAddWorkerRebalancesOntoJoinedNode(t *testing.T) {
+	sample, ops := smallWorkload(t, workload.Q1, 21, 3000)
+	want := oracleMatches(ops)
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle produced no matches")
+	}
+	n0, n1 := startElasticNode(t, ""), startElasticNode(t, "")
+	joiner := startElasticNode(t, "")
+	ms := newMatchSet()
+	cfg := Config{
+		Dispatchers:  1,
+		Workers:      2,
+		Mergers:      2,
+		Builder:      hybrid.Builder{},
+		OnMatch:      ms.add,
+		SpareWorkers: 1, // sized before dialling: the handshake's worker count includes it
+	}
+	if err := cfg.ConnectRemoteWorkers([]string{n0.addr, n1.addr}, sample, wire.Backoff{Attempts: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	half := len(ops) / 2
+	sys.SubmitAll(ops[:half])
+	if err := sys.Drain(int64(half)); err != nil {
+		t.Fatal(err)
+	}
+	task, err := sys.AddWorker(joiner.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task != 2 {
+		t.Errorf("AddWorker claimed slot %d, want the spare slot 2", task)
+	}
+	// The pool had exactly one spare; a second join must be refused.
+	if _, err := sys.AddWorker(joiner.addr); !errors.Is(err, ErrNoSpareSlots) {
+		t.Errorf("second AddWorker: %v, want ErrNoSpareSlots", err)
+	}
+	sys.SubmitAll(ops[half:])
+	if err := sys.Drain(int64(len(ops))); err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, ms, want)
+	if joiner.worker.QueryCount() == 0 {
+		t.Error("joined node serves no queries: the join rebalanced nothing onto it")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecommissionWorkerDrainsNode: a graceful retire migrates every
+// cell off the node, leaves it empty, and loses no matches.
+func TestDecommissionWorkerDrainsNode(t *testing.T) {
+	sample, ops := smallWorkload(t, workload.Q1, 31, 3000)
+	want := oracleMatches(ops)
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle produced no matches")
+	}
+	nodes := []*elasticNode{startElasticNode(t, ""), startElasticNode(t, ""), startElasticNode(t, "")}
+	addrs := []string{nodes[0].addr, nodes[1].addr, nodes[2].addr}
+	ms := newMatchSet()
+	cfg := Config{
+		Dispatchers: 1,
+		Workers:     3,
+		Mergers:     2,
+		Builder:     hybrid.Builder{},
+		OnMatch:     ms.add,
+	}
+	if err := cfg.ConnectRemoteWorkers(addrs, sample, wire.Backoff{Attempts: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	half := len(ops) / 2
+	sys.SubmitAll(ops[:half])
+	if err := sys.Drain(int64(half)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DecommissionWorker(1); err != nil {
+		t.Fatal(err)
+	}
+	// The node keeps registrations for cells it never owned (gi2.Insert
+	// registers in every overlapping local cell), so a zero count is not
+	// the invariant — no further traffic reaching the retired node is.
+	retiredCount := nodes[1].worker.QueryCount()
+	retiredDone, _ := nodes[1].worker.Counts()
+	// A retired slot is gone for good.
+	if err := sys.DecommissionWorker(1); err == nil {
+		t.Error("decommissioning an already-retired slot succeeded")
+	}
+	sys.SubmitAll(ops[half:])
+	if err := sys.Drain(int64(len(ops))); err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, ms, want)
+	if n := nodes[1].worker.QueryCount(); n != retiredCount {
+		t.Errorf("retired node's query count moved %d -> %d after retirement", retiredCount, n)
+	}
+	if d, _ := nodes[1].worker.Counts(); d != retiredDone {
+		t.Errorf("retired node processed %d more ops after retirement", d-retiredDone)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryReplaysOntoFreshNode: kill -9 equivalent — the
+// node's session and listener drop mid-stream while the publisher keeps
+// going, a state-less replacement binds the same port, and the op-log
+// replay rebuilds it without losing or inventing a single match. Run
+// under -race this doubles as the publish-during-crash interleaving
+// check.
+func TestCrashRecoveryReplaysOntoFreshNode(t *testing.T) {
+	sample, ops := smallWorkload(t, workload.Q1, 17, 3000)
+	want := oracleMatches(ops)
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle produced no matches")
+	}
+	n0 := startElasticNode(t, "")
+	victim := startElasticNode(t, "")
+	ms := newMatchSet()
+	cfg := Config{
+		Dispatchers: 1,
+		Workers:     2,
+		Mergers:     2,
+		Builder:     hybrid.Builder{},
+		OnMatch:     ms.add,
+		Recovery: RecoveryConfig{
+			Enabled:            true,
+			CheckpointInterval: 100 * time.Millisecond,
+			HeartbeatInterval:  50 * time.Millisecond,
+			RedialTimeout:      20 * time.Second,
+		},
+	}
+	if err := cfg.ConnectRemoteWorkers([]string{n0.addr, victim.addr}, sample, wire.Backoff{Attempts: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	half := len(ops) / 2
+	sys.SubmitAll(ops[:half])
+	if err := sys.Drain(int64(half)); err != nil {
+		t.Fatal(err)
+	}
+	// Publish the second half concurrently with the crash: ops must keep
+	// flowing (and queue against the downed slot's op log) while the
+	// coordinator redials and replays.
+	published := make(chan struct{})
+	go func() {
+		defer close(published)
+		sys.SubmitAll(ops[half:])
+	}()
+	victim.kill()
+	replacement := startElasticNode(t, victim.addr)
+	<-published
+	if err := sys.Drain(int64(len(ops))); err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, ms, want)
+	if replacement.worker.QueryCount() == 0 {
+		t.Error("replacement node holds no queries: replay restored nothing")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startChaosNode launches a worker node behind seeded fault injection:
+// every injected drop severs the live session (see faultnet's package
+// doc), so the drop schedule doubles as a crash schedule.
+func startChaosNode(t *testing.T, fc faultnet.Config) *elasticNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := &elasticNode{addr: ln.Addr().String(), worker: node.NewWorker(node.WorkerOptions{}), ln: ln}
+	ctx, cancel := context.WithCancel(context.Background())
+	en.cancel = cancel
+	t.Cleanup(en.kill)
+	go en.worker.Serve(ctx, faultnet.WrapListener(&trackingListener{Listener: ln, n: en}, fc))
+	return en
+}
+
+// TestChaosFaultnetMatchesOracle is the fault-injection centerpiece:
+// both worker hops run behind a seeded drop/delay schedule, so sessions
+// sever at schedule-chosen frames mid-stream and recovery redials and
+// replays — repeatedly, if the schedule says so. The delivered match
+// set must still be exactly the in-process oracle's. SkipFrames leaves
+// the handshake intact so every redial can succeed; the per-accept
+// reseed means successive sessions fail at different points.
+func TestChaosFaultnetMatchesOracle(t *testing.T) {
+	sample, ops := smallWorkload(t, workload.Q1, 13, 4000)
+	want := oracleMatches(ops)
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle produced no matches")
+	}
+	// CI's chaos job sweeps a fixed seed matrix via PS2_CHAOS_SEED; each
+	// seed deterministically selects a different crash/delay schedule.
+	base := int64(1300)
+	if s := os.Getenv("PS2_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("PS2_CHAOS_SEED %q: %v", s, err)
+		}
+		base = v
+	}
+	fc := faultnet.Config{
+		Seed:       base,
+		Drop:       0.004, // a few severed sessions over the run
+		Delay:      0.02,
+		DelayMax:   2 * time.Millisecond,
+		SkipFrames: 8,
+	}
+	n0 := startChaosNode(t, fc)
+	fc.Seed = base * 2
+	n1 := startChaosNode(t, fc)
+	ms := newMatchSet()
+	cfg := Config{
+		Dispatchers: 1,
+		Workers:     2,
+		Mergers:     2,
+		Builder:     hybrid.Builder{},
+		OnMatch:     ms.add,
+		Recovery: RecoveryConfig{
+			Enabled:            true,
+			CheckpointInterval: 100 * time.Millisecond,
+			HeartbeatInterval:  50 * time.Millisecond,
+			RedialTimeout:      20 * time.Second,
+		},
+	}
+	if err := cfg.ConnectRemoteWorkers([]string{n0.addr, n1.addr}, sample, wire.Backoff{Attempts: 10}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sys.SubmitAll(ops)
+	if err := sys.Drain(int64(len(ops))); err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, ms, want)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecommissionRefusedForLocalSlot: only elastic (hop-backed) slots
+// can be decommissioned; an in-process slot has no hop to retire.
+func TestDecommissionRefusedForLocalSlot(t *testing.T) {
+	sample, _ := smallWorkload(t, workload.Q1, 3, 10)
+	addrs := []string{startElasticNode(t, "").addr}
+	cfg := Config{Dispatchers: 1, Workers: 2, Builder: hybrid.Builder{}}
+	if err := cfg.ConnectRemoteWorkers(addrs, sample, wire.Backoff{Attempts: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DecommissionWorker(1); err == nil {
+		t.Error("decommissioning an in-process slot succeeded")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainFailsWhenWorkerUnrecoverable: with recovery disabled, a
+// crashed remote worker must fail the Drain barrier with a typed error
+// instead of hanging it forever.
+func TestDrainFailsWhenWorkerUnrecoverable(t *testing.T) {
+	sample, ops := smallWorkload(t, workload.Q1, 23, 800)
+	victim := startElasticNode(t, "")
+	ms := newMatchSet()
+	cfg := Config{
+		Dispatchers:  1,
+		Workers:      1,
+		Mergers:      1,
+		Builder:      hybrid.Builder{},
+		OnMatch:      ms.add,
+		SpareWorkers: 1, // forces the hop table on without enabling recovery
+	}
+	if err := cfg.ConnectRemoteWorkers([]string{victim.addr}, sample, wire.Backoff{Attempts: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	half := len(ops) / 2
+	sys.SubmitAll(ops[:half])
+	if err := sys.Drain(int64(half)); err != nil {
+		t.Fatal(err)
+	}
+	victim.kill()
+	sys.SubmitAll(ops[half:])
+	done := make(chan error, 1)
+	go func() { done <- sys.Drain(int64(len(ops))) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrWorkerUnrecoverable) {
+			t.Errorf("Drain after unrecoverable crash: %v, want ErrWorkerUnrecoverable", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Drain hung on a dead worker with recovery disabled")
+	}
+	sys.Abort()
+}
+
+// opsTouchingWindow asserts the chaos workloads actually exercise all
+// three op kinds (guards against a workload change hollowing the tests).
+func TestMembershipWorkloadsExerciseAllOpKinds(t *testing.T) {
+	_, ops := smallWorkload(t, workload.Q1, 21, 3000)
+	var ins, del, obj int
+	for _, op := range ops {
+		switch op.Kind {
+		case model.OpInsert:
+			ins++
+		case model.OpDelete:
+			del++
+		case model.OpObject:
+			obj++
+		}
+	}
+	if ins == 0 || del == 0 || obj == 0 {
+		t.Fatalf("workload has ins=%d del=%d obj=%d; membership tests need all three", ins, del, obj)
+	}
+}
+
+// TestPartialCellDepartureSurvivesReplay: a query registered in several
+// cells of the same worker must survive a crash replay after just one
+// of those cells migrates away. The migration used to log an
+// unconditional DropQuery on the source's op log; the logged delete is
+// whole-query (a node's index delete is cross-cell), so a post-crash
+// replay erased the registrations the source still owned and silently
+// lost their matches.
+func TestPartialCellDepartureSurvivesReplay(t *testing.T) {
+	spec := workload.TweetsUS()
+	sample := workload.Sample(spec, workload.Q1, 2000, 400, 23)
+	victim, n1 := startElasticNode(t, ""), startElasticNode(t, "")
+	ms := newMatchSet()
+	cfg := Config{
+		Dispatchers: 1,
+		Workers:     2,
+		Mergers:     2,
+		Builder:     hybrid.Builder{},
+		OnMatch:     ms.add,
+		Recovery: RecoveryConfig{
+			Enabled:            true,
+			CheckpointInterval: 100 * time.Millisecond,
+			HeartbeatInterval:  50 * time.Millisecond,
+			RedialTimeout:      20 * time.Second,
+		},
+	}
+	if err := cfg.ConnectRemoteWorkers([]string{victim.addr, n1.addr}, sample, wire.Backoff{Attempts: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One query covering the whole space: it registers in every cell on
+	// both workers, so any single-cell migration is a partial departure.
+	const wideID = 900100
+	wide := &model.Query{ID: wideID, Expr: model.And("partialdeparture"), Region: spec.Bounds}
+	sys.Submit(model.Op{Kind: model.OpInsert, Query: wide})
+	if err := sys.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	// Migrate one of the victim's cells to the other worker and complete
+	// the deferred extraction, exactly as a join rebalance would.
+	gt := sys.gridT.Load()
+	cell := -1
+	for c := 0; c < gt.Grid().NumCells(); c++ {
+		ws := gt.CellWorkers(c)
+		if len(ws) == 1 && ws[0] == 0 {
+			cell = c
+			break
+		}
+	}
+	if cell < 0 {
+		t.Fatal("no cell owned solely by worker 0")
+	}
+	sys.adjustMu.Lock()
+	moved, _, ok := sys.migrateShare(0, 1, cell)
+	if !ok {
+		sys.adjustMu.Unlock()
+		t.Fatal("migrateShare failed")
+	}
+	if moved != 1 {
+		sys.adjustMu.Unlock()
+		t.Fatalf("migrated %d queries from cell %d, want the wide query alone", moved, cell)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for sys.hasPendingExtractsFor(0) {
+		sys.processPendingExtracts()
+		if time.Now().After(deadline) {
+			sys.adjustMu.Unlock()
+			t.Fatal("deferred extraction never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	sys.adjustMu.Unlock()
+	// The replay plan must still carry the query: worker 0 holds it in
+	// every cell it did not migrate.
+	base, tail, _ := sys.hop(0).log.Replay()
+	live := false
+	for _, q := range base {
+		if q.ID == wideID {
+			live = true
+		}
+	}
+	for _, e := range tail {
+		if e.Op.Query != nil && e.Op.Query.ID == wideID {
+			live = e.Op.Kind == model.OpInsert
+		}
+	}
+	if !live {
+		t.Fatal("partial cell departure dropped the query from the replay plan")
+	}
+	// Crash the victim, restart it state-less on the same port, and
+	// publish a lattice of matching objects across the whole space: the
+	// replay must restore the query in the victim's remaining cells.
+	victim.kill()
+	startElasticNode(t, victim.addr)
+	var objs []model.Op
+	nLat := 12
+	for i := 0; i < nLat; i++ {
+		for j := 0; j < nLat; j++ {
+			objs = append(objs, model.Op{Kind: model.OpObject, Obj: &model.Object{
+				ID:    uint64(910000 + i*nLat + j),
+				Terms: []string{"partialdeparture"},
+				Loc: geo.Point{
+					X: spec.Bounds.Min.X + (float64(i)+0.5)/float64(nLat)*(spec.Bounds.Max.X-spec.Bounds.Min.X),
+					Y: spec.Bounds.Min.Y + (float64(j)+0.5)/float64(nLat)*(spec.Bounds.Max.Y-spec.Bounds.Min.Y),
+				},
+			}})
+		}
+	}
+	sys.SubmitAll(objs)
+	if err := sys.Drain(int64(1 + len(objs))); err != nil {
+		t.Fatal(err)
+	}
+	missing := 0
+	for _, op := range objs {
+		if !ms.has(wideID, op.Obj.ID) {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d of %d whole-space matches missing after partial departure + crash replay", missing, len(objs))
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -109,7 +109,9 @@ func (s *System) initObservability() {
 
 	// Per-worker series. For remote tasks the op counts read the
 	// node-reported mirror; everything else reads coordinator-side state.
-	for i := 0; i < s.cfg.Workers; i++ {
+	// Spare slots are included so a runtime-joined worker's series exist
+	// from the first scrape.
+	for i := 0; i < len(s.workers); i++ {
 		i := i
 		wl := metrics.L("worker", strconv.Itoa(i))
 		for _, kind := range opKinds {
@@ -139,14 +141,15 @@ func (s *System) initObservability() {
 
 	r.GaugeFunc("ps2_balance_factor", "L_max/L_min over the controller's smoothed loads (window loads when the controller is off)",
 		func() float64 {
+			active := s.activeWorkerSlots()
 			if s.loadEWMA != nil {
 				vals := make([]float64, len(s.loadEWMA))
 				for i, e := range s.loadEWMA {
 					vals[i] = e.Value()
 				}
-				return load.BalanceFactor(vals)
+				return load.BalanceFactor(maskActive(vals, active))
 			}
-			return load.BalanceFactor(s.windowLoads())
+			return load.BalanceFactor(maskActive(s.windowLoads(), active))
 		})
 	r.GaugeFunc("ps2_route_epoch", "routing-fence epoch (advances once per migrated cell share)",
 		func() float64 { return float64(s.routeFence.Epoch()) })
@@ -179,7 +182,40 @@ func (s *System) initObservability() {
 	r.CounterFunc("ps2_migrated_bytes_total", "serialised bytes moved by migrations",
 		migSum(func(m MigrationStat) int64 { return m.Bytes }))
 
-	if len(s.cfg.RemoteWorkers) > 0 || len(s.cfg.RemoteMergers) > 0 {
+	// Membership gauges: slot liveness as the coordinator sees it. Only
+	// hop-backed (remote/spare) slots register them; a pure in-process
+	// deployment has no hops and no membership to observe.
+	for task, h := range s.hops {
+		if h == nil {
+			continue
+		}
+		h := h
+		wl := metrics.L("worker", strconv.Itoa(task))
+		r.GaugeFunc("ps2_worker_active", "1 while the slot serves traffic",
+			func() float64 {
+				h.mu.Lock()
+				defer h.mu.Unlock()
+				if h.active {
+					return 1
+				}
+				return 0
+			}, wl)
+		r.GaugeFunc("ps2_worker_down", "1 while the slot's node is crashed or replaying",
+			func() float64 {
+				h.mu.Lock()
+				defer h.mu.Unlock()
+				if h.down || h.replaying {
+					return 1
+				}
+				return 0
+			}, wl)
+		if h.log != nil {
+			r.GaugeFunc("ps2_oplog_tail", "op-log entries pending the next checkpoint",
+				func() float64 { return float64(h.log.TailLen()) }, wl)
+		}
+	}
+
+	if s.hops != nil || len(s.cfg.RemoteMergers) > 0 {
 		wire.RegisterMetrics(r)
 	}
 }
@@ -206,7 +242,7 @@ func (s *System) registerTopologyMetrics() {
 // node-reported mirror for remote tasks, the worker bolts' tallies for
 // local ones.
 func (s *System) workerOpCount(i int, kind string) int64 {
-	if _, remote := s.cfg.RemoteWorkers[i]; remote {
+	if s.isRemote(i) {
 		s.remoteStatsMu.Lock()
 		sr := s.remoteStats[i]
 		s.remoteStatsMu.Unlock()
@@ -233,7 +269,7 @@ func (s *System) workerOpCount(i int, kind string) int64 {
 // mirror for remote tasks (the shadow index under-counts after
 // migrations), the index itself for local ones.
 func (s *System) workerQueryCount(i int) float64 {
-	if _, remote := s.cfg.RemoteWorkers[i]; remote {
+	if s.isRemote(i) {
 		s.remoteStatsMu.Lock()
 		sr := s.remoteStats[i]
 		s.remoteStatsMu.Unlock()
@@ -266,7 +302,7 @@ func (s *System) storeRemoteStats(task int, sr wire.StatsReply) {
 // polls also feed the mirror) is off. Errors leave the previous values
 // in place: a scrape must never fail the run.
 func (s *System) RefreshRemoteStats(maxAge time.Duration) {
-	if len(s.cfg.RemoteWorkers) == 0 {
+	if !s.HasRemoteWorkers() {
 		return
 	}
 	s.remoteStatsMu.Lock()

@@ -84,6 +84,12 @@ type remoteHelloer interface {
 	Hello() wire.Hello
 }
 
+// remoteAddresser exposes the dialled address, so crash recovery can
+// redial the same node (membership.go).
+type remoteAddresser interface {
+	Addr() string
+}
+
 // wireWorkerTransport adapts a wire.WorkerClient to stream.Transport:
 // Send carries opEnvelope tuples out as one OpBatch frame per transfer
 // batch; Recv yields the worker's matches as matchEnvelope tuples.
@@ -137,6 +143,7 @@ func (t *wireWorkerTransport) InstallCells(cells []wire.CellPayload, deletes []u
 func (t *wireWorkerTransport) SendFence(epoch uint64) error { return t.c.SendFence(epoch) }
 func (t *wireWorkerTransport) ResetWindow() error           { return t.c.ResetWindow() }
 func (t *wireWorkerTransport) Hello() wire.Hello            { return t.c.Hello() }
+func (t *wireWorkerTransport) Addr() string                 { return t.c.Addr() }
 
 // wireMergerTransport adapts a wire.MergerClient to stream.Transport
 // (forward direction only: mergers send nothing back but counters).
@@ -181,12 +188,25 @@ func (c *Config) RemoteHello(task int, sample *partition.Sample) wire.Hello {
 	if workers <= 0 {
 		workers = defaultWorkers
 	}
+	if c.SpareWorkers > 0 {
+		// Nodes size their shared grid topology by the handshake's
+		// worker count; spare slots must be part of it from the start
+		// so a runtime join agrees on cell ids.
+		workers += c.SpareWorkers
+	}
 	h := wire.Hello{
 		Role:        wire.RoleCoordinator,
 		Task:        task,
 		Workers:     workers,
 		Granularity: granularity,
 		BatchSize:   batch,
+	}
+	if c.Recovery.Enabled {
+		hb := c.Recovery.HeartbeatInterval
+		if hb <= 0 {
+			hb = 500 * time.Millisecond
+		}
+		h.HeartbeatMillis = int(hb / time.Millisecond)
 	}
 	if sample != nil {
 		h.Bounds = sample.Bounds
@@ -280,9 +300,19 @@ func (c *Config) ConnectRemoteMergers(addrs []string, sample *partition.Sample, 
 	return nil
 }
 
-// remoteWorkerTasks returns the remote worker task ids in ascending
-// order (stable spout-task mapping and drain iteration).
+// remoteWorkerTasks returns the out-of-process worker task ids —
+// including unclaimed spare slots — in ascending order (stable
+// spout-task mapping and drain iteration).
 func (s *System) remoteWorkerTasks() []int {
+	if s.hops != nil {
+		tasks := make([]int, 0, len(s.hops))
+		for t, h := range s.hops {
+			if h != nil {
+				tasks = append(tasks, t)
+			}
+		}
+		return tasks
+	}
 	tasks := make([]int, 0, len(s.cfg.RemoteWorkers))
 	for t := range s.cfg.RemoteWorkers {
 		tasks = append(tasks, t)
@@ -291,14 +321,33 @@ func (s *System) remoteWorkerTasks() []int {
 	return tasks
 }
 
-// HasRemoteWorkers reports whether any worker task runs out-of-process.
-func (s *System) HasRemoteWorkers() bool { return len(s.cfg.RemoteWorkers) > 0 }
+// HasRemoteWorkers reports whether any worker task runs (or can join)
+// out-of-process.
+func (s *System) HasRemoteWorkers() bool {
+	return s.hops != nil || len(s.cfg.RemoteWorkers) > 0
+}
 
 // closeRemoteTransports force-closes every remote hop (idempotent);
 // used to unblock transport reads when the run is cancelled.
 func (s *System) closeRemoteTransports() {
-	for _, tr := range s.cfg.RemoteWorkers {
-		tr.Close()
+	if s.hops != nil {
+		for _, h := range s.hops {
+			if h == nil {
+				continue
+			}
+			h.mu.Lock()
+			h.closing = true
+			tr := h.tr
+			h.broadcastLocked()
+			h.mu.Unlock()
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	} else {
+		for _, tr := range s.cfg.RemoteWorkers {
+			tr.Close()
+		}
 	}
 	for _, tr := range s.cfg.RemoteMergers {
 		tr.Close()
@@ -306,13 +355,16 @@ func (s *System) closeRemoteTransports() {
 }
 
 // remoteWorkerBolt stands in for an out-of-process worker task: it
-// forwards each received op batch across the transport (one frame per
-// batch) and accounts the hand-off. The worker's matches re-enter the
-// topology through remoteMatchSpout.
+// forwards each received op batch across the hop's current transport
+// session (one frame per batch) and accounts the hand-off. The
+// worker's matches re-enter the topology through remoteMatchSpout.
+// With recovery enabled every op is appended to the hop's op log
+// before the wire sees it, and a down/replaying session only logs —
+// replay owns delivery until the hop re-opens.
 type remoteWorkerBolt struct {
 	s    *System
 	task int
-	tr   stream.Transport
+	hop  *workerHop
 }
 
 // ProcessBatch implements stream.BatchBolt.
@@ -343,9 +395,7 @@ func (r *remoteWorkerBolt) ProcessBatch(ts []stream.Tuple, _ stream.Collector) {
 	if nDel > 0 {
 		r.s.workDeletes[r.task].Add(nDel)
 	}
-	if err := r.tr.Send(ts); err != nil {
-		panic(fmt.Sprintf("remote worker %d: %v", r.task, err))
-	}
+	r.forward(ts)
 	r.s.doneOps[r.task].Add(int64(len(ts)))
 	// Tuple latency for a remote task is measured at wire hand-off; the
 	// end-to-end figure remains the mergers' match latency.
@@ -356,6 +406,56 @@ func (r *remoteWorkerBolt) ProcessBatch(ts []stream.Tuple, _ stream.Collector) {
 	}
 }
 
+// forward puts one batch on the hop. Without an op log this is the
+// legacy contract: a send failure fails the run loudly. With one, the
+// batch is logged first and the wire send is best-effort — a failure
+// trips recovery, and the logged ops replay onto the next session.
+func (r *remoteWorkerBolt) forward(ts []stream.Tuple) {
+	h := r.hop
+	if h.log == nil {
+		h.mu.Lock()
+		tr, gen := h.tr, h.gen
+		h.mu.Unlock()
+		if tr == nil {
+			panic(fmt.Sprintf("remote worker %d: no transport", r.task))
+		}
+		if err := tr.Send(ts); err != nil {
+			// Mark the slot failed before dying loudly: the engine
+			// captures task panics and then runs this bolt's Close hook,
+			// which would dress the hop up as a graceful teardown — the
+			// Drain barrier must see a crash, not a close.
+			r.s.hopFailed(h, gen, err)
+			panic(fmt.Sprintf("remote worker %d: %v", r.task, err))
+		}
+		return
+	}
+	var lastSeq uint64
+	for i := range ts {
+		lastSeq = h.log.Append(ts[i].Value.(opEnvelope).op)
+	}
+	h.mu.Lock()
+	if h.tr == nil || h.down || h.replaying || h.closing {
+		h.mu.Unlock()
+		return // logged; replay (or teardown) owns delivery
+	}
+	if lastSeq <= h.sentSeq {
+		h.mu.Unlock()
+		return // recovery's catch-up raced us and already shipped these
+	}
+	tr, gen := h.tr, h.gen
+	// Send under the hop lock: it serialises with recovery's install
+	// and catch-up, and with the checkpoint watermark read, so sentSeq
+	// never claims an op the wire has not seen.
+	err := tr.Send(ts)
+	if err == nil {
+		h.sentSeq = lastSeq
+	}
+	h.mu.Unlock()
+	if err != nil {
+		r.s.hopFailed(h, gen, err)
+	}
+}
+
 // Process implements stream.Bolt (single-tuple fallback).
 func (r *remoteWorkerBolt) Process(tu stream.Tuple, c stream.Collector) {
 	r.ProcessBatch([]stream.Tuple{tu}, c)
@@ -363,44 +463,137 @@ func (r *remoteWorkerBolt) Process(tu stream.Tuple, c stream.Collector) {
 
 // Close implements the engine's io.Closer hook: when the dispatchers
 // finish, half-close the hop so the worker node flushes its remaining
-// matches and ends the return stream.
+// matches and ends the return stream. A hop caught mid-outage (down or
+// replaying) is hard-closed instead, so the slot's spout unblocks and
+// an in-flight recovery aborts at its next closing check.
 func (r *remoteWorkerBolt) Close() error {
-	if cs, ok := r.tr.(stream.SendCloser); ok {
+	h := r.hop
+	h.mu.Lock()
+	h.closing = true
+	tr := h.tr
+	hard := h.down || h.replaying
+	h.broadcastLocked()
+	h.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	if hard {
+		return tr.Close()
+	}
+	if cs, ok := tr.(stream.SendCloser); ok {
 		return cs.CloseSend()
 	}
-	return r.tr.Close()
+	return tr.Close()
 }
 
 // remoteMatchSpout re-injects a remote worker's match stream into the
 // topology, where it joins the local workers' matches on the way to the
-// mergers.
+// mergers. One spout serves the hop across every transport session:
+// when a session dies its buffered matches are drained and retired,
+// and the spout waits for recovery to install the next session (or for
+// a spare slot to be claimed by AddWorker).
 type remoteMatchSpout struct {
+	s    *System
 	task int
-	tr   stream.Transport
+	hop  *workerHop
 	ctx  context.Context // the run context, for telling failure from teardown
 }
 
 // Next implements stream.Spout.
 func (r *remoteMatchSpout) Next(c stream.Collector) bool {
-	ts, err := r.tr.Recv()
-	if err != nil {
-		if err != io.EOF && r.ctx.Err() == nil {
-			// The return stream broke mid-run: matches may be lost, so
-			// the run must fail loudly (the engine aggregates the panic
-			// into Run's error, which Close reports) rather than end as
-			// if the worker said Goodbye.
-			panic(fmt.Sprintf("remote worker %d match stream: %v", r.task, err))
+	for {
+		tr, gen, ok := r.waitTransport()
+		if !ok {
+			return false
 		}
-		return false // io.EOF after the worker's Goodbye, or teardown
+		ts, err := tr.Recv()
+		if err != nil {
+			if r.finishSession(gen, err) {
+				return false
+			}
+			continue // next session
+		}
+		h := r.hop
+		h.mu.Lock()
+		h.sessionRecv += int64(len(ts))
+		h.mu.Unlock()
+		for i := range ts {
+			c.Emit(streamMatches, ts[i])
+		}
+		// Flush per received frame: the wire already batches, and holding
+		// matches back here would add latency the batch bound cannot cap
+		// (this spout may then block in Recv indefinitely).
+		c.Flush()
+		return true
 	}
-	for i := range ts {
-		c.Emit(streamMatches, ts[i])
+}
+
+// waitTransport blocks until the hop has an undrained session to read,
+// or the slot is done for good. It deliberately does NOT skip a down
+// session: one that died before the spout ever read it must still be
+// drained, so its already-delivered matches are retired and recovery
+// (which waits for drainedGen) can proceed.
+func (r *remoteMatchSpout) waitTransport() (stream.Transport, uint64, bool) {
+	h := r.hop
+	for {
+		h.mu.Lock()
+		if h.exited {
+			h.mu.Unlock()
+			return nil, 0, false
+		}
+		if h.tr != nil && h.gen > h.drainedGen {
+			tr, gen := h.tr, h.gen
+			h.mu.Unlock()
+			return tr, gen, true
+		}
+		if h.failed || h.closing || h.decommissioned {
+			h.exited = true
+			h.active = false
+			h.broadcastLocked()
+			h.mu.Unlock()
+			return nil, 0, false
+		}
+		ch := h.notify
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-r.ctx.Done():
+			return nil, 0, false
+		}
 	}
-	// Flush per received frame: the wire already batches, and holding
-	// matches back here would add latency the batch bound cannot cap
-	// (this spout may then block in Recv indefinitely).
-	c.Flush()
-	return true
+}
+
+// finishSession retires a session whose Recv returned err: its
+// received matches fold into the hop's retired total and drainedGen
+// advances (unblocking recovery). It returns true when the spout is
+// done for good. EOF is clean only during a coordinator-initiated
+// teardown (close, decommission, abort) — the node never ends a
+// session on its own, so an unexpected EOF is a crash like any read
+// error: recoverable hops redial and replay, unrecoverable ones are
+// marked failed so the Drain barrier reports the loss instead of
+// waiting on it forever.
+func (r *remoteMatchSpout) finishSession(gen uint64, err error) bool {
+	h := r.hop
+	h.mu.Lock()
+	h.retired += h.sessionRecv
+	h.sessionRecv = 0
+	if gen > h.drainedGen {
+		h.drainedGen = gen
+	}
+	if !h.failed && (h.closing || h.decommissioned || r.ctx.Err() != nil) {
+		h.exited = true
+		h.active = false
+		h.broadcastLocked()
+		h.mu.Unlock()
+		return true
+	}
+	h.broadcastLocked()
+	h.mu.Unlock()
+	if err == io.EOF {
+		err = fmt.Errorf("remote worker %d: session %d ended unexpectedly: %w", r.task, gen, err)
+	}
+	r.s.hopFailed(h, gen, err)
+	return false
 }
 
 // remoteMergerBolt stands in for an out-of-process merger task: it
@@ -450,57 +643,194 @@ func (s *System) RemoteDelivered() (delivered, duplicates int64, err error) {
 	return delivered, duplicates, nil
 }
 
-// drainRemoteWorkers runs the wire drain barrier on every remote worker
-// and returns their summed cumulative emitted-match count.
-func (s *System) drainRemoteWorkers() (int64, error) {
-	var emitted int64
-	for _, task := range s.remoteWorkerTasks() {
-		d, ok := s.cfg.RemoteWorkers[task].(remoteWorkerDrainer)
-		if !ok {
+// expectedFromHop computes one hop's contribution to the Drain
+// barrier's expected match total, retrying across session changes:
+// matches received from already-dead sessions (retired — anything lost
+// in flight at the crash was neither counted nor deliverable; the op
+// log re-produces it in a later session) plus the live session's
+// drain-acked emitted count, which FIFO guarantees the spout will
+// receive. It waits out a hop that is mid-outage and fails only on a
+// permanently unrecoverable slot.
+func (s *System) expectedFromHop(h *workerHop) (gen uint64, contribution int64, err error) {
+	for {
+		h.mu.Lock()
+		if h.failed {
+			h.mu.Unlock()
+			return 0, 0, fmt.Errorf("core: worker %d: %w", h.task, ErrWorkerUnrecoverable)
+		}
+		if h.exited {
+			g, n := h.gen, h.retired
+			h.mu.Unlock()
+			return g, n, nil
+		}
+		if h.tr == nil && !h.active {
+			h.mu.Unlock()
+			return 0, 0, nil // unclaimed spare slot
+		}
+		if h.down || h.replaying || h.closing {
+			ch := h.notify
+			h.mu.Unlock()
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Millisecond):
+			}
 			continue
 		}
-		_, e, err := d.DrainWorker()
-		if err != nil {
-			return emitted, fmt.Errorf("core: draining remote worker %d: %w", task, err)
+		tr, g, retired := h.tr, h.gen, h.retired
+		h.mu.Unlock()
+		d, ok := tr.(remoteWorkerDrainer)
+		if !ok {
+			return g, retired, nil
 		}
-		emitted += e
+		_, emitted, derr := d.DrainWorker()
+		if derr != nil {
+			if h.log != nil && h.addr != "" {
+				s.hopFailed(h, g, derr)
+				continue // recovery owns the slot now; recount next session
+			}
+			return 0, 0, fmt.Errorf("core: draining remote worker %d: %w", h.task, derr)
+		}
+		h.mu.Lock()
+		if h.gen != g || h.down {
+			// The session died after acking: part of its emitted count
+			// may have been lost in flight. Recount against the next
+			// session instead of trusting the stale ack.
+			h.mu.Unlock()
+			continue
+		}
+		n := h.retired + emitted
+		h.mu.Unlock()
+		return g, n, nil
 	}
-	return emitted, nil
 }
 
 // Drain blocks until the first `submitted` operations are fully applied
 // end to end: routed by the dispatchers, drained through every worker —
 // local queues empty, remote workers wire-acknowledged — and every
 // match they produced delivered by the mergers (local and remote). It
-// is the exact barrier behind the public Flush, replacing the former
-// fixed-duration sleep; on a quiesced system the error is nil unless a
-// remote hop failed.
+// is the exact barrier behind the public Flush; on a quiesced system
+// the error is nil unless a remote hop failed unrecoverably. When a
+// worker session dies or recovers mid-wait, the expected total is
+// recomputed against the new session, so the barrier stays exact
+// across crashes.
 func (s *System) Drain(submitted int64) error {
-	s.Quiesce(submitted)
-	remoteEmitted, err := s.drainRemoteWorkers()
-	if err != nil {
+	if err := s.quiesceHops(submitted); err != nil {
 		return err
 	}
-	// After the barriers above, the emitted count for those operations
-	// is final; wait for the mergers to account every one of them. The
-	// in-flight tail is bounded (already-emitted batches en route), so
-	// this converges without a grace sleep.
-	expected := s.matchesEmitted.Value() + remoteEmitted
+recompute:
 	for {
-		delivered := s.matches.Value() + s.duplicates.Value()
-		if len(s.cfg.RemoteMergers) > 0 {
-			d, dup, err := s.RemoteDelivered()
+		gens := make(map[int]uint64)
+		var remoteEmitted int64
+		for _, task := range s.remoteWorkerTasks() {
+			h := s.hop(task)
+			if h == nil {
+				// Hop-less deployment (custom transports, no spares).
+				d, ok := s.cfg.RemoteWorkers[task].(remoteWorkerDrainer)
+				if !ok {
+					continue
+				}
+				_, e, err := d.DrainWorker()
+				if err != nil {
+					return fmt.Errorf("core: draining remote worker %d: %w", task, err)
+				}
+				remoteEmitted += e
+				continue
+			}
+			g, n, err := s.expectedFromHop(h)
 			if err != nil {
 				return err
 			}
-			delivered += d + dup
+			gens[task] = g
+			remoteEmitted += n
 		}
-		if delivered >= expected {
-			return nil
+		// After the barriers above, the emitted count for those
+		// operations is final; wait for the mergers to account every one
+		// of them. The in-flight tail is bounded (already-emitted batches
+		// en route), so this converges without a grace sleep.
+		expected := s.matchesEmitted.Value() + remoteEmitted
+		for {
+			delivered := s.matches.Value() + s.duplicates.Value()
+			if len(s.cfg.RemoteMergers) > 0 {
+				d, dup, err := s.RemoteDelivered()
+				if err != nil {
+					return err
+				}
+				delivered += d + dup
+			}
+			if delivered >= expected {
+				return nil
+			}
+			if s.closed.Load() {
+				return errors.New("core: system closed while draining")
+			}
+			for task, g := range gens {
+				h := s.hop(task)
+				if h == nil {
+					continue
+				}
+				h.mu.Lock()
+				changed := h.gen != g || h.down
+				h.mu.Unlock()
+				if changed {
+					continue recompute
+				}
+			}
+			time.Sleep(500 * time.Microsecond)
 		}
-		if s.closed.Load() {
-			return errors.New("core: system closed while draining")
-		}
-		time.Sleep(500 * time.Microsecond)
 	}
+}
+
+// quiesceHops is Quiesce with failure detection: a permanently failed
+// hop never drains its queue, and a topology stopped by a captured task
+// panic never advances its counters — waiting on either would hang the
+// barrier forever, so it fails with the cause instead.
+func (s *System) quiesceHops(submitted int64) error {
+	stable := 0
+	for stable < 2 {
+		if err := s.failedHopErr(); err != nil {
+			return err
+		}
+		if s.runDone.Load() && !s.closed.Load() {
+			return errors.New("core: run stopped while draining (task panic?)")
+		}
+		if s.Processed() < submitted {
+			stable = 0
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		ok := true
+		for i := range s.enqueued {
+			if s.doneOps[i].Load() != s.enqueued[i].Load() {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			stable = 0
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		stable++
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// failedHopErr reports the first permanently unrecoverable hop, if any.
+func (s *System) failedHopErr() error {
+	if s.hops == nil {
+		return nil
+	}
+	for _, h := range s.hops {
+		if h == nil {
+			continue
+		}
+		h.mu.Lock()
+		failed := h.failed
+		h.mu.Unlock()
+		if failed {
+			return fmt.Errorf("core: worker %d: %w", h.task, ErrWorkerUnrecoverable)
+		}
+	}
+	return nil
 }

@@ -84,22 +84,26 @@ func (s *System) buildTopology(ctx context.Context) *stream.Topology {
 		return env.op.Query.ID * 0x9E3779B97F4A7C15
 	})
 
-	// Workers: maintain GI2, match objects. A task listed in
-	// Config.RemoteWorkers runs out-of-process: its bolt forwards op
-	// batches across the transport and its matches re-enter through the
-	// companion spout below.
+	// Workers: maintain GI2, match objects. An out-of-process slot
+	// (Config.RemoteWorkers, or a spare slot claimable by AddWorker)
+	// gets a hop-backed bolt that forwards op batches across the
+	// transport; its matches re-enter through the companion spout
+	// below. Parallelism covers the spare slots so a runtime join
+	// needs no topology change.
 	t.AddBolt("worker", func(task int) stream.Bolt {
-		if tr := s.cfg.RemoteWorkers[task]; tr != nil {
-			return &remoteWorkerBolt{s: s, task: task, tr: tr}
+		if h := s.hop(task); h != nil {
+			return &remoteWorkerBolt{s: s, task: task, hop: h}
 		}
 		return workerBolt{s: s, task: task}
-	}, s.cfg.Workers, streamMatches).Direct(streamToWork)
+	}, s.totalSlots(), streamMatches).Direct(streamToWork)
 
-	// Remote workers' return streams: one spout task per remote worker,
-	// feeding the wire's match batches into the merger stream.
-	if remote := s.remoteWorkerTasks(); len(remote) > 0 {
+	// Remote workers' return streams: one spout task per out-of-process
+	// slot (including unclaimed spares, whose spouts sleep until
+	// AddWorker installs a session), feeding the wire's match batches
+	// into the merger stream.
+	if remote := s.remoteWorkerTasks(); len(remote) > 0 && s.hops != nil {
 		t.AddSpout("wmatches", func(task int) stream.Spout {
-			return &remoteMatchSpout{task: remote[task], tr: s.cfg.RemoteWorkers[remote[task]], ctx: ctx}
+			return &remoteMatchSpout{s: s, task: remote[task], hop: s.hops[remote[task]], ctx: ctx}
 		}, len(remote), streamMatches)
 	}
 

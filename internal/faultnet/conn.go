@@ -1,0 +1,213 @@
+package faultnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSevered is returned by conn operations after an injected drop
+// severed the connection.
+var ErrSevered = errors.New("faultnet: connection severed by injected fault")
+
+// maxFrame mirrors wire.MaxFrameSize (not imported to keep the fault
+// layer independent of the protocol package): a parsed length beyond it
+// means the byte stream is not wire-framed, so the parser passes bytes
+// through untouched rather than buffering unboundedly.
+const maxFrame = 16 << 20
+
+// frameParser incrementally reassembles wire frames from arbitrary
+// byte chunks. The bufio layers above and below a conn deliver writes
+// and reads in buffer-sized chunks, not frames, so fault injection at
+// frame boundaries needs its own reassembly.
+type frameParser struct {
+	buf []byte
+	raw bool // stream is not wire-framed; pass through
+}
+
+// feed appends a chunk and returns the complete frames now available
+// (each including its 4-byte length prefix). If the stream turns out
+// not to be wire-framed, every byte is returned as one raw "frame" and
+// the parser stays in pass-through mode.
+func (p *frameParser) feed(chunk []byte) [][]byte {
+	p.buf = append(p.buf, chunk...)
+	if p.raw {
+		out := [][]byte{p.buf}
+		p.buf = nil
+		return out
+	}
+	var frames [][]byte
+	for {
+		if len(p.buf) < 4 {
+			return frames
+		}
+		n := binary.BigEndian.Uint32(p.buf[:4])
+		if n == 0 || n > maxFrame {
+			p.raw = true
+			frames = append(frames, p.buf)
+			p.buf = nil
+			return frames
+		}
+		total := 4 + int(n)
+		if len(p.buf) < total {
+			return frames
+		}
+		frame := append([]byte(nil), p.buf[:total]...)
+		p.buf = p.buf[total:]
+		frames = append(frames, frame)
+	}
+}
+
+// Conn wraps a net.Conn with seeded frame-level fault injection on both
+// directions. Writes are parsed into frames before reaching the real
+// conn; reads are parsed after leaving it. A dropped frame severs the
+// connection (see the package doc for why).
+type Conn struct {
+	nc net.Conn
+
+	wmu    sync.Mutex
+	wsched *scheduler
+	wparse frameParser
+
+	rmu    sync.Mutex
+	rsched *scheduler
+	rparse frameParser
+	rbuf   []byte // faulted bytes awaiting the consumer
+
+	severed atomic.Bool
+}
+
+// WrapConn wraps nc with the schedule cfg derives. The two directions
+// draw independent schedules from the same seed.
+func WrapConn(nc net.Conn, cfg Config) *Conn {
+	return &Conn{
+		nc:     nc,
+		wsched: newScheduler(cfg, saltSend),
+		rsched: newScheduler(cfg, saltRecv),
+	}
+}
+
+func (c *Conn) sever() error {
+	c.severed.Store(true)
+	c.nc.Close()
+	return ErrSevered
+}
+
+// Write implements net.Conn: outgoing bytes are reassembled into
+// frames, each frame drawn against the write schedule, and the
+// survivors forwarded.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.severed.Load() {
+		return 0, ErrSevered
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	for _, frame := range c.wparse.feed(p) {
+		v := c.wsched.next()
+		if v.drop {
+			return 0, c.sever()
+		}
+		if v.delay > 0 {
+			time.Sleep(v.delay)
+		}
+		writes := 1
+		if v.dup {
+			writes = 2
+		}
+		for i := 0; i < writes; i++ {
+			if _, err := c.nc.Write(frame); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Bytes short of a frame boundary are buffered in the parser and
+	// count as written; they reach the wire with the frame's remainder.
+	return len(p), nil
+}
+
+// Read implements net.Conn: it refills from the real conn until at
+// least one whole faulted frame is available, then serves bytes from
+// the reassembled stream.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.severed.Load() {
+		return 0, ErrSevered
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for len(c.rbuf) == 0 {
+		chunk := make([]byte, 64<<10)
+		n, err := c.nc.Read(chunk)
+		if n > 0 {
+			for _, frame := range c.rparse.feed(chunk[:n]) {
+				v := c.rsched.next()
+				if v.drop {
+					return 0, c.sever()
+				}
+				if v.delay > 0 {
+					time.Sleep(v.delay)
+				}
+				c.rbuf = append(c.rbuf, frame...)
+				if v.dup {
+					c.rbuf = append(c.rbuf, frame...)
+				}
+			}
+		}
+		if err != nil {
+			if len(c.rbuf) > 0 {
+				break
+			}
+			return 0, err
+		}
+	}
+	n := copy(p, c.rbuf)
+	c.rbuf = c.rbuf[n:]
+	return n, nil
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener so every accepted connection carries
+// fault injection. Each connection derives its own seed from the base
+// seed and an accept counter, so schedules are deterministic per
+// connection yet distinct across reconnects — a recovery redial does
+// not replay the exact schedule that severed its predecessor.
+type Listener struct {
+	net.Listener
+	cfg Config
+	n   atomic.Int64
+}
+
+// WrapListener wraps ln with cfg.
+func WrapListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.cfg
+	cfg.Seed = l.cfg.Seed + 0x9E37*l.n.Add(1)
+	return WrapConn(nc, cfg), nil
+}

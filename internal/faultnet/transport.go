@@ -1,0 +1,97 @@
+package faultnet
+
+import (
+	"sync"
+	"time"
+
+	"ps2stream/internal/stream"
+)
+
+// Transport wraps a stream.Transport with the same seeded schedule the
+// conn wrapper uses, treating each batch as one frame. It is the
+// in-process harness: core oracle tests inject faults on a channel hop
+// without sockets. Unlike the net.Conn wrapper, a dropped batch does
+// not sever — the unit tests assert the schedule itself, and a silent
+// in-process drop is the sharper probe of the engine's accounting.
+//
+// It deliberately wraps stream.Transport rather than the core package's
+// wire adapter: core type-asserts its remote transports to reach the
+// migration control methods, and an opaque wrapper would hide them.
+type Transport struct {
+	inner stream.Transport
+
+	smu sync.Mutex
+	ss  *scheduler
+
+	rmu     sync.Mutex
+	rs      *scheduler
+	pending []stream.Tuple // duplicated batch awaiting redelivery
+}
+
+// Wrap wraps inner with cfg's schedule.
+func Wrap(inner stream.Transport, cfg Config) *Transport {
+	return &Transport{
+		inner: inner,
+		ss:    newScheduler(cfg, saltSend),
+		rs:    newScheduler(cfg, saltRecv),
+	}
+}
+
+// Send implements stream.Transport with send-side faults.
+func (t *Transport) Send(batch []stream.Tuple) error {
+	t.smu.Lock()
+	v := t.ss.next()
+	t.smu.Unlock()
+	if v.drop {
+		return nil // silently lost
+	}
+	if v.delay > 0 {
+		time.Sleep(v.delay)
+	}
+	if err := t.inner.Send(batch); err != nil {
+		return err
+	}
+	if v.dup {
+		return t.inner.Send(batch)
+	}
+	return nil
+}
+
+// Recv implements stream.Transport with receive-side faults.
+func (t *Transport) Recv() ([]stream.Tuple, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	if t.pending != nil {
+		b := t.pending
+		t.pending = nil
+		return b, nil
+	}
+	for {
+		b, err := t.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		v := t.rs.next()
+		if v.drop {
+			continue
+		}
+		if v.delay > 0 {
+			time.Sleep(v.delay)
+		}
+		if v.dup {
+			t.pending = b
+		}
+		return b, nil
+	}
+}
+
+// Close implements stream.Transport.
+func (t *Transport) Close() error { return t.inner.Close() }
+
+// CloseSend implements stream.SendCloser when the inner transport does.
+func (t *Transport) CloseSend() error {
+	if sc, ok := t.inner.(stream.SendCloser); ok {
+		return sc.CloseSend()
+	}
+	return t.inner.Close()
+}

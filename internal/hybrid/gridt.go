@@ -280,6 +280,34 @@ func (gt *GridT) RouteQuery(q *model.Query, insert bool) []int {
 	return maskToWorkers(mask)
 }
 
+// PeekQuery reports where q routes under the current table without
+// touching H2's registration counts — RouteQuery with insert=false is
+// delete-routing and decrements them, so bookkeeping that only needs to
+// *ask* (e.g. "does the migration source still hold this query through
+// another cell?") must use this read-only probe instead.
+func (gt *GridT) PeekQuery(q *model.Query) []int {
+	keys := gt.stats.RegistrationKeys(q.Expr.Conj)
+	var mask uint64
+	gt.g.VisitOverlapping(q.Region, func(id int) {
+		mu := gt.lockFor(id)
+		mu.RLock()
+		defer mu.RUnlock()
+		c := &gt.cells[id]
+		for _, k := range keys {
+			var w int
+			if e, ok := c.h2[k]; ok && e.count > 0 {
+				w = e.worker
+			} else if c.worker >= 0 {
+				w = c.worker
+			} else {
+				w = c.ownerOfTerm(k)
+			}
+			mask |= 1 << uint(w)
+		}
+	})
+	return maskToWorkers(mask)
+}
+
 func maskToWorkers(mask uint64) []int {
 	out := make([]int, 0, bits.OnesCount64(mask))
 	for mask != 0 {

@@ -62,6 +62,13 @@ type Worker struct {
 	win *window.Store
 	// geometry of the index, pinned by the first handshake.
 	hello *wire.Hello
+	// stateEpoch is the session epoch the current index state was built
+	// under. A higher-epoch session is a recovery: the coordinator
+	// replays the authoritative op history from its log, so state from
+	// the superseded session must not survive into it — a replayed
+	// object would otherwise match queries that were originally
+	// inserted after it.
+	stateEpoch uint64
 
 	done    atomic.Int64 // ops processed
 	emitted atomic.Int64 // matches emitted
@@ -71,6 +78,11 @@ type Worker struct {
 	inserts atomic.Int64
 	deletes atomic.Int64
 	epoch   atomic.Uint64
+	// fence is the highest coordinator session epoch accepted so far. A
+	// hello carrying a lower epoch is a stale coordinator session (the
+	// coordinator bumps the epoch on every recovery redial) and is
+	// refused before it can write through a superseded view.
+	fence atomic.Uint64
 }
 
 // NewWorker returns an idle worker node.
@@ -141,8 +153,29 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	// Session fencing: refuse epochs below the highest accepted one.
+	// Equal epochs are allowed — a retried dial of the same session is
+	// not stale. The CAS loop publishes the new high-water mark before
+	// any frame of this session is processed.
+	for {
+		cur := w.fence.Load()
+		if hello.Epoch < cur {
+			return false, fmt.Errorf("node: stale session epoch %d (fenced at %d)", hello.Epoch, cur)
+		}
+		if hello.Epoch == cur || w.fence.CompareAndSwap(cur, hello.Epoch) {
+			break
+		}
+	}
 	w.mu.Lock()
+	if w.ix != nil && hello.Epoch > w.stateEpoch {
+		// Recovery session: discard the superseded session's state and
+		// let the coordinator's replay rebuild it (see stateEpoch).
+		w.opts.Log.printf("worker: session epoch %d supersedes state from epoch %d; resetting for replay",
+			hello.Epoch, w.stateEpoch)
+		w.ix = nil
+	}
 	if w.ix == nil {
+		w.stateEpoch = hello.Epoch
 		stats := textutil.NewStats()
 		for term, n := range hello.Terms {
 			stats.AddWeighted(term, n)
@@ -159,6 +192,39 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 			hello.Task, hello.Bounds, hello.Granularity, w.task, w.hello.Bounds, w.hello.Granularity)
 	}
 	w.mu.Unlock()
+
+	// Liveness beacon: when the coordinator asked for heartbeats, a
+	// sender goroutine pings at the requested cadence so the
+	// coordinator's read deadline (4× this interval) only fires on a
+	// genuinely dead connection, not on an idle-but-healthy one.
+	// wire.Conn.Send serialises writers, so pings interleave safely with
+	// the serve loop's replies.
+	if hello.HeartbeatMillis > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(time.Duration(hello.HeartbeatMillis) * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if conn.Send(wire.TypePing, wire.Ping{}) != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Drain acks report THIS session's progress, not the node's lifetime
+	// counters: after a crash recovery the coordinator already accounts
+	// for matches received in dead sessions, so a cumulative ack would
+	// double-count them against its drain barrier. For the first (only)
+	// session of a run both baselines are zero and the ack is identical
+	// to the historical cumulative one.
+	done0, emitted0 := w.done.Load(), w.emitted.Load()
 
 	// Match scratch reused across batches; capacity follows the largest
 	// batch seen.
@@ -188,7 +254,7 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 			// Frames are FIFO and this loop is single-threaded, so every
 			// batch received before the Drain has been fully processed
 			// and its matches written before this ack.
-			ack := wire.DrainAck{Seq: d.Seq, Done: w.done.Load(), Emitted: w.emitted.Load()}
+			ack := wire.DrainAck{Seq: d.Seq, Done: w.done.Load() - done0, Emitted: w.emitted.Load() - emitted0}
 			if err := conn.Send(wire.TypeDrainAck, ack); err != nil {
 				return false, err
 			}

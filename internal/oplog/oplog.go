@@ -1,0 +1,172 @@
+// Package oplog is the dispatcher-side operation log that makes a
+// remote worker crash-recoverable. The coordinator appends every
+// operation it routes to a worker slot *before* putting it on the wire;
+// a periodic checkpoint (a drain barrier proving the worker processed
+// everything up to a watermark, optionally persisted via
+// internal/snapshot.WriteState) folds the covered prefix into a compact
+// live-query base and truncates the log. Recovery for a crashed worker
+// is then: re-register the base (the queries live at the watermark),
+// replay the logged tail above it, and resume the stream.
+//
+// Replay is idempotent by construction: duplicate query registrations
+// are ignored by the worker's index, deletions of absent queries are
+// no-ops, and re-matched objects produce duplicate matches the merger
+// stage deduplicates. The log is bounded in steady state by the
+// checkpoint cadence; during an outage it grows until the worker is
+// recovered or decommissioned (the price of exactness without a
+// persistent queue).
+package oplog
+
+import (
+	"sort"
+	"sync"
+
+	"ps2stream/internal/model"
+)
+
+// Entry is one logged operation with its per-worker sequence number.
+type Entry struct {
+	// Seq is the log's own monotonically increasing sequence (1-based);
+	// it is unrelated to model.Op.Seq, which belongs to the workload
+	// stream.
+	Seq uint64
+	Op  model.Op
+}
+
+// Log is the op log for one worker slot. Safe for concurrent use: the
+// worker bolt appends, the checkpoint loop truncates, and the recovery
+// goroutine snapshots — all on their own goroutines.
+type Log struct {
+	mu sync.Mutex
+	// live is the checkpoint base: the queries live at the watermark.
+	live map[uint64]*model.Query
+	// entries is the tail above the watermark, in append order.
+	entries []Entry
+	// seq is the last assigned sequence number.
+	seq uint64
+	// watermark is the sequence the base covers.
+	watermark uint64
+}
+
+// New returns an empty log.
+func New() *Log {
+	return &Log{live: make(map[uint64]*model.Query)}
+}
+
+// Append logs one operation and returns its sequence number.
+func (l *Log) Append(op model.Op) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.entries = append(l.entries, Entry{Seq: l.seq, Op: op})
+	return l.seq
+}
+
+// AdoptQuery logs a synthetic insertion for a query migrated *onto*
+// this worker (cell migration install). It must be an entry, not a
+// base mutation: the adopting worker has not drained past it yet, so a
+// crash before the next checkpoint must replay it.
+func (l *Log) AdoptQuery(q *model.Query) uint64 {
+	return l.Append(model.Op{Kind: model.OpInsert, Query: q})
+}
+
+// DropQuery logs a synthetic deletion for a query migrated *off* this
+// worker (cell migration extract).
+func (l *Log) DropQuery(q *model.Query) uint64 {
+	return l.Append(model.Op{Kind: model.OpDelete, Query: q})
+}
+
+// Checkpoint folds every entry at or below watermark into the live
+// base and truncates them. The caller must have proven — via a drain
+// barrier — that the worker has fully processed the stream up to the
+// watermark, so dropped object entries cannot carry unmatched work.
+func (l *Log) Checkpoint(watermark uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if watermark <= l.watermark {
+		return
+	}
+	keep := l.entries[:0]
+	for _, e := range l.entries {
+		if e.Seq > watermark {
+			keep = append(keep, e)
+			continue
+		}
+		switch e.Op.Kind {
+		case model.OpInsert:
+			if e.Op.Query != nil {
+				l.live[e.Op.Query.ID] = e.Op.Query
+			}
+		case model.OpDelete:
+			if e.Op.Query != nil {
+				delete(l.live, e.Op.Query.ID)
+			}
+		case model.OpObject:
+			// Matched and delivered under the checkpoint barrier;
+			// nothing to keep.
+		}
+	}
+	// Release the truncated tail for the collector.
+	for i := len(keep); i < len(l.entries); i++ {
+		l.entries[i] = Entry{}
+	}
+	l.entries = keep
+	l.watermark = watermark
+}
+
+// Replay snapshots the recovery plan: the live base at the watermark
+// (sorted by query id, so replays are deterministic), a copy of the
+// logged tail above it, and the watermark itself.
+func (l *Log) Replay() (base []*model.Query, tail []Entry, watermark uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	base = make([]*model.Query, 0, len(l.live))
+	for _, q := range l.live {
+		base = append(base, q)
+	}
+	sort.Slice(base, func(i, j int) bool { return base[i].ID < base[j].ID })
+	tail = append([]Entry(nil), l.entries...)
+	return base, tail, l.watermark
+}
+
+// Since returns a copy of the logged entries with sequence numbers
+// strictly above seq, in append order. Recovery uses it to pick up
+// operations appended while a replay was in flight.
+func (l *Log) Since(seq uint64) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].Seq > seq })
+	if i == len(l.entries) {
+		return nil
+	}
+	return append([]Entry(nil), l.entries[i:]...)
+}
+
+// Seq returns the last assigned sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Watermark returns the checkpoint watermark.
+func (l *Log) Watermark() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.watermark
+}
+
+// TailLen reports how many entries sit above the watermark — the
+// checkpoint loop's trigger for a forced (op-count) checkpoint.
+func (l *Log) TailLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// LiveLen reports the checkpoint base's query count.
+func (l *Log) LiveLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.live)
+}

@@ -1,0 +1,241 @@
+package oplog
+
+import (
+	"fmt"
+	"testing"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+func q(id uint64) *model.Query {
+	return &model.Query{ID: id, Region: geo.NewRect(0, 0, 1, 1)}
+}
+
+func insert(id uint64) model.Op { return model.Op{Kind: model.OpInsert, Query: q(id)} }
+func del(id uint64) model.Op    { return model.Op{Kind: model.OpDelete, Query: q(id)} }
+func object(id uint64) model.Op { return model.Op{Kind: model.OpObject, Obj: &model.Object{ID: id}} }
+
+func TestAppendAssignsMonotonicSeqs(t *testing.T) {
+	l := New()
+	for i := 1; i <= 5; i++ {
+		if got := l.Append(object(uint64(i))); got != uint64(i) {
+			t.Fatalf("Append #%d returned seq %d", i, got)
+		}
+	}
+	if l.Seq() != 5 || l.TailLen() != 5 {
+		t.Errorf("Seq=%d TailLen=%d, want 5/5", l.Seq(), l.TailLen())
+	}
+}
+
+func TestCheckpointFoldsPrefixIntoBase(t *testing.T) {
+	l := New()
+	l.Append(insert(1))
+	l.Append(insert(2))
+	l.Append(object(100))
+	l.Append(del(1))
+	last := l.Append(insert(3)) // seq 5, above the watermark below
+
+	l.Checkpoint(4)
+	if wm := l.Watermark(); wm != 4 {
+		t.Fatalf("Watermark = %d, want 4", wm)
+	}
+	if l.LiveLen() != 1 { // query 2 (1 deleted, 100 was an object)
+		t.Errorf("LiveLen = %d, want 1", l.LiveLen())
+	}
+	base, tail, wm := l.Replay()
+	if wm != 4 {
+		t.Errorf("Replay watermark = %d, want 4", wm)
+	}
+	if len(base) != 1 || base[0].ID != 2 {
+		t.Errorf("base = %v, want exactly query 2", base)
+	}
+	if len(tail) != 1 || tail[0].Seq != last || tail[0].Op.Query.ID != 3 {
+		t.Errorf("tail = %v, want the single post-watermark insert of query 3", tail)
+	}
+}
+
+func TestCheckpointIsMonotone(t *testing.T) {
+	l := New()
+	l.Append(insert(1))
+	l.Append(insert(2))
+	l.Checkpoint(2)
+	// A stale (smaller) watermark must be a no-op, not a regression.
+	l.Checkpoint(1)
+	if wm := l.Watermark(); wm != 2 {
+		t.Errorf("Watermark = %d after stale checkpoint, want 2", wm)
+	}
+	if l.LiveLen() != 2 {
+		t.Errorf("LiveLen = %d, want 2", l.LiveLen())
+	}
+}
+
+func TestReplayBaseIsSortedAndCopied(t *testing.T) {
+	l := New()
+	for _, id := range []uint64{9, 3, 7, 1} {
+		l.Append(insert(id))
+	}
+	l.Checkpoint(4)
+	base, tail, _ := l.Replay()
+	for i := 1; i < len(base); i++ {
+		if base[i-1].ID >= base[i].ID {
+			t.Fatalf("base not sorted by id: %v", base)
+		}
+	}
+	// The returned tail is a copy: appending to the log afterwards must
+	// not show up in an already-taken snapshot.
+	l.Append(insert(42))
+	if len(tail) != 0 {
+		t.Errorf("snapshot tail mutated by later append: %v", tail)
+	}
+}
+
+func TestSinceReturnsStrictSuffix(t *testing.T) {
+	l := New()
+	var seqs []uint64
+	for i := 0; i < 6; i++ {
+		seqs = append(seqs, l.Append(object(uint64(i))))
+	}
+	if got := l.Since(seqs[3]); len(got) != 2 || got[0].Seq != seqs[4] {
+		t.Errorf("Since(%d) = %v, want the 2 entries above it", seqs[3], got)
+	}
+	if got := l.Since(seqs[5]); got != nil {
+		t.Errorf("Since(last) = %v, want nil", got)
+	}
+	if got := l.Since(0); len(got) != 6 {
+		t.Errorf("Since(0) returned %d entries, want all 6", len(got))
+	}
+	// After truncation, Since only sees the surviving tail.
+	l.Checkpoint(seqs[4])
+	if got := l.Since(0); len(got) != 1 || got[0].Seq != seqs[5] {
+		t.Errorf("Since(0) after checkpoint = %v, want the single tail entry", got)
+	}
+}
+
+func TestAdoptAndDropAreLoggedAsEntries(t *testing.T) {
+	l := New()
+	l.AdoptQuery(q(5))
+	l.DropQuery(q(5))
+	// Both are tail entries (not base mutations): a crash before the
+	// next checkpoint must replay them in order.
+	if l.TailLen() != 2 || l.LiveLen() != 0 {
+		t.Fatalf("TailLen=%d LiveLen=%d, want 2/0", l.TailLen(), l.LiveLen())
+	}
+	l.Checkpoint(2)
+	if l.LiveLen() != 0 {
+		t.Errorf("adopt+drop folded to LiveLen=%d, want 0", l.LiveLen())
+	}
+}
+
+// TestReplayEquivalence drives a pseudo-random op sequence with
+// interleaved checkpoints and checks the invariant recovery depends on:
+// base + tail replayed in order always reconstructs exactly the live
+// query set of the full original sequence.
+func TestReplayEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		l := New()
+		livemodel := map[uint64]bool{}
+		x := uint64(seed)
+		next := func(n uint64) uint64 { // xorshift, deterministic per seed
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return x % n
+		}
+		for i := 0; i < 400; i++ {
+			id := next(40) + 1
+			switch next(4) {
+			case 0:
+				l.Append(del(id))
+				delete(livemodel, id)
+			case 1:
+				l.Append(object(id))
+			default:
+				l.Append(insert(id))
+				livemodel[id] = true
+			}
+			if next(23) == 0 {
+				l.Checkpoint(l.Seq())
+			}
+		}
+		base, tail, wm := l.Replay()
+		got := map[uint64]bool{}
+		for _, q := range base {
+			got[q.ID] = true
+		}
+		for _, e := range tail {
+			if e.Seq <= wm {
+				t.Fatalf("seed %d: tail entry %d at or below watermark %d", seed, e.Seq, wm)
+			}
+			switch e.Op.Kind {
+			case model.OpInsert:
+				got[e.Op.Query.ID] = true
+			case model.OpDelete:
+				delete(got, e.Op.Query.ID)
+			}
+		}
+		if fmt.Sprint(livemodel) != fmt.Sprint(got) {
+			if len(livemodel) != len(got) {
+				t.Fatalf("seed %d: replay reconstructs %d live queries, want %d", seed, len(got), len(livemodel))
+			}
+			for id := range livemodel {
+				if !got[id] {
+					t.Fatalf("seed %d: replay lost query %d", seed, id)
+				}
+			}
+		}
+	}
+}
+
+// FuzzCheckpointReplay feeds arbitrary op-kind/checkpoint schedules and
+// asserts replay reconstruction never diverges from sequential
+// application (the recovery correctness invariant).
+func FuzzCheckpointReplay(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0xff, 4, 5})
+	f.Add([]byte{2, 2, 0xff, 0, 0xff})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		l := New()
+		want := map[uint64]bool{}
+		for _, b := range program {
+			if b == 0xff {
+				l.Checkpoint(l.Seq())
+				continue
+			}
+			id := uint64(b%16) + 1
+			switch b % 3 {
+			case 0:
+				l.Append(del(id))
+				delete(want, id)
+			case 1:
+				l.Append(object(id))
+			default:
+				l.Append(insert(id))
+				want[id] = true
+			}
+		}
+		base, tail, wm := l.Replay()
+		got := map[uint64]bool{}
+		for _, q := range base {
+			got[q.ID] = true
+		}
+		for _, e := range tail {
+			if e.Seq <= wm {
+				t.Fatalf("tail entry %d at or below watermark %d", e.Seq, wm)
+			}
+			switch e.Op.Kind {
+			case model.OpInsert:
+				got[e.Op.Query.ID] = true
+			case model.OpDelete:
+				delete(got, e.Op.Query.ID)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("replay reconstructs %d live queries, want %d", len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("replay lost query %d", id)
+			}
+		}
+	})
+}

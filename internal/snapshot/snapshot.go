@@ -18,13 +18,22 @@ import (
 
 	"ps2stream/internal/geo"
 	"ps2stream/internal/model"
+	"ps2stream/internal/window"
 )
 
 // magic identifies a PS2Stream snapshot stream.
 const magic = "PS2SNAP"
 
-// Version is the current snapshot format version.
-const Version = 1
+// Snapshot format versions. Version 1 carries the query population
+// only; version 2 (a superset) appends per-worker recovery state — the
+// window rings, the worker's cell assignment and the op-log watermark —
+// so a crashed worker node can be re-primed without a full replay.
+const (
+	queryVersion = 1
+	stateVersion = 2
+	// Version is the current (highest) snapshot format version.
+	Version = stateVersion
+)
 
 // Header precedes the query payload.
 type Header struct {
@@ -39,6 +48,12 @@ type Header struct {
 
 // ErrBadSnapshot is wrapped by Read errors caused by malformed input.
 var ErrBadSnapshot = errors.New("snapshot: malformed snapshot")
+
+// ErrFutureVersion is wrapped by Read/ReadState errors caused by a
+// snapshot written by a newer format version than this build knows. It
+// is distinct from ErrBadSnapshot: the file is not corrupt, the reader
+// is just too old, and the caller may want to say so.
+var ErrFutureVersion = errors.New("snapshot: snapshot version newer than this build")
 
 // Write serialises the queries to w. The input slice is not modified;
 // duplicates (same id) are dropped, keeping the first occurrence.
@@ -57,7 +72,7 @@ func Write(w io.Writer, bounds geo.Rect, qs []*model.Query) error {
 	}
 	sort.Slice(dedup, func(i, j int) bool { return dedup[i].ID < dedup[j].ID })
 	enc := gob.NewEncoder(w)
-	if err := enc.Encode(Header{Magic: magic, Version: Version, Bounds: bounds, Count: len(dedup)}); err != nil {
+	if err := enc.Encode(Header{Magic: magic, Version: queryVersion, Bounds: bounds, Count: len(dedup)}); err != nil {
 		return fmt.Errorf("snapshot: writing header: %w", err)
 	}
 	// Queries are encoded individually so a reader can stream them and a
@@ -70,33 +85,132 @@ func Write(w io.Writer, bounds geo.Rect, qs []*model.Query) error {
 	return nil
 }
 
-// Read parses a snapshot produced by Write and returns its header and
-// queries.
+// Read parses a snapshot produced by Write (or the query population of
+// a WriteState file) and returns its header and queries. Snapshots from
+// a newer format version fail with ErrFutureVersion.
 func Read(r io.Reader) (Header, []*model.Query, error) {
+	h, qs, _, err := readHeaderAndQueries(r)
+	return h, qs, err
+}
+
+func readHeaderAndQueries(r io.Reader) (Header, []*model.Query, *gob.Decoder, error) {
 	dec := gob.NewDecoder(r)
 	var h Header
 	if err := dec.Decode(&h); err != nil {
-		return Header{}, nil, fmt.Errorf("%w: reading header: %v", ErrBadSnapshot, err)
+		return Header{}, nil, nil, fmt.Errorf("%w: reading header: %v", ErrBadSnapshot, err)
 	}
 	if h.Magic != magic {
-		return Header{}, nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, h.Magic)
+		return Header{}, nil, nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, h.Magic)
 	}
-	if h.Version != Version {
-		return Header{}, nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, h.Version)
+	if h.Version > Version {
+		return Header{}, nil, nil, fmt.Errorf("%w: version %d (this build reads up to %d)", ErrFutureVersion, h.Version, Version)
+	}
+	if h.Version < queryVersion {
+		return Header{}, nil, nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, h.Version)
 	}
 	if h.Count < 0 {
-		return Header{}, nil, fmt.Errorf("%w: negative count %d", ErrBadSnapshot, h.Count)
+		return Header{}, nil, nil, fmt.Errorf("%w: negative count %d", ErrBadSnapshot, h.Count)
 	}
 	qs := make([]*model.Query, 0, h.Count)
 	for i := 0; i < h.Count; i++ {
 		var q model.Query
 		if err := dec.Decode(&q); err != nil {
-			return Header{}, nil, fmt.Errorf("%w: reading query %d/%d: %v", ErrBadSnapshot, i+1, h.Count, err)
+			return Header{}, nil, nil, fmt.Errorf("%w: reading query %d/%d: %v", ErrBadSnapshot, i+1, h.Count, err)
 		}
 		if q.Expr.Empty() {
-			return Header{}, nil, fmt.Errorf("%w: query %d has an empty expression", ErrBadSnapshot, q.ID)
+			return Header{}, nil, nil, fmt.Errorf("%w: query %d has an empty expression", ErrBadSnapshot, q.ID)
 		}
 		qs = append(qs, &q)
 	}
-	return h, qs, nil
+	return h, qs, dec, nil
+}
+
+// State is a per-worker recovery checkpoint: everything the coordinator
+// needs to re-prime a replacement worker node up to the op-log
+// watermark — the worker's live queries, its window ring per cell (so
+// sliding-window matching resumes where it stopped), the cells the
+// routing table assigns it, and the watermark separating snapshotted
+// ops from the ones the op log must replay.
+type State struct {
+	// Worker is the topology slot this checkpoint belongs to.
+	Worker int
+	// Bounds is the monitored region (geometry compatibility check).
+	Bounds geo.Rect
+	// Queries is the worker's live query population.
+	Queries []*model.Query
+	// Cells maps each assigned cell id to the registration keys of the
+	// worker's share; nil keys mean the whole cell.
+	Cells map[int][]string
+	// Rings holds the window ring entries per cell.
+	Rings map[int][]window.Entry
+	// Watermark is the op-log sequence number this checkpoint covers:
+	// ops with a sequence at or below it are reflected here, ops above
+	// it must be replayed from the op log.
+	Watermark uint64
+}
+
+// stateTrailer is the version-2 payload written after the query stream,
+// so a version-1 reader still parses the queries it understands.
+type stateTrailer struct {
+	Worker    int
+	Watermark uint64
+	Cells     map[int][]string
+	Rings     map[int][]window.Entry
+}
+
+// WriteState serialises a per-worker recovery checkpoint (format
+// version 2). The query stream is bit-compatible with Write's, so Read
+// can extract the query population from a state checkpoint.
+func WriteState(w io.Writer, st State) error {
+	dedup := make([]*model.Query, 0, len(st.Queries))
+	seen := make(map[uint64]struct{}, len(st.Queries))
+	for _, q := range st.Queries {
+		if q == nil {
+			continue
+		}
+		if _, dup := seen[q.ID]; dup {
+			continue
+		}
+		seen[q.ID] = struct{}{}
+		dedup = append(dedup, q)
+	}
+	sort.Slice(dedup, func(i, j int) bool { return dedup[i].ID < dedup[j].ID })
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(Header{Magic: magic, Version: stateVersion, Bounds: st.Bounds, Count: len(dedup)}); err != nil {
+		return fmt.Errorf("snapshot: writing header: %w", err)
+	}
+	for _, q := range dedup {
+		if err := enc.Encode(q); err != nil {
+			return fmt.Errorf("snapshot: writing query %d: %w", q.ID, err)
+		}
+	}
+	if err := enc.Encode(stateTrailer{Worker: st.Worker, Watermark: st.Watermark, Cells: st.Cells, Rings: st.Rings}); err != nil {
+		return fmt.Errorf("snapshot: writing state trailer: %w", err)
+	}
+	return nil
+}
+
+// ReadState parses a checkpoint produced by WriteState. It also accepts
+// a version-1 query snapshot, returning a State with only the query
+// population filled in (old checkpoints stay restorable). Versions
+// newer than this build fail with ErrFutureVersion; a checkpoint
+// truncated mid-write fails with ErrBadSnapshot.
+func ReadState(r io.Reader) (State, error) {
+	h, qs, dec, err := readHeaderAndQueries(r)
+	if err != nil {
+		return State{}, err
+	}
+	st := State{Bounds: h.Bounds, Queries: qs}
+	if h.Version < stateVersion {
+		return st, nil
+	}
+	var tr stateTrailer
+	if err := dec.Decode(&tr); err != nil {
+		return State{}, fmt.Errorf("%w: reading state trailer: %v", ErrBadSnapshot, err)
+	}
+	st.Worker = tr.Worker
+	st.Watermark = tr.Watermark
+	st.Cells = tr.Cells
+	st.Rings = tr.Rings
+	return st, nil
 }

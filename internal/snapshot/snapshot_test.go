@@ -171,7 +171,7 @@ func TestRejectsWrongMagicAndVersion(t *testing.T) {
 	buf.Reset()
 	enc = newEncoder(&buf)
 	enc(Header{Magic: magic, Version: Version + 99, Count: 0})
-	if _, _, err := Read(&buf); !errors.Is(err, ErrBadSnapshot) {
+	if _, _, err := Read(&buf); !errors.Is(err, ErrFutureVersion) {
 		t.Errorf("wrong version err = %v", err)
 	}
 }

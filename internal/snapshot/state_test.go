@@ -1,0 +1,154 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ps2stream/internal/window"
+)
+
+func sampleState() State {
+	return State{
+		Worker:    3,
+		Bounds:    bounds,
+		Queries:   randQueries(11, 40),
+		Watermark: 12345,
+		Cells:     map[int][]string{7: nil, 9: {"alpha", "beta"}},
+		Rings: map[int][]window.Entry{
+			7: {{MsgID: 1, Terms: []string{"alpha"}, At: time.Unix(100, 0).UTC()}},
+		},
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	st := sampleState()
+	var buf bytes.Buffer
+	if err := WriteState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Worker != st.Worker || got.Watermark != st.Watermark || got.Bounds != st.Bounds {
+		t.Errorf("scalar fields: got worker=%d wm=%d bounds=%v", got.Worker, got.Watermark, got.Bounds)
+	}
+	if len(got.Queries) != len(st.Queries) {
+		t.Fatalf("round-tripped %d queries, want %d", len(got.Queries), len(st.Queries))
+	}
+	if !reflect.DeepEqual(got.Cells, st.Cells) {
+		t.Errorf("cells: got %v, want %v", got.Cells, st.Cells)
+	}
+	if !reflect.DeepEqual(got.Rings, st.Rings) {
+		t.Errorf("rings: got %v, want %v", got.Rings, st.Rings)
+	}
+}
+
+// TestStateReadableByQueryReader: the version-2 query stream is
+// bit-compatible with Write's, so plain Read extracts the population
+// from a state checkpoint (forward compatibility for v1 tooling that
+// only understands queries).
+func TestStateReadableByQueryReader(t *testing.T) {
+	st := sampleState()
+	var buf bytes.Buffer
+	if err := WriteState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	h, qs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != stateVersion || len(qs) != len(st.Queries) {
+		t.Errorf("Read on a state checkpoint: version=%d queries=%d, want %d/%d",
+			h.Version, len(qs), stateVersion, len(st.Queries))
+	}
+}
+
+// TestReadStateAcceptsQuerySnapshot: a version-1 snapshot restores as a
+// State with only the population filled — old checkpoints stay usable.
+func TestReadStateAcceptsQuerySnapshot(t *testing.T) {
+	qs := randQueries(5, 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, bounds, qs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Queries) != len(qs) || st.Watermark != 0 || st.Cells != nil || st.Rings != nil {
+		t.Errorf("v1 snapshot read as State = %+v, want queries only", st)
+	}
+}
+
+// TestStateRejectsTruncatedTrailer: a checkpoint cut anywhere — inside
+// the query stream or inside the trailer — must fail with
+// ErrBadSnapshot, never return a silently partial State. A crash while
+// writing a checkpoint is exactly when this file gets read.
+func TestStateRejectsTruncatedTrailer(t *testing.T) {
+	st := sampleState()
+	var whole, queriesOnly bytes.Buffer
+	if err := WriteState(&whole, st); err != nil {
+		t.Fatal(err)
+	}
+	// Measure where the trailer starts by writing the same queries
+	// without one (headers differ by one version int, close enough to
+	// pick cut points inside each region).
+	if err := Write(&queriesOnly, st.Bounds, st.Queries); err != nil {
+		t.Fatal(err)
+	}
+	full := whole.Bytes()
+	trailerAt := queriesOnly.Len()
+	cuts := []int{
+		0,             // empty input
+		trailerAt / 2, // inside the query stream
+		trailerAt,     // right at the trailer boundary
+		len(full) - 1, // one byte short of a complete trailer
+	}
+	for _, cut := range cuts {
+		if cut >= len(full) {
+			cut = len(full) - 1
+		}
+		if _, err := ReadState(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("truncated at %d/%d: err = %v, want ErrBadSnapshot", cut, len(full), err)
+		}
+	}
+}
+
+// TestStateRejectsFutureVersion mirrors Read's guard for ReadState.
+func TestStateRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	enc := newEncoder(&buf)
+	enc(Header{Magic: magic, Version: Version + 1, Count: 0})
+	if _, err := ReadState(&buf); !errors.Is(err, ErrFutureVersion) {
+		t.Errorf("future version err = %v, want ErrFutureVersion", err)
+	}
+}
+
+// FuzzReadState: arbitrary bytes must never panic the reader, and any
+// successful parse must come from a structurally sound prefix.
+func FuzzReadState(f *testing.F) {
+	var seedBuf bytes.Buffer
+	if err := WriteState(&seedBuf, sampleState()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte("PS2SNAP nonsense"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadState(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) && !errors.Is(err, ErrFutureVersion) {
+				t.Fatalf("untyped error %v", err)
+			}
+			return
+		}
+		for _, q := range st.Queries {
+			if q == nil {
+				t.Fatal("successful parse returned a nil query")
+			}
+		}
+	})
+}

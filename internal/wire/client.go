@@ -1,9 +1,11 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,15 @@ import (
 // ErrClosed is returned by client operations after the connection ended.
 var ErrClosed = errors.New("wire: connection closed")
 
+// ErrWorkerDown marks a connection failure that means the worker peer is
+// gone — a heartbeat deadline expired, the TCP stream broke mid-frame,
+// or the stream ended without the Goodbye that a graceful shutdown
+// always sends (a kill -9 often yields a clean FIN at a frame boundary,
+// which would otherwise masquerade as an orderly end). Callers detect it
+// with errors.Is and start recovery instead of treating the failure as
+// fatal.
+var ErrWorkerDown = errors.New("wire: worker down")
+
 // WorkerClient is the coordinator's half of a dispatcher→worker hop: it
 // streams operation batches to a remote worker node and receives the
 // worker's match batches and control acknowledgements on the same
@@ -19,6 +30,9 @@ var ErrClosed = errors.New("wire: connection closed")
 // goroutine (RecvMatches) and concurrent control callers (Drain).
 type WorkerClient struct {
 	conn *Conn
+	// addr is the address this client dialled — recovery keeps it to
+	// redial the same node after a crash (see Addr()).
+	addr string
 	// hello is the handshake this client opened the connection with —
 	// the geometry the peer pinned its index to (see Hello()).
 	hello Hello
@@ -53,7 +67,10 @@ type WorkerClient struct {
 }
 
 // DialWorker connects to a worker node with backoff and performs the
-// handshake. The returned client's read loop is already running.
+// handshake. The returned client's read loop is already running. When
+// hello.HeartbeatMillis is set the connection's read deadline is pinned
+// to four heartbeat intervals, so a silently dead peer surfaces as
+// ErrWorkerDown within that window.
 func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
 	conn, err := handshake(addr, hello, b, RoleWorker)
 	if err != nil {
@@ -63,6 +80,9 @@ func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
 	if hello.Role == "" {
 		hello.Role = RoleCoordinator
 	}
+	if hello.HeartbeatMillis > 0 {
+		conn.ReadTimeout = 4 * time.Duration(hello.HeartbeatMillis) * time.Millisecond
+	}
 	// Reply channels get headroom beyond the single round in flight: a
 	// late reply from a timed-out round can land between a new round's
 	// drainStale and its own reply, and with capacity 1 the read loop's
@@ -70,6 +90,7 @@ func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
 	// awaitReply skips stale seqs, so extra buffered replies are benign.
 	w := &WorkerClient{
 		conn:        conn,
+		addr:        addr,
 		hello:       hello,
 		matches:     make(chan MatchBatch, 128),
 		acks:        make(chan DrainAck, 4),
@@ -90,55 +111,115 @@ func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
 // mutation between dial and New cannot silently disagree with the node.
 func (w *WorkerClient) Hello() Hello { return w.hello }
 
+// Addr returns the address this client dialled, so a recovery layer can
+// redial the same worker node after a connection failure.
+func (w *WorkerClient) Addr() string { return w.addr }
+
 // handshake dials addr and performs the Hello/Welcome round, expecting
-// the peer to identify as wantRole.
+// the peer to identify as wantRole. Transport failures during the round
+// retry under the same backoff budget as the connect itself: a crashed
+// peer's port can accept a connect and reset the first write (or close
+// before the welcome) while its replacement process is still binding,
+// and a recovery redial must ride that window out rather than give up.
+// Protocol refusals — wrong frame, wrong magic/version, wrong role —
+// stay fatal; retrying a peer that answered wrongly cannot help.
 func handshake(addr string, hello Hello, b Backoff, wantRole string) (*Conn, error) {
 	hello.Magic = Magic
 	hello.Version = Version
 	if hello.Role == "" {
 		hello.Role = RoleCoordinator
 	}
-	conn, err := Dial(addr, b)
-	if err != nil {
-		return nil, err
-	}
-	if err := conn.Send(TypeHello, hello); err != nil {
+	b = b.withDefaults()
+	ctx, cancel := context.WithTimeout(context.Background(), b.MaxElapsed)
+	defer cancel()
+	delay := b.Base
+	var lastErr error
+	for i := 0; i < b.Attempts; i++ {
+		if i > 0 {
+			jitter := time.Duration(rand.Int63n(int64(delay)/2+1)) - delay/4
+			select {
+			case <-time.After(delay + jitter):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("wire: handshake with %s: %w (deadline after %d attempts)", addr, lastErr, i)
+			}
+			if delay *= 2; delay > b.Max {
+				delay = b.Max
+			}
+		}
+		conn, err := dialOnce(ctx, addr)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("wire: dialing %s: %w (deadline after %d attempts)", addr, lastErr, i+1)
+			}
+			continue
+		}
+		fatal, err := helloRound(conn, addr, hello, wantRole)
+		if err == nil {
+			return conn, nil
+		}
 		conn.Close()
-		return nil, fmt.Errorf("wire: sending hello to %s: %w", addr, err)
+		lastErr = err
+		if fatal {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("wire: handshake with %s: %w (deadline after %d attempts)", addr, lastErr, i+1)
+		}
+	}
+	return nil, fmt.Errorf("wire: handshake with %s: %w (after %d attempts)", addr, lastErr, b.Attempts)
+}
+
+// helloRound performs one Hello/Welcome exchange on an established
+// connection. fatal=false marks transport failures the dial loop should
+// retry; fatal=true marks protocol refusals. The connection is the
+// caller's to close on error.
+func helloRound(conn *Conn, addr string, hello Hello, wantRole string) (fatal bool, err error) {
+	if err := conn.Send(TypeHello, hello); err != nil {
+		return false, fmt.Errorf("wire: sending hello to %s: %w", addr, err)
 	}
 	typ, payload, err := conn.RecvTimeout(DefaultHandshakeTimeout)
 	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("wire: awaiting welcome from %s: %w", addr, err)
+		return false, fmt.Errorf("wire: awaiting welcome from %s: %w", addr, err)
 	}
 	if typ != TypeWelcome {
-		conn.Close()
-		return nil, fmt.Errorf("wire: %s answered hello with frame type %d", addr, typ)
+		return true, fmt.Errorf("wire: %s answered hello with frame type %d", addr, typ)
 	}
 	var wel Welcome
 	if err := DecodePayload(payload, &wel); err != nil {
-		conn.Close()
-		return nil, err
+		return true, err
 	}
 	if err := CheckHandshake(wel.Magic, wel.Version); err != nil {
-		conn.Close()
-		return nil, err
+		return true, err
 	}
 	if wel.Role != wantRole {
-		conn.Close()
-		return nil, fmt.Errorf("wire: %s identifies as %q, want %q", addr, wel.Role, wantRole)
+		return true, fmt.Errorf("wire: %s identifies as %q, want %q", addr, wel.Role, wantRole)
 	}
-	return conn, nil
+	return false, nil
 }
 
 func (w *WorkerClient) readLoop() {
 	defer close(w.readDone)
 	defer close(w.matches)
+	sawGoodbye := false
 	for {
 		typ, payload, err := w.conn.Recv()
 		if err != nil {
-			if err != io.EOF {
+			if err == io.EOF {
+				if !sawGoodbye {
+					// A clean FIN without a Goodbye is a crash, not a
+					// graceful end (kill -9 at a frame boundary).
+					w.readErr = fmt.Errorf("%w: stream ended without goodbye", ErrWorkerDown)
+				}
+				return
+			}
+			select {
+			case <-w.closed:
+				// Close() tore the connection down locally; the resulting
+				// read error is ours, not the peer's.
 				w.readErr = err
+			default:
+				w.readErr = fmt.Errorf("%w: %v", ErrWorkerDown, err)
 			}
 			return
 		}
@@ -207,7 +288,11 @@ func (w *WorkerClient) readLoop() {
 			case w.installAcks <- ia:
 			default:
 			}
+		case TypePing:
+			// Liveness beacon; receiving it already reset the read
+			// deadline, nothing else to do.
 		case TypeGoodbye:
+			sawGoodbye = true
 			return
 		default:
 			// Unknown control frames are skipped: frames are
@@ -216,9 +301,14 @@ func (w *WorkerClient) readLoop() {
 	}
 }
 
-// SendOps transfers one operation batch — one frame, flushed.
+// SendOps transfers one operation batch — one frame, flushed. A send
+// failure wraps ErrWorkerDown: a broken write pipe means the peer (or
+// the path to it) is gone.
 func (w *WorkerClient) SendOps(b OpBatch) error {
-	return w.conn.Send(TypeOpBatch, b)
+	if err := w.conn.Send(TypeOpBatch, b); err != nil {
+		return fmt.Errorf("%w: sending ops: %v", ErrWorkerDown, err)
+	}
+	return nil
 }
 
 // RecvMatches blocks for the worker's next match batch. It returns

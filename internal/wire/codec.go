@@ -48,6 +48,15 @@ type Hello struct {
 	// Terms carries the partitioning sample's term frequencies
 	// (textutil.Stats.Vector); nil means "no statistics".
 	Terms map[string]int
+	// HeartbeatMillis asks the peer to send a TypePing every this many
+	// milliseconds; 0 disables heartbeats (the pre-elasticity default).
+	// Gob tolerates the field's absence, so old peers simply never ping.
+	HeartbeatMillis int
+	// Epoch is the coordinator's fencing epoch for this worker slot. A
+	// node refuses a Hello whose epoch is below one it has already
+	// accepted, so a stale coordinator session (severed but not yet dead)
+	// cannot reclaim a slot a recovery session has taken over.
+	Epoch uint64
 }
 
 // Welcome is the peer's handshake reply.
@@ -222,6 +231,9 @@ type ResetWindow struct{}
 
 // Goodbye ends the sender's half of the conversation.
 type Goodbye struct{}
+
+// Ping is a liveness beacon (worker → coordinator); see TypePing.
+type Ping struct{}
 
 // EncodePayload gob-encodes v as a self-contained frame payload.
 func EncodePayload(v any) ([]byte, error) {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -140,6 +141,12 @@ type Backoff struct {
 	// retrying in lockstep.
 	Base time.Duration
 	Max  time.Duration
+	// MaxElapsed caps the whole dial loop's wall-clock time (default
+	// the sum of the capped per-attempt delays). Dial derives a context
+	// deadline from it, so the worst case is bounded even when every
+	// attempt burns its full connect timeout — a fleet bring-up cannot
+	// wedge behind one dead address.
+	MaxElapsed time.Duration
 }
 
 func (b Backoff) withDefaults() Backoff {
@@ -152,33 +159,76 @@ func (b Backoff) withDefaults() Backoff {
 	if b.Max <= 0 {
 		b.Max = 2 * time.Second
 	}
+	if b.MaxElapsed <= 0 {
+		// Sum of the exponential delays (capped at Max) plus one connect
+		// timeout per attempt — generous, but bounded.
+		total := 3 * time.Second * time.Duration(b.Attempts)
+		delay := b.Base
+		for i := 1; i < b.Attempts; i++ {
+			total += delay + delay/4
+			if delay *= 2; delay > b.Max {
+				delay = b.Max
+			}
+		}
+		b.MaxElapsed = total
+	}
 	return b
 }
 
 // Dial connects to addr with exponential backoff — deployment scripts
 // start psnode peers in arbitrary order, so the coordinator retries
-// until the peer's listener is up (or attempts run out).
+// until the peer's listener is up (or attempts run out). Total time is
+// capped by Backoff.MaxElapsed via a context deadline.
 func Dial(addr string, b Backoff) (*Conn, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), b.withDefaults().MaxElapsed)
+	defer cancel()
+	return DialContext(ctx, addr, b)
+}
+
+// DialContext is Dial bounded by ctx: both the inter-attempt sleeps and
+// each TCP connect observe the context's deadline, so the caller's
+// budget — not the attempt count alone — bounds the loop.
+func DialContext(ctx context.Context, addr string, b Backoff) (*Conn, error) {
 	b = b.withDefaults()
 	delay := b.Base
 	var lastErr error
 	for i := 0; i < b.Attempts; i++ {
 		if i > 0 {
 			jitter := time.Duration(rand.Int63n(int64(delay)/2+1)) - delay/4
-			time.Sleep(delay + jitter)
+			select {
+			case <-time.After(delay + jitter):
+			case <-ctx.Done():
+				if lastErr == nil {
+					lastErr = ctx.Err()
+				}
+				return nil, fmt.Errorf("wire: dialing %s: %w (deadline after %d attempts)", addr, lastErr, i)
+			}
 			if delay *= 2; delay > b.Max {
 				delay = b.Max
 			}
 		}
-		nc, err := net.DialTimeout("tcp", addr, 3*time.Second)
+		conn, err := dialOnce(ctx, addr)
 		if err != nil {
 			lastErr = err
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("wire: dialing %s: %w (deadline after %d attempts)", addr, lastErr, i+1)
+			}
 			continue
 		}
-		if tc, ok := nc.(*net.TCPConn); ok {
-			tc.SetNoDelay(true)
-		}
-		return NewConn(nc), nil
+		return conn, nil
 	}
 	return nil, fmt.Errorf("wire: dialing %s: %w (after %d attempts)", addr, lastErr, b.Attempts)
+}
+
+// dialOnce makes a single TCP connect attempt under ctx.
+func dialOnce(ctx context.Context, addr string) (*Conn, error) {
+	d := net.Dialer{Timeout: 3 * time.Second}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewConn(nc), nil
 }

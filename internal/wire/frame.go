@@ -91,6 +91,13 @@ const (
 	// every node, local or remote. No acknowledgement; FIFO ordering
 	// guarantees the next CellStatsReq observes the reset.
 	TypeResetWindow byte = 17
+	// TypePing is a worker node's liveness beacon (worker → coordinator,
+	// sent every Hello.HeartbeatMillis when heartbeats are negotiated).
+	// It carries no payload semantics; its arrival resets the
+	// coordinator's read deadline, so a silent peer — kill -9, network
+	// partition — surfaces as ErrWorkerDown instead of an indefinite
+	// stall. Readers that predate it skip it (unknown-type rule).
+	TypePing byte = 18
 )
 
 // MaxFrameSize bounds a frame's length field: a reader rejects larger

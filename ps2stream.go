@@ -298,6 +298,16 @@ type Options struct {
 	//
 	//	psnode -role worker -listen :7101
 	RemoteWorkers []string
+	// SpareWorkers reserves extra routing slots for workers that join at
+	// runtime via System.AddWorker. The grid geometry is sized over
+	// Workers+SpareWorkers slots at Open, so a join never repartitions —
+	// the new worker starts empty and the controller (or AddWorker's own
+	// rebalance) migrates cells onto it. Requires the hybrid strategy
+	// with the GI2 worker index; Workers+SpareWorkers must be ≤ 64.
+	SpareWorkers int
+	// Recovery enables crash detection and automatic recovery for remote
+	// workers (see docs/ARCHITECTURE.md, "Membership and recovery").
+	Recovery RecoveryOptions
 	// Adjust configures the adaptive load adjustment controller (§V):
 	// per-worker load is sampled from the live publish traffic, and when
 	// the imbalance exceeds Theta the system migrates hot grid cells to
@@ -330,6 +340,32 @@ type Options struct {
 	//
 	// Deprecated: set Adjust.Interval instead.
 	AdjustInterval time.Duration
+}
+
+// RecoveryOptions configures crash detection and recovery for remote
+// workers. With Enabled, the coordinator asks each psnode worker for
+// heartbeats, mirrors every routed operation in a bounded per-worker op
+// log (truncated by periodic drain checkpoints), and on a connection
+// failure redials the worker's address with backoff and replays the
+// checkpoint state plus the log tail — the stream keeps flowing through
+// the surviving workers meanwhile, and the mergers' dedup window
+// absorbs replay duplicates.
+type RecoveryOptions struct {
+	// Enabled turns recovery on. Off (default), a dead remote worker
+	// fails the run exactly as before.
+	Enabled bool
+	// CheckpointInterval is the op-log truncation cadence (default 1s).
+	CheckpointInterval time.Duration
+	// HeartbeatInterval is the requested node heartbeat cadence; the
+	// coordinator's read deadline is 4× this (default 500ms).
+	HeartbeatInterval time.Duration
+	// RedialTimeout bounds how long a crashed worker may take to come
+	// back before the run is declared unrecoverable (default 45s).
+	RedialTimeout time.Duration
+	// Dir, when non-empty, persists per-worker checkpoint snapshots
+	// (worker-<task>.ckpt) for out-of-band restore tooling. Recovery
+	// itself replays from memory and does not require it.
+	Dir string
 }
 
 // AdjustOptions configures the adaptive load adjustment controller
@@ -468,6 +504,17 @@ func Open(opts Options) (*System, error) {
 		Sigma:     opts.Adjust.Theta,
 		Cooldown:  opts.Adjust.Cooldown,
 		Algorithm: migrate.GR,
+	}
+	// Membership options must be on the config before the workers are
+	// dialled: the handshake hello carries the total slot count (spares
+	// included) and the heartbeat request.
+	cfg.SpareWorkers = opts.SpareWorkers
+	cfg.Recovery = core.RecoveryConfig{
+		Enabled:            opts.Recovery.Enabled,
+		CheckpointInterval: opts.Recovery.CheckpointInterval,
+		HeartbeatInterval:  opts.Recovery.HeartbeatInterval,
+		RedialTimeout:      opts.Recovery.RedialTimeout,
+		Dir:                opts.Recovery.Dir,
 	}
 	if err := cfg.ConnectRemoteWorkers(opts.RemoteWorkers, sample, wire.Backoff{}); err != nil {
 		return nil, fmt.Errorf("ps2stream: %w", err)
@@ -644,6 +691,27 @@ func (s *System) Repartition(recentMessages []Message, recentSubscriptions []Sub
 // Adjust.Auto off.
 func (s *System) AdjustNow() int {
 	return s.inner.AdjustNow()
+}
+
+// AddWorker joins a freshly started psnode worker (addr "host:port")
+// into the running system, claiming one of the Options.SpareWorkers
+// routing slots. The node is dialled with backoff, handed the grid
+// geometry, and an immediate rebalance migrates cells onto it so it
+// starts pulling load right away. It returns the worker task number the
+// node now serves (usable with DecommissionWorker), or an error when no
+// spare slot is free (core.ErrNoSpareSlots) or the dial fails.
+func (s *System) AddWorker(addr string) (int, error) {
+	return s.inner.AddWorker(addr)
+}
+
+// DecommissionWorker gracefully retires a remote worker slot: every
+// cell it serves migrates to the remaining active workers (matches keep
+// flowing throughout), the node is drained, and the connection closes
+// cleanly. The slot is not reusable afterwards; size SpareWorkers for
+// the cluster's full membership churn. Decommissioning the last active
+// remote worker is refused.
+func (s *System) DecommissionWorker(task int) error {
+	return s.inner.DecommissionWorker(task)
 }
 
 // FinishRepartition completes an in-flight global repartition immediately,
