@@ -16,6 +16,12 @@
 //
 //	psbench -exp batch -quick -json new.json
 //	psbench -compare BENCH_batch.json -against new.json -tolerance 0.35
+//
+// -min-wire-ratio additionally enforces an absolute floor on the
+// candidate's wire experiment (tcp row speedup), independent of the
+// baseline:
+//
+//	psbench -compare BENCH_wire.json -against new.json -min-wire-ratio 0.8
 package main
 
 import (
@@ -46,6 +52,7 @@ func main() {
 		compare   = flag.String("compare", "", "baseline report (BENCH_*.json) to gate -against")
 		against   = flag.String("against", "", "candidate report compared to -compare")
 		tolerance = flag.Float64("tolerance", 0.35, "allowed fractional regression in compare mode")
+		minRatio  = flag.Float64("min-wire-ratio", 0, "in compare mode, absolute floor for the candidate's wire tcp/inproc speedup (0 disables)")
 	)
 	flag.Parse()
 
@@ -54,7 +61,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "psbench: compare mode needs both -compare <baseline> and -against <candidate>")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(*compare, *against, *tolerance))
+		os.Exit(runCompare(*compare, *against, *tolerance, *minRatio))
 	}
 
 	if *list {
@@ -122,9 +129,10 @@ func main() {
 	}
 }
 
-// runCompare loads two -json reports and applies the tolerance gate,
-// returning the process exit code.
-func runCompare(basePath, curPath string, tol float64) int {
+// runCompare loads two -json reports and applies the tolerance gate —
+// plus, when minRatio > 0, the absolute wire tcp/inproc floor on the
+// candidate — returning the process exit code.
+func runCompare(basePath, curPath string, tol, minRatio float64) int {
 	baseData, err := os.ReadFile(basePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "psbench:", err)
@@ -157,6 +165,13 @@ func runCompare(basePath, curPath string, tol float64) int {
 			fmt.Fprintln(os.Stderr, "  "+r.String())
 		}
 		return 1
+	}
+	if minRatio > 0 {
+		if err := bench.CheckWireRatio(cur, minRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			return 1
+		}
+		fmt.Printf("psbench: wire tcp/inproc ratio meets the %.2f floor\n", minRatio)
 	}
 	fmt.Printf("psbench: %d gated metrics within %.0f%% of %s\n", n, tol*100, basePath)
 	return 0

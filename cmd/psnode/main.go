@@ -83,6 +83,7 @@ var flagGroups = []struct {
 		"oracle", "adjust", "objects-only",
 		"hotspot", "hotspot-bias", "hotspot-shift-every",
 		"spare", "recover", "join", "retire",
+		"wire-streams",
 	}},
 }
 
@@ -139,6 +140,7 @@ var (
 	recoverFlag = flag.Bool("recover", false, "survive remote worker crashes: heartbeats, per-worker op log, redial + replay")
 	join        = flag.String("join", "", "join worker addresses mid-stream: \"addr@ops[,addr@ops...]\" dials addr after that many stream ops (needs -spare)")
 	retire      = flag.String("retire", "", "decommission worker tasks mid-stream: \"task@ops[,task@ops...]\"")
+	wireStreams = flag.Int("wire-streams", 0, "data connections per remote-worker hop (0 = one per dispatcher task, capped at 16)")
 )
 
 func main() {
@@ -196,6 +198,7 @@ func main() {
 			spare:       *spare,
 			recover:     *recoverFlag,
 			events:      events,
+			wireStreams: *wireStreams,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "psnode: -role must be worker, merger or dispatcher")
@@ -405,6 +408,9 @@ type dispatcherConfig struct {
 	spare   int
 	recover bool
 	events  []memberEvent
+	// wireStreams overrides the data connections per remote-worker hop
+	// (core.Config.WireStreams; 0 = one per dispatcher task).
+	wireStreams int
 }
 
 // runDispatcher embeds the coordinator: it builds the partitioning
@@ -463,6 +469,7 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 		// handshake hello carries the total slot count and the heartbeat
 		// request.
 		cfg.SpareWorkers = dc.spare
+		cfg.WireStreams = dc.wireStreams
 		if dc.recover {
 			// Cadences sized for short CI runs: fast enough that a crash,
 			// redial, and replay complete within a few seconds of stream
@@ -483,7 +490,8 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 		if err := cfg.ConnectRemoteMergers(dc.mergerAddrs, sample, wire.Backoff{}); err != nil {
 			logger.Fatal(err)
 		}
-		logger.Printf("dispatcher: %d remote workers, %d remote mergers", len(dc.workerAddrs), len(dc.mergerAddrs))
+		logger.Printf("dispatcher: %d remote workers (%s), %d remote mergers",
+			len(dc.workerAddrs), cfg.RemoteWorkerSummary(), len(dc.mergerAddrs))
 	}
 	if dc.out != "" {
 		if !dc.oracle && len(dc.mergerAddrs) > 0 {

@@ -66,6 +66,52 @@ func parseMetric(cell string) (float64, bool) {
 	return v, err == nil
 }
 
+// CheckWireRatio enforces the wire experiment's absolute floor: the
+// "speedup" cell of the report's "tcp" row (the loopback-TCP to
+// in-process throughput ratio) must reach at least floor. Unlike the
+// relative tolerance gate, this is machine-independent — both modes run
+// on the same box in the same invocation, so their ratio is a property
+// of the transport, not the runner. A report without a wire experiment,
+// tcp row, or speedup column is an error: the gate must not pass
+// vacuously.
+func CheckWireRatio(r Report, floor float64) error {
+	if floor <= 0 {
+		return fmt.Errorf("bench: wire ratio floor %v must be positive", floor)
+	}
+	for _, e := range r.Experiments {
+		if e.Experiment != "wire" {
+			continue
+		}
+		for _, t := range e.Tables {
+			speedupCol := -1
+			for ci, h := range t.Header {
+				if strings.Contains(strings.ToLower(h), "speedup") {
+					speedupCol = ci
+					break
+				}
+			}
+			if speedupCol < 0 {
+				continue
+			}
+			for _, row := range t.Rows {
+				if len(row) <= speedupCol || row[0] != "tcp" {
+					continue
+				}
+				v, ok := parseMetric(row[speedupCol])
+				if !ok {
+					return fmt.Errorf("bench: wire: tcp row speedup %q is not a ratio", row[speedupCol])
+				}
+				if v < floor {
+					return fmt.Errorf("bench: wire: tcp/inproc ratio %.2f below the %.2f floor", v, floor)
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("bench: wire experiment has no tcp row with a speedup column")
+	}
+	return fmt.Errorf("bench: report has no wire experiment to check the ratio floor against")
+}
+
 // CompareReports gates current against baseline: every gated metric of
 // every experiment present in the baseline must reach at least
 // (1 - tol) × its baseline value. It returns the regressions and the

@@ -91,3 +91,41 @@ func TestParseReportRoundTrip(t *testing.T) {
 		t.Error("invalid JSON accepted")
 	}
 }
+
+func wireReport(tcpSpeedup string) Report {
+	return Report{Experiments: []ReportExperiment{{
+		Experiment: "wire",
+		Tables: []Table{{
+			Title:  "t",
+			Header: []string{"transport", "throughput(tuples/s)", "speedup", "matches"},
+			Rows: [][]string{
+				{"inproc", "666820", "1.00x", "770"},
+				{"tcp", "606989", tcpSpeedup, "700"},
+			},
+		}},
+	}}}
+}
+
+func TestCheckWireRatio(t *testing.T) {
+	if err := CheckWireRatio(wireReport("0.91x"), 0.8); err != nil {
+		t.Errorf("0.91 vs floor 0.8: %v", err)
+	}
+	if err := CheckWireRatio(wireReport("0.72x"), 0.8); err == nil {
+		t.Error("0.72 vs floor 0.8: want error, got pass")
+	}
+	if err := CheckWireRatio(wireReport("garbage"), 0.8); err == nil {
+		t.Error("unparseable ratio: want error, got pass")
+	}
+	if err := CheckWireRatio(wireReport("0.91x"), 0); err == nil {
+		t.Error("non-positive floor accepted")
+	}
+	// Vacuous gates must fail loudly, not pass.
+	if err := CheckWireRatio(Report{}, 0.8); err == nil {
+		t.Error("report without a wire experiment passed")
+	}
+	noTCP := wireReport("0.91x")
+	noTCP.Experiments[0].Tables[0].Rows = noTCP.Experiments[0].Tables[0].Rows[:1]
+	if err := CheckWireRatio(noTCP, 0.8); err == nil {
+		t.Error("report without a tcp row passed")
+	}
+}

@@ -13,14 +13,18 @@ import (
 )
 
 // wireRepeats mirrors batchRepeats: best-of-N converges on capacity.
-const wireRepeats = 3
+// Seven repeats (not three) because the tcp/inproc ratio is CI-gated
+// with a hard floor; best-of-seven, with the two modes interleaved so
+// background noise lands on both alike, keeps scheduler jitter out of
+// both numerators.
+const wireRepeats = 7
 
 // WireThroughput measures the cost of leaving the process: the same
 // seeded workload is driven once with every worker task in-process
 // (channel transfer) and once with every worker task behind loopback
 // TCP (psnode serve loops speaking the internal/wire protocol — real
-// sockets, gob framing, drain barriers; only the machine boundary is
-// missing). The ratio is the wire tax a networked deployment pays per
+// sockets, negotiated binary framing, multi-stream sessions, drain
+// barriers; only the machine boundary is missing). The ratio is the wire tax a networked deployment pays per
 // hop before real network latency is added; the matches column
 // sanity-checks comparable delivery (small run-to-run variation stems
 // from insert/object ordering races across dispatcher tasks and exists
@@ -34,33 +38,37 @@ func WireThroughput(sc Scale) []Table {
 		Title:  "Wire transport: in-process channels vs loopback TCP (all worker tasks remote; PerTupleWork forced to 0)",
 		Header: []string{"transport", "throughput(tuples/s)", "speedup", "matches"},
 	}
-	var base float64
-	for _, mode := range []string{"inproc", "tcp"} {
-		var tp float64
-		var matches int64
-		var err error
-		for r := 0; r < wireRepeats; r++ {
-			rtp, rm, rerr := measureWire(spec, sc, mode == "tcp")
-			if rerr != nil {
-				err = rerr
-				break
+	// Interleaved best-of: each repeat runs both modes back to back, so
+	// background load skews them alike instead of landing on whichever
+	// mode happened to run during the noisy stretch.
+	var tp [2]float64
+	var matches [2]int64
+	var errs [2]error
+	for r := 0; r < wireRepeats; r++ {
+		for m := 0; m < 2; m++ {
+			if errs[m] != nil {
+				continue
 			}
-			if rtp > tp {
-				tp, matches = rtp, rm
+			rtp, rm, rerr := measureWire(spec, sc, m == 1)
+			if rerr != nil {
+				errs[m] = rerr
+				continue
+			}
+			if rtp > tp[m] {
+				tp[m], matches[m] = rtp, rm
 			}
 		}
-		if err != nil {
-			t.Rows = append(t.Rows, []string{mode, "ERR: " + err.Error(), "", ""})
+	}
+	for m, mode := range []string{"inproc", "tcp"} {
+		if errs[m] != nil {
+			t.Rows = append(t.Rows, []string{mode, "ERR: " + errs[m].Error(), "", ""})
 			continue
 		}
-		if mode == "inproc" {
-			base = tp
-		}
 		speedup := "1.00x"
-		if base > 0 && mode != "inproc" {
-			speedup = fmt.Sprintf("%.2fx", tp/base)
+		if m == 1 && tp[0] > 0 {
+			speedup = fmt.Sprintf("%.2fx", tp[1]/tp[0])
 		}
-		t.Rows = append(t.Rows, []string{mode, f0(tp), speedup, fmt.Sprint(matches)})
+		t.Rows = append(t.Rows, []string{mode, f0(tp[m]), speedup, fmt.Sprint(matches[m])})
 	}
 	return []Table{t}
 }

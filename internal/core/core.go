@@ -122,6 +122,15 @@ type Config struct {
 	// the local OnMatch hook and Snapshot counters do not see them
 	// (RemoteDelivered fetches the remote counts).
 	RemoteMergers map[int]stream.Transport
+	// WireStreams is the number of data connections per remote-worker
+	// hop (the wire transport's multi-stream sessions; docs/WIRE.md).
+	// Ops shard across the connections by the same routing hash the
+	// dispatcher fields-grouping uses, so per-key order is preserved.
+	// 0 defaults to Dispatchers — each dispatcher's batches then ride
+	// their own connection — and values are capped at wire.MaxStreams.
+	// Meaningful only for hops dialled by ConnectRemoteWorkers or
+	// recovered by the membership layer; ignored for custom transports.
+	WireStreams int
 	// SpareWorkers pre-allocates this many extra worker slots beyond
 	// Workers for runtime joins (System.AddWorker): routing bitmasks
 	// and per-slot accounting are fixed-width, so elastic capacity is

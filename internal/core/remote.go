@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"ps2stream/internal/index/grid"
@@ -95,15 +96,25 @@ type remoteAddresser interface {
 // batch; Recv yields the worker's matches as matchEnvelope tuples.
 type wireWorkerTransport struct {
 	c *wire.WorkerClient
+	// sendMu guards the envelope scratch. Sends come from one engine
+	// goroutine per hop, but recovery's replay path can hand the
+	// transport off; the lock makes the reuse unconditionally safe.
+	sendMu sync.Mutex
+	ops    []wire.OpEnv
 }
 
 func (t *wireWorkerTransport) Send(batch []stream.Tuple) error {
-	ops := make([]wire.OpEnv, len(batch))
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	// SendOps encodes synchronously (the bytes are copied into a pooled
+	// frame buffer before it returns), so the scratch is reusable across
+	// calls — no per-batch slice allocation on the hot path.
+	t.ops = t.ops[:0]
 	for i := range batch {
 		env := batch[i].Value.(opEnvelope)
-		ops[i] = wire.OpEnv{Op: env.op, T0: env.t0}
+		t.ops = append(t.ops, wire.OpEnv{Op: env.op, T0: env.t0})
 	}
-	return t.c.SendOps(wire.OpBatch{Ops: ops})
+	return t.c.SendOps(wire.OpBatch{Ops: t.ops})
 }
 
 func (t *wireWorkerTransport) Recv() ([]stream.Tuple, error) {
@@ -148,16 +159,22 @@ func (t *wireWorkerTransport) Addr() string                 { return t.c.Addr() 
 // wireMergerTransport adapts a wire.MergerClient to stream.Transport
 // (forward direction only: mergers send nothing back but counters).
 type wireMergerTransport struct {
-	c *wire.MergerClient
+	c      *wire.MergerClient
+	sendMu sync.Mutex
+	ms     []wire.MatchEnv
 }
 
 func (t *wireMergerTransport) Send(batch []stream.Tuple) error {
-	ms := make([]wire.MatchEnv, len(batch))
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	// SendMatches encodes before queueing, so the scratch is reusable
+	// (see wireWorkerTransport.Send).
+	t.ms = t.ms[:0]
 	for i := range batch {
 		env := batch[i].Value.(matchEnvelope)
-		ms[i] = wire.MatchEnv{M: env.m, T0: env.t0}
+		t.ms = append(t.ms, wire.MatchEnv{M: env.m, T0: env.t0})
 	}
-	return t.c.SendMatches(wire.MatchBatch{Matches: ms})
+	return t.c.SendMatches(wire.MatchBatch{Matches: t.ms})
 }
 
 func (t *wireMergerTransport) Recv() ([]stream.Tuple, error) { return nil, io.EOF }
@@ -194,12 +211,26 @@ func (c *Config) RemoteHello(task int, sample *partition.Sample) wire.Hello {
 		// so a runtime join agrees on cell ids.
 		workers += c.SpareWorkers
 	}
+	streams := c.WireStreams
+	if streams <= 0 {
+		// Default to one data connection per dispatcher: batches
+		// round-robin whole across the streams (one frame per transfer
+		// batch), so dispatcher-many streams keep every dispatcher's
+		// writer busy without over-subscribing small deployments.
+		if streams = c.Dispatchers; streams <= 0 {
+			streams = 4
+		}
+	}
+	if streams > wire.MaxStreams {
+		streams = wire.MaxStreams
+	}
 	h := wire.Hello{
 		Role:        wire.RoleCoordinator,
 		Task:        task,
 		Workers:     workers,
 		Granularity: granularity,
 		BatchSize:   batch,
+		Streams:     streams,
 	}
 	if c.Recovery.Enabled {
 		hb := c.Recovery.HeartbeatInterval
@@ -261,6 +292,36 @@ func (c *Config) ConnectRemoteWorkers(addrs []string, sample *partition.Sample, 
 		dialed = append(dialed, i)
 	}
 	return nil
+}
+
+// RemoteWorkerSummary describes the negotiated transport of the wire-
+// connected remote workers for startup logs: how many hops run the
+// binary multi-stream session and how many fell back to the legacy gob
+// protocol (an old peer on the other side).
+func (c *Config) RemoteWorkerSummary() string {
+	var binary, legacy, streams int
+	for _, tr := range c.RemoteWorkers {
+		wt, ok := tr.(*wireWorkerTransport)
+		if !ok {
+			continue
+		}
+		if wt.c.Codec() == wire.CodecBinary && wt.c.Streams() > 0 {
+			binary++
+			streams = wt.c.Streams()
+		} else {
+			legacy++
+		}
+	}
+	switch {
+	case binary == 0 && legacy == 0:
+		return "no wire-connected workers"
+	case legacy == 0:
+		return fmt.Sprintf("%d hops on the binary codec, %d data streams each", binary, streams)
+	case binary == 0:
+		return fmt.Sprintf("%d hops on legacy gob (old peers)", legacy)
+	default:
+		return fmt.Sprintf("%d hops on the binary codec (%d streams), %d on legacy gob", binary, streams, legacy)
+	}
 }
 
 // ConnectRemoteMergers dials one merger node per address and installs

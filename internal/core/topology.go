@@ -78,10 +78,7 @@ func (s *System) buildTopology(ctx context.Context) *stream.Topology {
 		return dispatcherBolt{s: s}
 	}, s.cfg.Dispatchers, streamToWork).Fields(streamInput, func(tu stream.Tuple) uint64 {
 		env := tu.Value.(opEnvelope)
-		if env.op.Kind == model.OpObject {
-			return env.op.Obj.ID * 0x9E3779B97F4A7C15
-		}
-		return env.op.Query.ID * 0x9E3779B97F4A7C15
+		return env.op.RouteHash()
 	})
 
 	// Workers: maintain GI2, match objects. An out-of-process slot

@@ -114,11 +114,30 @@ func (m *Merger) Serve(ctx context.Context, ln net.Listener) error {
 // serveConn runs one upstream session with its own dedup window.
 func (m *Merger) serveConn(conn *wire.Conn) (clean bool, err error) {
 	defer conn.Close()
-	if _, err := acceptHello(conn, wire.RoleMerger); err != nil {
+	hello, err := recvHello(conn)
+	if err != nil {
+		return false, err
+	}
+	// Negotiate the match-batch codec: binary when the dialler speaks
+	// it, gob for a pre-negotiation peer. Mergers have no data streams
+	// to grant — one connection per upstream task keeps dedup windows
+	// per-connection — so Streams stays zero.
+	codec := wire.CodecGob
+	if hello.Codec >= wire.CodecBinary {
+		codec = wire.CodecBinary
+	}
+	wel := wire.Welcome{
+		Magic: wire.Magic, Version: wire.Version, Role: wire.RoleMerger,
+		Task: hello.Task, Codec: codec,
+	}
+	if err := conn.Send(wire.TypeWelcome, wel); err != nil {
 		return false, err
 	}
 	win := dedup.NewWindow(m.opts.DedupWindow)
 	var delivered, duplicates int64 // this session's share
+	// Decode scratch reused across batches (binary codec only; gob
+	// allocates its own).
+	var scratch []wire.MatchEnv
 	for {
 		typ, payload, err := conn.Recv()
 		if err != nil {
@@ -126,12 +145,20 @@ func (m *Merger) serveConn(conn *wire.Conn) (clean bool, err error) {
 		}
 		switch typ {
 		case wire.TypeMatchBatch:
-			var mb wire.MatchBatch
-			if err := wire.DecodePayload(payload, &mb); err != nil {
+			var matches []wire.MatchEnv
+			if codec == wire.CodecBinary {
+				scratch, err = wire.DecodeBinMatchBatch(payload, scratch[:0])
+				matches = scratch
+			} else {
+				var mb wire.MatchBatch
+				err = wire.DecodePayload(payload, &mb)
+				matches = mb.Matches
+			}
+			if err != nil {
 				return false, err
 			}
-			for i := range mb.Matches {
-				me := &mb.Matches[i]
+			for i := range matches {
+				me := &matches[i]
 				if !win.Observe([2]uint64{me.M.QueryID, me.M.ObjectID}) {
 					duplicates++
 					m.duplicates.Add(1)
@@ -153,12 +180,12 @@ func (m *Merger) serveConn(conn *wire.Conn) (clean bool, err error) {
 				return false, err
 			}
 		case wire.TypeDrain:
-			var d wire.Drain
-			if err := wire.DecodePayload(payload, &d); err != nil {
+			d, err := decodeDrain(payload, codec)
+			if err != nil {
 				return false, err
 			}
 			ack := wire.DrainAck{Seq: d.Seq, Emitted: delivered, Duplicates: duplicates}
-			if err := conn.Send(wire.TypeDrainAck, ack); err != nil {
+			if err := sendDrainAck(conn, codec, ack); err != nil {
 				return false, err
 			}
 		case wire.TypeGoodbye:

@@ -46,6 +46,132 @@ type WorkerOptions struct {
 	Once bool
 }
 
+// workerSession is one multi-stream coordinator session: the control
+// connection that created it plus the data connections attached to its
+// SessionID. The done/emitted counters implement the session op barrier
+// (wire.Drain.Ops) that replaces cross-connection FIFO ordering.
+type workerSession struct {
+	id      uint64
+	codec   int
+	streams int
+
+	// done counts ops fully processed — each data loop adds a batch's
+	// ops only after the batch's matches are queued on its writer, so
+	// "done ≥ barrier, then flush writers" guarantees the matches of
+	// every counted op are on the wire before a barrier ack.
+	done atomic.Int64
+	// emitted counts matches queued toward the coordinator.
+	emitted atomic.Int64
+
+	// The turnstile reassembles the coordinator's send order: op batches
+	// carry their send-order sequence and round-robin across the data
+	// connections, and each data loop waits for its batch's turn before
+	// processing. Decode and match encode/write stay parallel per
+	// stream; only processing — already serialised by the index lock —
+	// is ordered, so multi-stream transport preserves the exact total op
+	// order a single connection would deliver (and with it the match
+	// set: a query insert must index before a later object publishes).
+	turnMu   sync.Mutex
+	turnCond *sync.Cond
+	nextTurn uint64 // next batch sequence to process (guarded by turnMu)
+	turnDead bool   // set by close() to wake and fail waiters
+
+	mu      sync.Mutex
+	closed  bool
+	conns   []*wire.Conn
+	writers []*wire.FrameWriter
+	dataWG  sync.WaitGroup
+}
+
+// newWorkerSession builds a session with its turnstile initialised.
+func newWorkerSession(id uint64, codec, streams int) *workerSession {
+	s := &workerSession{id: id, codec: codec, streams: streams}
+	s.turnCond = sync.NewCond(&s.turnMu)
+	return s
+}
+
+// awaitTurn blocks until batch seq is next in the session's send order.
+// It fails instead of blocking forever when the session is torn down
+// (a sibling stream broke, or a newer session superseded this one).
+func (s *workerSession) awaitTurn(seq uint64) error {
+	s.turnMu.Lock()
+	defer s.turnMu.Unlock()
+	for s.nextTurn != seq {
+		if s.turnDead {
+			return fmt.Errorf("node: session %d closed awaiting batch %d (next %d)", s.id, seq, s.nextTurn)
+		}
+		s.turnCond.Wait()
+	}
+	return nil
+}
+
+// finishTurn hands the turnstile to the next batch in send order.
+func (s *workerSession) finishTurn() {
+	s.turnMu.Lock()
+	s.nextTurn++
+	s.turnMu.Unlock()
+	s.turnCond.Broadcast()
+}
+
+// attach registers a data connection with the session; the caller must
+// call dataWG.Done when its loop exits.
+func (s *workerSession) attach(c *wire.Conn, fw *wire.FrameWriter) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("node: session %d already closed", s.id)
+	}
+	if len(s.conns) >= s.streams {
+		return fmt.Errorf("node: session %d already has %d data connections", s.id, s.streams)
+	}
+	s.conns = append(s.conns, c)
+	s.writers = append(s.writers, fw)
+	s.dataWG.Add(1)
+	return nil
+}
+
+// close tears the session's data connections down. Idempotent; called on
+// control-session end and on supersession by a newer session.
+func (s *workerSession) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := append([]*wire.Conn(nil), s.conns...)
+	s.mu.Unlock()
+	// Wake turnstile waiters: their predecessor batch may never arrive
+	// now, and blocking forever would wedge the data loops.
+	s.turnMu.Lock()
+	s.turnDead = true
+	s.turnMu.Unlock()
+	s.turnCond.Broadcast()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *workerSession) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// flushWriters blocks until every match batch queued before the call is
+// written and flushed on its data connection.
+func (s *workerSession) flushWriters() error {
+	s.mu.Lock()
+	writers := append([]*wire.FrameWriter(nil), s.writers...)
+	s.mu.Unlock()
+	for _, fw := range writers {
+		if err := fw.Drain(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Worker is one worker task running out-of-process: a GI2 query index
 // plus the wire serve loop feeding it. Create with NewWorker, drive
 // with Serve.
@@ -69,6 +195,11 @@ type Worker struct {
 	// object would otherwise match queries that were originally
 	// inserted after it.
 	stateEpoch uint64
+
+	// sess is the live multi-stream session (nil before the first
+	// negotiated handshake and for legacy single-connection sessions).
+	sessMu sync.Mutex
+	sess   *workerSession
 
 	done    atomic.Int64 // ops processed
 	emitted atomic.Int64 // matches emitted
@@ -113,29 +244,54 @@ func (w *Worker) QueryCount() int {
 }
 
 // Serve accepts coordinator connections on ln until ctx is cancelled
-// (or, with Once, until a session ends cleanly). Sessions are served one
-// at a time: a worker task has exactly one coordinator, and serialising
-// reconnects keeps the index single-writer without locking the hot path.
+// (or, with Once, until a control session ends cleanly). Connections are
+// served concurrently: a multi-stream session is one control connection
+// plus its data connections, all live at once. The index itself stays
+// single-writer per batch under the worker mutex.
 func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
 	go func() {
 		<-ctx.Done()
 		ln.Close()
 	}()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sawClean := false
+	cleanExit := make(chan struct{}, 1)
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
+			wg.Wait()
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			return err
+			select {
+			case <-cleanExit:
+				return nil
+			default:
+				return err
+			}
 		}
-		clean, err := w.serveConn(wire.NewConn(nc))
-		if err != nil {
-			w.opts.Log.printf("worker: session from %s: %v", nc.RemoteAddr(), err)
-		}
-		if w.opts.Once && clean {
-			return nil
-		}
+		wg.Add(1)
+		go func(nc net.Conn) {
+			defer wg.Done()
+			clean, err := w.serveConn(wire.NewConn(nc))
+			if err != nil {
+				w.opts.Log.printf("worker: session from %s: %v", nc.RemoteAddr(), err)
+			}
+			mu.Lock()
+			if clean {
+				sawClean = true
+			}
+			exit := w.opts.Once && sawClean
+			mu.Unlock()
+			if exit {
+				select {
+				case cleanExit <- struct{}{}:
+				default:
+				}
+				ln.Close()
+			}
+		}(nc)
 	}
 }
 
@@ -145,14 +301,24 @@ func geometryEqual(a, b *wire.Hello) bool {
 	return a.Bounds == b.Bounds && a.Granularity == b.Granularity && a.Task == b.Task
 }
 
-// serveConn runs one coordinator session; clean reports a Goodbye-
-// terminated session.
+// serveConn dispatches one accepted connection: a data connection
+// attaches to the session its Hello names, a control connection (Stream
+// 0, also every pre-negotiation coordinator) runs a session. clean
+// reports a Goodbye-terminated control session.
 func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 	defer conn.Close()
-	hello, err := acceptHello(conn, wire.RoleWorker)
+	hello, err := recvHello(conn)
 	if err != nil {
 		return false, err
 	}
+	if hello.Stream > 0 {
+		return false, w.serveData(conn, hello)
+	}
+	return w.serveControl(conn, hello)
+}
+
+// serveControl runs one coordinator session's control connection.
+func (w *Worker) serveControl(conn *wire.Conn, hello wire.Hello) (clean bool, err error) {
 	// Session fencing: refuse epochs below the highest accepted one.
 	// Equal epochs are allowed — a retried dial of the same session is
 	// not stale. The CAS loop publishes the new high-water mark before
@@ -193,6 +359,42 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 	}
 	w.mu.Unlock()
 
+	// Negotiate the session shape: the binary codec and a multi-stream
+	// session go together, and both require the coordinator to have
+	// asked (SessionID and Streams are zero from a pre-negotiation
+	// peer, which pins the session to single-connection gob).
+	codec, streams := wire.CodecGob, 0
+	if hello.SessionID != 0 && hello.Streams > 0 && hello.Codec >= wire.CodecBinary {
+		codec = wire.CodecBinary
+		streams = hello.Streams
+		if streams > wire.MaxStreams {
+			streams = wire.MaxStreams
+		}
+	}
+	var sess *workerSession
+	if streams > 0 {
+		sess = newWorkerSession(hello.SessionID, codec, streams)
+		// Register before the Welcome: the coordinator attaches data
+		// connections only after reading it, so the session must be
+		// findable by then. A still-live previous session is superseded —
+		// its coordinator is gone or reconnecting.
+		w.sessMu.Lock()
+		old := w.sess
+		w.sess = sess
+		w.sessMu.Unlock()
+		if old != nil {
+			old.close()
+		}
+		defer sess.close()
+	}
+	wel := wire.Welcome{
+		Magic: wire.Magic, Version: wire.Version, Role: wire.RoleWorker,
+		Task: hello.Task, Codec: codec, Streams: streams,
+	}
+	if err := conn.Send(wire.TypeWelcome, wel); err != nil {
+		return false, err
+	}
+
 	// Liveness beacon: when the coordinator asked for heartbeats, a
 	// sender goroutine pings at the requested cadence so the
 	// coordinator's read deadline (4× this interval) only fires on a
@@ -218,12 +420,120 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 		}()
 	}
 
-	// Drain acks report THIS session's progress, not the node's lifetime
-	// counters: after a crash recovery the coordinator already accounts
-	// for matches received in dead sessions, so a cumulative ack would
-	// double-count them against its drain barrier. For the first (only)
-	// session of a run both baselines are zero and the ack is identical
-	// to the historical cumulative one.
+	if sess != nil {
+		return w.controlLoop(conn, sess)
+	}
+	return w.legacyLoop(conn)
+}
+
+// controlLoop serves a multi-stream session's control connection: the
+// barrier rounds (drain, stats, migration) and session teardown. Op
+// batches arrive on the session's data connections, so every round that
+// used to rely on single-connection FIFO first awaits the session op
+// barrier its request carries.
+func (w *Worker) controlLoop(conn *wire.Conn, sess *workerSession) (clean bool, err error) {
+	for {
+		typ, payload, err := conn.Recv()
+		if err != nil {
+			return false, err
+		}
+		switch typ {
+		case wire.TypeDrain:
+			d, err := decodeDrain(payload, sess.codec)
+			if err != nil {
+				return false, err
+			}
+			if err := w.awaitOps(sess, d.Ops); err != nil {
+				return false, err
+			}
+			// The barrier counted the ops; flushing the writers puts the
+			// matches those ops produced on the wire before the ack, so
+			// the coordinator can treat "ack received" as "matches
+			// received" exactly as it could under FIFO.
+			if err := sess.flushWriters(); err != nil {
+				return false, err
+			}
+			ack := wire.DrainAck{Seq: d.Seq, Done: sess.done.Load(), Emitted: sess.emitted.Load()}
+			if err := sendDrainAck(conn, sess.codec, ack); err != nil {
+				return false, err
+			}
+		case wire.TypeStatsReq:
+			var sr wire.StatsReq
+			if err := wire.DecodePayload(payload, &sr); err != nil {
+				return false, err
+			}
+			if err := w.awaitOps(sess, sr.Ops); err != nil {
+				return false, err
+			}
+			if err := conn.Send(wire.TypeStatsReply, w.statsReply(sr.Seq)); err != nil {
+				return false, err
+			}
+		case wire.TypeCellStatsReq:
+			var cr wire.CellStatsReq
+			if err := wire.DecodePayload(payload, &cr); err != nil {
+				return false, err
+			}
+			if err := w.awaitOps(sess, cr.Ops); err != nil {
+				return false, err
+			}
+			if err := conn.Send(wire.TypeCellStatsReply, w.cellStats(cr.Seq)); err != nil {
+				return false, err
+			}
+		case wire.TypeExtractCells:
+			var ex wire.ExtractCells
+			if err := wire.DecodePayload(payload, &ex); err != nil {
+				return false, err
+			}
+			// The migration barrier: the share must reflect every op
+			// batch the coordinator sent before the request, which the
+			// session op barrier guarantees where FIFO no longer can.
+			if err := w.awaitOps(sess, ex.Ops); err != nil {
+				return false, err
+			}
+			if err := conn.Send(wire.TypeCellShare, w.extractCells(ex)); err != nil {
+				return false, err
+			}
+		case wire.TypeInstallCells:
+			var ic wire.InstallCells
+			if err := wire.DecodePayload(payload, &ic); err != nil {
+				return false, err
+			}
+			w.installCells(ic)
+			if err := conn.Send(wire.TypeInstallAck, wire.InstallAck{Seq: ic.Seq}); err != nil {
+				return false, err
+			}
+		case wire.TypeFence:
+			f, err := decodeFence(payload, sess.codec)
+			if err != nil {
+				return false, err
+			}
+			w.epoch.Store(f.Epoch)
+		case wire.TypeResetWindow:
+			w.mu.Lock()
+			w.ix.ResetWindow()
+			w.mu.Unlock()
+		case wire.TypeGoodbye:
+			// The coordinator says goodbye on the data connections first,
+			// so waiting for their loops lets the final match flushes
+			// finish before the session — and, with Once, the process —
+			// goes away. Bounded: a data connection that already died
+			// never says goodbye.
+			waitTimeout(&sess.dataWG, 10*time.Second)
+			_ = conn.Send(wire.TypeGoodbye, wire.Goodbye{})
+			return true, nil
+		default:
+			w.opts.Log.printf("worker: skipping unknown frame type %d", typ)
+		}
+	}
+}
+
+// legacyLoop serves a pre-negotiation coordinator: every frame kind on
+// one gob connection, ordered by FIFO. Drain acks report THIS session's
+// progress, not the node's lifetime counters: after a crash recovery
+// the coordinator already accounts for matches received in dead
+// sessions, so a cumulative ack would double-count them against its
+// drain barrier.
+func (w *Worker) legacyLoop(conn *wire.Conn) (clean bool, err error) {
 	done0, emitted0 := w.done.Load(), w.emitted.Load()
 
 	// Match scratch reused across batches; capacity follows the largest
@@ -240,7 +550,7 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 			if err := wire.DecodePayload(payload, &ob); err != nil {
 				return false, err
 			}
-			matches = w.processBatch(ob, matches[:0])
+			matches = w.processOps(ob.Ops, matches[:0])
 			if len(matches) > 0 {
 				if err := conn.Send(wire.TypeMatchBatch, wire.MatchBatch{Matches: matches}); err != nil {
 					return false, err
@@ -263,11 +573,7 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 			if err := wire.DecodePayload(payload, &sr); err != nil {
 				return false, err
 			}
-			reply := wire.StatsReply{
-				Seq: sr.Seq, Delivered: w.emitted.Load(), Queries: int64(w.QueryCount()),
-				Objects: w.objects.Load(), Inserts: w.inserts.Load(), Deletes: w.deletes.Load(),
-			}
-			if err := conn.Send(wire.TypeStatsReply, reply); err != nil {
+			if err := conn.Send(wire.TypeStatsReply, w.statsReply(sr.Seq)); err != nil {
 				return false, err
 			}
 		case wire.TypeCellStatsReq:
@@ -317,6 +623,169 @@ func (w *Worker) serveConn(conn *wire.Conn) (clean bool, err error) {
 		default:
 			w.opts.Log.printf("worker: skipping unknown frame type %d", typ)
 		}
+	}
+}
+
+// serveData runs one data connection of a multi-stream session: binary
+// op batches in, binary match batches out through a pipelined writer.
+func (w *Worker) serveData(conn *wire.Conn, hello wire.Hello) error {
+	w.sessMu.Lock()
+	sess := w.sess
+	w.sessMu.Unlock()
+	if sess == nil || sess.id != hello.SessionID || hello.Stream > sess.streams {
+		// Refuse with a Goodbye so the dialler fails fast (a protocol
+		// refusal) instead of burning its retry budget on a session that
+		// will never exist.
+		_ = conn.Send(wire.TypeGoodbye, wire.Goodbye{})
+		return fmt.Errorf("node: refusing data connection for session %d stream %d", hello.SessionID, hello.Stream)
+	}
+	fw := wire.NewFrameWriter(conn, 0)
+	defer fw.Stop()
+	if err := sess.attach(conn, fw); err != nil {
+		_ = conn.Send(wire.TypeGoodbye, wire.Goodbye{})
+		return err
+	}
+	defer sess.dataWG.Done()
+	wel := wire.Welcome{
+		Magic: wire.Magic, Version: wire.Version, Role: wire.RoleWorker,
+		Task: hello.Task, Codec: sess.codec, Streams: sess.streams,
+	}
+	if err := conn.Send(wire.TypeWelcome, wel); err != nil {
+		return err
+	}
+	// Decode and match scratch reused across batches; the binary codec
+	// decodes into them without per-frame allocations.
+	var ops []wire.OpEnv
+	var matches []wire.MatchEnv
+	for {
+		typ, payload, err := conn.Recv()
+		if err != nil {
+			// A broken data connection breaks the whole session; tear it
+			// down so the control loop and sibling streams fail too
+			// instead of wedging on a barrier that can never complete.
+			if !sess.isClosed() {
+				sess.close()
+				return err
+			}
+			return nil
+		}
+		switch typ {
+		case wire.TypeOpBatch:
+			var seq uint64
+			ops, seq, err = wire.DecodeBinOpBatch(payload, ops[:0])
+			if err != nil {
+				sess.close()
+				return err
+			}
+			// Reassemble the coordinator's send order across streams:
+			// process this batch only when every earlier-sequenced batch
+			// (possibly in flight on a sibling connection) is done.
+			if err := sess.awaitTurn(seq); err != nil {
+				return err
+			}
+			matches = w.processOps(ops, matches[:0])
+			// Order matters for the session barrier: matches are queued
+			// (and counted) before done advances, so "done ≥ barrier"
+			// implies the matches are behind a writer flush, never lost.
+			sess.emitted.Add(int64(len(matches)))
+			if len(matches) > 0 {
+				buf := wire.GetBuf()
+				buf.B = wire.AppendMatchBatch(buf.B, matches)
+				if err := fw.Send(wire.TypeMatchBatch, buf); err != nil {
+					sess.close()
+					return err
+				}
+			}
+			sess.done.Add(int64(len(ops)))
+			sess.finishTurn()
+		case wire.TypeGoodbye:
+			// Flush remaining matches, answer in kind, and let the
+			// coordinator's data read loop end cleanly.
+			if err := fw.Drain(); err != nil {
+				sess.close()
+				return err
+			}
+			_ = conn.Send(wire.TypeGoodbye, wire.Goodbye{})
+			return nil
+		case wire.TypePing:
+		default:
+			w.opts.Log.printf("worker: skipping unknown frame type %d on data stream", typ)
+		}
+	}
+}
+
+// awaitOps blocks until the session has processed at least ops
+// operations — the multi-stream stand-in for FIFO request ordering. Zero
+// waives the barrier (nothing sent yet, or a legacy-style request).
+func (w *Worker) awaitOps(sess *workerSession, ops int64) error {
+	if ops <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(wire.DefaultControlTimeout)
+	for sess.done.Load() < ops {
+		if sess.isClosed() {
+			return fmt.Errorf("node: session closed awaiting op barrier (%d of %d)", sess.done.Load(), ops)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("node: op barrier timed out (%d of %d ops)", sess.done.Load(), ops)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// statsReply assembles the worker's lifetime counters.
+func (w *Worker) statsReply(seq uint64) wire.StatsReply {
+	return wire.StatsReply{
+		Seq: seq, Delivered: w.emitted.Load(), Queries: int64(w.QueryCount()),
+		Objects: w.objects.Load(), Inserts: w.inserts.Load(), Deletes: w.deletes.Load(),
+	}
+}
+
+// decodeDrain decodes a Drain frame by the session codec.
+func decodeDrain(payload []byte, codec int) (wire.Drain, error) {
+	if codec == wire.CodecBinary {
+		return wire.DecodeBinDrain(payload)
+	}
+	var d wire.Drain
+	err := wire.DecodePayload(payload, &d)
+	return d, err
+}
+
+// decodeFence decodes a Fence frame by the session codec.
+func decodeFence(payload []byte, codec int) (wire.Fence, error) {
+	if codec == wire.CodecBinary {
+		return wire.DecodeBinFence(payload)
+	}
+	var f wire.Fence
+	err := wire.DecodePayload(payload, &f)
+	return f, err
+}
+
+// sendDrainAck encodes a DrainAck by the session codec.
+func sendDrainAck(conn *wire.Conn, codec int, ack wire.DrainAck) error {
+	if codec == wire.CodecBinary {
+		buf := wire.GetBuf()
+		buf.B = wire.AppendDrainAck(buf.B, ack)
+		err := conn.SendPayload(wire.TypeDrainAck, buf.B)
+		wire.PutBuf(buf)
+		return err
+	}
+	return conn.Send(wire.TypeDrainAck, ack)
+}
+
+// waitTimeout waits on wg for at most d; false reports a timeout.
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		return true
+	case <-time.After(d):
+		return false
 	}
 }
 
@@ -407,14 +876,15 @@ func (w *Worker) installCells(ic wire.InstallCells) {
 	}
 }
 
-// processBatch applies one operation batch to the index and appends the
+// processOps applies one operation batch to the index and appends the
 // resulting match envelopes to out. The index lock is taken once per
-// batch, mirroring the in-process worker bolt.
-func (w *Worker) processBatch(ob wire.OpBatch, out []wire.MatchEnv) []wire.MatchEnv {
+// batch, mirroring the in-process worker bolt; concurrent data streams
+// serialise here per batch.
+func (w *Worker) processOps(ops []wire.OpEnv, out []wire.MatchEnv) []wire.MatchEnv {
 	var nObj, nIns, nDel int64
 	w.mu.Lock()
-	for i := range ob.Ops {
-		env := &ob.Ops[i]
+	for i := range ops {
+		env := &ops[i]
 		switch env.Op.Kind {
 		case model.OpInsert:
 			nIns++
@@ -458,7 +928,7 @@ func (w *Worker) processBatch(ob wire.OpBatch, out []wire.MatchEnv) []wire.Match
 		}
 	}
 	w.mu.Unlock()
-	w.done.Add(int64(len(ob.Ops)))
+	w.done.Add(int64(len(ops)))
 	w.emitted.Add(int64(len(out)))
 	if nObj > 0 {
 		w.objects.Add(nObj)
@@ -472,9 +942,12 @@ func (w *Worker) processBatch(ob wire.OpBatch, out []wire.MatchEnv) []wire.Match
 	return out
 }
 
-// acceptHello performs the server half of the handshake, answering with
-// the given role.
-func acceptHello(conn *wire.Conn, role string) (wire.Hello, error) {
+// recvHello performs the receiving half of the handshake: the Hello
+// frame, validated. The caller answers with a Welcome once it has
+// negotiated the session shape (codec, streams) — and, for multi-stream
+// sessions, registered the session, so a data connection racing the
+// Welcome finds it.
+func recvHello(conn *wire.Conn) (wire.Hello, error) {
 	typ, payload, err := conn.RecvTimeout(wire.DefaultHandshakeTimeout)
 	if err != nil {
 		return wire.Hello{}, fmt.Errorf("node: awaiting hello: %w", err)
@@ -491,10 +964,6 @@ func acceptHello(conn *wire.Conn, role string) (wire.Hello, error) {
 	}
 	if hello.Role != wire.RoleCoordinator {
 		return wire.Hello{}, fmt.Errorf("node: peer role %q, want %q", hello.Role, wire.RoleCoordinator)
-	}
-	wel := wire.Welcome{Magic: wire.Magic, Version: wire.Version, Role: role, Task: hello.Task}
-	if err := conn.Send(wire.TypeWelcome, wel); err != nil {
-		return wire.Hello{}, err
 	}
 	return hello, nil
 }

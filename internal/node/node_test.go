@@ -299,3 +299,218 @@ func TestMergerSessionCountsAreIndependent(t *testing.T) {
 		t.Errorf("node total = %d, want 3", total)
 	}
 }
+
+// TestWorkerServesLegacyGobClient: a pre-negotiation coordinator — gob
+// everywhere, no Codec/Streams/SessionID in its Hello — must get the
+// old single-connection protocol back from a new node, byte-for-byte
+// compatible: gob Welcome without session fields, gob match batches,
+// gob drain acks.
+func TestWorkerServesLegacyGobClient(t *testing.T) {
+	_, addr, _ := startWorker(t, WorkerOptions{})
+	c, err := wire.Dial(addr, wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h := testHello(1) // zero Codec/Streams/SessionID: what an old client sends
+	h.Magic, h.Version = wire.Magic, wire.Version
+	h.Role = wire.RoleCoordinator
+	if err := c.Send(wire.TypeHello, h); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := c.RecvTimeout(5 * time.Second)
+	if err != nil || typ != wire.TypeWelcome {
+		t.Fatalf("welcome: type %d, err %v", typ, err)
+	}
+	var wel wire.Welcome
+	if err := wire.DecodePayload(payload, &wel); err != nil {
+		t.Fatal(err)
+	}
+	if wel.Codec != wire.CodecGob || wel.Streams != 0 {
+		t.Fatalf("negotiated codec=%d streams=%d for a legacy hello, want gob/0", wel.Codec, wel.Streams)
+	}
+	area := geo.NewRect(-80, 30, -70, 40)
+	err = c.Send(wire.TypeOpBatch, wire.OpBatch{Ops: []wire.OpEnv{
+		{Op: model.Op{Kind: model.OpInsert, Query: query(1, "coffee", area)}},
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{
+			ID: 100, Terms: []string{"coffee"}, Loc: geo.Point{X: -75, Y: 35}}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = c.RecvTimeout(5 * time.Second)
+	if err != nil || typ != wire.TypeMatchBatch {
+		t.Fatalf("match batch: type %d, err %v", typ, err)
+	}
+	var mb wire.MatchBatch
+	if err := wire.DecodePayload(payload, &mb); err != nil {
+		t.Fatal(err)
+	}
+	if len(mb.Matches) != 1 || mb.Matches[0].M.ObjectID != 100 {
+		t.Fatalf("matches = %+v", mb.Matches)
+	}
+	if err := c.Send(wire.TypeDrain, wire.Drain{Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = c.RecvTimeout(5 * time.Second)
+	if err != nil || typ != wire.TypeDrainAck {
+		t.Fatalf("drain ack: type %d, err %v", typ, err)
+	}
+	var ack wire.DrainAck
+	if err := wire.DecodePayload(payload, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Seq != 7 || ack.Done != 2 || ack.Emitted != 1 {
+		t.Errorf("ack = %+v, want Seq 7 Done 2 Emitted 1", ack)
+	}
+}
+
+// TestWorkerReassemblesBatchOrderAcrossStreams pins the turnstile down
+// at the protocol level: the object batch (send-order sequence 1) lands
+// on one data connection before the query-insert batch (sequence 0)
+// lands on the other, and the worker must still process the insert
+// first — the match only exists if sequence reassembly restores the
+// order the two sockets scrambled.
+func TestWorkerReassemblesBatchOrderAcrossStreams(t *testing.T) {
+	_, addr, _ := startWorker(t, WorkerOptions{})
+	h := testHello(1)
+	h.Magic, h.Version = wire.Magic, wire.Version
+	h.Codec = wire.CodecBinary
+	h.Streams = 2
+	h.SessionID = 424242
+	dial := func(stream int) *wire.Conn {
+		t.Helper()
+		c, err := wire.Dial(addr, wire.Backoff{Attempts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		dh := h
+		dh.Stream = stream
+		if err := c.Send(wire.TypeHello, dh); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := c.RecvTimeout(5 * time.Second)
+		if err != nil || typ != wire.TypeWelcome {
+			t.Fatalf("welcome on stream %d: type %d, err %v", stream, typ, err)
+		}
+		var wel wire.Welcome
+		if err := wire.DecodePayload(payload, &wel); err != nil {
+			t.Fatal(err)
+		}
+		if wel.Codec != wire.CodecBinary || wel.Streams != 2 {
+			t.Fatalf("negotiated codec=%d streams=%d, want binary/2", wel.Codec, wel.Streams)
+		}
+		return c
+	}
+	ctrl := dial(0)
+	dataA, dataB := dial(1), dial(2)
+	area := geo.NewRect(-80, 30, -70, 40)
+	insert := wire.AppendOpBatch(nil, 0, []wire.OpEnv{
+		{Op: model.Op{Kind: model.OpInsert, Query: query(1, "coffee", area)}},
+	})
+	object := wire.AppendOpBatch(nil, 1, []wire.OpEnv{
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{
+			ID: 100, Terms: []string{"coffee"}, Loc: geo.Point{X: -75, Y: 35}}}},
+	})
+	// Out of order on the wire: the object reaches the node first and
+	// must park in the turnstile until the insert is processed.
+	if err := dataB.SendPayload(wire.TypeOpBatch, object); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := dataA.SendPayload(wire.TypeOpBatch, insert); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.SendPayload(wire.TypeDrain, wire.AppendDrain(nil, wire.Drain{Seq: 1, Ops: 2})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ctrl.RecvTimeout(5 * time.Second)
+	if err != nil || typ != wire.TypeDrainAck {
+		t.Fatalf("drain ack: type %d, err %v", typ, err)
+	}
+	ack, err := wire.DecodeBinDrainAck(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Done != 2 || ack.Emitted != 1 {
+		t.Errorf("ack = %+v, want Done 2 Emitted 1", ack)
+	}
+	// The match rides the data connection that carried the object batch.
+	typ, payload, err = dataB.RecvTimeout(5 * time.Second)
+	if err != nil || typ != wire.TypeMatchBatch {
+		t.Fatalf("match batch: type %d, err %v", typ, err)
+	}
+	ms, err := wire.DecodeBinMatchBatch(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].M.ObjectID != 100 || ms[0].M.QueryID != 1 {
+		t.Fatalf("matches = %+v", ms)
+	}
+}
+
+// TestWorkerMultiStreamSessionBarrier drives a negotiated multi-stream
+// session hard: batches round-robin across four data connections with
+// no barrier between the query insert and the objects — the node's
+// sequence reassembly must order them exactly as sent — and the drain
+// barrier still accounts for every op and every match arrives before
+// the ack returns.
+func TestWorkerMultiStreamSessionBarrier(t *testing.T) {
+	_, addr, _ := startWorker(t, WorkerOptions{})
+	h := testHello(1)
+	h.Streams = 4
+	cl, err := wire.DialWorker(addr, h, wire.Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Codec() != wire.CodecBinary || cl.Streams() != 4 {
+		t.Fatalf("negotiated codec=%d streams=%d, want binary/4", cl.Codec(), cl.Streams())
+	}
+	area := geo.NewRect(-80, 30, -70, 40)
+	if err := cl.SendOps(wire.OpBatch{Ops: []wire.OpEnv{
+		{Op: model.Op{Kind: model.OpInsert, Query: query(1, "coffee", area)}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately no barrier here: the insert and the objects ride
+	// different data connections, and only the node's batch-sequence
+	// reassembly keeps the insert ahead of every object it must match.
+	const objects = 300
+	sent := 1
+	for i := 0; i < objects; i += 10 {
+		var ops []wire.OpEnv
+		for j := i; j < i+10; j++ {
+			ops = append(ops, wire.OpEnv{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{
+				ID: uint64(1000 + j), Terms: []string{"coffee"}, Loc: geo.Point{X: -75, Y: 35}}}})
+		}
+		if err := cl.SendOps(wire.OpBatch{Ops: ops}); err != nil {
+			t.Fatal(err)
+		}
+		sent += 10
+	}
+	ack, err := cl.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Done != int64(sent) {
+		t.Errorf("ack.Done = %d, want %d", ack.Done, sent)
+	}
+	if ack.Emitted != objects {
+		t.Errorf("ack.Emitted = %d, want %d", ack.Emitted, objects)
+	}
+	// Every match was enqueued before the ack: drain them non-blocking
+	// up to Emitted without racing a slow stream.
+	var got int
+	for got < int(ack.Emitted) {
+		mb, err := cl.RecvMatches()
+		if err != nil {
+			t.Fatalf("after %d/%d matches: %v", got, ack.Emitted, err)
+		}
+		got += len(mb.Matches)
+	}
+	if err := cl.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,386 @@
+// Binary hot-frame codec (CodecBinary). The data-plane frames — op
+// batches, match batches, and the drain/fence barrier frames — dominate
+// wire traffic, and per-frame gob re-sends type descriptors and reflects
+// over every field. This codec hand-rolls them instead: varint-packed
+// integers, fixed 8-byte little-endian floats and timestamps, strings as
+// length-prefixed UTF-8. Encoding appends to a caller-owned buffer and
+// decoding reads into caller-owned scratch, so a warmed-up session does
+// zero codec allocations per frame in either direction (op-batch decode
+// still allocates the domain objects it returns — that is the data, not
+// codec overhead; the index retains them past the batch).
+//
+// Control frames (handshake, stats, cell migration) stay on gob: they
+// are rare, their payloads are struct-shaped and evolving, and gob's
+// ignore-unknown-fields behaviour is what makes protocol negotiation
+// work at all. See docs/WIRE.md for the byte-level layout.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+// Codec identifiers negotiated in the Hello/Welcome exchange.
+const (
+	// CodecGob is the original self-contained-gob-per-frame encoding;
+	// peers that predate negotiation implicitly run it (a gob-decoded
+	// Hello/Welcome without a Codec field reads as zero).
+	CodecGob = 0
+	// CodecBinary moves the hot frames (op batches, match batches,
+	// drain/drain-ack/fence) to the hand-rolled binary layout in this
+	// file; everything else stays gob.
+	CodecBinary = 1
+)
+
+// ErrBadPayload reports a binary payload that does not decode: truncated,
+// trailing garbage, or a field outside its domain. Like gob decode
+// errors it fails the connection — a corrupt data-plane frame is not
+// recoverable mid-stream.
+var ErrBadPayload = fmt.Errorf("wire: bad binary payload")
+
+// t0Zero is the on-wire sentinel for a zero time.Time (whose UnixNano is
+// not meaningful); it keeps the encoding canonical so encode∘decode is
+// the identity on the wire bytes.
+const t0Zero = math.MinInt64
+
+// Buf is a pooled encode buffer. Producers grab one with GetBuf, append
+// a payload with the Append* encoders, and hand it to a FrameWriter,
+// which returns it to the pool after the frame is written.
+type Buf struct{ B []byte }
+
+var bufPool = sync.Pool{New: func() any { return &Buf{B: make([]byte, 0, 4096)} }}
+
+// GetBuf returns an empty pooled buffer.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf returns a buffer to the pool.
+func PutBuf(b *Buf) {
+	if b == nil || cap(b.B) > MaxFrameSize {
+		return // don't pin a pathological frame's memory
+	}
+	bufPool.Put(b)
+}
+
+func appendTime(dst []byte, t time.Time) []byte {
+	n := int64(t0Zero)
+	if !t.IsZero() {
+		n = t.UnixNano()
+	}
+	return binary.LittleEndian.AppendUint64(dst, uint64(n))
+}
+
+func appendF64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendPoint(dst []byte, p geo.Point) []byte {
+	dst = appendF64(dst, p.X)
+	return appendF64(dst, p.Y)
+}
+
+func appendRect(dst []byte, r geo.Rect) []byte {
+	dst = appendPoint(dst, r.Min)
+	return appendPoint(dst, r.Max)
+}
+
+// Per-op presence bits (one byte on the wire).
+const (
+	opHasObj   = 1 << 0
+	opHasQuery = 1 << 1
+)
+
+// AppendOpBatch appends the binary encoding of one op batch to dst.
+// seq is the batch's position in the session's send order: batches
+// round-robin across data connections and the receiver reassembles
+// them into exactly this order before processing (docs/WIRE.md).
+func AppendOpBatch(dst []byte, seq uint64, ops []OpEnv) []byte {
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for i := range ops {
+		env := &ops[i]
+		dst = append(dst, byte(env.Op.Kind))
+		var pres byte
+		if env.Op.Obj != nil {
+			pres |= opHasObj
+		}
+		if env.Op.Query != nil {
+			pres |= opHasQuery
+		}
+		dst = append(dst, pres)
+		if o := env.Op.Obj; o != nil {
+			dst = binary.AppendUvarint(dst, o.ID)
+			dst = binary.AppendUvarint(dst, uint64(len(o.Terms)))
+			for _, t := range o.Terms {
+				dst = appendStr(dst, t)
+			}
+			dst = appendPoint(dst, o.Loc)
+		}
+		if q := env.Op.Query; q != nil {
+			dst = binary.AppendUvarint(dst, q.ID)
+			dst = binary.AppendUvarint(dst, q.Subscriber)
+			dst = appendRect(dst, q.Region)
+			dst = binary.AppendUvarint(dst, uint64(q.TopK))
+			dst = binary.AppendUvarint(dst, uint64(q.Window))
+			dst = binary.AppendUvarint(dst, uint64(len(q.Expr.Conj)))
+			for _, conj := range q.Expr.Conj {
+				dst = binary.AppendUvarint(dst, uint64(len(conj)))
+				for _, t := range conj {
+					dst = appendStr(dst, t)
+				}
+			}
+		}
+		dst = binary.AppendUvarint(dst, env.Op.Seq)
+		dst = appendTime(dst, env.T0)
+	}
+	return dst
+}
+
+// AppendMatchBatch appends the binary encoding of one match batch to dst.
+func AppendMatchBatch(dst []byte, ms []MatchEnv) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ms)))
+	for i := range ms {
+		me := &ms[i]
+		dst = binary.AppendUvarint(dst, me.M.QueryID)
+		dst = binary.AppendUvarint(dst, me.M.Subscriber)
+		dst = binary.AppendUvarint(dst, me.M.ObjectID)
+		dst = binary.AppendUvarint(dst, uint64(me.M.Worker))
+		dst = appendTime(dst, me.T0)
+	}
+	return dst
+}
+
+// AppendDrain appends the binary encoding of a drain request to dst.
+func AppendDrain(dst []byte, d Drain) []byte {
+	dst = binary.AppendUvarint(dst, d.Seq)
+	return binary.AppendUvarint(dst, uint64(d.Ops))
+}
+
+// AppendDrainAck appends the binary encoding of a drain ack to dst.
+func AppendDrainAck(dst []byte, a DrainAck) []byte {
+	dst = binary.AppendUvarint(dst, a.Seq)
+	dst = binary.AppendUvarint(dst, uint64(a.Done))
+	dst = binary.AppendUvarint(dst, uint64(a.Emitted))
+	return binary.AppendUvarint(dst, uint64(a.Duplicates))
+}
+
+// AppendFence appends the binary encoding of a fence to dst.
+func AppendFence(dst []byte, f Fence) []byte {
+	return binary.AppendUvarint(dst, f.Epoch)
+}
+
+// breader walks a binary payload; a read past the end (or a malformed
+// varint) latches bad and zero-fills every later read, so decoders check
+// once at the end instead of after every field.
+type breader struct {
+	p   []byte
+	off int
+	bad bool
+}
+
+func (r *breader) fail() { r.bad = true }
+
+func (r *breader) u8() byte {
+	if r.bad || r.off >= len(r.p) {
+		r.fail()
+		return 0
+	}
+	b := r.p[r.off]
+	r.off++
+	return b
+}
+
+func (r *breader) uvarint() uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.p[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *breader) u64() uint64 {
+	if r.bad || r.off+8 > len(r.p) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.p[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *breader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *breader) time() time.Time {
+	n := int64(r.u64())
+	if r.bad || n == t0Zero {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+func (r *breader) str() string {
+	n := r.uvarint()
+	if r.bad || n > uint64(len(r.p)-r.off) {
+		r.fail()
+		return ""
+	}
+	s := string(r.p[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *breader) point() geo.Point { return geo.Point{X: r.f64(), Y: r.f64()} }
+
+func (r *breader) rect() geo.Rect { return geo.Rect{Min: r.point(), Max: r.point()} }
+
+// done reports whether the payload decoded fully and exactly: a valid
+// payload has no trailing bytes (the encoding is canonical, which is
+// what lets the fuzz round-trip assert byte equality).
+func (r *breader) done() bool { return !r.bad && r.off == len(r.p) }
+
+// count reads a batch length and sanity-bounds it against the remaining
+// payload (each element costs at least min bytes), so a hostile length
+// prefix cannot make the decoder allocate unboundedly.
+func (r *breader) count(min int) int {
+	n := r.uvarint()
+	if r.bad || n > uint64((len(r.p)-r.off)/min) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
+// DecodeBinOpBatch decodes a binary op batch payload, appending to dst
+// (pass a reused scratch slice; its elements are overwritten). The
+// returned Object/Query values are freshly allocated — the receiver's
+// index retains them past the call. seq is the batch's position in the
+// session's send order (see AppendOpBatch).
+func DecodeBinOpBatch(p []byte, dst []OpEnv) (ops []OpEnv, seq uint64, err error) {
+	r := breader{p: p}
+	seq = r.uvarint()
+	n := r.count(11) // kind + presence + seq + 8-byte t0
+	for i := 0; i < n && !r.bad; i++ {
+		var env OpEnv
+		kind := r.u8()
+		if kind > byte(model.OpDelete) {
+			r.fail()
+			break
+		}
+		env.Op.Kind = model.OpKind(kind)
+		pres := r.u8()
+		if pres&^(opHasObj|opHasQuery) != 0 {
+			r.fail()
+			break
+		}
+		if pres&opHasObj != 0 {
+			o := &model.Object{ID: r.uvarint()}
+			if nt := r.count(1); nt > 0 {
+				o.Terms = make([]string, nt)
+				for j := range o.Terms {
+					o.Terms[j] = r.str()
+				}
+			}
+			o.Loc = r.point()
+			env.Op.Obj = o
+		}
+		if pres&opHasQuery != 0 {
+			q := &model.Query{ID: r.uvarint(), Subscriber: r.uvarint()}
+			q.Region = r.rect()
+			q.TopK = int(r.uvarint())
+			q.Window = time.Duration(r.uvarint())
+			if nc := r.count(1); nc > 0 {
+				q.Expr.Conj = make([][]string, nc)
+				for j := range q.Expr.Conj {
+					nt := r.count(1)
+					conj := make([]string, nt)
+					for k := range conj {
+						conj[k] = r.str()
+					}
+					q.Expr.Conj[j] = conj
+				}
+			}
+			env.Op.Query = q
+		}
+		env.Op.Seq = r.uvarint()
+		env.T0 = r.time()
+		dst = append(dst, env)
+	}
+	if !r.done() {
+		return dst, 0, fmt.Errorf("%w: op batch", ErrBadPayload)
+	}
+	return dst, seq, nil
+}
+
+// DecodeBinMatchBatch decodes a binary match batch payload, appending to
+// dst (reused scratch: zero allocations once the slice has warmed up).
+func DecodeBinMatchBatch(p []byte, dst []MatchEnv) ([]MatchEnv, error) {
+	r := breader{p: p}
+	n := r.count(12) // 4 varints + 8-byte t0
+	for i := 0; i < n && !r.bad; i++ {
+		var me MatchEnv
+		me.M.QueryID = r.uvarint()
+		me.M.Subscriber = r.uvarint()
+		me.M.ObjectID = r.uvarint()
+		me.M.Worker = int(r.uvarint())
+		me.T0 = r.time()
+		dst = append(dst, me)
+	}
+	if !r.done() {
+		return dst, fmt.Errorf("%w: match batch", ErrBadPayload)
+	}
+	return dst, nil
+}
+
+// DecodeBinDrain decodes a binary drain request payload.
+func DecodeBinDrain(p []byte) (Drain, error) {
+	r := breader{p: p}
+	d := Drain{Seq: r.uvarint(), Ops: int64(r.uvarint())}
+	if !r.done() {
+		return Drain{}, fmt.Errorf("%w: drain", ErrBadPayload)
+	}
+	return d, nil
+}
+
+// DecodeBinDrainAck decodes a binary drain ack payload.
+func DecodeBinDrainAck(p []byte) (DrainAck, error) {
+	r := breader{p: p}
+	a := DrainAck{
+		Seq:        r.uvarint(),
+		Done:       int64(r.uvarint()),
+		Emitted:    int64(r.uvarint()),
+		Duplicates: int64(r.uvarint()),
+	}
+	if !r.done() {
+		return DrainAck{}, fmt.Errorf("%w: drain ack", ErrBadPayload)
+	}
+	return a, nil
+}
+
+// DecodeBinFence decodes a binary fence payload.
+func DecodeBinFence(p []byte) (Fence, error) {
+	r := breader{p: p}
+	f := Fence{Epoch: r.uvarint()}
+	if !r.done() {
+		return Fence{}, fmt.Errorf("%w: fence", ErrBadPayload)
+	}
+	return f, nil
+}

@@ -1,0 +1,354 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ps2stream/internal/geo"
+	"ps2stream/internal/model"
+)
+
+// sampleOpBatch exercises every field of the op-batch layout: all three
+// op kinds, both presence bits, multi-conjunction expressions, zero and
+// non-zero timestamps.
+func sampleOpBatch() []OpEnv {
+	q := &model.Query{
+		ID:         42,
+		Expr:       model.Expr{Conj: [][]string{{"coffee", "brooklyn"}, {"espresso"}}},
+		Region:     geo.NewRect(-74.2, 40.5, -73.7, 40.95),
+		Subscriber: 7,
+		TopK:       5,
+		Window:     3 * time.Minute,
+	}
+	return []OpEnv{
+		{Op: model.Op{Kind: model.OpInsert, Query: q, Seq: 1}, T0: time.Unix(1700000000, 12345)},
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{
+			ID: 9, Terms: []string{"best", "coffee"}, Loc: geo.Point{X: -73.95, Y: 40.71},
+		}, Seq: 2}, T0: time.Unix(1700000001, 0)},
+		{Op: model.Op{Kind: model.OpDelete, Query: q, Seq: 3}},
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{ID: 10}, Seq: 4}},
+	}
+}
+
+func sampleMatchBatch() []MatchEnv {
+	return []MatchEnv{
+		{M: model.Match{QueryID: 42, Subscriber: 7, ObjectID: 9, Worker: 3}, T0: time.Unix(5, 5)},
+		{M: model.Match{QueryID: 1, ObjectID: 2}},
+	}
+}
+
+// TestBinaryOpBatchRoundTrip: encode∘decode is the identity on every
+// field, and re-encoding the decoded batch reproduces the bytes (the
+// encoding is canonical).
+func TestBinaryOpBatchRoundTrip(t *testing.T) {
+	ops := sampleOpBatch()
+	p := AppendOpBatch(nil, 5, ops)
+	got, seq, err := DecodeBinOpBatch(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 5 {
+		t.Errorf("batch seq = %d, want 5", seq)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(got), len(ops))
+	}
+	gq := got[0].Op.Query
+	q := ops[0].Op.Query
+	if gq.ID != q.ID || gq.Subscriber != q.Subscriber || gq.TopK != q.TopK ||
+		gq.Window != q.Window || gq.Region != q.Region || gq.Expr.String() != q.Expr.String() {
+		t.Errorf("query = %+v, want %+v", gq, q)
+	}
+	if !got[0].T0.Equal(ops[0].T0) || !got[2].T0.IsZero() {
+		t.Errorf("timestamps mangled: %v, %v", got[0].T0, got[2].T0)
+	}
+	gobj := got[1].Op.Obj
+	if gobj.ID != 9 || gobj.Loc != (geo.Point{X: -73.95, Y: 40.71}) || len(gobj.Terms) != 2 {
+		t.Errorf("object = %+v", gobj)
+	}
+	if got[3].Op.Obj.Terms != nil {
+		t.Errorf("empty terms decoded as %v, want nil", got[3].Op.Obj.Terms)
+	}
+	for i := range got {
+		if got[i].Op.Kind != ops[i].Op.Kind || got[i].Op.Seq != ops[i].Op.Seq {
+			t.Errorf("op %d: kind/seq = %v/%d, want %v/%d",
+				i, got[i].Op.Kind, got[i].Op.Seq, ops[i].Op.Kind, ops[i].Op.Seq)
+		}
+	}
+	if re := AppendOpBatch(nil, seq, got); !bytes.Equal(re, p) {
+		t.Error("re-encoding the decoded batch changed the bytes")
+	}
+}
+
+func TestBinaryMatchAndControlRoundTrip(t *testing.T) {
+	ms := sampleMatchBatch()
+	p := AppendMatchBatch(nil, ms)
+	got, err := DecodeBinMatchBatch(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].M != ms[0].M || !got[0].T0.Equal(ms[0].T0) || !got[1].T0.IsZero() {
+		t.Fatalf("matches = %+v, want %+v", got, ms)
+	}
+	if re := AppendMatchBatch(nil, got); !bytes.Equal(re, p) {
+		t.Error("match batch re-encode changed the bytes")
+	}
+
+	d := Drain{Seq: 9, Ops: 12345}
+	if got, err := DecodeBinDrain(AppendDrain(nil, d)); err != nil || got != d {
+		t.Errorf("drain = %+v, %v; want %+v", got, err, d)
+	}
+	a := DrainAck{Seq: 9, Done: 12345, Emitted: 678, Duplicates: 2}
+	if got, err := DecodeBinDrainAck(AppendDrainAck(nil, a)); err != nil || got != a {
+		t.Errorf("drain ack = %+v, %v; want %+v", got, err, a)
+	}
+	fe := Fence{Epoch: 3}
+	if got, err := DecodeBinFence(AppendFence(nil, fe)); err != nil || got != fe {
+		t.Errorf("fence = %+v, %v; want %+v", got, err, fe)
+	}
+}
+
+// TestBinaryMatchesGobDecoding is the cross-codec compatibility check
+// behind negotiation: the same frame pushed through the gob path (what
+// an old peer runs) and the binary path (what a negotiated session runs)
+// must decode to identical values, so the two codecs are interchangeable
+// per hop and a mixed-version cluster agrees on every batch.
+func TestBinaryMatchesGobDecoding(t *testing.T) {
+	ob := OpBatch{Ops: sampleOpBatch()}
+	gobP, err := EncodePayload(ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaGob OpBatch
+	if err := DecodePayload(gobP, &viaGob); err != nil {
+		t.Fatal(err)
+	}
+	viaBin, _, err := DecodeBinOpBatch(AppendOpBatch(nil, 0, ob.Ops), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare through the canonical binary encoding: it covers every
+	// field and sidesteps time.Time representation differences.
+	if !bytes.Equal(AppendOpBatch(nil, 0, viaGob.Ops), AppendOpBatch(nil, 0, viaBin)) {
+		t.Error("gob and binary decode to different op batches")
+	}
+
+	mb := MatchBatch{Matches: sampleMatchBatch()}
+	gobP, err = EncodePayload(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mGob MatchBatch
+	if err := DecodePayload(gobP, &mGob); err != nil {
+		t.Fatal(err)
+	}
+	mBin, err := DecodeBinMatchBatch(AppendMatchBatch(nil, mb.Matches), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(AppendMatchBatch(nil, mGob.Matches), AppendMatchBatch(nil, mBin)) {
+		t.Error("gob and binary decode to different match batches")
+	}
+}
+
+// TestBinaryDecodeRejectsMalformed: truncations, trailing garbage, and
+// out-of-domain fields all fail with ErrBadPayload instead of
+// mis-decoding or panicking.
+func TestBinaryDecodeRejectsMalformed(t *testing.T) {
+	whole := AppendOpBatch(nil, 9, sampleOpBatch())
+	for cut := 1; cut < len(whole); cut++ {
+		if _, _, err := DecodeBinOpBatch(whole[:cut], nil); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded cleanly", cut, len(whole))
+		}
+	}
+	if _, _, err := DecodeBinOpBatch(append(AppendOpBatch(nil, 9, sampleOpBatch()), 0), nil); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// Corrupt in-domain fields of a valid single-op batch: byte 2 is the
+	// op kind, byte 3 the presence bits (batch seq and count are both
+	// single-byte varints here).
+	one := AppendOpBatch(nil, 0, sampleOpBatch()[3:4])
+	bad := append([]byte(nil), one...)
+	bad[2] = byte(model.OpDelete) + 1
+	if _, _, err := DecodeBinOpBatch(bad, nil); err == nil {
+		t.Error("out-of-range op kind accepted")
+	}
+	bad = append(bad[:0], one...)
+	bad[3] = 0xFF
+	if _, _, err := DecodeBinOpBatch(bad, nil); err == nil {
+		t.Error("unknown presence bits accepted")
+	}
+	// A hostile length prefix must be bounded by the payload size, not
+	// trusted for allocation.
+	if _, err := DecodeBinMatchBatch([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, nil); err == nil {
+		t.Error("giant match count accepted")
+	}
+	if _, err := DecodeBinDrain([]byte{1}); err == nil {
+		t.Error("truncated drain accepted")
+	}
+	if _, err := DecodeBinDrainAck([]byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("drain ack with trailing bytes accepted")
+	}
+}
+
+// TestHotFrameCodecZeroAlloc is the regression gate on the codec's core
+// property: steady-state encode and decode of the hot frames do no
+// allocation (op-batch decode is exempt — it allocates the domain
+// objects the index will retain, which is data, not codec overhead).
+func TestHotFrameCodecZeroAlloc(t *testing.T) {
+	ops := sampleOpBatch()
+	ms := sampleMatchBatch()
+	opP := AppendOpBatch(nil, 7, ops)
+	mP := AppendMatchBatch(nil, ms)
+	dP := AppendDrain(nil, Drain{Seq: 9, Ops: 12345})
+	aP := AppendDrainAck(nil, DrainAck{Seq: 9, Done: 12345, Emitted: 678})
+	fP := AppendFence(nil, Fence{Epoch: 3})
+	enc := make([]byte, 0, 4*len(opP))
+	scratch := make([]MatchEnv, 0, len(ms))
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		enc = AppendOpBatch(enc[:0], 7, ops)
+		enc = AppendMatchBatch(enc[:0], ms)
+		enc = AppendDrain(enc[:0], Drain{Seq: 9, Ops: 12345})
+		enc = AppendDrainAck(enc[:0], DrainAck{Seq: 9, Done: 12345})
+		enc = AppendFence(enc[:0], Fence{Epoch: 3})
+		scratch, err = DecodeBinMatchBatch(mP, scratch[:0])
+		if _, err = DecodeBinDrain(dP); err != nil {
+			panic(err)
+		}
+		if _, err = DecodeBinDrainAck(aP); err != nil {
+			panic(err)
+		}
+		if _, err = DecodeBinFence(fP); err != nil {
+			panic(err)
+		}
+	})
+	limit := 0.0
+	if raceEnabled {
+		limit = 8 // race instrumentation may allocate; the -race matrix
+		// still runs the test for its correctness side.
+	}
+	if allocs > limit {
+		t.Errorf("hot-frame codec allocates %.1f times per round, want <= %v", allocs, limit)
+	}
+}
+
+// binKind* index the frame-kind selector byte FuzzBinaryFrame and its
+// seed corpus share.
+const (
+	binKindOp = iota
+	binKindMatch
+	binKindDrain
+	binKindDrainAck
+	binKindFence
+	binKinds
+)
+
+// binarySeedFrames returns the seed corpus for FuzzBinaryFrame: one
+// valid payload per frame kind, edge cases (empty batch, non-minimal
+// varint, zero-time sentinel), and plain garbage.
+func binarySeedFrames() [][]byte {
+	seed := func(kind byte, p []byte) []byte { return append([]byte{kind}, p...) }
+	return [][]byte{
+		seed(binKindOp, AppendOpBatch(nil, 3, sampleOpBatch())),
+		seed(binKindOp, AppendOpBatch(nil, 0, nil)),
+		seed(binKindMatch, AppendMatchBatch(nil, sampleMatchBatch())),
+		seed(binKindDrain, AppendDrain(nil, Drain{Seq: 9, Ops: 12345})),
+		// Non-minimal varint: decodes, but re-encodes shorter. The fuzz
+		// target asserts re-encoding is a fixed point, not that arbitrary
+		// accepted inputs are already canonical.
+		seed(binKindDrain, []byte{0x80, 0x00, 0x01}),
+		seed(binKindDrainAck, AppendDrainAck(nil, DrainAck{Seq: 9, Done: 12345, Emitted: 678, Duplicates: 2})),
+		seed(binKindFence, AppendFence(nil, Fence{Epoch: 3})),
+		seed(binKindOp, []byte{0xFF, 0xFF, 0xFF, 0xFF}),
+		seed(binKindMatch, []byte("GET / HTTP/1.1\r\n\r\n")),
+	}
+}
+
+// FuzzBinaryFrame feeds arbitrary bytes to every binary hot-frame
+// decoder (first byte selects the kind). Invalid payloads must error
+// without panicking; for accepted payloads, re-encoding the decoded
+// value must be a fixed point of encode∘decode — the canonical-encoding
+// property the protocol relies on (it is what lets a drain ack or batch
+// be compared byte-wise across hops).
+func FuzzBinaryFrame(f *testing.F) {
+	for _, s := range binarySeedFrames() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		kind, p := data[0]%binKinds, data[1:]
+		reencode := func() ([]byte, bool) {
+			switch kind {
+			case binKindOp:
+				v, seq, err := DecodeBinOpBatch(p, nil)
+				if err != nil {
+					return nil, false
+				}
+				return AppendOpBatch(nil, seq, v), true
+			case binKindMatch:
+				v, err := DecodeBinMatchBatch(p, nil)
+				if err != nil {
+					return nil, false
+				}
+				return AppendMatchBatch(nil, v), true
+			case binKindDrain:
+				v, err := DecodeBinDrain(p)
+				if err != nil {
+					return nil, false
+				}
+				return AppendDrain(nil, v), true
+			case binKindDrainAck:
+				v, err := DecodeBinDrainAck(p)
+				if err != nil {
+					return nil, false
+				}
+				return AppendDrainAck(nil, v), true
+			default:
+				v, err := DecodeBinFence(p)
+				if err != nil {
+					return nil, false
+				}
+				return AppendFence(nil, v), true
+			}
+		}
+		enc1, ok := reencode()
+		if !ok {
+			return
+		}
+		p = enc1
+		enc2, ok := reencode()
+		if !ok {
+			t.Fatalf("kind %d: re-encoded payload does not decode", kind)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("kind %d: encode∘decode is not a fixed point:\n%x\n%x", kind, enc1, enc2)
+		}
+	})
+}
+
+// TestWriteBinaryFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzBinaryFrame when the layout changes. Run with:
+//
+//	WRITE_FUZZ_CORPUS=1 go test ./internal/wire -run TestWriteBinaryFuzzCorpus
+func TestWriteBinaryFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the committed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzBinaryFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range binarySeedFrames() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

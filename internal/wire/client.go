@@ -23,20 +23,46 @@ var ErrClosed = errors.New("wire: connection closed")
 // fatal.
 var ErrWorkerDown = errors.New("wire: worker down")
 
+// MaxStreams caps the data connections per worker hop; beyond this the
+// per-connection overhead outweighs the parallelism.
+const MaxStreams = 16
+
 // WorkerClient is the coordinator's half of a dispatcher→worker hop: it
 // streams operation batches to a remote worker node and receives the
-// worker's match batches and control acknowledgements on the same
-// connection. Safe for one sender goroutine (SendOps), one receiver
-// goroutine (RecvMatches) and concurrent control callers (Drain).
+// worker's match batches and control acknowledgements.
+//
+// Against a negotiation-aware node the hop is a multi-stream session:
+// one control connection (handshake, drains, stats, migration, fences,
+// heartbeats) plus Streams data connections, each with a dedicated
+// writer goroutine so encode and socket I/O pipeline instead of blocking
+// the sender. Op batches round-robin whole across the data connections,
+// each stamped with its position in the session's send order; the node
+// reassembles them into exactly that order before processing, so the
+// worker observes the same total op order a single connection (or an
+// in-process channel) would deliver. Hot frames ride the negotiated
+// binary codec.
+//
+// Against an old node the client degrades to the legacy single
+// connection with synchronous gob sends, byte-compatible with the
+// pre-negotiation protocol.
+//
+// Safe for one sender goroutine (SendOps), one receiver goroutine
+// (RecvMatches) and concurrent control callers (Drain, Stats, ...).
 type WorkerClient struct {
-	conn *Conn
+	conn *Conn   // control connection (the only connection in legacy mode)
+	data []*Conn // data connections (empty in legacy mode)
+	// writers pipeline pre-encoded frames onto the data connections.
+	writers []*FrameWriter
+	// codec/streams are the negotiated session parameters.
+	codec   int
+	streams int
 	// addr is the address this client dialled — recovery keeps it to
 	// redial the same node after a crash (see Addr()).
 	addr string
 	// hello is the handshake this client opened the connection with —
 	// the geometry the peer pinned its index to (see Hello()).
 	hello Hello
-	// matches buffers decoded match batches between the read loop and
+	// matches buffers decoded match batches between the read loops and
 	// RecvMatches; bounded so a slow consumer backpressures the wire.
 	matches chan MatchBatch
 	acks    chan DrainAck
@@ -55,30 +81,72 @@ type WorkerClient struct {
 	ctrlMu sync.Mutex
 	seq    atomic.Uint64
 
+	// sendMu serialises SendOps' batch numbering (sends are normally
+	// single-goroutine; the lock makes replay hand-offs safe too).
+	sendMu sync.Mutex
+	// batchSeq numbers op batches in send order (guarded by sendMu); the
+	// node reassembles concurrently-arriving batches back into this
+	// order, so multi-stream transport preserves the total op order.
+	batchSeq uint64
+	// sentOps counts ops handed to the session — the count the Ops
+	// barrier fields carry, replacing cross-connection FIFO.
+	sentOps atomic.Int64
+	// recvd counts match envelopes received this session; Drain waits
+	// for it to reach the ack's Emitted so the old "matches arrive
+	// before the ack" FIFO guarantee holds on multi-stream sessions too.
+	recvd atomic.Int64
+
 	readDone chan struct{}
 	readErr  error // valid after readDone closes
-	// closed unblocks the read loop's channel send when the consumer is
+
+	// failMu/failErr record the first data-connection failure; fail()
+	// tears every connection down so all loops converge on it.
+	failMu  sync.Mutex
+	failErr error
+
+	// closed unblocks the read loops' channel sends when the consumer is
 	// gone (Close called mid-stream, e.g. a cancelled run).
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	dataWG sync.WaitGroup
 
 	goodbyeOnce sync.Once
 	goodbyeErr  error
 }
 
 // DialWorker connects to a worker node with backoff and performs the
-// handshake. The returned client's read loop is already running. When
-// hello.HeartbeatMillis is set the connection's read deadline is pinned
-// to four heartbeat intervals, so a silently dead peer surfaces as
-// ErrWorkerDown within that window.
+// handshake, negotiating the binary codec and a multi-stream session
+// when the node supports them (hello.Streams data connections; 0 asks
+// for one per dispatcher-sized default, i.e. a single stream). The
+// returned client's read loops are already running. When
+// hello.HeartbeatMillis is set the control connection's read deadline is
+// pinned to four heartbeat intervals, so a silently dead peer surfaces
+// as ErrWorkerDown within that window.
 func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
-	conn, err := handshake(addr, hello, b, RoleWorker)
-	if err != nil {
-		return nil, err
-	}
 	hello.Magic, hello.Version = Magic, Version
 	if hello.Role == "" {
 		hello.Role = RoleCoordinator
+	}
+	hello.Codec = CodecBinary
+	if hello.Streams <= 0 {
+		hello.Streams = 1
+	}
+	if hello.Streams > MaxStreams {
+		hello.Streams = MaxStreams
+	}
+	hello.Stream = 0
+	for hello.SessionID == 0 {
+		hello.SessionID = rand.Uint64()
+	}
+	conn, wel, err := handshake(addr, hello, b, RoleWorker)
+	if err != nil {
+		return nil, err
+	}
+	if wel.Streams > hello.Streams || (wel.Streams > 0 && wel.Codec != CodecBinary) {
+		conn.Close()
+		return nil, fmt.Errorf("wire: %s granted invalid session (codec %d, %d streams for %d requested)",
+			addr, wel.Codec, wel.Streams, hello.Streams)
 	}
 	if hello.HeartbeatMillis > 0 {
 		conn.ReadTimeout = 4 * time.Duration(hello.HeartbeatMillis) * time.Millisecond
@@ -90,6 +158,8 @@ func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
 	// awaitReply skips stale seqs, so extra buffered replies are benign.
 	w := &WorkerClient{
 		conn:        conn,
+		codec:       wel.Codec,
+		streams:     wel.Streams,
 		addr:        addr,
 		hello:       hello,
 		matches:     make(chan MatchBatch, 128),
@@ -101,7 +171,35 @@ func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
 		readDone:    make(chan struct{}),
 		closed:      make(chan struct{}),
 	}
+	// Attach the granted data connections before any loop starts, so a
+	// partial dial can tear down cleanly.
+	for i := 1; i <= w.streams; i++ {
+		dh := hello
+		dh.Stream = i
+		dc, _, err := handshake(addr, dh, b, RoleWorker)
+		if err != nil {
+			conn.Close()
+			for _, c := range w.data {
+				c.Close()
+			}
+			return nil, fmt.Errorf("wire: attaching stream %d/%d to %s: %w", i, w.streams, addr, err)
+		}
+		w.data = append(w.data, dc)
+	}
+	for _, dc := range w.data {
+		w.writers = append(w.writers, NewFrameWriter(dc, 0))
+	}
 	go w.readLoop()
+	if len(w.data) > 0 {
+		w.dataWG.Add(len(w.data))
+		for _, dc := range w.data {
+			go w.dataLoop(dc)
+		}
+		go func() {
+			w.dataWG.Wait()
+			close(w.matches)
+		}()
+	}
 	return w, nil
 }
 
@@ -115,6 +213,13 @@ func (w *WorkerClient) Hello() Hello { return w.hello }
 // redial the same worker node after a connection failure.
 func (w *WorkerClient) Addr() string { return w.addr }
 
+// Codec reports the negotiated data-plane codec.
+func (w *WorkerClient) Codec() int { return w.codec }
+
+// Streams reports the granted data-connection count (0 = legacy single
+// connection).
+func (w *WorkerClient) Streams() int { return w.streams }
+
 // handshake dials addr and performs the Hello/Welcome round, expecting
 // the peer to identify as wantRole. Transport failures during the round
 // retry under the same backoff budget as the connect itself: a crashed
@@ -123,7 +228,7 @@ func (w *WorkerClient) Addr() string { return w.addr }
 // and a recovery redial must ride that window out rather than give up.
 // Protocol refusals — wrong frame, wrong magic/version, wrong role —
 // stay fatal; retrying a peer that answered wrongly cannot help.
-func handshake(addr string, hello Hello, b Backoff, wantRole string) (*Conn, error) {
+func handshake(addr string, hello Hello, b Backoff, wantRole string) (*Conn, Welcome, error) {
 	hello.Magic = Magic
 	hello.Version = Version
 	if hello.Role == "" {
@@ -140,7 +245,7 @@ func handshake(addr string, hello Hello, b Backoff, wantRole string) (*Conn, err
 			select {
 			case <-time.After(delay + jitter):
 			case <-ctx.Done():
-				return nil, fmt.Errorf("wire: handshake with %s: %w (deadline after %d attempts)", addr, lastErr, i)
+				return nil, Welcome{}, fmt.Errorf("wire: handshake with %s: %w (deadline after %d attempts)", addr, lastErr, i)
 			}
 			if delay *= 2; delay > b.Max {
 				delay = b.Max
@@ -150,98 +255,132 @@ func handshake(addr string, hello Hello, b Backoff, wantRole string) (*Conn, err
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
-				return nil, fmt.Errorf("wire: dialing %s: %w (deadline after %d attempts)", addr, lastErr, i+1)
+				return nil, Welcome{}, fmt.Errorf("wire: dialing %s: %w (deadline after %d attempts)", addr, lastErr, i+1)
 			}
 			continue
 		}
-		fatal, err := helloRound(conn, addr, hello, wantRole)
+		wel, fatal, err := helloRound(conn, addr, hello, wantRole)
 		if err == nil {
-			return conn, nil
+			return conn, wel, nil
 		}
 		conn.Close()
 		lastErr = err
 		if fatal {
-			return nil, err
+			return nil, Welcome{}, err
 		}
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("wire: handshake with %s: %w (deadline after %d attempts)", addr, lastErr, i+1)
+			return nil, Welcome{}, fmt.Errorf("wire: handshake with %s: %w (deadline after %d attempts)", addr, lastErr, i+1)
 		}
 	}
-	return nil, fmt.Errorf("wire: handshake with %s: %w (after %d attempts)", addr, lastErr, b.Attempts)
+	return nil, Welcome{}, fmt.Errorf("wire: handshake with %s: %w (after %d attempts)", addr, lastErr, b.Attempts)
 }
 
 // helloRound performs one Hello/Welcome exchange on an established
 // connection. fatal=false marks transport failures the dial loop should
 // retry; fatal=true marks protocol refusals. The connection is the
 // caller's to close on error.
-func helloRound(conn *Conn, addr string, hello Hello, wantRole string) (fatal bool, err error) {
+func helloRound(conn *Conn, addr string, hello Hello, wantRole string) (wel Welcome, fatal bool, err error) {
 	if err := conn.Send(TypeHello, hello); err != nil {
-		return false, fmt.Errorf("wire: sending hello to %s: %w", addr, err)
+		return Welcome{}, false, fmt.Errorf("wire: sending hello to %s: %w", addr, err)
 	}
 	typ, payload, err := conn.RecvTimeout(DefaultHandshakeTimeout)
 	if err != nil {
-		return false, fmt.Errorf("wire: awaiting welcome from %s: %w", addr, err)
+		return Welcome{}, false, fmt.Errorf("wire: awaiting welcome from %s: %w", addr, err)
 	}
 	if typ != TypeWelcome {
-		return true, fmt.Errorf("wire: %s answered hello with frame type %d", addr, typ)
+		return Welcome{}, true, fmt.Errorf("wire: %s answered hello with frame type %d", addr, typ)
 	}
-	var wel Welcome
 	if err := DecodePayload(payload, &wel); err != nil {
-		return true, err
+		return Welcome{}, true, err
 	}
 	if err := CheckHandshake(wel.Magic, wel.Version); err != nil {
-		return true, err
+		return Welcome{}, true, err
 	}
 	if wel.Role != wantRole {
-		return true, fmt.Errorf("wire: %s identifies as %q, want %q", addr, wel.Role, wantRole)
+		return Welcome{}, true, fmt.Errorf("wire: %s identifies as %q, want %q", addr, wel.Role, wantRole)
 	}
-	return false, nil
+	return wel, false, nil
 }
 
+// fail records the session's first failure and tears every connection
+// down, so all read loops converge on it.
+func (w *WorkerClient) fail(err error) {
+	w.failMu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.failMu.Unlock()
+	w.conn.Close()
+	for _, c := range w.data {
+		c.Close()
+	}
+}
+
+func (w *WorkerClient) sessionErr() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failErr
+}
+
+// classifyReadErr turns a read-loop error into the session's terminal
+// error, preferring an already-recorded data-connection failure over the
+// teardown noise it causes elsewhere.
+func (w *WorkerClient) classifyReadErr(err error, sawGoodbye bool) error {
+	if ferr := w.sessionErr(); ferr != nil {
+		return ferr
+	}
+	if err == io.EOF {
+		if sawGoodbye {
+			return nil
+		}
+		// A clean FIN without a Goodbye is a crash, not a graceful end
+		// (kill -9 at a frame boundary).
+		return fmt.Errorf("%w: stream ended without goodbye", ErrWorkerDown)
+	}
+	select {
+	case <-w.closed:
+		// Close() tore the connection down locally; the resulting read
+		// error is ours, not the peer's.
+		return err
+	default:
+		return fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	}
+}
+
+// readLoop serves the control connection (the only connection in legacy
+// mode, where it also carries the match stream).
 func (w *WorkerClient) readLoop() {
 	defer close(w.readDone)
-	defer close(w.matches)
+	if w.streams == 0 {
+		defer close(w.matches)
+	}
 	sawGoodbye := false
 	for {
 		typ, payload, err := w.conn.Recv()
 		if err != nil {
-			if err == io.EOF {
-				if !sawGoodbye {
-					// A clean FIN without a Goodbye is a crash, not a
-					// graceful end (kill -9 at a frame boundary).
-					w.readErr = fmt.Errorf("%w: stream ended without goodbye", ErrWorkerDown)
-				}
-				return
-			}
-			select {
-			case <-w.closed:
-				// Close() tore the connection down locally; the resulting
-				// read error is ours, not the peer's.
-				w.readErr = err
-			default:
-				w.readErr = fmt.Errorf("%w: %v", ErrWorkerDown, err)
+			w.readErr = w.classifyReadErr(err, sawGoodbye)
+			if w.readErr != nil {
+				// Data connections of a failed session are dead weight;
+				// tear them down so their loops end too.
+				w.fail(w.readErr)
 			}
 			return
 		}
 		switch typ {
 		case TypeMatchBatch:
-			var mb MatchBatch
-			if err := DecodePayload(payload, &mb); err != nil {
-				w.readErr = err
-				return
-			}
-			select {
-			case w.matches <- mb:
-			case <-w.closed:
-				// The consumer is gone (Close mid-stream, e.g. a
-				// cancelled run): stop rather than block forever on the
-				// full channel.
+			if !w.deliverMatches(payload) {
 				return
 			}
 		case TypeDrainAck:
 			var ack DrainAck
-			if err := DecodePayload(payload, &ack); err != nil {
+			if w.codec == CodecBinary {
+				ack, err = DecodeBinDrainAck(payload)
+			} else {
+				err = DecodePayload(payload, &ack)
+			}
+			if err != nil {
 				w.readErr = err
+				w.fail(err)
 				return
 			}
 			select {
@@ -252,6 +391,7 @@ func (w *WorkerClient) readLoop() {
 			var sr StatsReply
 			if err := DecodePayload(payload, &sr); err != nil {
 				w.readErr = err
+				w.fail(err)
 				return
 			}
 			select {
@@ -262,6 +402,7 @@ func (w *WorkerClient) readLoop() {
 			var cr CellStatsReply
 			if err := DecodePayload(payload, &cr); err != nil {
 				w.readErr = err
+				w.fail(err)
 				return
 			}
 			select {
@@ -272,6 +413,7 @@ func (w *WorkerClient) readLoop() {
 			var cs CellShare
 			if err := DecodePayload(payload, &cs); err != nil {
 				w.readErr = err
+				w.fail(err)
 				return
 			}
 			select {
@@ -282,6 +424,7 @@ func (w *WorkerClient) readLoop() {
 			var ia InstallAck
 			if err := DecodePayload(payload, &ia); err != nil {
 				w.readErr = err
+				w.fail(err)
 				return
 			}
 			select {
@@ -301,14 +444,97 @@ func (w *WorkerClient) readLoop() {
 	}
 }
 
-// SendOps transfers one operation batch — one frame, flushed. A send
+// dataLoop serves one data connection of a multi-stream session: the
+// worker's match batches for the ops this stream carried.
+func (w *WorkerClient) dataLoop(c *Conn) {
+	defer w.dataWG.Done()
+	for {
+		typ, payload, err := c.Recv()
+		if err != nil {
+			if cerr := w.classifyReadErr(err, false); cerr != nil {
+				w.fail(cerr)
+			}
+			return
+		}
+		switch typ {
+		case TypeMatchBatch:
+			if !w.deliverMatches(payload) {
+				return
+			}
+		case TypePing:
+		case TypeGoodbye:
+			return
+		}
+	}
+}
+
+// deliverMatches decodes one match batch by the session codec and hands
+// it to the consumer, reporting false when the loop should stop.
+func (w *WorkerClient) deliverMatches(payload []byte) bool {
+	var mb MatchBatch
+	var err error
+	if w.codec == CodecBinary {
+		mb.Matches, err = DecodeBinMatchBatch(payload, nil)
+	} else {
+		err = DecodePayload(payload, &mb)
+	}
+	if err != nil {
+		w.readErr = err
+		w.fail(err)
+		return false
+	}
+	w.recvd.Add(int64(len(mb.Matches)))
+	select {
+	case w.matches <- mb:
+		return true
+	case <-w.closed:
+		// The consumer is gone (Close mid-stream, e.g. a cancelled
+		// run): stop rather than block forever on the full channel.
+		return false
+	}
+}
+
+// SendOps transfers one operation batch. On a multi-stream session the
+// whole batch is stamped with its send-order sequence number and queued
+// round-robin on one data connection's writer (encode here, socket I/O
+// on the writer goroutine); the node reassembles batches by sequence
+// before processing, so the worker observes the exact total order this
+// client sent — splitting a batch, or routing by key, could reorder a
+// query insert against a later object and change the match set. A send
 // failure wraps ErrWorkerDown: a broken write pipe means the peer (or
 // the path to it) is gone.
 func (w *WorkerClient) SendOps(b OpBatch) error {
-	if err := w.conn.Send(TypeOpBatch, b); err != nil {
+	if len(b.Ops) == 0 {
+		return nil
+	}
+	if w.streams == 0 {
+		if err := w.conn.Send(TypeOpBatch, b); err != nil {
+			return fmt.Errorf("%w: sending ops: %v", ErrWorkerDown, err)
+		}
+		w.sentOps.Add(int64(len(b.Ops)))
+		return nil
+	}
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	seq := w.batchSeq
+	w.batchSeq++
+	buf := GetBuf()
+	buf.B = AppendOpBatch(buf.B, seq, b.Ops)
+	if err := w.writers[seq%uint64(len(w.data))].Send(TypeOpBatch, buf); err != nil {
 		return fmt.Errorf("%w: sending ops: %v", ErrWorkerDown, err)
 	}
+	w.sentOps.Add(int64(len(b.Ops)))
 	return nil
+}
+
+// barrierOps is the Ops value control rounds carry: the session's
+// cumulative sent-op count on a multi-stream session, 0 (FIFO suffices)
+// on a legacy connection.
+func (w *WorkerClient) barrierOps() int64 {
+	if w.streams == 0 {
+		return 0
+	}
+	return w.sentOps.Load()
 }
 
 // RecvMatches blocks for the worker's next match batch. It returns
@@ -317,7 +543,10 @@ func (w *WorkerClient) SendOps(b OpBatch) error {
 func (w *WorkerClient) RecvMatches() (MatchBatch, error) {
 	mb, ok := <-w.matches
 	if !ok {
-		if w.readErr != nil {
+		if err := w.sessionErr(); err != nil {
+			return MatchBatch{}, err
+		}
+		if w.streams == 0 && w.readErr != nil {
 			return MatchBatch{}, w.readErr
 		}
 		return MatchBatch{}, io.EOF
@@ -328,13 +557,16 @@ func (w *WorkerClient) RecvMatches() (MatchBatch, error) {
 // Drain runs the end-to-end drain barrier round: every operation batch
 // sent before the call is processed by the worker before the returned
 // acknowledgement, whose Emitted field is the worker's cumulative
-// emitted-match count.
+// emitted-match count — and every match counted in it has already been
+// received by this client (queued for RecvMatches), exactly the
+// guarantee single-connection FIFO used to give.
 func (w *WorkerClient) Drain() (DrainAck, error) {
 	w.drainMu.Lock()
 	defer w.drainMu.Unlock()
 	drainStale(w.acks)
 	seq := w.seq.Add(1)
-	if err := w.conn.Send(TypeDrain, Drain{Seq: seq}); err != nil {
+	d := Drain{Seq: seq, Ops: w.barrierOps()}
+	if err := w.sendControl(TypeDrain, d); err != nil {
 		return DrainAck{}, err
 	}
 	timer := time.NewTimer(DefaultControlTimeout)
@@ -343,6 +575,9 @@ func (w *WorkerClient) Drain() (DrainAck, error) {
 		select {
 		case ack := <-w.acks:
 			if ack.Seq == seq {
+				if err := w.awaitReceived(ack.Emitted, timer); err != nil {
+					return DrainAck{}, err
+				}
 				return ack, nil
 			}
 			// A stale ack from an abandoned round; keep waiting.
@@ -357,13 +592,58 @@ func (w *WorkerClient) Drain() (DrainAck, error) {
 	}
 }
 
+// awaitReceived waits for the session's received-match count to reach
+// emitted (multi-stream sessions only; on one connection FIFO already
+// delivered the matches before the ack).
+func (w *WorkerClient) awaitReceived(emitted int64, timer *time.Timer) error {
+	if w.streams == 0 {
+		return nil
+	}
+	for w.recvd.Load() < emitted {
+		select {
+		case <-w.readDone:
+			if w.readErr != nil {
+				return w.readErr
+			}
+			return ErrClosed
+		case <-timer.C:
+			return fmt.Errorf("wire: drain barrier timed out awaiting matches after %v", DefaultControlTimeout)
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// sendControl sends a control-plane frame on the control connection,
+// using the binary codec for the hot barrier frames when negotiated.
+func (w *WorkerClient) sendControl(typ byte, v any) error {
+	if w.codec == CodecBinary {
+		switch typ {
+		case TypeDrain:
+			buf := GetBuf()
+			buf.B = AppendDrain(buf.B, v.(Drain))
+			err := w.conn.SendPayload(typ, buf.B)
+			PutBuf(buf)
+			return err
+		case TypeFence:
+			buf := GetBuf()
+			buf.B = AppendFence(buf.B, v.(Fence))
+			err := w.conn.SendPayload(typ, buf.B)
+			PutBuf(buf)
+			return err
+		}
+	}
+	return w.conn.Send(typ, v)
+}
+
 // SendFence forwards a routing-epoch advance (informational).
 func (w *WorkerClient) SendFence(epoch uint64) error {
-	return w.conn.Send(TypeFence, Fence{Epoch: epoch})
+	return w.sendControl(TypeFence, Fence{Epoch: epoch})
 }
 
 // ResetWindow starts a fresh per-cell load window on the worker
-// (fire-and-forget; FIFO ordering covers the next CellStats call).
+// (fire-and-forget; control-connection FIFO covers the next CellStats
+// call).
 func (w *WorkerClient) ResetWindow() error {
 	return w.conn.Send(TypeResetWindow, ResetWindow{})
 }
@@ -409,14 +689,15 @@ func awaitReply[T any](w *WorkerClient, ch <-chan T, seqOf func(T) uint64, seq u
 
 // Stats polls the worker's counters — emitted matches, live queries,
 // and the cumulative per-kind processed-op counts the adjustment
-// controller's load detector differences per interval. FIFO framing
-// means the reply covers every op batch sent before the call.
+// controller's load detector differences per interval. The reply covers
+// every op batch sent before the call (connection FIFO on a legacy
+// session, the Ops barrier on a multi-stream one).
 func (w *WorkerClient) Stats() (StatsReply, error) {
 	w.ctrlMu.Lock()
 	defer w.ctrlMu.Unlock()
 	drainStale(w.stats)
 	seq := w.seq.Add(1)
-	if err := w.conn.Send(TypeStatsReq, StatsReq{Seq: seq}); err != nil {
+	if err := w.conn.Send(TypeStatsReq, StatsReq{Seq: seq, Ops: w.barrierOps()}); err != nil {
 		return StatsReply{}, err
 	}
 	return awaitReply(w, w.stats, func(r StatsReply) uint64 { return r.Seq }, seq)
@@ -429,7 +710,7 @@ func (w *WorkerClient) CellStats() ([]CellStat, error) {
 	defer w.ctrlMu.Unlock()
 	drainStale(w.cellStats)
 	seq := w.seq.Add(1)
-	if err := w.conn.Send(TypeCellStatsReq, CellStatsReq{Seq: seq}); err != nil {
+	if err := w.conn.Send(TypeCellStatsReq, CellStatsReq{Seq: seq, Ops: w.barrierOps()}); err != nil {
 		return nil, err
 	}
 	r, err := awaitReply(w, w.cellStats, func(r CellStatsReply) uint64 { return r.Seq }, seq)
@@ -440,16 +721,18 @@ func (w *WorkerClient) CellStats() ([]CellStat, error) {
 }
 
 // ExtractCells fetches the named cell shares — copied with remove
-// false, extracted from the peer's index with remove true. The reply is
-// FIFO-ordered behind every op batch sent before the call, which is
-// exactly the migration barrier: once the coordinator has forwarded all
-// pre-flip traffic, an extraction round cannot miss any of it.
+// false, extracted from the peer's index with remove true. The reply
+// reflects every op batch sent before the call (FIFO on one connection,
+// the Ops barrier on a multi-stream session), which is exactly the
+// migration barrier: once the coordinator has forwarded all pre-flip
+// traffic, an extraction round cannot miss any of it.
 func (w *WorkerClient) ExtractCells(cells []CellSpec, remove bool) ([]CellPayload, error) {
 	w.ctrlMu.Lock()
 	defer w.ctrlMu.Unlock()
 	drainStale(w.shares)
 	seq := w.seq.Add(1)
-	if err := w.conn.Send(TypeExtractCells, ExtractCells{Seq: seq, Cells: cells, Remove: remove}); err != nil {
+	req := ExtractCells{Seq: seq, Cells: cells, Remove: remove, Ops: w.barrierOps()}
+	if err := w.conn.Send(TypeExtractCells, req); err != nil {
 		return nil, err
 	}
 	r, err := awaitReply(w, w.shares, func(r CellShare) uint64 { return r.Seq }, seq)
@@ -482,28 +765,54 @@ func (w *WorkerClient) InstallCells(cells []CellPayload, deletes []uint64) (int6
 	return int64(len(payload)), nil
 }
 
-// CloseSend ends the coordinator's half of the stream: the worker
-// finishes writing pending matches and closes, which surfaces as io.EOF
-// from RecvMatches.
+// CloseSend ends the coordinator's half of the stream: pending op frames
+// are flushed, each data connection says Goodbye (the worker flushes its
+// remaining matches and answers in kind, which surfaces as io.EOF from
+// RecvMatches), and the control connection closes the session.
 func (w *WorkerClient) CloseSend() error {
 	w.goodbyeOnce.Do(func() {
-		w.goodbyeErr = w.conn.Send(TypeGoodbye, Goodbye{})
+		for _, fw := range w.writers {
+			if err := fw.Drain(); err != nil && w.goodbyeErr == nil {
+				w.goodbyeErr = err
+			}
+		}
+		for _, c := range w.data {
+			if err := c.Send(TypeGoodbye, Goodbye{}); err != nil && w.goodbyeErr == nil {
+				w.goodbyeErr = err
+			}
+		}
+		if err := w.conn.Send(TypeGoodbye, Goodbye{}); err != nil && w.goodbyeErr == nil {
+			w.goodbyeErr = err
+		}
 	})
 	return w.goodbyeErr
 }
 
-// Close tears the connection down, unblocking every pending call —
+// Close tears the session down, unblocking every pending call —
 // including a read loop parked on the match channel of a departed
 // consumer.
 func (w *WorkerClient) Close() error {
 	w.closeOnce.Do(func() { close(w.closed) })
-	return w.conn.Close()
+	err := w.conn.Close()
+	for _, c := range w.data {
+		c.Close()
+	}
+	for _, fw := range w.writers {
+		fw.Stop()
+	}
+	return err
 }
 
 // MergerClient is the coordinator's half of a hop to a remote merger
-// node: it forwards match batches and polls delivery counters.
+// node: it forwards match batches and polls delivery counters. Match
+// batches are pre-encoded (binary when negotiated) and pipelined
+// through a writer goroutine; control frames queue through the same
+// writer, so per-connection FIFO — which the counter semantics rely on
+// — is preserved.
 type MergerClient struct {
 	conn    *Conn
+	writer  *FrameWriter
+	codec   int
 	replies chan StatsReply
 
 	statsMu sync.Mutex
@@ -517,14 +826,18 @@ type MergerClient struct {
 }
 
 // DialMerger connects to a merger node with backoff and performs the
-// handshake.
+// handshake, negotiating the binary match-batch codec when the node
+// supports it.
 func DialMerger(addr string, hello Hello, b Backoff) (*MergerClient, error) {
-	conn, err := handshake(addr, hello, b, RoleMerger)
+	hello.Codec = CodecBinary
+	conn, wel, err := handshake(addr, hello, b, RoleMerger)
 	if err != nil {
 		return nil, err
 	}
 	m := &MergerClient{
 		conn:     conn,
+		writer:   NewFrameWriter(conn, 0),
+		codec:    wel.Codec,
 		replies:  make(chan StatsReply, 4),
 		readDone: make(chan struct{}),
 	}
@@ -559,19 +872,38 @@ func (m *MergerClient) readLoop() {
 	}
 }
 
-// SendMatches forwards one match batch — one frame, flushed.
+// SendMatches queues one match batch on the writer — encoded here with
+// the negotiated codec, written and flushed by the writer goroutine.
 func (m *MergerClient) SendMatches(b MatchBatch) error {
-	return m.conn.Send(TypeMatchBatch, b)
+	buf := GetBuf()
+	if m.codec == CodecBinary {
+		buf.B = AppendMatchBatch(buf.B, b.Matches)
+	} else {
+		p, err := EncodePayload(b)
+		if err != nil {
+			PutBuf(buf)
+			return err
+		}
+		buf.B = append(buf.B, p...)
+	}
+	return m.writer.Send(TypeMatchBatch, buf)
 }
 
 // Counts polls the merger's cumulative delivered/duplicate counters.
-// Frames are FIFO, so the reply covers every batch sent before the call.
+// The request queues behind every pending match batch on the writer, so
+// the reply covers every batch sent before the call.
 func (m *MergerClient) Counts() (delivered, duplicates int64, err error) {
 	m.statsMu.Lock()
 	defer m.statsMu.Unlock()
 	drainStale(m.replies)
 	seq := m.seq.Add(1)
-	if err := m.conn.Send(TypeStatsReq, StatsReq{Seq: seq}); err != nil {
+	payload, err := EncodePayload(StatsReq{Seq: seq})
+	if err != nil {
+		return 0, 0, err
+	}
+	buf := GetBuf()
+	buf.B = append(buf.B, payload...)
+	if err := m.writer.Send(TypeStatsReq, buf); err != nil {
 		return 0, 0, err
 	}
 	timer := time.NewTimer(DefaultControlTimeout)
@@ -593,16 +925,25 @@ func (m *MergerClient) Counts() (delivered, duplicates int64, err error) {
 	}
 }
 
-// CloseSend ends the coordinator's half of the stream.
+// CloseSend ends the coordinator's half of the stream, after flushing
+// every queued match batch.
 func (m *MergerClient) CloseSend() error {
 	m.goodbyeOnce.Do(func() {
+		if err := m.writer.Drain(); err != nil {
+			m.goodbyeErr = err
+			return
+		}
 		m.goodbyeErr = m.conn.Send(TypeGoodbye, Goodbye{})
 	})
 	return m.goodbyeErr
 }
 
 // Close tears the connection down.
-func (m *MergerClient) Close() error { return m.conn.Close() }
+func (m *MergerClient) Close() error {
+	err := m.conn.Close()
+	m.writer.Stop()
+	return err
+}
 
 // Done reports a channel closed when the client's read loop ends (the
 // peer closed or failed); Err returns the failure, nil on clean EOF.

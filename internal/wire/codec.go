@@ -57,6 +57,24 @@ type Hello struct {
 	// accepted, so a stale coordinator session (severed but not yet dead)
 	// cannot reclaim a slot a recovery session has taken over.
 	Epoch uint64
+	// Codec is the highest data-plane codec the sender speaks (CodecGob
+	// or CodecBinary); the Welcome answers with the negotiated one. Gob
+	// ignores unknown fields, so an old peer reads none of the fields
+	// below and a new peer reads zeroes from an old Hello — either way
+	// the session degrades to CodecGob on a single connection.
+	Codec int
+	// Streams is the number of data connections the coordinator wants
+	// for this hop (0 = single-connection legacy session). The Welcome's
+	// Streams is the granted count.
+	Streams int
+	// Stream tags which connection of a multi-stream session this Hello
+	// opens: 0 is the control connection (which creates the session),
+	// 1..Streams attach data connections to it.
+	Stream int
+	// SessionID joins a multi-stream session's connections together; the
+	// coordinator draws a fresh nonzero id per dial, and the node refuses
+	// data connections whose id does not match the live session.
+	SessionID uint64
 }
 
 // Welcome is the peer's handshake reply.
@@ -67,6 +85,13 @@ type Welcome struct {
 	Role string
 	// Task echoes the task index the peer accepted.
 	Task int
+	// Codec is the negotiated data-plane codec: min(Hello.Codec, what
+	// the node speaks). Absent (zero) from an old node, which pins the
+	// session to CodecGob.
+	Codec int
+	// Streams is the granted data-connection count for a multi-stream
+	// session (0 from an old node, or when the Hello requested none).
+	Streams int
 }
 
 // OpEnv is one stream operation in flight with its submit timestamp
@@ -96,10 +121,18 @@ type MatchBatch struct {
 }
 
 // Drain asks the peer to acknowledge once everything received before
-// this frame has been fully processed. Because frames are FIFO on a
-// connection, the ack covers every batch sent before the Drain.
+// this frame has been fully processed. On a single-connection session
+// frames are FIFO, so the ack covers every batch sent before the Drain;
+// on a multi-stream session FIFO does not span the data connections, so
+// Ops carries the barrier instead.
 type Drain struct {
 	Seq uint64
+	// Ops is the sender's cumulative op count for the session: the peer
+	// holds the ack until it has processed at least this many ops (and
+	// has flushed the matches they produced to the wire). Zero — always
+	// the case from a pre-negotiation coordinator — waives the count and
+	// falls back to per-connection FIFO semantics.
+	Ops int64
 }
 
 // DrainAck answers a Drain.
@@ -117,6 +150,10 @@ type DrainAck struct {
 // StatsReq asks a peer for its counters without a drain guarantee.
 type StatsReq struct {
 	Seq uint64
+	// Ops is the multi-stream session barrier (see Drain.Ops): the reply
+	// waits until at least this many session ops are processed, standing
+	// in for the FIFO ordering a single connection gave for free.
+	Ops int64
 }
 
 // StatsReply answers a StatsReq.
@@ -165,10 +202,13 @@ type CellStat struct {
 	Terms     []CellTermStat
 }
 
-// CellStatsReq asks a worker peer for its per-cell statistics. Frames
-// are FIFO, so the reply reflects every op batch sent before the call.
+// CellStatsReq asks a worker peer for its per-cell statistics. The
+// reply reflects every op batch sent before the call: per-connection
+// FIFO on a legacy session, the Ops barrier on a multi-stream one.
 type CellStatsReq struct {
 	Seq uint64
+	// Ops is the multi-stream session barrier (see Drain.Ops).
+	Ops int64
 }
 
 // CellStatsReply answers a CellStatsReq with every non-empty cell.
@@ -194,6 +234,11 @@ type ExtractCells struct {
 	Seq    uint64
 	Cells  []CellSpec
 	Remove bool
+	// Ops is the multi-stream session barrier (see Drain.Ops): the share
+	// must reflect every op batch the coordinator sent before the call —
+	// that is the migration barrier — so the extraction waits for the
+	// session's processed-op count to reach it.
+	Ops int64
 }
 
 // CellPayload is one cell share in flight: the share's queries and the

@@ -45,6 +45,17 @@ type Conn struct {
 	// ReadTimeout bounds each Recv (0 = none, the default: stream gaps
 	// of any length are legitimate between publishes).
 	ReadTimeout time.Duration
+
+	// Deadline re-arm coarsening: SetWriteDeadline/SetReadDeadline cost
+	// a syscall-ish path per call, which the hot loop used to pay per
+	// frame. Instead the deadline is re-armed only once a quarter of the
+	// timeout has elapsed since the last arm, so a frame-per-microsecond
+	// stream arms ~4 times per timeout window while a genuinely stalled
+	// peer still fails within [3/4·timeout, timeout] of its last
+	// successful frame. wArm is guarded by wmu; rArm belongs to the
+	// single read-loop goroutine.
+	wArm time.Time
+	rArm time.Time
 }
 
 // NewConn wraps nc with wire framing and the default write timeout.
@@ -79,10 +90,8 @@ func (c *Conn) SendPayload(typ byte, payload []byte) error {
 func (c *Conn) sendPayload(typ byte, payload []byte, start time.Time) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if c.WriteTimeout > 0 {
-		if err := c.nc.SetWriteDeadline(time.Now().Add(c.WriteTimeout)); err != nil {
-			return err
-		}
+	if err := c.armWriteDeadline(); err != nil {
+		return err
 	}
 	if err := WriteFrame(c.bw, typ, payload); err != nil {
 		return err
@@ -94,12 +103,30 @@ func (c *Conn) sendPayload(typ byte, payload []byte, start time.Time) error {
 	return nil
 }
 
+// armWriteDeadline re-arms the write deadline if a quarter of the
+// timeout has elapsed since the last arm (caller holds wmu).
+func (c *Conn) armWriteDeadline() error {
+	if c.WriteTimeout <= 0 {
+		return nil
+	}
+	if now := time.Now(); now.Sub(c.wArm) > c.WriteTimeout/4 {
+		if err := c.nc.SetWriteDeadline(now.Add(c.WriteTimeout)); err != nil {
+			return err
+		}
+		c.wArm = now
+	}
+	return nil
+}
+
 // Recv reads the next frame. Only the connection's read-loop goroutine
 // may call it.
 func (c *Conn) Recv() (typ byte, payload []byte, err error) {
 	if c.ReadTimeout > 0 {
-		if err := c.nc.SetReadDeadline(time.Now().Add(c.ReadTimeout)); err != nil {
-			return 0, nil, err
+		if now := time.Now(); now.Sub(c.rArm) > c.ReadTimeout/4 {
+			if err := c.nc.SetReadDeadline(now.Add(c.ReadTimeout)); err != nil {
+				return 0, nil, err
+			}
+			c.rArm = now
 		}
 	}
 	start := time.Now()
@@ -116,7 +143,12 @@ func (c *Conn) RecvTimeout(d time.Duration) (typ byte, payload []byte, err error
 	if err := c.nc.SetReadDeadline(time.Now().Add(d)); err != nil {
 		return 0, nil, err
 	}
-	defer c.nc.SetReadDeadline(time.Time{})
+	// Clear the one-off deadline and the coarsening mark, so the next
+	// Recv re-arms unconditionally.
+	defer func() {
+		c.nc.SetReadDeadline(time.Time{})
+		c.rArm = time.Time{}
+	}()
 	start := time.Now()
 	typ, payload, err = ReadFrame(c.br)
 	if err == nil {

@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ps2stream/internal/model"
+)
+
+// deadlineCounter counts SetReadDeadline/SetWriteDeadline calls so the
+// coarsening tests can assert the hot path does not pay a deadline
+// syscall per frame.
+type deadlineCounter struct {
+	net.Conn
+	reads, writes atomic.Int64
+}
+
+func (c *deadlineCounter) SetReadDeadline(t time.Time) error {
+	c.reads.Add(1)
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *deadlineCounter) SetWriteDeadline(t time.Time) error {
+	c.writes.Add(1)
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestConnDeadlineCoarsening: a burst of frames far faster than the
+// timeout window re-arms each deadline O(1) times, not once per frame —
+// the per-frame SetDeadline cost this codec release hoisted out of the
+// hot loop.
+func TestConnDeadlineCoarsening(t *testing.T) {
+	cliNC, srvNC := tcpPair(t)
+	cnt := &deadlineCounter{Conn: cliNC}
+	cli := NewConn(cnt)
+	cli.ReadTimeout = 10 * time.Second
+	cli.WriteTimeout = 10 * time.Second
+	srv := NewConn(srvNC)
+
+	const frames = 200
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < frames; i++ {
+			if _, _, err := srv.Recv(); err != nil {
+				errc <- err
+				return
+			}
+			if err := srv.SendPayload(TypePing, nil); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < frames; i++ {
+		if err := cli.SendPayload(TypePing, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cli.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	// The whole burst fits well inside timeout/4, so each direction arms
+	// at most a few times (first use plus clock-edge slop) — not ~200.
+	if r := cnt.reads.Load(); r > 5 {
+		t.Errorf("read deadline armed %d times over %d frames, want <= 5", r, frames)
+	}
+	if w := cnt.writes.Load(); w > 5 {
+		t.Errorf("write deadline armed %d times over %d frames, want <= 5", w, frames)
+	}
+}
+
+// TestConnReadDeadlineExpires: coarsened arming must not stretch the
+// failure window — a peer that goes silent still surfaces a timeout
+// within roughly one ReadTimeout of its last frame, never silently
+// blocking.
+func TestConnReadDeadlineExpires(t *testing.T) {
+	cliNC, srvNC := tcpPair(t)
+	_ = srvNC // deliberately silent peer
+	cli := NewConn(cliNC)
+	cli.ReadTimeout = 200 * time.Millisecond
+	start := time.Now()
+	_, _, err := cli.Recv()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Recv returned without a peer frame")
+	}
+	// ReadFrame folds the transport cause into ErrBadFrame's message.
+	if !errors.Is(err, ErrBadFrame) || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("err = %v, want a framed timeout", err)
+	}
+	if elapsed < 100*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("timed out after %v, want about the 200ms ReadTimeout", elapsed)
+	}
+}
+
+// TestWorkerClientSilentPeerSurfacesWorkerDown: the full client path on
+// top of the deadline — heartbeats negotiated, peer wedges after the
+// handshake, and the session fails with ErrWorkerDown within a few
+// heartbeat intervals instead of hanging on a never-armed deadline.
+func TestWorkerClientSilentPeerSurfacesWorkerDown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		c := NewConn(nc)
+		if _, _, err := c.RecvTimeout(time.Second); err != nil {
+			return
+		}
+		c.Send(TypeWelcome, Welcome{Magic: Magic, Version: Version, Role: RoleWorker})
+		// Promise heartbeats, send none: wedged peer.
+		time.Sleep(5 * time.Second)
+	}()
+	cl, err := DialWorker(ln.Addr().String(), Hello{HeartbeatMillis: 50}, Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	_, err = cl.RecvMatches()
+	if !errors.Is(err, ErrWorkerDown) {
+		t.Fatalf("err = %v, want ErrWorkerDown", err)
+	}
+	// 4 heartbeat intervals = 200ms read deadline; allow generous CI slack.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("worker-down surfaced after %v, want within a few heartbeat intervals", elapsed)
+	}
+}
+
+// TestDialWorkerFallsBackToGob: a peer that answers the negotiation
+// with a pre-codec Welcome (no Codec/Streams fields — what an old node
+// sends) drops the client into the legacy single-connection gob
+// session, and the data path still works end to end.
+func TestDialWorkerFallsBackToGob(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- func() error {
+			nc, err := ln.Accept()
+			if err != nil {
+				return err
+			}
+			defer nc.Close()
+			c := NewConn(nc)
+			typ, payload, err := c.RecvTimeout(5 * time.Second)
+			if err != nil {
+				return err
+			}
+			var hello Hello
+			if typ != TypeHello || DecodePayload(payload, &hello) != nil {
+				return errors.New("bad hello")
+			}
+			if hello.Codec != CodecBinary || hello.Streams <= 0 || hello.SessionID == 0 {
+				return errors.New("client did not request a binary multi-stream session")
+			}
+			// Old node: fields unknown, echoed as zero.
+			if err := c.Send(TypeWelcome, Welcome{Magic: Magic, Version: Version, Role: RoleWorker}); err != nil {
+				return err
+			}
+			for {
+				typ, payload, err := c.RecvTimeout(5 * time.Second)
+				if err != nil {
+					return err
+				}
+				switch typ {
+				case TypeOpBatch:
+					var ob OpBatch
+					if err := DecodePayload(payload, &ob); err != nil {
+						return err // a binary batch here would fail exactly this way
+					}
+					if err := c.Send(TypeMatchBatch, MatchBatch{Matches: []MatchEnv{
+						{M: model.Match{QueryID: 1, ObjectID: ob.Ops[0].Op.Obj.ID}},
+					}}); err != nil {
+						return err
+					}
+				case TypeDrain:
+					var d Drain
+					if err := DecodePayload(payload, &d); err != nil {
+						return err
+					}
+					if err := c.Send(TypeDrainAck, DrainAck{Seq: d.Seq, Done: 1, Emitted: 1}); err != nil {
+						return err
+					}
+				case TypeGoodbye:
+					return c.Send(TypeGoodbye, Goodbye{})
+				}
+			}
+		}()
+	}()
+	cl, err := DialWorker(ln.Addr().String(), Hello{}, Backoff{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Codec() != CodecGob || cl.Streams() != 0 {
+		t.Fatalf("negotiated codec=%d streams=%d, want legacy gob single-conn", cl.Codec(), cl.Streams())
+	}
+	if err := cl.SendOps(OpBatch{Ops: []OpEnv{{Op: model.Op{Kind: model.OpObject,
+		Obj: &model.Object{ID: 77}}}}}); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := cl.RecvMatches()
+	if err != nil || len(mb.Matches) != 1 || mb.Matches[0].M.ObjectID != 77 {
+		t.Fatalf("matches = %+v, err %v", mb, err)
+	}
+	ack, err := cl.Drain()
+	if err != nil || ack.Done != 1 {
+		t.Fatalf("drain ack = %+v, err %v", ack, err)
+	}
+	if err := cl.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+}

@@ -1,5 +1,5 @@
 // Package wire is the network transport of a multi-process PS2Stream
-// deployment: length-prefixed gob framing for the operation batches,
+// deployment: length-prefixed framing for the operation batches,
 // match batches and control messages that cross dispatcher→worker and
 // worker→merger hops when topology tasks run as separate OS processes
 // (cmd/psnode). The paper deploys on an Apache Storm cluster whose
@@ -14,14 +14,18 @@
 //
 //	uint32 big-endian  n        (1 + len(payload); bounds the read)
 //	byte               type     (Type* constants)
-//	n-1 bytes          payload  (self-contained gob encoding)
+//	n-1 bytes          payload  (encoding per frame kind)
 //
-// Each payload is an independent gob stream, so frames are
-// self-delimiting: a reader can skip, re-synchronise after an error, and
-// a truncated or corrupted frame fails at a frame boundary instead of
-// poisoning the connection's decoder state. The per-frame gob type
-// descriptor overhead is amortised by batching — one frame carries a
-// whole transfer batch of tuples (docs/WIRE.md).
+// Control frames (handshake, stats, migration) are always independent
+// self-contained gob streams, so frames are self-delimiting: a reader
+// can skip, re-synchronise after an error, and a truncated or corrupted
+// frame fails at a frame boundary instead of poisoning the connection's
+// decoder state — and gob's ignore-unknown-fields decoding is what
+// version negotiation rides on. The hot data-plane frames (op batches,
+// match batches, drain/drain-ack/fence) switch to the zero-allocation
+// binary codec of binary.go when the Hello/Welcome exchange negotiates
+// it (CodecBinary); against an old peer they stay gob. Either way one
+// frame carries a whole transfer batch of tuples (docs/WIRE.md).
 package wire
 
 import (

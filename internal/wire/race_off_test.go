@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// raceEnabled relaxes the allocation assertions when the race detector
+// instruments the build (its shadow-memory bookkeeping can allocate
+// inside otherwise allocation-free code).
+const raceEnabled = false
