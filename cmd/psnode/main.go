@@ -84,6 +84,7 @@ var flagGroups = []struct {
 		"hotspot", "hotspot-bias", "hotspot-shift-every",
 		"spare", "recover", "join", "retire",
 		"wire-streams",
+		"topk", "topk-k", "topk-window", "topk-out", "repartition-at",
 	}},
 }
 
@@ -135,6 +136,12 @@ var (
 	hotspot     = flag.Int("hotspot", -1, "focus object traffic on this hotspot cluster index (-1 off)")
 	hotBias     = flag.Float64("hotspot-bias", 0.85, "fraction of objects concentrated on the focused hotspot")
 	hotShift    = flag.Int("hotspot-shift-every", 0, "shift the focus to the next hotspot every N stream ops (0 never)")
+
+	topkN      = flag.Int("topk", 0, "register this many sliding-window top-k subscriptions cloned from the prewarmed standing queries; freezes the logical clock so cluster and oracle runs rank identically")
+	topkK      = flag.Int("topk-k", 5, "k for the -topk subscriptions")
+	topkWindow = flag.Duration("topk-window", 24*time.Hour, "sliding window for the -topk subscriptions")
+	topkOut    = flag.String("topk-out", "", "write the final reconciled top-k sets to this file, sorted (diffable against an -oracle run)")
+	repartAt   = flag.Int("repartition-at", 0, "run a global repartition (fresh sample, every cell re-placed over the wire) after this many stream ops (0 never)")
 
 	spare       = flag.Int("spare", 0, "reserve this many routing slots for workers joined at runtime")
 	recoverFlag = flag.Bool("recover", false, "survive remote worker crashes: heartbeats, per-worker op log, redial + replay")
@@ -199,6 +206,11 @@ func main() {
 			recover:     *recoverFlag,
 			events:      events,
 			wireStreams: *wireStreams,
+			topk:        *topkN,
+			topkK:       *topkK,
+			topkWindow:  *topkWindow,
+			topkOut:     *topkOut,
+			repartAt:    *repartAt,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "psnode: -role must be worker, merger or dispatcher")
@@ -411,6 +423,36 @@ type dispatcherConfig struct {
 	// wireStreams overrides the data connections per remote-worker hop
 	// (core.Config.WireStreams; 0 = one per dispatcher task).
 	wireStreams int
+	// topk registers that many sliding-window top-k subscriptions cloned
+	// from the prewarmed standing queries (k = topkK, window =
+	// topkWindow); topkOut dumps the final reconciled sets. Top-k runs
+	// freeze the logical clock: decay rank then depends only on textual
+	// relevance, so a cluster run and an -oracle run of the same seed
+	// produce byte-identical dumps no matter how long recovery or
+	// repartition stalls the wall clock.
+	topk       int
+	topkK      int
+	topkWindow time.Duration
+	topkOut    string
+	// repartAt schedules one GlobalRepartition — every cell re-placed
+	// from a fresh assignment, over the wire when workers are remote —
+	// after that many measured stream ops.
+	repartAt int
+}
+
+// topkDump renders the reconciled top-k sets in a canonical sorted form
+// (query id ascending, member ids ascending) so a cluster run and an
+// oracle run diff byte for byte.
+func topkDump(sys *core.System, ids []uint64) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%d:", id)
+		for _, m := range sys.TopKSet(id) {
+			fmt.Fprintf(&sb, " %d", m)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }
 
 // runDispatcher embeds the coordinator: it builds the partitioning
@@ -420,6 +462,9 @@ type dispatcherConfig struct {
 func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 	spec := workload.TweetsUS()
 	sample := workload.Sample(spec, workload.Q1, 3000, 600, dc.seed)
+	if dc.topkOut != "" && dc.topk == 0 {
+		logger.Fatal("-topk-out needs -topk")
+	}
 	var dump *matchDump
 	cfg := core.Config{
 		Dispatchers: dc.dispatchers,
@@ -493,6 +538,15 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 		logger.Printf("dispatcher: %d remote workers (%s), %d remote mergers",
 			len(dc.workerAddrs), cfg.RemoteWorkerSummary(), len(dc.mergerAddrs))
 	}
+	if dc.topk > 0 {
+		// Freeze the logical clock: every op in the cluster run and the
+		// oracle run carries the same publish stamp, so decay rank depends
+		// only on textual relevance and the top-k dumps diff byte for
+		// byte. Expiry never fires under a frozen clock; the window flag
+		// only sizes checkpoint refill retention.
+		frozen := time.Unix(1_700_000_000, 0)
+		cfg.Clock = func() time.Time { return frozen }
+	}
 	if dc.out != "" {
 		if !dc.oracle && len(dc.mergerAddrs) > 0 {
 			logger.Fatal("-out on the dispatcher needs local mergers; with remote mergers pass -out to the merger node")
@@ -524,10 +578,10 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 		logger.Fatal(err)
 	}
 	logger.Printf("dispatcher: %d standing subscriptions prewarmed", dc.mu)
-
-	t0 := time.Now()
-	// The stream is generated op-by-op so the focus can shift mid-run
-	// (psgen's -hotspot-shift-every semantics).
+	// The measured stream is pre-generated (op-by-op, so the hotspot
+	// focus can still shift by index) before anything is published: the
+	// top-k mix below is chosen against it, and the static path submits
+	// it in one tight burst as before.
 	focused := dc.hotspot
 	nextOp := func(i int) model.Op {
 		if dc.hotspot >= 0 && dc.hotShift > 0 && i > 0 && i%dc.hotShift == 0 {
@@ -540,6 +594,85 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 		}
 		return op
 	}
+	stream := make([]model.Op, dc.ops)
+	for i := range stream {
+		stream[i] = nextOp(i)
+	}
+	// Top-k subscriptions clone prewarmed query shapes — the ones that
+	// match the most stream objects, so the sets provably rank something
+	// — under fresh ids (and a distinct subscriber) that keep the boolean
+	// match set untouched. The scan is deterministic, so a cluster run
+	// and an -oracle run of the same seed pick the same shapes.
+	var topkIDs []uint64
+	if dc.topk > 0 {
+		type cand struct {
+			q *model.Query
+			n int
+		}
+		var cands []cand
+		for _, op := range warm {
+			if op.Kind == model.OpInsert && op.Query != nil {
+				cands = append(cands, cand{q: op.Query})
+			}
+		}
+		for _, op := range stream {
+			if op.Kind != model.OpObject {
+				continue
+			}
+			for i := range cands {
+				if cands[i].q.Matches(op.Obj) {
+					cands[i].n++
+				}
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].n > cands[j].n })
+		var qs []model.Op
+		for _, c := range cands {
+			if c.n == 0 || len(qs) == dc.topk {
+				break
+			}
+			q := *c.q
+			q.ID = 990001 + uint64(len(qs))
+			q.Subscriber = 42
+			q.TopK = dc.topkK
+			q.Window = dc.topkWindow
+			topkIDs = append(topkIDs, q.ID)
+			qs = append(qs, model.Op{Kind: model.OpInsert, Query: &q})
+		}
+		if len(qs) < dc.topk {
+			logger.Fatalf("-topk %d: only %d prewarmed shapes match any stream object; lower -topk or raise -ops",
+				dc.topk, len(qs))
+		}
+		sys.SubmitAll(qs)
+		if err := sys.Drain(int64(len(warm) + len(qs))); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("dispatcher: %d top-k subscriptions registered (k=%d window=%v)",
+			len(qs), dc.topkK, dc.topkWindow)
+	}
+	base := int64(len(warm) + len(topkIDs))
+	// One scheduled global repartition: a drain barrier, then every cell
+	// re-placed from a differently-seeded sample (the same seed would
+	// rebuild the identical assignment and move nothing). The dual-route
+	// transition is retired before the final counters.
+	repartPending := dc.repartAt > 0
+	maybeRepartition := func(sent int) {
+		if !repartPending || sent < dc.repartAt {
+			return
+		}
+		repartPending = false
+		if err := sys.Drain(base + int64(sent)); err != nil {
+			logger.Fatal(err)
+		}
+		sample2 := workload.Sample(spec, workload.Q1, 3000, 600, dc.seed+1)
+		if err := sys.GlobalRepartition(sample2, nil); err != nil {
+			logger.Fatalf("global repartition after %d ops: %v", sent, err)
+		}
+		logger.Printf("dispatcher: global repartition begun after %d ops (assignment %s)",
+			sent, sys.Assignment().Name())
+	}
+
+	t0 := time.Now()
 	// Scheduled membership changes fire between bursts once the stream
 	// has advanced past their trigger point. A failure is fatal: the
 	// harness asked for a membership change and silently skipping it
@@ -563,7 +696,7 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 			}
 		}
 	}
-	if dc.adjust || len(dc.events) > 0 {
+	if dc.adjust || len(dc.events) > 0 || dc.repartAt > 0 {
 		// With the controller on, publishing is paced in small bursts:
 		// the detector needs wall-clock Interval windows of live traffic
 		// to observe the shift and react, which an unpaced burst would
@@ -574,8 +707,9 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 		const perBurst = 48
 		for sent := 0; sent < dc.ops; {
 			fireEvents(sent)
+			maybeRepartition(sent)
 			for j := 0; j < perBurst && sent < dc.ops; j++ {
-				sys.Submit(nextOp(sent))
+				sys.Submit(stream[sent])
 				sent++
 			}
 			if dc.adjust && sent < dc.ops {
@@ -583,20 +717,21 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 			}
 		}
 		fireEvents(dc.ops)
+		maybeRepartition(dc.ops)
 	} else {
-		// Static runs pre-generate and submit in one tight burst, exactly
-		// like the pre-adjust dispatcher: interleaving generation with
-		// submission would trickle ops into the spout and widen the
-		// cross-dispatcher insert/object race window, making cluster and
-		// oracle runs diverge on the mixed stream.
-		stream := make([]model.Op, dc.ops)
-		for i := range stream {
-			stream[i] = nextOp(i)
-		}
+		// Static runs submit in one tight burst, exactly like the
+		// pre-adjust dispatcher: trickling ops into the spout would widen
+		// the cross-dispatcher insert/object race window, making cluster
+		// and oracle runs diverge on the mixed stream.
 		sys.SubmitAll(stream)
 	}
-	if err := sys.Drain(int64(len(warm) + dc.ops)); err != nil {
+	if err := sys.Drain(base + int64(dc.ops)); err != nil {
 		logger.Fatal(err)
+	}
+	if dc.repartAt > 0 {
+		moved := sys.FinishGlobalRepartition()
+		logger.Printf("dispatcher: global repartition finished, %d stale-routed queries relocated (assignment %s)",
+			moved, sys.Assignment().Name())
 	}
 	elapsed := time.Since(t0)
 	if dc.adjust {
@@ -616,6 +751,12 @@ func runDispatcher(logger *log.Logger, dc dispatcherConfig) {
 	logger.Printf("dispatcher: %d ops in %v (%.0f tuples/s), %d matches delivered%s",
 		dc.ops, elapsed.Round(time.Millisecond), float64(dc.ops)/elapsed.Seconds(), delivered, remoteNote)
 
+	if dc.topkOut != "" {
+		if err := os.WriteFile(dc.topkOut, []byte(topkDump(sys, topkIDs)), 0o644); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("dispatcher: top-k sets written to %s", dc.topkOut)
+	}
 	if err := sys.Close(); err != nil {
 		logger.Fatal(err)
 	}

@@ -299,6 +299,81 @@ func TestPsnodeCluster(t *testing.T) {
 	}
 }
 
+// TestPsnodeClusterTopKRepartition is the process-level acceptance
+// check for distributed top-k and wire repartition: a 4-process cluster
+// (dispatcher, two workers, a merger) runs a top-k mix alongside the
+// standing subscriptions, a GlobalRepartition re-places every cell over
+// the wire mid-stream — window entries and board contributions ride the
+// migration frames — and both the delivered match set and the final
+// reconciled top-k sets must be byte-identical to the in-process oracle
+// run, which never repartitions. CI runs this in the cluster job.
+func TestPsnodeClusterTopKRepartition(t *testing.T) {
+	w1, w2, mg := freePort(t), freePort(t), freePort(t)
+	clusterOut := filepath.Join(t.TempDir(), "cluster.matches")
+	clusterTopK := filepath.Join(t.TempDir(), "cluster.topk")
+	oracleOut := filepath.Join(t.TempDir(), "oracle.matches")
+	oracleTopK := filepath.Join(t.TempDir(), "oracle.topk")
+	// -objects-only keeps the measured stream to objects (the standing
+	// and top-k subscriptions are prewarmed behind drain barriers), so
+	// the repartition's cell movement cannot race a query registration.
+	workloadArgs := []string{"-mu", "400", "-ops", "6000", "-seed", "2017", "-objects-only",
+		"-topk", "8", "-topk-k", "5", "-topk-window", "24h"}
+
+	oracle := startNode(t, append([]string{"-role", "dispatcher", "-oracle",
+		"-out", oracleOut, "-topk-out", oracleTopK}, workloadArgs...)...)
+	waitNode(t, oracle)
+	want, err := os.ReadFile(oracleOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle run delivered no matches")
+	}
+	wantTopK, err := os.ReadFile(oracleTopK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`: \d`).Match(wantTopK) {
+		t.Fatalf("vacuous: oracle top-k sets rank nothing:\n%s", wantTopK)
+	}
+
+	workers := []*exec.Cmd{
+		startNode(t, "-role", "worker", "-listen", w1, "-once"),
+		startNode(t, "-role", "worker", "-listen", w2, "-once"),
+	}
+	merger := startNode(t, "-role", "merger", "-listen", mg, "-once", "-out", clusterOut)
+	dispatcher, logs := startNodeLogged(t, append([]string{"-role", "dispatcher",
+		"-workers", w1 + "," + w2, "-mergers", mg,
+		"-repartition-at", "3000", "-topk-out", clusterTopK}, workloadArgs...)...)
+	waitNode(t, dispatcher)
+	for _, w := range workers {
+		waitNode(t, w)
+	}
+	waitNode(t, merger)
+
+	got, err := os.ReadFile(clusterOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster match set (%d bytes) differs from oracle (%d bytes)", len(got), len(want))
+	}
+	gotTopK, err := os.ReadFile(clusterTopK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotTopK, wantTopK) {
+		t.Errorf("cluster top-k sets differ from oracle:\ncluster:\n%soracle:\n%s", gotTopK, wantTopK)
+	}
+	// Non-vacuousness: the repartition must actually have run mid-stream.
+	text := logs.String()
+	for _, marker := range []string{"global repartition begun after", "global repartition finished"} {
+		if !strings.Contains(text, marker) {
+			t.Errorf("dispatcher log is missing %q; the run did not repartition", marker)
+		}
+	}
+}
+
 // TestPsnodeClusterElasticRecovery is the process-level acceptance check
 // for elastic membership and crash recovery: a cluster of real psnode OS
 // processes joins a spare worker mid-stream (-join), decommissions one of

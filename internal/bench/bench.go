@@ -51,8 +51,10 @@ type Scale struct {
 	Seed int64
 	// Wire places every worker task behind a loopback-TCP psnode serve
 	// loop (real sockets, wire protocol) for the experiments that
-	// support it — currently `adjust`, whose migrations then cross the
-	// wire via the cell-migration control frames (psbench -wire).
+	// support it — `adjust`, whose migrations then cross the wire via
+	// the cell-migration control frames, and `topk`, whose membership
+	// updates then arrive through the WindowDeltaBatch delta stream
+	// (psbench -wire).
 	Wire bool
 }
 

@@ -558,12 +558,12 @@ type pendingExtract struct {
 // traffic sent to them.
 func (s *System) copyCellShare(w, cell int, keys []string) (qs []*model.Query, ring []window.Entry, err error) {
 	if m := s.remoteMigrator(w); m != nil {
-		ps, err := m.ExtractCells([]wire.CellSpec{{Cell: cell, Keys: keys}}, false)
+		cs, err := m.ExtractCells([]wire.CellSpec{{Cell: cell, Keys: keys}}, false, false)
 		if err != nil {
 			return nil, nil, err
 		}
-		if len(ps) > 0 {
-			return ps[0].Queries, ps[0].Ring, nil
+		if len(cs.Cells) > 0 {
+			return cs.Cells[0].Queries, cs.Cells[0].Ring, nil
 		}
 		return nil, nil, nil
 	}
@@ -589,13 +589,19 @@ func (s *System) transferShare(wl, cell int, qs []*model.Query, ring []window.En
 		if len(qs) == 0 && len(ring) == 0 {
 			return 0, nil
 		}
-		n, err := m.InstallCells([]wire.CellPayload{{Cell: cell, Queries: qs, Ring: ring}}, nil)
+		ack, n, err := m.InstallCells([]wire.CellPayload{{Cell: cell, Queries: qs, Ring: ring}}, nil)
 		if err == nil {
+			// The node registered any migrated top-k subscriptions in its
+			// window store; its admission deltas fold into the board here
+			// so the reconciler sees the destination's copy the moment it
+			// goes live (the source's retractions at extraction time then
+			// net out against it).
+			s.board.ApplyRemote(wl, ack.Epoch, ack.Deltas)
 			// The destination now answers for these queries; its op log
 			// must reconstruct them if the node crashes before the next
 			// checkpoint. A failed install aborts the migration before the
 			// routing flip, so nothing is logged in that case.
-			s.logAdoptions(wl, qs, nil)
+			s.logAdoptions(wl, qs, nil, ring)
 		}
 		return n, err
 	}
@@ -746,10 +752,16 @@ func (s *System) finishExtract(pe pendingExtract) {
 	var extracted []*model.Query
 	var ring []window.Entry
 	var ds []window.Delta
+	// Remote-source extractions return the node's top-k retraction
+	// deltas (RemoveSub/DropCell run on the node now) tagged with its
+	// state epoch; they are applied AFTER the destination's adoptions
+	// below, so a hand-off that preserves membership nets out to zero
+	// user-visible updates, exactly like the local single-batch path.
+	var srcDeltas []window.Delta
+	var srcEpoch uint64
+	srcRemote := false
 	if m := s.remoteMigrator(pe.wo); m != nil {
-		// Remote workers hold no top-k subscriptions (the coordinator
-		// refuses them), so the share is queries + ring only.
-		ps, err := m.ExtractCells([]wire.CellSpec{{Cell: pe.cell, Keys: pe.keys}}, true)
+		cs, err := m.ExtractCells([]wire.CellSpec{{Cell: pe.cell, Keys: pe.keys}}, true, false)
 		if err != nil {
 			// The extraction round failed. A timed-out round is
 			// ambiguous — the node may or may not have removed the share
@@ -763,9 +775,10 @@ func (s *System) finishExtract(pe pendingExtract) {
 			// the data path anyway.
 			return
 		}
-		if len(ps) > 0 {
-			extracted, ring = ps[0].Queries, ps[0].Ring
+		if len(cs.Cells) > 0 {
+			extracted, ring = cs.Cells[0].Queries, cs.Cells[0].Ring
 		}
+		srcDeltas, srcEpoch, srcRemote = cs.Deltas, cs.Epoch, true
 		// The share has left the source node; replaying it there after a
 		// crash would resurrect queries the destination already owns. A
 		// query spanning several of the source's cells is only dropped
@@ -867,12 +880,14 @@ func (s *System) finishExtract(pe pendingExtract) {
 			// connection is down, which already fails the run on the
 			// data path — re-extracting could not recover the copies
 			// the source no longer holds.
-			_, _ = m.InstallCells(cells, deleted)
+			if ack, _, err := m.InstallCells(cells, deleted); err == nil {
+				s.board.ApplyRemote(pe.wl, ack.Epoch, ack.Deltas)
+			}
 			// Logged regardless of the install outcome: routing already
 			// flipped, so the destination slot owns these differences and
 			// replay must reconstruct them even if this particular
 			// delivery is lost to a crash the recovery path then heals.
-			s.logAdoptions(pe.wl, leftover, deleted)
+			s.logAdoptions(pe.wl, leftover, deleted, ringLeft)
 		}
 		s.board.Apply(ds)
 	} else if len(leftover) > 0 || len(ringLeft) > 0 || len(ds) > 0 || len(deleted) > 0 {
@@ -892,6 +907,9 @@ func (s *System) finishExtract(pe pendingExtract) {
 		}
 		s.board.Apply(ds)
 		s.workers[pe.wl].mu.Unlock()
+	}
+	if srcRemote {
+		s.board.ApplyRemote(pe.wo, srcEpoch, srcDeltas)
 	}
 }
 

@@ -113,9 +113,13 @@ type Config struct {
 	// Dynamic load adjustment (Adjust, AdjustNow) works across the
 	// wire: gridt cells migrate between processes via the
 	// ExtractCells/InstallCells control frames, and the load detector
-	// consumes node-reported counters (docs/WIRE.md). Global
-	// repartition and sliding-window top-k subscriptions still require
-	// in-process workers.
+	// consumes node-reported counters (docs/WIRE.md). Sliding-window
+	// top-k subscriptions work too — each node maintains its local
+	// window state and streams membership deltas back for global
+	// reconciliation — as does GlobalRepartition, which relocates
+	// remote queries through the same migration frames. A custom
+	// Transport that lacks the corresponding wire extensions gets
+	// ErrRemoteNeedsStatic from those operations.
 	RemoteWorkers map[int]stream.Transport
 	// RemoteMergers places merger tasks out-of-process. Matches routed
 	// to a remote merger are deduplicated and delivered on its node;
@@ -477,6 +481,9 @@ func (s *System) now() time.Time { return s.cfg.Clock() }
 type opEnvelope struct {
 	op model.Op
 	t0 time.Time
+	// refill marks a crash-replayed window-rebuild object (wire.OpEnv.
+	// Refill); only recovery's replay path ever sets it.
+	refill bool
 }
 
 type matchEnvelope struct {

@@ -6,9 +6,11 @@ import (
 	"sync"
 
 	"ps2stream/internal/hybrid"
+	"ps2stream/internal/index/grid"
 	"ps2stream/internal/model"
 	"ps2stream/internal/partition"
 	"ps2stream/internal/window"
+	"ps2stream/internal/wire"
 )
 
 // dualAssignment routes with two strategies during a global repartition
@@ -97,6 +99,19 @@ func (d *dualAssignment) remaining() (int, int) {
 	return len(d.oldIDs), d.initial
 }
 
+// allCellSpecs enumerates every grid cell as an ExtractCells spec: the
+// nodes' GI2 geometry is fixed by the handshake (bounds + granularity),
+// so a full sweep over it is a complete view of a remote worker's
+// standing population, independent of the routing strategy in force.
+func (s *System) allCellSpecs() []wire.CellSpec {
+	g := grid.New(s.bounds, s.cfg.Granularity, s.cfg.Granularity)
+	specs := make([]wire.CellSpec, g.NumCells())
+	for i := range specs {
+		specs[i].Cell = i
+	}
+	return specs
+}
+
 // GlobalRepartition begins a global load adjustment: a fresh assignment is
 // built from the sample and installed alongside the current one. The old
 // strategy keeps serving pre-existing queries until their population
@@ -104,14 +119,23 @@ func (d *dualAssignment) remaining() (int, int) {
 // controller migrates the remainder and retires the old strategy
 // (checkGlobalProgress). If the adjustment controller is disabled, call
 // FinishGlobalRepartition explicitly.
+//
+// Remote workers participate through the migration control frames: the
+// start-of-transition snapshot sweeps each node's standing population
+// with a copying ExtractCells round, and the finish relocates remote
+// queries with InstallCells rounds. A custom RemoteWorkers transport
+// without the migration extension gets ErrRemoteNeedsStatic.
 func (s *System) GlobalRepartition(sample *partition.Sample, builder partition.Builder) error {
 	if sample == nil {
 		return errors.New("core: nil repartition sample")
 	}
-	if s.HasRemoteWorkers() {
-		// Relocation extracts queries from local indexes; a remote
-		// worker's population is not reachable from here.
-		return ErrRemoteNeedsStatic
+	for _, task := range s.remoteWorkerTasks() {
+		if h := s.hop(task); h != nil && h.transport() == nil {
+			continue // unclaimed spare slot: nothing to snapshot
+		}
+		if s.remoteMigrator(task) == nil {
+			return fmt.Errorf("%w: worker %d transport cannot migrate cells", ErrRemoteNeedsStatic, task)
+		}
 	}
 	if builder == nil {
 		builder = s.cfg.Builder
@@ -126,11 +150,31 @@ func (s *System) GlobalRepartition(sample *partition.Sample, builder partition.B
 		return errors.New("core: global repartition already in progress")
 	}
 	// Snapshot the live query population: these stay on the old routes.
+	// Remote populations are swept over the wire (one copying extraction
+	// round per node, barriered behind all traffic sent before it).
 	oldIDs := make(map[uint64]struct{})
 	for _, w := range s.workers {
 		w.mu.Lock()
 		w.ix.Each(func(q *model.Query) { oldIDs[q.ID] = struct{}{} })
 		w.mu.Unlock()
+	}
+	if s.HasRemoteWorkers() {
+		specs := s.allCellSpecs()
+		for _, task := range s.remoteWorkerTasks() {
+			m := s.remoteMigrator(task)
+			if m == nil {
+				continue // unclaimed spare
+			}
+			cs, err := m.ExtractCells(specs, false, false)
+			if err != nil {
+				return fmt.Errorf("core: global repartition snapshot of worker %d: %w", task, err)
+			}
+			for _, p := range cs.Cells {
+				for _, q := range p.Queries {
+					oldIDs[q.ID] = struct{}{}
+				}
+			}
+		}
 	}
 	d := &dualAssignment{
 		old:     s.Assignment(),
@@ -164,9 +208,30 @@ func (s *System) checkGlobalProgress() {
 	}
 }
 
+// remoteRepartView is one remote worker's standing population at
+// finish time: which of the old ids it holds (with their definitions)
+// and the window entries its top-k subscription heaps hold.
+type remoteRepartView struct {
+	defs map[uint64]*model.Query
+	subs map[uint64][]window.Entry
+}
+
+// remoteRepartBatch accumulates one remote worker's relocation rounds:
+// whole-query installs (Cell < 0 payloads, indexed by the node's own
+// placement) and ids to delete from its index.
+type remoteRepartBatch struct {
+	cells   []wire.CellPayload
+	adopted []*model.Query
+	deletes []uint64
+}
+
 // FinishGlobalRepartition migrates the remaining old-strategy queries to
 // their new-strategy workers and retires the old assignment. It returns
-// the number of queries relocated.
+// the number of queries relocated. Remote holders are discovered with
+// one copying ExtractCells sweep per node (including each top-k
+// subscription's held window entries), then the relocations are flushed
+// as one InstallCells round per node whose ack deltas fold into the
+// top-k board.
 func (s *System) FinishGlobalRepartition() int {
 	s.globalMu.Lock()
 	d := s.dual
@@ -185,9 +250,42 @@ func (s *System) FinishGlobalRepartition() int {
 	d.oldIDs = map[uint64]struct{}{}
 	d.mu.Unlock()
 
+	// One barriered sweep per remote worker: its population and held
+	// top-k window entries at finish time. A node unreachable this round
+	// keeps its population where it is — its connection is failing the
+	// run (or entering recovery) anyway, and a half-seen view would
+	// misclassify every one of its queries as not-held.
+	views := make(map[int]*remoteRepartView)
+	if s.HasRemoteWorkers() {
+		specs := s.allCellSpecs()
+		for _, task := range s.remoteWorkerTasks() {
+			m := s.remoteMigrator(task)
+			if m == nil {
+				continue
+			}
+			cs, err := m.ExtractCells(specs, false, true)
+			if err != nil {
+				s.log.Warn("global repartition: worker sweep failed; leaving its queries in place",
+					"worker", task, "err", err)
+				continue
+			}
+			v := &remoteRepartView{defs: make(map[uint64]*model.Query), subs: make(map[uint64][]window.Entry)}
+			for _, p := range cs.Cells {
+				for _, q := range p.Queries {
+					v.defs[q.ID] = q
+				}
+				for _, se := range p.Subs {
+					v.subs[se.ID] = append(v.subs[se.ID], se.Entries...)
+				}
+			}
+			views[task] = v
+		}
+	}
+
+	batches := make(map[int]*remoteRepartBatch)
 	moved := 0
 	for _, id := range ids {
-		// Find a live definition on any worker.
+		// Find a live definition on any holder, local or remote.
 		var def *model.Query
 		for _, w := range s.workers {
 			w.mu.Lock()
@@ -198,17 +296,26 @@ func (s *System) FinishGlobalRepartition() int {
 			}
 		}
 		if def == nil {
+			for _, v := range views {
+				if q, ok := v.defs[id]; ok {
+					def = q
+					break
+				}
+			}
+		}
+		if def == nil {
 			continue // deleted concurrently
 		}
 		want := make(map[int]struct{})
 		for _, w := range d.new.RouteQuery(def, true) {
 			want[w] = struct{}{}
 		}
-		// Window deltas across all holders are applied as one batch so a
-		// relocation whose top-k membership survives nets out to zero
+		// Window deltas across all local holders are applied as one batch
+		// so a relocation whose top-k membership survives nets out to zero
 		// user-visible updates. The held window entries travel with the
-		// subscription: the departing holders' heap contents seed the new
-		// holders, whose own rings cannot refill history they never saw.
+		// subscription: the departing holders' heap contents (remote ones
+		// arrived with the sweep) seed the new holders, whose own rings
+		// cannot refill history they never saw.
 		var ds []window.Delta
 		var carried []window.Entry
 		now := s.now()
@@ -224,9 +331,41 @@ func (s *System) FinishGlobalRepartition() int {
 				}
 				w.mu.Unlock()
 			}
+			for _, v := range views {
+				for _, e := range v.subs[id] {
+					if _, dup := seen[e.MsgID]; !dup {
+						seen[e.MsgID] = struct{}{}
+						carried = append(carried, e)
+					}
+				}
+			}
 		}
-		for wi, w := range s.workers {
+		for wi := range s.workers {
 			_, wanted := want[wi]
+			if v, remote := views[wi]; remote {
+				_, holds := v.defs[id]
+				b := batches[wi]
+				if b == nil {
+					b = &remoteRepartBatch{}
+					batches[wi] = b
+				}
+				switch {
+				case wanted && !holds:
+					p := wire.CellPayload{Cell: -1, Queries: []*model.Query{def}}
+					if def.IsTopK() && len(carried) > 0 {
+						p.Subs = []wire.SubEntries{{ID: id, Entries: carried}}
+					}
+					b.cells = append(b.cells, p)
+					b.adopted = append(b.adopted, def)
+				case !wanted && holds:
+					b.deletes = append(b.deletes, id)
+				}
+				continue
+			}
+			if s.isRemote(wi) {
+				continue // sweep failed (or unclaimed spare): leave in place
+			}
+			w := s.workers[wi]
 			w.mu.Lock()
 			holds := w.ix.Get(id) != nil
 			switch {
@@ -244,6 +383,29 @@ func (s *System) FinishGlobalRepartition() int {
 		}
 		s.board.Apply(ds)
 		moved++
+	}
+	// Flush the relocations node by node. Installs run before deletes so
+	// a subscription hopping between two remote workers is never without
+	// a holder; each ack's admission/retraction deltas fold into the
+	// board under the node's state epoch.
+	for task, b := range batches {
+		m := s.remoteMigrator(task)
+		if m == nil || (len(b.cells) == 0 && len(b.deletes) == 0) {
+			continue
+		}
+		if ack, _, err := m.InstallCells(b.cells, b.deletes); err == nil {
+			s.board.ApplyRemote(task, ack.Epoch, ack.Deltas)
+		} else {
+			s.log.Warn("global repartition: install round failed", "worker", task, "err", err)
+		}
+		var carried []window.Entry
+		for _, p := range b.cells {
+			carried = append(carried, p.Ring...)
+			for _, se := range p.Subs {
+				carried = append(carried, se.Entries...)
+			}
+		}
+		s.logAdoptions(task, b.adopted, b.deletes, carried)
 	}
 	// Install the new strategy as the only route; local adjustment
 	// resumes against the new gridt when the new strategy is hybrid.

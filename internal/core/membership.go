@@ -32,6 +32,7 @@ import (
 	"ps2stream/internal/oplog"
 	"ps2stream/internal/snapshot"
 	"ps2stream/internal/stream"
+	"ps2stream/internal/window"
 	"ps2stream/internal/wire"
 )
 
@@ -169,6 +170,7 @@ func (s *System) initHops() {
 	}
 	s.hops = make([]*workerHop, s.totalSlots())
 	for task, tr := range s.cfg.RemoteWorkers {
+		s.installDeltaHandler(task, tr)
 		h := &workerHop{task: task, tr: tr, active: true, gen: 1, notify: make(chan struct{})}
 		if a, ok := tr.(remoteAddresser); ok {
 			h.addr = a.Addr()
@@ -342,8 +344,19 @@ func (s *System) recoverWorker(h *workerHop, failedGen uint64) {
 			return
 		}
 	}
+	// The node lost its window state with the crash: retract this
+	// source's tracked top-k contributions under the new epoch before
+	// any replay traffic flows, so the board's TopKSet reflects only
+	// state the recovered session re-establishes. Deltas the node
+	// re-emits during replay arrive tagged with newGen and rebuild the
+	// refs; stragglers from the dead session carry an older epoch and
+	// are dropped. (ApplyRemote with no deltas is exactly this bump-and-
+	// retract.)
+	s.board.ApplyRemote(h.task, newGen, nil)
+	ntr := &wireWorkerTransport{c: cl}
+	s.installDeltaHandler(h.task, ntr)
 	// Install the recovery session (still under h.mu from the loop).
-	h.tr = &wireWorkerTransport{c: cl}
+	h.tr = ntr
 	h.gen = newGen
 	h.down = false
 	h.replaying = true
@@ -355,19 +368,15 @@ func (s *System) recoverWorker(h *workerHop, failedGen uint64) {
 	s.log.Info("remote worker redialled; replaying",
 		"worker", h.task, "gen", newGen, "base", len(base), "tail", len(tail))
 	lastSeq := watermark
-	baseOps := make([]model.Op, 0, len(base))
+	baseEnts := make([]oplog.Entry, 0, len(base))
 	for _, q := range base {
-		baseOps = append(baseOps, model.Op{Kind: model.OpInsert, Query: q})
+		baseEnts = append(baseEnts, oplog.Entry{Op: model.Op{Kind: model.OpInsert, Query: q}})
 	}
-	if err := s.replaySend(tr, baseOps); err != nil {
+	if err := s.replaySend(tr, baseEnts); err != nil {
 		s.hopFailed(h, newGen, err)
 		return
 	}
-	tailOps := make([]model.Op, 0, len(tail))
-	for _, e := range tail {
-		tailOps = append(tailOps, e.Op)
-	}
-	if err := s.replaySend(tr, tailOps); err != nil {
+	if err := s.replaySend(tr, tail); err != nil {
 		s.hopFailed(h, newGen, err)
 		return
 	}
@@ -383,11 +392,7 @@ func (s *System) recoverWorker(h *workerHop, failedGen uint64) {
 		return
 	}
 	pending := h.log.Since(lastSeq)
-	ops := make([]model.Op, 0, len(pending))
-	for _, e := range pending {
-		ops = append(ops, e.Op)
-	}
-	if err := s.replaySend(h.tr, ops); err != nil {
+	if err := s.replaySend(h.tr, pending); err != nil {
 		h.mu.Unlock()
 		s.hopFailed(h, newGen, err)
 		return
@@ -404,23 +409,30 @@ func (s *System) recoverWorker(h *workerHop, failedGen uint64) {
 	s.log.Info("remote worker recovered", "worker", h.task, "gen", newGen)
 }
 
-// replaySend ships ops to a transport in BatchSize chunks, stamped at
-// the replay instant (their original latency samples are lost with the
-// crash; correctness only needs the op order).
-func (s *System) replaySend(tr stream.Transport, ops []model.Op) error {
+// replaySend ships logged entries to a transport in BatchSize chunks.
+// Each entry keeps its original submit stamp — window entry ranks and
+// expiry are functions of the publish instant, so re-stamping would
+// corrupt the recovered node's top-k state. Entries without a stamp
+// (checkpoint-base query registrations) are stamped at the replay
+// instant; a query's T0 only feeds latency accounting.
+func (s *System) replaySend(tr stream.Transport, ents []oplog.Entry) error {
 	if tr == nil {
 		return errors.New("core: replay on nil transport")
 	}
-	t0 := s.now()
+	now := s.now()
 	bs := s.cfg.BatchSize
-	for off := 0; off < len(ops); off += bs {
+	for off := 0; off < len(ents); off += bs {
 		end := off + bs
-		if end > len(ops) {
-			end = len(ops)
+		if end > len(ents) {
+			end = len(ents)
 		}
 		ts := make([]stream.Tuple, 0, end-off)
-		for _, op := range ops[off:end] {
-			ts = append(ts, stream.Tuple{Value: opEnvelope{op: op, t0: t0}})
+		for _, e := range ents[off:end] {
+			t0 := e.T0
+			if t0.IsZero() {
+				t0 = now
+			}
+			ts = append(ts, stream.Tuple{Value: opEnvelope{op: e.Op, t0: t0, refill: e.Refill}})
 		}
 		if err := tr.Send(ts); err != nil {
 			return err
@@ -430,19 +442,32 @@ func (s *System) replaySend(tr stream.Transport, ops []model.Op) error {
 }
 
 // logAdoptions appends migration-install entries to worker w's op log:
-// queries the slot adopted, and ids deleted from its adopted copy. The
-// InstallCells round that applied them is synchronously acked before
-// any later traffic, so the checkpoint barrier covers them like any op.
-func (s *System) logAdoptions(w int, adopted []*model.Query, dropped []uint64) {
+// queries the slot adopted, ids deleted from its adopted copy, and the
+// window entries that travelled with the hand-off (logged as refill
+// objects under their original publish stamps, so a later crash replay
+// can rebuild the adopted window state without re-emitting matches).
+// The InstallCells round that applied them is synchronously acked
+// before any later traffic, so the checkpoint barrier covers them like
+// any op.
+func (s *System) logAdoptions(w int, adopted []*model.Query, dropped []uint64, entries []window.Entry) {
 	h := s.hop(w)
 	if h == nil || h.log == nil {
 		return
 	}
+	now := s.now()
 	for _, q := range adopted {
-		h.log.AdoptQuery(q)
+		h.log.AdoptQuery(q, now)
 	}
 	for _, id := range dropped {
-		h.log.Append(model.Op{Kind: model.OpDelete, Query: &model.Query{ID: id}})
+		h.log.Append(model.Op{Kind: model.OpDelete, Query: &model.Query{ID: id}}, now)
+	}
+	seen := make(map[uint64]bool, len(entries))
+	for _, e := range entries {
+		if seen[e.MsgID] {
+			continue // ring and subscription copies overlap; one refill is enough
+		}
+		seen[e.MsgID] = true
+		h.log.AdoptObject(&model.Object{ID: e.MsgID, Terms: e.Terms, Loc: e.Loc}, e.At)
 	}
 }
 
@@ -453,8 +478,9 @@ func (s *System) logExtraction(w int, extracted []*model.Query) {
 	if h == nil || h.log == nil {
 		return
 	}
+	now := s.now()
 	for _, q := range extracted {
-		h.log.DropQuery(q)
+		h.log.DropQuery(q, now)
 	}
 }
 
@@ -513,7 +539,7 @@ func (s *System) checkpointHop(h *workerHop) bool {
 		s.hopFailed(h, gen, err)
 		return false
 	}
-	h.log.Checkpoint(wm)
+	h.log.Checkpoint(wm, s.now())
 	if s.cfg.Recovery.Dir != "" {
 		if err := s.writeWorkerCheckpoint(h); err != nil {
 			s.log.Warn("worker checkpoint persist failed", "worker", h.task, "err", err)
@@ -607,10 +633,12 @@ func (s *System) AddWorker(addr string) (int, error) {
 	if err != nil {
 		return -1, fmt.Errorf("core: adding worker at %s: %w", addr, err)
 	}
+	jtr := &wireWorkerTransport{c: cl}
+	s.installDeltaHandler(h.task, jtr)
 	h.mu.Lock()
 	h.addr = addr
 	h.hello = hello
-	h.tr = &wireWorkerTransport{c: cl}
+	h.tr = jtr
 	h.gen = 1
 	h.active = true
 	h.down = false
@@ -789,6 +817,11 @@ func (s *System) DecommissionWorker(task int) error {
 	tr = h.tr
 	h.broadcastLocked()
 	h.mu.Unlock()
+	// The drain barrier above delivered (and applied) every delta the
+	// node emitted; whatever net contribution remains tracked for the
+	// slot is state the migrations already moved elsewhere — drop it so
+	// the retired source cannot pin stale top-k candidates.
+	s.board.dropSource(task)
 	s.log.Info("worker decommissioned", "worker", task)
 	if tr == nil {
 		return nil

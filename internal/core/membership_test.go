@@ -316,14 +316,61 @@ func startChaosNode(t *testing.T, fc faultnet.Config) *elasticNode {
 // both worker hops run behind a seeded drop/delay schedule, so sessions
 // sever at schedule-chosen frames mid-stream and recovery redials and
 // replays — repeatedly, if the schedule says so. The delivered match
-// set must still be exactly the in-process oracle's. SkipFrames leaves
-// the handshake intact so every redial can succeed; the per-accept
-// reseed means successive sessions fail at different points.
+// set must still be exactly the in-process oracle's, and — with a top-k
+// mix riding along under a shared fake clock — so must every reconciled
+// TopKSet. The standing top-k subscriptions keep checkpoint refill
+// retention active for the whole run, so boolean exactness here doubles
+// as the regression test for refill match suppression: a replay that
+// re-emits matches for refilled objects shows up as extras, one that
+// loses window state shows up in the sets. SkipFrames leaves the
+// handshake intact so every redial can succeed; the per-accept reseed
+// means successive sessions fail at different points.
 func TestChaosFaultnetMatchesOracle(t *testing.T) {
 	sample, ops := smallWorkload(t, workload.Q1, 13, 4000)
 	want := oracleMatches(ops)
 	if len(want) == 0 {
 		t.Fatal("vacuous: oracle produced no matches")
+	}
+	topks := topkMixFromWorkload(ops, 5, 2*time.Hour)
+	if len(topks) < 4 {
+		t.Fatalf("workload yielded only %d top-k shapes", len(topks))
+	}
+	// One static fake clock for the oracle and the chaos run: every op
+	// carries the same publish stamp in both, so ranks are comparable
+	// regardless of how long recovery stalls the distributed run.
+	clk := newFakeClock(time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC))
+	oracle, err := New(Config{
+		Dispatchers: 1, Workers: 2, Mergers: 2,
+		Builder:    hybrid.Builder{},
+		OnMatch:    func(model.Match) {},
+		OnTopK:     func(TopKUpdate) {},
+		Clock:      clk.Now,
+		WindowTick: time.Hour,
+	}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	n := submitTopKs(oracle, topks)
+	if err := oracle.Drain(n); err != nil {
+		t.Fatal(err)
+	}
+	oracle.SubmitAll(ops)
+	if err := oracle.Drain(n + int64(len(ops))); err != nil {
+		t.Fatal(err)
+	}
+	wantTopK := topkSets(oracle, topks)
+	if err := oracle.Close(); err != nil {
+		t.Fatal(err)
+	}
+	members := 0
+	for _, s := range wantTopK {
+		members += len(s)
+	}
+	if members == 0 {
+		t.Fatal("vacuous: the top-k mix ranked nothing")
 	}
 	// CI's chaos job sweeps a fixed seed matrix via PS2_CHAOS_SEED; each
 	// seed deterministically selects a different crash/delay schedule.
@@ -352,6 +399,9 @@ func TestChaosFaultnetMatchesOracle(t *testing.T) {
 		Mergers:     2,
 		Builder:     hybrid.Builder{},
 		OnMatch:     ms.add,
+		OnTopK:      func(TopKUpdate) {},
+		Clock:       clk.Now,
+		WindowTick:  time.Hour,
 		Recovery: RecoveryConfig{
 			Enabled:            true,
 			CheckpointInterval: 100 * time.Millisecond,
@@ -369,11 +419,15 @@ func TestChaosFaultnetMatchesOracle(t *testing.T) {
 	if err := sys.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+	if err := sys.Drain(submitTopKs(sys, topks)); err != nil {
+		t.Fatal(err)
+	}
 	sys.SubmitAll(ops)
-	if err := sys.Drain(int64(len(ops))); err != nil {
+	if err := sys.Drain(n + int64(len(ops))); err != nil {
 		t.Fatal(err)
 	}
 	assertExact(t, ms, want)
+	assertSameTopKSets(t, "chaos", topkSets(sys, topks), wantTopK)
 	if err := sys.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -594,6 +648,273 @@ func TestPartialCellDepartureSurvivesReplay(t *testing.T) {
 	if missing > 0 {
 		t.Errorf("%d of %d whole-space matches missing after partial departure + crash replay", missing, len(objs))
 	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// topkMixFromWorkload clones a handful of the workload's own query
+// shapes into top-k subscriptions — same regions and expressions, so
+// they provably match the stream — under fresh ids that keep the
+// boolean match oracle untouched.
+func topkMixFromWorkload(ops []model.Op, k int, w time.Duration) []*model.Query {
+	var out []*model.Query
+	for _, op := range ops {
+		if op.Kind != model.OpInsert {
+			continue
+		}
+		q := *op.Query
+		q.ID = 990001 + uint64(len(out))
+		q.Subscriber = 42
+		q.TopK = k
+		q.Window = w
+		out = append(out, &q)
+		if len(out) == 6 {
+			break
+		}
+	}
+	return out
+}
+
+// submitTopKs registers the subscriptions and returns how many ops that
+// submitted.
+func submitTopKs(sys *System, qs []*model.Query) int64 {
+	for _, q := range qs {
+		sys.Submit(model.Op{Kind: model.OpInsert, Query: q})
+	}
+	return int64(len(qs))
+}
+
+// topkSets snapshots the reconciled global top-k membership per query.
+func topkSets(sys *System, qs []*model.Query) map[uint64][]uint64 {
+	out := make(map[uint64][]uint64, len(qs))
+	for _, q := range qs {
+		out[q.ID] = sys.TopKSet(q.ID)
+	}
+	return out
+}
+
+// assertSameTopKSets compares two per-query membership snapshots.
+func assertSameTopKSets(t *testing.T, phase string, got, want map[uint64][]uint64) {
+	t.Helper()
+	for id, w := range want {
+		if !equalIDs(got[id], w) {
+			t.Errorf("%s: query %d top-k = %v, oracle has %v", phase, id, got[id], w)
+		}
+	}
+}
+
+// TestTopKCrashReplayMatchesOracle is the distributed-top-k recovery
+// centerpiece: a worker node is kill-9'd mid-window under a top-k mix
+// while publishing continues, a state-less replacement binds the same
+// port, and the op-log replay (window refill entries, original publish
+// stamps) must rebuild the node's window state so exactly that the
+// reconciled TopKSet — compared before and after the first half expires
+// — is identical to an all-in-process oracle run of the same fake-clock
+// timeline. The boolean match set must stay exact too: refill replays
+// suppress match emission, so queries inserted after a replayed object
+// cannot fabricate matches the oracle never saw.
+func TestTopKCrashReplayMatchesOracle(t *testing.T) {
+	sample, ops := smallWorkload(t, workload.Q1, 29, 3000)
+	want := oracleMatches(ops)
+	if len(want) == 0 {
+		t.Fatal("vacuous: oracle produced no matches")
+	}
+	topks := topkMixFromWorkload(ops, 8, 2*time.Hour)
+	if len(topks) < 4 {
+		t.Fatalf("workload yielded only %d top-k shapes", len(topks))
+	}
+	start := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	half := len(ops) / 2
+	chunk := half + 300 // the slice published concurrently with the crash
+	if chunk > len(ops) {
+		chunk = len(ops)
+	}
+
+	// Oracle run: all-in-process, same fake-clock timeline. The first
+	// half publishes at t0 and a small chunk at t0+10m (where the
+	// distributed run crashes); the mid snapshot at t0+15m still has the
+	// first half in window — so a recovery that loses the crashed node's
+	// window state shows up — and the end snapshot at t0+2h05m has only
+	// it expired, so a replay that re-stamps publish instants shows up
+	// too. The 2h window keeps decay from letting the crash-time chunk
+	// crowd the first half off the boards before the mid snapshot.
+	clkO := newFakeClock(start)
+	oracle, err := New(Config{
+		Dispatchers: 1, Workers: 2, Mergers: 2,
+		Builder:    hybrid.Builder{},
+		OnMatch:    func(model.Match) {},
+		OnTopK:     func(TopKUpdate) {},
+		Clock:      clkO.Now,
+		WindowTick: time.Hour,
+	}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	n := submitTopKs(oracle, topks)
+	if err := oracle.Drain(n); err != nil {
+		t.Fatal(err)
+	}
+	oracle.SubmitAll(ops[:half])
+	if err := oracle.Drain(n + int64(half)); err != nil {
+		t.Fatal(err)
+	}
+	clkO.Advance(10 * time.Minute)
+	oracle.SubmitAll(ops[half:chunk])
+	if err := oracle.Drain(n + int64(chunk)); err != nil {
+		t.Fatal(err)
+	}
+	clkO.Advance(5 * time.Minute)
+	oracle.AdvanceWindows()
+	wantMid := topkSets(oracle, topks)
+	oracle.SubmitAll(ops[chunk:])
+	if err := oracle.Drain(n + int64(len(ops))); err != nil {
+		t.Fatal(err)
+	}
+	clkO.Advance(110 * time.Minute)
+	oracle.AdvanceWindows()
+	wantEnd := topkSets(oracle, topks)
+	if err := oracle.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-vacuity: the mid snapshot must still rank first-half objects —
+	// the entries a careless recovery would lose — and expiry must
+	// change the sets between the snapshots.
+	firstHalf := make(map[uint64]bool)
+	for _, op := range ops[:half] {
+		if op.Kind == model.OpObject {
+			firstHalf[op.Obj.ID] = true
+		}
+	}
+	oldInMid, changed := 0, 0
+	for id, s := range wantMid {
+		for _, msg := range s {
+			if firstHalf[msg] {
+				oldInMid++
+			}
+		}
+		if !equalIDs(s, wantEnd[id]) {
+			changed++
+		}
+	}
+	if oldInMid == 0 || changed == 0 {
+		t.Fatalf("vacuous: %d first-half members in mid sets, %d sets changed by expiry", oldInMid, changed)
+	}
+
+	// Distributed run: two remote nodes, same timeline, with a kill-9 of
+	// one worker between the phases. The victim is picked below, after
+	// the assignment exists: whichever worker owns the most first-half
+	// mid-snapshot members, so the crash provably destroys window state
+	// the snapshots depend on.
+	clk := newFakeClock(start)
+	nodes := []*elasticNode{startElasticNode(t, ""), startElasticNode(t, "")}
+	ms := newMatchSet()
+	cfg := Config{
+		Dispatchers: 1,
+		Workers:     2,
+		Mergers:     2,
+		Builder:     hybrid.Builder{},
+		OnMatch:     ms.add,
+		OnTopK:      func(TopKUpdate) {},
+		Clock:       clk.Now,
+		WindowTick:  time.Hour,
+		Recovery: RecoveryConfig{
+			Enabled:            true,
+			CheckpointInterval: 100 * time.Millisecond,
+			HeartbeatInterval:  50 * time.Millisecond,
+			RedialTimeout:      20 * time.Second,
+		},
+	}
+	if err := cfg.ConnectRemoteWorkers([]string{nodes[0].addr, nodes[1].addr}, sample, wire.Backoff{Attempts: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	submitTopKs(sys, topks)
+	if err := sys.Drain(n); err != nil {
+		t.Fatal(err)
+	}
+	// Victim selection doubles as the sharper non-vacuity check: at least
+	// one first-half mid-snapshot member must route to the worker we
+	// kill — those are the window entries only the checkpoint's refill
+	// retention can bring back. Killing the heavier owner maximizes what
+	// the crash destroys.
+	objByID := make(map[uint64]*model.Object)
+	for _, op := range ops {
+		if op.Kind == model.OpObject {
+			objByID[op.Obj.ID] = op.Obj
+		}
+	}
+	owned := make([]int, len(nodes))
+	for _, s := range wantMid {
+		for _, msg := range s {
+			if !firstHalf[msg] {
+				continue
+			}
+			for _, w := range sys.Assignment().RouteObject(objByID[msg]) {
+				owned[w]++
+			}
+		}
+	}
+	victimTask := 0
+	for w, c := range owned {
+		if c > owned[victimTask] {
+			victimTask = w
+		}
+	}
+	if owned[victimTask] == 0 {
+		t.Fatal("vacuous: no first-half mid-snapshot member routes to any worker")
+	}
+	victim := nodes[victimTask]
+	sys.SubmitAll(ops[:half])
+	if err := sys.Drain(n + int64(half)); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until a checkpoint has folded the first half below the
+	// watermark on the victim's log: the replay must then rebuild its
+	// window state from retained refill entries, not from a raw tail.
+	target := sys.hop(victimTask).log.Seq()
+	deadline := time.Now().Add(10 * time.Second)
+	for sys.hop(victimTask).log.Watermark() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpoint never covered the first half (watermark %d < %d)",
+				sys.hop(victimTask).log.Watermark(), target)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	clk.Advance(10 * time.Minute)
+	published := make(chan struct{})
+	go func() {
+		defer close(published)
+		sys.SubmitAll(ops[half:chunk])
+	}()
+	victim.kill()
+	startElasticNode(t, victim.addr)
+	<-published
+	if err := sys.Drain(n + int64(chunk)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Minute)
+	sys.AdvanceWindows()
+	gotMid := topkSets(sys, topks)
+	sys.SubmitAll(ops[chunk:])
+	if err := sys.Drain(n + int64(len(ops))); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(110 * time.Minute)
+	sys.AdvanceWindows()
+	gotEnd := topkSets(sys, topks)
+	assertExact(t, ms, want)
+	assertSameTopKSets(t, "mid-window", gotMid, wantMid)
+	assertSameTopKSets(t, "post-expiry", gotEnd, wantEnd)
 	if err := sys.Close(); err != nil {
 		t.Fatal(err)
 	}

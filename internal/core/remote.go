@@ -19,6 +19,7 @@ import (
 	"ps2stream/internal/model"
 	"ps2stream/internal/partition"
 	"ps2stream/internal/stream"
+	"ps2stream/internal/window"
 	"ps2stream/internal/wire"
 )
 
@@ -37,14 +38,16 @@ type remoteMergerCounter interface {
 }
 
 // ErrRemoteNeedsStatic is returned when an operation that must reach
-// inside every worker index is combined with remote workers it cannot
-// reach: global repartition (which relocates the whole standing
-// population), and dynamic load adjustment over a custom RemoteWorkers
-// transport that does not support cell migration. Phase I/II dynamic
-// adjustment itself works across processes when the transports are the
-// wire-backed ones ConnectRemoteWorkers installs — cells then migrate
-// via ExtractCells/InstallCells control frames (docs/WIRE.md).
-var ErrRemoteNeedsStatic = errors.New("core: operation requires in-process workers (or a cell-migration-capable remote transport)")
+// inside every worker is combined with a custom RemoteWorkers transport
+// lacking the wire extension the operation rides on: GlobalRepartition
+// and dynamic load adjustment need cell migration
+// (ExtractCells/InstallCells control frames), and SubscribeTopK needs
+// the window delta stream plus the fenced AdvanceWindow round. The
+// wire-backed transports ConnectRemoteWorkers installs implement every
+// extension, so deployments on psnode never see this error — it
+// survives only for custom stream.Transport implementations that stop
+// at Send/Recv (docs/WIRE.md).
+var ErrRemoteNeedsStatic = errors.New("core: operation requires in-process workers (or a remote transport with the matching wire extension)")
 
 // ErrRemoteTask is returned for RemoteWorkers/RemoteMergers keys
 // outside the topology's task range.
@@ -73,10 +76,26 @@ var ErrNilSample = errors.New("core: remote connection requires a non-nil worklo
 type remoteCellMigrator interface {
 	WorkerStats() (wire.StatsReply, error)
 	CellStats() ([]wire.CellStat, error)
-	ExtractCells(cells []wire.CellSpec, remove bool) ([]wire.CellPayload, error)
-	InstallCells(cells []wire.CellPayload, deletes []uint64) (int64, error)
+	ExtractCells(cells []wire.CellSpec, remove, subs bool) (wire.CellShare, error)
+	InstallCells(cells []wire.CellPayload, deletes []uint64) (wire.InstallAck, int64, error)
 	SendFence(epoch uint64) error
 	ResetWindow() error
+}
+
+// remoteDeltaSource is the optional Transport extension the top-k
+// reconciliation board consumes: the handler receives the worker's
+// spontaneous window delta batches, each tagged with the node's state
+// epoch so the board can fence out replayed or pre-crash deltas.
+type remoteDeltaSource interface {
+	SetDeltaHandler(h func(epoch uint64, ds []window.Delta))
+}
+
+// remoteWindowAdvancer is the optional Transport extension the fenced
+// AdvanceWindows round uses: the worker processes every op sent before
+// the call, advances its sliding windows to the coordinator clock, and
+// returns the eviction deltas with its state epoch.
+type remoteWindowAdvancer interface {
+	AdvanceWindow(now time.Time) (epoch uint64, ds []window.Delta, err error)
 }
 
 // remoteHelloer exposes the dial-time handshake for New's
@@ -112,7 +131,7 @@ func (t *wireWorkerTransport) Send(batch []stream.Tuple) error {
 	t.ops = t.ops[:0]
 	for i := range batch {
 		env := batch[i].Value.(opEnvelope)
-		t.ops = append(t.ops, wire.OpEnv{Op: env.op, T0: env.t0})
+		t.ops = append(t.ops, wire.OpEnv{Op: env.op, T0: env.t0, Refill: env.refill})
 	}
 	return t.c.SendOps(wire.OpBatch{Ops: t.ops})
 }
@@ -145,16 +164,28 @@ func (t *wireWorkerTransport) DrainWorker() (done, emitted int64, err error) {
 // op batches and fence frames sent before them).
 func (t *wireWorkerTransport) WorkerStats() (wire.StatsReply, error) { return t.c.Stats() }
 func (t *wireWorkerTransport) CellStats() ([]wire.CellStat, error)   { return t.c.CellStats() }
-func (t *wireWorkerTransport) ExtractCells(cells []wire.CellSpec, remove bool) ([]wire.CellPayload, error) {
-	return t.c.ExtractCells(cells, remove)
+func (t *wireWorkerTransport) ExtractCells(cells []wire.CellSpec, remove, subs bool) (wire.CellShare, error) {
+	return t.c.ExtractCells(cells, remove, subs)
 }
-func (t *wireWorkerTransport) InstallCells(cells []wire.CellPayload, deletes []uint64) (int64, error) {
+func (t *wireWorkerTransport) InstallCells(cells []wire.CellPayload, deletes []uint64) (wire.InstallAck, int64, error) {
 	return t.c.InstallCells(cells, deletes)
 }
 func (t *wireWorkerTransport) SendFence(epoch uint64) error { return t.c.SendFence(epoch) }
 func (t *wireWorkerTransport) ResetWindow() error           { return t.c.ResetWindow() }
 func (t *wireWorkerTransport) Hello() wire.Hello            { return t.c.Hello() }
 func (t *wireWorkerTransport) Addr() string                 { return t.c.Addr() }
+
+func (t *wireWorkerTransport) SetDeltaHandler(h func(epoch uint64, ds []window.Delta)) {
+	t.c.SetDeltaHandler(h)
+}
+
+func (t *wireWorkerTransport) AdvanceWindow(now time.Time) (uint64, []window.Delta, error) {
+	ack, err := t.c.AdvanceWindow(now)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ack.Epoch, ack.Deltas, nil
+}
 
 // wireMergerTransport adapts a wire.MergerClient to stream.Transport
 // (forward direction only: mergers send nothing back but counters).
@@ -388,6 +419,68 @@ func (s *System) HasRemoteWorkers() bool {
 	return s.hops != nil || len(s.cfg.RemoteWorkers) > 0
 }
 
+// remoteAdvancer returns worker task's fenced window-advance interface,
+// nil for in-process tasks and for remote transports without the
+// extension. Like remoteMigrator, an elastic hop's CURRENT session
+// transport is returned even mid-outage: a control round on a dead
+// connection fails fast and the caller skips the worker for this round.
+func (s *System) remoteAdvancer(task int) remoteWindowAdvancer {
+	if h := s.hop(task); h != nil {
+		if a, ok := h.transport().(remoteWindowAdvancer); ok {
+			return a
+		}
+		return nil
+	}
+	if tr, ok := s.cfg.RemoteWorkers[task]; ok {
+		if a, ok := tr.(remoteWindowAdvancer); ok {
+			return a
+		}
+	}
+	return nil
+}
+
+// TopKRemoteSupport reports whether sliding-window top-k subscriptions
+// can be hosted on the current membership: nil when every remote worker
+// transport implements the window-delta extension (the spontaneous
+// delta stream and the fenced AdvanceWindow round), an
+// ErrRemoteNeedsStatic-wrapped error naming the first worker whose
+// transport does not. Wire-backed psnode transports always qualify;
+// unclaimed spare slots have no transport yet and are skipped — a
+// later AddWorker joins through the same wire client.
+func (s *System) TopKRemoteSupport() error {
+	for _, task := range s.remoteWorkerTasks() {
+		var tr stream.Transport
+		if h := s.hop(task); h != nil {
+			if tr = h.transport(); tr == nil {
+				continue // unclaimed spare slot
+			}
+		} else {
+			tr = s.cfg.RemoteWorkers[task]
+		}
+		_, src := tr.(remoteDeltaSource)
+		_, adv := tr.(remoteWindowAdvancer)
+		if !src || !adv {
+			return fmt.Errorf("%w: worker %d transport carries no window delta stream", ErrRemoteNeedsStatic, task)
+		}
+	}
+	return nil
+}
+
+// installDeltaHandler points a transport's spontaneous top-k delta
+// stream at the reconciliation board, tagged with the worker's task id
+// (the board's per-source epoch-dedup key). No-op for transports
+// without the extension — their deployments cannot host top-k
+// subscriptions (SubscribeTopK refuses them).
+func (s *System) installDeltaHandler(task int, tr stream.Transport) {
+	src, ok := tr.(remoteDeltaSource)
+	if !ok {
+		return
+	}
+	src.SetDeltaHandler(func(epoch uint64, ds []window.Delta) {
+		s.board.ApplyRemote(task, epoch, ds)
+	})
+}
+
 // closeRemoteTransports force-closes every remote hop (idempotent);
 // used to unblock transport reads when the run is cancelled.
 func (s *System) closeRemoteTransports() {
@@ -492,7 +585,8 @@ func (r *remoteWorkerBolt) forward(ts []stream.Tuple) {
 	}
 	var lastSeq uint64
 	for i := range ts {
-		lastSeq = h.log.Append(ts[i].Value.(opEnvelope).op)
+		env := ts[i].Value.(opEnvelope)
+		lastSeq = h.log.Append(env.op, env.t0)
 	}
 	h.mu.Lock()
 	if h.tr == nil || h.down || h.replaying || h.closing {

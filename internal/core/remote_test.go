@@ -191,12 +191,13 @@ func TestRemoteValidation(t *testing.T) {
 	}
 }
 
-// TestRemoteRepartitionStillRefused: Phase I/II adjustment is lifted
-// for wire-backed remote workers (AdjustNow may migrate), but global
-// repartition still requires in-process workers — it relocates the
-// whole standing population, which a remote index does not expose.
-func TestRemoteRepartitionStillRefused(t *testing.T) {
-	sample, ops := smallWorkload(t, workload.Q1, 5, 200)
+// TestRemoteRepartitionOverWire: global repartition is a coordinated
+// wire operation for psnode-backed workers — beginning and finishing a
+// repartition under live remote membership must succeed and keep every
+// match exact (the remote population is swept through ExtractCells and
+// reinstalled through InstallCells).
+func TestRemoteRepartitionOverWire(t *testing.T) {
+	sample, ops := smallWorkload(t, workload.Q1, 5, 500)
 	addrs := startWorkerNodes(t, 1)
 	cfg := Config{Dispatchers: 1, Workers: 2, Builder: hybrid.Builder{}}
 	if err := cfg.ConnectRemoteWorkers(addrs, sample, wire.Backoff{Attempts: 5}); err != nil {
@@ -213,11 +214,39 @@ func TestRemoteRepartitionStillRefused(t *testing.T) {
 	if err := sys.Drain(int64(len(ops))); err != nil {
 		t.Fatal(err)
 	}
+	if err := sys.TopKRemoteSupport(); err != nil {
+		t.Errorf("TopKRemoteSupport over wire: %v, want nil", err)
+	}
+	if err := sys.GlobalRepartition(sample, nil); err != nil {
+		t.Fatalf("GlobalRepartition over wire: %v", err)
+	}
+	sys.FinishGlobalRepartition()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCustomTransportStillNeedsStatic pins the surviving
+// ErrRemoteNeedsStatic surface: a custom stream.Transport that stops at
+// Send/Recv (no migration frames, no window delta stream) still refuses
+// the operations that must reach inside the worker — dynamic
+// adjustment at New, GlobalRepartition, and top-k hosting — while
+// wire-backed transports (exercised above) refuse none of them.
+func TestCustomTransportStillNeedsStatic(t *testing.T) {
+	sample, _ := smallWorkload(t, workload.Q1, 3, 10)
+	a, _ := stream.NewChanPair(1)
+	defer a.Close()
+	sys, err := New(Config{Workers: 2, RemoteWorkers: map[int]stream.Transport{0: a}}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both gates fire before any wire round, so the unstarted system
+	// (nobody serves the transport's far end) exercises them safely.
 	if err := sys.GlobalRepartition(sample, nil); !errors.Is(err, ErrRemoteNeedsStatic) {
 		t.Errorf("GlobalRepartition: %v, want ErrRemoteNeedsStatic", err)
 	}
-	if err := sys.Close(); err != nil {
-		t.Fatal(err)
+	if err := sys.TopKRemoteSupport(); !errors.Is(err, ErrRemoteNeedsStatic) {
+		t.Errorf("TopKRemoteSupport: %v, want ErrRemoteNeedsStatic", err)
 	}
 }
 

@@ -32,10 +32,39 @@ type TopKUpdate struct {
 // update only when global membership changes. The union of the local
 // top-ks always contains the global top-k, since a globally top-k message
 // is necessarily top-k within its own partition.
+//
+// The board is transport-agnostic: local worker bolts hand it deltas with
+// Apply, and remote worker sessions feed the same delta stream through
+// ApplyRemote, which additionally tracks each slot's net contributions
+// under the session's fencing epoch. A delta batch below the slot's
+// highest seen epoch is a stale session's replay and is dropped; a batch
+// above it first retracts everything the slot contributed under the old
+// epoch — the recovering node rebuilt its window from the coordinator's
+// replay, so the old session's memberships no longer exist anywhere — and
+// only then applies. That pair of rules is what keeps TopKSet exact
+// across kill-9 recovery without the board ever reading worker state
+// directly.
 type topkBoard struct {
 	mu      sync.Mutex
 	deliver func(TopKUpdate)
 	qs      map[uint64]*boardQuery
+	// live is the registry of top-k subscriptions currently routed: the
+	// dispatchers register an id before its insert fans out and
+	// unregister it when the delete routes. Deltas for an id outside the
+	// registry — a remote frame racing an Unsubscribe, or a stale
+	// replay — are dropped instead of allocating a dead boardQuery.
+	live map[uint64]struct{}
+	// srcs tracks each remote worker slot's net membership contributions
+	// by session epoch (see ApplyRemote).
+	srcs map[int]*boardSrc
+}
+
+// boardSrc is one remote worker slot's contribution ledger: the session
+// epoch its deltas were produced under and, per query and message, the
+// net reference count it has contributed to the candidate union.
+type boardSrc struct {
+	epoch uint64
+	refs  map[uint64]map[uint64]int
 }
 
 type boardQuery struct {
@@ -54,7 +83,56 @@ type boardCand struct {
 }
 
 func newTopKBoard(deliver func(TopKUpdate)) *topkBoard {
-	return &topkBoard{deliver: deliver, qs: make(map[uint64]*boardQuery)}
+	return &topkBoard{
+		deliver: deliver,
+		qs:      make(map[uint64]*boardQuery),
+		live:    make(map[uint64]struct{}),
+		srcs:    make(map[int]*boardSrc),
+	}
+}
+
+// register adds a top-k subscription to the live registry. The
+// dispatchers call it before the insert fans out to workers, so every
+// delta a worker can produce for the id postdates its registration.
+func (b *topkBoard) register(qid uint64) {
+	b.mu.Lock()
+	b.live[qid] = struct{}{}
+	b.mu.Unlock()
+}
+
+// unregister retires a subscription when its delete routes: the
+// delivered global set is retracted immediately (departures in
+// ascending message-id order, as rebalance would emit them) and every
+// later delta for the id — local retractions already in flight, or a
+// remote frame racing the Unsubscribe — is dropped at the door instead
+// of reviving a dead boardQuery. No-op for ids never registered
+// (boolean subscriptions).
+func (b *topkBoard) unregister(qid uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.live[qid]; !ok {
+		return
+	}
+	delete(b.live, qid)
+	for _, src := range b.srcs {
+		delete(src.refs, qid)
+	}
+	bq := b.qs[qid]
+	if bq == nil {
+		return
+	}
+	delete(b.qs, qid)
+	if b.deliver == nil || len(bq.top) == 0 {
+		return
+	}
+	ids := make([]uint64, 0, len(bq.top))
+	for id := range bq.top {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b.deliver(TopKUpdate{QueryID: qid, Subscriber: bq.subscriber, MsgID: id, Score: bq.top[id]})
+	}
 }
 
 // Apply merges one batch of worker-local deltas and delivers the resulting
@@ -68,7 +146,63 @@ func (b *topkBoard) Apply(ds []window.Delta) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	touched := make(map[uint64]*boardQuery)
+	b.applyLocked(ds, nil, touched)
+	b.settleLocked(touched)
+}
+
+// ApplyRemote merges a delta batch produced by remote worker slot task
+// under session epoch. Batches below the slot's highest seen epoch are
+// stale (a superseded session's frames still in flight, or a replay
+// re-emitting history) and are dropped whole; a higher epoch first
+// retracts the slot's previous contributions (the node's window state
+// was rebuilt from scratch under the new session) before applying.
+// Call with an empty batch to bump the epoch eagerly — recovery does,
+// so a slot whose replay produces no deltas still sheds its dead
+// session's memberships.
+func (b *topkBoard) ApplyRemote(task int, epoch uint64, ds []window.Delta) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	src := b.srcs[task]
+	if src == nil {
+		src = &boardSrc{refs: make(map[uint64]map[uint64]int)}
+		b.srcs[task] = src
+	}
+	if epoch < src.epoch {
+		return
+	}
+	touched := make(map[uint64]*boardQuery)
+	if epoch > src.epoch {
+		b.retractLocked(src, touched)
+		src.epoch = epoch
+	}
+	b.applyLocked(ds, src, touched)
+	b.settleLocked(touched)
+}
+
+// dropSource retracts everything a remote slot has contributed and
+// forgets its ledger: the slot is leaving the cluster for good
+// (decommission), not recovering under a new epoch.
+func (b *topkBoard) dropSource(task int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	src := b.srcs[task]
+	if src == nil {
+		return
+	}
+	delete(b.srcs, task)
+	touched := make(map[uint64]*boardQuery)
+	b.retractLocked(src, touched)
+	b.settleLocked(touched)
+}
+
+// applyLocked folds deltas into the candidate unions, tracking net
+// contributions in src when the batch came from a remote slot. Deltas
+// for unregistered queries are dropped. Caller holds b.mu.
+func (b *topkBoard) applyLocked(ds []window.Delta, src *boardSrc, touched map[uint64]*boardQuery) {
 	for _, d := range ds {
+		if _, ok := b.live[d.QueryID]; !ok {
+			continue
+		}
 		bq := b.qs[d.QueryID]
 		if bq == nil {
 			bq = &boardQuery{
@@ -97,8 +231,59 @@ func (b *topkBoard) Apply(ds []window.Delta) {
 		if c.refs == 0 {
 			delete(bq.cand, d.MsgID)
 		}
+		if src != nil {
+			qr := src.refs[d.QueryID]
+			if qr == nil {
+				qr = make(map[uint64]int)
+				src.refs[d.QueryID] = qr
+			}
+			if d.Entered {
+				qr[d.MsgID]++
+			} else {
+				qr[d.MsgID]--
+			}
+			if qr[d.MsgID] == 0 {
+				delete(qr, d.MsgID)
+				if len(qr) == 0 {
+					delete(src.refs, d.QueryID)
+				}
+			}
+		}
 		touched[d.QueryID] = bq
 	}
+}
+
+// retractLocked removes a source's net contributions from the candidate
+// unions, collecting the affected queries into touched. A net-negative
+// contribution whose candidate is already gone is skipped: its settling
+// Entered belongs to the dead session and will be dropped by the epoch
+// fence, so there is no debt left to undo. Caller holds b.mu.
+func (b *topkBoard) retractLocked(src *boardSrc, touched map[uint64]*boardQuery) {
+	for qid, msgs := range src.refs {
+		bq := b.qs[qid]
+		if bq == nil {
+			continue
+		}
+		for msg, n := range msgs {
+			c := bq.cand[msg]
+			if c == nil {
+				continue
+			}
+			c.refs -= n
+			if c.refs == 0 {
+				delete(bq.cand, msg)
+			}
+		}
+		touched[qid] = bq
+	}
+	src.refs = make(map[uint64]map[uint64]int)
+}
+
+// settleLocked rebalances every touched query and drops the ones that
+// hold nothing. The boardQuery stays reachable through the live
+// registry: a later delta for a still-registered id simply reallocates
+// it. Caller holds b.mu.
+func (b *topkBoard) settleLocked(touched map[uint64]*boardQuery) {
 	for qid, bq := range touched {
 		b.rebalance(qid, bq)
 		if len(bq.cand) == 0 && len(bq.top) == 0 {
@@ -210,8 +395,29 @@ func (s *System) windowLoop(ctx context.Context) {
 // AdvanceWindows runs one synchronous expiry sweep at the current clock
 // reading. The periodic windowLoop calls it; tests with a fake clock call
 // it directly after advancing time.
+//
+// Expiry is a fenced cluster-wide round: every remote worker serves one
+// AdvanceWindow control request carrying the coordinator's clock (the
+// single clock domain the windows slide in) and answers with the
+// membership deltas the expiry produced, tagged with its session epoch
+// so the board's dedup treats them exactly like the spontaneous delta
+// stream. Local workers advance under their locks as before. A slot
+// that is down or mid-replay is skipped — its recovery replay rebuilds
+// the window against the coordinator's current clock anyway.
 func (s *System) AdvanceWindows() {
 	now := s.now()
+	for _, task := range s.remoteWorkerTasks() {
+		adv := s.remoteAdvancer(task)
+		if adv == nil {
+			continue
+		}
+		epoch, ds, err := adv.AdvanceWindow(now)
+		if err != nil {
+			s.log.Debug("advance window round failed", "worker", task, "err", err)
+			continue
+		}
+		s.board.ApplyRemote(task, epoch, ds)
+	}
 	for _, ws := range s.workers {
 		ws.mu.Lock()
 		// Advance runs even with no live subscriptions: the retention

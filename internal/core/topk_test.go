@@ -164,6 +164,7 @@ func drain(sys *System, submitted int64) {
 func TestBoardOutOfOrderLeftThenEntered(t *testing.T) {
 	var got []TopKUpdate
 	b := newTopKBoard(func(u TopKUpdate) { got = append(got, u) })
+	b.register(1)
 	left := window.Delta{QueryID: 1, MsgID: 9, K: 3, Rank: 5, Rel: 0.5}
 	entered := left
 	entered.Entered = true
@@ -183,6 +184,55 @@ func TestBoardOutOfOrderLeftThenEntered(t *testing.T) {
 	if len(got) != 1 || !got[0].Entered || got[0].MsgID != 9 {
 		t.Fatalf("real membership not delivered: %+v", got)
 	}
+}
+
+// Deltas racing an Unsubscribe — local Apply calls, remote ApplyRemote
+// frames, and the unregister itself on separate goroutines — must
+// neither corrupt the board (run with -race) nor revive a retired
+// query as a dead boardQuery.
+func TestBoardApplyUnsubscribeRace(t *testing.T) {
+	b := newTopKBoard(func(TopKUpdate) {})
+	const queries = 8
+	for q := uint64(1); q <= queries; q++ {
+		b.register(q)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				q := uint64(i%queries + 1)
+				d := window.Delta{QueryID: q, MsgID: uint64(i), K: 3, Rank: float64(i), Rel: 0.5, Entered: true}
+				if g%2 == 0 {
+					b.Apply([]window.Delta{d})
+				} else {
+					b.ApplyRemote(g, 1, []window.Delta{d})
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for q := uint64(1); q <= queries; q++ {
+			b.unregister(q)
+		}
+	}()
+	wg.Wait()
+	// Every query is unsubscribed now; stragglers must drop at the door.
+	for q := uint64(1); q <= queries; q++ {
+		b.Apply([]window.Delta{{QueryID: q, MsgID: 9999, K: 3, Rank: 1, Rel: 1, Entered: true}})
+		b.ApplyRemote(1, 1, []window.Delta{{QueryID: q, MsgID: 9998, K: 3, Rank: 1, Rel: 1, Entered: true}})
+		if set := b.set(q); len(set) != 0 {
+			t.Errorf("query %d revived after unsubscribe: %v", q, set)
+		}
+	}
+	b.mu.Lock()
+	if len(b.qs) != 0 {
+		t.Errorf("%d dead boardQueries survive the unsubscribes", len(b.qs))
+	}
+	b.mu.Unlock()
 }
 
 // The full topology must deliver exactly the brute-force top-k evolution

@@ -178,11 +178,19 @@ func (s *System) dispatchBatch(ts []stream.Tuple, c stream.Collector) {
 				s.winObjects[w].Add(1)
 			}
 		case model.OpInsert:
+			// Register before the fan-out: the input stream is
+			// fields-grouped on the query id, so an insert and its later
+			// delete pass through here in order, and every delta a worker
+			// (local or remote) can produce postdates the registration.
+			if env.op.Query.IsTopK() {
+				s.board.register(env.op.Query.ID)
+			}
 			targets = a.RouteQuery(env.op.Query, true)
 			for _, w := range targets {
 				s.winInserts[w].Add(1)
 			}
 		case model.OpDelete:
+			s.board.unregister(env.op.Query.ID)
 			targets = s.routeDelete(env.op.Query)
 			for _, w := range targets {
 				s.winDeletes[w].Add(1)

@@ -62,6 +62,10 @@ type workerSession struct {
 	done atomic.Int64
 	// emitted counts matches queued toward the coordinator.
 	emitted atomic.Int64
+	// deltas counts window deltas queued toward the coordinator
+	// (WindowDeltaBatch frames), counted before done like emitted so a
+	// drain ack's Deltas total is final once the barrier is reached.
+	deltas atomic.Int64
 
 	// The turnstile reassembles the coordinator's send order: op batches
 	// carry their send-order sequence and round-robin across the data
@@ -181,11 +185,17 @@ type Worker struct {
 	mu   sync.Mutex
 	ix   *gi2.Index
 	task int
-	// win holds the worker's cell window rings so migrated window state
-	// survives a hop through this node (no top-k subscriptions run here
-	// — the global top-k board lives in the coordinator — but a cell
-	// share's ring entries install, persist, and extract unchanged).
+	// win holds the worker's share of the sliding-window top-k state:
+	// cell rings and per-subscription heaps, exactly like an in-process
+	// worker. Local membership changes stream back to the coordinator's
+	// global board as WindowDeltaBatch frames (or inside control acks);
+	// the board, not this node, decides global top-k membership.
 	win *window.Store
+	// coordNow is the latest coordinator clock reading observed — the
+	// max of op-envelope T0 stamps and AdvanceWindow timestamps — so
+	// window liveness checks here run in the same clock domain as the
+	// coordinator's, not this host's wall clock. Guarded by mu.
+	coordNow time.Time
 	// geometry of the index, pinned by the first handshake.
 	hello *wire.Hello
 	// stateEpoch is the session epoch the current index state was built
@@ -203,6 +213,7 @@ type Worker struct {
 
 	done    atomic.Int64 // ops processed
 	emitted atomic.Int64 // matches emitted
+	deltasN atomic.Int64 // window deltas emitted
 	// Per-kind processed-op counters, reported in StatsReply so the
 	// coordinator's load detector sees node-side processing progress.
 	objects atomic.Int64
@@ -453,7 +464,7 @@ func (w *Worker) controlLoop(conn *wire.Conn, sess *workerSession) (clean bool, 
 			if err := sess.flushWriters(); err != nil {
 				return false, err
 			}
-			ack := wire.DrainAck{Seq: d.Seq, Done: sess.done.Load(), Emitted: sess.emitted.Load()}
+			ack := wire.DrainAck{Seq: d.Seq, Done: sess.done.Load(), Emitted: sess.emitted.Load(), Deltas: sess.deltas.Load()}
 			if err := sendDrainAck(conn, sess.codec, ack); err != nil {
 				return false, err
 			}
@@ -498,8 +509,22 @@ func (w *Worker) controlLoop(conn *wire.Conn, sess *workerSession) (clean bool, 
 			if err := wire.DecodePayload(payload, &ic); err != nil {
 				return false, err
 			}
-			w.installCells(ic)
-			if err := conn.Send(wire.TypeInstallAck, wire.InstallAck{Seq: ic.Seq}); err != nil {
+			if err := conn.Send(wire.TypeInstallAck, w.installCells(ic)); err != nil {
+				return false, err
+			}
+		case wire.TypeAdvanceWindow:
+			a, err := decodeAdvanceWindow(payload, sess.codec)
+			if err != nil {
+				return false, err
+			}
+			// Expiry observes every op batch sent before the round, the
+			// same barrier a drain provides — otherwise the advance could
+			// expire a window the in-flight batches are about to refill
+			// under an older clock reading.
+			if err := w.awaitOps(sess, a.Ops); err != nil {
+				return false, err
+			}
+			if err := sendAdvanceAck(conn, sess.codec, w.advanceWindow(a)); err != nil {
 				return false, err
 			}
 		case wire.TypeFence:
@@ -534,11 +559,12 @@ func (w *Worker) controlLoop(conn *wire.Conn, sess *workerSession) (clean bool, 
 // sessions, so a cumulative ack would double-count them against its
 // drain barrier.
 func (w *Worker) legacyLoop(conn *wire.Conn) (clean bool, err error) {
-	done0, emitted0 := w.done.Load(), w.emitted.Load()
+	done0, emitted0, deltas0 := w.done.Load(), w.emitted.Load(), w.deltasN.Load()
 
-	// Match scratch reused across batches; capacity follows the largest
-	// batch seen.
+	// Match and delta scratch reused across batches; capacity follows
+	// the largest batch seen.
 	var matches []wire.MatchEnv
+	var deltas []window.Delta
 	for {
 		typ, payload, err := conn.Recv()
 		if err != nil {
@@ -550,9 +576,15 @@ func (w *Worker) legacyLoop(conn *wire.Conn) (clean bool, err error) {
 			if err := wire.DecodePayload(payload, &ob); err != nil {
 				return false, err
 			}
-			matches = w.processOps(ob.Ops, matches[:0])
+			var epoch uint64
+			matches, deltas, epoch = w.processOps(ob.Ops, matches[:0], deltas[:0])
 			if len(matches) > 0 {
 				if err := conn.Send(wire.TypeMatchBatch, wire.MatchBatch{Matches: matches}); err != nil {
+					return false, err
+				}
+			}
+			if len(deltas) > 0 {
+				if err := conn.Send(wire.TypeWindowDeltaBatch, wire.WindowDeltaBatch{Epoch: epoch, Deltas: deltas}); err != nil {
 					return false, err
 				}
 			}
@@ -564,7 +596,10 @@ func (w *Worker) legacyLoop(conn *wire.Conn) (clean bool, err error) {
 			// Frames are FIFO and this loop is single-threaded, so every
 			// batch received before the Drain has been fully processed
 			// and its matches written before this ack.
-			ack := wire.DrainAck{Seq: d.Seq, Done: w.done.Load() - done0, Emitted: w.emitted.Load() - emitted0}
+			ack := wire.DrainAck{
+				Seq: d.Seq, Done: w.done.Load() - done0,
+				Emitted: w.emitted.Load() - emitted0, Deltas: w.deltasN.Load() - deltas0,
+			}
 			if err := conn.Send(wire.TypeDrainAck, ack); err != nil {
 				return false, err
 			}
@@ -601,8 +636,18 @@ func (w *Worker) legacyLoop(conn *wire.Conn) (clean bool, err error) {
 			if err := wire.DecodePayload(payload, &ic); err != nil {
 				return false, err
 			}
-			w.installCells(ic)
-			if err := conn.Send(wire.TypeInstallAck, wire.InstallAck{Seq: ic.Seq}); err != nil {
+			if err := conn.Send(wire.TypeInstallAck, w.installCells(ic)); err != nil {
+				return false, err
+			}
+		case wire.TypeAdvanceWindow:
+			var a wire.AdvanceWindow
+			if err := wire.DecodePayload(payload, &a); err != nil {
+				return false, err
+			}
+			// FIFO and single-threaded: every op batch sent before the
+			// round is already processed, the same barrier awaitOps gives
+			// a multi-stream session.
+			if err := conn.Send(wire.TypeAdvanceAck, w.advanceWindow(a)); err != nil {
 				return false, err
 			}
 		case wire.TypeFence:
@@ -653,10 +698,11 @@ func (w *Worker) serveData(conn *wire.Conn, hello wire.Hello) error {
 	if err := conn.Send(wire.TypeWelcome, wel); err != nil {
 		return err
 	}
-	// Decode and match scratch reused across batches; the binary codec
-	// decodes into them without per-frame allocations.
+	// Decode, match, and delta scratch reused across batches; the binary
+	// codec decodes into them without per-frame allocations.
 	var ops []wire.OpEnv
 	var matches []wire.MatchEnv
+	var deltas []window.Delta
 	for {
 		typ, payload, err := conn.Recv()
 		if err != nil {
@@ -683,15 +729,25 @@ func (w *Worker) serveData(conn *wire.Conn, hello wire.Hello) error {
 			if err := sess.awaitTurn(seq); err != nil {
 				return err
 			}
-			matches = w.processOps(ops, matches[:0])
-			// Order matters for the session barrier: matches are queued
-			// (and counted) before done advances, so "done ≥ barrier"
-			// implies the matches are behind a writer flush, never lost.
+			var epoch uint64
+			matches, deltas, epoch = w.processOps(ops, matches[:0], deltas[:0])
+			// Order matters for the session barrier: matches and deltas
+			// are queued (and counted) before done advances, so "done ≥
+			// barrier" implies both are behind a writer flush, never lost.
 			sess.emitted.Add(int64(len(matches)))
 			if len(matches) > 0 {
 				buf := wire.GetBuf()
 				buf.B = wire.AppendMatchBatch(buf.B, matches)
 				if err := fw.Send(wire.TypeMatchBatch, buf); err != nil {
+					sess.close()
+					return err
+				}
+			}
+			sess.deltas.Add(int64(len(deltas)))
+			if len(deltas) > 0 {
+				buf := wire.GetBuf()
+				buf.B = wire.AppendWindowDeltaBatch(buf.B, epoch, deltas)
+				if err := fw.Send(wire.TypeWindowDeltaBatch, buf); err != nil {
 					sess.close()
 					return err
 				}
@@ -750,6 +806,43 @@ func decodeDrain(payload []byte, codec int) (wire.Drain, error) {
 	var d wire.Drain
 	err := wire.DecodePayload(payload, &d)
 	return d, err
+}
+
+// advanceWindow runs one coordinator-clocked expiry sweep and returns
+// the resulting membership deltas, epoch-tagged like every other delta
+// batch this node produces.
+func (w *Worker) advanceWindow(a wire.AdvanceWindow) wire.AdvanceAck {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if a.Now.After(w.coordNow) {
+		w.coordNow = a.Now
+	}
+	// Not counted in deltasN: ack-carried deltas are received
+	// synchronously with the round, so drain accounting (which covers
+	// the spontaneous frame stream) must not wait for them.
+	return wire.AdvanceAck{Seq: a.Seq, Epoch: w.stateEpoch, Deltas: w.win.Advance(w.coordNow)}
+}
+
+// decodeAdvanceWindow decodes an AdvanceWindow frame by the session codec.
+func decodeAdvanceWindow(payload []byte, codec int) (wire.AdvanceWindow, error) {
+	if codec == wire.CodecBinary {
+		return wire.DecodeBinAdvanceWindow(payload)
+	}
+	var a wire.AdvanceWindow
+	err := wire.DecodePayload(payload, &a)
+	return a, err
+}
+
+// sendAdvanceAck encodes an AdvanceAck by the session codec.
+func sendAdvanceAck(conn *wire.Conn, codec int, ack wire.AdvanceAck) error {
+	if codec == wire.CodecBinary {
+		buf := wire.GetBuf()
+		buf.B = wire.AppendAdvanceAck(buf.B, ack)
+		err := conn.SendPayload(wire.TypeAdvanceAck, buf.B)
+		wire.PutBuf(buf)
+		return err
+	}
+	return conn.Send(wire.TypeAdvanceAck, ack)
 }
 
 // decodeFence decodes a Fence frame by the session codec.
@@ -819,11 +912,15 @@ func (w *Worker) cellStats(seq uint64) wire.CellStatsReply {
 // with Remove true whole-cell shares leave the index and release their
 // ring, while key splits keep the cell ring for the remaining keys —
 // mirroring the in-process migrateShare/migrateSplit extraction.
+// Liveness is judged on the coordinator's clock (coordNow), the same
+// domain the entries' At stamps live in. A removing extraction that
+// strips a top-k subscription's last live cell also releases its heap,
+// and the resulting membership deltas ride back in the share.
 func (w *Worker) extractCells(ex wire.ExtractCells) wire.CellShare {
-	share := wire.CellShare{Seq: ex.Seq}
-	now := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	share := wire.CellShare{Seq: ex.Seq, Epoch: w.stateEpoch}
+	now := w.coordNow
 	for _, spec := range ex.Cells {
 		p := wire.CellPayload{Cell: spec.Cell}
 		switch {
@@ -835,10 +932,36 @@ func (w *Worker) extractCells(ex wire.ExtractCells) wire.CellShare {
 			p.Ring = w.win.SnapshotCell(spec.Cell, now)
 		case spec.Keys == nil:
 			p.Queries = w.ix.ExtractCell(spec.Cell)
-			p.Ring, _ = w.win.DropCell(spec.Cell, now)
+			// Subscriptions whose only live presence was this cell drop
+			// their heaps before the ring is released (see the in-process
+			// finishExtract), so the coordinator's board learns of the
+			// departure in this round, not from a racing frame.
+			for _, q := range p.Queries {
+				if q != nil && q.IsTopK() && !w.ix.HasLive(q.ID) {
+					share.Deltas = append(share.Deltas, w.win.RemoveSub(q.ID)...)
+				}
+			}
+			var dropDs []window.Delta
+			p.Ring, dropDs = w.win.DropCell(spec.Cell, now)
+			share.Deltas = append(share.Deltas, dropDs...)
 		default:
 			p.Queries = w.ix.ExtractCellKeys(spec.Cell, spec.Keys)
+			for _, q := range p.Queries {
+				if q != nil && q.IsTopK() && !w.ix.HasLive(q.ID) {
+					share.Deltas = append(share.Deltas, w.win.RemoveSub(q.ID)...)
+				}
+			}
 			p.Ring = w.win.SnapshotCell(spec.Cell, now)
+		}
+		if ex.Subs {
+			for _, q := range p.Queries {
+				if q == nil || !q.IsTopK() {
+					continue
+				}
+				if es := w.win.SubEntries(q.ID); len(es) > 0 {
+					p.Subs = append(p.Subs, wire.SubEntries{ID: q.ID, Entries: es})
+				}
+			}
 		}
 		share.Cells = append(share.Cells, p)
 	}
@@ -847,44 +970,63 @@ func (w *Worker) extractCells(ex wire.ExtractCells) wire.CellShare {
 
 // installCells indexes the received cell shares and applies the
 // reconciliation deletes (queries removed at the migration source
-// between copy and routing flip).
-func (w *Worker) installCells(ic wire.InstallCells) {
-	now := time.Now()
+// between copy and routing flip). A payload with a negative Cell is a
+// whole-query install (global repartition): the query is indexed by its
+// own placement rather than into one named cell. Top-k subscriptions
+// register in the window store, adopt the carried entries, and the
+// membership deltas everything produced return in the ack.
+func (w *Worker) installCells(ic wire.InstallCells) wire.InstallAck {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	ack := wire.InstallAck{Seq: ic.Seq, Epoch: w.stateEpoch}
+	now := w.coordNow
 	for i := range ic.Cells {
 		p := &ic.Cells[i]
 		for _, q := range p.Queries {
 			if q == nil {
 				continue
 			}
-			if q.IsTopK() {
-				// Top-k subscriptions cannot run here (no global board);
-				// the coordinator refuses them with remote workers, so a
-				// migrated one is protocol misuse. Refuse loudly.
-				w.opts.Log.printf("worker: refusing migrated top-k query %d (unsupported over the wire)", q.ID)
-				continue
+			if p.Cell < 0 {
+				w.ix.Insert(q)
+			} else {
+				w.ix.InsertAt(p.Cell, q)
 			}
-			w.ix.InsertAt(p.Cell, q)
+			if q.IsTopK() {
+				ack.Deltas = append(ack.Deltas, w.win.AddSub(q, now)...)
+			}
 		}
 		if len(p.Ring) > 0 {
-			w.win.AdoptCell(p.Cell, p.Ring, now)
+			ack.Deltas = append(ack.Deltas, w.win.AdoptCell(p.Cell, p.Ring, now)...)
+		}
+		for _, se := range p.Subs {
+			ack.Deltas = append(ack.Deltas, w.win.AdoptEntries(se.ID, se.Entries, now)...)
 		}
 	}
 	for _, id := range ic.Deletes {
 		w.ix.Delete(id)
+		ack.Deltas = append(ack.Deltas, w.win.RemoveSub(id)...)
 	}
+	return ack
 }
 
-// processOps applies one operation batch to the index and appends the
-// resulting match envelopes to out. The index lock is taken once per
-// batch, mirroring the in-process worker bolt; concurrent data streams
-// serialise here per batch.
-func (w *Worker) processOps(ops []wire.OpEnv, out []wire.MatchEnv) []wire.MatchEnv {
+// processOps applies one operation batch to the index and window store,
+// appending the resulting match envelopes to out and the top-k window
+// deltas to dout (the caller frames those toward the coordinator's
+// board). The index lock is taken once per batch, mirroring the
+// in-process worker bolt; concurrent data streams serialise here per
+// batch. epoch is the session epoch the deltas were produced under, so
+// the coordinator's board can fence stale replays.
+func (w *Worker) processOps(ops []wire.OpEnv, out []wire.MatchEnv, dout []window.Delta) ([]wire.MatchEnv, []window.Delta, uint64) {
 	var nObj, nIns, nDel int64
 	w.mu.Lock()
 	for i := range ops {
 		env := &ops[i]
+		// Track the coordinator's clock: T0 stamps are the coordinator's
+		// submit times, so their running max is the same "now" an
+		// in-process worker reads per batch.
+		if env.T0.After(w.coordNow) {
+			w.coordNow = env.T0
+		}
 		switch env.Op.Kind {
 		case model.OpInsert:
 			nIns++
@@ -892,21 +1034,15 @@ func (w *Worker) processOps(ops []wire.OpEnv, out []wire.MatchEnv) []wire.MatchE
 			if q == nil {
 				continue
 			}
-			if q.IsTopK() {
-				// Sliding-window top-k state is reconciled on the
-				// coordinator's global board, which a remote worker
-				// cannot reach; the coordinator refuses to place top-k
-				// subscriptions on remote workers, so receiving one is a
-				// protocol misuse — refuse loudly rather than silently
-				// degrade to boolean delivery.
-				w.opts.Log.printf("worker: refusing top-k query %d (unsupported over the wire)", q.ID)
-				continue
-			}
 			w.ix.Insert(q)
+			if q.IsTopK() {
+				dout = append(dout, w.win.AddSub(q, w.coordNow)...)
+			}
 		case model.OpDelete:
 			nDel++
 			if env.Op.Query != nil {
 				w.ix.Delete(env.Op.Query.ID)
+				dout = append(dout, w.win.RemoveSub(env.Op.Query.ID)...)
 			}
 		case model.OpObject:
 			nObj++
@@ -914,7 +1050,24 @@ func (w *Worker) processOps(ops []wire.OpEnv, out []wire.MatchEnv) []wire.MatchE
 			if obj == nil {
 				continue
 			}
+			e := window.Entry{
+				MsgID: obj.ID,
+				Terms: obj.Terms,
+				Loc:   obj.Loc,
+				At:    env.T0,
+			}
 			w.ix.Match(obj, func(q *model.Query) {
+				if q.IsTopK() {
+					dout = w.win.OfferInto(dout, q, e, w.coordNow)
+					return
+				}
+				if env.Refill {
+					// Window-rebuild replay: its boolean matches were
+					// delivered before the coordinator's checkpoint covered
+					// the op, and queries inserted since must not match an
+					// object published before them.
+					return
+				}
 				out = append(out, wire.MatchEnv{
 					M: model.Match{
 						QueryID:    q.ID,
@@ -925,11 +1078,16 @@ func (w *Worker) processOps(ops []wire.OpEnv, out []wire.MatchEnv) []wire.MatchE
 					T0: env.T0,
 				})
 			})
+			if w.win.SubCount() > 0 {
+				w.win.Observe(e)
+			}
 		}
 	}
+	epoch := w.stateEpoch
 	w.mu.Unlock()
 	w.done.Add(int64(len(ops)))
 	w.emitted.Add(int64(len(out)))
+	w.deltasN.Add(int64(len(dout)))
 	if nObj > 0 {
 		w.objects.Add(nObj)
 	}
@@ -939,7 +1097,7 @@ func (w *Worker) processOps(ops []wire.OpEnv, out []wire.MatchEnv) []wire.MatchE
 	if nDel > 0 {
 		w.deletes.Add(nDel)
 	}
-	return out
+	return out, dout, epoch
 }
 
 // recvHello performs the receiving half of the handshake: the Hello

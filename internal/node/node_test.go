@@ -10,6 +10,7 @@ import (
 
 	"ps2stream/internal/geo"
 	"ps2stream/internal/model"
+	"ps2stream/internal/window"
 	"ps2stream/internal/wire"
 )
 
@@ -165,25 +166,62 @@ func TestWorkerStatePersistsAcrossReconnect(t *testing.T) {
 	}
 }
 
-func TestWorkerRefusesTopK(t *testing.T) {
+// The worker hosts sliding-window top-k subscriptions: an insert with
+// TopK set registers, a matching publish pushes a spontaneous Entered
+// delta batch (counted by the drain barrier), and the fenced
+// AdvanceWindow round expires it back out, returning the Left delta on
+// the ack rather than the spontaneous stream.
+func TestWorkerServesTopKDeltas(t *testing.T) {
 	w, addr, _ := startWorker(t, WorkerOptions{})
 	cl, err := wire.DialWorker(addr, testHello(0), wire.Backoff{Attempts: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	var mu sync.Mutex
+	var got []window.Delta
+	cl.SetDeltaHandler(func(_ uint64, ds []window.Delta) {
+		mu.Lock()
+		got = append(got, ds...)
+		mu.Unlock()
+	})
 	q := query(9, "coffee", geo.NewRect(-80, 30, -70, 40))
 	q.TopK, q.Window = 3, time.Minute
+	t0 := time.Unix(1700000000, 0)
 	if err := cl.SendOps(wire.OpBatch{Ops: []wire.OpEnv{
-		{Op: model.Op{Kind: model.OpInsert, Query: q}},
+		{Op: model.Op{Kind: model.OpInsert, Query: q}, T0: t0},
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{
+			ID: 41, Terms: []string{"coffee"}, Loc: geo.Point{X: -75, Y: 35}}}, T0: t0},
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Drain(); err != nil {
+	ack, err := cl.Drain()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if got := w.QueryCount(); got != 0 {
-		t.Errorf("top-k query registered remotely: QueryCount = %d", got)
+	if ack.Deltas != 1 {
+		t.Errorf("ack.Deltas = %d, want 1", ack.Deltas)
+	}
+	if got := w.QueryCount(); got != 1 {
+		t.Errorf("QueryCount = %d, want 1", got)
+	}
+	mu.Lock()
+	if len(got) != 1 || !got[0].Entered || got[0].QueryID != 9 || got[0].MsgID != 41 {
+		t.Fatalf("deltas = %+v, want one Entered for query 9 msg 41", got)
+	}
+	mu.Unlock()
+	aa, err := cl.AdvanceWindow(t0.Add(2 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aa.Deltas) != 1 || aa.Deltas[0].Entered || aa.Deltas[0].MsgID != 41 {
+		t.Fatalf("advance ack deltas = %+v, want one Left for msg 41", aa.Deltas)
+	}
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 1 {
+		t.Errorf("spontaneous deltas after advance = %d, want still 1", n)
 	}
 }
 

@@ -15,11 +15,22 @@
 // checkpoint cadence; during an outage it grows until the worker is
 // recovered or decommissioned (the price of exactness without a
 // persistent queue).
+//
+// Sliding-window top-k subscriptions need more than the live query set:
+// a recovered node must also rebuild its in-window entries, or the
+// coordinator's top-k board would permanently lose their contributions
+// when it fences out the dead session. Checkpoint therefore retains
+// object entries younger than the largest live top-k window past the
+// watermark, marked Refill — replayed so the node re-observes them
+// (original timestamps preserved, since both rank and expiry derive
+// from the publish instant) without re-emitting boolean matches that
+// were already delivered under the checkpoint barrier.
 package oplog
 
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"ps2stream/internal/model"
 )
@@ -31,6 +42,16 @@ type Entry struct {
 	// stream.
 	Seq uint64
 	Op  model.Op
+	// T0 is the operation's original submit stamp. Replay must preserve
+	// it: window entry ranks and expiry are functions of the publish
+	// instant, so re-stamping at the replay instant would corrupt the
+	// recovered node's top-k state.
+	T0 time.Time
+	// Refill marks an object entry retained (or adopted) purely to
+	// rebuild window state: the worker feeds it to its window store but
+	// suppresses boolean match emission, because those matches were
+	// already delivered before the entry was covered by a checkpoint.
+	Refill bool
 }
 
 // Log is the op log for one worker slot. Safe for concurrent use: the
@@ -53,12 +74,13 @@ func New() *Log {
 	return &Log{live: make(map[uint64]*model.Query)}
 }
 
-// Append logs one operation and returns its sequence number.
-func (l *Log) Append(op model.Op) uint64 {
+// Append logs one operation with its submit stamp and returns its
+// sequence number.
+func (l *Log) Append(op model.Op, t0 time.Time) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.seq++
-	l.entries = append(l.entries, Entry{Seq: l.seq, Op: op})
+	l.entries = append(l.entries, Entry{Seq: l.seq, Op: op, T0: t0})
 	return l.seq
 }
 
@@ -66,30 +88,49 @@ func (l *Log) Append(op model.Op) uint64 {
 // this worker (cell migration install). It must be an entry, not a
 // base mutation: the adopting worker has not drained past it yet, so a
 // crash before the next checkpoint must replay it.
-func (l *Log) AdoptQuery(q *model.Query) uint64 {
-	return l.Append(model.Op{Kind: model.OpInsert, Query: q})
+func (l *Log) AdoptQuery(q *model.Query, t0 time.Time) uint64 {
+	return l.Append(model.Op{Kind: model.OpInsert, Query: q}, t0)
 }
 
 // DropQuery logs a synthetic deletion for a query migrated *off* this
 // worker (cell migration extract).
-func (l *Log) DropQuery(q *model.Query) uint64 {
-	return l.Append(model.Op{Kind: model.OpDelete, Query: q})
+func (l *Log) DropQuery(q *model.Query, t0 time.Time) uint64 {
+	return l.Append(model.Op{Kind: model.OpDelete, Query: q}, t0)
 }
 
-// Checkpoint folds every entry at or below watermark into the live
-// base and truncates them. The caller must have proven — via a drain
-// barrier — that the worker has fully processed the stream up to the
-// watermark, so dropped object entries cannot carry unmatched work.
-func (l *Log) Checkpoint(watermark uint64) {
+// AdoptObject logs a refill entry for a window object migrated *onto*
+// this worker with a cell or subscription hand-off. t0 is the object's
+// original publish stamp, not the adoption instant. Replaying it
+// rebuilds window state only — boolean matches stay suppressed.
+func (l *Log) AdoptObject(o *model.Object, t0 time.Time) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.entries = append(l.entries, Entry{
+		Seq: l.seq, Op: model.Op{Kind: model.OpObject, Obj: o}, T0: t0, Refill: true,
+	})
+	return l.seq
+}
+
+// Checkpoint folds every query entry at or below watermark into the
+// live base and truncates the covered prefix. The caller must have
+// proven — via a drain barrier — that the worker has fully processed
+// the stream up to the watermark, so truncated object entries cannot
+// carry unmatched work. Object entries still inside the largest live
+// top-k window (measured against now) are retained as Refill entries
+// instead of dropped: a post-crash replay needs them to rebuild the
+// node's window state, and any entry this retention lets go of is
+// already expired from every live subscription.
+func (l *Log) Checkpoint(watermark uint64, now time.Time) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if watermark <= l.watermark {
 		return
 	}
-	keep := l.entries[:0]
+	var objs, tail []Entry
 	for _, e := range l.entries {
 		if e.Seq > watermark {
-			keep = append(keep, e)
+			tail = append(tail, e)
 			continue
 		}
 		switch e.Op.Kind {
@@ -102,15 +143,43 @@ func (l *Log) Checkpoint(watermark uint64) {
 				delete(l.live, e.Op.Query.ID)
 			}
 		case model.OpObject:
-			// Matched and delivered under the checkpoint barrier;
-			// nothing to keep.
+			if e.Op.Obj != nil {
+				objs = append(objs, e)
+			}
 		}
 	}
-	// Release the truncated tail for the collector.
-	for i := len(keep); i < len(l.entries); i++ {
+	// Retention horizon: the largest window among live top-k queries —
+	// folded into the base or still pending in the tail. Zero when no
+	// top-k subscription is live, which restores the legacy behaviour
+	// of dropping every covered object.
+	var retain time.Duration
+	for _, q := range l.live {
+		if q.IsTopK() && q.Window > retain {
+			retain = q.Window
+		}
+	}
+	for _, e := range tail {
+		if e.Op.Kind == model.OpInsert && e.Op.Query != nil &&
+			e.Op.Query.IsTopK() && e.Op.Query.Window > retain {
+			retain = e.Op.Query.Window
+		}
+	}
+	next := l.entries[:0]
+	if retain > 0 {
+		horizon := now.Add(-retain)
+		for _, e := range objs {
+			if e.T0.After(horizon) {
+				e.Refill = true
+				next = append(next, e)
+			}
+		}
+	}
+	next = append(next, tail...)
+	// Release the truncated suffix for the collector.
+	for i := len(next); i < len(l.entries); i++ {
 		l.entries[i] = Entry{}
 	}
-	l.entries = keep
+	l.entries = next
 	l.watermark = watermark
 }
 
@@ -158,10 +227,14 @@ func (l *Log) Watermark() uint64 {
 
 // TailLen reports how many entries sit above the watermark — the
 // checkpoint loop's trigger for a forced (op-count) checkpoint.
+// Retained refill entries (at or below the watermark) are excluded:
+// they are bounded by the window, and counting them would make the
+// op-count trigger fire forever once the window filled up.
 func (l *Log) TailLen() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.entries)
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].Seq > l.watermark })
+	return len(l.entries) - i
 }
 
 // LiveLen reports the checkpoint base's query count.

@@ -3,10 +3,15 @@ package oplog
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"ps2stream/internal/geo"
 	"ps2stream/internal/model"
 )
+
+// at is the fixed submit stamp the plain-signature tests use; stamp
+// semantics get their own tests below.
+var at = time.Unix(1700000000, 0)
 
 func q(id uint64) *model.Query {
 	return &model.Query{ID: id, Region: geo.NewRect(0, 0, 1, 1)}
@@ -19,7 +24,7 @@ func object(id uint64) model.Op { return model.Op{Kind: model.OpObject, Obj: &mo
 func TestAppendAssignsMonotonicSeqs(t *testing.T) {
 	l := New()
 	for i := 1; i <= 5; i++ {
-		if got := l.Append(object(uint64(i))); got != uint64(i) {
+		if got := l.Append(object(uint64(i)), at); got != uint64(i) {
 			t.Fatalf("Append #%d returned seq %d", i, got)
 		}
 	}
@@ -30,13 +35,13 @@ func TestAppendAssignsMonotonicSeqs(t *testing.T) {
 
 func TestCheckpointFoldsPrefixIntoBase(t *testing.T) {
 	l := New()
-	l.Append(insert(1))
-	l.Append(insert(2))
-	l.Append(object(100))
-	l.Append(del(1))
-	last := l.Append(insert(3)) // seq 5, above the watermark below
+	l.Append(insert(1), at)
+	l.Append(insert(2), at)
+	l.Append(object(100), at)
+	l.Append(del(1), at)
+	last := l.Append(insert(3), at) // seq 5, above the watermark below
 
-	l.Checkpoint(4)
+	l.Checkpoint(4, at)
 	if wm := l.Watermark(); wm != 4 {
 		t.Fatalf("Watermark = %d, want 4", wm)
 	}
@@ -57,11 +62,11 @@ func TestCheckpointFoldsPrefixIntoBase(t *testing.T) {
 
 func TestCheckpointIsMonotone(t *testing.T) {
 	l := New()
-	l.Append(insert(1))
-	l.Append(insert(2))
-	l.Checkpoint(2)
+	l.Append(insert(1), at)
+	l.Append(insert(2), at)
+	l.Checkpoint(2, at)
 	// A stale (smaller) watermark must be a no-op, not a regression.
-	l.Checkpoint(1)
+	l.Checkpoint(1, at)
 	if wm := l.Watermark(); wm != 2 {
 		t.Errorf("Watermark = %d after stale checkpoint, want 2", wm)
 	}
@@ -73,9 +78,9 @@ func TestCheckpointIsMonotone(t *testing.T) {
 func TestReplayBaseIsSortedAndCopied(t *testing.T) {
 	l := New()
 	for _, id := range []uint64{9, 3, 7, 1} {
-		l.Append(insert(id))
+		l.Append(insert(id), at)
 	}
-	l.Checkpoint(4)
+	l.Checkpoint(4, at)
 	base, tail, _ := l.Replay()
 	for i := 1; i < len(base); i++ {
 		if base[i-1].ID >= base[i].ID {
@@ -84,7 +89,7 @@ func TestReplayBaseIsSortedAndCopied(t *testing.T) {
 	}
 	// The returned tail is a copy: appending to the log afterwards must
 	// not show up in an already-taken snapshot.
-	l.Append(insert(42))
+	l.Append(insert(42), at)
 	if len(tail) != 0 {
 		t.Errorf("snapshot tail mutated by later append: %v", tail)
 	}
@@ -94,7 +99,7 @@ func TestSinceReturnsStrictSuffix(t *testing.T) {
 	l := New()
 	var seqs []uint64
 	for i := 0; i < 6; i++ {
-		seqs = append(seqs, l.Append(object(uint64(i))))
+		seqs = append(seqs, l.Append(object(uint64(i)), at))
 	}
 	if got := l.Since(seqs[3]); len(got) != 2 || got[0].Seq != seqs[4] {
 		t.Errorf("Since(%d) = %v, want the 2 entries above it", seqs[3], got)
@@ -106,7 +111,7 @@ func TestSinceReturnsStrictSuffix(t *testing.T) {
 		t.Errorf("Since(0) returned %d entries, want all 6", len(got))
 	}
 	// After truncation, Since only sees the surviving tail.
-	l.Checkpoint(seqs[4])
+	l.Checkpoint(seqs[4], at)
 	if got := l.Since(0); len(got) != 1 || got[0].Seq != seqs[5] {
 		t.Errorf("Since(0) after checkpoint = %v, want the single tail entry", got)
 	}
@@ -114,14 +119,14 @@ func TestSinceReturnsStrictSuffix(t *testing.T) {
 
 func TestAdoptAndDropAreLoggedAsEntries(t *testing.T) {
 	l := New()
-	l.AdoptQuery(q(5))
-	l.DropQuery(q(5))
+	l.AdoptQuery(q(5), at)
+	l.DropQuery(q(5), at)
 	// Both are tail entries (not base mutations): a crash before the
 	// next checkpoint must replay them in order.
 	if l.TailLen() != 2 || l.LiveLen() != 0 {
 		t.Fatalf("TailLen=%d LiveLen=%d, want 2/0", l.TailLen(), l.LiveLen())
 	}
-	l.Checkpoint(2)
+	l.Checkpoint(2, at)
 	if l.LiveLen() != 0 {
 		t.Errorf("adopt+drop folded to LiveLen=%d, want 0", l.LiveLen())
 	}
@@ -146,16 +151,16 @@ func TestReplayEquivalence(t *testing.T) {
 			id := next(40) + 1
 			switch next(4) {
 			case 0:
-				l.Append(del(id))
+				l.Append(del(id), at)
 				delete(livemodel, id)
 			case 1:
-				l.Append(object(id))
+				l.Append(object(id), at)
 			default:
-				l.Append(insert(id))
+				l.Append(insert(id), at)
 				livemodel[id] = true
 			}
 			if next(23) == 0 {
-				l.Checkpoint(l.Seq())
+				l.Checkpoint(l.Seq(), at)
 			}
 		}
 		base, tail, wm := l.Replay()
@@ -198,18 +203,18 @@ func FuzzCheckpointReplay(f *testing.F) {
 		want := map[uint64]bool{}
 		for _, b := range program {
 			if b == 0xff {
-				l.Checkpoint(l.Seq())
+				l.Checkpoint(l.Seq(), at)
 				continue
 			}
 			id := uint64(b%16) + 1
 			switch b % 3 {
 			case 0:
-				l.Append(del(id))
+				l.Append(del(id), at)
 				delete(want, id)
 			case 1:
-				l.Append(object(id))
+				l.Append(object(id), at)
 			default:
-				l.Append(insert(id))
+				l.Append(insert(id), at)
 				want[id] = true
 			}
 		}
@@ -238,4 +243,70 @@ func FuzzCheckpointReplay(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestCheckpointRetainsInWindowObjects pins the window-refill retention
+// contract: with a live top-k subscription, covered object entries stay
+// in the log as Refill entries until their publish stamp falls out of
+// the largest live window, keeping a crash replay able to rebuild the
+// node's window state (and the global TopKSet) exactly.
+func TestCheckpointRetainsInWindowObjects(t *testing.T) {
+	l := New()
+	topk := &model.Query{ID: 1, Region: geo.NewRect(0, 0, 1, 1), TopK: 3, Window: 30 * time.Minute}
+	l.Append(model.Op{Kind: model.OpInsert, Query: topk}, at)
+	l.Append(object(100), at)                 // still in window at the checkpoint
+	l.Append(object(101), at.Add(-time.Hour)) // already expired
+	l.Append(insert(2), at)                   // boolean query: no retention of its own
+	l.Checkpoint(l.Seq(), at.Add(10*time.Minute))
+
+	_, tail, wm := l.Replay()
+	if len(tail) != 1 {
+		t.Fatalf("replay tail has %d entries, want the single retained object: %v", len(tail), tail)
+	}
+	e := tail[0]
+	if !e.Refill || e.Op.Kind != model.OpObject || e.Op.Obj.ID != 100 {
+		t.Fatalf("retained entry = %+v, want refill of object 100", e)
+	}
+	if !e.T0.Equal(at) {
+		t.Errorf("retained entry T0 = %v, want the original publish stamp %v", e.T0, at)
+	}
+	if e.Seq > wm {
+		t.Errorf("retained entry seq %d above watermark %d; it must stay covered", e.Seq, wm)
+	}
+	// Retained refill entries do not count toward the op-count trigger.
+	if l.TailLen() != 0 {
+		t.Errorf("TailLen = %d with only retained entries, want 0", l.TailLen())
+	}
+	// Catch-up after a replay must not resend covered refill entries.
+	if got := l.Since(wm); got != nil {
+		t.Errorf("Since(watermark) = %v, want nil", got)
+	}
+
+	// Once the window slides past the entry, the next checkpoint drops it
+	// and retains only the still-live one.
+	l.Append(object(102), at.Add(40*time.Minute))
+	l.Checkpoint(l.Seq(), at.Add(45*time.Minute))
+	_, tail, _ = l.Replay()
+	if len(tail) != 1 || tail[0].Op.Obj.ID != 102 || !tail[0].Refill {
+		t.Fatalf("after window slide, tail = %v, want refill of object 102 only", tail)
+	}
+
+	// Deleting the top-k subscription ends retention entirely.
+	l.Append(model.Op{Kind: model.OpDelete, Query: topk}, at.Add(46*time.Minute))
+	l.Checkpoint(l.Seq(), at.Add(46*time.Minute))
+	if _, tail, _ := l.Replay(); len(tail) != 0 {
+		t.Fatalf("after top-k delete, tail = %v, want empty", tail)
+	}
+}
+
+// TestAdoptObjectIsRefillEntry pins migration hand-off logging: adopted
+// window entries replay as refill objects under their original stamps.
+func TestAdoptObjectIsRefillEntry(t *testing.T) {
+	l := New()
+	pub := at.Add(-5 * time.Minute)
+	l.AdoptObject(&model.Object{ID: 9}, pub)
+	_, tail, _ := l.Replay()
+	if len(tail) != 1 || !tail[0].Refill || tail[0].Op.Obj.ID != 9 || !tail[0].T0.Equal(pub) {
+		t.Fatalf("adopted object logged as %+v, want refill of object 9 at %v", tail, pub)
+	}
 }

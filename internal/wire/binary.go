@@ -24,6 +24,7 @@ import (
 
 	"ps2stream/internal/geo"
 	"ps2stream/internal/model"
+	"ps2stream/internal/window"
 )
 
 // Codec identifiers negotiated in the Hello/Welcome exchange.
@@ -102,6 +103,7 @@ func appendRect(dst []byte, r geo.Rect) []byte {
 const (
 	opHasObj   = 1 << 0
 	opHasQuery = 1 << 1
+	opRefill   = 1 << 2
 )
 
 // AppendOpBatch appends the binary encoding of one op batch to dst.
@@ -120,6 +122,9 @@ func AppendOpBatch(dst []byte, seq uint64, ops []OpEnv) []byte {
 		}
 		if env.Op.Query != nil {
 			pres |= opHasQuery
+		}
+		if env.Refill {
+			pres |= opRefill
 		}
 		dst = append(dst, pres)
 		if o := env.Op.Obj; o != nil {
@@ -175,12 +180,56 @@ func AppendDrainAck(dst []byte, a DrainAck) []byte {
 	dst = binary.AppendUvarint(dst, a.Seq)
 	dst = binary.AppendUvarint(dst, uint64(a.Done))
 	dst = binary.AppendUvarint(dst, uint64(a.Emitted))
-	return binary.AppendUvarint(dst, uint64(a.Duplicates))
+	dst = binary.AppendUvarint(dst, uint64(a.Duplicates))
+	return binary.AppendUvarint(dst, uint64(a.Deltas))
 }
 
 // AppendFence appends the binary encoding of a fence to dst.
 func AppendFence(dst []byte, f Fence) []byte {
 	return binary.AppendUvarint(dst, f.Epoch)
+}
+
+// appendDeltas appends a length-prefixed run of window deltas: the
+// shared tail of WindowDeltaBatch and AdvanceAck payloads.
+func appendDeltas(dst []byte, ds []window.Delta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ds)))
+	for i := range ds {
+		d := &ds[i]
+		dst = binary.AppendUvarint(dst, d.QueryID)
+		dst = binary.AppendUvarint(dst, d.Subscriber)
+		dst = binary.AppendUvarint(dst, d.MsgID)
+		dst = binary.AppendUvarint(dst, uint64(d.K))
+		dst = appendF64(dst, d.Rank)
+		dst = appendF64(dst, d.Rel)
+		var entered byte
+		if d.Entered {
+			entered = 1
+		}
+		dst = append(dst, entered)
+	}
+	return dst
+}
+
+// AppendWindowDeltaBatch appends the binary encoding of one window
+// delta batch to dst.
+func AppendWindowDeltaBatch(dst []byte, epoch uint64, ds []window.Delta) []byte {
+	dst = binary.AppendUvarint(dst, epoch)
+	return appendDeltas(dst, ds)
+}
+
+// AppendAdvanceWindow appends the binary encoding of an advance-window
+// request to dst.
+func AppendAdvanceWindow(dst []byte, a AdvanceWindow) []byte {
+	dst = binary.AppendUvarint(dst, a.Seq)
+	dst = binary.AppendUvarint(dst, uint64(a.Ops))
+	return appendTime(dst, a.Now)
+}
+
+// AppendAdvanceAck appends the binary encoding of an advance ack to dst.
+func AppendAdvanceAck(dst []byte, a AdvanceAck) []byte {
+	dst = binary.AppendUvarint(dst, a.Seq)
+	dst = binary.AppendUvarint(dst, a.Epoch)
+	return appendDeltas(dst, a.Deltas)
 }
 
 // breader walks a binary payload; a read past the end (or a malformed
@@ -287,10 +336,11 @@ func DecodeBinOpBatch(p []byte, dst []OpEnv) (ops []OpEnv, seq uint64, err error
 		}
 		env.Op.Kind = model.OpKind(kind)
 		pres := r.u8()
-		if pres&^(opHasObj|opHasQuery) != 0 {
+		if pres&^(opHasObj|opHasQuery|opRefill) != 0 {
 			r.fail()
 			break
 		}
+		env.Refill = pres&opRefill != 0
 		if pres&opHasObj != 0 {
 			o := &model.Object{ID: r.uvarint()}
 			if nt := r.count(1); nt > 0 {
@@ -368,9 +418,67 @@ func DecodeBinDrainAck(p []byte) (DrainAck, error) {
 		Done:       int64(r.uvarint()),
 		Emitted:    int64(r.uvarint()),
 		Duplicates: int64(r.uvarint()),
+		Deltas:     int64(r.uvarint()),
 	}
 	if !r.done() {
 		return DrainAck{}, fmt.Errorf("%w: drain ack", ErrBadPayload)
+	}
+	return a, nil
+}
+
+// readDeltas decodes a length-prefixed run of window deltas into dst
+// (reused scratch; see DecodeBinMatchBatch).
+func (r *breader) readDeltas(dst []window.Delta) []window.Delta {
+	n := r.count(21) // 4 varints + two 8-byte floats + entered byte
+	for i := 0; i < n && !r.bad; i++ {
+		var d window.Delta
+		d.QueryID = r.uvarint()
+		d.Subscriber = r.uvarint()
+		d.MsgID = r.uvarint()
+		d.K = int(r.uvarint())
+		d.Rank = r.f64()
+		d.Rel = r.f64()
+		switch r.u8() {
+		case 0:
+		case 1:
+			d.Entered = true
+		default:
+			r.fail()
+		}
+		dst = append(dst, d)
+	}
+	return dst
+}
+
+// DecodeBinWindowDeltaBatch decodes a binary window delta batch payload,
+// appending to dst (reused scratch: zero allocations once warmed up).
+func DecodeBinWindowDeltaBatch(p []byte, dst []window.Delta) (ds []window.Delta, epoch uint64, err error) {
+	r := breader{p: p}
+	epoch = r.uvarint()
+	dst = r.readDeltas(dst)
+	if !r.done() {
+		return dst, 0, fmt.Errorf("%w: window delta batch", ErrBadPayload)
+	}
+	return dst, epoch, nil
+}
+
+// DecodeBinAdvanceWindow decodes a binary advance-window request payload.
+func DecodeBinAdvanceWindow(p []byte) (AdvanceWindow, error) {
+	r := breader{p: p}
+	a := AdvanceWindow{Seq: r.uvarint(), Ops: int64(r.uvarint()), Now: r.time()}
+	if !r.done() {
+		return AdvanceWindow{}, fmt.Errorf("%w: advance window", ErrBadPayload)
+	}
+	return a, nil
+}
+
+// DecodeBinAdvanceAck decodes a binary advance ack payload.
+func DecodeBinAdvanceAck(p []byte) (AdvanceAck, error) {
+	r := breader{p: p}
+	a := AdvanceAck{Seq: r.uvarint(), Epoch: r.uvarint()}
+	a.Deltas = r.readDeltas(nil)
+	if !r.done() {
+		return AdvanceAck{}, fmt.Errorf("%w: advance ack", ErrBadPayload)
 	}
 	return a, nil
 }

@@ -10,11 +10,12 @@ import (
 
 	"ps2stream/internal/geo"
 	"ps2stream/internal/model"
+	"ps2stream/internal/window"
 )
 
 // sampleOpBatch exercises every field of the op-batch layout: all three
-// op kinds, both presence bits, multi-conjunction expressions, zero and
-// non-zero timestamps.
+// op kinds, every presence bit (including refill), multi-conjunction
+// expressions, zero and non-zero timestamps.
 func sampleOpBatch() []OpEnv {
 	q := &model.Query{
 		ID:         42,
@@ -30,7 +31,8 @@ func sampleOpBatch() []OpEnv {
 			ID: 9, Terms: []string{"best", "coffee"}, Loc: geo.Point{X: -73.95, Y: 40.71},
 		}, Seq: 2}, T0: time.Unix(1700000001, 0)},
 		{Op: model.Op{Kind: model.OpDelete, Query: q, Seq: 3}},
-		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{ID: 10}, Seq: 4}},
+		{Op: model.Op{Kind: model.OpObject, Obj: &model.Object{ID: 10}, Seq: 4},
+			T0: time.Unix(1699999999, 0), Refill: true},
 	}
 }
 
@@ -73,6 +75,9 @@ func TestBinaryOpBatchRoundTrip(t *testing.T) {
 	if got[3].Op.Obj.Terms != nil {
 		t.Errorf("empty terms decoded as %v, want nil", got[3].Op.Obj.Terms)
 	}
+	if !got[3].Refill || got[0].Refill {
+		t.Errorf("refill bits mangled: got %v/%v, want false/true on ops 0/3", got[0].Refill, got[3].Refill)
+	}
 	for i := range got {
 		if got[i].Op.Kind != ops[i].Op.Kind || got[i].Op.Seq != ops[i].Op.Seq {
 			t.Errorf("op %d: kind/seq = %v/%d, want %v/%d",
@@ -102,13 +107,61 @@ func TestBinaryMatchAndControlRoundTrip(t *testing.T) {
 	if got, err := DecodeBinDrain(AppendDrain(nil, d)); err != nil || got != d {
 		t.Errorf("drain = %+v, %v; want %+v", got, err, d)
 	}
-	a := DrainAck{Seq: 9, Done: 12345, Emitted: 678, Duplicates: 2}
+	a := DrainAck{Seq: 9, Done: 12345, Emitted: 678, Duplicates: 2, Deltas: 11}
 	if got, err := DecodeBinDrainAck(AppendDrainAck(nil, a)); err != nil || got != a {
 		t.Errorf("drain ack = %+v, %v; want %+v", got, err, a)
 	}
 	fe := Fence{Epoch: 3}
 	if got, err := DecodeBinFence(AppendFence(nil, fe)); err != nil || got != fe {
 		t.Errorf("fence = %+v, %v; want %+v", got, err, fe)
+	}
+}
+
+func sampleDeltas() []window.Delta {
+	return []window.Delta{
+		{QueryID: 42, Subscriber: 7, MsgID: 9, K: 5, Rank: 0.75, Rel: 0.9, Entered: true},
+		{QueryID: 42, Subscriber: 7, MsgID: 3, K: 5, Rank: 0.25, Rel: 0.4},
+		{QueryID: 1, MsgID: 1<<40 + 1, K: 1, Rank: -2.5, Rel: 1, Entered: true},
+	}
+}
+
+// TestBinaryWindowFramesRoundTrip: the top-k reconciliation frames —
+// spontaneous delta batches and the fenced advance-window round —
+// encode∘decode to identity and re-encode canonically.
+func TestBinaryWindowFramesRoundTrip(t *testing.T) {
+	ds := sampleDeltas()
+	p := AppendWindowDeltaBatch(nil, 31, ds)
+	got, epoch, err := DecodeBinWindowDeltaBatch(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 31 || len(got) != len(ds) {
+		t.Fatalf("epoch %d, %d deltas; want 31, %d", epoch, len(got), len(ds))
+	}
+	for i := range ds {
+		if got[i] != ds[i] {
+			t.Errorf("delta %d = %+v, want %+v", i, got[i], ds[i])
+		}
+	}
+	if re := AppendWindowDeltaBatch(nil, epoch, got); !bytes.Equal(re, p) {
+		t.Error("delta batch re-encode changed the bytes")
+	}
+
+	aw := AdvanceWindow{Seq: 6, Ops: 12345, Now: time.Unix(1700000000, 999)}
+	gotAW, err := DecodeBinAdvanceWindow(AppendAdvanceWindow(nil, aw))
+	if err != nil || gotAW.Seq != aw.Seq || gotAW.Ops != aw.Ops || !gotAW.Now.Equal(aw.Now) {
+		t.Errorf("advance window = %+v, %v; want %+v", gotAW, err, aw)
+	}
+
+	aa := AdvanceAck{Seq: 6, Epoch: 31, Deltas: ds}
+	gotAA, err := DecodeBinAdvanceAck(AppendAdvanceAck(nil, aa))
+	if err != nil || gotAA.Seq != aa.Seq || gotAA.Epoch != aa.Epoch || len(gotAA.Deltas) != len(ds) {
+		t.Fatalf("advance ack = %+v, %v; want %+v", gotAA, err, aa)
+	}
+	for i := range ds {
+		if gotAA.Deltas[i] != ds[i] {
+			t.Errorf("ack delta %d = %+v, want %+v", i, gotAA.Deltas[i], ds[i])
+		}
 	}
 }
 
@@ -190,8 +243,31 @@ func TestBinaryDecodeRejectsMalformed(t *testing.T) {
 	if _, err := DecodeBinDrain([]byte{1}); err == nil {
 		t.Error("truncated drain accepted")
 	}
-	if _, err := DecodeBinDrainAck([]byte{1, 2, 3, 4, 5}); err == nil {
+	if _, err := DecodeBinDrainAck([]byte{1, 2, 3, 4, 5, 6}); err == nil {
 		t.Error("drain ack with trailing bytes accepted")
+	}
+	if _, err := DecodeBinDrainAck([]byte{1, 2, 3, 4}); err == nil {
+		t.Error("drain ack missing the delta count accepted")
+	}
+	// Window delta frames: truncations and hostile counts must be
+	// rejected the same way.
+	whole = AppendWindowDeltaBatch(nil, 3, sampleDeltas())
+	for cut := 0; cut < len(whole); cut++ {
+		if _, _, err := DecodeBinWindowDeltaBatch(whole[:cut], nil); err == nil {
+			t.Fatalf("delta batch truncated to %d/%d bytes decoded cleanly", cut, len(whole))
+		}
+	}
+	if _, _, err := DecodeBinWindowDeltaBatch(append(whole, 0), nil); err == nil {
+		t.Error("delta batch trailing byte accepted")
+	}
+	if _, _, err := DecodeBinWindowDeltaBatch([]byte{3, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, nil); err == nil {
+		t.Error("giant delta count accepted")
+	}
+	if _, err := DecodeBinAdvanceWindow([]byte{1}); err == nil {
+		t.Error("truncated advance window accepted")
+	}
+	if _, err := DecodeBinAdvanceAck([]byte{1, 2, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}); err == nil {
+		t.Error("advance ack with giant delta count accepted")
 	}
 }
 
@@ -207,8 +283,11 @@ func TestHotFrameCodecZeroAlloc(t *testing.T) {
 	dP := AppendDrain(nil, Drain{Seq: 9, Ops: 12345})
 	aP := AppendDrainAck(nil, DrainAck{Seq: 9, Done: 12345, Emitted: 678})
 	fP := AppendFence(nil, Fence{Epoch: 3})
+	ds := sampleDeltas()
+	wP := AppendWindowDeltaBatch(nil, 31, ds)
 	enc := make([]byte, 0, 4*len(opP))
 	scratch := make([]MatchEnv, 0, len(ms))
+	dscratch := make([]window.Delta, 0, len(ds))
 	var err error
 	allocs := testing.AllocsPerRun(200, func() {
 		enc = AppendOpBatch(enc[:0], 7, ops)
@@ -216,7 +295,12 @@ func TestHotFrameCodecZeroAlloc(t *testing.T) {
 		enc = AppendDrain(enc[:0], Drain{Seq: 9, Ops: 12345})
 		enc = AppendDrainAck(enc[:0], DrainAck{Seq: 9, Done: 12345})
 		enc = AppendFence(enc[:0], Fence{Epoch: 3})
+		enc = AppendWindowDeltaBatch(enc[:0], 31, ds)
 		scratch, err = DecodeBinMatchBatch(mP, scratch[:0])
+		dscratch, _, err = DecodeBinWindowDeltaBatch(wP, dscratch[:0])
+		if err != nil {
+			panic(err)
+		}
 		if _, err = DecodeBinDrain(dP); err != nil {
 			panic(err)
 		}
@@ -245,6 +329,9 @@ const (
 	binKindDrain
 	binKindDrainAck
 	binKindFence
+	binKindDeltaBatch
+	binKindAdvanceWindow
+	binKindAdvanceAck
 	binKinds
 )
 
@@ -264,6 +351,10 @@ func binarySeedFrames() [][]byte {
 		seed(binKindDrain, []byte{0x80, 0x00, 0x01}),
 		seed(binKindDrainAck, AppendDrainAck(nil, DrainAck{Seq: 9, Done: 12345, Emitted: 678, Duplicates: 2})),
 		seed(binKindFence, AppendFence(nil, Fence{Epoch: 3})),
+		seed(binKindDeltaBatch, AppendWindowDeltaBatch(nil, 31, sampleDeltas())),
+		seed(binKindDeltaBatch, AppendWindowDeltaBatch(nil, 0, nil)),
+		seed(binKindAdvanceWindow, AppendAdvanceWindow(nil, AdvanceWindow{Seq: 6, Ops: 12345, Now: time.Unix(1700000000, 999)})),
+		seed(binKindAdvanceAck, AppendAdvanceAck(nil, AdvanceAck{Seq: 6, Epoch: 31, Deltas: sampleDeltas()})),
 		seed(binKindOp, []byte{0xFF, 0xFF, 0xFF, 0xFF}),
 		seed(binKindMatch, []byte("GET / HTTP/1.1\r\n\r\n")),
 	}
@@ -310,6 +401,24 @@ func FuzzBinaryFrame(f *testing.F) {
 					return nil, false
 				}
 				return AppendDrainAck(nil, v), true
+			case binKindDeltaBatch:
+				v, epoch, err := DecodeBinWindowDeltaBatch(p, nil)
+				if err != nil {
+					return nil, false
+				}
+				return AppendWindowDeltaBatch(nil, epoch, v), true
+			case binKindAdvanceWindow:
+				v, err := DecodeBinAdvanceWindow(p)
+				if err != nil {
+					return nil, false
+				}
+				return AppendAdvanceWindow(nil, v), true
+			case binKindAdvanceAck:
+				v, err := DecodeBinAdvanceAck(p)
+				if err != nil {
+					return nil, false
+				}
+				return AppendAdvanceAck(nil, v), true
 			default:
 				v, err := DecodeBinFence(p)
 				if err != nil {

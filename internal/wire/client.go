@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ps2stream/internal/window"
 )
 
 // ErrClosed is returned by client operations after the connection ended.
@@ -72,6 +74,12 @@ type WorkerClient struct {
 	cellStats   chan CellStatsReply
 	shares      chan CellShare
 	installAcks chan InstallAck
+	advances    chan AdvanceAck
+
+	// deltaHandler consumes the worker's spontaneous top-k window delta
+	// batches; see SetDeltaHandler.
+	dhMu         sync.Mutex
+	deltaHandler func(epoch uint64, ds []window.Delta)
 
 	drainMu sync.Mutex
 	// ctrlMu serialises the migration/stats control rounds (Stats,
@@ -95,6 +103,11 @@ type WorkerClient struct {
 	// for it to reach the ack's Emitted so the old "matches arrive
 	// before the ack" FIFO guarantee holds on multi-stream sessions too.
 	recvd atomic.Int64
+	// recvdDeltas counts top-k window deltas received in spontaneous
+	// WindowDeltaBatch frames (not the ack-carried deltas of control
+	// rounds, which arrive synchronously); Drain waits for it to reach
+	// the ack's Deltas so a drain barrier also covers the delta stream.
+	recvdDeltas atomic.Int64
 
 	readDone chan struct{}
 	readErr  error // valid after readDone closes
@@ -168,6 +181,7 @@ func DialWorker(addr string, hello Hello, b Backoff) (*WorkerClient, error) {
 		cellStats:   make(chan CellStatsReply, 4),
 		shares:      make(chan CellShare, 4),
 		installAcks: make(chan InstallAck, 4),
+		advances:    make(chan AdvanceAck, 4),
 		readDone:    make(chan struct{}),
 		closed:      make(chan struct{}),
 	}
@@ -431,6 +445,28 @@ func (w *WorkerClient) readLoop() {
 			case w.installAcks <- ia:
 			default:
 			}
+		case TypeAdvanceAck:
+			var aa AdvanceAck
+			if w.codec == CodecBinary {
+				aa, err = DecodeBinAdvanceAck(payload)
+			} else {
+				err = DecodePayload(payload, &aa)
+			}
+			if err != nil {
+				w.readErr = err
+				w.fail(err)
+				return
+			}
+			select {
+			case w.advances <- aa:
+			default:
+			}
+		case TypeWindowDeltaBatch:
+			// Legacy sessions carry the delta stream on the control
+			// connection (FIFO before any DrainAck that counts them).
+			if !w.deliverDeltas(payload) {
+				return
+			}
 		case TypePing:
 			// Liveness beacon; receiving it already reset the read
 			// deadline, nothing else to do.
@@ -459,6 +495,10 @@ func (w *WorkerClient) dataLoop(c *Conn) {
 		switch typ {
 		case TypeMatchBatch:
 			if !w.deliverMatches(payload) {
+				return
+			}
+		case TypeWindowDeltaBatch:
+			if !w.deliverDeltas(payload) {
 				return
 			}
 		case TypePing:
@@ -492,6 +532,50 @@ func (w *WorkerClient) deliverMatches(payload []byte) bool {
 		// run): stop rather than block forever on the full channel.
 		return false
 	}
+}
+
+// SetDeltaHandler installs the consumer for the worker's spontaneous
+// top-k window delta batches. The handler runs on the read loops —
+// once per frame, possibly concurrently across data connections — with
+// the worker's state epoch so the consumer can fence out replayed or
+// pre-crash deltas. Deltas that arrive with no handler installed still
+// count toward the drain barrier but are otherwise discarded, so the
+// handler must be installed before top-k traffic flows.
+func (w *WorkerClient) SetDeltaHandler(h func(epoch uint64, ds []window.Delta)) {
+	w.dhMu.Lock()
+	w.deltaHandler = h
+	w.dhMu.Unlock()
+}
+
+// deliverDeltas decodes one spontaneous window delta batch by the
+// session codec, hands it to the delta handler, and counts it toward
+// the drain barrier — in that order, so a Drain that observed the count
+// knows the deltas were already applied.
+func (w *WorkerClient) deliverDeltas(payload []byte) bool {
+	var ds []window.Delta
+	var epoch uint64
+	var err error
+	if w.codec == CodecBinary {
+		ds, epoch, err = DecodeBinWindowDeltaBatch(payload, nil)
+	} else {
+		var db WindowDeltaBatch
+		if err = DecodePayload(payload, &db); err == nil {
+			ds, epoch = db.Deltas, db.Epoch
+		}
+	}
+	if err != nil {
+		w.readErr = err
+		w.fail(err)
+		return false
+	}
+	w.dhMu.Lock()
+	h := w.deltaHandler
+	w.dhMu.Unlock()
+	if h != nil {
+		h(epoch, ds)
+	}
+	w.recvdDeltas.Add(int64(len(ds)))
+	return true
 }
 
 // SendOps transfers one operation batch. On a multi-stream session the
@@ -575,7 +659,7 @@ func (w *WorkerClient) Drain() (DrainAck, error) {
 		select {
 		case ack := <-w.acks:
 			if ack.Seq == seq {
-				if err := w.awaitReceived(ack.Emitted, timer); err != nil {
+				if err := w.awaitReceived(ack.Emitted, ack.Deltas, timer); err != nil {
 					return DrainAck{}, err
 				}
 				return ack, nil
@@ -592,14 +676,15 @@ func (w *WorkerClient) Drain() (DrainAck, error) {
 	}
 }
 
-// awaitReceived waits for the session's received-match count to reach
-// emitted (multi-stream sessions only; on one connection FIFO already
-// delivered the matches before the ack).
-func (w *WorkerClient) awaitReceived(emitted int64, timer *time.Timer) error {
+// awaitReceived waits for the session's received-match and
+// received-delta counts to reach the ack's emitted totals (multi-stream
+// sessions only; on one connection FIFO already delivered both streams
+// before the ack).
+func (w *WorkerClient) awaitReceived(emitted, deltas int64, timer *time.Timer) error {
 	if w.streams == 0 {
 		return nil
 	}
-	for w.recvd.Load() < emitted {
+	for w.recvd.Load() < emitted || w.recvdDeltas.Load() < deltas {
 		select {
 		case <-w.readDone:
 			if w.readErr != nil {
@@ -628,6 +713,12 @@ func (w *WorkerClient) sendControl(typ byte, v any) error {
 		case TypeFence:
 			buf := GetBuf()
 			buf.B = AppendFence(buf.B, v.(Fence))
+			err := w.conn.SendPayload(typ, buf.B)
+			PutBuf(buf)
+			return err
+		case TypeAdvanceWindow:
+			buf := GetBuf()
+			buf.B = AppendAdvanceWindow(buf.B, v.(AdvanceWindow))
 			err := w.conn.SendPayload(typ, buf.B)
 			PutBuf(buf)
 			return err
@@ -721,32 +812,33 @@ func (w *WorkerClient) CellStats() ([]CellStat, error) {
 }
 
 // ExtractCells fetches the named cell shares — copied with remove
-// false, extracted from the peer's index with remove true. The reply
-// reflects every op batch sent before the call (FIFO on one connection,
-// the Ops barrier on a multi-stream session), which is exactly the
-// migration barrier: once the coordinator has forwarded all pre-flip
-// traffic, an extraction round cannot miss any of it.
-func (w *WorkerClient) ExtractCells(cells []CellSpec, remove bool) ([]CellPayload, error) {
+// false, extracted from the peer's index with remove true; subs asks
+// for the per-subscription top-k window entries too (global
+// repartition's carried state). The reply reflects every op batch sent
+// before the call (FIFO on one connection, the Ops barrier on a
+// multi-stream session), which is exactly the migration barrier: once
+// the coordinator has forwarded all pre-flip traffic, an extraction
+// round cannot miss any of it. The returned share carries the worker's
+// state epoch and, on a removing extraction, the top-k retraction
+// deltas for the departed subscriptions.
+func (w *WorkerClient) ExtractCells(cells []CellSpec, remove, subs bool) (CellShare, error) {
 	w.ctrlMu.Lock()
 	defer w.ctrlMu.Unlock()
 	drainStale(w.shares)
 	seq := w.seq.Add(1)
-	req := ExtractCells{Seq: seq, Cells: cells, Remove: remove, Ops: w.barrierOps()}
+	req := ExtractCells{Seq: seq, Cells: cells, Remove: remove, Ops: w.barrierOps(), Subs: subs}
 	if err := w.conn.Send(TypeExtractCells, req); err != nil {
-		return nil, err
+		return CellShare{}, err
 	}
-	r, err := awaitReply(w, w.shares, func(r CellShare) uint64 { return r.Seq }, seq)
-	if err != nil {
-		return nil, err
-	}
-	return r.Cells, nil
+	return awaitReply(w, w.shares, func(r CellShare) uint64 { return r.Seq }, seq)
 }
 
 // InstallCells hands the worker cell shares to index and query ids to
-// delete, returning the serialised payload size (the migration's
-// measured transfer bytes) once the peer acknowledges. Ops sent after
+// delete, returning the worker's acknowledgement (top-k admission
+// deltas, tagged with its state epoch) and the serialised payload size
+// (the migration's measured transfer bytes). Ops sent after
 // InstallCells returns are matched against the installed share.
-func (w *WorkerClient) InstallCells(cells []CellPayload, deletes []uint64) (int64, error) {
+func (w *WorkerClient) InstallCells(cells []CellPayload, deletes []uint64) (InstallAck, int64, error) {
 	w.ctrlMu.Lock()
 	defer w.ctrlMu.Unlock()
 	drainStale(w.installAcks)
@@ -754,15 +846,35 @@ func (w *WorkerClient) InstallCells(cells []CellPayload, deletes []uint64) (int6
 	req := InstallCells{Seq: seq, Cells: cells, Deletes: deletes}
 	payload, err := EncodePayload(req)
 	if err != nil {
-		return 0, err
+		return InstallAck{}, 0, err
 	}
 	if err := w.conn.SendPayload(TypeInstallCells, payload); err != nil {
-		return 0, err
+		return InstallAck{}, 0, err
 	}
-	if _, err := awaitReply(w, w.installAcks, func(r InstallAck) uint64 { return r.Seq }, seq); err != nil {
-		return 0, err
+	ack, err := awaitReply(w, w.installAcks, func(r InstallAck) uint64 { return r.Seq }, seq)
+	if err != nil {
+		return InstallAck{}, 0, err
 	}
-	return int64(len(payload)), nil
+	return ack, int64(len(payload)), nil
+}
+
+// AdvanceWindow runs the fenced window-expiry round: the worker first
+// processes every op batch sent before the call (the Ops barrier — so
+// no in-flight object can slip behind the expiry), advances its sliding
+// windows to the coordinator clock now, and acknowledges with the
+// eviction deltas tagged with its state epoch. Cluster-wide expiry is
+// therefore consistent: every worker expires against the same clock,
+// after the same traffic.
+func (w *WorkerClient) AdvanceWindow(now time.Time) (AdvanceAck, error) {
+	w.ctrlMu.Lock()
+	defer w.ctrlMu.Unlock()
+	drainStale(w.advances)
+	seq := w.seq.Add(1)
+	req := AdvanceWindow{Seq: seq, Ops: w.barrierOps(), Now: now}
+	if err := w.sendControl(TypeAdvanceWindow, req); err != nil {
+		return AdvanceAck{}, err
+	}
+	return awaitReply(w, w.advances, func(r AdvanceAck) uint64 { return r.Seq }, seq)
 }
 
 // CloseSend ends the coordinator's half of the stream: pending op frames

@@ -100,6 +100,13 @@ type Welcome struct {
 type OpEnv struct {
 	Op model.Op
 	T0 time.Time
+	// Refill marks a crash-replayed (or migration-adopted) object sent
+	// purely to rebuild the worker's sliding-window state: the worker
+	// observes it and re-offers it to top-k subscriptions, but emits no
+	// boolean matches — those were delivered before the coordinator's
+	// checkpoint covered the op, and re-emitting them against queries
+	// inserted later would fabricate matches that never happened.
+	Refill bool
 }
 
 // OpBatch is one transfer batch of operations — one frame per batch, so
@@ -145,6 +152,10 @@ type DrainAck struct {
 	Emitted int64
 	// Duplicates is the peer's cumulative duplicate count (mergers).
 	Duplicates int64
+	// Deltas is the worker's cumulative emitted window-delta count
+	// (WindowDeltaBatch frames), so a drain can also wait for the top-k
+	// delta stream to be received, not just the matches.
+	Deltas int64
 }
 
 // StatsReq asks a peer for its counters without a drain guarantee.
@@ -239,21 +250,47 @@ type ExtractCells struct {
 	// that is the migration barrier — so the extraction waits for the
 	// session's processed-op count to reach it.
 	Ops int64
+	// Subs asks for each top-k subscription's held window entries
+	// alongside the cell shares (CellPayload.Subs). Global repartition
+	// sets it when discovering a remote population: a whole-query
+	// relocation must carry the subscription's cross-cell history, which
+	// the cell rings alone cannot supply. Plain cell migrations leave it
+	// false and move ring state only, like their in-process counterpart.
+	Subs bool
+}
+
+// SubEntries is one top-k subscription's held window entries in flight
+// (window.Store.SubEntries across the wire): installed via AdoptEntries
+// at the destination so a relocated subscription keeps its window
+// history even when the entries span several cells.
+type SubEntries struct {
+	ID      uint64
+	Entries []window.Entry
 }
 
 // CellPayload is one cell share in flight: the share's queries and the
 // cell's window ring entries, so sliding-window state travels with the
-// queries exactly as it does between in-process workers.
+// queries exactly as it does between in-process workers. Subs carries
+// per-subscription held entries for whole-query relocations (global
+// repartition), which may span cells the payload does not.
 type CellPayload struct {
 	Cell    int
 	Queries []*model.Query
 	Ring    []window.Entry
+	Subs    []SubEntries
 }
 
-// CellShare answers an ExtractCells.
+// CellShare answers an ExtractCells. Deltas carries the top-k
+// membership updates a removing extraction produced (subscriptions
+// dropping their released entries), so the coordinator's board applies
+// them in the same control round instead of racing the data stream;
+// Epoch tags them with the session's fencing epoch like every delta
+// batch the node emits.
 type CellShare struct {
-	Seq   uint64
-	Cells []CellPayload
+	Seq    uint64
+	Epoch  uint64
+	Cells  []CellPayload
+	Deltas []window.Delta
 }
 
 // InstallCells hands a worker peer cell shares to index and query ids
@@ -267,8 +304,44 @@ type InstallCells struct {
 
 // InstallAck acknowledges an InstallCells: the share is indexed and
 // every op batch sent after the request will be matched against it.
+// Deltas carries the top-k membership updates the install produced
+// (adoptions refilling heaps, deletions releasing them), epoch-tagged
+// like a CellShare's.
 type InstallAck struct {
+	Seq    uint64
+	Epoch  uint64
+	Deltas []window.Delta
+}
+
+// WindowDeltaBatch is one batch of sliding-window top-k membership
+// deltas (worker → coordinator). Epoch is the session's fencing epoch
+// (Hello.Epoch): the coordinator's board drops batches below the
+// highest epoch it has seen from the slot, which is what keeps TopKSet
+// exact across crash replay — a recovering session re-produces the
+// window under a higher epoch, and the board retracts the old session's
+// contributions wholesale instead of double-counting them.
+type WindowDeltaBatch struct {
+	Epoch  uint64
+	Deltas []window.Delta
+}
+
+// AdvanceWindow asks a worker peer to expire its sliding windows up to
+// Now (the coordinator's clock, the single clock domain window expiry
+// runs in cluster-wide). Ops is the multi-stream session barrier (see
+// Drain.Ops): the advance observes every op batch sent before it.
+type AdvanceWindow struct {
 	Seq uint64
+	Ops int64
+	Now time.Time
+}
+
+// AdvanceAck answers an AdvanceWindow with the expiry's membership
+// deltas, tagged with the session's fencing epoch like a
+// WindowDeltaBatch.
+type AdvanceAck struct {
+	Seq    uint64
+	Epoch  uint64
+	Deltas []window.Delta
 }
 
 // ResetWindow starts a fresh per-cell load window (no acknowledgement).

@@ -102,6 +102,22 @@ const (
 	// partition — surfaces as ErrWorkerDown instead of an indefinite
 	// stall. Readers that predate it skip it (unknown-type rule).
 	TypePing byte = 18
+	// TypeWindowDeltaBatch carries one batch of sliding-window top-k
+	// membership deltas (worker → coordinator): the worker folds the
+	// window.Deltas produced while processing op batches into one hot
+	// frame per transfer batch, tagged with the session's fencing epoch
+	// so the coordinator's board can drop stale replays. Binary when the
+	// session negotiated CodecBinary, gob otherwise.
+	TypeWindowDeltaBatch byte = 19
+	// TypeAdvanceWindow asks a worker peer to expire its sliding windows
+	// up to the coordinator's clock (coordinator → worker): the fenced
+	// control round that keeps cluster-wide window expiry consistent. It
+	// carries the multi-stream Ops barrier like a Drain, so the advance
+	// observes every op batch sent before it.
+	TypeAdvanceWindow byte = 20
+	// TypeAdvanceAck answers an AdvanceWindow with the expiry's top-k
+	// membership deltas, tagged with the session's fencing epoch.
+	TypeAdvanceAck byte = 21
 )
 
 // MaxFrameSize bounds a frame's length field: a reader rejects larger

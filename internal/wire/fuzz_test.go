@@ -29,10 +29,16 @@ func seedStream(tb testing.TB) []byte {
 		{TypeCellStatsReply, CellStatsReply{Seq: 1, Cells: []CellStat{{Cell: 9, Entries: 2, ObjSeen: 5,
 			SizeBytes: 128, Load: 10, Terms: []CellTermStat{{Term: "coffee", Queries: 2, ObjHits: 5}}}}}},
 		{TypeExtractCells, ExtractCells{Seq: 2, Cells: []CellSpec{{Cell: 9, Keys: []string{"coffee"}}}, Remove: true}},
-		{TypeCellShare, CellShare{Seq: 2, Cells: []CellPayload{{Cell: 9,
-			Ring: []window.Entry{{MsgID: 7, Terms: []string{"coffee"}, Loc: geo.Point{X: -73.9, Y: 40.7}}}}}}},
+		{TypeCellShare, CellShare{Seq: 2, Epoch: 1, Cells: []CellPayload{{Cell: 9,
+			Ring: []window.Entry{{MsgID: 7, Terms: []string{"coffee"}, Loc: geo.Point{X: -73.9, Y: 40.7}}}}},
+			Deltas: []window.Delta{{QueryID: 1, MsgID: 7, K: 3, Rank: 0.5, Rel: 0.9}}}},
 		{TypeInstallCells, InstallCells{Seq: 3, Cells: []CellPayload{{Cell: 9}}, Deletes: []uint64{4}}},
-		{TypeInstallAck, InstallAck{Seq: 3}},
+		{TypeInstallAck, InstallAck{Seq: 3, Epoch: 1,
+			Deltas: []window.Delta{{QueryID: 1, MsgID: 7, K: 3, Rank: 0.5, Rel: 0.9, Entered: true}}}},
+		{TypeWindowDeltaBatch, WindowDeltaBatch{Epoch: 1,
+			Deltas: []window.Delta{{QueryID: 1, MsgID: 7, K: 3, Rank: 0.5, Rel: 0.9, Entered: true}}}},
+		{TypeAdvanceWindow, AdvanceWindow{Seq: 4, Ops: 9}},
+		{TypeAdvanceAck, AdvanceAck{Seq: 4, Epoch: 1}},
 		{TypeResetWindow, ResetWindow{}},
 		{TypeDrain, Drain{Seq: 3}},
 		{TypeGoodbye, Goodbye{}},
@@ -117,6 +123,15 @@ func FuzzWireStream(f *testing.F) {
 				_ = DecodePayload(payload, &v)
 			case TypeResetWindow:
 				var v ResetWindow
+				_ = DecodePayload(payload, &v)
+			case TypeWindowDeltaBatch:
+				var v WindowDeltaBatch
+				_ = DecodePayload(payload, &v)
+			case TypeAdvanceWindow:
+				var v AdvanceWindow
+				_ = DecodePayload(payload, &v)
+			case TypeAdvanceAck:
+				var v AdvanceAck
 				_ = DecodePayload(payload, &v)
 			}
 		}

@@ -289,12 +289,13 @@ type Options struct {
 	// order; Workers is raised to at least len(RemoteWorkers), and any
 	// surplus tasks run in-process. The handshake distributes the grid
 	// geometry and sampled term statistics so routing agrees across
-	// processes. Dynamic load adjustment (Adjust, AdjustNow) works with
-	// remote workers: grid cells migrate between processes over
-	// dedicated control frames, and the load detector consumes the
-	// nodes' own processing counters (see docs/WIRE.md). Repartition
-	// and SubscribeTopK still require in-process workers. Start a peer
-	// with:
+	// processes. The full API works with remote workers: dynamic load
+	// adjustment (Adjust, AdjustNow) and Repartition migrate grid cells
+	// between processes over dedicated control frames, the load
+	// detector consumes the nodes' own processing counters, and
+	// SubscribeTopK subscriptions reconcile through a window-delta
+	// stream the nodes push to this process (see docs/WIRE.md). Start
+	// a peer with:
 	//
 	//	psnode -role worker -listen :7101
 	RemoteWorkers []string
@@ -597,6 +598,12 @@ func (s *System) Subscribe(sub Subscription) error {
 // and region, and reports membership changes through Options.OnTopK.
 // Relevance is text overlap × proximity to the region centre × recency
 // decay. Unsubscribe ends the subscription like a boolean one.
+//
+// Top-k subscriptions work with Options.RemoteWorkers: each node folds
+// its window updates into delta batches that reconcile on this
+// process's global top-k board (see docs/ARCHITECTURE.md). Only a
+// custom remote transport lacking the window-delta wire extension is
+// refused, with an error wrapping core.ErrRemoteNeedsStatic.
 func (s *System) SubscribeTopK(sub Subscription, k int, window time.Duration) error {
 	if k < 1 {
 		return fmt.Errorf("ps2stream: SubscribeTopK k must be >= 1, got %d", k)
@@ -604,10 +611,8 @@ func (s *System) SubscribeTopK(sub Subscription, k int, window time.Duration) er
 	if window <= 0 {
 		return fmt.Errorf("ps2stream: SubscribeTopK window must be positive, got %v", window)
 	}
-	if s.inner.HasRemoteWorkers() {
-		// Top-k window state reconciles on this process's global board,
-		// which a remote worker cannot reach.
-		return errors.New("ps2stream: SubscribeTopK requires in-process workers (Options.RemoteWorkers is set)")
+	if err := s.inner.TopKRemoteSupport(); err != nil {
+		return fmt.Errorf("ps2stream: SubscribeTopK: %w", err)
 	}
 	q, err := sub.toQuery()
 	if err != nil {

@@ -70,9 +70,16 @@ func TestRemoteWorkersViaPublicAPI(t *testing.T) {
 	if st.Matches == 0 {
 		t.Error("no matches across the wire")
 	}
-	// Top-k subscriptions cannot ride remote workers.
-	if err := sys.SubscribeTopK(Subscription{ID: 999, Query: "x", Region: usRegion}, 3, time.Minute); err == nil {
-		t.Error("SubscribeTopK accepted with RemoteWorkers set")
+	// Top-k subscriptions ride remote workers too: membership deltas
+	// stream back over the wire and Flush settles the board.
+	if err := sys.SubscribeTopK(Subscription{ID: 999, Query: "tag1", Region: usRegion}, 3, time.Minute); err != nil {
+		t.Errorf("SubscribeTopK with RemoteWorkers: %v", err)
+	}
+	sys.Flush()
+	sys.Publish(Message{ID: 9000, Text: "tag1 event", Lat: 36, Lon: -99})
+	sys.Flush()
+	if got := sys.TopKSet(999); len(got) == 0 {
+		t.Error("top-k set empty after a matching publish across the wire")
 	}
 	if err := sys.Close(); err != nil {
 		t.Fatal(err)
